@@ -1,0 +1,135 @@
+// Ablation: static system-wide frequency cap (the paper's projection
+// scenario) vs the online region-classifying agent.  Replays the standard
+// campaign's per-GCD telemetry under both strategies and compares energy
+// savings against runtime cost.
+#include <unordered_map>
+#include <vector>
+
+#include "agent/capping_agent.h"
+#include "bench/support.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace exaeff;
+
+/// Sink that retains each channel's power series (channel = job x node x
+/// gcd; phases within a channel arrive in time order).
+struct ChannelSink final : sched::JobSampleSink {
+  std::unordered_map<std::uint64_t, std::vector<float>> channels;
+
+  void on_job_sample(const telemetry::GcdSample& s,
+                     const sched::Job& j) override {
+    const std::uint64_t key =
+        (j.job_id << 20) ^ (static_cast<std::uint64_t>(s.node_id) << 4) ^
+        s.gcd_index;
+    channels[key].push_back(s.power_w);
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: static cap vs online agent",
+      "The Table V projection assumes a cap applied only to the savings\n"
+      "regions. A real static cap also slows latency phases; an online\n"
+      "agent re-caps per region. How much of the upper bound survives?");
+
+  // Smaller fleet: the replay keeps every channel series in memory.
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(16);
+  cfg.duration_s = 4.0 * units::kDay;
+  const auto gcd = gpusim::mi250x_gcd();
+  const auto library = workloads::make_profile_library(gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  ChannelSink sink;
+  gen.generate_telemetry(gen.generate_schedule(), sink);
+
+  const auto table = core::characterize(gcd);
+  const agent::RegionResponseModel model(table, gcd);
+  const auto boundaries = core::derive_boundaries(gcd);
+
+  auto replay_all = [&](auto&& replay_one) {
+    agent::ReplayResult total;
+    for (const auto& [key, series] : sink.channels) {
+      const auto r = replay_one(series);
+      total.base_energy_j += r.base_energy_j;
+      total.capped_energy_j += r.capped_energy_j;
+      total.base_hours += r.base_hours;
+      total.capped_hours += r.capped_hours;
+      total.windows += r.windows;
+      total.cap_switches += r.cap_switches;
+    }
+    return total;
+  };
+
+  TextTable t("strategies on the same telemetry");
+  t.set_header({"strategy", "energy saved %", "runtime increase %",
+                "cap switches"});
+
+  // Idealized projection (cap applied only in savings regions) — the
+  // paper's upper bound, for reference.
+  {
+    core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
+    // Re-book the channel series through the accumulator.
+    sched::Job dummy;  // region booking only needs domain/bin defaults
+    dummy.nodes = {0};
+    dummy.num_nodes = 1;
+    dummy.begin_s = 0;
+    dummy.end_s = 1;
+    telemetry::GcdSample s;
+    for (const auto& [key, series] : sink.channels) {
+      for (float p : series) {
+        s.power_w = p;
+        acc.on_job_sample(s, dummy);
+      }
+    }
+    const core::ProjectionEngine engine(table);
+    const auto row = engine.project(acc.decomposition(),
+                                    core::CapType::kFrequency, 900.0);
+    t.add_row({"upper bound (projection, 900 MHz)",
+               TextTable::num(row.savings_pct, 2),
+               TextTable::num(row.delta_t_pct, 2), "-"});
+  }
+
+  for (double cap : {1100.0, 900.0}) {
+    const auto r = replay_all([&](const std::vector<float>& series) {
+      return agent::replay_static(series, cfg.telemetry_window_s, cap,
+                                  model, boundaries);
+    });
+    char name[48];
+    std::snprintf(name, sizeof name, "static %.0f MHz everywhere", cap);
+    t.add_row({name, TextTable::num(r.savings_pct(), 2),
+               TextTable::num(r.slowdown_pct(), 2), "-"});
+  }
+
+  agent::AgentConfig agent_cfg;
+  agent_cfg.policy.memory_cap_mhz = 900.0;
+  const auto dyn = replay_all([&](const std::vector<float>& series) {
+    return agent::replay_agent(series, cfg.telemetry_window_s, agent_cfg,
+                               model, boundaries);
+  });
+  t.add_row({"online agent (MI->900 MHz)",
+             TextTable::num(dyn.savings_pct(), 2),
+             TextTable::num(dyn.slowdown_pct(), 2),
+             std::to_string(dyn.cap_switches)});
+
+  agent::AgentConfig both = agent_cfg;
+  both.policy.compute_cap_mhz = 1500.0;
+  const auto dyn2 = replay_all([&](const std::vector<float>& series) {
+    return agent::replay_agent(series, cfg.telemetry_window_s, both, model,
+                               boundaries);
+  });
+  t.add_row({"online agent (MI->900, CI->1500)",
+             TextTable::num(dyn2.savings_pct(), 2),
+             TextTable::num(dyn2.slowdown_pct(), 2),
+             std::to_string(dyn2.cap_switches)});
+
+  std::printf("%s\n", t.str().c_str());
+  bench::note(
+      "the agent recovers most of the projection's savings while paying a "
+      "fraction of the static cap's runtime cost, because it un-caps "
+      "latency and compute phases.");
+  return 0;
+}

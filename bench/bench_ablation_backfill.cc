@@ -1,0 +1,74 @@
+// Ablation: batch-scheduling discipline — FCFS vs EASY backfill on the
+// same synthetic submission stream, across load levels.  Context for the
+// paper's environment: the telemetry join runs against logs produced by
+// exactly this kind of scheduler, and capping policies change effective
+// job runtimes, which feeds back into queueing.
+#include "bench/support.h"
+#include "common/table.h"
+#include "sched/queue_sim.h"
+
+int main() {
+  using namespace exaeff;
+  bench::print_header(
+      "Ablation: FCFS vs EASY backfill",
+      "Discrete-event batch scheduling of the same submission stream\n"
+      "under both disciplines, across offered load.");
+
+  const std::uint32_t nodes = 64;
+  TextTable t("scheduling outcomes (64 nodes, 3-day stream)");
+  t.set_header({"load", "discipline", "jobs", "utilization",
+                "mean wait (min)", "max wait (h)", "backfilled"});
+
+  for (double load : {0.8, 1.2, 1.8}) {
+    const auto submissions = sched::synthesize_submissions(
+        nodes, 3.0 * units::kDay, load, 21);
+    for (auto discipline : {sched::QueueDiscipline::kFcfs,
+                            sched::QueueDiscipline::kEasyBackfill}) {
+      const sched::BatchScheduler scheduler(nodes, discipline);
+      const auto out = scheduler.run(submissions);
+      t.add_row({TextTable::num(load, 1),
+                 discipline == sched::QueueDiscipline::kFcfs
+                     ? "FCFS"
+                     : "EASY backfill",
+                 std::to_string(out.log.size()),
+                 TextTable::pct(100.0 * out.utilization, 1),
+                 TextTable::num(out.mean_wait_s / 60.0, 1),
+                 TextTable::num(out.max_wait_s / 3600.0, 1),
+                 std::to_string(out.backfilled)});
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Interaction with power management: a 900 MHz cap stretches runtimes
+  // of compute-heavy jobs; show the queueing cost of the stretch.
+  const auto base = sched::synthesize_submissions(nodes, 3.0 * units::kDay,
+                                                  1.2, 22);
+  auto stretched = base;
+  for (auto& j : stretched) {
+    // Energy-optimal capping stretches mixed workloads ~10-25%.
+    j.actual_runtime_s =
+        std::min(j.actual_runtime_s * 1.18, j.requested_walltime_s);
+  }
+  const sched::BatchScheduler easy(nodes,
+                                   sched::QueueDiscipline::kEasyBackfill);
+  const auto out_base = easy.run(base);
+  const auto out_stretched = easy.run(stretched);
+  TextTable q("queueing cost of a fleet-wide cap (EASY, load 1.2)");
+  q.set_header({"scenario", "utilization", "mean wait (min)",
+                "makespan (h)"});
+  q.add_row({"uncapped runtimes",
+             TextTable::pct(100.0 * out_base.utilization, 1),
+             TextTable::num(out_base.mean_wait_s / 60.0, 1),
+             TextTable::num(out_base.makespan_s / 3600.0, 1)});
+  q.add_row({"runtimes stretched 18% (capped)",
+             TextTable::pct(100.0 * out_stretched.utilization, 1),
+             TextTable::num(out_stretched.mean_wait_s / 60.0, 1),
+             TextTable::num(out_stretched.makespan_s / 3600.0, 1)});
+  std::printf("%s\n", q.str().c_str());
+
+  bench::note(
+      "backfilling recovers utilization and cuts waits at every load; "
+      "runtime stretch from capping surfaces as queue wait — the hidden "
+      "cost the paper's dT column prices at the job level.");
+  return 0;
+}

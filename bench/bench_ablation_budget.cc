@@ -1,0 +1,68 @@
+// Ablation: facility power-budget enforcement — uniform ceiling vs
+// region-aware cap distribution, swept over budget levels.  The paper's
+// motivation ("maximize performance within constrained power budgets")
+// made concrete: at each budget, which strategy loses less throughput?
+#include <vector>
+
+#include "agent/budget.h"
+#include "bench/support.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+int main() {
+  using namespace exaeff;
+  bench::print_header(
+      "Ablation: power-budget allocation",
+      "Distributing a fleet power budget as per-GCD frequency caps:\n"
+      "one uniform ceiling vs region-aware (cheapest watts first).");
+
+  const auto gcd = gpusim::mi250x_gcd();
+  const auto table = core::characterize(gcd);
+  const agent::BudgetAllocator allocator(table, gcd);
+
+  // Fleet snapshot: GCD demands drawn with the campaign's region mix.
+  Rng rng(9);
+  std::vector<agent::GcdDemand> demands;
+  for (int i = 0; i < 512; ++i) {
+    const double u = rng.uniform();
+    agent::GcdDemand d;
+    if (u < 0.30) {
+      d.region = core::Region::kLatencyBound;
+      d.uncapped_power_w = rng.uniform(95.0, 190.0);
+    } else if (u < 0.80) {
+      d.region = core::Region::kMemoryIntensive;
+      d.uncapped_power_w = rng.uniform(230.0, 410.0);
+    } else {
+      d.region = core::Region::kComputeIntensive;
+      d.uncapped_power_w = rng.uniform(430.0, 545.0);
+    }
+    demands.push_back(d);
+  }
+  double uncapped = 0.0;
+  for (const auto& d : demands) uncapped += d.uncapped_power_w;
+  std::printf("fleet snapshot: %zu GCDs, %.1f kW uncapped demand\n\n",
+              demands.size(), uncapped / 1000.0);
+
+  TextTable t("throughput cost vs budget (runtime scale, 1.0 = no loss)");
+  t.set_header({"budget (% of demand)", "uniform ceiling: cost",
+                "uniform: met?", "region-aware: cost", "aware: met?"});
+  for (double frac : {0.95, 0.90, 0.85, 0.80, 0.75, 0.70}) {
+    const double budget = frac * uncapped;
+    const auto uni = allocator.allocate(
+        demands, budget, agent::BudgetStrategy::kUniformCeiling);
+    const auto aware = allocator.allocate(
+        demands, budget, agent::BudgetStrategy::kRegionAware);
+    t.add_row({TextTable::num(100 * frac, 0),
+               TextTable::num(uni.throughput_cost, 3),
+               uni.feasible ? "yes" : "NO",
+               TextTable::num(aware.throughput_cost, 3),
+               aware.feasible ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  bench::note(
+      "region-aware allocation takes its first watts from memory-bound "
+      "GCDs (whose runtime barely moves) and leaves latency-bound GCDs "
+      "uncapped, so it meets the same budget at a lower throughput cost.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Ablation: region-level projection (the paper's method) vs per-job
+// fingerprinting (the refinement its discussion proposes).  Also prints
+// the per-job savings ranking an operator would act on.
+#include "agent/fingerprint.h"
+#include "bench/support.h"
+#include "common/table.h"
+#include "core/projection.h"
+
+int main() {
+  using namespace exaeff;
+  bench::print_header(
+      "Ablation: region-level vs per-job fingerprint projection",
+      "The paper pools all samples into four regions; fingerprinting\n"
+      "projects every job through its own region mix and ranks jobs.");
+
+  const auto gcd = gpusim::mi250x_gcd();
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(32);
+  cfg.duration_s = 7.0 * units::kDay;
+  const auto library = workloads::make_profile_library(gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  const auto boundaries = core::derive_boundaries(gcd);
+
+  // Run both accumulators over the same stream.
+  core::CampaignAccumulator region_acc(cfg.telemetry_window_s, boundaries);
+  agent::JobFingerprintAccumulator fp_acc(cfg.telemetry_window_s,
+                                          boundaries);
+  struct Tee final : sched::JobSampleSink {
+    sched::JobSampleSink& a;
+    sched::JobSampleSink& b;
+    Tee(sched::JobSampleSink& x, sched::JobSampleSink& y) : a(x), b(y) {}
+    void on_job_sample(const telemetry::GcdSample& s,
+                       const sched::Job& j) override {
+      a.on_job_sample(s, j);
+      b.on_job_sample(s, j);
+    }
+  } tee(region_acc, fp_acc);
+  gen.generate_telemetry(log, tee);
+
+  const auto table = core::characterize(gcd);
+  const core::ProjectionEngine engine(table);
+
+  TextTable t("projection comparison (frequency caps)");
+  t.set_header({"cap (MHz)", "region-level savings %",
+                "fingerprint savings %", "fingerprint runtime x"});
+  for (double cap : {1300.0, 1100.0, 900.0}) {
+    const auto region_row = engine.project(region_acc.decomposition(),
+                                           core::CapType::kFrequency, cap);
+    const auto ranked =
+        agent::predict_sensitivities(fp_acc, table, gcd, cap);
+    const auto agg = agent::aggregate_sensitivities(ranked);
+    t.add_row({TextTable::num(cap, 0),
+               TextTable::num(region_row.savings_pct, 2),
+               TextTable::num(agg.savings_pct(), 2),
+               TextTable::num(agg.mean_runtime_scale, 3)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Per-job ranking at 900 MHz: where the savings actually live.
+  const auto ranked = agent::predict_sensitivities(fp_acc, table, gcd, 900.0);
+  TextTable top("top 10 jobs by projected savings at 900 MHz");
+  top.set_header({"job", "domain", "size", "energy (MWh)", "saved (MWh)",
+                  "savings %", "runtime x"});
+  std::size_t shown = 0;
+  double cum = 0.0;
+  double total_saved = 0.0;
+  for (const auto& s : ranked) total_saved += s.saved_j;
+  for (const auto& s : ranked) {
+    if (shown >= 10) break;
+    const auto& fp = fp_acc.fingerprints().at(s.job_id);
+    cum += s.saved_j;
+    top.add_row({std::to_string(s.job_id),
+                 std::string(sched::domain_code(fp.domain)),
+                 std::string(sched::bin_name(fp.bin)),
+                 TextTable::num(units::joules_to_mwh(s.energy_j), 3),
+                 TextTable::num(units::joules_to_mwh(s.saved_j), 4),
+                 TextTable::num(s.savings_pct(), 1),
+                 TextTable::num(s.runtime_scale, 3)});
+    ++shown;
+  }
+  std::printf("%s\n", top.str().c_str());
+  std::printf("top 10 of %zu jobs carry %.0f%% of all projected savings\n\n",
+              ranked.size(), 100.0 * cum / total_saved);
+
+  bench::note(
+      "fingerprinting yields the same aggregate as the region method on "
+      "the same samples (it is the same arithmetic, finer-grained) but "
+      "exposes per-job runtime risk and concentrates action on the few "
+      "jobs that matter.");
+  return 0;
+}

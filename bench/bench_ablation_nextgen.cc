@@ -1,0 +1,98 @@
+// Ablation: re-evaluating the projection on next-generation hardware —
+// the paper's discussion point that "based on technology developments,
+// such assessments have to be re-evaluated to understand the tradeoffs
+// and opportunities."  The same workload mix and pipeline, two devices.
+#include "bench/support.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace exaeff;
+
+struct Evaluation {
+  double total_mwh = 0.0;
+  std::vector<core::ProjectionRow> rows;
+  core::RegionBoundaries boundaries;
+  std::array<double, 4> hours_pct{};
+};
+
+Evaluation evaluate(const gpusim::DeviceSpec& gcd) {
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(32);
+  cfg.system.node.gcd = gcd;
+  cfg.duration_s = 7.0 * units::kDay;
+  const auto library = workloads::make_profile_library(gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto boundaries = core::derive_boundaries(gcd);
+  core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
+  gen.generate_telemetry(gen.generate_schedule(), acc);
+
+  core::CharacterizationOptions opts;
+  opts.frequency_caps_mhz = {gcd.f_max_mhz, 0.88 * gcd.f_max_mhz,
+                             0.76 * gcd.f_max_mhz, 0.65 * gcd.f_max_mhz,
+                             0.53 * gcd.f_max_mhz};
+  const auto table = core::characterize(gcd, opts);
+  const core::ProjectionEngine engine(table);
+  const auto decomp = acc.decomposition();
+
+  Evaluation ev;
+  ev.total_mwh = units::joules_to_mwh(decomp.total_energy_j);
+  ev.rows = engine.project_sweep(decomp, core::CapType::kFrequency);
+  ev.boundaries = boundaries;
+  for (int r = 0; r < 4; ++r) {
+    ev.hours_pct[static_cast<std::size_t>(r)] =
+        decomp.hours_pct(static_cast<core::Region>(r));
+  }
+  return ev;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: re-evaluation on next-generation hardware",
+      "Identical workload mix and pipeline on the MI250X-class GCD and a\n"
+      "hypothetical next-gen part (higher TDP/bandwidth, bigger static\n"
+      "HBM share).  Where do the savings move?");
+
+  const auto now = evaluate(gpusim::mi250x_gcd());
+  const auto next = evaluate(gpusim::nextgen_gcd());
+
+  TextTable b("derived region boundaries and occupancy");
+  b.set_header({"device", "lat<= (W)", "mem<= (W)", "TDP (W)", "R1 hrs%",
+                "R2 hrs%", "R3 hrs%"});
+  b.add_row({"MI250X-GCD", TextTable::num(now.boundaries.latency_max_w, 0),
+             TextTable::num(now.boundaries.memory_max_w, 0),
+             TextTable::num(now.boundaries.compute_max_w, 0),
+             TextTable::num(now.hours_pct[0], 1),
+             TextTable::num(now.hours_pct[1], 1),
+             TextTable::num(now.hours_pct[2], 1)});
+  b.add_row({"NextGen-GCD",
+             TextTable::num(next.boundaries.latency_max_w, 0),
+             TextTable::num(next.boundaries.memory_max_w, 0),
+             TextTable::num(next.boundaries.compute_max_w, 0),
+             TextTable::num(next.hours_pct[0], 1),
+             TextTable::num(next.hours_pct[1], 1),
+             TextTable::num(next.hours_pct[2], 1)});
+  std::printf("%s\n", b.str().c_str());
+
+  TextTable t("frequency-cap projection, relative cap depth");
+  t.set_header({"cap (% of f_max)", "MI250X sav%", "MI250X dT%",
+                "NextGen sav%", "NextGen dT%"});
+  for (std::size_t i = 0; i < now.rows.size() && i < next.rows.size();
+       ++i) {
+    const double frac = 100.0 * now.rows[i].setting / 1700.0;
+    t.add_row({TextTable::num(frac, 0),
+               TextTable::num(now.rows[i].savings_pct, 1),
+               TextTable::num(now.rows[i].delta_t_pct, 1),
+               TextTable::num(next.rows[i].savings_pct, 1),
+               TextTable::num(next.rows[i].delta_t_pct, 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  bench::note(
+      "the next-gen part's larger clock-independent HBM share shrinks the "
+      "relative savings a frequency cap can reach on memory-bound work — "
+      "the assessment indeed has to be redone per technology generation.");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces paper Fig 1: schematic representation of a Frontier compute
+// node and the MI250X multi-chip GPU — rendered from the live cluster
+// model so the diagram can never drift from the configuration.
+#include "bench/support.h"
+#include "cluster/system_config.h"
+
+int main() {
+  using namespace exaeff;
+  bench::print_header("Figure 1",
+                      "Frontier compute node and MI250X multi-chip GPU");
+
+  const auto cfg = cluster::frontier();
+  const auto& node = cfg.node;
+  const auto& gcd = node.gcd;
+
+  std::printf("+---------------------- compute node ----------------------+\n");
+  std::printf("|  CPU: 64-core, %3.0f-%3.0f W, %3.0f GB DDR4                   |\n",
+              node.cpu.idle_power_w, node.cpu.max_power_w,
+              node.cpu.ddr4_bytes / (1024.0 * 1024.0 * 1024.0));
+  std::printf("|                                                           |\n");
+  for (std::size_t g = 0; g < node.gpus_per_node; ++g) {
+    std::printf("|  MI250X #%zu  +---------GCD---------+---------GCD---------+ |\n",
+                g);
+    std::printf("|             | %4.1f TF/s  %3.0fGB HBM | %4.1f TF/s  %3.0fGB HBM | |\n",
+                gcd.peak_flops_theoretical / 1e12,
+                gcd.hbm_bytes / (1024.0 * 1024.0 * 1024.0),
+                gcd.peak_flops_theoretical / 1e12,
+                gcd.hbm_bytes / (1024.0 * 1024.0 * 1024.0));
+    std::printf("|             | %4.0f W TDP %4.0f MHz  | %4.0f W TDP %4.0f MHz  | |\n",
+                gcd.tdp_w, gcd.f_max_mhz, gcd.tdp_w, gcd.f_max_mhz);
+    std::printf("|             +---------------------+---------------------+ |\n");
+  }
+  std::printf("+-----------------------------------------------------------+\n\n");
+
+  std::printf("per node: %zu GPUs = %zu user-visible GCDs, %.0f GB HBM2e, "
+              "%.1f TB/s aggregate HBM bandwidth\n",
+              node.gpus_per_node, node.gcds_per_node(),
+              node.hbm_bytes() / (1024.0 * 1024.0 * 1024.0),
+              static_cast<double>(node.gcds_per_node()) * gcd.hbm_bw / 1e12);
+  std::printf("system: %zu nodes, %zu GCDs, out-of-band power sensors at "
+              "2 s per GCD\n",
+              cfg.compute_nodes, cfg.total_gcds());
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Reproduces paper Fig 7 and the §IV-C case study: GPU-based Louvain
+// community detection across networks of varying size and degree
+// distribution, swept over frequency caps and power caps.
+#include <cstring>
+#include <vector>
+
+#include "bench/support.h"
+#include "common/table.h"
+#include "gpusim/simulator.h"
+#include "graph/generators.h"
+#include "graph/gpu_mapping.h"
+#include "graph/louvain.h"
+
+namespace {
+
+using namespace exaeff;
+
+struct Network {
+  std::string name;
+  bool power_law;
+  graph::DegreeStats stats;
+  std::size_t edges;
+  gpusim::KernelDesc kernel;
+  double modularity;
+};
+
+Network prepare(const graph::NamedGraph& g, const gpusim::DeviceSpec& spec) {
+  graph::LouvainParams params;
+  params.max_iterations = 8;  // bench-speed setting; quality barely moves
+  const auto run = louvain(g.graph, params);
+  Network n;
+  n.name = g.name;
+  n.power_law = g.power_law;
+  n.stats = g.graph.degree_stats();
+  n.edges = g.graph.num_edges();
+  n.kernel = map_louvain_run(spec, g.graph, run, {});
+  n.modularity = run.modularity;
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  bench::print_header(
+      "Figure 7 / Section IV-C",
+      "GPU Louvain community detection: runtime and power vs frequency\n"
+      "for power-law (social) and bounded-degree (road) networks.\n"
+      "(pass --full for the 8M-edge networks; default uses ~0.5-2M)");
+
+  const auto spec = gpusim::mi250x_gcd();
+  const gpusim::GpuSimulator sim(spec);
+
+  std::vector<Network> networks;
+  Rng rng(77);
+  if (full) {
+    for (const auto& g : graph::paper_network_suite(rng)) {
+      networks.push_back(prepare(g, spec));
+    }
+  } else {
+    graph::RmatParams p;
+    p.scale = 16;
+    networks.push_back(prepare(
+        graph::NamedGraph{"social-0.5M", true, graph::rmat(p, rng)}, spec));
+    p.scale = 18;
+    networks.push_back(prepare(
+        graph::NamedGraph{"social-2M", true, graph::rmat(p, rng)}, spec));
+    networks.push_back(prepare(
+        graph::NamedGraph{"road-0.5M", false,
+                          graph::road_grid(500, 500, 0.05, rng)},
+        spec));
+    networks.push_back(prepare(
+        graph::NamedGraph{"road-2M", false,
+                          graph::road_grid(1000, 1000, 0.05, rng)},
+        spec));
+  }
+
+  TextTable nets("Input networks (SNAP stand-ins)");
+  nets.set_header({"network", "kind", "edges", "d_max", "d_avg", "Q"});
+  for (const auto& n : networks) {
+    nets.add_row({n.name, n.power_law ? "power-law" : "bounded",
+                  std::to_string(n.edges), std::to_string(n.stats.d_max),
+                  TextTable::num(n.stats.d_avg, 1),
+                  TextTable::num(n.modularity, 3)});
+  }
+  std::printf("%s\n", nets.str().c_str());
+
+  // (b)/(c): runtime and power vs frequency.
+  const std::vector<double> freqs = {1700, 1500, 1300, 1100, 900, 700, 500};
+  TextTable rt("Runtime relative to 1700 MHz");
+  std::vector<std::string> header = {"network"};
+  for (double f : freqs) header.push_back(TextTable::num(f, 0));
+  rt.set_header(header);
+  TextTable pw("Average power (W)");
+  pw.set_header(header);
+  TextTable en("Energy relative to 1700 MHz");
+  en.set_header(header);
+  for (const auto& n : networks) {
+    const auto base = sim.run(n.kernel, gpusim::PowerPolicy::none());
+    std::vector<std::string> r = {n.name};
+    std::vector<std::string> p = {n.name};
+    std::vector<std::string> e = {n.name};
+    for (double f : freqs) {
+      const auto run = sim.run(n.kernel, gpusim::PowerPolicy::frequency(f));
+      r.push_back(TextTable::num(run.time_s / base.time_s, 2));
+      p.push_back(TextTable::num(run.avg_power_w, 0));
+      e.push_back(TextTable::num(run.energy_j / base.energy_j, 3));
+    }
+    rt.add_row(r);
+    pw.add_row(p);
+    en.add_row(e);
+  }
+  std::printf("%s\n%s\n%s\n", rt.str().c_str(), pw.str().c_str(),
+              en.str().c_str());
+
+  // Section IV-C power-cap case study on the largest road network.
+  const Network* road = nullptr;
+  for (const auto& n : networks) {
+    if (!n.power_law) road = &n;
+  }
+  if (road != nullptr) {
+    TextTable caps("Power-cap case study on " + road->name +
+                   " (paper: 8M road net peaks at ~205 W)");
+    caps.set_header({"cap (W)", "runtime rel.", "energy rel.", "breached"});
+    const auto base = sim.run(road->kernel, gpusim::PowerPolicy::none());
+    for (double cap : {260.0, 220.0, 180.0, 140.0}) {
+      const auto r = sim.run(road->kernel, gpusim::PowerPolicy::power(cap));
+      caps.add_row({TextTable::num(cap, 0),
+                    TextTable::num(r.time_s / base.time_s, 3),
+                    TextTable::num(r.energy_j / base.energy_j, 3),
+                    r.cap_breached ? "yes" : "no"});
+    }
+    std::printf("%s\n", caps.str().c_str());
+  }
+
+  bench::note(
+      "paper anchors: road networks are more frequency-sensitive and draw "
+      "far less power (~205 W peak) than social networks; the largest "
+      "social nets save ~3-5% energy at 900 MHz; capping the road net at "
+      "220 W costs nothing, 140 W breaches with a runtime penalty.");
+  return 0;
+}

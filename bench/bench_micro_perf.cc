@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// library paths: simulator evaluation, cap solving, telemetry ingest,
+// fleet generation throughput and Louvain passes.
+#include <benchmark/benchmark.h>
+
+#include "core/accumulator.h"
+#include "core/characterization.h"
+#include "core/projection.h"
+#include "graph/generators.h"
+#include "graph/louvain.h"
+#include "sched/fleetgen.h"
+#include "telemetry/aggregator.h"
+#include "telemetry/store.h"
+#include "workloads/vai.h"
+
+namespace {
+
+using namespace exaeff;
+
+void BM_PowerModelEval(benchmark::State& state) {
+  const auto spec = gpusim::mi250x_gcd();
+  const gpusim::PowerModel pm(spec);
+  const auto kernel = workloads::vai::make_kernel(spec, 4.0);
+  double f = 700.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.power_at(kernel, f));
+    f = f >= 1700.0 ? 700.0 : f + 1.0;
+  }
+}
+BENCHMARK(BM_PowerModelEval);
+
+void BM_PowerCapSolve(benchmark::State& state) {
+  const auto spec = gpusim::mi250x_gcd();
+  const gpusim::PowerCapController ctrl(spec);
+  const auto kernel = workloads::vai::make_kernel(spec, 4.0);
+  double cap = 150.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.solve(kernel, cap));
+    cap = cap >= 560.0 ? 150.0 : cap + 1.0;
+  }
+}
+BENCHMARK(BM_PowerCapSolve);
+
+void BM_SimulatorRun(benchmark::State& state) {
+  const gpusim::GpuSimulator sim(gpusim::mi250x_gcd());
+  const auto kernel = workloads::vai::make_kernel(sim.spec(), 16.0);
+  const auto policy = gpusim::PowerPolicy::power(300.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(kernel, policy));
+  }
+}
+BENCHMARK(BM_SimulatorRun);
+
+void BM_TelemetryAggregation(benchmark::State& state) {
+  telemetry::TelemetryStore store(15.0);
+  telemetry::Aggregator agg(store, 15.0);
+  telemetry::GcdSample s;
+  double t = 0.0;
+  for (auto _ : state) {
+    s.t_s = t;
+    s.power_w = 300.0F;
+    agg.on_gcd_sample(s);
+    t += 2.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TelemetryAggregation);
+
+void BM_AccumulatorIngest(benchmark::State& state) {
+  core::CampaignAccumulator acc(15.0, core::RegionBoundaries{});
+  sched::Job job;
+  job.domain = sched::ScienceDomain::kCfd;
+  job.bin = sched::SizeBin::kB;
+  job.num_nodes = 1;
+  job.begin_s = 0;
+  job.end_s = 1e9;
+  job.nodes = {0};
+  telemetry::GcdSample s;
+  double t = 0.0;
+  float p = 100.0F;
+  for (auto _ : state) {
+    s.t_s = t;
+    s.power_w = p;
+    acc.on_job_sample(s, job);
+    t += 15.0;
+    p = p >= 600.0F ? 100.0F : p + 1.0F;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AccumulatorIngest);
+
+void BM_FleetGeneration(benchmark::State& state) {
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(static_cast<std::size_t>(
+      state.range(0)));
+  cfg.duration_s = 1.0 * units::kDay;
+  const auto library =
+      workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
+    const auto log = gen.generate_schedule();
+    gen.generate_telemetry(log, acc);
+    samples = acc.gcd_sample_count();
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(samples * state.iterations()));
+}
+BENCHMARK(BM_FleetGeneration)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_Characterize(benchmark::State& state) {
+  const auto spec = gpusim::mi250x_gcd();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::characterize(spec));
+  }
+}
+BENCHMARK(BM_Characterize)->Unit(benchmark::kMillisecond);
+
+void BM_LouvainPass(benchmark::State& state) {
+  Rng rng(5);
+  graph::RmatParams p;
+  p.scale = static_cast<int>(state.range(0));
+  const auto g = graph::rmat(p, rng);
+  graph::LouvainParams params;
+  params.max_iterations = 4;
+  params.max_passes = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::louvain(g, params));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(g.num_edges()) * state.iterations());
+}
+BENCHMARK(BM_LouvainPass)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_ProjectionSweep(benchmark::State& state) {
+  const auto spec = gpusim::mi250x_gcd();
+  const auto table = core::characterize(spec);
+  const core::ProjectionEngine engine(table);
+  core::ModalDecomposition d;
+  d.regions[1] = {1000.0, 1e12};
+  d.regions[2] = {500.0, 5e11};
+  d.total_energy_j = 1.5e12;
+  d.total_gpu_hours = 1500.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.project_sweep(d, core::CapType::kFrequency));
+  }
+}
+BENCHMARK(BM_ProjectionSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Reproduces paper Table I: "Frontier system's summary".
+#include "bench/support.h"
+#include "cluster/system_config.h"
+#include "common/table.h"
+
+int main() {
+  using namespace exaeff;
+  bench::print_header("Table I", "Frontier system's summary");
+
+  const auto cfg = cluster::frontier();
+  const auto& gcd = cfg.node.gcd;
+  const double pib = 1024.0 * 1024.0 * 1024.0 * 1024.0 * 1024.0;
+
+  TextTable t("Frontier System");
+  t.set_header({"Property", "Value"});
+  t.add_row({"Compute node", std::to_string(cfg.compute_nodes)});
+  t.add_row({"Peak performance",
+             TextTable::num(cfg.peak_performance_eflops, 1) + " EF"});
+  t.add_row({"Peak power", TextTable::num(cfg.peak_power_mw, 0) + " MW"});
+  t.add_row({"GPU memory (HBM)",
+             TextTable::num(cfg.total_hbm_bytes() / pib, 1) + " PB"});
+  t.add_row({"CPU memory (DDR4)",
+             TextTable::num(cfg.total_ddr4_bytes() / pib, 1) + " PB"});
+  t.add_row({"Each Compute node",
+             std::to_string(cfg.node.gpus_per_node) + " AMD MI250X"});
+  t.add_row({"Each GPU", std::to_string(cfg.node.gcds_per_gpu) + " GCD"});
+  t.add_row({"Each GCD",
+             TextTable::num(gcd.hbm_bytes / (1024.0 * 1024.0 * 1024.0), 0) +
+                 " GB HBM2E"});
+  t.add_row({"GCD max power", TextTable::num(gcd.tdp_w, 0) + " W"});
+  t.add_row({"GCD max frequency",
+             TextTable::num(gcd.f_max_mhz, 0) + " MHz"});
+  t.add_row({"HBM bandwidth",
+             TextTable::num(gcd.hbm_bw / 1e12, 1) + " TB/s"});
+  std::printf("%s\n", t.str().c_str());
+
+  bench::note(
+      "paper's Table I lists HBM bandwidth as '1.6 GB/s' — a typo for "
+      "1.6 TB/s per GCD, which is what the model uses.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces paper Table V: "Estimated energy savings when frequency and
+// power capped applied at system-wide" — the headline projection.
+#include "bench/support.h"
+#include "common/table.h"
+
+namespace {
+
+void print_rows(const std::vector<exaeff::core::ProjectionRow>& rows,
+                const char* title, const char* setting_label,
+                double total_mwh) {
+  using exaeff::TextTable;
+  TextTable t(title);
+  t.set_header({"Total Energy", setting_label, "C.I. (MWh)", "M.I. (MWh)",
+                "T.S. (MWh)", "Savings (%)", "dT Time (%)",
+                "Sav.(%) dT=0"});
+  bool first = true;
+  for (const auto& r : rows) {
+    t.add_row({first ? TextTable::num(total_mwh, 1) + " MWh" : "",
+               TextTable::num(r.setting, 0),
+               TextTable::num(r.ci_saved_mwh, 3),
+               TextTable::num(r.mi_saved_mwh, 3),
+               TextTable::num(r.total_saved_mwh, 3),
+               TextTable::num(r.savings_pct, 1),
+               TextTable::num(r.delta_t_pct, 1),
+               TextTable::num(r.savings_pct_no_slowdown, 1)});
+    first = false;
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace exaeff;
+  bench::print_header(
+      "Table V",
+      "System-wide projected energy savings: benchmark cap responses\n"
+      "applied to the campaign's memory- and compute-intensive regions.");
+
+  const auto campaign = bench::make_standard_campaign();
+  const auto table =
+      core::characterize(campaign.config.system.node.gcd);
+  const core::ProjectionEngine engine(table);
+  const auto decomp = campaign.accumulator->decomposition();
+  const double total_mwh = units::joules_to_mwh(decomp.total_energy_j);
+
+  print_rows(engine.project_sweep(decomp, core::CapType::kFrequency),
+             "(a) Frequency Cap", "Freq (MHz)", total_mwh);
+  print_rows(engine.project_sweep(decomp, core::CapType::kPower),
+             "(b) Power Cap", "Power (W)", total_mwh);
+
+  const auto best =
+      engine.best_no_slowdown(decomp, core::CapType::kFrequency);
+  std::printf("best zero-slowdown operating point: %.0f MHz -> %.1f%% of "
+              "total GPU energy saved with no runtime increase\n\n",
+              best.setting, best.savings_pct_no_slowdown);
+
+  bench::note(
+      "paper anchors (16820 MWh over 3 months): best savings at 900 MHz "
+      "(8.8% with dT=11.2%, 8.5% at dT=0); 700 MHz regresses the C.I. "
+      "column to negative; power caps save less than frequency caps at "
+      "mild settings and hurt at 200 W.");
+  return 0;
+}

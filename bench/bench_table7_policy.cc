@@ -1,0 +1,39 @@
+// Reproduces paper Table VII: "Job scheduling policy of Frontier system".
+#include "bench/support.h"
+#include "common/table.h"
+#include "sched/policy.h"
+
+int main() {
+  using namespace exaeff;
+  bench::print_header("Table VII", "Job scheduling policy of Frontier");
+
+  const sched::SchedulingPolicy policy(9408);
+  TextTable t("Frontier scheduling policy (9408 nodes)");
+  t.set_header({"Job size", "Num-nodes", "Max. Walltime (Hrs.)"});
+  for (auto b : sched::all_size_bins()) {
+    const auto [lo, hi] = policy.node_range(b);
+    t.add_row({std::string(sched::bin_name(b)),
+               std::to_string(lo) + " - " + std::to_string(hi),
+               TextTable::num(
+                   sched::SchedulingPolicy::max_walltime_s(b) / 3600.0, 0)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Also show the scaled policy the synthetic campaign uses.
+  const sched::SchedulingPolicy scaled(48);
+  TextTable t2("Same policy at the synthetic campaign scale (48 nodes)");
+  t2.set_header({"Job size", "Num-nodes", "Max. Walltime (Hrs.)"});
+  for (auto b : sched::all_size_bins()) {
+    const auto [lo, hi] = scaled.node_range(b);
+    // Tiny fleets collapse the smallest bins into their neighbours.
+    const std::string range =
+        hi >= lo ? std::to_string(lo) + " - " + std::to_string(hi)
+                 : "(collapsed)";
+    t2.add_row({std::string(sched::bin_name(b)), range,
+                TextTable::num(
+                    sched::SchedulingPolicy::max_walltime_s(b) / 3600.0,
+                    0)});
+  }
+  std::printf("%s\n", t2.str().c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// bench/support.h
+//
+// Shared plumbing for the table/figure reproduction harnesses: a standard
+// synthetic campaign (the stand-in for the paper's three months of
+// Frontier telemetry) and common formatting helpers.  Every bench binary
+// is standalone; binaries that need the campaign regenerate it from the
+// same seed, so all tables/figures describe the same dataset.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/accumulator.h"
+#include "core/characterization.h"
+#include "core/domain_analysis.h"
+#include "core/projection.h"
+#include "sched/fleetgen.h"
+
+namespace exaeff::bench {
+
+/// The standard campaign: a scaled Frontier fleet observed for several
+/// weeks.  Scaled linearly, percentages transfer to the full machine.
+struct Campaign {
+  sched::CampaignConfig config;
+  workloads::ProfileLibrary library;
+  core::RegionBoundaries boundaries;
+  std::unique_ptr<core::CampaignAccumulator> accumulator;
+  std::size_t job_count = 0;
+  double gpu_hours = 0.0;
+};
+
+/// Builds the standard campaign (deterministic; ~1-2 s).
+inline Campaign make_standard_campaign(std::size_t nodes = 48,
+                                       double days = 14.0,
+                                       std::uint64_t seed = 0xF50) {
+  Campaign c;
+  c.config.system = cluster::frontier_scaled(nodes);
+  c.config.duration_s = days * units::kDay;
+  c.config.seed = seed;
+  c.library = workloads::make_profile_library(c.config.system.node.gcd);
+  c.boundaries = core::derive_boundaries(c.config.system.node.gcd);
+  const sched::FleetGenerator gen(c.config, c.library);
+  const auto log = gen.generate_schedule();
+  c.job_count = log.size();
+  c.gpu_hours = log.total_gpu_hours(c.config.system.node.gcds_per_node());
+  c.accumulator = std::make_unique<core::CampaignAccumulator>(
+      c.config.telemetry_window_s, c.boundaries);
+  gen.generate_telemetry(log, *c.accumulator);
+  return c;
+}
+
+/// Prints the standard bench header.
+inline void print_header(const char* experiment, const char* description) {
+  std::printf("==================================================================\n");
+  std::printf("exaeff reproduction | %s\n", experiment);
+  std::printf("%s\n", description);
+  std::printf("==================================================================\n\n");
+}
+
+/// Prints a paper-vs-measured footnote line.
+inline void note(const char* text) { std::printf("note: %s\n", text); }
+
+}  // namespace exaeff::bench

@@ -1,0 +1,58 @@
+// examples/generate_report.cpp
+//
+// Produces the full operations report for a campaign and writes it to
+// disk — the one-artifact workflow a site's energy team would schedule
+// nightly.
+//
+// Usage: generate_report [output-path] [nodes] [days]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/report.h"
+#include "sched/fleetgen.h"
+
+int main(int argc, char** argv) {
+  using namespace exaeff;
+  const char* path = argc > 1 ? argv[1] : "campaign_report.md";
+  const std::size_t nodes =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 32;
+  const double days = argc > 3 ? std::atof(argv[3]) : 7.0;
+
+  const auto gcd = gpusim::mi250x_gcd();
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(nodes);
+  cfg.duration_s = days * units::kDay;
+  const auto library = workloads::make_profile_library(gcd);
+  const sched::FleetGenerator generator(cfg, library);
+
+  core::CampaignAccumulator telemetry(cfg.telemetry_window_s,
+                                      core::derive_boundaries(gcd));
+  generator.generate_telemetry(generator.generate_schedule(), telemetry);
+
+  const auto table = core::characterize(gcd);
+
+  core::ReportInputs inputs;
+  inputs.accumulator = &telemetry;
+  inputs.table = &table;
+  char label[96];
+  std::snprintf(label, sizeof label, "%zu-node fleet, %.0f days", nodes,
+                days);
+  inputs.campaign_label = label;
+
+  const std::string report = core::render_campaign_report(inputs);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  out << report;
+  std::printf("wrote %zu bytes to %s\n\n", report.size(), path);
+  // Echo the headline.
+  const auto pos = report.find("Best zero-slowdown point");
+  if (pos != std::string::npos) {
+    const auto eol = report.find('\n', pos);
+    std::printf("%s\n", report.substr(pos, eol - pos).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// examples/louvain_energy.cpp
+//
+// The paper's §IV-C case study as an API walkthrough: run real Louvain
+// community detection on two kinds of graphs, map the measured work onto
+// the GPU model, and ask which frequency minimizes energy-to-solution
+// for each.
+//
+// Usage: louvain_energy [rmat_scale] [road_side]
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
+#include "gpusim/simulator.h"
+#include "graph/generators.h"
+#include "graph/gpu_mapping.h"
+#include "graph/louvain.h"
+
+namespace {
+
+using namespace exaeff;
+
+void study(const char* name, const graph::CsrGraph& g,
+           const gpusim::GpuSimulator& sim) {
+  // Real algorithm run: communities + per-pass work counters.
+  const auto result = graph::louvain(g);
+  const auto stats = g.degree_stats();
+  std::printf("%s: %zu vertices, %zu edges, d_avg %.1f, d_max %zu\n", name,
+              g.num_vertices(), g.num_edges(), stats.d_avg, stats.d_max);
+  std::printf("  louvain: %zu communities, modularity %.3f, %zu edge "
+              "scans across %zu passes\n",
+              result.num_communities(), result.modularity,
+              result.total_edge_scans(), result.passes.size());
+
+  // Map the run onto the GPU and sweep the clock.
+  const auto kernel =
+      graph::map_louvain_run(sim.spec(), g, result, {});
+  const auto base = sim.run(kernel, gpusim::PowerPolicy::none());
+
+  TextTable t("  frequency sweep");
+  t.set_header({"MHz", "runtime rel.", "power (W)", "energy rel."});
+  double best_energy = 1.0;
+  double best_freq = sim.spec().f_max_mhz;
+  for (double f : {1700.0, 1500.0, 1300.0, 1100.0, 900.0, 700.0}) {
+    const auto r = sim.run(kernel, gpusim::PowerPolicy::frequency(f));
+    const double e_rel = r.energy_j / base.energy_j;
+    if (e_rel < best_energy) {
+      best_energy = e_rel;
+      best_freq = f;
+    }
+    t.add_row({TextTable::num(f, 0),
+               TextTable::num(r.time_s / base.time_s, 2),
+               TextTable::num(r.avg_power_w, 0),
+               TextTable::num(e_rel, 3)});
+  }
+  std::printf("%s", t.str().c_str());
+  if (best_freq < sim.spec().f_max_mhz) {
+    std::printf("  -> best energy at %.0f MHz (%.1f%% saved)\n\n", best_freq,
+                100.0 * (1.0 - best_energy));
+  } else {
+    std::printf("  -> capping saves no energy on this workload\n\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scale = argc > 1 ? std::atoi(argv[1]) : 16;
+  const std::size_t side =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 500;
+
+  const gpusim::GpuSimulator sim(gpusim::mi250x_gcd());
+  Rng rng(42);
+
+  graph::RmatParams params;
+  params.scale = scale;
+  const auto social = graph::rmat(params, rng);
+  study("social network (power-law)", social, sim);
+
+  const auto road = graph::road_grid(side, side, 0.05, rng);
+  study("road network (bounded degree)", road, sim);
+
+  std::printf(
+      "Power-law graphs keep the GPU bandwidth-bound, so a moderate clock\n"
+      "cap saves energy; bounded-degree graphs serialize into dependent\n"
+      "chains that track the clock, so capping mostly just slows them.\n");
+  return 0;
+}

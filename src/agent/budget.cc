@@ -1,0 +1,120 @@
+#include "agent/budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exaeff::agent {
+
+BudgetAllocator::BudgetAllocator(const core::CapResponseTable& table,
+                                 const gpusim::DeviceSpec& spec)
+    : table_(table), spec_(spec), response_(table, spec) {
+  settings_.push_back(spec_.f_max_mhz);
+  for (const auto& row : table_.rows(core::BenchClass::kComputeIntensive,
+                                     core::CapType::kFrequency)) {
+    if (row.setting < spec_.f_max_mhz) settings_.push_back(row.setting);
+  }
+  std::sort(settings_.rbegin(), settings_.rend());
+  EXAEFF_REQUIRE(settings_.size() >= 2,
+                 "budget allocation needs a frequency sweep in the table");
+}
+
+double BudgetAllocator::power_scale(core::Region region,
+                                    double cap_mhz) const {
+  if (cap_mhz >= spec_.f_max_mhz) return 1.0;
+  switch (region) {
+    case core::Region::kComputeIntensive:
+    case core::Region::kBoost:
+      return table_
+                 .at(core::BenchClass::kComputeIntensive,
+                     core::CapType::kFrequency, cap_mhz)
+                 .avg_power_pct /
+             100.0;
+    case core::Region::kMemoryIntensive:
+      return table_
+                 .at(core::BenchClass::kMemoryIntensive,
+                     core::CapType::kFrequency, cap_mhz)
+                 .avg_power_pct /
+             100.0;
+    case core::Region::kLatencyBound:
+      // Low-utilization channels: mostly idle power; a cap shaves the
+      // small dynamic share roughly with the clock.
+      return 0.75 + 0.25 * cap_mhz / spec_.f_max_mhz;
+  }
+  return 1.0;
+}
+
+BudgetPlan BudgetAllocator::allocate(std::span<const GcdDemand> demands,
+                                     double budget_w,
+                                     BudgetStrategy strategy) const {
+  EXAEFF_REQUIRE(budget_w > 0.0, "budget must be positive");
+  BudgetPlan plan;
+  plan.allocations.assign(demands.size(), GcdAllocation{});
+
+  // Start uncapped.
+  std::vector<std::size_t> level(demands.size(), 0);  // index into settings_
+  auto recompute = [&]() {
+    plan.total_power_w = 0.0;
+    double weighted_rt = 0.0;
+    double weight = 0.0;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      const double cap = settings_[level[i]];
+      auto& a = plan.allocations[i];
+      a.cap_mhz = cap;
+      a.power_w =
+          demands[i].uncapped_power_w * power_scale(demands[i].region, cap);
+      a.runtime_scale = response_.response(demands[i].region, cap)
+                            .runtime_scale;
+      plan.total_power_w += a.power_w;
+      weighted_rt += demands[i].uncapped_power_w * a.runtime_scale;
+      weight += demands[i].uncapped_power_w;
+    }
+    plan.throughput_cost = weight > 0.0 ? weighted_rt / weight : 1.0;
+  };
+  recompute();
+  if (plan.total_power_w <= budget_w) {
+    plan.feasible = true;
+    return plan;
+  }
+
+  if (strategy == BudgetStrategy::kUniformCeiling) {
+    // Lower one common cap level until the fleet fits (or bottom out).
+    for (std::size_t lvl = 1; lvl < settings_.size(); ++lvl) {
+      for (auto& l : level) l = lvl;
+      recompute();
+      if (plan.total_power_w <= budget_w) break;
+    }
+  } else {
+    // Region-aware greedy: repeatedly deepen the cap of the GCD whose
+    // next step frees the most power per unit of throughput lost.
+    for (;;) {
+      recompute();
+      if (plan.total_power_w <= budget_w) break;
+      double best_score = -1.0;
+      std::size_t best = demands.size();
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        if (level[i] + 1 >= settings_.size()) continue;
+        const double cap_now = settings_[level[i]];
+        const double cap_next = settings_[level[i] + 1];
+        const double dp =
+            demands[i].uncapped_power_w *
+            (power_scale(demands[i].region, cap_now) -
+             power_scale(demands[i].region, cap_next));
+        const double dt =
+            response_.response(demands[i].region, cap_next).runtime_scale -
+            response_.response(demands[i].region, cap_now).runtime_scale;
+        const double score = dp / (dt + 1e-3);  // watts per slowdown unit
+        if (dp > 0.0 && score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      if (best == demands.size()) break;  // nothing left to deepen
+      ++level[best];
+    }
+  }
+  recompute();
+  plan.feasible = plan.total_power_w <= budget_w;
+  return plan;
+}
+
+}  // namespace exaeff::agent

@@ -1,0 +1,78 @@
+// exaeff/agent/budget.h
+//
+// Facility power-budget allocation — the constrained-power-budget setting
+// the paper's introduction motivates ("optimize the power-performance
+// trade-off within constrained power budgets").  Given the instantaneous
+// demand of a set of GCDs (their uncapped power draws and regions of
+// operation) and a total power budget, distribute per-GCD frequency caps
+// and estimate the throughput cost.
+//
+// Strategies compared by the ablation bench:
+//   * uniform ceiling  — one common power ceiling lowered until the fleet
+//     fits (what a naive site-wide cap does);
+//   * region-aware     — cap memory-intensive GCDs first (their runtime
+//     barely moves), then compute-intensive ones, and latency-bound GCDs
+//     last (capping them is pure loss).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "agent/response_model.h"
+
+namespace exaeff::agent {
+
+/// One GCD's instantaneous demand.
+struct GcdDemand {
+  double uncapped_power_w = 0.0;
+  core::Region region = core::Region::kLatencyBound;
+};
+
+/// One GCD's allocation decision.
+struct GcdAllocation {
+  double cap_mhz = 1.0e9;     ///< frequency cap applied (>= f_max: none)
+  double power_w = 0.0;       ///< estimated power under the cap
+  double runtime_scale = 1.0; ///< estimated slowdown of work on this GCD
+};
+
+/// Result of one allocation round.
+struct BudgetPlan {
+  std::vector<GcdAllocation> allocations;
+  double total_power_w = 0.0;
+  bool feasible = false;          ///< total fits under the budget
+  /// Mean runtime scale across GCDs, weighted by uncapped power (a proxy
+  /// for where the work is).
+  double throughput_cost = 0.0;
+};
+
+/// Allocation strategies.
+enum class BudgetStrategy {
+  kUniformCeiling,  ///< one common cap for every GCD
+  kRegionAware,     ///< spend the budget cut where it is cheapest
+};
+
+/// Distributes frequency caps so estimated total power fits `budget_w`.
+///
+/// The per-GCD power under a cap is estimated from the characterization
+/// table (region-specific power percentage); runtime cost likewise.  The
+/// available cap settings are the table's frequency sweep.
+class BudgetAllocator {
+ public:
+  BudgetAllocator(const core::CapResponseTable& table,
+                  const gpusim::DeviceSpec& spec);
+
+  [[nodiscard]] BudgetPlan allocate(std::span<const GcdDemand> demands,
+                                    double budget_w,
+                                    BudgetStrategy strategy) const;
+
+  /// Power multiplier for a region at a cap (from the table).
+  [[nodiscard]] double power_scale(core::Region region, double cap_mhz) const;
+
+ private:
+  const core::CapResponseTable& table_;
+  gpusim::DeviceSpec spec_;
+  RegionResponseModel response_;
+  std::vector<double> settings_;  ///< descending cap sweep incl. f_max
+};
+
+}  // namespace exaeff::agent

@@ -1,0 +1,96 @@
+#include "agent/capping_agent.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace exaeff::agent {
+
+CappingAgent::CappingAgent(const AgentConfig& config,
+                           core::RegionBoundaries boundaries)
+    : config_(config), boundaries_(boundaries),
+      current_cap_(config.policy.latency_cap_mhz) {
+  EXAEFF_REQUIRE(config_.window >= 1 && config_.window <= ring_.size(),
+                 "agent window must be in [1, 16]");
+  EXAEFF_REQUIRE(config_.dwell >= 1, "agent dwell must be >= 1");
+}
+
+double CappingAgent::observe(double power_w) {
+  ring_[next_] = power_w;
+  next_ = (next_ + 1) % config_.window;
+  filled_ = std::min(filled_ + 1, config_.window);
+
+  // Classify the rolling mean (mean power is what the modal analysis
+  // bins; single windows are too noisy).
+  double mean = 0.0;
+  for (std::size_t i = 0; i < filled_; ++i) mean += ring_[i];
+  mean /= static_cast<double>(filled_);
+  const core::Region observed = boundaries_.classify(mean);
+
+  // Hysteresis: require `dwell` consecutive observations of a new region
+  // before re-actuating; avoids cap flapping at phase boundaries.
+  if (observed == believed_) {
+    candidate_streak_ = 0;
+  } else {
+    if (observed != candidate_) {
+      candidate_ = observed;
+      candidate_streak_ = 0;
+    }
+    if (++candidate_streak_ >= config_.dwell) {
+      believed_ = observed;
+      candidate_streak_ = 0;
+      const double new_cap = config_.policy.cap_for(believed_);
+      if (new_cap != current_cap_) {
+        current_cap_ = new_cap;
+        ++switches_;
+      }
+    }
+  }
+  return current_cap_;
+}
+
+namespace {
+
+/// Applies one window's response to the replay accumulators.
+void apply_window(double power_w, double window_s, double cap_mhz,
+                  const RegionResponseModel& model,
+                  const core::RegionBoundaries& b, ReplayResult& out) {
+  const core::Region region = b.classify(power_w);
+  const WindowResponse resp = model.response(region, cap_mhz);
+  const double base_e = power_w * window_s;
+  out.base_energy_j += base_e;
+  out.capped_energy_j += base_e * resp.energy_scale;
+  out.base_hours += window_s / 3600.0;
+  out.capped_hours += window_s / 3600.0 * resp.runtime_scale;
+  ++out.windows;
+}
+
+}  // namespace
+
+ReplayResult replay_static(std::span<const float> powers_w, double window_s,
+                           double cap_mhz, const RegionResponseModel& model,
+                           const core::RegionBoundaries& b) {
+  ReplayResult out;
+  for (float p : powers_w) {
+    apply_window(p, window_s, cap_mhz, model, b, out);
+  }
+  return out;
+}
+
+ReplayResult replay_agent(std::span<const float> powers_w, double window_s,
+                          const AgentConfig& config,
+                          const RegionResponseModel& model,
+                          const core::RegionBoundaries& b) {
+  ReplayResult out;
+  CappingAgent agent(config, b);
+  // Causality: the cap in force during window i was decided from windows
+  // < i, so read the cap *before* feeding the observation.
+  for (float p : powers_w) {
+    const double cap = agent.current_cap_mhz();
+    apply_window(p, window_s, cap, model, b, out);
+    (void)agent.observe(p);
+  }
+  out.cap_switches = agent.switch_count();
+  return out;
+}
+
+}  // namespace exaeff::agent

@@ -1,0 +1,114 @@
+// exaeff/agent/capping_agent.h
+//
+// Online per-GCD capping agent — the "apply the projection in practice"
+// step the paper's discussion motivates.  The agent watches the 15 s
+// telemetry stream of one GCD, classifies the current region of operation
+// from a rolling window with hysteresis, and applies a per-region
+// frequency cap: deep cap in the memory-intensive region (free savings),
+// a mild or no cap in the compute region, no cap in the latency region
+// (capping there only costs runtime).
+//
+// Because the agent acts on the *previous* windows, misclassification at
+// phase boundaries costs real energy/runtime — the ablation bench
+// quantifies how much of the static-cap upper bound an online policy
+// actually keeps.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+
+#include "agent/response_model.h"
+
+namespace exaeff::agent {
+
+/// Per-region frequency caps the agent applies (MHz); a value >= f_max
+/// means "leave uncapped".
+struct AgentPolicy {
+  double latency_cap_mhz = 1.0e9;   ///< uncapped: no savings available
+  double memory_cap_mhz = 900.0;    ///< deep: bandwidth survives
+  double compute_cap_mhz = 1.0e9;   ///< uncapped by default (costs time)
+  double boost_cap_mhz = 1.0e9;     ///< uncapped
+
+  [[nodiscard]] double cap_for(core::Region r) const {
+    switch (r) {
+      case core::Region::kLatencyBound: return latency_cap_mhz;
+      case core::Region::kMemoryIntensive: return memory_cap_mhz;
+      case core::Region::kComputeIntensive: return compute_cap_mhz;
+      case core::Region::kBoost: return boost_cap_mhz;
+    }
+    return 1.0e9;
+  }
+};
+
+/// Agent tuning.
+struct AgentConfig {
+  std::size_t window = 4;        ///< rolling windows (x15 s) per decision
+  std::size_t dwell = 2;         ///< decisions before switching caps
+  AgentPolicy policy;
+};
+
+/// State machine for one GCD channel.
+class CappingAgent {
+ public:
+  CappingAgent(const AgentConfig& config, core::RegionBoundaries boundaries);
+
+  /// Feeds one 15 s power record; returns the cap in force for the *next*
+  /// window (the agent is causal: it acts on what it has already seen).
+  double observe(double power_w);
+
+  /// The cap currently in force (MHz; >= f_max means uncapped).
+  [[nodiscard]] double current_cap_mhz() const { return current_cap_; }
+
+  /// The region the agent currently believes the channel is in.
+  [[nodiscard]] core::Region believed_region() const { return believed_; }
+
+  /// Number of cap changes so far (actuation cost metric).
+  [[nodiscard]] std::size_t switch_count() const { return switches_; }
+
+ private:
+  AgentConfig config_;
+  core::RegionBoundaries boundaries_;
+  std::array<double, 16> ring_{};
+  std::size_t filled_ = 0;
+  std::size_t next_ = 0;
+  core::Region believed_ = core::Region::kLatencyBound;
+  core::Region candidate_ = core::Region::kLatencyBound;
+  std::size_t candidate_streak_ = 0;
+  double current_cap_;
+  std::size_t switches_ = 0;
+};
+
+/// Outcome of replaying a telemetry stream under a capping strategy.
+struct ReplayResult {
+  double base_energy_j = 0.0;     ///< energy without any capping
+  double capped_energy_j = 0.0;   ///< energy with the strategy applied
+  double base_hours = 0.0;        ///< GPU-hours without capping
+  double capped_hours = 0.0;      ///< GPU-hours with the strategy
+  std::size_t windows = 0;
+  std::size_t cap_switches = 0;
+
+  [[nodiscard]] double savings_pct() const {
+    return base_energy_j > 0.0
+               ? 100.0 * (base_energy_j - capped_energy_j) / base_energy_j
+               : 0.0;
+  }
+  [[nodiscard]] double slowdown_pct() const {
+    return base_hours > 0.0
+               ? 100.0 * (capped_hours - base_hours) / base_hours
+               : 0.0;
+  }
+};
+
+/// Replays one channel's power series under a *static* cap.
+[[nodiscard]] ReplayResult replay_static(
+    std::span<const float> powers_w, double window_s, double cap_mhz,
+    const RegionResponseModel& model, const core::RegionBoundaries& b);
+
+/// Replays one channel's power series under the online agent.
+[[nodiscard]] ReplayResult replay_agent(
+    std::span<const float> powers_w, double window_s,
+    const AgentConfig& config, const RegionResponseModel& model,
+    const core::RegionBoundaries& b);
+
+}  // namespace exaeff::agent

@@ -1,0 +1,91 @@
+#include "agent/fingerprint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "agent/response_model.h"
+
+namespace exaeff::agent {
+
+double JobFingerprint::power_stddev() const {
+  if (samples < 2) return 0.0;
+  return std::sqrt(m2_power / static_cast<double>(samples));
+}
+
+core::Region JobFingerprint::dominant_region() const {
+  std::size_t best = 0;
+  for (std::size_t r = 1; r < core::kRegionCount; ++r) {
+    if (region_energy_j[r] > region_energy_j[best]) best = r;
+  }
+  return static_cast<core::Region>(best);
+}
+
+void JobFingerprintAccumulator::on_job_sample(
+    const telemetry::GcdSample& sample, const sched::Job& job) {
+  JobFingerprint& fp = fingerprints_[job.job_id];
+  if (fp.samples == 0) {
+    fp.job_id = job.job_id;
+    fp.domain = job.domain;
+    fp.bin = job.bin;
+  }
+  const double p = sample.power_w;
+  const double e = p * window_s_;
+  fp.region_energy_j[static_cast<std::size_t>(boundaries_.classify(p))] += e;
+  fp.energy_j += e;
+  fp.gpu_hours += window_s_ / 3600.0;
+  // Welford mean/variance of the power samples.
+  ++fp.samples;
+  const double delta = p - fp.mean_power_w;
+  fp.mean_power_w += delta / static_cast<double>(fp.samples);
+  fp.m2_power += delta * (p - fp.mean_power_w);
+}
+
+std::vector<JobSensitivity> predict_sensitivities(
+    const JobFingerprintAccumulator& acc,
+    const core::CapResponseTable& table, const gpusim::DeviceSpec& spec,
+    double cap_mhz) {
+  const RegionResponseModel model(table, spec);
+  std::vector<JobSensitivity> out;
+  out.reserve(acc.fingerprints().size());
+  for (const auto& [id, fp] : acc.fingerprints()) {
+    JobSensitivity s;
+    s.job_id = id;
+    s.energy_j = fp.energy_j;
+    double runtime = 0.0;
+    for (std::size_t r = 0; r < core::kRegionCount; ++r) {
+      const double e = fp.region_energy_j[r];
+      if (e <= 0.0) continue;
+      const auto resp =
+          model.response(static_cast<core::Region>(r), cap_mhz);
+      s.saved_j += e * (1.0 - resp.energy_scale);
+      // The job's wall time is the sum of its phases' times; weight each
+      // region's slowdown by its share of the job's energy (a proxy for
+      // its share of time at this granularity).
+      runtime += (e / fp.energy_j) * resp.runtime_scale;
+    }
+    s.runtime_scale = runtime > 0.0 ? runtime : 1.0;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const JobSensitivity& a, const JobSensitivity& b) {
+              return a.saved_j > b.saved_j;
+            });
+  return out;
+}
+
+FingerprintProjection aggregate_sensitivities(
+    const std::vector<JobSensitivity>& sensitivities) {
+  FingerprintProjection agg;
+  double weighted_rt = 0.0;
+  for (const auto& s : sensitivities) {
+    agg.total_energy_j += s.energy_j;
+    agg.total_saved_j += s.saved_j;
+    weighted_rt += s.energy_j * s.runtime_scale;
+    ++agg.jobs;
+  }
+  agg.mean_runtime_scale =
+      agg.total_energy_j > 0.0 ? weighted_rt / agg.total_energy_j : 1.0;
+  return agg;
+}
+
+}  // namespace exaeff::agent

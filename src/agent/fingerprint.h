@@ -1,0 +1,104 @@
+// exaeff/agent/fingerprint.h
+//
+// Per-job application fingerprinting — the refinement the paper's
+// discussion calls out: "The telemetry data can be augmented to include
+// more precise application fingerprinting, with more precise sensitivity
+// prediction regarding power management."
+//
+// Instead of pooling all samples into four global regions, a
+// JobFingerprintAccumulator keeps each job's own region-resolved energy
+// (its *fingerprint*).  The sensitivity predictor then projects each job
+// individually — a job that is 95 % memory-bound gets the full MB
+// response, a mixed job a weighted one — and jobs can be ranked by
+// expected savings, which is what an operator would actually act on.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/modal.h"
+#include "sched/fleetgen.h"
+
+namespace exaeff::agent {
+
+/// One job's power fingerprint: region-resolved energy plus moments.
+struct JobFingerprint {
+  std::uint64_t job_id = 0;
+  sched::ScienceDomain domain = sched::ScienceDomain::kChemistry;
+  sched::SizeBin bin = sched::SizeBin::kE;
+  std::array<double, core::kRegionCount> region_energy_j{};
+  double energy_j = 0.0;
+  double gpu_hours = 0.0;
+  double mean_power_w = 0.0;
+  double m2_power = 0.0;  ///< running sum of squared deviations
+  std::size_t samples = 0;
+
+  [[nodiscard]] double region_fraction(core::Region r) const {
+    return energy_j > 0.0
+               ? region_energy_j[static_cast<std::size_t>(r)] / energy_j
+               : 0.0;
+  }
+  [[nodiscard]] double power_stddev() const;
+  /// The region carrying the most energy.
+  [[nodiscard]] core::Region dominant_region() const;
+};
+
+/// Streaming sink that builds per-job fingerprints.
+class JobFingerprintAccumulator final : public sched::JobSampleSink {
+ public:
+  JobFingerprintAccumulator(double window_s,
+                            core::RegionBoundaries boundaries)
+      : window_s_(window_s), boundaries_(boundaries) {}
+
+  void on_job_sample(const telemetry::GcdSample& sample,
+                     const sched::Job& job) override;
+
+  [[nodiscard]] const std::unordered_map<std::uint64_t, JobFingerprint>&
+  fingerprints() const {
+    return fingerprints_;
+  }
+  [[nodiscard]] std::size_t job_count() const { return fingerprints_.size(); }
+
+ private:
+  double window_s_;
+  core::RegionBoundaries boundaries_;
+  std::unordered_map<std::uint64_t, JobFingerprint> fingerprints_;
+};
+
+/// Per-job projection for one cap setting.
+struct JobSensitivity {
+  std::uint64_t job_id = 0;
+  double energy_j = 0.0;
+  double saved_j = 0.0;        ///< projected energy saved
+  double runtime_scale = 1.0;  ///< projected slowdown of the whole job
+  [[nodiscard]] double savings_pct() const {
+    return energy_j > 0.0 ? 100.0 * saved_j / energy_j : 0.0;
+  }
+};
+
+/// Projects each job through its own fingerprint (energy-weighted mix of
+/// region responses).  Jobs are returned sorted by absolute savings.
+[[nodiscard]] std::vector<JobSensitivity> predict_sensitivities(
+    const JobFingerprintAccumulator& acc,
+    const core::CapResponseTable& table, const gpusim::DeviceSpec& spec,
+    double cap_mhz);
+
+/// Aggregate of the per-job projection — comparable to the region-level
+/// ProjectionEngine output, but computed job-by-job.
+struct FingerprintProjection {
+  double total_energy_j = 0.0;
+  double total_saved_j = 0.0;
+  double mean_runtime_scale = 1.0;  ///< energy-weighted
+  std::size_t jobs = 0;
+  [[nodiscard]] double savings_pct() const {
+    return total_energy_j > 0.0 ? 100.0 * total_saved_j / total_energy_j
+                                : 0.0;
+  }
+};
+
+[[nodiscard]] FingerprintProjection aggregate_sensitivities(
+    const std::vector<JobSensitivity>& sensitivities);
+
+}  // namespace exaeff::agent

@@ -1,0 +1,41 @@
+#include "agent/power_steering.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace exaeff::agent {
+
+PowerSteering::PowerSteering(const SteeringConfig& config,
+                             const gpusim::DeviceSpec& spec)
+    : config_(config), f_max_(spec.f_max_mhz), cap_mhz_(spec.f_max_mhz) {
+  EXAEFF_REQUIRE(config_.target_w > 0.0, "steering target must be positive");
+  EXAEFF_REQUIRE(config_.gain_mhz_per_w > 0.0,
+                 "steering gain must be positive");
+  EXAEFF_REQUIRE(config_.deadband_w >= 0.0,
+                 "steering deadband must be non-negative");
+  if (config_.min_cap_mhz <= 0.0) {
+    config_.min_cap_mhz = std::max(spec.cap_f_floor_mhz, spec.f_min_mhz);
+  }
+  if (config_.max_cap_mhz <= 0.0) config_.max_cap_mhz = spec.f_max_mhz;
+  EXAEFF_REQUIRE(config_.min_cap_mhz < config_.max_cap_mhz,
+                 "steering cap range must be non-empty");
+}
+
+double PowerSteering::update(double measured_w) {
+  EXAEFF_REQUIRE(measured_w >= 0.0, "measured power must be non-negative");
+  ++updates_;
+  const double error = measured_w - config_.target_w;  // >0: over budget
+  if (std::abs(error) <= config_.deadband_w) {
+    ++in_band_streak_;
+    return cap_mhz_;
+  }
+  in_band_streak_ = 0;
+  // Integral step on the cap, clamped to the supported range.  Over
+  // budget lowers the cap; under budget (with headroom) raises it.
+  cap_mhz_ = std::clamp(cap_mhz_ - config_.gain_mhz_per_w * error,
+                        config_.min_cap_mhz, config_.max_cap_mhz);
+  return cap_mhz_;
+}
+
+}  // namespace exaeff::agent

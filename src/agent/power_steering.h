@@ -1,0 +1,51 @@
+// exaeff/agent/power_steering.h
+//
+// Node power steering: hold a node at a power *target* by continuously
+// adjusting a common frequency cap across its GCDs — the control loop a
+// facility runs during demand-response events or when the budget
+// allocator hands each node a share of the machine budget.
+//
+// The controller is a clamped integral controller on the cap with a
+// deadband: simple, stable for the monotone plant (power is
+// non-decreasing in the cap), and free of steady-state error.
+#pragma once
+
+#include "gpusim/device_spec.h"
+
+namespace exaeff::agent {
+
+/// Controller tuning.
+struct SteeringConfig {
+  double target_w = 0.0;      ///< node (or GCD-sum) power target
+  double gain_mhz_per_w = 1.2;///< integral gain
+  double deadband_w = 15.0;   ///< no actuation within target +- deadband
+  double min_cap_mhz = 0.0;   ///< defaults to the device DPM floor
+  double max_cap_mhz = 0.0;   ///< defaults to the device f_max
+};
+
+/// One steering loop instance.
+class PowerSteering {
+ public:
+  PowerSteering(const SteeringConfig& config,
+                const gpusim::DeviceSpec& spec);
+
+  /// Feeds one power measurement; returns the frequency cap to apply
+  /// until the next measurement (>= f_max means uncapped).
+  double update(double measured_w);
+
+  [[nodiscard]] double current_cap_mhz() const { return cap_mhz_; }
+  /// True when the last `n` updates stayed inside the deadband.
+  [[nodiscard]] bool settled(std::size_t n = 3) const {
+    return in_band_streak_ >= n;
+  }
+  [[nodiscard]] std::size_t update_count() const { return updates_; }
+
+ private:
+  SteeringConfig config_;
+  double f_max_;
+  double cap_mhz_;
+  std::size_t in_band_streak_ = 0;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace exaeff::agent

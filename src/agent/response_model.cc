@@ -1,0 +1,41 @@
+#include "agent/response_model.h"
+
+#include <cmath>
+
+namespace exaeff::agent {
+
+WindowResponse RegionResponseModel::response(core::Region region,
+                                             double f_mhz) const {
+  WindowResponse r;
+  if (f_mhz >= spec_.f_max_mhz) return r;
+
+  switch (region) {
+    case core::Region::kComputeIntensive:
+    case core::Region::kBoost: {
+      const auto& row = table_.at(core::BenchClass::kComputeIntensive,
+                                  core::CapType::kFrequency, f_mhz);
+      r.energy_scale = row.energy_pct / 100.0;
+      r.runtime_scale = row.runtime_pct / 100.0;
+      return r;
+    }
+    case core::Region::kMemoryIntensive: {
+      const auto& row = table_.at(core::BenchClass::kMemoryIntensive,
+                                  core::CapType::kFrequency, f_mhz);
+      r.energy_scale = row.energy_pct / 100.0;
+      r.runtime_scale = row.runtime_pct / 100.0;
+      return r;
+    }
+    case core::Region::kLatencyBound: {
+      // §V-B: capping the latency region "proportionally raised the
+      // runtime with a decrease in power. Thus, no benefits in the
+      // energy-to-solution, but the time-to-solution was significantly
+      // increased."
+      r.runtime_scale = spec_.f_max_mhz / f_mhz;
+      r.energy_scale = 1.0;
+      return r;
+    }
+  }
+  return r;
+}
+
+}  // namespace exaeff::agent

@@ -1,0 +1,47 @@
+// exaeff/agent/response_model.h
+//
+// Region-response semantics shared by the capping agent, the budget
+// allocator and the ablation benches: how a telemetry window responds
+// (energy, runtime) to a frequency cap, given the region of operation it
+// was in.  This is the paper's projection arithmetic packaged per-window:
+//
+//   compute-intensive  -> VAI response (Table III)
+//   memory-intensive   -> MB response  (Table III)
+//   latency/IO-bound   -> no energy benefit, runtime rises with the
+//                         clock ratio (the paper's §V-B observation)
+//   boost              -> treated as compute-intensive
+#pragma once
+
+#include "core/characterization.h"
+#include "core/modal.h"
+
+namespace exaeff::agent {
+
+/// Energy/runtime multipliers (1.0 = unchanged) for one window.
+struct WindowResponse {
+  double energy_scale = 1.0;
+  double runtime_scale = 1.0;
+};
+
+/// Maps (region, frequency cap) to the window's response.
+class RegionResponseModel {
+ public:
+  /// `table` must contain the frequency sweep and outlive the model.
+  /// `spec` provides f_max for the latency-region clock ratio.
+  RegionResponseModel(const core::CapResponseTable& table,
+                      const gpusim::DeviceSpec& spec)
+      : table_(table), spec_(spec) {}
+
+  /// Response of a window in `region` to a frequency cap of `f_mhz`.
+  /// f_mhz >= f_max means uncapped (identity response).
+  [[nodiscard]] WindowResponse response(core::Region region,
+                                        double f_mhz) const;
+
+  [[nodiscard]] const gpusim::DeviceSpec& spec() const { return spec_; }
+
+ private:
+  const core::CapResponseTable& table_;
+  gpusim::DeviceSpec spec_;
+};
+
+}  // namespace exaeff::agent

@@ -1,0 +1,77 @@
+// exaeff/cluster/node.h
+//
+// Compute-node model: a Frontier node couples one 64-core CPU with four
+// MI250X packages (eight GCDs).  The telemetry pipeline consumes per-GCD
+// power plus CPU power per node, so the node model provides the CPU power
+// model and the node-level aggregation — enough to reproduce Fig 2(b)'s
+// GPU-vs-CPU energy comparison and the node power input channel.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+#include "gpusim/device_spec.h"
+
+namespace exaeff::cluster {
+
+/// CPU socket power model (Frontier: AMD "optimized 3rd gen EPYC").
+/// The CPU on a GPU-dominated node mostly orchestrates; its utilization
+/// tracks GPU activity loosely.  Power is affine in utilization.
+struct CpuSpec {
+  double idle_power_w = 95.0;
+  double max_power_w = 280.0;
+  double ddr4_bytes = 512.0 * 1024.0 * 1024.0 * 1024.0;  ///< 512 GB DDR4
+
+  [[nodiscard]] double power(double utilization) const {
+    EXAEFF_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+                   "CPU utilization must be in [0, 1]");
+    return idle_power_w + (max_power_w - idle_power_w) * utilization;
+  }
+};
+
+/// Static description of one compute node.
+struct NodeSpec {
+  std::size_t gpus_per_node = 4;   ///< MI250X packages
+  std::size_t gcds_per_gpu = 2;    ///< user-visible GPUs per package
+  gpusim::DeviceSpec gcd = gpusim::mi250x_gcd();
+  CpuSpec cpu;
+
+  /// Power of everything that is neither CPU nor GPU (NIC, fans at the
+  /// rack, board).  Constant; dwarfed by GPU power on a busy node.
+  double other_power_w = 120.0;
+
+  [[nodiscard]] std::size_t gcds_per_node() const {
+    return gpus_per_node * gcds_per_gpu;
+  }
+
+  /// Total HBM capacity of the node, bytes.
+  [[nodiscard]] double hbm_bytes() const {
+    return static_cast<double>(gcds_per_node()) * gcd.hbm_bytes;
+  }
+
+  /// Node power given per-GCD powers and CPU utilization.
+  [[nodiscard]] double node_power(const std::vector<double>& gcd_power_w,
+                                  double cpu_utilization) const {
+    EXAEFF_REQUIRE(gcd_power_w.size() == gcds_per_node(),
+                   "per-GCD power vector must match node GCD count");
+    double total = cpu.power(cpu_utilization) + other_power_w;
+    for (double p : gcd_power_w) total += p;
+    return total;
+  }
+
+  /// Idle node power (all GCDs and CPU idle).
+  [[nodiscard]] double idle_power() const {
+    return cpu.power(0.0) + other_power_w +
+           static_cast<double>(gcds_per_node()) * gcd.idle_power_w;
+  }
+
+  void validate() const {
+    if (gpus_per_node == 0 || gcds_per_gpu == 0) {
+      throw ConfigError("NodeSpec: node needs at least one GCD");
+    }
+    gcd.validate();
+  }
+};
+
+}  // namespace exaeff::cluster

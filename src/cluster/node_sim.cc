@@ -1,0 +1,115 @@
+#include "cluster/node_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/aggregator.h"
+
+namespace exaeff::cluster {
+
+NodeRunResult simulate_node_job(const NodeSpec& node,
+                                const std::vector<gpusim::KernelDesc>& phases,
+                                const gpusim::PowerPolicy& policy,
+                                const NodeRunOptions& options, Rng& rng,
+                                telemetry::TelemetrySink& sink) {
+  node.validate();
+  EXAEFF_REQUIRE(!phases.empty(), "node job needs at least one phase");
+  EXAEFF_REQUIRE(options.sensor_period_s > 0.0 &&
+                     options.aggregate_window_s >= options.sensor_period_s,
+                 "aggregation window must cover the sensor period");
+
+  const gpusim::GpuSimulator sim(node.gcd);
+  const std::size_t gcds = node.gcds_per_node();
+
+  /// Counts records flowing out of the aggregator.
+  struct CountingSink final : telemetry::TelemetrySink {
+    telemetry::TelemetrySink& inner;
+    std::size_t gcd_records = 0;
+    std::size_t node_records = 0;
+    explicit CountingSink(telemetry::TelemetrySink& s) : inner(s) {}
+    void on_gcd_sample(const telemetry::GcdSample& s) override {
+      ++gcd_records;
+      inner.on_gcd_sample(s);
+    }
+    void on_node_sample(const telemetry::NodeSample& s) override {
+      ++node_records;
+      inner.on_node_sample(s);
+    }
+  } counter(sink);
+  telemetry::Aggregator aggregator(counter, options.aggregate_window_s);
+
+  // Run every GCD's trace (same phase schedule, per-GCD jitter + noise).
+  NodeRunResult result;
+  std::vector<std::vector<gpusim::TracePoint>> traces(gcds);
+  std::vector<double> offsets(gcds);
+  for (std::size_t g = 0; g < gcds; ++g) {
+    Rng gcd_rng = rng.split(g + 1);
+    offsets[g] = rng.uniform(0.0, options.gcd_jitter_s);
+    const auto seq = gpusim::run_sequence_traced(sim, phases, policy,
+                                                 gcd_rng, traces[g],
+                                                 options.trace);
+    result.wall_time_s = std::max(result.wall_time_s,
+                                  offsets[g] + seq.time_s);
+    result.gpu_energy_j += seq.energy_j;
+  }
+
+  // Walk the common 2 s sensor clock across all channels.
+  auto trace_at = [](const std::vector<gpusim::TracePoint>& tr,
+                     double t) {
+    if (tr.empty()) return 0.0;
+    if (t <= tr.front().t_s) return tr.front().power_w;
+    if (t >= tr.back().t_s) return tr.back().power_w;
+    const auto it = std::lower_bound(
+        tr.begin(), tr.end(), t,
+        [](const gpusim::TracePoint& p, double tt) { return p.t_s < tt; });
+    const auto hi = it;
+    const auto lo = it - 1;
+    const double span = hi->t_s - lo->t_s;
+    if (span <= 0.0) return hi->power_w;
+    return lo->power_w +
+           (t - lo->t_s) / span * (hi->power_w - lo->power_w);
+  };
+
+  const double idle = node.gcd.idle_power_w;
+  const double tdp = node.gcd.tdp_w;
+  for (double t = 0.0; t < result.wall_time_s;
+       t += options.sensor_period_s) {
+    double gcd_sum = 0.0;
+    for (std::size_t g = 0; g < gcds; ++g) {
+      // The GCD finished? Sensor reads idle.
+      const double local_t = t - offsets[g];
+      const bool active =
+          local_t >= 0.0 && local_t <= traces[g].back().t_s;
+      const double p = active ? trace_at(traces[g], local_t)
+                              : idle + rng.normal(0.0, 1.5);
+      telemetry::GcdSample s;
+      s.t_s = t;
+      s.node_id = options.node_id;
+      s.gcd_index = static_cast<std::uint16_t>(g);
+      s.power_w = static_cast<float>(std::max(0.0, p));
+      aggregator.on_gcd_sample(s);
+      gcd_sum += s.power_w;
+      ++result.raw_samples;
+    }
+    // CPU orchestration tracks mean GPU load.
+    const double rel = std::clamp(
+        (gcd_sum / static_cast<double>(gcds) - idle) / (tdp - idle), 0.0,
+        1.0);
+    const double cpu_util =
+        std::clamp(0.15 + 0.55 * rel + rng.normal(0.0, 0.04), 0.0, 1.0);
+    telemetry::NodeSample ns;
+    ns.t_s = t;
+    ns.node_id = options.node_id;
+    ns.cpu_power_w = static_cast<float>(node.cpu.power(cpu_util));
+    ns.node_input_w = static_cast<float>(ns.cpu_power_w +
+                                         node.other_power_w + gcd_sum);
+    aggregator.on_node_sample(ns);
+    result.cpu_energy_j += ns.cpu_power_w * options.sensor_period_s;
+    ++result.raw_samples;
+  }
+  aggregator.flush();
+  result.aggregated_samples = counter.gcd_records + counter.node_records;
+  return result;
+}
+
+}  // namespace exaeff::cluster

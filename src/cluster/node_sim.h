@@ -1,0 +1,51 @@
+// exaeff/cluster/node_sim.h
+//
+// Node-level telemetry simulation through the *full* sensor path: each
+// of the node's GCDs runs its phase sequence on the GPU simulator, the
+// 2-second out-of-band sensors sample every channel (GCD power, CPU
+// power, node input), and the pre-processing aggregator folds the raw
+// stream to 15-second records — exactly the pipeline of the paper's
+// §III-A, end to end.  The fleet generator synthesizes the aggregated
+// records directly for speed; this module is the ground-truth path the
+// fast path is validated against.
+#pragma once
+
+#include <vector>
+
+#include "cluster/node.h"
+#include "common/rng.h"
+#include "gpusim/phase_run.h"
+#include "telemetry/sample.h"
+
+namespace exaeff::cluster {
+
+/// Options for a node run.
+struct NodeRunOptions {
+  double sensor_period_s = 2.0;     ///< raw out-of-band sampling period
+  double aggregate_window_s = 15.0; ///< pre-processing window
+  std::uint32_t node_id = 0;
+  /// Per-GCD start jitter (ranks never align perfectly), seconds.
+  double gcd_jitter_s = 1.0;
+  gpusim::TraceOptions trace;       ///< noise/ramp/boost tuning
+};
+
+/// Outcome of simulating one job interval on one node.
+struct NodeRunResult {
+  double wall_time_s = 0.0;       ///< longest GCD's wall time
+  double gpu_energy_j = 0.0;      ///< sum over GCDs (trace-integrated)
+  double cpu_energy_j = 0.0;
+  std::size_t raw_samples = 0;    ///< 2 s records produced
+  std::size_t aggregated_samples = 0;  ///< 15 s records delivered
+};
+
+/// Runs `phases` (the same bulk-synchronous schedule on every GCD) under
+/// `policy`, pushing the aggregated records into `sink`.
+///
+/// CPU power is modeled as tracking mean GPU load (orchestration); the
+/// node-input channel sums CPU, GCDs and the constant "other" draw.
+NodeRunResult simulate_node_job(
+    const NodeSpec& node, const std::vector<gpusim::KernelDesc>& phases,
+    const gpusim::PowerPolicy& policy, const NodeRunOptions& options,
+    Rng& rng, telemetry::TelemetrySink& sink);
+
+}  // namespace exaeff::cluster

@@ -1,0 +1,19 @@
+#include "cluster/system_config.h"
+
+namespace exaeff::cluster {
+
+SystemConfig frontier() {
+  SystemConfig cfg;  // defaults are the Table I numbers
+  cfg.validate();
+  return cfg;
+}
+
+SystemConfig frontier_scaled(std::size_t nodes) {
+  SystemConfig cfg = frontier();
+  cfg.name = "Frontier (scaled fleet)";
+  cfg.compute_nodes = nodes;
+  cfg.validate();
+  return cfg;
+}
+
+}  // namespace exaeff::cluster

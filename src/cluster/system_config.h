@@ -1,0 +1,54 @@
+// exaeff/cluster/system_config.h
+//
+// System-level configuration (the paper's Table I).  The preset carries
+// Frontier's published numbers; a scaled-down variant with identical
+// per-node behaviour is provided for tractable fleet simulation — the
+// projection arithmetic is linear in GPU-hours, so a scaled fleet with
+// the same workload mix reproduces all percentages.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "cluster/node.h"
+
+namespace exaeff::cluster {
+
+/// Whole-system description.
+struct SystemConfig {
+  std::string name = "Frontier";
+  std::size_t compute_nodes = 9408;
+  double peak_performance_eflops = 1.9;  ///< double-precision peak, EF
+  double peak_power_mw = 29.0;           ///< facility peak power, MW
+  NodeSpec node;
+
+  [[nodiscard]] std::size_t total_gcds() const {
+    return compute_nodes * node.gcds_per_node();
+  }
+
+  /// Total GPU (HBM) memory, bytes.
+  [[nodiscard]] double total_hbm_bytes() const {
+    return static_cast<double>(compute_nodes) * node.hbm_bytes();
+  }
+
+  /// Total CPU (DDR4) memory, bytes.
+  [[nodiscard]] double total_ddr4_bytes() const {
+    return static_cast<double>(compute_nodes) * node.cpu.ddr4_bytes;
+  }
+
+  void validate() const {
+    if (compute_nodes == 0) {
+      throw ConfigError("SystemConfig: need at least one node");
+    }
+    node.validate();
+  }
+};
+
+/// The full 9408-node Frontier preset (Table I).
+[[nodiscard]] SystemConfig frontier();
+
+/// A fleet scaled to `nodes` nodes with identical per-node behaviour, for
+/// tractable campaign simulation.
+[[nodiscard]] SystemConfig frontier_scaled(std::size_t nodes);
+
+}  // namespace exaeff::cluster

@@ -1,0 +1,182 @@
+#include "common/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace exaeff {
+
+namespace {
+constexpr const char kGlyphs[] = "*o+x#@%&$~";
+constexpr const char kRamp[] = " .:-=+*#%@";
+
+double transform(double v, bool log_scale) {
+  if (!log_scale) return v;
+  return std::log10(std::max(v, 1e-300));
+}
+}  // namespace
+
+LinePlot::LinePlot(std::string title, std::size_t width, std::size_t height)
+    : title_(std::move(title)), width_(width), height_(height) {
+  EXAEFF_REQUIRE(width_ >= 8 && height_ >= 4, "plot raster too small");
+}
+
+void LinePlot::add_series(std::string name, std::span<const double> x,
+                          std::span<const double> y) {
+  EXAEFF_REQUIRE(x.size() == y.size() && !x.empty(),
+                 "series needs matching non-empty x/y");
+  series_.push_back(Series{std::move(name),
+                           std::vector<double>(x.begin(), x.end()),
+                           std::vector<double>(y.begin(), y.end())});
+}
+
+void LinePlot::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+std::string LinePlot::str() const {
+  std::ostringstream os;
+  if (series_.empty()) {
+    os << title_ << " (no data)\n";
+    return os.str();
+  }
+
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform(s.x[i], log_x_);
+      const double ty = transform(s.y[i], log_y_);
+      x_min = std::min(x_min, tx);
+      x_max = std::max(x_max, tx);
+      y_min = std::min(y_min, ty);
+      y_max = std::max(y_max, ty);
+    }
+  }
+  if (x_max <= x_min) x_max = x_min + 1.0;
+  if (y_max <= y_min) y_max = y_min + 1.0;
+
+  std::vector<std::string> raster(height_, std::string(width_, ' '));
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const auto& s = series_[si];
+    // Draw line segments between consecutive points with dense sampling.
+    for (std::size_t i = 0; i + 1 <= s.x.size(); ++i) {
+      const std::size_t j = std::min(i + 1, s.x.size() - 1);
+      const double x0 = transform(s.x[i], log_x_);
+      const double y0 = transform(s.y[i], log_y_);
+      const double x1 = transform(s.x[j], log_x_);
+      const double y1 = transform(s.y[j], log_y_);
+      const int steps = static_cast<int>(width_);
+      for (int t = 0; t <= steps; ++t) {
+        const double a = static_cast<double>(t) / steps;
+        const double xt = x0 + a * (x1 - x0);
+        const double yt = y0 + a * (y1 - y0);
+        const auto cx = static_cast<long>(
+            std::lround((xt - x_min) / (x_max - x_min) * (width_ - 1)));
+        const auto cy = static_cast<long>(
+            std::lround((yt - y_min) / (y_max - y_min) * (height_ - 1)));
+        if (cx >= 0 && cx < static_cast<long>(width_) && cy >= 0 &&
+            cy < static_cast<long>(height_)) {
+          raster[height_ - 1 - static_cast<std::size_t>(cy)]
+                [static_cast<std::size_t>(cx)] = glyph;
+        }
+      }
+    }
+  }
+
+  auto fmt = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3g", v);
+    return std::string(buf);
+  };
+  auto inv = [](double v, bool log_scale) {
+    return log_scale ? std::pow(10.0, v) : v;
+  };
+
+  os << title_ << '\n';
+  if (!y_label_.empty()) os << "  y: " << y_label_ << '\n';
+  const std::string top = fmt(inv(y_max, log_y_));
+  const std::string bot = fmt(inv(y_min, log_y_));
+  const std::size_t margin = std::max(top.size(), bot.size());
+  for (std::size_t r = 0; r < height_; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = top + std::string(margin - top.size(), ' ');
+    if (r == height_ - 1) label = bot + std::string(margin - bot.size(), ' ');
+    os << label << " |" << raster[r] << '\n';
+  }
+  os << std::string(margin + 1, ' ') << '+' << std::string(width_, '-')
+     << '\n';
+  os << std::string(margin + 2, ' ') << fmt(inv(x_min, log_x_))
+     << std::string(width_ > 16 ? width_ - 12 : 2, ' ')
+     << fmt(inv(x_max, log_x_));
+  if (!x_label_.empty()) os << "  (x: " << x_label_ << ')';
+  os << '\n';
+  os << "  legend:";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    os << "  [" << kGlyphs[si % (sizeof(kGlyphs) - 1)] << "] "
+       << series_[si].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string heatmap(const std::string& title,
+                    std::span<const std::string> row_labels,
+                    std::span<const std::string> col_labels,
+                    std::span<const double> cell_values,
+                    int value_precision) {
+  const std::size_t rows = row_labels.size();
+  const std::size_t cols = col_labels.size();
+  EXAEFF_REQUIRE(cell_values.size() == rows * cols,
+                 "heatmap needs rows*cols values");
+
+  double vmax = 0.0;
+  for (double v : cell_values) vmax = std::max(vmax, v);
+
+  std::size_t label_w = 0;
+  for (const auto& r : row_labels) label_w = std::max(label_w, r.size());
+
+  auto cell_str = [&](double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", value_precision, v);
+    return std::string(buf);
+  };
+  std::size_t cell_w = 5;
+  for (double v : cell_values) cell_w = std::max(cell_w, cell_str(v).size());
+  for (const auto& c : col_labels) cell_w = std::max(cell_w, c.size());
+  cell_w += 2;  // shade glyph + space
+
+  std::ostringstream os;
+  os << title << '\n';
+  os << std::string(label_w + 1, ' ');
+  for (const auto& c : col_labels) {
+    os << ' ' << c << std::string(cell_w - c.size(), ' ');
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << row_labels[r] << std::string(label_w - row_labels[r].size() + 1, ' ');
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = cell_values[r * cols + c];
+      const int shade_idx =
+          vmax > 0.0
+              ? std::min(9, static_cast<int>(std::floor(v / vmax * 9.999)))
+              : 0;
+      const std::string s = cell_str(v);
+      os << ' ' << kRamp[shade_idx] << s
+         << std::string(cell_w - 1 - s.size(), ' ');
+    }
+    os << '\n';
+  }
+  os << "  shading: ' ' = 0 ... '@' = " << cell_str(vmax) << " (row-major max)\n";
+  return os.str();
+}
+
+}  // namespace exaeff

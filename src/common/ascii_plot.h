@@ -1,0 +1,65 @@
+// exaeff/common/ascii_plot.h
+//
+// Terminal rendering for the paper's figures.  Each figure bench prints
+// (a) machine-readable series (CSV-style columns, for external plotting)
+// and (b) an ASCII rendering so the shape is visible directly in the
+// bench output.  Two renderers cover every figure in the paper:
+//
+//   * LinePlot — multi-series x/y chart (rooflines, sweeps, distributions)
+//   * heatmap  — shaded matrix (Fig 10's domain x job-size heatmaps)
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace exaeff {
+
+/// Multi-series ASCII line chart.  Series are plotted with distinct glyphs
+/// onto a character raster; axes are annotated with min/max values.
+class LinePlot {
+ public:
+  /// width/height are the raster size in characters (excluding axes).
+  LinePlot(std::string title, std::size_t width = 72, std::size_t height = 18);
+
+  /// Adds a named series. x and y must have equal, non-zero length.
+  void add_series(std::string name, std::span<const double> x,
+                  std::span<const double> y);
+
+  /// Use log10 scale on the x axis (roofline plots).
+  void set_log_x(bool v) { log_x_ = v; }
+  /// Use log10 scale on the y axis.
+  void set_log_y(bool v) { log_y_ = v; }
+  /// Axis labels.
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Renders raster, axes, and legend.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+  };
+
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::size_t width_;
+  std::size_t height_;
+  bool log_x_ = false;
+  bool log_y_ = false;
+  std::vector<Series> series_;
+};
+
+/// Renders a matrix as a shaded ASCII heatmap with row/column labels.
+/// Values are normalized to the matrix maximum; shading uses a 10-step
+/// character ramp.  `cell_values` is row-major [rows x cols].
+[[nodiscard]] std::string heatmap(const std::string& title,
+                                  std::span<const std::string> row_labels,
+                                  std::span<const std::string> col_labels,
+                                  std::span<const double> cell_values,
+                                  int value_precision = 1);
+
+}  // namespace exaeff

@@ -1,0 +1,99 @@
+#include "common/csv.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace exaeff {
+
+namespace {
+bool needs_quoting(std::string_view cell) {
+  return cell.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void append_quoted(std::string& out, std::string_view cell) {
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string format_csv_line(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out += ',';
+    if (needs_quoting(cells[i])) {
+      append_quoted(out, cells[i]);
+    } else {
+      out += cells[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) throw ParseError("quote inside unquoted CSV cell");
+        in_quotes = true;
+      } else if (c == ',') {
+        cells.push_back(std::move(cur));
+        cur.clear();
+      } else if (c == '\r') {
+        // tolerate CRLF
+      } else {
+        cur += c;
+      }
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quote in CSV line");
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  os_ << format_csv_line(cells) << '\n';
+}
+
+bool CsvReader::read_row(std::vector<std::string>& cells) {
+  std::string line;
+  if (!std::getline(is_, line)) return false;
+  // Re-join lines while inside a quoted cell (embedded newline support).
+  auto count_quotes = [](const std::string& s) {
+    std::size_t n = 0;
+    for (char c : s) n += (c == '"');
+    return n;
+  };
+  while (count_quotes(line) % 2 == 1) {
+    std::string next;
+    if (!std::getline(is_, next)) {
+      throw ParseError("unterminated quoted cell at end of CSV input");
+    }
+    line += '\n';
+    line += next;
+  }
+  cells = parse_csv_line(line);
+  return true;
+}
+
+}  // namespace exaeff

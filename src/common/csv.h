@@ -1,0 +1,47 @@
+// exaeff/common/csv.h
+//
+// Minimal CSV reading/writing for telemetry and scheduler-log round trips.
+// Handles quoting, embedded commas/quotes, and header rows.  The telemetry
+// store uses this for its on-disk format; tests use it for golden files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exaeff {
+
+/// Writes rows of string cells as RFC-4180-style CSV.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row; cells are quoted only when needed.
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Incremental CSV reader over an input stream.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& is) : is_(is) {}
+
+  /// Reads the next record into `cells`; returns false at end of input.
+  /// Throws ParseError on malformed quoting.
+  bool read_row(std::vector<std::string>& cells);
+
+ private:
+  std::istream& is_;
+};
+
+/// Parses a single CSV line (no embedded newlines) into cells.
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Serializes cells into a single CSV line (no trailing newline).
+[[nodiscard]] std::string format_csv_line(
+    const std::vector<std::string>& cells);
+
+}  // namespace exaeff

@@ -1,0 +1,63 @@
+// exaeff/common/error.h
+//
+// Error handling primitives shared by every exaeff library.
+//
+// The libraries follow a simple contract: programming errors (violated
+// preconditions, out-of-range indices, malformed configuration) throw
+// exaeff::Error with a message that names the failing condition.  Hot
+// simulation loops never throw; they validate inputs once at entry.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace exaeff {
+
+/// Base exception for all exaeff errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration value is malformed or out of range.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a file or serialized payload cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_requirement(std::string_view expr,
+                                           std::string_view file, int line,
+                                           std::string_view msg) {
+  std::string what = "requirement failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " (";
+    what += msg;
+    what += ")";
+  }
+  throw Error(what);
+}
+}  // namespace detail
+
+}  // namespace exaeff
+
+/// Validate a precondition; throws exaeff::Error with location info when
+/// the condition does not hold.  Used at API boundaries, not in hot loops.
+#define EXAEFF_REQUIRE(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::exaeff::detail::throw_requirement(#cond, __FILE__, __LINE__, msg); \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,48 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace exaeff {
+
+double Rng::normal() {
+  // Marsaglia polar method; rejection loop terminates with probability 1.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::exponential(double mean) {
+  EXAEFF_REQUIRE(mean > 0.0, "exponential mean must be positive");
+  // Inverse CDF; 1-uniform() is in (0, 1] so log() is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  EXAEFF_REQUIRE(sigma >= 0.0, "lognormal sigma must be non-negative");
+  return std::exp(mu + sigma * normal());
+}
+
+std::size_t Rng::categorical(const double* weights, std::size_t count) {
+  EXAEFF_REQUIRE(count > 0, "categorical needs at least one weight");
+  double total = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    EXAEFF_REQUIRE(weights[i] >= 0.0, "categorical weights must be >= 0");
+    total += weights[i];
+  }
+  EXAEFF_REQUIRE(total > 0.0, "categorical weights must not all be zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < count; ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return count - 1;  // numerical slack lands on the last bucket
+}
+
+}  // namespace exaeff

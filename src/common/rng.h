@@ -1,0 +1,121 @@
+// exaeff/common/rng.h
+//
+// Deterministic random number generation for every stochastic component in
+// exaeff.  All randomness flows through an explicitly-seeded Rng instance;
+// nothing uses global state, so any experiment is reproducible from its
+// seed alone and independent streams can be split off for parallel fleet
+// generation (one stream per node/job) without cross-talk.
+//
+// The core generator is xoshiro256**, seeded via splitmix64 as its authors
+// recommend.  It is small, fast (~1ns/draw), and passes BigCrush — more
+// than adequate for workload synthesis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace exaeff {
+
+/// splitmix64 step; used for seeding and for cheap hash-style mixing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with explicit seeding and stream-splitting.
+///
+/// Satisfies UniformRandomBitGenerator, so it composes with <random>
+/// distributions, but the common draws (uniform, normal, exponential,
+/// lognormal, categorical) are provided as members for convenience and
+/// to keep behavior identical across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes from a single 64-bit seed via splitmix64.
+  explicit constexpr Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t sm = seed;
+    for (auto& lane : state_) lane = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit draw.
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derives an independent child stream.  Mixes the parent state with the
+  /// stream id through splitmix64, so streams with adjacent ids are
+  /// decorrelated.  The parent is not advanced.
+  [[nodiscard]] constexpr Rng split(std::uint64_t stream_id) const {
+    std::uint64_t sm = state_[0] ^ (0xA0761D6478BD642FULL * (stream_id + 1));
+    std::uint64_t mixed = splitmix64(sm) ^ state_[3];
+    return Rng(mixed);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n); n must be > 0.
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n) {
+    // Lemire's multiply-shift method (128-bit product, top 64 bits).
+    __extension__ using u128 = unsigned __int128;
+    const std::uint64_t x = (*this)();
+    return static_cast<std::uint64_t>((static_cast<u128>(x) * n) >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method (cached spare is not used
+  /// to keep the generator stateless w.r.t. distribution draws).
+  [[nodiscard]] double normal();
+
+  /// Normal with mean/stddev.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given mean (mean = 1/rate).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Log-normal parameterized by the mean/sigma of the underlying normal.
+  [[nodiscard]] double lognormal(double mu, double sigma);
+
+  /// Draws an index with probability proportional to weights[i].
+  /// Weights must be non-negative with a positive sum.
+  [[nodiscard]] std::size_t categorical(const double* weights,
+                                        std::size_t count);
+
+  /// Bernoulli draw with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace exaeff

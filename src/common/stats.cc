@@ -1,0 +1,229 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace exaeff {
+
+// ---------------------------------------------------------------------
+// StreamingMoments
+// ---------------------------------------------------------------------
+
+void StreamingMoments::add_weighted(double x, double weight) {
+  EXAEFF_REQUIRE(weight > 0.0, "observation weight must be positive");
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  total_weight_ += weight;
+  const double delta = x - mean_;
+  mean_ += (weight / total_weight_) * delta;
+  m2_ += weight * delta * (x - mean_);
+}
+
+void StreamingMoments::merge(const StreamingMoments& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double combined = total_weight_ + other.total_weight_;
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ +
+         delta * delta * total_weight_ * other.total_weight_ / combined;
+  mean_ += delta * other.total_weight_ / combined;
+  total_weight_ = combined;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingMoments::variance() const {
+  if (count_ < 2 || total_weight_ <= 0.0) return 0.0;
+  return m2_ / total_weight_;
+}
+
+double StreamingMoments::stddev() const { return std::sqrt(variance()); }
+
+// ---------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  EXAEFF_REQUIRE(hi > lo, "histogram range must be non-empty");
+  EXAEFF_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+std::size_t Histogram::bin_index(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  return std::min(idx, counts_.size() - 1);
+}
+
+void Histogram::add(double x, double weight) {
+  EXAEFF_REQUIRE(weight >= 0.0, "histogram weight must be non-negative");
+  counts_[bin_index(x)] += weight;
+  total_ += weight;
+}
+
+void Histogram::merge(const Histogram& other) {
+  EXAEFF_REQUIRE(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
+                     other.hi_ == hi_,
+                 "histograms must share binning to merge");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  EXAEFF_REQUIRE(i < counts_.size(), "bin index out of range");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t i) const {
+  EXAEFF_REQUIRE(i < counts_.size(), "bin index out of range");
+  if (total_ <= 0.0) return 0.0;
+  return counts_[i] / (total_ * width_);
+}
+
+double Histogram::weight_between(double a, double b) const {
+  if (b <= a) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = bin_center(i);
+    if (c >= a && c < b) acc += counts_[i];
+  }
+  // Edge bins absorb clamped samples: include the top bin when b extends
+  // past the histogram range, matching "region >= hi" semantics.
+  if (b > hi_ && a < hi_) {
+    const double top_center = bin_center(counts_.size() - 1);
+    if (top_center < a || top_center >= b) acc += counts_.back();
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------
+// Density estimation and peaks
+// ---------------------------------------------------------------------
+
+std::vector<double> gaussian_kde(std::span<const double> xs,
+                                 std::span<const double> weights, double lo,
+                                 double hi, std::size_t grid_points,
+                                 double bandwidth) {
+  EXAEFF_REQUIRE(grid_points >= 2, "kde grid needs at least two points");
+  EXAEFF_REQUIRE(hi > lo, "kde range must be non-empty");
+  EXAEFF_REQUIRE(bandwidth > 0.0, "kde bandwidth must be positive");
+  EXAEFF_REQUIRE(weights.empty() || weights.size() == xs.size(),
+                 "weights must be empty or match sample count");
+
+  std::vector<double> grid(grid_points, 0.0);
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+  const double inv_h = 1.0 / bandwidth;
+  const double norm = 1.0 / std::sqrt(2.0 * 3.14159265358979323846);
+
+  double total_w = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double w = weights.empty() ? 1.0 : weights[i];
+    total_w += w;
+    // Kernel support truncated at 4 sigma for speed.
+    const double x = xs[i];
+    const auto g_lo = static_cast<long>(
+        std::floor((x - 4.0 * bandwidth - lo) / step));
+    const auto g_hi = static_cast<long>(
+        std::ceil((x + 4.0 * bandwidth - lo) / step));
+    const long first = std::max<long>(0, g_lo);
+    const long last =
+        std::min<long>(static_cast<long>(grid_points) - 1, g_hi);
+    for (long g = first; g <= last; ++g) {
+      const double u = (lo + static_cast<double>(g) * step - x) * inv_h;
+      grid[static_cast<std::size_t>(g)] +=
+          w * norm * std::exp(-0.5 * u * u) * inv_h;
+    }
+  }
+  if (total_w > 0.0) {
+    for (double& v : grid) v /= total_w;
+  }
+  return grid;
+}
+
+std::vector<double> smooth_density(const Histogram& h, double bandwidth) {
+  std::vector<double> xs(h.bin_count());
+  std::vector<double> ws(h.bin_count());
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    xs[i] = h.bin_center(i);
+    ws[i] = h.bin_weight(i);
+  }
+  return gaussian_kde(xs, ws, h.lo(), h.hi(), h.bin_count(), bandwidth);
+}
+
+std::vector<Peak> find_peaks(std::span<const double> y,
+                             std::span<const double> x_of,
+                             double min_prominence_fraction) {
+  EXAEFF_REQUIRE(y.size() == x_of.size(), "y and x grids must match");
+  std::vector<Peak> peaks;
+  if (y.size() < 3) return peaks;
+
+  double global_max = 0.0;
+  for (double v : y) global_max = std::max(global_max, v);
+  if (global_max <= 0.0) return peaks;
+
+  for (std::size_t i = 1; i + 1 < y.size(); ++i) {
+    if (!(y[i] > y[i - 1] && y[i] >= y[i + 1])) continue;
+    // Prominence: walk outward to the nearest higher point on each side;
+    // the saddle is the minimum seen along the walk.
+    double left_saddle = y[i];
+    for (std::size_t j = i; j-- > 0;) {
+      left_saddle = std::min(left_saddle, y[j]);
+      if (y[j] > y[i]) break;
+    }
+    double right_saddle = y[i];
+    for (std::size_t j = i + 1; j < y.size(); ++j) {
+      right_saddle = std::min(right_saddle, y[j]);
+      if (y[j] > y[i]) break;
+    }
+    const double prominence = y[i] - std::max(left_saddle, right_saddle);
+    if (prominence >= min_prominence_fraction * global_max) {
+      peaks.push_back(Peak{i, x_of[i], y[i], prominence});
+    }
+  }
+  return peaks;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  EXAEFF_REQUIRE(!xs.empty(), "percentile of empty sample");
+  EXAEFF_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo_idx = static_cast<std::size_t>(std::floor(rank));
+  const auto hi_idx = std::min(lo_idx + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo_idx);
+  return sorted[lo_idx] + frac * (sorted[hi_idx] - sorted[lo_idx]);
+}
+
+double weighted_mean(std::span<const double> xs,
+                     std::span<const double> weights) {
+  EXAEFF_REQUIRE(xs.size() == weights.size(),
+                 "weighted_mean needs matching lengths");
+  EXAEFF_REQUIRE(!xs.empty(), "weighted_mean of empty sample");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    num += xs[i] * weights[i];
+    den += weights[i];
+  }
+  EXAEFF_REQUIRE(den > 0.0, "weighted_mean weights must sum to > 0");
+  return num / den;
+}
+
+}  // namespace exaeff

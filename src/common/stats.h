@@ -1,0 +1,134 @@
+// exaeff/common/stats.h
+//
+// Statistics toolkit used throughout the pipeline:
+//
+//   * StreamingMoments — single-pass mean/variance/min/max (Welford), with
+//     optional per-observation weights (telemetry samples carry a duration
+//     weight when aggregation windows differ).
+//   * Histogram        — fixed-width weighted histogram over a closed
+//     range, the workhorse behind Figures 8 and 9.
+//   * gaussian_kde     — kernel density estimate evaluated on a grid; used
+//     to render the smooth power-distribution curves and to locate modes.
+//   * find_peaks       — local-maxima detection with prominence filtering,
+//     used by the modal decomposition to identify regions of operation.
+//   * percentile       — linear-interpolation percentile of a sample.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace exaeff {
+
+/// Single-pass weighted mean/variance/extrema accumulator (Welford's
+/// algorithm generalized to weights).  Numerically stable for the billions
+/// of telemetry samples a full campaign produces.
+class StreamingMoments {
+ public:
+  /// Adds an observation with weight 1.
+  void add(double x) { add_weighted(x, 1.0); }
+
+  /// Adds an observation with the given positive weight.
+  void add_weighted(double x, double weight);
+
+  /// Merges another accumulator into this one (parallel reduction step).
+  void merge(const StreamingMoments& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double weight() const { return total_weight_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Population variance (weighted). Zero when fewer than two observations.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  /// Weighted sum of the observations (mean * total weight).
+  [[nodiscard]] double sum() const { return mean_ * total_weight_; }
+
+ private:
+  std::size_t count_ = 0;
+  double total_weight_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // weighted sum of squared deviations
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width weighted histogram over [lo, hi].  Out-of-range samples are
+/// clamped into the edge bins (telemetry can carry boost-region samples
+/// above the nominal range; the paper counts those in the topmost region).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] double bin_width() const { return width_; }
+  /// Center of bin i.
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  /// Weighted count in bin i.
+  [[nodiscard]] double bin_weight(std::size_t i) const { return counts_[i]; }
+  /// Total accumulated weight.
+  [[nodiscard]] double total_weight() const { return total_; }
+  /// Probability-density value of bin i (weight / (total * bin_width)).
+  [[nodiscard]] double density(std::size_t i) const;
+  /// Sum of weights for samples falling in [a, b) (bin-resolution).
+  [[nodiscard]] double weight_between(double a, double b) const;
+  /// Read-only view of raw bin weights.
+  [[nodiscard]] std::span<const double> weights() const { return counts_; }
+
+ private:
+  [[nodiscard]] std::size_t bin_index(double x) const;
+
+  double lo_;
+  double hi_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+/// Gaussian kernel density estimate of weighted samples, evaluated at
+/// `grid_points` evenly spaced points spanning [lo, hi].
+/// `bandwidth` is the kernel standard deviation (same unit as x).
+[[nodiscard]] std::vector<double> gaussian_kde(std::span<const double> xs,
+                                               std::span<const double> weights,
+                                               double lo, double hi,
+                                               std::size_t grid_points,
+                                               double bandwidth);
+
+/// Smooths a histogram into a density curve via a Gaussian kernel applied
+/// at bin granularity.  Cheap enough for billions of underlying samples
+/// since it works on the binned representation.
+[[nodiscard]] std::vector<double> smooth_density(const Histogram& h,
+                                                 double bandwidth);
+
+/// A detected density peak: grid/bin index, x location, height, and
+/// prominence (height above the higher of the two flanking saddles).
+struct Peak {
+  std::size_t index = 0;
+  double x = 0.0;
+  double height = 0.0;
+  double prominence = 0.0;
+};
+
+/// Finds local maxima of `y` (with x locations from `x_of`), keeping those
+/// whose prominence is at least `min_prominence` times the global maximum.
+[[nodiscard]] std::vector<Peak> find_peaks(std::span<const double> y,
+                                           std::span<const double> x_of,
+                                           double min_prominence_fraction);
+
+/// Linear-interpolation percentile (p in [0, 100]) of a sample.  Sorts a
+/// copy; intended for report-size data, not raw telemetry.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Weighted arithmetic mean of xs (weights must match length; sum > 0).
+[[nodiscard]] double weighted_mean(std::span<const double> xs,
+                                   std::span<const double> weights);
+
+}  // namespace exaeff

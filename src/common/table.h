@@ -1,0 +1,64 @@
+// exaeff/common/table.h
+//
+// Fixed-width text table rendering.  The benchmark harnesses print the
+// paper's tables row-for-row; TextTable keeps that output aligned and
+// uniform, and can also emit CSV for downstream plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace exaeff {
+
+/// Column alignment for TextTable.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column text table with per-column alignment, a title, and
+/// optional horizontal rules.  Cells are strings; numeric helpers format
+/// with fixed precision.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row (also defines the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count if set.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal rule before the next row.
+  void add_rule();
+
+  /// Formats a double with `precision` digits after the decimal point.
+  [[nodiscard]] static std::string num(double v, int precision = 1);
+
+  /// Formats a percentage (value already in percent units).
+  [[nodiscard]] static std::string pct(double v, int precision = 1);
+
+  /// Renders to a string with box-drawing rules.
+  [[nodiscard]] std::string str() const;
+
+  /// Renders as CSV (header + rows, no title or rules).
+  [[nodiscard]] std::string csv() const;
+
+  /// Streams the rendered table.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace exaeff

@@ -1,0 +1,60 @@
+// exaeff/common/units.h
+//
+// Strongly-suggestive (but lightweight) unit conventions used across the
+// code base, plus conversion helpers.  We deliberately use plain `double`
+// with named helper functions rather than a unit type system: the
+// simulator's hot loops are arithmetic-dense and the conventions are few.
+//
+// Conventions:
+//   time        seconds            (suffix _s)
+//   power       watts              (suffix _w)
+//   energy      joules             (suffix _j)   [reports use Wh / MWh]
+//   frequency   megahertz          (suffix _mhz) [device clocks]
+//   bandwidth   bytes per second   (suffix _bps)
+//   work        flop               (floating point operations)
+//   data        bytes
+#pragma once
+
+#include <cstdint>
+
+namespace exaeff::units {
+
+// --- scale prefixes ---------------------------------------------------
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+inline constexpr double kPeta = 1e15;
+
+// --- data sizes --------------------------------------------------------
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+
+// --- time --------------------------------------------------------------
+inline constexpr double kMinute = 60.0;
+inline constexpr double kHour = 3600.0;
+inline constexpr double kDay = 24.0 * kHour;
+
+/// Joules -> watt-hours.
+[[nodiscard]] constexpr double joules_to_wh(double j) { return j / 3600.0; }
+
+/// Joules -> megawatt-hours (the unit the paper's Tables V/VI report).
+[[nodiscard]] constexpr double joules_to_mwh(double j) {
+  return j / 3.6e9;
+}
+
+/// Megawatt-hours -> joules.
+[[nodiscard]] constexpr double mwh_to_joules(double mwh) {
+  return mwh * 3.6e9;
+}
+
+/// Watt-hours -> joules.
+[[nodiscard]] constexpr double wh_to_joules(double wh) { return wh * 3600.0; }
+
+/// Seconds -> GPU-hours given a number of concurrently-busy GPUs.
+[[nodiscard]] constexpr double gpu_hours(double seconds, double gpus) {
+  return seconds * gpus / kHour;
+}
+
+}  // namespace exaeff::units

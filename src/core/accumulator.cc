@@ -1,0 +1,104 @@
+#include "core/accumulator.h"
+
+namespace exaeff::core {
+
+namespace {
+template <std::size_t N>
+std::array<Histogram, N> make_histograms(double lo, double hi,
+                                         std::size_t bins) {
+  // Build via repeated copy of one prototype (Histogram has no default
+  // constructor by design).
+  return []<std::size_t... I>(std::index_sequence<I...>, double l, double h,
+                              std::size_t b) {
+    return std::array<Histogram, N>{((void)I, Histogram(l, h, b))...};
+  }(std::make_index_sequence<N>{}, lo, hi, bins);
+}
+}  // namespace
+
+CampaignAccumulator::CampaignAccumulator(double window_s,
+                                         RegionBoundaries boundaries,
+                                         double hist_lo_w, double hist_hi_w,
+                                         std::size_t hist_bins)
+    : window_s_(window_s),
+      boundaries_(boundaries),
+      hist_(hist_lo_w, hist_hi_w, hist_bins),
+      domain_hist_(make_histograms<sched::kDomainCount>(hist_lo_w, hist_hi_w,
+                                                        hist_bins)) {
+  EXAEFF_REQUIRE(window_s > 0.0, "telemetry window must be positive");
+}
+
+void CampaignAccumulator::on_job_sample(const telemetry::GcdSample& sample,
+                                        const sched::Job& job) {
+  const double p = sample.power_w;
+  const Region region = boundaries_.classify(p);
+  const double hours = window_s_ / 3600.0;
+  const double energy = p * window_s_;
+
+  hist_.add(p);
+  domain_hist_[static_cast<std::size_t>(job.domain)].add(p);
+
+  auto& share = cells_[static_cast<std::size_t>(job.domain)]
+                      [static_cast<std::size_t>(job.bin)]
+                          .regions[static_cast<std::size_t>(region)];
+  share.gpu_hours += hours;
+  share.energy_j += energy;
+  ++samples_;
+}
+
+void CampaignAccumulator::on_node_sample(const telemetry::NodeSample& sample) {
+  cpu_energy_j_ += sample.cpu_power_w * window_s_;
+  ++node_samples_;
+}
+
+void CampaignAccumulator::merge(const CampaignAccumulator& other) {
+  EXAEFF_REQUIRE(window_s_ == other.window_s_,
+                 "accumulators must share the telemetry window");
+  hist_.merge(other.hist_);
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    domain_hist_[d].merge(other.domain_hist_[d]);
+    for (std::size_t b = 0; b < sched::kSizeBinCount; ++b) {
+      for (std::size_t r = 0; r < kRegionCount; ++r) {
+        cells_[d][b].regions[r].gpu_hours +=
+            other.cells_[d][b].regions[r].gpu_hours;
+        cells_[d][b].regions[r].energy_j +=
+            other.cells_[d][b].regions[r].energy_j;
+      }
+    }
+  }
+  samples_ += other.samples_;
+  node_samples_ += other.node_samples_;
+  cpu_energy_j_ += other.cpu_energy_j_;
+}
+
+ModalDecomposition CampaignAccumulator::decomposition() const {
+  std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+      all{};
+  for (auto& row : all) row.fill(true);
+  return decomposition_for(all);
+}
+
+ModalDecomposition CampaignAccumulator::decomposition_for(
+    const std::array<std::array<bool, sched::kSizeBinCount>,
+                     sched::kDomainCount>& mask) const {
+  ModalDecomposition d;
+  for (std::size_t dom = 0; dom < sched::kDomainCount; ++dom) {
+    for (std::size_t b = 0; b < sched::kSizeBinCount; ++b) {
+      if (!mask[dom][b]) continue;
+      for (std::size_t r = 0; r < kRegionCount; ++r) {
+        d.regions[r].gpu_hours += cells_[dom][b].regions[r].gpu_hours;
+        d.regions[r].energy_j += cells_[dom][b].regions[r].energy_j;
+      }
+    }
+  }
+  for (const auto& r : d.regions) {
+    d.total_gpu_hours += r.gpu_hours;
+    d.total_energy_j += r.energy_j;
+  }
+  return d;
+}
+
+double CampaignAccumulator::total_gpu_energy_j() const {
+  return decomposition().total_energy_j;
+}
+
+}  // namespace exaeff::core

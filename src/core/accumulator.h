@@ -1,0 +1,102 @@
+// exaeff/core/accumulator.h
+//
+// Streaming campaign accumulator: the JobSampleSink that turns a fleet's
+// telemetry stream into everything the analysis consumes —
+//
+//   * the system-wide power histogram (Fig 8),
+//   * per-science-domain histograms (Fig 9),
+//   * region occupancy (GPU-hours and energy) globally and per
+//     (domain x size-bin) cell (Table IV, Table V/VI, Fig 10),
+//   * dataset counters (Table II).
+//
+// Designed for fleet scale: O(1) state per sample, fixed memory, and a
+// merge() for parallel sharded generation.
+#pragma once
+
+#include <array>
+
+#include "common/stats.h"
+#include "core/modal.h"
+#include "sched/fleetgen.h"
+
+namespace exaeff::core {
+
+/// Region-resolved energy/hours of one (domain, size-bin) cell.
+struct CellAccum {
+  std::array<RegionShare, kRegionCount> regions{};
+
+  [[nodiscard]] double energy_j() const {
+    double e = 0.0;
+    for (const auto& r : regions) e += r.energy_j;
+    return e;
+  }
+  [[nodiscard]] double gpu_hours() const {
+    double h = 0.0;
+    for (const auto& r : regions) h += r.gpu_hours;
+    return h;
+  }
+};
+
+/// The streaming accumulator.
+class CampaignAccumulator final : public sched::JobSampleSink {
+ public:
+  /// `window_s` is the telemetry record resolution (15 s); `boundaries`
+  /// defines the modal regions; the histogram spans [hist_lo, hist_hi].
+  CampaignAccumulator(double window_s, RegionBoundaries boundaries,
+                      double hist_lo_w = 80.0, double hist_hi_w = 640.0,
+                      std::size_t hist_bins = 280);
+
+  void on_job_sample(const telemetry::GcdSample& sample,
+                     const sched::Job& job) override;
+  void on_node_sample(const telemetry::NodeSample& sample) override;
+
+  /// Merges a sibling accumulator (parallel sharding).
+  void merge(const CampaignAccumulator& other);
+
+  // --- results --------------------------------------------------------
+  [[nodiscard]] const Histogram& system_histogram() const { return hist_; }
+  [[nodiscard]] const Histogram& domain_histogram(
+      sched::ScienceDomain d) const {
+    return domain_hist_[static_cast<std::size_t>(d)];
+  }
+
+  /// Region occupancy over the whole campaign (Table IV).
+  [[nodiscard]] ModalDecomposition decomposition() const;
+
+  /// Region occupancy restricted to a (domain, bin) selection mask;
+  /// mask[d][b] true means the cell is included (Table VI).
+  [[nodiscard]] ModalDecomposition decomposition_for(
+      const std::array<std::array<bool, sched::kSizeBinCount>,
+                       sched::kDomainCount>& mask) const;
+
+  /// One (domain, bin) cell.
+  [[nodiscard]] const CellAccum& cell(sched::ScienceDomain d,
+                                      sched::SizeBin b) const {
+    return cells_[static_cast<std::size_t>(d)][static_cast<std::size_t>(b)];
+  }
+
+  [[nodiscard]] std::size_t gcd_sample_count() const { return samples_; }
+  [[nodiscard]] std::size_t node_sample_count() const {
+    return node_samples_;
+  }
+  [[nodiscard]] double total_gpu_energy_j() const;
+  [[nodiscard]] double total_cpu_energy_j() const { return cpu_energy_j_; }
+  [[nodiscard]] const RegionBoundaries& boundaries() const {
+    return boundaries_;
+  }
+  [[nodiscard]] double window_s() const { return window_s_; }
+
+ private:
+  double window_s_;
+  RegionBoundaries boundaries_;
+  Histogram hist_;
+  std::array<Histogram, sched::kDomainCount> domain_hist_;
+  std::array<std::array<CellAccum, sched::kSizeBinCount>,
+             sched::kDomainCount>
+      cells_{};
+  std::size_t samples_ = 0;
+  std::size_t node_samples_ = 0;
+  double cpu_energy_j_ = 0.0;
+};
+
+}  // namespace exaeff::core

@@ -1,0 +1,104 @@
+#include "core/characterization.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "workloads/membench.h"
+#include "workloads/vai.h"
+
+namespace exaeff::core {
+
+void CapResponseTable::add(BenchClass cls, CapType type, CapResponse row) {
+  table_[static_cast<int>(cls)][static_cast<int>(type)].push_back(row);
+}
+
+std::span<const CapResponse> CapResponseTable::rows(BenchClass cls,
+                                                    CapType type) const {
+  return table_[static_cast<int>(cls)][static_cast<int>(type)];
+}
+
+const CapResponse& CapResponseTable::at(BenchClass cls, CapType type,
+                                        double setting) const {
+  for (const auto& r : rows(cls, type)) {
+    if (std::abs(r.setting - setting) < 1e-6) return r;
+  }
+  throw Error("cap setting was not part of the characterization sweep");
+}
+
+namespace {
+
+/// Sweeps one kernel set under one policy list; each row averages the
+/// per-kernel percentage responses (the paper averages across arithmetic
+/// intensities, Table III caption).
+void sweep(const gpusim::GpuSimulator& sim,
+           const std::vector<gpusim::KernelDesc>& kernels,
+           const std::vector<double>& settings, CapType type,
+           BenchClass cls, CapResponseTable& out) {
+  // Baselines: unconstrained run per kernel.
+  std::vector<gpusim::RunResult> base;
+  base.reserve(kernels.size());
+  for (const auto& k : kernels) {
+    base.push_back(sim.run(k, gpusim::PowerPolicy::none()));
+  }
+
+  for (double setting : settings) {
+    const gpusim::PowerPolicy policy =
+        type == CapType::kFrequency ? gpusim::PowerPolicy::frequency(setting)
+                                    : gpusim::PowerPolicy::power(setting);
+    double power_pct = 0.0;
+    double runtime_pct = 0.0;
+    double energy_pct = 0.0;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      const auto r = sim.run(kernels[i], policy);
+      power_pct += 100.0 * r.avg_power_w / base[i].avg_power_w;
+      runtime_pct += 100.0 * r.time_s / base[i].time_s;
+      energy_pct += 100.0 * r.energy_j / base[i].energy_j;
+    }
+    const auto n = static_cast<double>(kernels.size());
+    out.add(cls, type,
+            CapResponse{setting, power_pct / n, runtime_pct / n,
+                        energy_pct / n});
+  }
+}
+
+}  // namespace
+
+CapResponseTable characterize(const gpusim::DeviceSpec& spec,
+                              const CharacterizationOptions& opts) {
+  const gpusim::GpuSimulator sim(spec);
+
+  std::vector<double> freq_caps = opts.frequency_caps_mhz.empty()
+                                      ? workloads::vai::standard_frequency_caps()
+                                      : opts.frequency_caps_mhz;
+  std::vector<double> power_caps = opts.power_caps_w.empty()
+                                       ? workloads::vai::standard_power_caps()
+                                       : opts.power_caps_w;
+
+  // Compute-intensive class: the VAI arithmetic-intensity sweep.
+  std::vector<gpusim::KernelDesc> vai_kernels;
+  for (double ai : workloads::vai::standard_intensities()) {
+    if (ai == 0.0 && !opts.include_stream_copy) continue;
+    vai_kernels.push_back(workloads::vai::make_kernel(spec, ai));
+  }
+
+  // Memory-intensive class: HBM-resident working sets of the membench.
+  std::vector<gpusim::KernelDesc> mb_kernels;
+  for (double size : workloads::membench::hbm_resident_sizes(spec)) {
+    mb_kernels.push_back(workloads::membench::make_kernel(spec, size));
+  }
+  EXAEFF_REQUIRE(!vai_kernels.empty() && !mb_kernels.empty(),
+                 "characterization needs at least one kernel per class");
+
+  CapResponseTable table;
+  sweep(sim, vai_kernels, freq_caps, CapType::kFrequency,
+        BenchClass::kComputeIntensive, table);
+  sweep(sim, vai_kernels, power_caps, CapType::kPower,
+        BenchClass::kComputeIntensive, table);
+  sweep(sim, mb_kernels, freq_caps, CapType::kFrequency,
+        BenchClass::kMemoryIntensive, table);
+  sweep(sim, mb_kernels, power_caps, CapType::kPower,
+        BenchClass::kMemoryIntensive, table);
+  return table;
+}
+
+}  // namespace exaeff::core

@@ -1,0 +1,75 @@
+// exaeff/core/characterization.h
+//
+// Benchmark characterization stage (paper §IV, Table III): sweep the VAI
+// benchmark (compute-intensive class) and the memory-bandwidth benchmark
+// (memory-intensive class) across frequency caps and power caps, and
+// summarize each setting as percentages of the uncapped run —
+// average power %, runtime increase %, average energy used %.
+//
+// The resulting CapResponseTable is the transfer function the projection
+// engine applies to fleet telemetry: region 3 (compute-intensive) samples
+// respond like VAI, region 2 (memory-intensive) samples like MB.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/simulator.h"
+
+namespace exaeff::core {
+
+/// Which benchmark class a response row characterizes.
+enum class BenchClass { kComputeIntensive, kMemoryIntensive };
+
+/// Which power-management knob a response row swept.
+enum class CapType { kFrequency, kPower };
+
+[[nodiscard]] constexpr const char* bench_class_name(BenchClass c) {
+  return c == BenchClass::kComputeIntensive ? "VAI" : "MB";
+}
+[[nodiscard]] constexpr const char* cap_type_name(CapType t) {
+  return t == CapType::kFrequency ? "frequency" : "power";
+}
+
+/// One Table III row: the response of a benchmark class to one cap
+/// setting, as percentages of the uncapped run (setting = f_max / TDP).
+struct CapResponse {
+  double setting = 0.0;        ///< MHz (frequency) or watts (power)
+  double avg_power_pct = 100;  ///< average power, % of uncapped
+  double runtime_pct = 100;    ///< time to solution, % of uncapped
+  double energy_pct = 100;     ///< energy to solution, % of uncapped
+};
+
+/// Lookup table of cap responses per (bench class, cap type).
+class CapResponseTable {
+ public:
+  void add(BenchClass cls, CapType type, CapResponse row);
+
+  /// All rows of one sweep, in insertion (descending-setting) order.
+  [[nodiscard]] std::span<const CapResponse> rows(BenchClass cls,
+                                                  CapType type) const;
+
+  /// The row for an exact setting; throws if the setting was not swept.
+  [[nodiscard]] const CapResponse& at(BenchClass cls, CapType type,
+                                      double setting) const;
+
+ private:
+  std::vector<CapResponse> table_[2][2];
+};
+
+/// Characterization options.
+struct CharacterizationOptions {
+  std::vector<double> frequency_caps_mhz;  ///< default: Table III(a) set
+  std::vector<double> power_caps_w;        ///< default: Table III(b) set
+  bool include_stream_copy = true;  ///< include AI=0 in the VAI average
+};
+
+/// Runs both benchmark sweeps on the device and builds the table.
+/// VAI rows average across the standard arithmetic intensities; MB rows
+/// average across HBM-resident working-set sizes (runtime of L2-resident
+/// sizes responds like compute, not like the memory-intensive region).
+[[nodiscard]] CapResponseTable characterize(
+    const gpusim::DeviceSpec& spec, const CharacterizationOptions& opts = {});
+
+}  // namespace exaeff::core

@@ -1,0 +1,82 @@
+#include "core/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace exaeff::core {
+
+PowerDecomposer::PowerDecomposer(const gpusim::DeviceSpec& spec)
+    : spec_(spec) {
+  spec_.validate();
+}
+
+double PowerDecomposer::forward_power(double u_alu, double u_hbm,
+                                      double f_mhz) const {
+  EXAEFF_REQUIRE(u_alu >= 0.0 && u_alu <= 1.0, "u_alu must be in [0, 1]");
+  EXAEFF_REQUIRE(u_hbm >= 0.0 && u_hbm <= 1.0, "u_hbm must be in [0, 1]");
+  const double s = spec_.power_scale(spec_.clamp_frequency(f_mhz));
+  // Mirrors PowerModel::steady_power for a pure-throughput window: HBM
+  // traffic transits the L2 (u_l2 tracks traffic through the L2/HBM
+  // bandwidth ratio), no latency share, no fabric throttle.
+  const double u_l2 = u_hbm * (spec_.hbm_bw / spec_.l2_bw);
+  double p = spec_.idle_power_w;
+  p += s * (spec_.coef_alu_w * u_alu + spec_.coef_l2_w * u_l2 +
+            spec_.coef_hbm_ondie_w * u_hbm);
+  // At steady throughput the HBM busy fraction equals the traffic
+  // fraction, so both the static and the dynamic off-die shares scale
+  // with u_hbm (mirroring PowerModel::steady_power at full fabric).
+  p += spec_.coef_hbm_offdie_w * u_hbm;
+  p += spec_.coef_interact_w * s * u_alu * u_hbm;
+  return std::clamp(p, spec_.idle_power_w, spec_.boost_power_w);
+}
+
+UtilizationEstimate PowerDecomposer::estimate(double power_w,
+                                              double f_mhz) const {
+  EXAEFF_REQUIRE(power_w > 0.0, "power must be positive");
+  const double f = spec_.clamp_frequency(f_mhz);
+
+  UtilizationEstimate est;
+  est.power_w = power_w;
+  if (power_w <= spec_.idle_power_w + 2.0) {
+    est.idle = true;
+    return est;
+  }
+  const double target = std::min(power_w, forward_power(1.0, 1.0, f));
+
+  // The forward model is monotone non-decreasing in each utilization, so
+  // each envelope edge is a 1-D bisection:
+  //   alu_max: largest u_alu with P(u_alu, 0) <= target
+  //   alu_min: smallest u_alu with P(u_alu, 1) >= target
+  // and symmetrically for u_hbm.
+  auto bisect = [&](auto pred) {
+    double lo = 0.0;
+    double hi = 1.0;
+    // pred(u) is monotone false->true; find the boundary.
+    if (pred(0.0)) return 0.0;
+    if (!pred(1.0)) return 1.0;
+    for (int i = 0; i < 48; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      (pred(mid) ? hi : lo) = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+
+  est.alu_max =
+      bisect([&](double u) { return forward_power(u, 0.0, f) >= target; });
+  est.hbm_max =
+      bisect([&](double u) { return forward_power(0.0, u, f) >= target; });
+  est.alu_min =
+      bisect([&](double u) { return forward_power(u, 1.0, f) >= target; });
+  est.hbm_min =
+      bisect([&](double u) { return forward_power(1.0, u, f) >= target; });
+
+  // Balanced point estimate: walk the feasible ridge at equal normalized
+  // activity u_alu = u_hbm = u.
+  est.alu_mid = est.hbm_mid =
+      bisect([&](double u) { return forward_power(u, u, f) >= target; });
+  return est;
+}
+
+}  // namespace exaeff::core

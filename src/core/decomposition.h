@@ -1,0 +1,61 @@
+// exaeff/core/decomposition.h
+//
+// Power decomposition: estimating on-die resource usage from power alone
+// — the paper's second headline contribution ("a novel power
+// decomposition technique to estimate resource usage ... Our method
+// capitalizes on the detailed insights into application resource usage
+// embedded in power consumption data").
+//
+// A single power value cannot pin down the full utilization vector ("it
+// is not possible to disaggregate all the GPU operations based only on
+// the power values"), but it does carve out a *feasible set*: the
+// calibrated power model is monotone in both u_alu and u_hbm, so a power
+// reading yields tight envelopes [min, max] for each engine's activity,
+// plus a maximum-entropy point estimate on the feasible ridge.  The
+// region classification of Table IV is exactly the coarse version of
+// this inverse; here the full envelope is exposed.
+#pragma once
+
+#include "gpusim/device_spec.h"
+#include "gpusim/power_model.h"
+
+namespace exaeff::core {
+
+/// Feasible utilization envelope for one power reading at a known clock.
+struct UtilizationEstimate {
+  double power_w = 0.0;
+  /// ALU activity (achieved fraction of peak flops) envelope.
+  double alu_min = 0.0;
+  double alu_max = 0.0;
+  /// HBM traffic (achieved fraction of peak bandwidth) envelope.
+  double hbm_min = 0.0;
+  double hbm_max = 0.0;
+  /// Balanced point estimate (equal normalized residual split).
+  double alu_mid = 0.0;
+  double hbm_mid = 0.0;
+  /// True when the reading is below idle + margin (no activity inferable)
+  bool idle = false;
+};
+
+/// Inverse of the calibrated power model for steady, throughput-style
+/// windows (latency share assumed small; the latency region is screened
+/// out by its power level before this inverse is meaningful).
+class PowerDecomposer {
+ public:
+  explicit PowerDecomposer(const gpusim::DeviceSpec& spec);
+
+  /// Envelope of (u_alu, u_hbm) consistent with `power_w` at `f_mhz`.
+  /// Throws ConfigError for non-positive inputs.
+  [[nodiscard]] UtilizationEstimate estimate(double power_w,
+                                             double f_mhz) const;
+
+  /// Forward model check: power of a (u_alu, u_hbm) pair at f (steady,
+  /// no latency share).  Exposed so callers can validate estimates.
+  [[nodiscard]] double forward_power(double u_alu, double u_hbm,
+                                     double f_mhz) const;
+
+ private:
+  gpusim::DeviceSpec spec_;
+};
+
+}  // namespace exaeff::core

@@ -1,0 +1,91 @@
+#include "core/domain_analysis.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace exaeff::core {
+
+double HeatmapData::max_value() const {
+  double m = 0.0;
+  for (double v : values) m = std::max(m, v);
+  return m;
+}
+
+namespace {
+HeatmapData empty_heatmap() {
+  HeatmapData h;
+  for (auto d : sched::all_domains()) {
+    h.row_labels.emplace_back(sched::domain_code(d));
+  }
+  for (auto b : sched::all_size_bins()) {
+    h.col_labels.emplace_back(sched::bin_name(b));
+  }
+  h.values.assign(h.row_labels.size() * h.col_labels.size(), 0.0);
+  return h;
+}
+}  // namespace
+
+HeatmapData DomainAnalyzer::energy_heatmap() const {
+  HeatmapData h = empty_heatmap();
+  std::size_t i = 0;
+  for (auto d : sched::all_domains()) {
+    for (auto b : sched::all_size_bins()) {
+      h.values[i++] = units::joules_to_mwh(acc_.cell(d, b).energy_j());
+    }
+  }
+  return h;
+}
+
+HeatmapData DomainAnalyzer::savings_heatmap(CapType type,
+                                            double setting) const {
+  HeatmapData h = empty_heatmap();
+  std::size_t i = 0;
+  for (auto d : sched::all_domains()) {
+    for (auto b : sched::all_size_bins()) {
+      // Per-cell projection: treat the cell as its own mini-campaign.
+      ModalDecomposition decomp;
+      const auto& cell = acc_.cell(d, b);
+      decomp.regions = cell.regions;
+      for (const auto& r : decomp.regions) {
+        decomp.total_gpu_hours += r.gpu_hours;
+        decomp.total_energy_j += r.energy_j;
+      }
+      const ProjectionRow row = engine_.project(decomp, type, setting);
+      h.values[i++] = row.total_saved_mwh;
+    }
+  }
+  return h;
+}
+
+std::vector<sched::ScienceDomain> DomainAnalyzer::high_yield_domains(
+    CapType type, double setting, double fraction_of_max) const {
+  const HeatmapData h = savings_heatmap(type, setting);
+  const double threshold = fraction_of_max * h.max_value();
+  std::vector<sched::ScienceDomain> selected;
+  const auto domains = sched::all_domains();
+  for (std::size_t row = 0; row < domains.size(); ++row) {
+    for (std::size_t col = 0; col < h.col_labels.size(); ++col) {
+      if (h.at(row, col) >= threshold && h.at(row, col) > 0.0) {
+        selected.push_back(domains[row]);
+        break;
+      }
+    }
+  }
+  return selected;
+}
+
+std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+DomainAnalyzer::selection_mask(std::span<const sched::ScienceDomain> domains,
+                               std::span<const sched::SizeBin> bins) {
+  std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+      mask{};
+  for (auto d : domains) {
+    for (auto b : bins) {
+      mask[static_cast<std::size_t>(d)][static_cast<std::size_t>(b)] = true;
+    }
+  }
+  return mask;
+}
+
+}  // namespace exaeff::core

@@ -1,0 +1,62 @@
+// exaeff/core/domain_analysis.h
+//
+// Domain x job-size analysis (paper Fig 10 and Table VI): heatmaps of
+// energy used and energy saved per (science domain, size bin) cell, and
+// the selection of high-yield domains — the paper restricts Table VI to
+// domains with at least one strongly-saving ("red") cell and to job sizes
+// A, B and C.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "core/projection.h"
+
+namespace exaeff::core {
+
+/// A domain x size-bin matrix of values (row-major, domains x bins).
+struct HeatmapData {
+  std::vector<std::string> row_labels;  ///< domain codes
+  std::vector<std::string> col_labels;  ///< bin names A..E
+  std::vector<double> values;           ///< MWh, row-major
+
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const {
+    return values[row * col_labels.size() + col];
+  }
+  [[nodiscard]] double max_value() const;
+};
+
+/// Analysis over a finished campaign accumulator.
+class DomainAnalyzer {
+ public:
+  /// Both referents must outlive the analyzer.
+  DomainAnalyzer(const CampaignAccumulator& acc,
+                 const ProjectionEngine& engine)
+      : acc_(acc), engine_(engine) {}
+
+  /// Fig 10(a): total GPU energy (MWh) per (domain, size bin).
+  [[nodiscard]] HeatmapData energy_heatmap() const;
+
+  /// Fig 10(b): projected savings (MWh) per cell for one cap setting.
+  [[nodiscard]] HeatmapData savings_heatmap(CapType type,
+                                            double setting) const;
+
+  /// Domains with at least one cell whose projected savings reach
+  /// `fraction_of_max` of the heatmap maximum (the paper's "red" cells).
+  [[nodiscard]] std::vector<sched::ScienceDomain> high_yield_domains(
+      CapType type, double setting, double fraction_of_max = 0.5) const;
+
+  /// Selection mask for Table VI: the given domains restricted to the
+  /// given size bins.
+  [[nodiscard]] static std::array<
+      std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+  selection_mask(std::span<const sched::ScienceDomain> domains,
+                 std::span<const sched::SizeBin> bins);
+
+ private:
+  const CampaignAccumulator& acc_;
+  const ProjectionEngine& engine_;
+};
+
+}  // namespace exaeff::core

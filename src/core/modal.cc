@@ -1,0 +1,32 @@
+#include "core/modal.h"
+
+#include <cmath>
+
+#include "gpusim/power_model.h"
+#include "workloads/app_profile.h"
+#include "workloads/vai.h"
+
+namespace exaeff::core {
+
+RegionBoundaries derive_boundaries(const gpusim::DeviceSpec& spec) {
+  const gpusim::PowerModel pm(spec);
+
+  RegionBoundaries b;
+  b.compute_max_w = spec.tdp_w;
+
+  // Compute-bound VAI kernel: its steady power is the floor of the
+  // compute-intensive region (the paper's ~420 W).
+  const auto compute_kernel = workloads::vai::make_kernel(spec, 1024.0);
+  b.memory_max_w =
+      std::round(pm.power_at(compute_kernel, spec.f_max_mhz) / 10.0) * 10.0;
+
+  // A latency-dominated kernel pushing ~28% of HBM bandwidth: the power
+  // level below which the device is doing essentially no throughput work.
+  const auto latency_kernel = workloads::kernel_from_utils(
+      spec, "region-probe", 60.0, 0.04, 0.28, 0.72, 0.4, 0.05);
+  b.latency_max_w =
+      std::round(pm.power_at(latency_kernel, spec.f_max_mhz) / 10.0) * 10.0;
+  return b;
+}
+
+}  // namespace exaeff::core

@@ -1,0 +1,95 @@
+// exaeff/core/modal.h
+//
+// Modal decomposition of GPU power (paper §V-B, Table IV): classify each
+// telemetry sample into one of four regions of operation by its power
+// value, with boundaries derived from the benchmark characterization:
+//
+//   region 1  latency / network / IO bound     P <= 200 W
+//   region 2  memory intensive (M.I.)          200 < P <= 420 W
+//   region 3  compute intensive (C.I.)         420 < P <= 560 W
+//   region 4  boosted frequency                P > 560 W
+//
+// "it is not possible to disaggregate all the GPU operations based only
+// on the power values" — the regions deliberately group operations with
+// similar power, which is exactly what makes the projection tractable.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "gpusim/device_spec.h"
+
+namespace exaeff::core {
+
+/// The four regions of operation.
+enum class Region : std::uint8_t {
+  kLatencyBound = 0,     ///< latency / network / IO bound
+  kMemoryIntensive = 1,  ///< bandwidth-dominated
+  kComputeIntensive = 2, ///< ALU-dominated
+  kBoost = 3,            ///< transient above-TDP excursions
+};
+
+inline constexpr std::size_t kRegionCount = 4;
+
+[[nodiscard]] constexpr std::string_view region_name(Region r) {
+  switch (r) {
+    case Region::kLatencyBound: return "Latency, Network & I/O bound";
+    case Region::kMemoryIntensive: return "Memory intensive (M.I.)";
+    case Region::kComputeIntensive: return "Compute intensive (C.I.)";
+    case Region::kBoost: return "Boosted frequency";
+  }
+  return "?";
+}
+
+/// Power boundaries between regions (watts).
+struct RegionBoundaries {
+  double latency_max_w = 200.0;  ///< region 1 upper edge
+  double memory_max_w = 420.0;   ///< region 2 upper edge
+  double compute_max_w = 560.0;  ///< region 3 upper edge (TDP)
+
+  /// Classifies a power sample.
+  [[nodiscard]] constexpr Region classify(double power_w) const {
+    if (power_w <= latency_max_w) return Region::kLatencyBound;
+    if (power_w <= memory_max_w) return Region::kMemoryIntensive;
+    if (power_w <= compute_max_w) return Region::kComputeIntensive;
+    return Region::kBoost;
+  }
+};
+
+/// Derives the boundaries from the device's benchmark behaviour, the way
+/// the paper reads them off its benchmark runs:
+///   * compute_max  = TDP (the sustained ceiling);
+///   * memory_max   = steady power of a purely compute-bound kernel at
+///     f_max (~420 W) — higher power requires memory traffic on top;
+///   * latency_max  = power of a ~35%-bandwidth, latency-dominated kernel
+///     (~200 W) — below it, throughput engines are essentially idle.
+[[nodiscard]] RegionBoundaries derive_boundaries(
+    const gpusim::DeviceSpec& spec);
+
+/// Region occupancy of a campaign: GPU-hours and energy per region.
+struct RegionShare {
+  double gpu_hours = 0.0;
+  double energy_j = 0.0;
+};
+
+/// Occupancy of all four regions plus totals (Table IV's right column).
+struct ModalDecomposition {
+  std::array<RegionShare, kRegionCount> regions{};
+  double total_gpu_hours = 0.0;
+  double total_energy_j = 0.0;
+
+  [[nodiscard]] double hours_pct(Region r) const {
+    return total_gpu_hours > 0.0
+               ? 100.0 * regions[static_cast<std::size_t>(r)].gpu_hours /
+                     total_gpu_hours
+               : 0.0;
+  }
+  [[nodiscard]] double energy_fraction(Region r) const {
+    return total_energy_j > 0.0
+               ? regions[static_cast<std::size_t>(r)].energy_j /
+                     total_energy_j
+               : 0.0;
+  }
+};
+
+}  // namespace exaeff::core

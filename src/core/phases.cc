@@ -1,0 +1,140 @@
+#include "core/phases.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace exaeff::core {
+
+std::vector<PhaseSegment> detect_phases(std::span<const float> powers,
+                                        const RegionBoundaries& boundaries,
+                                        const PhaseDetectorOptions& options) {
+  EXAEFF_REQUIRE(options.window >= 1, "detector window must be >= 1");
+  EXAEFF_REQUIRE(options.threshold_w > 0.0,
+                 "detector threshold must be positive");
+  EXAEFF_REQUIRE(options.min_phase >= 1, "minimum phase must be >= 1");
+
+  std::vector<PhaseSegment> segments;
+  if (powers.empty()) return segments;
+
+  const std::size_t w = options.window;
+  // Candidate change points: |mean(right window) - mean(left window)|
+  // exceeds the threshold.  Evaluated at every interior index.
+  std::vector<std::size_t> cuts;
+  if (powers.size() > 2 * w) {
+    // Window-mean difference at every interior position.
+    const std::size_t positions = powers.size() - 2 * w + 1;
+    std::vector<double> diff(positions);
+    double left = 0.0;
+    double right = 0.0;
+    for (std::size_t i = 0; i < w; ++i) {
+      left += powers[i];
+      right += powers[w + i];
+    }
+    for (std::size_t k = 0;; ++k) {
+      diff[k] = std::abs(right - left) / static_cast<double>(w);
+      if (k + 1 >= positions) break;
+      left += powers[w + k] - powers[k];
+      right += powers[2 * w + k] - powers[w + k];
+    }
+
+    // One cut per excursion above the threshold, placed at the local
+    // maximum of the difference (the sharpest point of the transition);
+    // then both windows must clear the transition before re-arming.
+    std::size_t last_cut = 0;
+    for (std::size_t k = 0; k < positions;) {
+      if (diff[k] <= options.threshold_w) {
+        ++k;
+        continue;
+      }
+      std::size_t peak = k;
+      while (k < positions && diff[k] > options.threshold_w) {
+        if (diff[k] > diff[peak]) peak = k;
+        ++k;
+      }
+      const std::size_t cut = peak + w;  // transition center
+      if (cut - last_cut >= options.min_phase &&
+          powers.size() - cut >= options.min_phase) {
+        cuts.push_back(cut);
+        last_cut = cut;
+      }
+    }
+  }
+  cuts.push_back(powers.size());
+
+  // Build segments between consecutive cuts and summarize each.
+  std::size_t begin = 0;
+  for (std::size_t cut : cuts) {
+    if (cut <= begin) continue;
+    PhaseSegment seg;
+    seg.begin = begin;
+    seg.end = cut;
+    double sum = 0.0;
+    for (std::size_t i = begin; i < cut; ++i) sum += powers[i];
+    seg.mean_power_w = sum / static_cast<double>(cut - begin);
+    double var = 0.0;
+    for (std::size_t i = begin; i < cut; ++i) {
+      const double d = powers[i] - seg.mean_power_w;
+      var += d * d;
+    }
+    seg.stddev_w = std::sqrt(var / static_cast<double>(cut - begin));
+    seg.region = boundaries.classify(seg.mean_power_w);
+    segments.push_back(seg);
+    begin = cut;
+  }
+
+  // Merge runt segments into their taller neighbour.
+  for (std::size_t i = 0; i < segments.size();) {
+    if (segments[i].length() >= options.min_phase ||
+        segments.size() == 1) {
+      ++i;
+      continue;
+    }
+    const std::size_t into = i == 0 ? 1 : i - 1;
+    auto& dst = segments[into];
+    auto& src = segments[i];
+    const double total =
+        static_cast<double>(dst.length() + src.length());
+    dst.mean_power_w =
+        (dst.mean_power_w * dst.length() + src.mean_power_w * src.length()) /
+        total;
+    dst.begin = std::min(dst.begin, src.begin);
+    dst.end = std::max(dst.end, src.end);
+    dst.region = boundaries.classify(dst.mean_power_w);
+    segments.erase(segments.begin() + static_cast<long>(i));
+    if (i > 0) --i;
+  }
+  return segments;
+}
+
+bool PhaseProfile::single_moded(double fraction) const {
+  for (double share : region_record_share) {
+    if (share >= fraction) return true;
+  }
+  return false;
+}
+
+PhaseProfile summarize_phases(std::span<const PhaseSegment> phases,
+                              std::size_t total_records) {
+  PhaseProfile profile;
+  profile.phase_count = phases.size();
+  if (phases.empty() || total_records == 0) return profile;
+
+  double length_sum = 0.0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const auto& p = phases[i];
+    profile.region_record_share[static_cast<std::size_t>(p.region)] +=
+        static_cast<double>(p.length()) /
+        static_cast<double>(total_records);
+    length_sum += static_cast<double>(p.length());
+    if (i > 0 && phases[i].region != phases[i - 1].region) {
+      ++profile.transitions;
+    }
+  }
+  profile.mean_phase_length =
+      length_sum / static_cast<double>(phases.size());
+  return profile;
+}
+
+}  // namespace exaeff::core

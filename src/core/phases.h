@@ -1,0 +1,64 @@
+// exaeff/core/phases.h
+//
+// Phase detection on power telemetry: segmenting a GCD's power series
+// into steady phases and summarizing each — the temporal half of
+// application fingerprinting ("identify the modes of operations in
+// real-world applications", paper §III-A).  Region classification says
+// *what* a sample is; phase detection says *when the application
+// changed behaviour*, which is what an online controller (src/agent)
+// and a fingerprint database both key on.
+//
+// The detector is a two-window mean-shift test: a change point is
+// declared where the mean of the trailing window differs from the mean
+// of the leading window by more than `threshold_w`, with a minimum
+// phase length to suppress noise.  It is causal-friendly, O(n), and
+// deterministic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/modal.h"
+
+namespace exaeff::core {
+
+/// One detected steady phase of a power series.
+struct PhaseSegment {
+  std::size_t begin = 0;      ///< first window index (inclusive)
+  std::size_t end = 0;        ///< last window index (exclusive)
+  double mean_power_w = 0.0;
+  double stddev_w = 0.0;
+  Region region = Region::kLatencyBound;
+
+  [[nodiscard]] std::size_t length() const { return end - begin; }
+};
+
+/// Detector tuning.
+struct PhaseDetectorOptions {
+  std::size_t window = 4;        ///< comparison window, in records
+  double threshold_w = 45.0;     ///< mean shift that declares a change
+  std::size_t min_phase = 4;     ///< shortest phase kept, in records
+};
+
+/// Segments `powers` (one channel, time-ordered) into phases.
+[[nodiscard]] std::vector<PhaseSegment> detect_phases(
+    std::span<const float> powers, const RegionBoundaries& boundaries,
+    const PhaseDetectorOptions& options = {});
+
+/// Phase-level summary of a series: how much time the application spent
+/// in each region *by phase*, and how often it transitioned.
+struct PhaseProfile {
+  std::size_t phase_count = 0;
+  std::size_t transitions = 0;  ///< region changes between phases
+  std::array<double, kRegionCount> region_record_share{};
+  double mean_phase_length = 0.0;  ///< in records
+
+  /// True when >= `fraction` of records sit in one region (the paper's
+  /// single-mode domains, Fig 9 (a)-(f)).
+  [[nodiscard]] bool single_moded(double fraction = 0.75) const;
+};
+
+[[nodiscard]] PhaseProfile summarize_phases(
+    std::span<const PhaseSegment> phases, std::size_t total_records);
+
+}  // namespace exaeff::core

@@ -1,0 +1,67 @@
+#include "core/projection.h"
+
+#include "common/units.h"
+
+namespace exaeff::core {
+
+ProjectionRow ProjectionEngine::project(const ModalDecomposition& decomp,
+                                        CapType type, double setting) const {
+  const CapResponse& ci =
+      table_.at(BenchClass::kComputeIntensive, type, setting);
+  const CapResponse& mi =
+      table_.at(BenchClass::kMemoryIntensive, type, setting);
+
+  const double e_ci =
+      decomp.regions[static_cast<std::size_t>(Region::kComputeIntensive)]
+          .energy_j;
+  const double e_mi =
+      decomp.regions[static_cast<std::size_t>(Region::kMemoryIntensive)]
+          .energy_j;
+  const double e_total = decomp.total_energy_j;
+
+  ProjectionRow row;
+  row.cap_type = type;
+  row.setting = setting;
+  row.ci_saved_mwh = units::joules_to_mwh(e_ci * (1.0 - ci.energy_pct / 100.0));
+  row.mi_saved_mwh = units::joules_to_mwh(e_mi * (1.0 - mi.energy_pct / 100.0));
+  row.total_saved_mwh = row.ci_saved_mwh + row.mi_saved_mwh;
+  if (e_total > 0.0) {
+    const double total_mwh = units::joules_to_mwh(e_total);
+    row.savings_pct = 100.0 * row.total_saved_mwh / total_mwh;
+    row.savings_pct_no_slowdown = 100.0 * row.mi_saved_mwh / total_mwh;
+    // Energy-weighted runtime increase across the two affected regions
+    // (regions 1 and 4 are excluded from capping in this projection).
+    row.delta_t_pct = (e_ci / e_total) * (ci.runtime_pct - 100.0) +
+                      (e_mi / e_total) * (mi.runtime_pct - 100.0);
+  }
+  return row;
+}
+
+std::vector<ProjectionRow> ProjectionEngine::project_sweep(
+    const ModalDecomposition& decomp, CapType type) const {
+  std::vector<ProjectionRow> rows;
+  for (const auto& r : table_.rows(BenchClass::kComputeIntensive, type)) {
+    // Skip the uncapped baseline rows (100% everything).
+    if (r.runtime_pct == 100.0 && r.energy_pct == 100.0 &&
+        r.avg_power_pct == 100.0) {
+      continue;
+    }
+    rows.push_back(project(decomp, type, r.setting));
+  }
+  return rows;
+}
+
+ProjectionRow ProjectionEngine::best_no_slowdown(
+    const ModalDecomposition& decomp, CapType type) const {
+  const auto rows = project_sweep(decomp, type);
+  EXAEFF_REQUIRE(!rows.empty(), "no capped settings in the sweep");
+  const ProjectionRow* best = &rows.front();
+  for (const auto& r : rows) {
+    if (r.savings_pct_no_slowdown > best->savings_pct_no_slowdown) {
+      best = &r;
+    }
+  }
+  return *best;
+}
+
+}  // namespace exaeff::core

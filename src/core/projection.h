@@ -1,0 +1,66 @@
+// exaeff/core/projection.h
+//
+// The energy-savings projection engine — the paper's headline method
+// (§V-C, Tables V and VI).  Given a campaign's modal decomposition and
+// the benchmark cap-response table, project what a system-wide (or
+// selective) cap would have saved:
+//
+//   saved(region, cap) = E_region * (1 - energy_pct(bench(region), cap))
+//   bench(C.I.) = VAI,  bench(M.I.) = MB
+//   total saved  = saved(C.I.) + saved(M.I.)       [regions 1 & 4 excluded:
+//                                                   no observed savings /
+//                                                   not characterized]
+//   savings %    = total saved / E_total
+//   dT %         = sum_region E_region/E_total * (runtime_pct - 100)
+//   savings % at dT=0 = saved(M.I.) / E_total      [MB runtime is flat]
+//
+// This is an *upper bound*: it assumes every sample in a savings region
+// responds like the benchmark that defines the region.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/modal.h"
+
+namespace exaeff::core {
+
+/// One row of Table V / Table VI.
+struct ProjectionRow {
+  CapType cap_type = CapType::kFrequency;
+  double setting = 0.0;            ///< MHz or watts
+  double ci_saved_mwh = 0.0;       ///< compute-intensive region savings
+  double mi_saved_mwh = 0.0;       ///< memory-intensive region savings
+  double total_saved_mwh = 0.0;    ///< TS column
+  double savings_pct = 0.0;        ///< TS / total energy
+  double delta_t_pct = 0.0;        ///< energy-weighted runtime increase
+  double savings_pct_no_slowdown = 0.0;  ///< MI-only (dT = 0) column
+};
+
+/// Projects savings from region occupancies and benchmark responses.
+class ProjectionEngine {
+ public:
+  explicit ProjectionEngine(const CapResponseTable& table) : table_(table) {}
+
+  /// Projection for one cap setting over a decomposition.
+  [[nodiscard]] ProjectionRow project(const ModalDecomposition& decomp,
+                                      CapType type, double setting) const;
+
+  /// Projection rows for a whole sweep (every setting in the table except
+  /// the uncapped baseline).
+  [[nodiscard]] std::vector<ProjectionRow> project_sweep(
+      const ModalDecomposition& decomp, CapType type) const;
+
+  /// The setting (among the swept ones) with the highest savings at zero
+  /// slowdown — the paper's "best case" operating point.
+  [[nodiscard]] ProjectionRow best_no_slowdown(
+      const ModalDecomposition& decomp, CapType type) const;
+
+  [[nodiscard]] const CapResponseTable& table() const { return table_; }
+
+ private:
+  const CapResponseTable& table_;
+};
+
+}  // namespace exaeff::core

@@ -1,0 +1,123 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "common/ascii_plot.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/domain_analysis.h"
+
+namespace exaeff::core {
+
+std::string render_campaign_report(const ReportInputs& inputs) {
+  if (inputs.accumulator == nullptr || inputs.table == nullptr) {
+    throw ConfigError("report needs an accumulator and a response table");
+  }
+  const CampaignAccumulator& acc = *inputs.accumulator;
+  const CapResponseTable& table = *inputs.table;
+  const ProjectionEngine engine(table);
+  const DomainAnalyzer analyzer(acc, engine);
+  const auto decomp = acc.decomposition();
+  const double total_mwh = units::joules_to_mwh(decomp.total_energy_j);
+
+  std::ostringstream os;
+  os << "# Energy-savings analysis: " << inputs.campaign_label << "\n\n";
+
+  // --- dataset ----------------------------------------------------------
+  os << "## Dataset\n\n";
+  os << "- telemetry records: " << acc.gcd_sample_count() << " (at "
+     << acc.window_s() << " s resolution)\n";
+  os << "- GPU-hours: " << TextTable::num(decomp.total_gpu_hours, 0)
+     << "\n";
+  os << "- GPU energy: " << TextTable::num(total_mwh, 2) << " MWh\n\n";
+
+  // --- modal decomposition ----------------------------------------------
+  os << "## Regions of operation\n\n";
+  {
+    TextTable t;
+    t.set_header({"region", "range (W)", "GPU-hrs %", "energy %"});
+    const auto& b = acc.boundaries();
+    const std::string ranges[4] = {
+        "<= " + TextTable::num(b.latency_max_w, 0),
+        TextTable::num(b.latency_max_w, 0) + "-" +
+            TextTable::num(b.memory_max_w, 0),
+        TextTable::num(b.memory_max_w, 0) + "-" +
+            TextTable::num(b.compute_max_w, 0),
+        ">= " + TextTable::num(b.compute_max_w, 0)};
+    for (int r = 0; r < 4; ++r) {
+      const auto region = static_cast<Region>(r);
+      t.add_row({std::string(region_name(region)), ranges[r],
+                 TextTable::num(decomp.hours_pct(region), 1),
+                 TextTable::num(100.0 * decomp.energy_fraction(region), 1)});
+    }
+    os << t.str() << "\n";
+  }
+
+  // --- projections --------------------------------------------------------
+  auto projection_block = [&](CapType type, const char* title) {
+    os << "## " << title << "\n\n";
+    TextTable t;
+    t.set_header({"setting", "C.I. saved (MWh)", "M.I. saved (MWh)",
+                  "total (MWh)", "savings %", "dT %", "savings % at dT=0"});
+    for (const auto& row : engine.project_sweep(decomp, type)) {
+      t.add_row({TextTable::num(row.setting, 0),
+                 TextTable::num(row.ci_saved_mwh, 3),
+                 TextTable::num(row.mi_saved_mwh, 3),
+                 TextTable::num(row.total_saved_mwh, 3),
+                 TextTable::num(row.savings_pct, 1),
+                 TextTable::num(row.delta_t_pct, 1),
+                 TextTable::num(row.savings_pct_no_slowdown, 1)});
+    }
+    os << t.str() << "\n";
+  };
+  projection_block(CapType::kFrequency, "Frequency-cap projection");
+  projection_block(CapType::kPower, "Power-cap projection");
+
+  const auto best = engine.best_no_slowdown(decomp, CapType::kFrequency);
+  os << "Best zero-slowdown point: **"
+     << TextTable::num(best.setting, 0) << " MHz** -> "
+     << TextTable::num(best.savings_pct_no_slowdown, 1)
+     << "% of GPU energy saved with no runtime increase.\n\n";
+
+  // --- heatmaps -----------------------------------------------------------
+  os << "## Energy by domain and job size\n\n";
+  const auto used = analyzer.energy_heatmap();
+  os << heatmap("energy used (MWh)", used.row_labels, used.col_labels,
+                used.values, 2)
+     << "\n";
+  const auto saved =
+      analyzer.savings_heatmap(CapType::kFrequency, inputs.focus_cap_mhz);
+  os << heatmap("projected savings at " +
+                    TextTable::num(inputs.focus_cap_mhz, 0) + " MHz (MWh)",
+                saved.row_labels, saved.col_labels, saved.values, 3)
+     << "\n";
+
+  // --- selective capping ---------------------------------------------------
+  os << "## Selective capping\n\n";
+  const auto domains = analyzer.high_yield_domains(
+      CapType::kFrequency, inputs.focus_cap_mhz, inputs.high_yield_fraction);
+  os << "High-yield domains:";
+  for (auto d : domains) os << " " << sched::domain_code(d);
+  os << "\n\n";
+  if (!domains.empty()) {
+    const std::vector<sched::SizeBin> bins = {
+        sched::SizeBin::kA, sched::SizeBin::kB, sched::SizeBin::kC};
+    const auto mask = DomainAnalyzer::selection_mask(domains, bins);
+    const auto sel = engine.project(acc.decomposition_for(mask),
+                                    CapType::kFrequency,
+                                    inputs.focus_cap_mhz);
+    const auto sys = engine.project(decomp, CapType::kFrequency,
+                                    inputs.focus_cap_mhz);
+    os << "Capping only these domains on job sizes A-C at "
+       << TextTable::num(inputs.focus_cap_mhz, 0) << " MHz keeps "
+       << TextTable::num(100.0 * sel.total_saved_mwh /
+                             std::max(sys.total_saved_mwh, 1e-12),
+                         0)
+       << "% of the system-wide savings ("
+       << TextTable::num(sel.total_saved_mwh, 3) << " of "
+       << TextTable::num(sys.total_saved_mwh, 3) << " MWh).\n";
+  }
+  return os.str();
+}
+
+}  // namespace exaeff::core

@@ -1,0 +1,33 @@
+// exaeff/core/report.h
+//
+// One-call campaign report: renders the full analysis of a campaign —
+// dataset summary, benchmark characterization, modal decomposition,
+// system-wide and selective projections, domain/size heatmaps — into a
+// single text document.  This is the artifact an operations team would
+// circulate; the examples write it to disk.
+#pragma once
+
+#include <string>
+
+#include "core/accumulator.h"
+#include "core/characterization.h"
+#include "core/projection.h"
+
+namespace exaeff::core {
+
+/// Report inputs.
+struct ReportInputs {
+  const CampaignAccumulator* accumulator = nullptr;
+  const CapResponseTable* table = nullptr;
+  std::string campaign_label = "campaign";
+
+  /// Cap setting highlighted in the heatmap/selective sections (MHz).
+  double focus_cap_mhz = 1100.0;
+  /// Threshold for the "high-yield domain" selection.
+  double high_yield_fraction = 0.35;
+};
+
+/// Renders the full report.  Throws ConfigError when inputs are missing.
+[[nodiscard]] std::string render_campaign_report(const ReportInputs& inputs);
+
+}  // namespace exaeff::core

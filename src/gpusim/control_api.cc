@@ -1,0 +1,44 @@
+#include "gpusim/control_api.h"
+
+#include <algorithm>
+
+namespace exaeff::gpusim {
+
+double DeviceControl::set_frequency_cap(double mhz) {
+  EXAEFF_REQUIRE(mhz > 0.0, "frequency cap must be positive");
+  const double applied = sim_.spec().clamp_frequency(mhz);
+  policy_.freq_cap_mhz = applied;
+  return applied;
+}
+
+double DeviceControl::set_power_cap(double watts) {
+  EXAEFF_REQUIRE(watts > 0.0, "power cap must be positive");
+  const double applied = std::min(watts, sim_.spec().boost_power_w);
+  policy_.power_cap_w = applied;
+  return applied;
+}
+
+void DeviceControl::reset_caps() { policy_ = PowerPolicy{}; }
+
+RunResult DeviceControl::launch(const KernelDesc& kernel) {
+  const RunResult r = sim_.run(kernel, policy_);
+  last_power_w_ = r.avg_power_w;
+  last_freq_mhz_ = r.freq_mhz;
+  last_breached_ = r.cap_breached;
+  energy_j_ += r.energy_j;
+  ++launches_;
+  return r;
+}
+
+double DeviceControl::read_power_w() {
+  const double base =
+      launches_ > 0 ? last_power_w_ : sim_.spec().idle_power_w;
+  // Sensor noise comparable to the out-of-band channel's.
+  return std::max(0.0, base + rng_.normal(0.0, 3.0));
+}
+
+double DeviceControl::read_frequency_mhz() const {
+  return launches_ > 0 ? last_freq_mhz_ : sim_.spec().f_max_mhz;
+}
+
+}  // namespace exaeff::gpusim

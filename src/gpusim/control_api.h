@@ -1,0 +1,83 @@
+// exaeff/gpusim/control_api.h
+//
+// A device-control facade in the style of ROCm-SMI / Variorum / GEOPM's
+// platform IO: sticky cap state, sensor reads, and guard rails.  The
+// simulator itself is purely functional (run(kernel, policy)); real
+// power-management software instead talks to a *stateful* device — set a
+// cap, launch work, read sensors, clear the cap.  DeviceControl provides
+// that contract on top of the simulator so runtime tools (src/agent) and
+// user code exercise the same call shapes they would on hardware.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/simulator.h"
+
+namespace exaeff::gpusim {
+
+/// Stateful control interface for one simulated GCD.
+class DeviceControl {
+ public:
+  explicit DeviceControl(const DeviceSpec& spec)
+      : sim_(spec), rng_(0xD0C5) {}
+  DeviceControl(const DeviceSpec& spec, std::uint64_t sensor_seed)
+      : sim_(spec), rng_(sensor_seed) {}
+
+  // --- cap management (rocm-smi --setsclk / --setpoweroverdrive) -------
+  /// Sets the engine-clock cap; clamped to the supported range.
+  /// Returns the actually-applied value.
+  double set_frequency_cap(double mhz);
+
+  /// Sets the sustained power cap.  Values below the device's breach
+  /// floor are accepted (hardware accepts them too) but will be
+  /// breached under memory-heavy load.  Throws on non-positive input.
+  double set_power_cap(double watts);
+
+  /// Clears both caps (back to default performance state).
+  void reset_caps();
+
+  [[nodiscard]] std::optional<double> frequency_cap_mhz() const {
+    return policy_.freq_cap_mhz;
+  }
+  [[nodiscard]] std::optional<double> power_cap_w() const {
+    return policy_.power_cap_w;
+  }
+
+  // --- execution --------------------------------------------------------
+  /// Runs a kernel under the currently-set caps and records the outcome
+  /// in the device's sensor history.
+  RunResult launch(const KernelDesc& kernel);
+
+  // --- sensors (rocm-smi --showpower etc.) -------------------------------
+  /// Instantaneous power of the most recent launch's steady state, with
+  /// sensor noise; idle power when nothing has run yet.
+  [[nodiscard]] double read_power_w();
+
+  /// Engine clock the last launch settled at (device max when idle).
+  [[nodiscard]] double read_frequency_mhz() const;
+
+  /// Accumulated energy over all launches, joules.
+  [[nodiscard]] double energy_counter_j() const { return energy_j_; }
+
+  /// True when the last launch could not honor the power cap.
+  [[nodiscard]] bool cap_breached() const { return last_breached_; }
+
+  /// Count of launches so far.
+  [[nodiscard]] std::size_t launch_count() const { return launches_; }
+
+  [[nodiscard]] const DeviceSpec& spec() const { return sim_.spec(); }
+
+ private:
+  GpuSimulator sim_;
+  Rng rng_;
+  PowerPolicy policy_;
+  double last_power_w_ = 0.0;
+  double last_freq_mhz_ = 0.0;
+  double energy_j_ = 0.0;
+  bool last_breached_ = false;
+  std::size_t launches_ = 0;
+};
+
+}  // namespace exaeff::gpusim

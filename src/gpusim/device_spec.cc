@@ -1,0 +1,52 @@
+#include "gpusim/device_spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exaeff::gpusim {
+
+double DeviceSpec::clamp_frequency(double f_mhz) const {
+  const double clamped = std::clamp(f_mhz, f_min_mhz, f_max_mhz);
+  if (f_step_mhz <= 0.0) return clamped;
+  const double steps = std::round((clamped - f_min_mhz) / f_step_mhz);
+  return std::min(f_max_mhz, f_min_mhz + steps * f_step_mhz);
+}
+
+DeviceSpec mi250x_gcd() {
+  DeviceSpec spec;  // defaults are the MI250X GCD calibration
+  spec.validate();
+  return spec;
+}
+
+DeviceSpec nextgen_gcd() {
+  DeviceSpec spec;
+  spec.name = "NextGen-GCD";
+  // Clocks: wider dynamic range, higher ceiling.
+  spec.f_min_mhz = 500.0;
+  spec.f_max_mhz = 2100.0;
+  spec.cap_f_floor_mhz = 900.0;
+  // Compute/memory: ~2x compute, ~2.6x HBM bandwidth (HBM3-class),
+  // double the L2.  The ridge moves slightly left (more bandwidth per
+  // flop), enlarging the memory-intensive savings region.
+  spec.peak_flops_theoretical = 45.0e12;
+  spec.peak_flops_sustained = 13.1e12;
+  spec.hbm_bytes = 128.0 * 1024.0 * 1024.0 * 1024.0;
+  spec.hbm_bw = 4.2e12;
+  spec.l2_bytes = 32.0 * 1024.0 * 1024.0;
+  spec.l2_bw = 16.0e12;
+  // Power: higher TDP, and a larger clock-independent share (more HBM
+  // stacks) — the structural reason frequency capping saves relatively
+  // less dynamic power on newer parts.
+  spec.idle_power_w = 110.0;
+  spec.tdp_w = 760.0;
+  spec.boost_power_w = 840.0;
+  spec.coef_alu_w = 400.0;
+  spec.coef_hbm_offdie_w = 290.0;
+  spec.coef_hbm_ondie_w = 130.0;
+  spec.coef_l2_w = 95.0;
+  spec.coef_interact_w = -175.0;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace exaeff::gpusim

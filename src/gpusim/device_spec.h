@@ -1,0 +1,149 @@
+// exaeff/gpusim/device_spec.h
+//
+// Static description of one simulated GPU compute die (GCD).  The default
+// preset models one of the two Graphic Compute Dies of an AMD MI250X as
+// deployed in Frontier (paper Table I): 64 GB HBM2e at 1.6 TB/s, 23.9
+// TFLOP/s FP64 theoretical peak, 560 W TDP, 1700 MHz maximum engine clock.
+//
+// Two peak-FLOPs numbers are carried deliberately:
+//   * `peak_flops_theoretical` — the 23.9 TFLOP/s spec-sheet number
+//     (packed-FMA FP64), reported in Table I.
+//   * `peak_flops_sustained`   — what a straightforward, well-written
+//     kernel (the paper's VAI benchmark, "simple algorithm without
+//     excessive optimization") actually sustains.  The paper's empirical
+//     roofline places the memory/compute ridge at an arithmetic intensity
+//     of 4 flop/byte, which with 1.6 TB/s of HBM bandwidth corresponds to
+//     ~6.55 TFLOP/s sustained.  The execution model uses this value, so
+//     the simulated roofline has the paper's ridge.
+//
+// The power-model coefficients are calibrated against the paper's §IV-A
+// anchor points at 1700 MHz:
+//   idle               88–90 W
+//   AI = 1/16 stream   ~380 W   (HBM saturated, ALUs nearly idle)
+//   AI = 4             ~540 W   (HBM and ALUs both saturated; only point
+//                                that approaches the 560 W TDP)
+//   AI >> 4            ~420 W   (ALUs saturated, HBM nearly idle)
+// With P = idle + s(f)(A u_alu + L u_l2) + M u_hbm + X s(f) u_alu u_hbm,
+// A = 330 W, M = 290 W, X = -170 W reproduces all four anchors exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace exaeff::gpusim {
+
+/// Immutable hardware description of a simulated GCD.
+struct DeviceSpec {
+  std::string name = "MI250X-GCD";
+
+  // --- clocks -----------------------------------------------------------
+  double f_min_mhz = 500.0;      ///< lowest user-settable engine clock
+  double f_max_mhz = 1700.0;     ///< highest sustained engine clock
+  double f_step_mhz = 1.0;       ///< DVFS quantization step
+  double cap_f_floor_mhz = 800;  ///< lowest clock the power-cap DPM uses
+
+  // --- compute / memory -------------------------------------------------
+  double peak_flops_theoretical = 23.9e12;  ///< spec-sheet FP64 peak at f_max
+  double peak_flops_sustained = 6.55e12;    ///< achievable FP64 peak at f_max
+  double hbm_bytes = 64.0 * 1024.0 * 1024.0 * 1024.0;  ///< 64 GB HBM2e
+  double hbm_bw = 1.6384e12;                ///< HBM bandwidth, B/s
+  double l2_bytes = 16.0 * 1024.0 * 1024.0; ///< L2 capacity (paper §IV-B)
+  double l2_bw = 8.2e12;                    ///< L2 bandwidth at f_max, B/s
+
+  // --- power ------------------------------------------------------------
+  double idle_power_w = 89.0;   ///< paper §V-A: idle is 88-90 W
+  double tdp_w = 560.0;         ///< sustained power limit (GCD max power)
+  double boost_power_w = 625.0; ///< short-excursion ceiling seen in telemetry
+
+  /// Power-model coefficients (watts at f_max, full utilization).
+  ///
+  /// Moving a byte from HBM burns power both off-die (DRAM + PHY, which
+  /// does not follow the engine clock) and on-die (fabric/datapath, which
+  /// does).  The split is what makes memory-bound power drop ~15-25%
+  /// under deep frequency caps while bandwidth stays flat — the paper's
+  /// Table III "MB" column.
+  double coef_alu_w = 330.0;        ///< ALU/issue dynamic power
+  double coef_hbm_offdie_w = 170.0; ///< HBM DRAM + PHY (clock-independent)
+  double coef_hbm_ondie_w = 100.0;  ///< on-die transport (scales with s(f))
+  double coef_l2_w = 80.0;          ///< L2/on-die datapath power
+  double coef_interact_w = -170.0;  ///< shared-rail saturation (sub-additive)
+
+  /// Fabric throttling: when a power cap is unattainable even at the DPM
+  /// clock floor, firmware additionally slows the memory fabric.
+  /// `fabric_floor` is the lowest bandwidth fraction it can impose;
+  /// `hbm_static_fraction` is the share of off-die HBM power that draws
+  /// regardless of achieved traffic (refresh, PHY bias) — which is why
+  /// deep caps are *breached* rather than met.
+  double fabric_floor = 0.78;
+  double hbm_static_fraction = 0.25;
+
+  /// Below this relative engine clock the on-die fabric can no longer
+  /// keep HBM saturated even for occupancy-bound streams — achievable
+  /// bandwidth degrades linearly.  This is why the paper's deepest
+  /// frequency cap (700 MHz) costs memory-bound codes energy again.
+  double fabric_min_rel_clock = 0.47;
+
+  /// Affine voltage curve V(f) = volt_base + volt_slope * (f / f_max);
+  /// only the *ratio* to V(f_max) matters for power scaling.
+  double volt_base = 0.60;
+  double volt_slope = 0.50;
+
+  // --- boost behaviour (telemetry-visible transients) --------------------
+  double boost_probability = 0.010; ///< chance a 2 s sample catches a boost
+  double boost_extra_w = 45.0;      ///< mean extra power during a boost spike
+
+  /// Validates internal consistency; throws ConfigError on nonsense.
+  void validate() const {
+    if (!(f_min_mhz > 0.0 && f_max_mhz > f_min_mhz)) {
+      throw ConfigError("DeviceSpec: need 0 < f_min < f_max");
+    }
+    if (!(peak_flops_sustained > 0.0 && hbm_bw > 0.0 && l2_bw > 0.0)) {
+      throw ConfigError("DeviceSpec: peak rates must be positive");
+    }
+    if (!(idle_power_w >= 0.0 && tdp_w > idle_power_w)) {
+      throw ConfigError("DeviceSpec: need idle >= 0 and TDP > idle");
+    }
+    if (!(boost_power_w >= tdp_w)) {
+      throw ConfigError("DeviceSpec: boost ceiling below TDP");
+    }
+  }
+
+  /// Relative clock f/f_max in (0, 1].
+  [[nodiscard]] double rel_clock(double f_mhz) const {
+    return f_mhz / f_max_mhz;
+  }
+
+  /// Voltage at frequency f (arbitrary units; used as a ratio).
+  [[nodiscard]] double voltage(double f_mhz) const {
+    return volt_base + volt_slope * rel_clock(f_mhz);
+  }
+
+  /// Dynamic-power scale factor s(f) = (f/f0) * (V(f)/V(f0))^2, equal to 1
+  /// at f_max.  Classic CMOS dynamic-power scaling.
+  [[nodiscard]] double power_scale(double f_mhz) const {
+    const double v_ratio = voltage(f_mhz) / voltage(f_max_mhz);
+    return rel_clock(f_mhz) * v_ratio * v_ratio;
+  }
+
+  /// Clamps and quantizes a frequency request to a supported DVFS state.
+  [[nodiscard]] double clamp_frequency(double f_mhz) const;
+
+  /// Ridge point of the sustained roofline, flop/byte.
+  [[nodiscard]] double ridge_intensity() const {
+    return peak_flops_sustained / hbm_bw;
+  }
+};
+
+/// Factory: the Frontier MI250X GCD preset used throughout the paper.
+[[nodiscard]] DeviceSpec mi250x_gcd();
+
+/// Factory: a hypothetical next-generation GCD (the paper's discussion:
+/// "based on technology developments, such assessments have to be
+/// re-evaluated").  Higher TDP and bandwidth, a larger L2, a wider
+/// clock range, and a bigger clock-independent HBM share — the trend
+/// that *shifts* where capping pays.
+[[nodiscard]] DeviceSpec nextgen_gcd();
+
+}  // namespace exaeff::gpusim

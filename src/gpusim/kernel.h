@@ -1,0 +1,101 @@
+// exaeff/gpusim/kernel.h
+//
+// KernelDesc is the workload currency of the simulator: a device-agnostic
+// description of the *demands* a GPU kernel places on the die.  The
+// execution model turns a KernelDesc plus a frequency into timings and
+// engine utilizations; the power model turns utilizations into watts.
+//
+// Workload generators (VAI, membench, Louvain passes, application phases)
+// all reduce to KernelDescs, which is what lets benchmark characterization
+// transfer onto fleet-scale workloads — exactly the paper's method.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace exaeff::gpusim {
+
+/// Demand description of one GPU kernel (or steady application phase).
+struct KernelDesc {
+  std::string name = "kernel";
+
+  /// Total floating-point operations to retire.
+  double flops = 0.0;
+
+  /// Bytes moved to/from HBM (misses past L2).
+  double hbm_bytes = 0.0;
+
+  /// Bytes served by the L2 cache (hits).
+  double l2_bytes = 0.0;
+
+  /// Issue-boundedness of the HBM stream, in [0, 1].
+  ///
+  /// 1 means achievable HBM bandwidth scales with the engine clock (the
+  /// kernel cannot keep enough loads in flight at low clock — the paper's
+  /// VAI stream behaves this way, Fig 4); 0 means bandwidth is clock-
+  /// insensitive (massive occupancy hides the clock — the paper's
+  /// L2-cache/HBM benchmark behaves this way, Fig 6).
+  double issue_boundedness = 0.0;
+
+  /// Serial/latency-bound time at f_max (dependent chains, kernel-launch
+  /// and synchronization overhead, CPU<->GPU transfers).  Scales as
+  /// (f_max/f)^latency_exp when the clock is lowered.
+  double latency_s = 0.0;
+
+  /// Frequency sensitivity of the latency term; 1 = proportional (the
+  /// behaviour the paper reports for its latency-bound region), 0 = none.
+  double latency_exp = 1.0;
+
+  /// Compute-time inflation factor >= 1 for divergent / imbalanced
+  /// workloads (bounded-degree graphs in Fig 7 motivate this knob).
+  double divergence = 1.0;
+
+  /// Fraction of dynamic engine power actually drawn while latency-bound
+  /// work is "occupying" the die (low: stalled units clock-gate).
+  double latency_power_fraction = 0.12;
+
+  /// Validates ranges; throws ConfigError on nonsense.
+  void validate() const {
+    if (flops < 0.0 || hbm_bytes < 0.0 || l2_bytes < 0.0 || latency_s < 0.0) {
+      throw ConfigError("KernelDesc: demands must be non-negative");
+    }
+    if (flops == 0.0 && hbm_bytes == 0.0 && l2_bytes == 0.0 &&
+        latency_s == 0.0) {
+      throw ConfigError("KernelDesc: kernel has no work at all");
+    }
+    if (issue_boundedness < 0.0 || issue_boundedness > 1.0) {
+      throw ConfigError("KernelDesc: issue_boundedness must be in [0, 1]");
+    }
+    if (divergence < 1.0) {
+      throw ConfigError("KernelDesc: divergence must be >= 1");
+    }
+    if (latency_exp < 0.0 || latency_exp > 2.0) {
+      throw ConfigError("KernelDesc: latency_exp must be in [0, 2]");
+    }
+    if (latency_power_fraction < 0.0 || latency_power_fraction > 1.0) {
+      throw ConfigError("KernelDesc: latency_power_fraction in [0, 1]");
+    }
+  }
+
+  /// Arithmetic intensity against HBM traffic, flop/byte.  Infinite HBM
+  /// intensity (no HBM traffic) returns a large sentinel.
+  [[nodiscard]] double arithmetic_intensity() const {
+    if (hbm_bytes <= 0.0) return 1e30;
+    return flops / hbm_bytes;
+  }
+
+  /// Returns a copy scaled to `factor` times the work (all demand fields
+  /// scale linearly; used to extend runtime for steady-state measurement,
+  /// mirroring the paper's REPEAT knob).
+  [[nodiscard]] KernelDesc scaled(double factor) const {
+    KernelDesc k = *this;
+    k.flops *= factor;
+    k.hbm_bytes *= factor;
+    k.l2_bytes *= factor;
+    k.latency_s *= factor;
+    return k;
+  }
+};
+
+}  // namespace exaeff::gpusim

@@ -1,0 +1,71 @@
+#include "gpusim/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exaeff::gpusim {
+
+double ExecutionModel::effective_hbm_bw(double f_mhz, double beta) const {
+  const double rel = spec_.rel_clock(spec_.clamp_frequency(f_mhz));
+  // Issue-boundedness scales bandwidth with the clock per kernel; below
+  // the fabric knee, even occupancy-bound streams lose bandwidth because
+  // the on-die transport cannot keep HBM saturated.
+  const double fabric =
+      std::min(1.0, rel / std::max(spec_.fabric_min_rel_clock, 1e-9));
+  return spec_.hbm_bw * (1.0 - beta + beta * rel) * fabric;
+}
+
+KernelTiming ExecutionModel::timing(const KernelDesc& kernel, double f_mhz,
+                                    double fabric_factor) const {
+  kernel.validate();
+  EXAEFF_REQUIRE(fabric_factor > 0.0 && fabric_factor <= 1.0,
+                 "fabric_factor must be in (0, 1]");
+  const double f = spec_.clamp_frequency(f_mhz);
+  const double rel = spec_.rel_clock(f);
+
+  KernelTiming t;
+  t.freq_mhz = f;
+  t.fabric_factor = fabric_factor;
+
+  const double peak_flops = spec_.peak_flops_sustained * rel;
+  t.t_compute_s =
+      kernel.flops > 0.0 ? kernel.flops * kernel.divergence / peak_flops : 0.0;
+  t.t_hbm_s = kernel.hbm_bytes > 0.0
+                  ? kernel.hbm_bytes /
+                        (effective_hbm_bw(f, kernel.issue_boundedness) *
+                         fabric_factor)
+                  : 0.0;
+  t.t_l2_s = kernel.l2_bytes > 0.0 ? kernel.l2_bytes / (spec_.l2_bw * rel) : 0.0;
+  t.t_latency_s =
+      kernel.latency_s > 0.0
+          ? kernel.latency_s * std::pow(1.0 / rel, kernel.latency_exp)
+          : 0.0;
+
+  const double throughput_time =
+      std::max({t.t_compute_s, t.t_hbm_s, t.t_l2_s});
+  t.time_s = throughput_time + t.t_latency_s;
+
+  if (t.time_s > 0.0) {
+    t.u_alu = t.t_compute_s / t.time_s;
+    t.u_hbm = t.t_hbm_s / t.time_s;
+    t.u_l2 = t.t_l2_s / t.time_s;
+    t.u_lat = t.t_latency_s / t.time_s;
+    t.achieved_flops = kernel.flops / t.time_s;
+    t.achieved_hbm_bw = kernel.hbm_bytes / t.time_s;
+    t.achieved_l2_bw = kernel.l2_bytes / t.time_s;
+  }
+
+  // Classify the binding roof (latency wins when it dominates wall time).
+  if (t.t_latency_s >= throughput_time) {
+    t.bound = KernelTiming::Bound::kLatency;
+  } else if (t.t_compute_s >= t.t_hbm_s && t.t_compute_s >= t.t_l2_s) {
+    t.bound = KernelTiming::Bound::kCompute;
+  } else if (t.t_hbm_s >= t.t_l2_s) {
+    t.bound = KernelTiming::Bound::kHbm;
+  } else {
+    t.bound = KernelTiming::Bound::kL2;
+  }
+  return t;
+}
+
+}  // namespace exaeff::gpusim

@@ -1,0 +1,72 @@
+// exaeff/gpusim/perf_model.h
+//
+// Roofline execution model.  Given a device, a kernel demand description,
+// and an engine clock, produces the kernel's runtime, the per-engine
+// utilizations the power model consumes, and the achieved rates the
+// roofline plots report (Fig 4).
+//
+// Model structure (validated against the paper's observations):
+//   t_compute = flops * divergence / (peak_sustained * f/f_max)
+//   t_hbm     = hbm_bytes / (hbm_bw * (1 - beta + beta * f/f_max))
+//   t_l2      = l2_bytes  / (l2_bw * f/f_max)
+//   t_lat     = latency_s * (f_max/f)^latency_exp
+//   T         = max(t_compute, t_hbm, t_l2) + t_lat
+// The throughput phases overlap perfectly (classic roofline); the latency
+// phase does not overlap (synchronization, transfers, launch gaps).
+#pragma once
+
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+
+namespace exaeff::gpusim {
+
+/// Timing and utilization result for one kernel at one clock.
+struct KernelTiming {
+  double freq_mhz = 0.0;       ///< clock this timing was computed at
+  double fabric_factor = 1.0;  ///< HBM bandwidth fraction applied
+  double time_s = 0.0;         ///< total wall time
+
+  double t_compute_s = 0.0;  ///< ALU-limited time
+  double t_hbm_s = 0.0;      ///< HBM-limited time
+  double t_l2_s = 0.0;       ///< L2-limited time
+  double t_latency_s = 0.0;  ///< non-overlapped latency time
+
+  double u_alu = 0.0;  ///< ALU busy fraction of T
+  double u_hbm = 0.0;  ///< HBM busy fraction of T
+  double u_l2 = 0.0;   ///< L2 busy fraction of T
+  double u_lat = 0.0;  ///< latency-bound fraction of T
+
+  double achieved_flops = 0.0;   ///< flop/s over the whole run
+  double achieved_hbm_bw = 0.0;  ///< B/s over the whole run
+  double achieved_l2_bw = 0.0;   ///< B/s over the whole run
+
+  /// The engine whose roof the kernel is pressing against.
+  enum class Bound { kCompute, kHbm, kL2, kLatency };
+  Bound bound = Bound::kCompute;
+};
+
+/// Stateless roofline execution model for a fixed device.
+class ExecutionModel {
+ public:
+  explicit ExecutionModel(const DeviceSpec& spec) : spec_(spec) {
+    spec_.validate();
+  }
+
+  /// Computes timing/utilization at engine clock `f_mhz` (clamped to the
+  /// device's supported range).  `fabric_factor` in (0, 1] scales the
+  /// achievable HBM bandwidth (firmware fabric throttling under a
+  /// breached power cap); 1 means no throttling.
+  [[nodiscard]] KernelTiming timing(const KernelDesc& kernel, double f_mhz,
+                                    double fabric_factor = 1.0) const;
+
+  /// Effective HBM bandwidth at clock f for a kernel with the given
+  /// issue-boundedness (exposed for tests and plots).
+  [[nodiscard]] double effective_hbm_bw(double f_mhz, double beta) const;
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace exaeff::gpusim

@@ -1,0 +1,55 @@
+#include "gpusim/phase_run.h"
+
+#include "common/error.h"
+
+namespace exaeff::gpusim {
+
+SequenceResult run_sequence(const GpuSimulator& sim,
+                            const std::vector<KernelDesc>& kernels,
+                            const PowerPolicy& policy) {
+  EXAEFF_REQUIRE(!kernels.empty(), "phase sequence must not be empty");
+  SequenceResult seq;
+  for (const auto& k : kernels) {
+    PhaseResult pr;
+    pr.start_s = seq.time_s;
+    pr.run = sim.run(k, policy);
+    seq.time_s += pr.run.time_s;
+    seq.energy_j += pr.run.energy_j;
+    seq.any_cap_breached |= pr.run.cap_breached;
+    seq.phases.push_back(std::move(pr));
+  }
+  seq.avg_power_w = seq.time_s > 0.0 ? seq.energy_j / seq.time_s : 0.0;
+  return seq;
+}
+
+SequenceResult run_sequence_traced(const GpuSimulator& sim,
+                                   const std::vector<KernelDesc>& kernels,
+                                   const PowerPolicy& policy, Rng& rng,
+                                   std::vector<TracePoint>& trace,
+                                   const TraceOptions& options) {
+  EXAEFF_REQUIRE(!kernels.empty(), "phase sequence must not be empty");
+  SequenceResult seq;
+  trace.clear();
+  std::vector<TracePoint> part;
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    PhaseResult pr;
+    pr.start_s = seq.time_s;
+    pr.run = sim.run_traced(kernels[ki], policy, rng, part, options);
+    const bool last_phase = ki + 1 == kernels.size();
+    for (TracePoint p : part) {
+      // Per-phase traces round their final sample up to the sampling
+      // grid; drop the overshoot so the stitched trace stays monotone.
+      if (!last_phase && p.t_s >= pr.run.time_s) continue;
+      p.t_s += pr.start_s;
+      trace.push_back(p);
+    }
+    seq.time_s += pr.run.time_s;
+    seq.energy_j += pr.run.energy_j;
+    seq.any_cap_breached |= pr.run.cap_breached;
+    seq.phases.push_back(std::move(pr));
+  }
+  seq.avg_power_w = seq.time_s > 0.0 ? seq.energy_j / seq.time_s : 0.0;
+  return seq;
+}
+
+}  // namespace exaeff::gpusim

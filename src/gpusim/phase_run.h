@@ -1,0 +1,43 @@
+// exaeff/gpusim/phase_run.h
+//
+// Multi-phase execution: real applications are sequences of kernels with
+// different demands (the paper's Fig 9 modality comes from exactly this).
+// run_sequence() executes a phase list under one policy and aggregates
+// time/energy, with per-phase detail for analysis; run_sequence_traced()
+// additionally synthesizes the continuous sensor trace across phases.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/simulator.h"
+
+namespace exaeff::gpusim {
+
+/// Per-phase outcome within a sequence run.
+struct PhaseResult {
+  RunResult run;
+  double start_s = 0.0;  ///< wall-clock offset of the phase start
+};
+
+/// Aggregate outcome of a phase sequence.
+struct SequenceResult {
+  double time_s = 0.0;
+  double energy_j = 0.0;
+  double avg_power_w = 0.0;
+  bool any_cap_breached = false;
+  std::vector<PhaseResult> phases;
+};
+
+/// Runs `kernels` back-to-back under `policy` (steady-state analytic).
+[[nodiscard]] SequenceResult run_sequence(
+    const GpuSimulator& sim, const std::vector<KernelDesc>& kernels,
+    const PowerPolicy& policy);
+
+/// As run_sequence, but also produces the continuous sampled trace the
+/// telemetry stack would observe across all phases.
+[[nodiscard]] SequenceResult run_sequence_traced(
+    const GpuSimulator& sim, const std::vector<KernelDesc>& kernels,
+    const PowerPolicy& policy, Rng& rng, std::vector<TracePoint>& trace,
+    const TraceOptions& options = {});
+
+}  // namespace exaeff::gpusim

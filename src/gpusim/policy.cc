@@ -1,0 +1,22 @@
+#include "gpusim/policy.h"
+
+#include <cstdio>
+
+namespace exaeff::gpusim {
+
+std::string PowerPolicy::label() const {
+  char buf[64];
+  if (freq_cap_mhz && power_cap_w) {
+    std::snprintf(buf, sizeof buf, "%.0f MHz + %.0f W", *freq_cap_mhz,
+                  *power_cap_w);
+  } else if (freq_cap_mhz) {
+    std::snprintf(buf, sizeof buf, "%.0f MHz", *freq_cap_mhz);
+  } else if (power_cap_w) {
+    std::snprintf(buf, sizeof buf, "%.0f W", *power_cap_w);
+  } else {
+    std::snprintf(buf, sizeof buf, "uncapped");
+  }
+  return buf;
+}
+
+}  // namespace exaeff::gpusim

@@ -1,0 +1,55 @@
+// exaeff/gpusim/policy.h
+//
+// Power-management policy applied to a simulated device: an optional
+// frequency cap, an optional power cap, or both (the power cap then acts
+// within the frequency-capped range, as on real firmware).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/error.h"
+
+namespace exaeff::gpusim {
+
+/// One power-management setting, as an operator would apply it.
+struct PowerPolicy {
+  /// Upper bound on the engine clock (rocm-smi --setsclk analogue).
+  std::optional<double> freq_cap_mhz;
+
+  /// Upper bound on sustained device power (rocm-smi --setpoweroverdrive
+  /// analogue).
+  std::optional<double> power_cap_w;
+
+  [[nodiscard]] static PowerPolicy none() { return {}; }
+
+  [[nodiscard]] static PowerPolicy frequency(double mhz) {
+    PowerPolicy p;
+    p.freq_cap_mhz = mhz;
+    return p;
+  }
+
+  [[nodiscard]] static PowerPolicy power(double watts) {
+    PowerPolicy p;
+    p.power_cap_w = watts;
+    return p;
+  }
+
+  [[nodiscard]] bool unconstrained() const {
+    return !freq_cap_mhz && !power_cap_w;
+  }
+
+  void validate() const {
+    if (freq_cap_mhz && *freq_cap_mhz <= 0.0) {
+      throw ConfigError("PowerPolicy: frequency cap must be positive");
+    }
+    if (power_cap_w && *power_cap_w <= 0.0) {
+      throw ConfigError("PowerPolicy: power cap must be positive");
+    }
+  }
+
+  /// Human-readable label ("1300 MHz", "300 W", "uncapped", ...).
+  [[nodiscard]] std::string label() const;
+};
+
+}  // namespace exaeff::gpusim

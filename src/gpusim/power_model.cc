@@ -1,0 +1,131 @@
+#include "gpusim/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exaeff::gpusim {
+
+double PowerModel::steady_power(const KernelTiming& timing,
+                                const KernelDesc& kernel) const {
+  const double s = spec_.power_scale(timing.freq_mhz);
+  // ALU power follows the *achieved* flop rate relative to the clock's
+  // peak, not the busy time: a divergent kernel occupies the SIMDs with
+  // mostly-idle lanes and draws correspondingly little (why the paper's
+  // bounded-degree road networks peak at a mere ~205 W, Fig 7).
+  const double peak_now =
+      spec_.peak_flops_sustained * spec_.rel_clock(timing.freq_mhz);
+  const double alu_activity =
+      peak_now > 0.0 ? std::min(1.0, timing.achieved_flops / peak_now) : 0.0;
+  const double u_alu_eff =
+      alu_activity + kernel.latency_power_fraction * timing.u_lat;
+  // HBM power follows the *achieved* traffic rate (bytes per second
+  // relative to peak), not the busy fraction: a memory-bound kernel whose
+  // bandwidth falls with the clock also moves fewer bytes per second and
+  // draws less memory power — the behaviour behind the paper's Table III
+  // VAI power column.  A static off-die share (refresh, PHY bias) draws
+  // whenever the memory system is active at all, which is why deep power
+  // caps are breached rather than met.
+  const double traffic_rel =
+      std::min(1.0, timing.achieved_hbm_bw / spec_.hbm_bw);
+  const double activity = timing.u_hbm > 0.0 ? 1.0 : 0.0;
+  const double offdie =
+      spec_.coef_hbm_offdie_w *
+      (spec_.hbm_static_fraction * activity * std::min(1.0, timing.u_hbm) +
+       (1.0 - spec_.hbm_static_fraction) * traffic_rel);
+
+  double p = spec_.idle_power_w;
+  p += s * (spec_.coef_alu_w * u_alu_eff + spec_.coef_l2_w * timing.u_l2 +
+            spec_.coef_hbm_ondie_w * traffic_rel);
+  p += offdie;
+  p += spec_.coef_interact_w * s * alu_activity * traffic_rel;
+  // Steady power never exceeds the boost ceiling; transients above TDP are
+  // produced by the trace layer, not the steady model.
+  return std::clamp(p, spec_.idle_power_w, spec_.boost_power_w);
+}
+
+double PowerModel::power_at(const KernelDesc& kernel, double f_mhz,
+                            double fabric_factor) const {
+  const KernelTiming t = exec_.timing(kernel, f_mhz, fabric_factor);
+  return steady_power(t, kernel);
+}
+
+double PowerModel::energy_at(const KernelDesc& kernel, double f_mhz) const {
+  const KernelTiming t = exec_.timing(kernel, f_mhz);
+  return steady_power(t, kernel) * t.time_s;
+}
+
+CapSolution PowerCapController::solve(const KernelDesc& kernel,
+                                      double cap_w) const {
+  EXAEFF_REQUIRE(cap_w > 0.0, "power cap must be positive");
+  kernel.validate();
+
+  CapSolution sol;
+  // Fast path: unconstrained at f_max.
+  const double p_max = model_.power_at(kernel, spec_.f_max_mhz);
+  if (p_max <= cap_w) {
+    sol.freq_mhz = spec_.f_max_mhz;
+    sol.power_w = p_max;
+    return sol;
+  }
+
+  // The power-cap DPM loop will not push the clock below its floor (on
+  // real parts the firmware's lowest performance state sits well above
+  // the lowest *user-settable* clock).
+  const double f_floor = std::max(spec_.cap_f_floor_mhz, spec_.f_min_mhz);
+  const double p_min = model_.power_at(kernel, f_floor);
+  if (p_min <= cap_w) {
+    // Stage 1: the engine clock alone can satisfy the cap.  P(f) is
+    // monotonically non-decreasing in f (every term grows with the clock
+    // or stays flat), so bisect for the highest admissible clock.
+    double lo = f_floor;          // feasible
+    double hi = spec_.f_max_mhz;  // infeasible
+    for (int iter = 0; iter < 64 && hi - lo > 0.5 * spec_.f_step_mhz;
+         ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (model_.power_at(kernel, mid) <= cap_w) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    const double f = spec_.clamp_frequency(lo);
+    sol.freq_mhz = f;
+    sol.power_w = model_.power_at(kernel, f);
+    // Quantization may push power a hair over the cap; step down if so.
+    if (sol.power_w > cap_w && f - spec_.f_step_mhz >= f_floor) {
+      sol.freq_mhz = f - spec_.f_step_mhz;
+      sol.power_w = model_.power_at(kernel, sol.freq_mhz);
+    }
+    return sol;
+  }
+
+  // Stage 2: even the DPM clock floor exceeds the cap — HBM-side power is
+  // beyond the clock's authority.  Firmware falls back to throttling the
+  // memory fabric, down to its hardware floor.  Power is non-decreasing
+  // in the fabric factor, so bisect; if the floor still exceeds the cap,
+  // the cap is *breached* and the device simply runs hot (the paper's
+  // Fig 6(d) 140 W / 200 W curves).
+  sol.freq_mhz = f_floor;
+  const double p_floor = model_.power_at(kernel, f_floor, spec_.fabric_floor);
+  if (p_floor > cap_w) {
+    sol.fabric_factor = spec_.fabric_floor;
+    sol.power_w = p_floor;
+    sol.breached = true;
+    return sol;
+  }
+  double lo_g = spec_.fabric_floor;  // feasible
+  double hi_g = 1.0;                 // infeasible
+  for (int iter = 0; iter < 48 && hi_g - lo_g > 1e-4; ++iter) {
+    const double mid = 0.5 * (lo_g + hi_g);
+    if (model_.power_at(kernel, f_floor, mid) <= cap_w) {
+      lo_g = mid;
+    } else {
+      hi_g = mid;
+    }
+  }
+  sol.fabric_factor = lo_g;
+  sol.power_w = model_.power_at(kernel, f_floor, lo_g);
+  return sol;
+}
+
+}  // namespace exaeff::gpusim

@@ -1,0 +1,84 @@
+// exaeff/gpusim/power_model.h
+//
+// Calibrated steady-state power model of a GCD, plus the firmware
+// power-cap controller that inverts it.
+//
+//   P(f, u) = P_idle
+//           + s(f) * (A * u_alu_eff + L * u_l2 + D * u_hbm)
+//           + M(g) * u_hbm
+//           + X * s(f) * u_alu * u_hbm
+//
+// where s(f) = (f/f0)(V(f)/V(f0))^2 is the classic dynamic-power scale,
+// u_alu_eff adds a small residual-activity term for latency-bound time,
+// D is the on-die transport cost of HBM traffic (follows the engine
+// clock — this is why memory-bound power still drops 15-25% under deep
+// frequency caps, Table III "MB"), M(g) is the off-die HBM+PHY power,
+// which does NOT follow the engine clock and only partially follows
+// fabric throttling g (static share persists — why deep power caps are
+// *breached*, Fig 6(d)), and X < 0 models shared-rail sub-additivity so
+// that only simultaneous ALU+HBM saturation approaches TDP (AI = 4).
+#pragma once
+
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+#include "gpusim/perf_model.h"
+
+namespace exaeff::gpusim {
+
+/// Steady-state power model over the device's utilization vector.
+class PowerModel {
+ public:
+  explicit PowerModel(const DeviceSpec& spec) : spec_(spec), exec_(spec) {
+    spec_.validate();
+  }
+
+  /// Steady power (watts) for a kernel timing computed at timing.freq_mhz.
+  [[nodiscard]] double steady_power(const KernelTiming& timing,
+                                    const KernelDesc& kernel) const;
+
+  /// Convenience: evaluate the execution model then the power model.
+  /// `fabric_factor` in (0, 1] applies firmware fabric throttling.
+  [[nodiscard]] double power_at(const KernelDesc& kernel, double f_mhz,
+                                double fabric_factor = 1.0) const;
+
+  /// Energy to solution (joules) at a fixed clock.
+  [[nodiscard]] double energy_at(const KernelDesc& kernel, double f_mhz) const;
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const ExecutionModel& execution_model() const { return exec_; }
+
+ private:
+  DeviceSpec spec_;
+  ExecutionModel exec_;
+};
+
+/// Result of the power-cap controller's steady-state solve.
+struct CapSolution {
+  double freq_mhz = 0.0;       ///< clock the controller settles at
+  double fabric_factor = 1.0;  ///< HBM bandwidth fraction imposed
+  double power_w = 0.0;        ///< steady power at that operating point
+  bool breached = false;       ///< true when the cap remains unattainable
+};
+
+/// Firmware power-cap controller.  The only actuator the firmware has is
+/// the engine clock, so the controller finds the highest supported clock
+/// whose steady power fits under the cap.  When HBM-dominated power
+/// exceeds the cap even at f_min, the cap is breached and the device runs
+/// at f_min anyway — matching the measured 140 W / 200 W breach behaviour.
+class PowerCapController {
+ public:
+  explicit PowerCapController(const DeviceSpec& spec)
+      : spec_(spec), model_(spec) {}
+
+  /// Steady-state solve for one kernel under `cap_w` (watts).
+  [[nodiscard]] CapSolution solve(const KernelDesc& kernel,
+                                  double cap_w) const;
+
+  [[nodiscard]] const PowerModel& power_model() const { return model_; }
+
+ private:
+  DeviceSpec spec_;
+  PowerModel model_;
+};
+
+}  // namespace exaeff::gpusim

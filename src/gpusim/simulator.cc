@@ -1,0 +1,102 @@
+#include "gpusim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exaeff::gpusim {
+
+CapSolution GpuSimulator::settle(const KernelDesc& kernel,
+                                 const PowerPolicy& policy) const {
+  policy.validate();
+  kernel.validate();
+
+  // A frequency cap restricts the clock range; model it by solving the
+  // power cap (if any) at a device whose f_max is the cap.
+  const double f_ceiling =
+      policy.freq_cap_mhz ? spec_.clamp_frequency(*policy.freq_cap_mhz)
+                          : spec_.f_max_mhz;
+
+  if (!policy.power_cap_w) {
+    CapSolution sol;
+    sol.freq_mhz = f_ceiling;
+    sol.power_w = power_.power_at(kernel, f_ceiling);
+    return sol;
+  }
+
+  CapSolution sol = cap_ctrl_.solve(kernel, *policy.power_cap_w);
+  if (sol.freq_mhz > f_ceiling) {
+    // The frequency cap binds harder than the power cap.
+    sol.freq_mhz = f_ceiling;
+    sol.fabric_factor = 1.0;
+    sol.power_w = power_.power_at(kernel, f_ceiling);
+    sol.breached = sol.power_w > *policy.power_cap_w;
+  }
+  return sol;
+}
+
+RunResult GpuSimulator::run(const KernelDesc& kernel,
+                            const PowerPolicy& policy) const {
+  const CapSolution sol = settle(kernel, policy);
+  RunResult r;
+  r.timing = exec_.timing(kernel, sol.freq_mhz, sol.fabric_factor);
+  r.freq_mhz = sol.freq_mhz;
+  r.cap_breached = sol.breached;
+  r.time_s = r.timing.time_s;
+  r.avg_power_w = power_.steady_power(r.timing, kernel);
+  r.energy_j = r.avg_power_w * r.time_s;
+  return r;
+}
+
+RunResult GpuSimulator::run_traced(const KernelDesc& kernel,
+                                   const PowerPolicy& policy, Rng& rng,
+                                   std::vector<TracePoint>& trace,
+                                   const TraceOptions& opts) const {
+  EXAEFF_REQUIRE(opts.dt_s > 0.0, "trace sampling period must be positive");
+  RunResult r = run(kernel, policy);
+  const double steady_p = r.avg_power_w;
+  const double idle = spec_.idle_power_w;
+
+  // Boost spikes appear only for workloads already running near TDP and
+  // only when no cap suppresses them (firmware allows brief excursions).
+  const bool boost_eligible = opts.enable_boost && policy.unconstrained() &&
+                              steady_p > 0.85 * spec_.tdp_w;
+
+  trace.clear();
+  const auto samples =
+      static_cast<std::size_t>(std::ceil(r.time_s / opts.dt_s));
+  trace.reserve(samples + 1);
+
+  double noise = 0.0;
+  const double innovation_sd =
+      opts.noise_stddev_w * std::sqrt(std::max(0.0, 1.0 - opts.noise_rho *
+                                                          opts.noise_rho));
+  double energy = 0.0;
+  for (std::size_t i = 0; i <= samples; ++i) {
+    const double t = static_cast<double>(i) * opts.dt_s;
+    // Exponential ramp from idle to steady power at run start.
+    const double ramp =
+        1.0 - std::exp(-t / std::max(opts.ramp_tau_s, 1e-9));
+    double p = idle + (steady_p - idle) * ramp;
+    noise = opts.noise_rho * noise + rng.normal(0.0, innovation_sd);
+    p += noise;
+    if (boost_eligible && rng.bernoulli(spec_.boost_probability)) {
+      p += rng.exponential(spec_.boost_extra_w);
+    }
+    p = std::clamp(p, idle * 0.97, spec_.boost_power_w);
+    // A power cap also clips what the sensor can see (steady clipping;
+    // breached caps already run above the cap at f_min).
+    if (policy.power_cap_w && !r.cap_breached) {
+      p = std::min(p, *policy.power_cap_w * 1.01);
+    }
+    trace.push_back(TracePoint{t, p, r.freq_mhz});
+    const double slice = std::min(opts.dt_s, std::max(0.0, r.time_s - t));
+    energy += p * slice;
+  }
+  if (!trace.empty()) {
+    r.energy_j = energy;
+    r.avg_power_w = r.time_s > 0.0 ? energy / r.time_s : steady_p;
+  }
+  return r;
+}
+
+}  // namespace exaeff::gpusim

@@ -1,0 +1,83 @@
+// exaeff/gpusim/simulator.h
+//
+// GpuSimulator ties the execution model, power model and cap controller
+// together: it "runs" a kernel (or phase sequence) under a PowerPolicy and
+// reports runtime, energy and steady power, optionally synthesizing the
+// noisy sampled power trace that a 2-second out-of-band sensor would see
+// (ramp transient at kernel start, AR(1) measurement/workload noise, and
+// short boost excursions above TDP for near-TDP workloads).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+#include "gpusim/perf_model.h"
+#include "gpusim/policy.h"
+#include "gpusim/power_model.h"
+
+namespace exaeff::gpusim {
+
+/// Outcome of running one kernel under one policy.
+struct RunResult {
+  double time_s = 0.0;         ///< wall time to solution
+  double energy_j = 0.0;       ///< energy to solution
+  double avg_power_w = 0.0;    ///< energy / time
+  double freq_mhz = 0.0;       ///< steady engine clock the run settled at
+  bool cap_breached = false;   ///< power cap unattainable even at f_min
+  KernelTiming timing;         ///< execution-model detail at the settled clock
+};
+
+/// One sampled point of a synthesized power trace.
+struct TracePoint {
+  double t_s = 0.0;       ///< sample time from run start
+  double power_w = 0.0;   ///< instantaneous device power
+  double freq_mhz = 0.0;  ///< instantaneous engine clock
+};
+
+/// Trace-synthesis tuning (defaults model Frontier's 2 s sensors).
+struct TraceOptions {
+  double dt_s = 2.0;             ///< sensor sampling period
+  double ramp_tau_s = 1.5;       ///< power ramp time constant at kernel start
+  double noise_stddev_w = 6.0;   ///< AR(1) noise magnitude
+  double noise_rho = 0.6;        ///< AR(1) correlation between samples
+  bool enable_boost = true;      ///< allow transient >TDP samples
+};
+
+/// Simulates one GCD.
+class GpuSimulator {
+ public:
+  explicit GpuSimulator(const DeviceSpec& spec)
+      : spec_(spec), exec_(spec), power_(spec), cap_ctrl_(spec) {}
+
+  /// Analytic steady-state run: settles the clock per the policy, then
+  /// reports runtime/energy.  Deterministic, no trace.
+  [[nodiscard]] RunResult run(const KernelDesc& kernel,
+                              const PowerPolicy& policy) const;
+
+  /// As `run`, but also synthesizes the sampled power trace a 2 s sensor
+  /// would record, including the start-of-run ramp, correlated noise and
+  /// boost spikes.  Energy in the result integrates the *trace* so it is
+  /// consistent with what telemetry would report.
+  [[nodiscard]] RunResult run_traced(const KernelDesc& kernel,
+                                     const PowerPolicy& policy, Rng& rng,
+                                     std::vector<TracePoint>& trace,
+                                     const TraceOptions& opts = {}) const;
+
+  /// Resolves the steady clock for a kernel under a policy.
+  [[nodiscard]] CapSolution settle(const KernelDesc& kernel,
+                                   const PowerPolicy& policy) const;
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const ExecutionModel& execution_model() const { return exec_; }
+  [[nodiscard]] const PowerModel& power_model() const { return power_; }
+
+ private:
+  DeviceSpec spec_;
+  ExecutionModel exec_;
+  PowerModel power_;
+  PowerCapController cap_ctrl_;
+};
+
+}  // namespace exaeff::gpusim

@@ -1,0 +1,93 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace exaeff::graph {
+
+CsrGraph CsrGraph::from_edges(std::size_t num_vertices,
+                              std::span<const Edge> edges) {
+  // Normalize: drop self-loops, order endpoints, sort, merge duplicates.
+  std::vector<Edge> list;
+  list.reserve(edges.size());
+  for (const Edge& e : edges) {
+    EXAEFF_REQUIRE(e.u >= 0 && static_cast<std::size_t>(e.u) < num_vertices &&
+                       e.v >= 0 &&
+                       static_cast<std::size_t>(e.v) < num_vertices,
+                   "edge endpoint out of range");
+    EXAEFF_REQUIRE(e.w > 0.0, "edge weights must be positive");
+    if (e.u == e.v) continue;
+    list.push_back(
+        Edge{std::min(e.u, e.v), std::max(e.u, e.v), e.w});
+  }
+  std::sort(list.begin(), list.end(), [](const Edge& a, const Edge& b) {
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  std::vector<Edge> merged;
+  merged.reserve(list.size());
+  for (const Edge& e : list) {
+    if (!merged.empty() && merged.back().u == e.u && merged.back().v == e.v) {
+      merged.back().w += e.w;
+    } else {
+      merged.push_back(e);
+    }
+  }
+
+  CsrGraph g;
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : merged) {
+    ++g.offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  g.neighbors_.resize(static_cast<std::size_t>(g.offsets_.back()));
+  g.weights_.resize(g.neighbors_.size());
+
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : merged) {
+    auto& cu = cursor[static_cast<std::size_t>(e.u)];
+    g.neighbors_[static_cast<std::size_t>(cu)] = e.v;
+    g.weights_[static_cast<std::size_t>(cu)] = e.w;
+    ++cu;
+    auto& cv = cursor[static_cast<std::size_t>(e.v)];
+    g.neighbors_[static_cast<std::size_t>(cv)] = e.u;
+    g.weights_[static_cast<std::size_t>(cv)] = e.w;
+    ++cv;
+    g.total_weight_ += e.w;
+  }
+  return g;
+}
+
+double CsrGraph::weighted_degree(VertexId v) const {
+  double sum = 0.0;
+  for (double w : weights(v)) sum += w;
+  return sum;
+}
+
+DegreeStats CsrGraph::degree_stats() const {
+  DegreeStats st;
+  const std::size_t n = num_vertices();
+  if (n == 0) return st;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::size_t d_max = 0;
+#ifdef _OPENMP
+#pragma omp parallel for reduction(+ : sum, sum_sq) reduction(max : d_max) \
+    if (n > 100000)
+#endif
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto d = degree(static_cast<VertexId>(v));
+    d_max = std::max(d_max, d);
+    sum += static_cast<double>(d);
+    sum_sq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  st.d_max = d_max;
+  st.d_avg = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - st.d_avg * st.d_avg;
+  st.d_stddev = var > 0.0 ? std::sqrt(var) : 0.0;
+  return st;
+}
+
+}  // namespace exaeff::graph

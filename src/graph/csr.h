@@ -1,0 +1,92 @@
+// exaeff/graph/csr.h
+//
+// Compressed Sparse Row graph container used by the Louvain case study
+// (paper §III-B-c: "input graphs are processed in a Compressed Sparse Row
+// (CSR) format, for more regular memory access").  Graphs are undirected
+// and weighted; each undirected edge is stored in both directions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace exaeff::graph {
+
+using VertexId = std::int32_t;
+
+/// One endpoint record in an edge list.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  double w = 1.0;
+};
+
+/// Degree summary of a graph (the d_max / d_avg the paper reports).
+struct DegreeStats {
+  std::size_t d_max = 0;
+  double d_avg = 0.0;
+  double d_stddev = 0.0;
+  /// Coefficient of variation of the degree distribution; the GPU
+  /// execution mapper uses it as the imbalance signal.
+  [[nodiscard]] double cv() const {
+    return d_avg > 0.0 ? d_stddev / d_avg : 0.0;
+  }
+};
+
+/// Immutable undirected weighted graph in CSR form.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an edge list: self-loops dropped, duplicates merged
+  /// (weights summed), both directions stored.
+  static CsrGraph from_edges(std::size_t num_vertices,
+                             std::span<const Edge> edges);
+
+  [[nodiscard]] std::size_t num_vertices() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  /// Number of undirected edges.
+  [[nodiscard]] std::size_t num_edges() const { return neighbors_.size() / 2; }
+
+  /// Neighbors of v (each undirected edge appears once per endpoint).
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[static_cast<std::size_t>(v)],
+            neighbors_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+  [[nodiscard]] std::span<const double> weights(VertexId v) const {
+    return {weights_.data() + offsets_[static_cast<std::size_t>(v)],
+            weights_.data() + offsets_[static_cast<std::size_t>(v) + 1]};
+  }
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    return static_cast<std::size_t>(
+        offsets_[static_cast<std::size_t>(v) + 1] -
+        offsets_[static_cast<std::size_t>(v)]);
+  }
+
+  /// Sum of weights incident to v (weighted degree).
+  [[nodiscard]] double weighted_degree(VertexId v) const;
+
+  /// Total edge weight of the graph, counting each undirected edge once.
+  [[nodiscard]] double total_weight() const { return total_weight_; }
+
+  [[nodiscard]] DegreeStats degree_stats() const;
+
+  /// Raw arrays (for traffic estimation by the GPU mapper).
+  [[nodiscard]] std::span<const std::int64_t> offsets() const {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const VertexId> neighbor_array() const {
+    return neighbors_;
+  }
+
+ private:
+  std::vector<std::int64_t> offsets_;
+  std::vector<VertexId> neighbors_;
+  std::vector<double> weights_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace exaeff::graph

@@ -1,0 +1,103 @@
+#include "graph/generators.h"
+
+#include <cmath>
+
+namespace exaeff::graph {
+
+CsrGraph rmat(const RmatParams& params, Rng& rng) {
+  EXAEFF_REQUIRE(params.scale >= 2 && params.scale <= 26,
+                 "rmat scale out of supported range");
+  EXAEFF_REQUIRE(params.a > 0 && params.b >= 0 && params.c >= 0 &&
+                     params.a + params.b + params.c < 1.0,
+                 "rmat quadrant probabilities must sum below 1");
+  const std::size_t n = std::size_t{1} << params.scale;
+  const auto m = static_cast<std::size_t>(
+      params.edge_factor * static_cast<double>(n));
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    std::size_t u = 0;
+    std::size_t v = 0;
+    for (int bit = 0; bit < params.scale; ++bit) {
+      const double r = rng.uniform();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < params.a + params.b) {
+        v |= 1;
+      } else if (r < params.a + params.b + params.c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    edges.push_back(Edge{static_cast<VertexId>(u), static_cast<VertexId>(v),
+                         1.0});
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+CsrGraph road_grid(std::size_t width, std::size_t height,
+                   double shortcut_prob, Rng& rng) {
+  EXAEFF_REQUIRE(width >= 2 && height >= 2, "grid must be at least 2x2");
+  EXAEFF_REQUIRE(shortcut_prob >= 0.0 && shortcut_prob <= 0.5,
+                 "shortcut probability out of range");
+  const std::size_t n = width * height;
+  auto id = [width](std::size_t x, std::size_t y) {
+    return static_cast<VertexId>(y * width + x);
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(2 * n + static_cast<std::size_t>(shortcut_prob * n));
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) edges.push_back(Edge{id(x, y), id(x + 1, y), 1.0});
+      if (y + 1 < height) edges.push_back(Edge{id(x, y), id(x, y + 1), 1.0});
+      // Occasional diagonal "shortcut" road; keeps d_max <= 8.
+      if (x + 1 < width && y + 1 < height &&
+          rng.bernoulli(shortcut_prob)) {
+        edges.push_back(Edge{id(x, y), id(x + 1, y + 1), 1.0});
+      }
+    }
+  }
+  return CsrGraph::from_edges(n, edges);
+}
+
+std::vector<NamedGraph> paper_network_suite(Rng& rng) {
+  std::vector<NamedGraph> suite;
+
+  // Social-like power-law networks spanning ~100 K to ~8 M edges.
+  struct SocialSpec {
+    const char* name;
+    int scale;
+    double edge_factor;
+  };
+  constexpr SocialSpec kSocial[] = {{"social-2M", 18, 8.0},
+                                    {"social-6M", 19, 11.0},
+                                    {"social-8M", 20, 8.0}};
+  for (const auto& s : kSocial) {
+    RmatParams p;
+    p.scale = s.scale;
+    p.edge_factor = s.edge_factor;
+    suite.push_back(NamedGraph{s.name, true, rmat(p, rng)});
+  }
+  // Small social network near the paper's 3 K edge lower bound.
+  {
+    RmatParams p;
+    p.scale = 10;
+    p.edge_factor = 3.0;
+    suite.push_back(NamedGraph{"social-3K", true, rmat(p, rng)});
+  }
+  // Bounded-degree road networks (d_avg ~ 2-3, d_max <= 9).
+  suite.push_back(
+      NamedGraph{"road-1M", false, road_grid(700, 700, 0.05, rng)});
+  suite.push_back(
+      NamedGraph{"road-8M", false, road_grid(2000, 2000, 0.05, rng)});
+  return suite;
+}
+
+}  // namespace exaeff::graph

@@ -1,0 +1,48 @@
+// exaeff/graph/generators.h
+//
+// Synthetic graph generators replacing the SNAP datasets (paper §III-B-c
+// used networks of 3 K - 8 M edges with d_max 9..343 and d_avg 2..23):
+//
+//   * rmat()      — Kronecker/R-MAT power-law graphs, the stand-in for
+//                   social networks (heavy-tailed degree distribution).
+//   * road_grid() — perturbed 2-D lattice with bounded degree (d_max <= 9,
+//                   d_avg ~ 2-4), the stand-in for road networks.
+//
+// Both are deterministic from the Rng and control d_max/d_avg directly,
+// which is all the Fig 7 experiment depends on.
+#pragma once
+
+#include "common/rng.h"
+#include "graph/csr.h"
+
+namespace exaeff::graph {
+
+/// R-MAT generator parameters.
+struct RmatParams {
+  int scale = 14;             ///< 2^scale vertices
+  double edge_factor = 8.0;   ///< edges per vertex
+  double a = 0.57;            ///< Kronecker quadrant probabilities
+  double b = 0.19;
+  double c = 0.19;            ///< (d = 1 - a - b - c)
+};
+
+/// Power-law ("social") graph via R-MAT.
+[[nodiscard]] CsrGraph rmat(const RmatParams& params, Rng& rng);
+
+/// Bounded-degree ("road") graph: width x height lattice where each node
+/// connects to its grid neighbors, with a small fraction of random local
+/// shortcuts.  d_max stays <= 9.
+[[nodiscard]] CsrGraph road_grid(std::size_t width, std::size_t height,
+                                 double shortcut_prob, Rng& rng);
+
+/// A ready-made suite of test networks spanning the paper's edge-count
+/// range, labeled by kind and approximate edge count.
+struct NamedGraph {
+  std::string name;
+  bool power_law = false;
+  CsrGraph graph;
+};
+
+[[nodiscard]] std::vector<NamedGraph> paper_network_suite(Rng& rng);
+
+}  // namespace exaeff::graph

@@ -1,0 +1,57 @@
+// exaeff/graph/gpu_mapping.h
+//
+// Maps a measured Louvain run onto the GPU simulator.  The paper's GPU
+// implementation distributes the work of a vertex's community assignment
+// by degree: high-degree vertices get a wavefront (or a group of threads
+// within one), low-degree vertices a single thread (§IV-C).  Two
+// consequences the mapper reproduces:
+//
+//   * power-law (social) graphs: degree-binned assignment keeps wavefronts
+//     busy -> balanced, bandwidth-dominated execution, modest clock
+//     sensitivity, higher power;
+//   * bounded-degree (road) graphs: one thread per low-degree vertex ->
+//     wavefront under-utilization and latency domination, strong clock
+//     sensitivity, low power (the paper's 8 M road network peaks at a mere
+//     ~205 W).
+//
+// The mapping converts the run's edge-scan counts into HBM/L2 traffic and
+// flops, and the degree distribution's imbalance into divergence and
+// latency shares.
+#pragma once
+
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+#include "graph/csr.h"
+#include "graph/louvain.h"
+
+namespace exaeff::graph {
+
+/// Per-edge cost model of the GPU Louvain implementation.
+struct MappingParams {
+  /// Effective bytes moved per neighbor inspection.  Community lookups
+  /// are random 4-byte reads that drag whole cache lines, so the
+  /// effective traffic is line-granular, not payload-granular.
+  double bytes_per_scan = 96.0;
+  double flops_per_scan = 8.0;      ///< gain arithmetic per inspected edge
+  double l2_amplification = 2.2;    ///< L2 traffic per HBM byte (reuse)
+  double hbm_miss_fraction = 0.55;  ///< scans missing L2 out to HBM
+  double launch_latency_s = 4e-6;   ///< per kernel launch + sync
+  double launches_per_iteration = 4.0;
+  /// CPU<->GPU transfer + host bookkeeping per pass, seconds per vertex.
+  double host_overhead_per_vertex_s = 1.0e-9;
+  /// Dependent-chain cycles per neighbor inspection when a single thread
+  /// walks its vertex's adjacency serially (the bounded-degree path).
+  double chain_cycles = 14.0;
+};
+
+/// Converts a Louvain run on `g` into a simulator kernel.
+///
+/// Degree imbalance (the distribution's coefficient of variation versus
+/// the one-thread-per-vertex threshold) controls divergence and the
+/// latency share: bounded-degree graphs execute mostly latency-bound,
+/// power-law graphs mostly throughput-bound.
+[[nodiscard]] gpusim::KernelDesc map_louvain_run(
+    const gpusim::DeviceSpec& spec, const CsrGraph& g,
+    const LouvainResult& run, const MappingParams& params = {});
+
+}  // namespace exaeff::graph

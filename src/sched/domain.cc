@@ -1,0 +1,57 @@
+#include "sched/domain.h"
+
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace exaeff::sched {
+
+namespace {
+struct DomainInfo {
+  ScienceDomain domain;
+  std::string_view code;
+  std::string_view name;
+};
+
+constexpr std::array<DomainInfo, kDomainCount> kInfo = {{
+    {ScienceDomain::kChemistry, "CHM", "Chemistry"},
+    {ScienceDomain::kMaterials, "MAT", "Materials"},
+    {ScienceDomain::kBiology, "BIO", "Biology"},
+    {ScienceDomain::kClimate, "CLI", "Climate"},
+    {ScienceDomain::kCfd, "CFD", "Fluid Dynamics"},
+    {ScienceDomain::kFusion, "FUS", "Fusion"},
+    {ScienceDomain::kAstro, "AST", "Astrophysics"},
+    {ScienceDomain::kNuclear, "NUC", "Nuclear Physics"},
+    {ScienceDomain::kPhysics, "PHY", "Physics"},
+    {ScienceDomain::kCompSci, "CSC", "Computer Science"},
+}};
+
+const DomainInfo& info_of(ScienceDomain d) {
+  for (const auto& i : kInfo) {
+    if (i.domain == d) return i;
+  }
+  throw Error("unknown science domain enumerator");
+}
+}  // namespace
+
+std::string_view domain_code(ScienceDomain d) { return info_of(d).code; }
+
+std::string_view domain_name(ScienceDomain d) { return info_of(d).name; }
+
+ScienceDomain domain_from_project_id(std::string_view project) {
+  for (const auto& i : kInfo) {
+    if (project.substr(0, i.code.size()) == i.code) return i.domain;
+  }
+  throw ParseError("project id '" + std::string(project) +
+                   "' has no known science-domain prefix");
+}
+
+std::string make_project_id(ScienceDomain d, unsigned number) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.*s%03u",
+                static_cast<int>(domain_code(d).size()),
+                domain_code(d).data(), number);
+  return buf;
+}
+
+}  // namespace exaeff::sched

@@ -1,0 +1,56 @@
+// exaeff/sched/domain.h
+//
+// Science-domain taxonomy.  On Frontier the paper derives the science
+// domain of a job from the prefix of its project_id in the SLURM log
+// (§V-A); the synthetic campaign mirrors that: project ids are formed as
+// "<DOMAIN-CODE><number>" and the analysis recovers the domain from the
+// prefix, exercising the same join path the paper used.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace exaeff::sched {
+
+/// Synthetic science domains.  Each maps to a workload archetype chosen
+/// so the per-domain power distributions reproduce the Fig 9 modalities.
+enum class ScienceDomain : std::uint8_t {
+  kChemistry,   ///< compute-heavy (Fig 9 (a) style)
+  kMaterials,   ///< compute-heavy/moderate (Fig 9 (b) style)
+  kBiology,     ///< latency/IO-bound (Fig 9 (c) style)
+  kClimate,     ///< latency/IO-bound (Fig 9 (d) style)
+  kCfd,         ///< memory-bandwidth-bound (Fig 9 (e) style)
+  kFusion,      ///< memory-bound (Fig 9 (f) style)
+  kAstro,       ///< multi-modal (Fig 9 (g) style)
+  kNuclear,     ///< multi-modal bursty (Fig 9 (h) style)
+  kPhysics,     ///< compute-moderate
+  kCompSci,     ///< memory-latency-bound
+};
+
+inline constexpr std::size_t kDomainCount = 10;
+
+/// All domains in declaration order.
+[[nodiscard]] constexpr std::array<ScienceDomain, kDomainCount>
+all_domains() {
+  return {ScienceDomain::kChemistry, ScienceDomain::kMaterials,
+          ScienceDomain::kBiology,   ScienceDomain::kClimate,
+          ScienceDomain::kCfd,       ScienceDomain::kFusion,
+          ScienceDomain::kAstro,     ScienceDomain::kNuclear,
+          ScienceDomain::kPhysics,   ScienceDomain::kCompSci};
+}
+
+/// Three-letter project-id prefix for a domain ("CHM", "MAT", ...).
+[[nodiscard]] std::string_view domain_code(ScienceDomain d);
+
+/// Human-readable name ("Chemistry", ...).
+[[nodiscard]] std::string_view domain_name(ScienceDomain d);
+
+/// Recovers the domain from a project id's prefix; throws ParseError if
+/// the prefix matches no known domain.
+[[nodiscard]] ScienceDomain domain_from_project_id(std::string_view project);
+
+/// Forms a project id from a domain and a project number.
+[[nodiscard]] std::string make_project_id(ScienceDomain d, unsigned number);
+
+}  // namespace exaeff::sched

@@ -1,0 +1,103 @@
+// exaeff/sched/fleetgen.h
+//
+// Synthetic campaign generator: produces the scheduler log and the
+// out-of-band telemetry stream for a multi-week fleet of jobs — the
+// stand-in for the paper's three months of Frontier production data.
+//
+// Generation is two-stage and fully deterministic from the seed:
+//   1. generate_schedule() draws jobs (domain, size bin, node count,
+//      duration) and packs them onto the fleet with an earliest-free
+//      allocator, yielding a SchedulerLog with per-node allocations.
+//   2. generate_telemetry() walks each job's per-GCD phase sequence and
+//      emits 15 s power records (steady phase power + AR(1) sensor noise
+//      + boost excursions for near-TDP phases) into a JobSampleSink.
+//
+// The telemetry is emitted *joined* (sample + owning job) for efficiency;
+// the unjoined path — raw samples joined via SchedulerLog::job_at — is
+// exercised by the integration tests to validate that both agree.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "cluster/system_config.h"
+#include "common/rng.h"
+#include "sched/log.h"
+#include "telemetry/sample.h"
+#include "workloads/app_profile.h"
+
+namespace exaeff::sched {
+
+/// Receiver of joined telemetry (sample plus the job it belongs to).
+class JobSampleSink {
+ public:
+  virtual ~JobSampleSink() = default;
+  virtual void on_job_sample(const telemetry::GcdSample& sample,
+                             const Job& job) = 0;
+  /// Optional node-level channel (CPU power etc.).
+  virtual void on_node_sample(const telemetry::NodeSample& /*sample*/) {}
+};
+
+/// Campaign parameters.
+struct CampaignConfig {
+  cluster::SystemConfig system = cluster::frontier_scaled(64);
+  double duration_s = 14.0 * units::kDay;
+  double telemetry_window_s = 15.0;
+  std::uint64_t seed = 0xF50;
+
+  double sched_gap_s = 90.0;        ///< node turnaround between jobs
+  double min_job_duration_s = 900;  ///< shortest job drawn
+
+  // Telemetry noise (per 15 s record).
+  double noise_stddev_w = 7.0;
+  double noise_rho = 0.5;
+
+  // Boost excursions: probability that a 15 s record of a near-TDP phase
+  // catches a boost, and the mean extra watts of the excursion.
+  double boost_sample_probability = 0.50;
+  double boost_extra_w = 40.0;
+
+  bool emit_node_samples = false;  ///< also synthesize CPU/node channels
+
+  void validate() const;
+};
+
+/// Per-domain generation weights: share of GPU-hours and size-bin mix.
+struct DomainTraits {
+  double hour_weight = 0.1;  ///< target share of campaign GPU-hours
+  std::array<double, kSizeBinCount> bin_hour_share = {0.25, 0.30, 0.25,
+                                                      0.12, 0.08};
+};
+
+/// Deterministic synthetic-campaign generator.
+class FleetGenerator {
+ public:
+  /// `library` must outlive the generator.
+  FleetGenerator(CampaignConfig config,
+                 const workloads::ProfileLibrary& library);
+
+  /// Stage 1: draw and pack jobs.  Returns an indexed SchedulerLog.
+  [[nodiscard]] SchedulerLog generate_schedule() const;
+
+  /// Stage 2: synthesize per-GCD telemetry for every job into `sink`.
+  void generate_telemetry(const SchedulerLog& log, JobSampleSink& sink) const;
+
+  /// Profile used for a domain's applications.
+  [[nodiscard]] const workloads::AppProfile& profile_for(
+      ScienceDomain d) const;
+
+  /// Default hour-share weights tuned so the campaign's modal region
+  /// occupancy approximates the paper's Table IV.
+  [[nodiscard]] static std::array<DomainTraits, kDomainCount>
+  default_domain_traits();
+
+  [[nodiscard]] const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+  const workloads::ProfileLibrary& library_;
+  std::array<DomainTraits, kDomainCount> traits_;
+  SchedulingPolicy policy_;
+};
+
+}  // namespace exaeff::sched

@@ -1,0 +1,38 @@
+// exaeff/sched/job.h
+//
+// Job metadata, mirroring what the paper extracts from the SLURM
+// scheduler log (Table II (b)/(c)): job id, project id (whose prefix is
+// the science domain), node count, begin/end time and the concrete node
+// allocation (the per-node-per-job records needed to join telemetry).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/domain.h"
+#include "sched/policy.h"
+
+namespace exaeff::sched {
+
+/// One batch job as recorded by the scheduler.
+struct Job {
+  std::uint64_t job_id = 0;
+  std::string project_id;       ///< e.g. "CHM007"; prefix = science domain
+  ScienceDomain domain = ScienceDomain::kChemistry;
+  SizeBin bin = SizeBin::kE;
+  std::uint32_t num_nodes = 0;
+  double begin_s = 0.0;
+  double end_s = 0.0;
+  std::vector<std::uint32_t> nodes;  ///< allocated node ids
+
+  [[nodiscard]] double duration_s() const { return end_s - begin_s; }
+
+  /// GPU-hours consumed (8 GCDs per node on Frontier).
+  [[nodiscard]] double gpu_hours(std::size_t gcds_per_node) const {
+    return duration_s() * static_cast<double>(num_nodes) *
+           static_cast<double>(gcds_per_node) / 3600.0;
+  }
+};
+
+}  // namespace exaeff::sched

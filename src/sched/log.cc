@@ -1,0 +1,134 @@
+#include "sched/log.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace exaeff::sched {
+
+namespace {
+double to_double(const std::string& s) {
+  double v = 0.0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw ParseError("bad numeric field in scheduler CSV: '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t to_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) {
+    throw ParseError("bad integer field in scheduler CSV: '" + s + "'");
+  }
+  return v;
+}
+}  // namespace
+
+void SchedulerLog::add_job(Job job) {
+  EXAEFF_REQUIRE(job.end_s > job.begin_s, "job must have positive duration");
+  EXAEFF_REQUIRE(job.nodes.size() == job.num_nodes,
+                 "job node list must match num_nodes");
+  jobs_.push_back(std::move(job));
+  indexed_ = false;
+}
+
+void SchedulerLog::build_index(std::uint32_t total_nodes) {
+  node_index_.assign(total_nodes, {});
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    for (std::uint32_t n : jobs_[j].nodes) {
+      EXAEFF_REQUIRE(n < total_nodes, "job references node beyond system");
+      node_index_[n].push_back(Span{jobs_[j].begin_s, jobs_[j].end_s, j});
+    }
+  }
+  for (auto& spans : node_index_) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return a.begin_s < b.begin_s; });
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXAEFF_REQUIRE(spans[i].begin_s >= spans[i - 1].end_s - 1e-9,
+                     "overlapping jobs on one node");
+    }
+  }
+  indexed_ = true;
+}
+
+std::optional<std::size_t> SchedulerLog::job_at(std::uint32_t node,
+                                                double t) const {
+  EXAEFF_REQUIRE(indexed_, "call build_index() before job_at()");
+  if (node >= node_index_.size()) return std::nullopt;
+  const auto& spans = node_index_[node];
+  // Last span with begin <= t.
+  auto it = std::upper_bound(
+      spans.begin(), spans.end(), t,
+      [](double tt, const Span& s) { return tt < s.begin_s; });
+  if (it == spans.begin()) return std::nullopt;
+  --it;
+  if (t >= it->begin_s && t < it->end_s) return it->job_index;
+  return std::nullopt;
+}
+
+double SchedulerLog::total_gpu_hours(std::size_t gcds_per_node) const {
+  double total = 0.0;
+  for (const auto& j : jobs_) total += j.gpu_hours(gcds_per_node);
+  return total;
+}
+
+void SchedulerLog::save_csv(std::ostream& os) const {
+  CsvWriter w(os);
+  w.write_row({"job_id", "project_id", "num_nodes", "begin_s", "end_s",
+               "nodes"});
+  for (const auto& j : jobs_) {
+    std::string nodes;
+    for (std::size_t i = 0; i < j.nodes.size(); ++i) {
+      if (i) nodes += ' ';
+      nodes += std::to_string(j.nodes[i]);
+    }
+    w.write_row({std::to_string(j.job_id), j.project_id,
+                 std::to_string(j.num_nodes), std::to_string(j.begin_s),
+                 std::to_string(j.end_s), nodes});
+  }
+}
+
+SchedulerLog SchedulerLog::load_csv(std::istream& is,
+                                    const SchedulingPolicy& policy) {
+  SchedulerLog log;
+  CsvReader r(is);
+  std::vector<std::string> cells;
+  bool header = true;
+  while (r.read_row(cells)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (cells.size() != 6) {
+      throw ParseError("scheduler CSV rows must have 6 fields");
+    }
+    Job j;
+    j.job_id = to_u64(cells[0]);
+    j.project_id = cells[1];
+    j.domain = domain_from_project_id(j.project_id);
+    j.num_nodes = static_cast<std::uint32_t>(to_u64(cells[2]));
+    j.begin_s = to_double(cells[3]);
+    j.end_s = to_double(cells[4]);
+    j.bin = policy.bin_of(j.num_nodes);
+    // Parse the space-separated node list.
+    const std::string& ns = cells[5];
+    std::size_t pos = 0;
+    while (pos < ns.size()) {
+      std::size_t next = ns.find(' ', pos);
+      if (next == std::string::npos) next = ns.size();
+      j.nodes.push_back(
+          static_cast<std::uint32_t>(to_u64(ns.substr(pos, next - pos))));
+      pos = next + 1;
+    }
+    log.add_job(std::move(j));
+  }
+  return log;
+}
+
+}  // namespace exaeff::sched

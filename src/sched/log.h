@@ -1,0 +1,56 @@
+// exaeff/sched/log.h
+//
+// The scheduler log and the telemetry join.  Telemetry records carry only
+// (time, node, gcd, power) — "telemetry data lacks metadata information on
+// workloads, projects, and other fields" (paper §III-A) — so job-level and
+// domain-level analysis requires joining against the per-node-per-job
+// allocation records from the scheduler, which is what this class provides.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "sched/job.h"
+
+namespace exaeff::sched {
+
+/// Append-only job log with a per-node time index for the telemetry join.
+class SchedulerLog {
+ public:
+  /// Adds a job; nodes/begin/end must be populated.
+  void add_job(Job job);
+
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+  /// Builds the per-node interval index; call after the last add_job.
+  void build_index(std::uint32_t total_nodes);
+
+  /// Index of the job running on `node` at time `t`, or nullopt when the
+  /// node is idle.  Requires build_index().  Jobs never overlap on a node.
+  [[nodiscard]] std::optional<std::size_t> job_at(std::uint32_t node,
+                                                  double t) const;
+
+  /// Total GPU-hours across all jobs.
+  [[nodiscard]] double total_gpu_hours(std::size_t gcds_per_node) const;
+
+  /// CSV round trip: job_id,project_id,num_nodes,begin_s,end_s,nodes...
+  void save_csv(std::ostream& os) const;
+  static SchedulerLog load_csv(std::istream& is,
+                               const SchedulingPolicy& policy);
+
+ private:
+  struct Span {
+    double begin_s;
+    double end_s;
+    std::size_t job_index;
+  };
+
+  std::vector<Job> jobs_;
+  std::vector<std::vector<Span>> node_index_;  // per node, sorted by begin
+  bool indexed_ = false;
+};
+
+}  // namespace exaeff::sched

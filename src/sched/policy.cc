@@ -1,0 +1,75 @@
+#include "sched/policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exaeff::sched {
+
+namespace {
+// Table VII lower bounds as fractions of the 9408-node machine.
+constexpr double kFracA = 5645.0 / 9408.0;
+constexpr double kFracB = 1882.0 / 9408.0;
+constexpr double kFracC = 184.0 / 9408.0;
+constexpr double kFracD = 92.0 / 9408.0;
+}  // namespace
+
+SchedulingPolicy::SchedulingPolicy(std::uint32_t total_nodes)
+    : total_nodes_(total_nodes) {
+  EXAEFF_REQUIRE(total_nodes >= 8,
+                 "policy needs at least 8 nodes to form distinct bins");
+  const double n = static_cast<double>(total_nodes);
+  auto at_least_1 = [](double v) {
+    return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+                                          std::ceil(v)));
+  };
+  lower_bound_[0] = at_least_1(kFracA * n);  // A
+  lower_bound_[1] = at_least_1(kFracB * n);  // B
+  lower_bound_[2] = at_least_1(kFracC * n);  // C
+  lower_bound_[3] = at_least_1(kFracD * n);  // D
+  lower_bound_[4] = 1;                       // E
+  // Guarantee strictly decreasing bounds on tiny systems.
+  for (std::size_t i = 1; i < lower_bound_.size(); ++i) {
+    lower_bound_[i] =
+        std::min(lower_bound_[i], lower_bound_[i - 1] > 1
+                                      ? lower_bound_[i - 1] - 1
+                                      : 1U);
+  }
+}
+
+SizeBin SchedulingPolicy::bin_of(std::uint32_t num_nodes) const {
+  EXAEFF_REQUIRE(num_nodes >= 1 && num_nodes <= total_nodes_,
+                 "job size out of machine range");
+  if (num_nodes >= lower_bound_[0]) return SizeBin::kA;
+  if (num_nodes >= lower_bound_[1]) return SizeBin::kB;
+  if (num_nodes >= lower_bound_[2]) return SizeBin::kC;
+  if (num_nodes >= lower_bound_[3]) return SizeBin::kD;
+  return SizeBin::kE;
+}
+
+std::pair<std::uint32_t, std::uint32_t> SchedulingPolicy::node_range(
+    SizeBin b) const {
+  switch (b) {
+    case SizeBin::kA: return {lower_bound_[0], total_nodes_};
+    case SizeBin::kB: return {lower_bound_[1], lower_bound_[0] - 1};
+    case SizeBin::kC: return {lower_bound_[2], lower_bound_[1] - 1};
+    case SizeBin::kD: return {lower_bound_[3], lower_bound_[2] - 1};
+    case SizeBin::kE: return {1, std::max(1U, lower_bound_[3] - 1)};
+  }
+  throw Error("unknown size bin");
+}
+
+double SchedulingPolicy::max_walltime_s(SizeBin b) {
+  switch (b) {
+    case SizeBin::kA:
+    case SizeBin::kB:
+    case SizeBin::kC:
+      return 12.0 * units::kHour;
+    case SizeBin::kD:
+      return 6.0 * units::kHour;
+    case SizeBin::kE:
+      return 2.0 * units::kHour;
+  }
+  throw Error("unknown size bin");
+}
+
+}  // namespace exaeff::sched

@@ -1,0 +1,70 @@
+// exaeff/sched/policy.h
+//
+// Frontier's batch scheduling policy (paper Table VII): jobs are binned
+// A-E by node count, with per-bin walltime limits.  For scaled-down
+// fleets the bin boundaries are expressed as fractions of the system so
+// the *mix* of job sizes is preserved.
+//
+//   bin   nodes (of 9408)    fraction        max walltime
+//   A     5645 - 9408        >= 0.600         12 h
+//   B     1882 - 5644        >= 0.200         12 h
+//   C      184 - 1881        >= 0.0196        12 h
+//   D       92 -  183        >= 0.0098         6 h
+//   E        1 -   91        <  0.0098         2 h
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace exaeff::sched {
+
+/// Job-size bin per the Frontier scheduling policy.
+enum class SizeBin : std::uint8_t { kA, kB, kC, kD, kE };
+
+inline constexpr std::size_t kSizeBinCount = 5;
+
+[[nodiscard]] constexpr std::array<SizeBin, kSizeBinCount> all_size_bins() {
+  return {SizeBin::kA, SizeBin::kB, SizeBin::kC, SizeBin::kD, SizeBin::kE};
+}
+
+[[nodiscard]] constexpr std::string_view bin_name(SizeBin b) {
+  switch (b) {
+    case SizeBin::kA: return "A";
+    case SizeBin::kB: return "B";
+    case SizeBin::kC: return "C";
+    case SizeBin::kD: return "D";
+    case SizeBin::kE: return "E";
+  }
+  return "?";
+}
+
+/// Scheduling policy: size-bin thresholds as fractions of the machine
+/// plus per-bin walltime limits.
+class SchedulingPolicy {
+ public:
+  /// Constructs the Frontier Table VII policy for a system of
+  /// `total_nodes` nodes (fractional thresholds, so any scale works).
+  explicit SchedulingPolicy(std::uint32_t total_nodes);
+
+  /// The bin a job of `num_nodes` nodes falls into.
+  [[nodiscard]] SizeBin bin_of(std::uint32_t num_nodes) const;
+
+  /// Inclusive node-count range [lo, hi] of a bin at this system scale.
+  [[nodiscard]] std::pair<std::uint32_t, std::uint32_t> node_range(
+      SizeBin b) const;
+
+  /// Maximum walltime for a bin, seconds.
+  [[nodiscard]] static double max_walltime_s(SizeBin b);
+
+  [[nodiscard]] std::uint32_t total_nodes() const { return total_nodes_; }
+
+ private:
+  std::uint32_t total_nodes_;
+  std::array<std::uint32_t, kSizeBinCount> lower_bound_{};  // per-bin lo
+};
+
+}  // namespace exaeff::sched

@@ -1,0 +1,249 @@
+#include "sched/queue_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "common/rng.h"
+#include "sched/policy.h"
+
+namespace exaeff::sched {
+
+BatchScheduler::BatchScheduler(std::uint32_t total_nodes,
+                               QueueDiscipline discipline)
+    : total_nodes_(total_nodes), discipline_(discipline) {
+  EXAEFF_REQUIRE(total_nodes >= 1, "scheduler needs at least one node");
+}
+
+namespace {
+
+struct Running {
+  double end_s;
+  std::uint32_t num_nodes;
+  std::vector<std::uint32_t> nodes;
+  bool operator>(const Running& other) const { return end_s > other.end_s; }
+};
+
+/// Free-node pool handing out the lowest ids first (deterministic).
+class NodePool {
+ public:
+  explicit NodePool(std::uint32_t n) {
+    free_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) free_[i] = n - 1 - i;  // stack
+  }
+  [[nodiscard]] std::uint32_t available() const {
+    return static_cast<std::uint32_t>(free_.size());
+  }
+  std::vector<std::uint32_t> take(std::uint32_t count) {
+    std::vector<std::uint32_t> out(free_.end() - count, free_.end());
+    free_.resize(free_.size() - count);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  void give_back(const std::vector<std::uint32_t>& nodes) {
+    free_.insert(free_.end(), nodes.rbegin(), nodes.rend());
+    // Keep the stack roughly sorted so low ids go out first again.
+    std::sort(free_.begin(), free_.end(), std::greater<>());
+  }
+
+ private:
+  std::vector<std::uint32_t> free_;  // stack: back = next out
+};
+
+}  // namespace
+
+QueueOutcome BatchScheduler::run(std::vector<QueuedJob> submissions) const {
+  for (const auto& j : submissions) {
+    EXAEFF_REQUIRE(j.num_nodes >= 1 && j.num_nodes <= total_nodes_,
+                   "job node count out of range");
+    EXAEFF_REQUIRE(j.actual_runtime_s > 0.0 &&
+                       j.actual_runtime_s <= j.requested_walltime_s,
+                   "job runtime must be positive and within its request");
+  }
+  std::sort(submissions.begin(), submissions.end(),
+            [](const QueuedJob& a, const QueuedJob& b) {
+              if (a.submit_s != b.submit_s) return a.submit_s < b.submit_s;
+              return a.job_id < b.job_id;
+            });
+
+  QueueOutcome outcome;
+  const SchedulingPolicy policy(total_nodes_);
+  NodePool pool(total_nodes_);
+  std::priority_queue<Running, std::vector<Running>, std::greater<>>
+      running;
+  std::deque<const QueuedJob*> queue;
+  std::size_t next_submit = 0;
+  double now = 0.0;
+  double wait_sum = 0.0;
+  double busy_node_seconds = 0.0;
+
+  auto start_job = [&](const QueuedJob& j) {
+    Job job;
+    job.job_id = j.job_id;
+    job.project_id = j.project_id.empty()
+                         ? make_project_id(j.domain, 1)
+                         : j.project_id;
+    job.domain = j.domain;
+    job.num_nodes = j.num_nodes;
+    job.bin = policy.bin_of(j.num_nodes);
+    job.begin_s = now;
+    job.end_s = now + j.actual_runtime_s;
+    job.nodes = pool.take(j.num_nodes);
+    running.push(Running{job.end_s, job.num_nodes, job.nodes});
+    busy_node_seconds += j.actual_runtime_s * j.num_nodes;
+    const double wait = now - j.submit_s;
+    wait_sum += wait;
+    outcome.max_wait_s = std::max(outcome.max_wait_s, wait);
+    outcome.makespan_s = std::max(outcome.makespan_s, job.end_s);
+    outcome.log.add_job(std::move(job));
+  };
+
+  // Predicts when `needed` nodes will be free, given the running set:
+  // walks the end-time heap (copy) accumulating released nodes.  Also
+  // reports how many nodes running jobs will have released by then.
+  struct Shadow {
+    double time;
+    std::uint32_t released;
+  };
+  auto shadow_time = [&](std::uint32_t needed) {
+    std::uint32_t avail = pool.available();
+    std::uint32_t released = 0;
+    if (avail >= needed) return Shadow{now, 0};
+    auto copy = running;
+    while (!copy.empty()) {
+      const Running r = copy.top();
+      copy.pop();
+      avail += r.num_nodes;
+      released += r.num_nodes;
+      if (avail >= needed) return Shadow{r.end_s, released};
+    }
+    return Shadow{now, released};  // unreachable for valid jobs
+  };
+
+  auto try_dispatch = [&]() {
+    // Head-of-queue jobs start as soon as they fit (FCFS).
+    while (!queue.empty() && queue.front()->num_nodes <= pool.available()) {
+      const QueuedJob* j = queue.front();
+      queue.pop_front();
+      start_job(*j);
+    }
+    if (queue.empty() || discipline_ == QueueDiscipline::kFcfs) return;
+
+    // EASY backfill: the head gets a reservation at its shadow time;
+    // later jobs may start now if they fit in the free nodes AND either
+    // finish (by their *requested* walltime) before the shadow time or
+    // leave the head's reservation intact.
+    const QueuedJob* head = queue.front();
+    const Shadow sh = shadow_time(head->num_nodes);
+    const double shadow = sh.time;
+    // "Extra" nodes: currently-free nodes the head will not need at its
+    // reservation because completing jobs cover it.  A backfill job that
+    // fits within the extras can run arbitrarily long.
+    const std::uint32_t head_from_free =
+        head->num_nodes > sh.released ? head->num_nodes - sh.released : 0;
+    const std::uint32_t extra = pool.available() > head_from_free
+                                    ? pool.available() - head_from_free
+                                    : 0;
+    for (auto it = queue.begin() + 1; it != queue.end();) {
+      const QueuedJob* j = *it;
+      const bool fits_now = j->num_nodes <= pool.available();
+      const bool ends_before_shadow =
+          now + j->requested_walltime_s <= shadow + 1e-9;
+      const bool within_extra = j->num_nodes <= extra;
+      if (fits_now && (ends_before_shadow || within_extra)) {
+        it = queue.erase(it);
+        start_job(*j);
+        ++outcome.backfilled;
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (next_submit < submissions.size() || !running.empty() ||
+         !queue.empty()) {
+    // Next event: a submission or a completion.
+    const double t_submit = next_submit < submissions.size()
+                                ? submissions[next_submit].submit_s
+                                : 1e300;
+    const double t_finish = !running.empty() ? running.top().end_s : 1e300;
+    EXAEFF_REQUIRE(t_submit < 1e300 || t_finish < 1e300,
+                   "scheduler deadlock: queued jobs but no events");
+    now = std::min(t_submit, t_finish);
+
+    while (!running.empty() && running.top().end_s <= now + 1e-12) {
+      pool.give_back(running.top().nodes);
+      running.pop();
+    }
+    while (next_submit < submissions.size() &&
+           submissions[next_submit].submit_s <= now + 1e-12) {
+      queue.push_back(&submissions[next_submit]);
+      ++next_submit;
+    }
+    try_dispatch();
+  }
+
+  if (!submissions.empty()) {
+    outcome.mean_wait_s = wait_sum / static_cast<double>(submissions.size());
+  }
+  if (outcome.makespan_s > 0.0) {
+    outcome.utilization = busy_node_seconds /
+                          (static_cast<double>(total_nodes_) *
+                           outcome.makespan_s);
+  }
+  outcome.log.build_index(total_nodes_);
+  return outcome;
+}
+
+std::vector<QueuedJob> synthesize_submissions(std::uint32_t total_nodes,
+                                              double horizon_s,
+                                              double load_factor,
+                                              std::uint64_t seed) {
+  EXAEFF_REQUIRE(horizon_s > 0.0, "horizon must be positive");
+  EXAEFF_REQUIRE(load_factor > 0.0 && load_factor <= 3.0,
+                 "load factor must be in (0, 3]");
+  const SchedulingPolicy policy(total_nodes);
+  Rng rng(seed);
+
+  // Arrival rate chosen so expected demand ~ load_factor x capacity.
+  const double mean_nodes = 0.18 * total_nodes;  // typical mixed queue
+  const double mean_runtime = 3.0 * units::kHour;
+  const double jobs_per_second =
+      load_factor * total_nodes / (mean_nodes * mean_runtime);
+
+  std::vector<QueuedJob> out;
+  double t = 0.0;
+  std::uint64_t id = 5000000;
+  const auto domains = all_domains();
+  while (true) {
+    t += rng.exponential(1.0 / jobs_per_second);
+    if (t >= horizon_s) break;
+    QueuedJob j;
+    j.job_id = id++;
+    j.domain = domains[rng.uniform_index(domains.size())];
+    j.project_id = make_project_id(j.domain, 1);
+    j.submit_s = t;
+    // Size: heavier tail toward small jobs, occasional big ones.
+    const double u = rng.uniform();
+    const SizeBin bin = u < 0.45   ? SizeBin::kE
+                        : u < 0.75 ? SizeBin::kD
+                        : u < 0.92 ? SizeBin::kC
+                        : u < 0.985 ? SizeBin::kB
+                                    : SizeBin::kA;
+    const auto [lo, hi] = policy.node_range(bin);
+    const std::uint32_t span = hi >= lo ? hi - lo + 1 : 1;
+    j.num_nodes = static_cast<std::uint32_t>(lo + rng.uniform_index(span));
+    const double wall = SchedulingPolicy::max_walltime_s(
+        policy.bin_of(j.num_nodes));
+    // Users over-request: actual runtime is a fraction of the request.
+    j.requested_walltime_s = std::clamp(
+        wall * rng.uniform(0.4, 1.0), 600.0, wall);
+    j.actual_runtime_s =
+        std::max(300.0, j.requested_walltime_s * rng.uniform(0.3, 0.95));
+    out.push_back(std::move(j));
+  }
+  return out;
+}
+
+}  // namespace exaeff::sched

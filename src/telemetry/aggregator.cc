@@ -1,0 +1,74 @@
+#include "telemetry/aggregator.h"
+
+#include <cmath>
+
+namespace exaeff::telemetry {
+
+void Aggregator::on_gcd_sample(const GcdSample& sample) {
+  const std::uint64_t k = key(sample.node_id, sample.gcd_index);
+  Accum& acc = gcd_windows_[k];
+  const double window_start =
+      std::floor(sample.t_s / window_s_) * window_s_;
+  if (acc.active && window_start > acc.window_start) {
+    emit_gcd(k, acc);
+    acc = Accum{};
+  }
+  if (!acc.active) {
+    acc.active = true;
+    acc.window_start = window_start;
+  }
+  acc.power_sum += sample.power_w;
+  ++acc.count;
+}
+
+void Aggregator::on_node_sample(const NodeSample& sample) {
+  const std::uint64_t k = key(sample.node_id, 0xFFFF);
+  Accum& acc = node_windows_[k];
+  const double window_start =
+      std::floor(sample.t_s / window_s_) * window_s_;
+  if (acc.active && window_start > acc.window_start) {
+    emit_node(k, acc);
+    acc = Accum{};
+  }
+  if (!acc.active) {
+    acc.active = true;
+    acc.window_start = window_start;
+  }
+  acc.power_sum += sample.cpu_power_w;
+  acc.aux_sum += sample.node_input_w;
+  ++acc.count;
+}
+
+void Aggregator::emit_gcd(std::uint64_t channel_key, const Accum& acc) {
+  GcdSample out;
+  out.t_s = acc.window_start;
+  out.node_id = static_cast<std::uint32_t>(channel_key >> 16);
+  out.gcd_index = static_cast<std::uint16_t>(channel_key & 0xFFFF);
+  out.power_w =
+      static_cast<float>(acc.power_sum / static_cast<double>(acc.count));
+  downstream_.on_gcd_sample(out);
+}
+
+void Aggregator::emit_node(std::uint64_t channel_key, const Accum& acc) {
+  NodeSample out;
+  out.t_s = acc.window_start;
+  out.node_id = static_cast<std::uint32_t>(channel_key >> 16);
+  out.cpu_power_w =
+      static_cast<float>(acc.power_sum / static_cast<double>(acc.count));
+  out.node_input_w =
+      static_cast<float>(acc.aux_sum / static_cast<double>(acc.count));
+  downstream_.on_node_sample(out);
+}
+
+void Aggregator::flush() {
+  for (auto& [k, acc] : gcd_windows_) {
+    if (acc.active && acc.count > 0) emit_gcd(k, acc);
+    acc = Accum{};
+  }
+  for (auto& [k, acc] : node_windows_) {
+    if (acc.active && acc.count > 0) emit_node(k, acc);
+    acc = Accum{};
+  }
+}
+
+}  // namespace exaeff::telemetry

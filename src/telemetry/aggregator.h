@@ -1,0 +1,64 @@
+// exaeff/telemetry/aggregator.h
+//
+// 2 s -> 15 s aggregation stage.  The paper (§III-A): "The logs are
+// captured at a frequency of 2-second intervals and are aggregated in the
+// pre-processing state to make it 15-second intervals."  The aggregator
+// consumes raw sensor samples and emits window-mean records aligned to
+// multiples of the window length.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/error.h"
+#include "telemetry/sample.h"
+
+namespace exaeff::telemetry {
+
+/// Streaming window-mean aggregator for per-GCD (and node) channels.
+///
+/// Samples for one channel must arrive in non-decreasing time order;
+/// different channels may interleave arbitrarily.  Call `flush()` after
+/// the last sample to emit trailing partial windows.
+class Aggregator final : public TelemetrySink {
+ public:
+  /// `downstream` receives the aggregated records. `window_s` is the
+  /// output resolution (15 s on Frontier).
+  Aggregator(TelemetrySink& downstream, double window_s = 15.0)
+      : downstream_(downstream), window_s_(window_s) {
+    EXAEFF_REQUIRE(window_s > 0.0, "aggregation window must be positive");
+  }
+
+  void on_gcd_sample(const GcdSample& sample) override;
+  void on_node_sample(const NodeSample& sample) override;
+
+  /// Emits all partially-filled windows.  Idempotent.
+  void flush();
+
+  [[nodiscard]] double window_s() const { return window_s_; }
+
+ private:
+  struct Accum {
+    double window_start = 0.0;
+    double power_sum = 0.0;
+    double aux_sum = 0.0;  // node_input for node channels
+    std::size_t count = 0;
+    bool active = false;
+  };
+
+  /// Channel key: node_id in the high bits, gcd (or 0xFFFF for the node
+  /// channel) in the low bits.
+  [[nodiscard]] static std::uint64_t key(std::uint32_t node,
+                                         std::uint16_t gcd) {
+    return (static_cast<std::uint64_t>(node) << 16) | gcd;
+  }
+
+  void emit_gcd(std::uint64_t channel_key, const Accum& acc);
+  void emit_node(std::uint64_t channel_key, const Accum& acc);
+
+  TelemetrySink& downstream_;
+  double window_s_;
+  std::unordered_map<std::uint64_t, Accum> gcd_windows_;
+  std::unordered_map<std::uint64_t, Accum> node_windows_;
+};
+
+}  // namespace exaeff::telemetry

@@ -1,0 +1,151 @@
+#include "telemetry/archive.h"
+
+#include <array>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace exaeff::telemetry {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'E', 'X', 'A', 'T', 'E', 'L', '0', '1'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void put_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  os.write(buf, 8);
+}
+
+std::uint64_t get_u64(std::istream& is) {
+  char buf[8];
+  is.read(buf, 8);
+  if (is.gcount() != 8) throw ParseError("telemetry archive: truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double get_f64(std::istream& is) {
+  const std::uint64_t bits = get_u64(is);
+  double d;
+  static_assert(sizeof d == sizeof bits);
+  __builtin_memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+void put_f64(std::ostream& os, double d) {
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &d, sizeof bits);
+  put_u64(os, bits);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFU;
+  for (std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFU;
+}
+
+ArchiveInfo write_archive(std::ostream& os,
+                          std::span<const GcdSample> samples,
+                          const CodecOptions& options) {
+  const auto payload = encode_samples(samples, options);
+
+  ArchiveInfo info;
+  info.records = samples.size();
+  info.payload_bytes = payload.size();
+  info.checksum = crc32(payload);
+  info.t_min_s = std::numeric_limits<double>::infinity();
+  info.t_max_s = -info.t_min_s;
+  for (const auto& s : samples) {
+    info.t_min_s = std::min(info.t_min_s, s.t_s);
+    info.t_max_s = std::max(info.t_max_s, s.t_s);
+  }
+  if (samples.empty()) {
+    info.t_min_s = 0.0;
+    info.t_max_s = 0.0;
+  }
+
+  os.write(kFileMagic, sizeof kFileMagic);
+  put_u64(os, info.records);
+  put_f64(os, info.t_min_s);
+  put_f64(os, info.t_max_s);
+  put_u64(os, info.payload_bytes);
+  put_u64(os, info.checksum);
+  os.write(reinterpret_cast<const char*>(payload.data()),
+           static_cast<std::streamsize>(payload.size()));
+  EXAEFF_REQUIRE(os.good(), "telemetry archive: write failed");
+  return info;
+}
+
+namespace {
+ArchiveInfo read_header(std::istream& is) {
+  char magic[sizeof kFileMagic];
+  is.read(magic, sizeof magic);
+  if (is.gcount() != sizeof magic ||
+      !std::equal(magic, magic + sizeof magic, kFileMagic)) {
+    throw ParseError("telemetry archive: bad magic");
+  }
+  ArchiveInfo info;
+  info.records = get_u64(is);
+  info.t_min_s = get_f64(is);
+  info.t_max_s = get_f64(is);
+  info.payload_bytes = get_u64(is);
+  info.checksum = static_cast<std::uint32_t>(get_u64(is));
+  return info;
+}
+
+std::vector<std::uint8_t> read_payload(std::istream& is,
+                                       const ArchiveInfo& info) {
+  std::vector<std::uint8_t> payload(info.payload_bytes);
+  is.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  if (static_cast<std::uint64_t>(is.gcount()) != info.payload_bytes) {
+    throw ParseError("telemetry archive: truncated payload");
+  }
+  if (crc32(payload) != info.checksum) {
+    throw ParseError("telemetry archive: checksum mismatch");
+  }
+  return payload;
+}
+}  // namespace
+
+std::vector<GcdSample> read_archive(std::istream& is) {
+  const ArchiveInfo info = read_header(is);
+  const auto payload = read_payload(is, info);
+  auto samples = decode_samples(payload);
+  if (samples.size() != info.records) {
+    throw ParseError("telemetry archive: record count mismatch");
+  }
+  return samples;
+}
+
+ArchiveInfo read_archive_info(std::istream& is) {
+  const ArchiveInfo info = read_header(is);
+  (void)read_payload(is, info);  // verify integrity
+  return info;
+}
+
+}  // namespace exaeff::telemetry

@@ -1,0 +1,43 @@
+// exaeff/telemetry/archive.h
+//
+// File-backed telemetry archives: the storage format a site would keep
+// its campaign history in.  An archive is the codec's compact encoding
+// framed with a small footer (record count, time extent, CRC), written
+// and read through streams so tests can use memory buffers and tools
+// can use files.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/codec.h"
+#include "telemetry/store.h"
+
+namespace exaeff::telemetry {
+
+/// Archive summary (readable without decoding the payload).
+struct ArchiveInfo {
+  std::uint64_t records = 0;
+  double t_min_s = 0.0;
+  double t_max_s = 0.0;
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t checksum = 0;
+};
+
+/// Writes an archive of `samples` to `os`.  Returns the summary.
+ArchiveInfo write_archive(std::ostream& os,
+                          std::span<const GcdSample> samples,
+                          const CodecOptions& options = {});
+
+/// Reads an archive; verifies the checksum and returns the samples.
+/// Throws ParseError on corruption.
+[[nodiscard]] std::vector<GcdSample> read_archive(std::istream& is);
+
+/// Reads just the summary (fast; payload is skipped, checksum is still
+/// verified).
+[[nodiscard]] ArchiveInfo read_archive_info(std::istream& is);
+
+/// CRC-32 (IEEE 802.3) of a byte span — exposed for tests.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace exaeff::telemetry

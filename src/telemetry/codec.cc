@@ -1,0 +1,149 @@
+#include "telemetry/codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace exaeff::telemetry {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> buf,
+                         std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= buf.size()) {
+      throw ParseError("telemetry codec: truncated varint");
+    }
+    const std::uint8_t byte = buf[pos++];
+    if (shift >= 64) {
+      throw ParseError("telemetry codec: varint overflow");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return value;
+    shift += 7;
+  }
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45544331;  // "ETC1"
+
+std::uint64_t channel_key(const GcdSample& s) {
+  return (static_cast<std::uint64_t>(s.node_id) << 16) | s.gcd_index;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_samples(std::span<const GcdSample> samples,
+                                         const CodecOptions& options) {
+  EXAEFF_REQUIRE(options.power_quantum_w > 0.0 &&
+                     options.time_quantum_s > 0.0,
+                 "codec quanta must be positive");
+
+  // Channel-major, time-ascending ordering maximizes delta locality.
+  std::vector<GcdSample> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const GcdSample& a, const GcdSample& b) {
+              const auto ka = channel_key(a);
+              const auto kb = channel_key(b);
+              if (ka != kb) return ka < kb;
+              return a.t_s < b.t_s;
+            });
+
+  std::vector<std::uint8_t> out;
+  out.reserve(sorted.size() * 3 + 64);
+
+  // Header: magic, record count, quanta (as micro-units).
+  put_varint(out, kMagic);
+  put_varint(out, sorted.size());
+  put_varint(out, static_cast<std::uint64_t>(
+                      std::llround(options.power_quantum_w * 1e6)));
+  put_varint(out, static_cast<std::uint64_t>(
+                      std::llround(options.time_quantum_s * 1e6)));
+
+  std::uint64_t prev_key = ~std::uint64_t{0};
+  std::int64_t prev_t = 0;
+  std::int64_t prev_p = 0;
+  for (const auto& s : sorted) {
+    const std::uint64_t key = channel_key(s);
+    const auto qt = static_cast<std::int64_t>(
+        std::llround(s.t_s / options.time_quantum_s));
+    const auto qp = static_cast<std::int64_t>(
+        std::llround(s.power_w / options.power_quantum_w));
+    if (key != prev_key) {
+      // Channel switch marker: varint 0 then the absolute channel key,
+      // absolute quantized time and power.  (A time delta of 0 cannot
+      // occur inside a channel: records are strictly time-ascending.)
+      put_varint(out, 0);
+      put_varint(out, key);
+      put_varint(out, zigzag(qt));
+      put_varint(out, zigzag(qp));
+      prev_key = key;
+    } else {
+      const std::uint64_t dt = static_cast<std::uint64_t>(qt - prev_t);
+      EXAEFF_REQUIRE(dt > 0,
+                     "codec requires strictly increasing timestamps per "
+                     "channel");
+      put_varint(out, dt);
+      put_varint(out, zigzag(qp - prev_p));
+    }
+    prev_t = qt;
+    prev_p = qp;
+  }
+  return out;
+}
+
+std::vector<GcdSample> decode_samples(std::span<const std::uint8_t> buffer) {
+  std::size_t pos = 0;
+  if (get_varint(buffer, pos) != kMagic) {
+    throw ParseError("telemetry codec: bad magic");
+  }
+  const std::uint64_t count = get_varint(buffer, pos);
+  const double power_quantum =
+      static_cast<double>(get_varint(buffer, pos)) / 1e6;
+  const double time_quantum =
+      static_cast<double>(get_varint(buffer, pos)) / 1e6;
+  if (power_quantum <= 0.0 || time_quantum <= 0.0) {
+    throw ParseError("telemetry codec: bad quanta");
+  }
+
+  std::vector<GcdSample> out;
+  out.reserve(count);
+  std::uint64_t key = 0;
+  std::int64_t qt = 0;
+  std::int64_t qp = 0;
+  bool have_channel = false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t head = get_varint(buffer, pos);
+    if (head == 0) {
+      key = get_varint(buffer, pos);
+      qt = unzigzag(get_varint(buffer, pos));
+      qp = unzigzag(get_varint(buffer, pos));
+      have_channel = true;
+    } else {
+      if (!have_channel) {
+        throw ParseError("telemetry codec: delta before channel marker");
+      }
+      qt += static_cast<std::int64_t>(head);
+      qp += unzigzag(get_varint(buffer, pos));
+    }
+    GcdSample s;
+    s.node_id = static_cast<std::uint32_t>(key >> 16);
+    s.gcd_index = static_cast<std::uint16_t>(key & 0xFFFF);
+    s.t_s = static_cast<double>(qt) * time_quantum;
+    s.power_w = static_cast<float>(static_cast<double>(qp) * power_quantum);
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace exaeff::telemetry

@@ -1,0 +1,65 @@
+// exaeff/telemetry/sample.h
+//
+// Telemetry record types and the sink interface the rest of the pipeline
+// is built on.  Frontier's out-of-band infrastructure samples node-level
+// sensors every 2 seconds and the pre-processing stage aggregates to 15
+// second records (paper Table II); the fleet simulator reproduces those
+// semantics and feeds whatever sink the analysis wants — an in-memory
+// store for small studies, streaming histogram accumulators at fleet
+// scale.
+#pragma once
+
+#include <cstdint>
+
+namespace exaeff::telemetry {
+
+/// Instantaneous (or window-averaged) power of one GCD on one node.
+/// The paper's analysis operates almost entirely on this record.
+struct GcdSample {
+  double t_s = 0.0;            ///< sample time, seconds since campaign start
+  std::uint32_t node_id = 0;   ///< compute node index
+  std::uint16_t gcd_index = 0; ///< GCD within the node (0..7 on Frontier)
+  float power_w = 0.0F;        ///< GPU power, watts
+};
+
+/// Node-level channels captured alongside the per-GCD sensors.
+struct NodeSample {
+  double t_s = 0.0;
+  std::uint32_t node_id = 0;
+  float cpu_power_w = 0.0F;    ///< CPU socket power
+  float node_input_w = 0.0F;   ///< node power input (everything)
+};
+
+/// Consumer of telemetry records.  Implementations must tolerate samples
+/// arriving grouped by node but interleaved in time across nodes.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  virtual void on_gcd_sample(const GcdSample& sample) = 0;
+
+  /// Node-level channels are optional; default is to ignore them.
+  virtual void on_node_sample(const NodeSample& /*sample*/) {}
+};
+
+/// Sink that forwards to two children (e.g. store + live histogram).
+class TeeSink final : public TelemetrySink {
+ public:
+  TeeSink(TelemetrySink& first, TelemetrySink& second)
+      : first_(first), second_(second) {}
+
+  void on_gcd_sample(const GcdSample& s) override {
+    first_.on_gcd_sample(s);
+    second_.on_gcd_sample(s);
+  }
+  void on_node_sample(const NodeSample& s) override {
+    first_.on_node_sample(s);
+    second_.on_node_sample(s);
+  }
+
+ private:
+  TelemetrySink& first_;
+  TelemetrySink& second_;
+};
+
+}  // namespace exaeff::telemetry

@@ -1,0 +1,136 @@
+#include "telemetry/smi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace exaeff::telemetry {
+
+SamplerSpec rocm_smi_sampler() {
+  SamplerSpec s;
+  s.period_s = 1.0;
+  s.offset_w = 4.0;
+  s.gain = 1.00;
+  s.noise_stddev_w = 2.5;
+  return s;
+}
+
+SamplerSpec oob_sensor_sampler() {
+  SamplerSpec s;
+  s.period_s = 2.0;
+  s.offset_w = -2.0;
+  s.gain = 0.995;
+  s.noise_stddev_w = 4.0;
+  return s;
+}
+
+namespace {
+/// Linear interpolation of the ground-truth trace at time t.
+double truth_at(const std::vector<gpusim::TracePoint>& truth, double t) {
+  if (truth.empty()) return 0.0;
+  if (t <= truth.front().t_s) return truth.front().power_w;
+  if (t >= truth.back().t_s) return truth.back().power_w;
+  const auto it = std::lower_bound(
+      truth.begin(), truth.end(), t,
+      [](const gpusim::TracePoint& p, double tt) { return p.t_s < tt; });
+  const auto hi = it;
+  const auto lo = it - 1;
+  const double span = hi->t_s - lo->t_s;
+  if (span <= 0.0) return hi->power_w;
+  const double a = (t - lo->t_s) / span;
+  return lo->power_w + a * (hi->power_w - lo->power_w);
+}
+
+double series_at(const std::vector<SamplePoint>& s, double t) {
+  if (s.empty()) return 0.0;
+  if (t <= s.front().t_s) return s.front().power_w;
+  if (t >= s.back().t_s) return s.back().power_w;
+  const auto it = std::lower_bound(
+      s.begin(), s.end(), t,
+      [](const SamplePoint& p, double tt) { return p.t_s < tt; });
+  const auto hi = it;
+  const auto lo = it - 1;
+  const double span = hi->t_s - lo->t_s;
+  if (span <= 0.0) return hi->power_w;
+  const double a = (t - lo->t_s) / span;
+  return lo->power_w + a * (hi->power_w - lo->power_w);
+}
+}  // namespace
+
+std::vector<SamplePoint> sample_trace(
+    const std::vector<gpusim::TracePoint>& truth, const SamplerSpec& sampler,
+    double t0, double t1, Rng& rng) {
+  EXAEFF_REQUIRE(sampler.period_s > 0.0, "sampler period must be positive");
+  EXAEFF_REQUIRE(t1 >= t0, "sampling interval must be non-empty");
+  std::vector<SamplePoint> out;
+  out.reserve(static_cast<std::size_t>((t1 - t0) / sampler.period_s) + 1);
+  for (double t = t0; t < t1; t += sampler.period_s) {
+    const double p = truth_at(truth, t);
+    const double measured =
+        sampler.gain * p + sampler.offset_w +
+        rng.normal(0.0, sampler.noise_stddev_w);
+    out.push_back(SamplePoint{t, std::max(0.0, measured)});
+  }
+  return out;
+}
+
+std::vector<SamplePoint> aggregate_series(
+    const std::vector<SamplePoint>& series, double window_s) {
+  EXAEFF_REQUIRE(window_s > 0.0, "aggregation window must be positive");
+  std::vector<SamplePoint> out;
+  if (series.empty()) return out;
+  double window_start = std::floor(series.front().t_s / window_s) * window_s;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& p : series) {
+    const double w = std::floor(p.t_s / window_s) * window_s;
+    if (w > window_start && count > 0) {
+      out.push_back(
+          SamplePoint{window_start, sum / static_cast<double>(count)});
+      sum = 0.0;
+      count = 0;
+      window_start = w;
+    }
+    sum += p.power_w;
+    ++count;
+  }
+  if (count > 0) {
+    out.push_back(SamplePoint{window_start, sum / static_cast<double>(count)});
+  }
+  return out;
+}
+
+Agreement compare_series(const std::vector<SamplePoint>& a,
+                         const std::vector<SamplePoint>& b) {
+  EXAEFF_REQUIRE(!a.empty() && !b.empty(), "cannot compare empty series");
+  // Evaluate on the coarser series' timestamps.
+  const auto& coarse = a.size() <= b.size() ? a : b;
+  const auto& fine = a.size() <= b.size() ? b : a;
+
+  double sum_abs = 0.0;
+  double sum_ref = 0.0;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  const auto n = static_cast<double>(coarse.size());
+  for (const auto& p : coarse) {
+    const double x = p.power_w;
+    const double y = series_at(fine, p.t_s);
+    sum_abs += std::abs(x - y);
+    sum_ref += x;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  Agreement ag;
+  ag.mean_abs_err_w = sum_abs / n;
+  ag.mean_rel_err = sum_ref > 0.0 ? sum_abs / sum_ref : 0.0;
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  ag.correlation = (vx > 0.0 && vy > 0.0) ? cov / std::sqrt(vx * vy) : 0.0;
+  return ag;
+}
+
+}  // namespace exaeff::telemetry

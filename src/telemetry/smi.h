@@ -1,0 +1,63 @@
+// exaeff/telemetry/smi.h
+//
+// In-band sampling (the ROCm-SMI analogue) and out-of-band sensor
+// sampling of the same ground-truth power signal, plus the agreement
+// metrics behind Fig 2(a).  Both samplers observe the same underlying
+// trace; they differ in period, calibration offset and noise — the paper
+// demonstrates the two channels agree well enough that the out-of-band
+// telemetry can stand in for in-band measurements at fleet scale.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpusim/simulator.h"
+
+namespace exaeff::telemetry {
+
+/// One point of a sampled power series.
+struct SamplePoint {
+  double t_s = 0.0;
+  double power_w = 0.0;
+};
+
+/// Sampler characteristics.
+struct SamplerSpec {
+  double period_s = 1.0;       ///< sampling period
+  double offset_w = 0.0;       ///< systematic calibration offset
+  double gain = 1.0;           ///< systematic gain error
+  double noise_stddev_w = 3.0; ///< white measurement noise
+};
+
+/// ROCm-SMI-like in-band sampler: 1 s period, small positive offset
+/// (driver-side estimation includes some SoC overhead).
+[[nodiscard]] SamplerSpec rocm_smi_sampler();
+
+/// Out-of-band node-sensor sampler: 2 s period, slightly different
+/// calibration (shunt-based), a touch more noise.
+[[nodiscard]] SamplerSpec oob_sensor_sampler();
+
+/// Samples a ground-truth trace (piecewise-linear in time) with the given
+/// sampler over [t0, t1).
+[[nodiscard]] std::vector<SamplePoint> sample_trace(
+    const std::vector<gpusim::TracePoint>& truth, const SamplerSpec& sampler,
+    double t0, double t1, Rng& rng);
+
+/// Mean-aggregates a sampled series into windows of `window_s` (the 15 s
+/// pre-processing step applied to the out-of-band channel).
+[[nodiscard]] std::vector<SamplePoint> aggregate_series(
+    const std::vector<SamplePoint>& series, double window_s);
+
+/// Agreement metrics between two series (resampled onto the coarser
+/// series' timestamps by linear interpolation).
+struct Agreement {
+  double mean_abs_err_w = 0.0;   ///< mean absolute difference
+  double mean_rel_err = 0.0;     ///< mean |diff| / mean reference power
+  double correlation = 0.0;      ///< Pearson correlation
+};
+
+[[nodiscard]] Agreement compare_series(const std::vector<SamplePoint>& a,
+                                       const std::vector<SamplePoint>& b);
+
+}  // namespace exaeff::telemetry

@@ -1,0 +1,108 @@
+#include "telemetry/store.h"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace exaeff::telemetry {
+
+namespace {
+double to_double(const std::string& s) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ParseError("bad numeric field in telemetry CSV: '" + s + "'");
+  }
+  return v;
+}
+}  // namespace
+
+void TelemetryStore::sort() {
+  std::sort(gcd_samples_.begin(), gcd_samples_.end(),
+            [](const GcdSample& a, const GcdSample& b) {
+              if (a.node_id != b.node_id) return a.node_id < b.node_id;
+              if (a.gcd_index != b.gcd_index) return a.gcd_index < b.gcd_index;
+              return a.t_s < b.t_s;
+            });
+  sorted_ = true;
+}
+
+std::vector<GcdSample> TelemetryStore::series(std::uint32_t node_id,
+                                              std::uint16_t gcd_index,
+                                              double t0, double t1) const {
+  EXAEFF_REQUIRE(sorted_, "call sort() before series()");
+  const auto lo = std::partition_point(
+      gcd_samples_.begin(), gcd_samples_.end(), [&](const GcdSample& s) {
+        if (s.node_id != node_id) return s.node_id < node_id;
+        if (s.gcd_index != gcd_index) return s.gcd_index < gcd_index;
+        return s.t_s < t0;
+      });
+  std::vector<GcdSample> out;
+  for (auto it = lo; it != gcd_samples_.end() && it->node_id == node_id &&
+                     it->gcd_index == gcd_index && it->t_s < t1;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+double TelemetryStore::total_gpu_energy_j() const {
+  double e = 0.0;
+  for (const auto& s : gcd_samples_) e += s.power_w * window_s_;
+  return e;
+}
+
+double TelemetryStore::total_cpu_energy_j() const {
+  double e = 0.0;
+  for (const auto& s : node_samples_) e += s.cpu_power_w * window_s_;
+  return e;
+}
+
+std::pair<double, double> TelemetryStore::time_extent() const {
+  if (gcd_samples_.empty()) return {0.0, 0.0};
+  double lo = gcd_samples_.front().t_s;
+  double hi = lo;
+  for (const auto& s : gcd_samples_) {
+    lo = std::min(lo, s.t_s);
+    hi = std::max(hi, s.t_s);
+  }
+  return {lo, hi + window_s_};
+}
+
+void TelemetryStore::save_csv(std::ostream& os) const {
+  CsvWriter w(os);
+  w.write_row({"t_s", "node_id", "gcd", "power_w"});
+  for (const auto& s : gcd_samples_) {
+    w.write_row({std::to_string(s.t_s), std::to_string(s.node_id),
+                 std::to_string(s.gcd_index), std::to_string(s.power_w)});
+  }
+}
+
+TelemetryStore TelemetryStore::load_csv(std::istream& is, double window_s) {
+  TelemetryStore store(window_s);
+  CsvReader r(is);
+  std::vector<std::string> cells;
+  bool header = true;
+  while (r.read_row(cells)) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (cells.size() != 4) {
+      throw ParseError("telemetry CSV rows must have 4 fields");
+    }
+    GcdSample s;
+    s.t_s = to_double(cells[0]);
+    s.node_id = static_cast<std::uint32_t>(to_double(cells[1]));
+    s.gcd_index = static_cast<std::uint16_t>(to_double(cells[2]));
+    s.power_w = static_cast<float>(to_double(cells[3]));
+    store.on_gcd_sample(s);
+  }
+  return store;
+}
+
+}  // namespace exaeff::telemetry

@@ -1,0 +1,70 @@
+// exaeff/telemetry/store.h
+//
+// In-memory telemetry store with range queries, energy integration and
+// CSV round-trip.  Suitable for benchmark-scale studies (millions of
+// records); the fleet-scale pipeline streams into accumulators instead.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "telemetry/sample.h"
+
+namespace exaeff::telemetry {
+
+/// Append-only store of aggregated telemetry records.
+class TelemetryStore final : public TelemetrySink {
+ public:
+  /// `window_s` is the record resolution; it is the integration weight
+  /// used when converting power records to energy.
+  explicit TelemetryStore(double window_s = 15.0) : window_s_(window_s) {}
+
+  void on_gcd_sample(const GcdSample& sample) override {
+    gcd_samples_.push_back(sample);
+  }
+  void on_node_sample(const NodeSample& sample) override {
+    node_samples_.push_back(sample);
+  }
+
+  [[nodiscard]] std::span<const GcdSample> gcd_samples() const {
+    return gcd_samples_;
+  }
+  [[nodiscard]] std::span<const NodeSample> node_samples() const {
+    return node_samples_;
+  }
+  [[nodiscard]] std::size_t size() const { return gcd_samples_.size(); }
+  [[nodiscard]] bool empty() const { return gcd_samples_.empty(); }
+  [[nodiscard]] double window_s() const { return window_s_; }
+
+  /// Sorts records by (node, gcd, time); required before series().
+  void sort();
+
+  /// All records of one GCD channel within [t0, t1).  Requires sort().
+  [[nodiscard]] std::vector<GcdSample> series(std::uint32_t node_id,
+                                              std::uint16_t gcd_index,
+                                              double t0, double t1) const;
+
+  /// Total GPU energy across all records, joules (power x window).
+  [[nodiscard]] double total_gpu_energy_j() const;
+
+  /// Total CPU energy across node records, joules.
+  [[nodiscard]] double total_cpu_energy_j() const;
+
+  /// Time extent [min_t, max_t + window] over GCD records; {0,0} if empty.
+  [[nodiscard]] std::pair<double, double> time_extent() const;
+
+  /// Writes "t_s,node_id,gcd,power_w" CSV (with header).
+  void save_csv(std::ostream& os) const;
+
+  /// Reads records back from CSV written by save_csv.
+  static TelemetryStore load_csv(std::istream& is, double window_s = 15.0);
+
+ private:
+  double window_s_;
+  std::vector<GcdSample> gcd_samples_;
+  std::vector<NodeSample> node_samples_;
+  bool sorted_ = false;
+};
+
+}  // namespace exaeff::telemetry

@@ -1,0 +1,169 @@
+#include "workloads/app_profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace exaeff::workloads {
+
+gpusim::KernelDesc kernel_from_utils(const gpusim::DeviceSpec& spec,
+                                     std::string name, double duration_s,
+                                     double u_alu, double u_hbm, double u_lat,
+                                     double issue_boundedness,
+                                     double latency_power_fraction) {
+  EXAEFF_REQUIRE(duration_s > 0.0, "phase duration must be positive");
+  EXAEFF_REQUIRE(u_alu >= 0.0 && u_alu <= 1.0, "u_alu must be in [0, 1]");
+  EXAEFF_REQUIRE(u_hbm >= 0.0 && u_hbm <= 1.0, "u_hbm must be in [0, 1]");
+  EXAEFF_REQUIRE(u_lat >= 0.0 && u_lat < 1.0, "u_lat must be in [0, 1)");
+
+  // The dominant throughput engine must fill the non-latency time; scale
+  // both utilizations up if the caller left headroom (keeps their ratio).
+  const double dominant = std::max(u_alu, u_hbm);
+  EXAEFF_REQUIRE(dominant > 0.0 || u_lat > 0.0,
+                 "phase must use at least one resource");
+  double a = u_alu;
+  double h = u_hbm;
+  if (dominant > 0.0) {
+    const double scale = (1.0 - u_lat) / dominant;
+    a *= scale;
+    h *= scale;
+  }
+
+  gpusim::KernelDesc k;
+  k.name = std::move(name);
+  k.issue_boundedness = issue_boundedness;
+  k.latency_power_fraction = latency_power_fraction;
+  k.flops = a * duration_s * spec.peak_flops_sustained;
+  k.hbm_bytes = h * duration_s * spec.hbm_bw;
+  k.l2_bytes = k.hbm_bytes;  // traffic transits L2
+  k.latency_s = u_lat * duration_s;
+  k.validate();
+  return k;
+}
+
+void AppProfile::add_phase(PhaseSpec phase) {
+  phase.kernel.validate();
+  EXAEFF_REQUIRE(phase.mean_duration_s > 0.0,
+                 "phase mean duration must be positive");
+  EXAEFF_REQUIRE(phase.weight > 0.0, "phase weight must be positive");
+  phases_.push_back(std::move(phase));
+}
+
+SampledPhase AppProfile::sample_phase(Rng& rng) const {
+  EXAEFF_REQUIRE(!phases_.empty(), "profile has no phases");
+  std::vector<double> weights;
+  weights.reserve(phases_.size());
+  for (const auto& p : phases_) weights.push_back(p.weight);
+  const std::size_t idx = rng.categorical(weights.data(), weights.size());
+  const PhaseSpec& spec = phases_[idx];
+
+  // Lognormal duration with the archetype's mean: mu chosen so that
+  // E[d] = mean (lognormal mean correction exp(sigma^2/2)).
+  const double sigma = spec.duration_sigma;
+  const double mu = std::log(spec.mean_duration_s) - 0.5 * sigma * sigma;
+  const double duration = std::clamp(rng.lognormal(mu, sigma),
+                                     0.25 * spec.mean_duration_s,
+                                     4.0 * spec.mean_duration_s);
+
+  SampledPhase out;
+  out.nominal_duration_s = duration;
+  out.kernel = spec.kernel.scaled(duration / spec.mean_duration_s);
+  return out;
+}
+
+namespace {
+/// Shorthand for building a phase from utilization targets.
+PhaseSpec phase(const gpusim::DeviceSpec& spec, const char* name,
+                double mean_s, double u_alu, double u_hbm, double u_lat,
+                double weight, double beta = 0.5, double lat_pf = 0.12) {
+  PhaseSpec p;
+  p.kernel = kernel_from_utils(spec, name, mean_s, u_alu, u_hbm, u_lat, beta,
+                               lat_pf);
+  p.mean_duration_s = mean_s;
+  p.weight = weight;
+  return p;
+}
+}  // namespace
+
+ProfileLibrary make_profile_library(const gpusim::DeviceSpec& spec) {
+  ProfileLibrary lib;
+
+  // Fig 9 (a)/(b): dense-linear-algebra style domains.  Dominant peak in
+  // region 3 (420-560 W), occasional near-TDP balanced phases, brief
+  // setup/communication dips.  (~456 W / ~538 W / ~347 W at f_max.)
+  lib.compute_heavy = AppProfile("compute_heavy");
+  lib.compute_heavy.add_phase(
+      phase(spec, "gemm", 120.0, 1.00, 0.30, 0.02, 5.5, 0.85));
+  lib.compute_heavy.add_phase(
+      phase(spec, "fused", 90.0, 1.00, 0.88, 0.02, 2.0, 0.85));
+  lib.compute_heavy.add_phase(
+      phase(spec, "halo-exch", 20.0, 0.25, 0.30, 0.55, 1.0, 0.6));
+
+  // (~469 W / ~485 W / ~236 W.)
+  lib.compute_moderate = AppProfile("compute_moderate");
+  lib.compute_moderate.add_phase(
+      phase(spec, "kernel-main", 100.0, 1.00, 0.45, 0.05, 4.0, 0.8));
+  lib.compute_moderate.add_phase(
+      phase(spec, "reduction", 45.0, 0.60, 0.92, 0.08, 2.0, 0.3));
+  lib.compute_moderate.add_phase(
+      phase(spec, "io-dump", 30.0, 0.08, 0.15, 0.75, 0.8, 0.4));
+
+  // Fig 9 (e)/(f): bandwidth-bound domains (stencils, sparse solvers).
+  // (~397 W / ~332 W / ~277 W — squarely in region 2.)
+  lib.memory_bandwidth = AppProfile("memory_bandwidth");
+  lib.memory_bandwidth.add_phase(
+      phase(spec, "stencil", 110.0, 0.20, 0.85, 0.15, 5.0, 0.08));
+  lib.memory_bandwidth.add_phase(
+      phase(spec, "spmv", 80.0, 0.12, 0.65, 0.35, 3.0, 0.08));
+  lib.memory_bandwidth.add_phase(
+      phase(spec, "pack-unpack", 25.0, 0.10, 0.45, 0.55, 1.0, 0.10));
+
+  // (~290 W / ~243 W / ~372 W — lower region 2.)
+  lib.memory_latency = AppProfile("memory_latency");
+  lib.memory_latency.add_phase(
+      phase(spec, "gather", 90.0, 0.10, 0.50, 0.50, 4.0, 0.10));
+  lib.memory_latency.add_phase(
+      phase(spec, "graph-walk", 70.0, 0.07, 0.35, 0.65, 3.0, 0.10));
+  lib.memory_latency.add_phase(
+      phase(spec, "sort", 40.0, 0.25, 0.70, 0.30, 1.5, 0.15));
+
+  // Fig 9 (c)/(d): latency / network / IO bound domains (~110-230 W).
+  lib.latency_io = AppProfile("latency_io");
+  lib.latency_io.add_phase(
+      phase(spec, "wait-io", 150.0, 0.02, 0.05, 0.95, 5.0, 0.3, 0.05));
+  lib.latency_io.add_phase(
+      phase(spec, "analysis", 60.0, 0.08, 0.18, 0.82, 2.0, 0.4, 0.08));
+  lib.latency_io.add_phase(
+      phase(spec, "burst", 25.0, 0.45, 0.55, 0.25, 0.8, 0.6));
+
+  lib.latency_network = AppProfile("latency_network");
+  lib.latency_network.add_phase(
+      phase(spec, "allreduce-wait", 100.0, 0.03, 0.08, 0.92, 5.0, 0.3, 0.06));
+  lib.latency_network.add_phase(
+      phase(spec, "local-step", 40.0, 0.10, 0.35, 0.65, 2.2, 0.5, 0.08));
+
+  // Fig 9 (g)/(h): multi-modal domains hopping across regions.
+  lib.multimodal_wide = AppProfile("multimodal_wide");
+  lib.multimodal_wide.add_phase(
+      phase(spec, "fft", 70.0, 0.85, 0.70, 0.05, 2.5, 0.75));
+  lib.multimodal_wide.add_phase(
+      phase(spec, "transpose", 60.0, 0.15, 0.90, 0.10, 2.5, 0.08));
+  lib.multimodal_wide.add_phase(
+      phase(spec, "io-phase", 80.0, 0.05, 0.15, 0.85, 2.0, 0.3, 0.08));
+  lib.multimodal_wide.add_phase(
+      phase(spec, "solve", 90.0, 1.00, 0.40, 0.03, 2.0, 0.85));
+
+  lib.multimodal_burst = AppProfile("multimodal_burst");
+  lib.multimodal_burst.add_phase(
+      phase(spec, "idle-wait", 120.0, 0.02, 0.05, 0.92, 3.5, 0.3, 0.06));
+  lib.multimodal_burst.add_phase(
+      phase(spec, "burst-compute", 50.0, 1.00, 0.90, 0.02, 2.5, 0.85));
+  lib.multimodal_burst.add_phase(
+      phase(spec, "post-process", 40.0, 0.20, 0.55, 0.45, 1.5, 0.12));
+
+  return lib;
+}
+
+}  // namespace exaeff::workloads

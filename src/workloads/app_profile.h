@@ -1,0 +1,92 @@
+// exaeff/workloads/app_profile.h
+//
+// Phase-based synthetic application profiles.  Real HPC applications
+// alternate between phases that stress different resources; the paper's
+// Fig 9 shows each science domain has a characteristic (often multimodal)
+// GPU power distribution.  An AppProfile is a weighted set of phase
+// archetypes; sampling it yields a phase sequence whose power histogram
+// reproduces a domain's modality.
+//
+// Phase kernels are constructed from *target utilizations* via
+// kernel_from_utils(), which inverts the execution model at f_max: this
+// gives precise control over where in the power distribution a phase
+// lands, while the kernel still responds faithfully to frequency and
+// power caps through the normal execution/power models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+
+namespace exaeff::workloads {
+
+/// Builds a kernel that, run unconstrained at f_max, lasts `duration_s`
+/// with approximately the requested engine utilizations.
+///
+/// `u_lat` is the latency-bound fraction of wall time; the dominant of
+/// u_alu/u_hbm is scaled to fill the remaining (1 - u_lat) throughput
+/// time (roofline overlap).  All fractions in [0, 1]; u_lat < 1.
+[[nodiscard]] gpusim::KernelDesc kernel_from_utils(
+    const gpusim::DeviceSpec& spec, std::string name, double duration_s,
+    double u_alu, double u_hbm, double u_lat,
+    double issue_boundedness = 0.5, double latency_power_fraction = 0.12);
+
+/// One phase archetype within an application profile.
+struct PhaseSpec {
+  gpusim::KernelDesc kernel;     ///< demands for the *mean* duration
+  double mean_duration_s = 60.0; ///< phase length scale
+  double duration_sigma = 0.35;  ///< lognormal sigma of phase length
+  double weight = 1.0;           ///< selection weight within the profile
+};
+
+/// A sampled phase: concrete kernel scaled to a concrete duration.
+struct SampledPhase {
+  gpusim::KernelDesc kernel;
+  double nominal_duration_s = 0.0;  ///< duration at unconstrained clock
+};
+
+/// Weighted mixture of phase archetypes for one application class.
+class AppProfile {
+ public:
+  AppProfile() = default;
+  explicit AppProfile(std::string name) : name_(std::move(name)) {}
+
+  void add_phase(PhaseSpec phase);
+
+  /// Draws the next phase: archetype by weight, duration lognormal around
+  /// the archetype mean, kernel demands scaled accordingly.
+  [[nodiscard]] SampledPhase sample_phase(Rng& rng) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<PhaseSpec>& phases() const {
+    return phases_;
+  }
+  [[nodiscard]] bool empty() const { return phases_.empty(); }
+
+ private:
+  std::string name_;
+  std::vector<PhaseSpec> phases_;
+};
+
+/// The archetype profiles behind the synthetic science domains:
+/// compute-intensive, memory-intensive (two flavours), latency/IO-bound
+/// (two flavours) and multi-modal mixtures.  The `spec` fixes the device
+/// the utilization targets are inverted against.
+struct ProfileLibrary {
+  AppProfile compute_heavy;     ///< Fig 9 (a)/(b): sustained 430-545 W
+  AppProfile compute_moderate;  ///< upper region 3 with some memory phases
+  AppProfile memory_bandwidth;  ///< Fig 9 (e)/(f): 280-400 W
+  AppProfile memory_latency;    ///< lower region 2: 210-300 W
+  AppProfile latency_io;        ///< Fig 9 (c)/(d): 95-180 W
+  AppProfile latency_network;   ///< region 1 with bursts
+  AppProfile multimodal_wide;   ///< Fig 9 (g)/(h): phases across regions
+  AppProfile multimodal_burst;  ///< mostly idle-ish with compute bursts
+};
+
+[[nodiscard]] ProfileLibrary make_profile_library(
+    const gpusim::DeviceSpec& spec);
+
+}  // namespace exaeff::workloads

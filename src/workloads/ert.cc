@@ -1,0 +1,87 @@
+#include "workloads/ert.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+#include "workloads/membench.h"
+#include "workloads/vai.h"
+
+namespace exaeff::workloads::ert {
+
+RooflineReport measure(const gpusim::DeviceSpec& spec,
+                       const Options& options) {
+  EXAEFF_REQUIRE(options.min_intensity > 0.0 &&
+                     options.max_intensity > options.min_intensity,
+                 "ERT intensity range must be non-empty and positive");
+  EXAEFF_REQUIRE(options.intensity_step > 1.0,
+                 "ERT sweep step must be > 1");
+
+  const gpusim::GpuSimulator sim(spec);
+  gpusim::PowerPolicy policy;
+  if (options.frequency_mhz > 0.0) {
+    policy.freq_cap_mhz = options.frequency_mhz;
+  }
+  policy.power_cap_w = options.power_cap_w;
+
+  RooflineReport report;
+  report.idle_power_w = 1e30;
+
+  // Compute/memory sweep via the VAI kernel family.
+  for (double ai = options.min_intensity; ai <= options.max_intensity;
+       ai *= options.intensity_step) {
+    const auto kernel = vai::make_kernel(spec, ai);
+    const auto run = sim.run(kernel, policy);
+    RooflinePoint p;
+    p.intensity = ai;
+    p.gflops = run.timing.achieved_flops / 1e9;
+    p.bandwidth_gbs = run.timing.achieved_hbm_bw / 1e9;
+    p.power_w = run.avg_power_w;
+    report.sweep.push_back(p);
+    report.peak_gflops = std::max(report.peak_gflops, p.gflops);
+    report.hbm_bandwidth_gbs =
+        std::max(report.hbm_bandwidth_gbs, p.bandwidth_gbs);
+    report.max_power_w = std::max(report.max_power_w, p.power_w);
+    report.idle_power_w = std::min(report.idle_power_w, p.power_w);
+  }
+
+  // L2 bandwidth roof via a cache-resident load kernel.
+  const auto l2_kernel =
+      membench::make_kernel(spec, 0.5 * spec.l2_bytes);
+  const auto l2_run = sim.run(l2_kernel, policy);
+  report.l2_bandwidth_gbs = l2_run.timing.achieved_l2_bw / 1e9;
+
+  // Empirical ridge: where measured compute equals measured bandwidth
+  // times intensity.
+  if (report.hbm_bandwidth_gbs > 0.0) {
+    report.ridge_intensity =
+        report.peak_gflops / report.hbm_bandwidth_gbs;
+  }
+  return report;
+}
+
+std::string render(const RooflineReport& report) {
+  std::ostringstream os;
+  os << "Empirical Roofline (exaeff-ert)\n";
+  os << "  sustained compute : " << std::lround(report.peak_gflops)
+     << " GFLOP/s\n";
+  os << "  HBM bandwidth     : " << std::lround(report.hbm_bandwidth_gbs)
+     << " GB/s\n";
+  os << "  L2 bandwidth      : " << std::lround(report.l2_bandwidth_gbs)
+     << " GB/s\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", report.ridge_intensity);
+  os << "  ridge intensity   : " << buf << " flop/byte\n";
+  os << "  power range       : " << std::lround(report.idle_power_w)
+     << " - " << std::lround(report.max_power_w) << " W\n";
+  os << "  intensity    GFLOP/s      GB/s   power(W)\n";
+  for (const auto& p : report.sweep) {
+    std::snprintf(buf, sizeof buf, "  %9.4f %10.0f %9.0f %9.0f\n",
+                  p.intensity, p.gflops, p.bandwidth_gbs, p.power_w);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace exaeff::workloads::ert

@@ -1,0 +1,57 @@
+// exaeff/workloads/ert.h
+//
+// An Empirical Roofline Tool (ERT) equivalent for the simulated device —
+// the paper builds its VAI benchmark as an extension of ERT (§III-B-a),
+// and this module closes the loop: it *measures* the device empirically,
+// through the same public simulator API a user of real hardware would
+// exercise, and reports the roofline parameters (sustained compute peak,
+// bandwidth per memory level, ridge point) plus the power-vs-intensity
+// profile.  Tests validate that the empirical measurement recovers the
+// DeviceSpec ground truth, which is exactly the property that makes
+// benchmark-based characterization trustworthy.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/simulator.h"
+
+namespace exaeff::workloads::ert {
+
+/// One sampled point of the empirical roofline.
+struct RooflinePoint {
+  double intensity = 0.0;       ///< flop/byte (HBM)
+  double gflops = 0.0;          ///< achieved Gflop/s
+  double bandwidth_gbs = 0.0;   ///< achieved HBM GB/s
+  double power_w = 0.0;         ///< sustained power
+};
+
+/// Empirical device characterization.
+struct RooflineReport {
+  double peak_gflops = 0.0;        ///< sustained compute roof
+  double hbm_bandwidth_gbs = 0.0;  ///< HBM bandwidth roof
+  double l2_bandwidth_gbs = 0.0;   ///< L2 bandwidth roof
+  double ridge_intensity = 0.0;    ///< flop/byte where the roofs cross
+  double max_power_w = 0.0;        ///< highest sustained power observed
+  double idle_power_w = 0.0;       ///< lowest sustained power observed
+  std::vector<RooflinePoint> sweep;
+};
+
+/// Measurement options.
+struct Options {
+  double min_intensity = 1.0 / 32.0;
+  double max_intensity = 4096.0;
+  double intensity_step = 2.0;       ///< multiplicative sweep step
+  double frequency_mhz = 0.0;        ///< 0 = device maximum
+  std::optional<double> power_cap_w; ///< optional cap during measurement
+};
+
+/// Runs the empirical sweep on a device.
+[[nodiscard]] RooflineReport measure(const gpusim::DeviceSpec& spec,
+                                     const Options& options = {});
+
+/// Renders the report in ERT's customary text form.
+[[nodiscard]] std::string render(const RooflineReport& report);
+
+}  // namespace exaeff::workloads::ert

@@ -1,0 +1,63 @@
+#include "workloads/membench.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace exaeff::workloads::membench {
+
+double l2_hit_fraction(const gpusim::DeviceSpec& spec,
+                       double working_set_bytes) {
+  EXAEFF_REQUIRE(working_set_bytes > 0.0, "working set must be positive");
+  return std::min(1.0, spec.l2_bytes / working_set_bytes);
+}
+
+gpusim::KernelDesc make_kernel(const gpusim::DeviceSpec& spec,
+                               double working_set_bytes,
+                               const Params& params) {
+  EXAEFF_REQUIRE(params.runtime_target_s > 0.0,
+                 "runtime target must be positive");
+  const double h = l2_hit_fraction(spec, working_set_bytes);
+
+  gpusim::KernelDesc k;
+  char label[64];
+  std::snprintf(label, sizeof label, "membench/%.0fKiB",
+                working_set_bytes / 1024.0);
+  k.name = label;
+  k.issue_boundedness = params.issue_boundedness;
+  k.latency_s = params.launch_overhead_s;
+
+  // Choose the traffic volume V so the unconstrained run hits the target
+  // runtime given the mixed-service bandwidth.
+  const double mixed_bw_inv =
+      h / spec.l2_bw + (1.0 - h) / spec.hbm_bw;  // seconds per byte
+  const double volume = params.runtime_target_s / mixed_bw_inv;
+
+  k.l2_bytes = volume;               // every load transits the L2
+  k.hbm_bytes = volume * (1.0 - h);  // misses go out to HBM
+  // Address arithmetic only: ~1 flop per 16 bytes loaded.
+  k.flops = volume / 16.0;
+  k.validate();
+  return k;
+}
+
+std::vector<double> standard_sizes() {
+  std::vector<double> sizes;
+  for (double s = 384.0 * 1024.0; s <= 1.5 * 1024.0 * 1024.0 * 1024.0;
+       s *= 2.0) {
+    sizes.push_back(s);
+  }
+  return sizes;
+}
+
+std::vector<double> hbm_resident_sizes(const gpusim::DeviceSpec& spec) {
+  std::vector<double> out;
+  for (double s : standard_sizes()) {
+    if (s > spec.l2_bytes) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace exaeff::workloads::membench

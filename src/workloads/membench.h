@@ -1,0 +1,50 @@
+// exaeff/workloads/membench.h
+//
+// The GPU-benches-style L2-cache / HBM bandwidth benchmark the paper uses
+// for memory characterization (§III-B-b, Fig 3, Fig 6).  The real kernel
+// launches 100,000 blocks of 1,024 threads, each repeatedly loading a
+// chunk (chunk = block_id % num_chunks) so the same working set is
+// streamed at maximum rate.  Starting from a single 384 KB chunk, the
+// working set grows until it spills from the 16 MB L2 into HBM.
+//
+// Modeled here with an L2 hit fraction h = min(1, L2_size/working_set):
+// traffic volume V is served h from L2 and (1-h) from HBM.  Massive
+// thread-level parallelism hides the engine clock for the HBM portion
+// (issue_boundedness ~ 0), while the L2 portion follows the clock — which
+// is exactly the split behaviour of Fig 6.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+
+namespace exaeff::workloads::membench {
+
+/// Benchmark configuration mirroring the GPU-benches kernel shape.
+struct Params {
+  double runtime_target_s = 10.0;   ///< per-size measurement window
+  double issue_boundedness = 0.03;  ///< HBM stream clock sensitivity
+  double launch_overhead_s = 0.02;  ///< kernel launch cost
+  std::size_t blocks = 100000;      ///< kernel grid (documentation value)
+  std::size_t threads_per_block = 1024;
+};
+
+/// Builds the load kernel for a given working-set size (bytes).
+[[nodiscard]] gpusim::KernelDesc make_kernel(const gpusim::DeviceSpec& spec,
+                                             double working_set_bytes,
+                                             const Params& params = {});
+
+/// L2 hit fraction for a working set on this device.
+[[nodiscard]] double l2_hit_fraction(const gpusim::DeviceSpec& spec,
+                                     double working_set_bytes);
+
+/// The paper's size sweep: 384 KB doubling up to 1.5 GB.
+[[nodiscard]] std::vector<double> standard_sizes();
+
+/// Sizes from the sweep that are HBM-resident (working set > L2); the
+/// memory-intensive ("MB") rows of Table III average over these.
+[[nodiscard]] std::vector<double> hbm_resident_sizes(
+    const gpusim::DeviceSpec& spec);
+
+}  // namespace exaeff::workloads::membench

@@ -1,0 +1,64 @@
+#include "workloads/vai.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.h"
+
+namespace exaeff::workloads::vai {
+
+gpusim::KernelDesc make_kernel(const gpusim::DeviceSpec& spec, double ai,
+                               const Params& params) {
+  EXAEFF_REQUIRE(ai >= 0.0, "arithmetic intensity must be non-negative");
+  EXAEFF_REQUIRE(params.runtime_target_s > 0.0,
+                 "runtime target must be positive");
+
+  gpusim::KernelDesc k;
+  if (ai == 0.0) {
+    k.name = "vai/copy";
+  } else {
+    char label[48];
+    std::snprintf(label, sizeof label, "vai/ai=%g", ai);
+    k.name = label;
+  }
+  k.issue_boundedness = params.issue_boundedness;
+  k.latency_s = params.launch_overhead_s;
+  k.latency_exp = 1.0;
+
+  const double t = params.runtime_target_s;
+  const double ridge = spec.ridge_intensity();
+  if (ai <= ridge) {
+    // Memory-bound: the HBM stream fills the runtime.
+    k.hbm_bytes = t * spec.hbm_bw;
+    k.flops = ai * k.hbm_bytes;
+  } else {
+    // Compute-bound: the FMA chain fills the runtime.
+    k.flops = t * spec.peak_flops_sustained;
+    k.hbm_bytes = k.flops / ai;
+  }
+  if (ai == 0.0) {
+    // Stream copy: 1 read + 1 write per element, negligible flops.
+    k.flops = k.hbm_bytes / 1024.0;
+  }
+  // All HBM traffic transits the L2 on its way to the CUs.
+  k.l2_bytes = k.hbm_bytes;
+  k.validate();
+  return k;
+}
+
+std::vector<double> standard_intensities() {
+  std::vector<double> ai = {0.0};
+  for (double v = 1.0 / 16.0; v <= 1024.0; v *= 2.0) ai.push_back(v);
+  return ai;
+}
+
+std::vector<double> standard_frequency_caps() {
+  return {1700.0, 1500.0, 1300.0, 1100.0, 900.0, 700.0};
+}
+
+std::vector<double> standard_power_caps() {
+  return {560.0, 500.0, 400.0, 300.0, 200.0};
+}
+
+}  // namespace exaeff::workloads::vai

@@ -1,0 +1,48 @@
+// exaeff/workloads/vai.h
+//
+// The paper's Variable Arithmetic Intensity (VAI) benchmark, Algorithm 1,
+// expressed as a KernelDesc generator.  The real benchmark allocates three
+// arrays a/b/c sized to fill GPU memory, then per element performs 3 reads,
+// 2*LOOPSIZE fused multiply-add flops and 1 write, repeated REPEAT times so
+// the run lasts >= 20 s for stable steady-state power measurement.  For
+// doubles that is 32 bytes and 2*LOOPSIZE flops per element per repeat:
+// arithmetic intensity AI = LOOPSIZE/16, reaching as low as 1/16 flop/byte
+// (LOOPSIZE = 1).  AI = 0 replaces the FMA loop with a stream copy.
+//
+// Here the same demands are computed in closed form: total HBM traffic and
+// flops scaled so the unconstrained run matches the requested runtime.
+// Contiguous SIMD streaming is issue-bound on this architecture (the paper
+// observed memory- and compute-bound parts slowing similarly under
+// frequency caps), hence the high issue_boundedness.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/kernel.h"
+
+namespace exaeff::workloads::vai {
+
+/// Tuning knobs mirroring the benchmark's REPEAT / globalWIs parameters.
+struct Params {
+  double runtime_target_s = 20.0;  ///< steady-state measurement window
+  double issue_boundedness = 0.85; ///< contiguous-stream clock sensitivity
+  double launch_overhead_s = 0.05; ///< kernel launch + MPI setup per run
+};
+
+/// Builds the VAI kernel for arithmetic intensity `ai` (flop/byte).
+/// `ai` = 0 produces the stream-copy variant (c[i] = b[i]).
+[[nodiscard]] gpusim::KernelDesc make_kernel(const gpusim::DeviceSpec& spec,
+                                             double ai,
+                                             const Params& params = {});
+
+/// The paper's sweep: 0 (stream copy) then powers of two 1/16 .. 1024.
+[[nodiscard]] std::vector<double> standard_intensities();
+
+/// The frequency-cap settings of Table III(a), MHz, descending.
+[[nodiscard]] std::vector<double> standard_frequency_caps();
+
+/// The power-cap settings of Table III(b), watts, descending.
+[[nodiscard]] std::vector<double> standard_power_caps();
+
+}  // namespace exaeff::workloads::vai

@@ -1,0 +1,131 @@
+// Tests for the facility power-budget allocator.
+#include "agent/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "core/characterization.h"
+
+namespace exaeff::agent {
+namespace {
+
+class BudgetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new gpusim::DeviceSpec(gpusim::mi250x_gcd());
+    table_ = new core::CapResponseTable(core::characterize(*spec_));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    delete spec_;
+    table_ = nullptr;
+    spec_ = nullptr;
+  }
+  static gpusim::DeviceSpec* spec_;
+  static core::CapResponseTable* table_;
+};
+
+gpusim::DeviceSpec* BudgetTest::spec_ = nullptr;
+core::CapResponseTable* BudgetTest::table_ = nullptr;
+
+std::vector<GcdDemand> mixed_fleet() {
+  std::vector<GcdDemand> demands;
+  for (int i = 0; i < 10; ++i) {
+    demands.push_back({470.0, core::Region::kComputeIntensive});
+  }
+  for (int i = 0; i < 20; ++i) {
+    demands.push_back({340.0, core::Region::kMemoryIntensive});
+  }
+  for (int i = 0; i < 10; ++i) {
+    demands.push_back({130.0, core::Region::kLatencyBound});
+  }
+  return demands;
+}
+
+double uncapped_total(const std::vector<GcdDemand>& d) {
+  double t = 0.0;
+  for (const auto& g : d) t += g.uncapped_power_w;
+  return t;
+}
+
+TEST_F(BudgetTest, GenerousBudgetLeavesFleetUncapped) {
+  const BudgetAllocator alloc(*table_, *spec_);
+  const auto demands = mixed_fleet();
+  const auto plan = alloc.allocate(demands, uncapped_total(demands) + 100,
+                                   BudgetStrategy::kRegionAware);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_NEAR(plan.throughput_cost, 1.0, 1e-9);
+  for (const auto& a : plan.allocations) {
+    EXPECT_GE(a.cap_mhz, spec_->f_max_mhz);
+  }
+}
+
+TEST_F(BudgetTest, BothStrategiesMeetAFeasibleBudget) {
+  const BudgetAllocator alloc(*table_, *spec_);
+  const auto demands = mixed_fleet();
+  const double budget = 0.85 * uncapped_total(demands);
+  for (auto strategy : {BudgetStrategy::kUniformCeiling,
+                        BudgetStrategy::kRegionAware}) {
+    const auto plan = alloc.allocate(demands, budget, strategy);
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_LE(plan.total_power_w, budget + 1e-6);
+  }
+}
+
+TEST_F(BudgetTest, RegionAwareBeatsUniformOnThroughput) {
+  const BudgetAllocator alloc(*table_, *spec_);
+  const auto demands = mixed_fleet();
+  const double budget = 0.85 * uncapped_total(demands);
+  const auto uniform =
+      alloc.allocate(demands, budget, BudgetStrategy::kUniformCeiling);
+  const auto aware =
+      alloc.allocate(demands, budget, BudgetStrategy::kRegionAware);
+  EXPECT_LT(aware.throughput_cost, uniform.throughput_cost);
+}
+
+TEST_F(BudgetTest, RegionAwareCapsMemoryGcdsFirst) {
+  const BudgetAllocator alloc(*table_, *spec_);
+  const auto demands = mixed_fleet();
+  // A mild cut: the cheap savings (memory GCDs) should absorb it.
+  const double budget = 0.93 * uncapped_total(demands);
+  const auto plan =
+      alloc.allocate(demands, budget, BudgetStrategy::kRegionAware);
+  ASSERT_TRUE(plan.feasible);
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].region == core::Region::kLatencyBound) {
+      EXPECT_GE(plan.allocations[i].cap_mhz, spec_->f_max_mhz)
+          << "latency GCD " << i << " should stay uncapped";
+    }
+  }
+  bool memory_capped = false;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i].region == core::Region::kMemoryIntensive &&
+        plan.allocations[i].cap_mhz < spec_->f_max_mhz) {
+      memory_capped = true;
+    }
+  }
+  EXPECT_TRUE(memory_capped);
+}
+
+TEST_F(BudgetTest, InfeasibleBudgetReported) {
+  const BudgetAllocator alloc(*table_, *spec_);
+  const auto demands = mixed_fleet();
+  const auto plan = alloc.allocate(demands, 0.2 * uncapped_total(demands),
+                                   BudgetStrategy::kRegionAware);
+  EXPECT_FALSE(plan.feasible);
+  // Still returns the best it could do.
+  EXPECT_GT(plan.total_power_w, 0.0);
+}
+
+TEST_F(BudgetTest, PowerScaleSemantics) {
+  const BudgetAllocator alloc(*table_, *spec_);
+  EXPECT_EQ(alloc.power_scale(core::Region::kComputeIntensive, 1700.0),
+            1.0);
+  EXPECT_LT(alloc.power_scale(core::Region::kComputeIntensive, 900.0),
+            alloc.power_scale(core::Region::kMemoryIntensive, 900.0));
+  EXPECT_THROW(
+      (void)alloc.allocate(mixed_fleet(), 0.0, BudgetStrategy::kRegionAware),
+      Error);
+}
+
+}  // namespace
+}  // namespace exaeff::agent

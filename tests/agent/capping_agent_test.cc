@@ -1,0 +1,129 @@
+// Tests for the online capping agent and the replay evaluation.
+#include "agent/capping_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace exaeff::agent {
+namespace {
+
+core::CapResponseTable table_900() {
+  core::CapResponseTable t;
+  t.add(core::BenchClass::kComputeIntensive, core::CapType::kFrequency,
+        {900.0, 55.0, 180.0, 97.0});
+  t.add(core::BenchClass::kMemoryIntensive, core::CapType::kFrequency,
+        {900.0, 78.0, 103.0, 81.0});
+  return t;
+}
+
+AgentConfig quick_config() {
+  AgentConfig cfg;
+  cfg.window = 2;
+  cfg.dwell = 2;
+  cfg.policy.memory_cap_mhz = 900.0;
+  return cfg;
+}
+
+TEST(CappingAgent, StartsUncapped) {
+  const CappingAgent agent(quick_config(), core::RegionBoundaries{});
+  EXPECT_GE(agent.current_cap_mhz(), 1.0e9);
+  EXPECT_EQ(agent.switch_count(), 0u);
+}
+
+TEST(CappingAgent, CapsAfterDwellInMemoryRegion) {
+  CappingAgent agent(quick_config(), core::RegionBoundaries{});
+  // Latency-level samples: stays uncapped.
+  (void)agent.observe(120.0);
+  (void)agent.observe(120.0);
+  EXPECT_GE(agent.current_cap_mhz(), 1.0e9);
+  // Memory-level samples: after window fills + dwell, cap applies.
+  double cap = 1e9;
+  for (int i = 0; i < 6; ++i) cap = agent.observe(350.0);
+  EXPECT_EQ(cap, 900.0);
+  EXPECT_EQ(agent.believed_region(), core::Region::kMemoryIntensive);
+  EXPECT_EQ(agent.switch_count(), 1u);
+}
+
+TEST(CappingAgent, HysteresisIgnoresSingleWindowBlips) {
+  AgentConfig cfg = quick_config();
+  cfg.window = 1;
+  cfg.dwell = 3;
+  CappingAgent agent(cfg, core::RegionBoundaries{});
+  for (int i = 0; i < 10; ++i) (void)agent.observe(350.0);
+  const auto switches_before = agent.switch_count();
+  // Two-window blip into compute territory: dwell=3 suppresses it.
+  (void)agent.observe(500.0);
+  (void)agent.observe(500.0);
+  (void)agent.observe(350.0);
+  (void)agent.observe(350.0);
+  (void)agent.observe(350.0);
+  EXPECT_EQ(agent.switch_count(), switches_before);
+  EXPECT_EQ(agent.believed_region(), core::Region::kMemoryIntensive);
+}
+
+TEST(CappingAgent, ConfigValidated) {
+  AgentConfig cfg = quick_config();
+  cfg.window = 0;
+  EXPECT_THROW(CappingAgent(cfg, core::RegionBoundaries{}), Error);
+  cfg = quick_config();
+  cfg.dwell = 0;
+  EXPECT_THROW(CappingAgent(cfg, core::RegionBoundaries{}), Error);
+}
+
+TEST(Replay, StaticCapMatchesHandComputation) {
+  const auto table = table_900();
+  const auto spec = gpusim::mi250x_gcd();
+  const RegionResponseModel model(table, spec);
+  // 2 memory windows at 300 W and 1 latency window at 100 W.
+  const std::vector<float> powers = {300.0F, 300.0F, 100.0F};
+  const auto r = replay_static(powers, 15.0, 900.0, model,
+                               core::RegionBoundaries{});
+  EXPECT_EQ(r.windows, 3u);
+  EXPECT_NEAR(r.base_energy_j, (300 + 300 + 100) * 15.0, 1e-9);
+  EXPECT_NEAR(r.capped_energy_j,
+              (300 * 0.81 + 300 * 0.81 + 100 * 1.0) * 15.0, 1e-6);
+  // Hours: 2 windows x 1.03 + 1 window x (1700/900).
+  EXPECT_NEAR(r.capped_hours * 3600.0 / 15.0,
+              2 * 1.03 + 1700.0 / 900.0, 1e-9);
+}
+
+TEST(Replay, AgentAvoidsLatencyPenalty) {
+  // A stream that alternates long memory and latency phases: a static
+  // 900 MHz cap pays the latency slowdown; the agent un-caps there.
+  const auto table = table_900();
+  const auto spec = gpusim::mi250x_gcd();
+  const RegionResponseModel model(table, spec);
+  std::vector<float> powers;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (int i = 0; i < 40; ++i) powers.push_back(330.0F);
+    for (int i = 0; i < 40; ++i) powers.push_back(120.0F);
+  }
+  const auto stat = replay_static(powers, 15.0, 900.0, model,
+                                  core::RegionBoundaries{});
+  const auto dyn = replay_agent(powers, 15.0, quick_config(), model,
+                                core::RegionBoundaries{});
+  // Both save energy; the agent keeps most of the savings...
+  EXPECT_GT(stat.savings_pct(), 5.0);
+  EXPECT_GT(dyn.savings_pct(), 0.8 * stat.savings_pct());
+  // ...but pays far less runtime (static cap slows every latency phase).
+  EXPECT_LT(dyn.slowdown_pct(), 0.35 * stat.slowdown_pct());
+  EXPECT_GT(dyn.cap_switches, 10u);
+}
+
+TEST(Replay, AgentOnSteadyMemoryStreamApproachesStatic) {
+  const auto table = table_900();
+  const auto spec = gpusim::mi250x_gcd();
+  const RegionResponseModel model(table, spec);
+  const std::vector<float> powers(400, 330.0F);
+  const auto stat = replay_static(powers, 15.0, 900.0, model,
+                                  core::RegionBoundaries{});
+  const auto dyn = replay_agent(powers, 15.0, quick_config(), model,
+                                core::RegionBoundaries{});
+  // Only the first few windows run uncapped while the agent locks on.
+  EXPECT_GT(dyn.savings_pct(), 0.95 * stat.savings_pct());
+  EXPECT_LE(dyn.cap_switches, 1u);
+}
+
+}  // namespace
+}  // namespace exaeff::agent

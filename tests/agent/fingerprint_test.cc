@@ -1,0 +1,118 @@
+// Tests for per-job fingerprinting and sensitivity prediction.
+#include "agent/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+namespace exaeff::agent {
+namespace {
+
+sched::Job make_job(std::uint64_t id, sched::ScienceDomain d) {
+  sched::Job j;
+  j.job_id = id;
+  j.domain = d;
+  j.bin = sched::SizeBin::kC;
+  j.num_nodes = 1;
+  j.begin_s = 0;
+  j.end_s = 1e6;
+  j.nodes = {0};
+  return j;
+}
+
+telemetry::GcdSample sample(float p) {
+  telemetry::GcdSample s;
+  s.power_w = p;
+  return s;
+}
+
+core::CapResponseTable table_900() {
+  core::CapResponseTable t;
+  t.add(core::BenchClass::kComputeIntensive, core::CapType::kFrequency,
+        {900.0, 55.0, 180.0, 97.0});
+  t.add(core::BenchClass::kMemoryIntensive, core::CapType::kFrequency,
+        {900.0, 78.0, 103.0, 81.0});
+  return t;
+}
+
+TEST(Fingerprint, AccumulatesPerJob) {
+  JobFingerprintAccumulator acc(15.0, core::RegionBoundaries{});
+  const auto mem_job = make_job(1, sched::ScienceDomain::kCfd);
+  const auto lat_job = make_job(2, sched::ScienceDomain::kBiology);
+  for (int i = 0; i < 10; ++i) acc.on_job_sample(sample(330.0F), mem_job);
+  for (int i = 0; i < 5; ++i) acc.on_job_sample(sample(120.0F), lat_job);
+
+  ASSERT_EQ(acc.job_count(), 2u);
+  const auto& fp = acc.fingerprints().at(1);
+  EXPECT_EQ(fp.samples, 10u);
+  EXPECT_NEAR(fp.energy_j, 10 * 330.0 * 15.0, 1e-6);
+  EXPECT_NEAR(fp.region_fraction(core::Region::kMemoryIntensive), 1.0,
+              1e-12);
+  EXPECT_EQ(fp.dominant_region(), core::Region::kMemoryIntensive);
+  EXPECT_NEAR(fp.mean_power_w, 330.0, 1e-9);
+  EXPECT_NEAR(fp.power_stddev(), 0.0, 1e-9);
+
+  const auto& fp2 = acc.fingerprints().at(2);
+  EXPECT_EQ(fp2.dominant_region(), core::Region::kLatencyBound);
+}
+
+TEST(Fingerprint, MixedJobFractions) {
+  JobFingerprintAccumulator acc(15.0, core::RegionBoundaries{});
+  const auto job = make_job(7, sched::ScienceDomain::kAstro);
+  for (int i = 0; i < 3; ++i) acc.on_job_sample(sample(500.0F), job);
+  for (int i = 0; i < 3; ++i) acc.on_job_sample(sample(300.0F), job);
+  const auto& fp = acc.fingerprints().at(7);
+  const double e_ci = 3 * 500.0 * 15.0;
+  const double e_mi = 3 * 300.0 * 15.0;
+  EXPECT_NEAR(fp.region_fraction(core::Region::kComputeIntensive),
+              e_ci / (e_ci + e_mi), 1e-12);
+  EXPECT_GT(fp.power_stddev(), 90.0);
+}
+
+TEST(Fingerprint, SensitivityRanking) {
+  JobFingerprintAccumulator acc(15.0, core::RegionBoundaries{});
+  const auto big_mem = make_job(1, sched::ScienceDomain::kCfd);
+  const auto small_mem = make_job(2, sched::ScienceDomain::kCfd);
+  const auto big_lat = make_job(3, sched::ScienceDomain::kBiology);
+  for (int i = 0; i < 100; ++i) acc.on_job_sample(sample(330.0F), big_mem);
+  for (int i = 0; i < 10; ++i) acc.on_job_sample(sample(330.0F), small_mem);
+  for (int i = 0; i < 100; ++i) acc.on_job_sample(sample(120.0F), big_lat);
+
+  const auto table = table_900();
+  const auto ranked =
+      predict_sensitivities(acc, table, gpusim::mi250x_gcd(), 900.0);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].job_id, 1u);  // biggest memory job saves most
+  EXPECT_EQ(ranked[1].job_id, 2u);
+  EXPECT_EQ(ranked[2].job_id, 3u);  // latency job saves nothing
+  EXPECT_NEAR(ranked[2].saved_j, 0.0, 1e-9);
+  EXPECT_NEAR(ranked[0].savings_pct(), 19.0, 0.5);  // 1 - 0.81
+  EXPECT_GT(ranked[2].runtime_scale, 1.5);  // but would slow down a lot
+}
+
+TEST(Fingerprint, AggregateMatchesSum) {
+  JobFingerprintAccumulator acc(15.0, core::RegionBoundaries{});
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const auto job = make_job(id, sched::ScienceDomain::kCfd);
+    for (int i = 0; i < 20; ++i) acc.on_job_sample(sample(330.0F), job);
+  }
+  const auto table = table_900();
+  const auto ranked =
+      predict_sensitivities(acc, table, gpusim::mi250x_gcd(), 900.0);
+  const auto agg = aggregate_sensitivities(ranked);
+  EXPECT_EQ(agg.jobs, 5u);
+  EXPECT_NEAR(agg.total_energy_j, 5 * 20 * 330.0 * 15.0, 1e-6);
+  EXPECT_NEAR(agg.savings_pct(), 19.0, 0.5);
+  EXPECT_NEAR(agg.mean_runtime_scale, 1.03, 1e-9);
+}
+
+TEST(Fingerprint, EmptyAccumulator) {
+  JobFingerprintAccumulator acc(15.0, core::RegionBoundaries{});
+  const auto table = table_900();
+  const auto ranked =
+      predict_sensitivities(acc, table, gpusim::mi250x_gcd(), 900.0);
+  EXPECT_TRUE(ranked.empty());
+  const auto agg = aggregate_sensitivities(ranked);
+  EXPECT_EQ(agg.savings_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace exaeff::agent

@@ -1,0 +1,119 @@
+// Tests for the node power-steering control loop, closed against the
+// real simulator plant.
+#include "agent/power_steering.h"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/power_model.h"
+#include "workloads/vai.h"
+
+namespace exaeff::agent {
+namespace {
+
+/// The plant: steady power of a kernel as a function of the applied cap.
+double plant(const gpusim::PowerModel& pm, const gpusim::KernelDesc& k,
+             double cap_mhz) {
+  return pm.power_at(k, cap_mhz);
+}
+
+TEST(PowerSteering, ConvergesToTargetOnComputeKernel) {
+  const auto spec = gpusim::mi250x_gcd();
+  const gpusim::PowerModel pm(spec);
+  const auto kernel = workloads::vai::make_kernel(spec, 1024.0);  // ~420 W
+
+  SteeringConfig cfg;
+  cfg.target_w = 300.0;
+  cfg.deadband_w = 10.0;
+  PowerSteering loop(cfg, spec);
+
+  double power = plant(pm, kernel, loop.current_cap_mhz());
+  for (int i = 0; i < 60 && !loop.settled(); ++i) {
+    const double cap = loop.update(power);
+    power = plant(pm, kernel, cap);
+  }
+  EXPECT_TRUE(loop.settled());
+  EXPECT_NEAR(power, 300.0, 12.0);
+}
+
+TEST(PowerSteering, NoActuationWhenAlreadyUnderTarget) {
+  const auto spec = gpusim::mi250x_gcd();
+  SteeringConfig cfg;
+  cfg.target_w = 600.0;  // above TDP: any workload fits
+  PowerSteering loop(cfg, spec);
+  // A 420 W reading is far under target, but the cap is already at max.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(loop.update(420.0), spec.f_max_mhz);
+  }
+}
+
+TEST(PowerSteering, BottomsOutAtDpmFloor) {
+  const auto spec = gpusim::mi250x_gcd();
+  SteeringConfig cfg;
+  cfg.target_w = 50.0;  // below idle: unreachable
+  PowerSteering loop(cfg, spec);
+  double cap = spec.f_max_mhz;
+  for (int i = 0; i < 200; ++i) cap = loop.update(420.0);
+  EXPECT_NEAR(cap, std::max(spec.cap_f_floor_mhz, spec.f_min_mhz), 1e-9);
+  EXPECT_FALSE(loop.settled());
+}
+
+TEST(PowerSteering, RecoversWhenLoadDrops) {
+  // Steer a heavy kernel down to target; when the load lightens, the cap
+  // must relax back up.
+  const auto spec = gpusim::mi250x_gcd();
+  const gpusim::PowerModel pm(spec);
+  const auto heavy = workloads::vai::make_kernel(spec, 4.0);     // ~540 W
+  const auto light = workloads::vai::make_kernel(spec, 1024.0);  // ~420 W
+
+  SteeringConfig cfg;
+  cfg.target_w = 450.0;
+  PowerSteering loop(cfg, spec);
+
+  double power = plant(pm, heavy, loop.current_cap_mhz());
+  for (int i = 0; i < 60; ++i) power = plant(pm, heavy, loop.update(power));
+  const double cap_heavy = loop.current_cap_mhz();
+  EXPECT_LT(cap_heavy, spec.f_max_mhz);
+  EXPECT_NEAR(power, 450.0, cfg.deadband_w + 3.0);
+
+  power = plant(pm, light, loop.current_cap_mhz());
+  for (int i = 0; i < 60; ++i) power = plant(pm, light, loop.update(power));
+  EXPECT_GT(loop.current_cap_mhz(), cap_heavy);  // relaxed upward
+}
+
+TEST(PowerSteering, StableWithoutOscillation) {
+  // After settling, further updates must not leave the deadband (the
+  // plant is static) — a divergence/oscillation guard.
+  const auto spec = gpusim::mi250x_gcd();
+  const gpusim::PowerModel pm(spec);
+  const auto kernel = workloads::vai::make_kernel(spec, 16.0);
+
+  SteeringConfig cfg;
+  cfg.target_w = 320.0;
+  PowerSteering loop(cfg, spec);
+  double power = plant(pm, kernel, loop.current_cap_mhz());
+  for (int i = 0; i < 80; ++i) power = plant(pm, kernel, loop.update(power));
+  const double cap_settled = loop.current_cap_mhz();
+  for (int i = 0; i < 20; ++i) {
+    power = plant(pm, kernel, loop.update(power));
+    EXPECT_NEAR(loop.current_cap_mhz(), cap_settled, 30.0);
+  }
+}
+
+TEST(PowerSteering, ConfigValidation) {
+  const auto spec = gpusim::mi250x_gcd();
+  SteeringConfig bad;
+  bad.target_w = 0.0;
+  EXPECT_THROW(PowerSteering(bad, spec), Error);
+  bad.target_w = 300.0;
+  bad.gain_mhz_per_w = 0.0;
+  EXPECT_THROW(PowerSteering(bad, spec), Error);
+  bad = SteeringConfig{};
+  bad.target_w = 300.0;
+  bad.min_cap_mhz = 1800.0;
+  EXPECT_THROW(PowerSteering(bad, spec), Error);
+  PowerSteering ok(SteeringConfig{300.0}, spec);
+  EXPECT_THROW((void)ok.update(-1.0), Error);
+}
+
+}  // namespace
+}  // namespace exaeff::agent

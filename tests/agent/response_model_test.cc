@@ -1,0 +1,66 @@
+// Tests for the per-window region-response semantics.
+#include "agent/response_model.h"
+
+#include <gtest/gtest.h>
+
+namespace exaeff::agent {
+namespace {
+
+core::CapResponseTable simple_table() {
+  core::CapResponseTable t;
+  t.add(core::BenchClass::kComputeIntensive, core::CapType::kFrequency,
+        {900.0, 55.0, 180.0, 97.0});
+  t.add(core::BenchClass::kMemoryIntensive, core::CapType::kFrequency,
+        {900.0, 78.0, 103.0, 81.0});
+  return t;
+}
+
+class ResponseModelTest : public ::testing::Test {
+ protected:
+  ResponseModelTest()
+      : table_(simple_table()),
+        model_(table_, gpusim::mi250x_gcd()) {}
+  core::CapResponseTable table_;
+  RegionResponseModel model_;
+};
+
+TEST_F(ResponseModelTest, UncappedIsIdentity) {
+  for (int r = 0; r < 4; ++r) {
+    const auto resp =
+        model_.response(static_cast<core::Region>(r), 1700.0);
+    EXPECT_EQ(resp.energy_scale, 1.0);
+    EXPECT_EQ(resp.runtime_scale, 1.0);
+  }
+}
+
+TEST_F(ResponseModelTest, ComputeUsesVaiRow) {
+  const auto resp =
+      model_.response(core::Region::kComputeIntensive, 900.0);
+  EXPECT_NEAR(resp.energy_scale, 0.97, 1e-12);
+  EXPECT_NEAR(resp.runtime_scale, 1.80, 1e-12);
+}
+
+TEST_F(ResponseModelTest, MemoryUsesMbRow) {
+  const auto resp =
+      model_.response(core::Region::kMemoryIntensive, 900.0);
+  EXPECT_NEAR(resp.energy_scale, 0.81, 1e-12);
+  EXPECT_NEAR(resp.runtime_scale, 1.03, 1e-12);
+}
+
+TEST_F(ResponseModelTest, BoostTreatedAsCompute) {
+  const auto boost = model_.response(core::Region::kBoost, 900.0);
+  const auto compute =
+      model_.response(core::Region::kComputeIntensive, 900.0);
+  EXPECT_EQ(boost.energy_scale, compute.energy_scale);
+  EXPECT_EQ(boost.runtime_scale, compute.runtime_scale);
+}
+
+TEST_F(ResponseModelTest, LatencyRegionPaysTimeNotEnergy) {
+  // §V-B: proportional runtime increase, no energy benefit.
+  const auto resp = model_.response(core::Region::kLatencyBound, 900.0);
+  EXPECT_EQ(resp.energy_scale, 1.0);
+  EXPECT_NEAR(resp.runtime_scale, 1700.0 / 900.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace exaeff::agent

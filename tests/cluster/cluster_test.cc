@@ -1,0 +1,89 @@
+// Tests for the node and system models (paper Table I).
+#include "cluster/system_config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace exaeff::cluster {
+namespace {
+
+TEST(CpuSpec, PowerAffineInUtilization) {
+  CpuSpec cpu;
+  EXPECT_EQ(cpu.power(0.0), cpu.idle_power_w);
+  EXPECT_EQ(cpu.power(1.0), cpu.max_power_w);
+  EXPECT_NEAR(cpu.power(0.5), 0.5 * (cpu.idle_power_w + cpu.max_power_w),
+              1e-9);
+  EXPECT_THROW((void)cpu.power(1.5), Error);
+  EXPECT_THROW((void)cpu.power(-0.1), Error);
+}
+
+TEST(NodeSpec, FrontierNodeHasEightGcds) {
+  const NodeSpec node;
+  EXPECT_EQ(node.gpus_per_node, 4u);   // 4 MI250X per node
+  EXPECT_EQ(node.gcds_per_gpu, 2u);    // 2 GCD per GPU
+  EXPECT_EQ(node.gcds_per_node(), 8u);
+  EXPECT_NEAR(node.hbm_bytes() / (1024.0 * 1024.0 * 1024.0), 512.0, 1e-6);
+}
+
+TEST(NodeSpec, NodePowerAggregation) {
+  const NodeSpec node;
+  const std::vector<double> gcd_power(8, 100.0);
+  const double p = node.node_power(gcd_power, 0.0);
+  EXPECT_NEAR(p, 8 * 100.0 + node.cpu.idle_power_w + node.other_power_w,
+              1e-9);
+  const std::vector<double> wrong(7, 100.0);
+  EXPECT_THROW((void)node.node_power(wrong, 0.0), Error);
+}
+
+TEST(NodeSpec, IdlePowerIsConsistent) {
+  const NodeSpec node;
+  const std::vector<double> idle(8, node.gcd.idle_power_w);
+  EXPECT_NEAR(node.idle_power(), node.node_power(idle, 0.0), 1e-9);
+}
+
+TEST(SystemConfig, FrontierPresetMatchesTableI) {
+  const SystemConfig cfg = frontier();
+  EXPECT_EQ(cfg.compute_nodes, 9408u);
+  EXPECT_NEAR(cfg.peak_performance_eflops, 1.9, 1e-12);
+  EXPECT_NEAR(cfg.peak_power_mw, 29.0, 1e-12);
+  EXPECT_EQ(cfg.total_gcds(), 9408u * 8u);
+  // 9408 nodes x 512 GiB = 4.6 PiB of HBM (and the same DDR4) — the
+  // paper's "4.6 PB" is a binary-prefix figure.
+  const double pib = 1024.0 * 1024.0 * 1024.0 * 1024.0 * 1024.0;
+  EXPECT_NEAR(cfg.total_hbm_bytes() / pib, 4.6, 0.1);
+  EXPECT_NEAR(cfg.total_ddr4_bytes() / pib, 4.6, 0.1);
+}
+
+TEST(SystemConfig, GpuDominatesNodePowerWhenBusy) {
+  // The paper's Fig 2(b)/discussion: non-GPU components are <20% of a
+  // fully utilized node's power.
+  const SystemConfig cfg = frontier();
+  const std::vector<double> busy(8, cfg.node.gcd.tdp_w);
+  const double total = cfg.node.node_power(busy, 1.0);
+  const double non_gpu = total - 8 * cfg.node.gcd.tdp_w;
+  EXPECT_LT(non_gpu / total, 0.20);
+}
+
+TEST(SystemConfig, ScaledFleetKeepsNodeBehaviour) {
+  const SystemConfig scaled = frontier_scaled(64);
+  EXPECT_EQ(scaled.compute_nodes, 64u);
+  EXPECT_EQ(scaled.node.gcds_per_node(), 8u);
+  EXPECT_EQ(scaled.node.gcd.tdp_w, frontier().node.gcd.tdp_w);
+  EXPECT_THROW((void)frontier_scaled(0), ConfigError);
+}
+
+TEST(SystemConfig, PeakPowerPlausibleVsNodeSum) {
+  // 9408 nodes at full GPU load should land in the ballpark of the 29 MW
+  // facility peak (cooling overhead accounts for the rest).
+  const SystemConfig cfg = frontier();
+  const std::vector<double> busy(8, cfg.node.gcd.tdp_w);
+  const double it_power_mw =
+      static_cast<double>(cfg.compute_nodes) *
+      cfg.node.node_power(busy, 1.0) / 1e6;
+  EXPECT_GT(it_power_mw, 20.0);
+  EXPECT_LT(it_power_mw, cfg.peak_power_mw * 1.7);
+}
+
+}  // namespace
+}  // namespace exaeff::cluster

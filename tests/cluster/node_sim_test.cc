@@ -1,0 +1,103 @@
+// Tests for the full-path node telemetry simulation (2 s sensors -> 15 s
+// aggregation across all channels of one node).
+#include "cluster/node_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/store.h"
+#include "workloads/vai.h"
+
+namespace exaeff::cluster {
+namespace {
+
+std::vector<gpusim::KernelDesc> phases() {
+  const auto spec = gpusim::mi250x_gcd();
+  // Long enough that 15 s window quantization is a small correction.
+  return {workloads::vai::make_kernel(spec, 1.0).scaled(5.0),
+          workloads::vai::make_kernel(spec, 64.0).scaled(5.0)};
+}
+
+struct Run {
+  telemetry::TelemetryStore store{15.0};
+  NodeRunResult result;
+};
+
+Run run_node(const gpusim::PowerPolicy& policy, std::uint64_t seed = 5) {
+  Run r;
+  NodeSpec node;
+  NodeRunOptions opts;
+  opts.node_id = 7;
+  Rng rng(seed);
+  r.result = simulate_node_job(node, phases(), policy, opts, rng, r.store);
+  r.store.sort();
+  return r;
+}
+
+TEST(NodeSim, AllChannelsDelivered) {
+  const auto r = run_node(gpusim::PowerPolicy::none());
+  // 8 GCD channels + 1 node channel, each with >= 1 aggregated record.
+  EXPECT_GT(r.store.size(), 8u);
+  EXPECT_FALSE(r.store.node_samples().empty());
+  for (std::uint16_t g = 0; g < 8; ++g) {
+    EXPECT_FALSE(r.store.series(7, g, 0.0, 1e9).empty()) << "gcd " << g;
+  }
+  // 2 s raw -> 15 s records: roughly 7.5x reduction.
+  EXPECT_NEAR(static_cast<double>(r.result.raw_samples) /
+                  static_cast<double>(r.result.aggregated_samples),
+              7.5, 1.5);
+}
+
+TEST(NodeSim, EnergyConsistentAcrossPaths) {
+  // Trace-integrated GPU energy and aggregated-record energy agree.
+  const auto r = run_node(gpusim::PowerPolicy::none());
+  // The aggregated path over-counts slightly: trailing partial windows
+  // weigh a full 15 s and finished GCDs idle until the slowest rank.
+  const double store_energy = r.store.total_gpu_energy_j();
+  EXPECT_NEAR(store_energy / r.result.gpu_energy_j, 1.03, 0.07);
+}
+
+TEST(NodeSim, NodeInputCoversComponents) {
+  // node_input = CPU + GCD sum + other, for every aggregated record.
+  const auto r = run_node(gpusim::PowerPolicy::none());
+  const NodeSpec node;
+  for (const auto& ns : r.store.node_samples()) {
+    EXPECT_GT(ns.node_input_w,
+              ns.cpu_power_w + node.other_power_w +
+                  8 * node.gcd.idle_power_w * 0.9F);
+  }
+}
+
+TEST(NodeSim, FrequencyCapLowersNodeEnergy) {
+  const auto base = run_node(gpusim::PowerPolicy::none());
+  const auto capped = run_node(gpusim::PowerPolicy::frequency(1100.0));
+  // The AI=1 phase dominates energy; capping saves at the node level.
+  EXPECT_LT(capped.result.gpu_energy_j, base.result.gpu_energy_j);
+  EXPECT_GT(capped.result.wall_time_s, base.result.wall_time_s);
+}
+
+TEST(NodeSim, DeterministicPerSeed) {
+  const auto a = run_node(gpusim::PowerPolicy::none(), 9);
+  const auto b = run_node(gpusim::PowerPolicy::none(), 9);
+  EXPECT_EQ(a.store.size(), b.store.size());
+  EXPECT_EQ(a.result.gpu_energy_j, b.result.gpu_energy_j);
+  const auto c = run_node(gpusim::PowerPolicy::none(), 10);
+  EXPECT_NE(a.result.gpu_energy_j, c.result.gpu_energy_j);
+}
+
+TEST(NodeSim, Validation) {
+  NodeSpec node;
+  NodeRunOptions opts;
+  Rng rng(1);
+  telemetry::TelemetryStore store;
+  EXPECT_THROW((void)simulate_node_job(node, {}, gpusim::PowerPolicy::none(),
+                                       opts, rng, store),
+               Error);
+  opts.sensor_period_s = 30.0;  // larger than the window
+  EXPECT_THROW((void)simulate_node_job(node, phases(),
+                                       gpusim::PowerPolicy::none(), opts,
+                                       rng, store),
+               Error);
+}
+
+}  // namespace
+}  // namespace exaeff::cluster

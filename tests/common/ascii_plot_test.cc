@@ -1,0 +1,88 @@
+// Tests for the ASCII figure renderers.
+#include "common/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace exaeff {
+namespace {
+
+TEST(LinePlot, RendersSeriesAndLegend) {
+  LinePlot plot("Test plot", 40, 10);
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {1, 4, 9, 16};
+  plot.add_series("quad", x, y);
+  plot.set_labels("n", "n^2");
+  const std::string s = plot.str();
+  EXPECT_NE(s.find("Test plot"), std::string::npos);
+  EXPECT_NE(s.find("legend:"), std::string::npos);
+  EXPECT_NE(s.find("quad"), std::string::npos);
+  EXPECT_NE(s.find("(x: n)"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(LinePlot, EmptyPlotDoesNotCrash) {
+  LinePlot plot("empty");
+  EXPECT_NE(plot.str().find("no data"), std::string::npos);
+}
+
+TEST(LinePlot, LogScalesAccepted) {
+  LinePlot plot("log", 40, 10);
+  const std::vector<double> x = {0.0625, 1.0, 16.0, 1024.0};
+  const std::vector<double> y = {0.1, 1.6, 6.5, 6.5};
+  plot.add_series("roofline", x, y);
+  plot.set_log_x(true);
+  plot.set_log_y(true);
+  EXPECT_FALSE(plot.str().empty());
+}
+
+TEST(LinePlot, MultipleSeriesDistinctGlyphs) {
+  LinePlot plot("multi", 40, 10);
+  const std::vector<double> x = {0, 1};
+  const std::vector<double> y1 = {0, 1};
+  const std::vector<double> y2 = {1, 0};
+  plot.add_series("up", x, y1);
+  plot.add_series("down", x, y2);
+  const std::string s = plot.str();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+}
+
+TEST(LinePlot, RejectsBadSeries) {
+  LinePlot plot("bad", 40, 10);
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_THROW(plot.add_series("mismatch", x, y), Error);
+  EXPECT_THROW(LinePlot("tiny", 2, 2), Error);
+}
+
+TEST(Heatmap, RendersValuesAndShading) {
+  const std::vector<std::string> rows = {"CHM", "BIO"};
+  const std::vector<std::string> cols = {"A", "B"};
+  const std::vector<double> vals = {10.0, 0.0, 5.0, 2.5};
+  const std::string s = heatmap("Energy", rows, cols, vals, 1);
+  EXPECT_NE(s.find("Energy"), std::string::npos);
+  EXPECT_NE(s.find("CHM"), std::string::npos);
+  EXPECT_NE(s.find("10.0"), std::string::npos);
+  EXPECT_NE(s.find('@'), std::string::npos);  // max cell fully shaded
+}
+
+TEST(Heatmap, SizeMismatchThrows) {
+  const std::vector<std::string> rows = {"r"};
+  const std::vector<std::string> cols = {"c"};
+  const std::vector<double> vals = {1.0, 2.0};
+  EXPECT_THROW((void)heatmap("x", rows, cols, vals), Error);
+}
+
+TEST(Heatmap, AllZeroMatrixRenders) {
+  const std::vector<std::string> rows = {"r"};
+  const std::vector<std::string> cols = {"c"};
+  const std::vector<double> vals = {0.0};
+  EXPECT_FALSE(heatmap("zeros", rows, cols, vals).empty());
+}
+
+}  // namespace
+}  // namespace exaeff

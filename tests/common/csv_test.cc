@@ -1,0 +1,66 @@
+// Tests for CSV parsing/formatting round trips and error handling.
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace exaeff {
+namespace {
+
+TEST(Csv, SimpleRoundTrip) {
+  const std::vector<std::string> cells = {"a", "b", "c"};
+  EXPECT_EQ(format_csv_line(cells), "a,b,c");
+  EXPECT_EQ(parse_csv_line("a,b,c"), cells);
+}
+
+TEST(Csv, EmptyCells) {
+  EXPECT_EQ(parse_csv_line(",,"), (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(parse_csv_line(""), (std::vector<std::string>{""}));
+}
+
+TEST(Csv, QuotedCommaAndQuotes) {
+  const std::vector<std::string> cells = {"x,y", "say \"hi\"", "plain"};
+  const std::string line = format_csv_line(cells);
+  EXPECT_EQ(line, "\"x,y\",\"say \"\"hi\"\"\",plain");
+  EXPECT_EQ(parse_csv_line(line), cells);
+}
+
+TEST(Csv, CrLfTolerated) {
+  EXPECT_EQ(parse_csv_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Csv, MalformedQuotingThrows) {
+  EXPECT_THROW((void)parse_csv_line("a,\"unterminated"), ParseError);
+  EXPECT_THROW((void)parse_csv_line("a,b\"c"), ParseError);
+}
+
+TEST(Csv, WriterReaderRoundTrip) {
+  std::stringstream ss;
+  CsvWriter w(ss);
+  w.write_row({"h1", "h2"});
+  w.write_row({"1", "x,y"});
+  w.write_row({"2", "line\nbreak"});
+
+  CsvReader r(ss);
+  std::vector<std::string> row;
+  ASSERT_TRUE(r.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"h1", "h2"}));
+  ASSERT_TRUE(r.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "x,y"}));
+  ASSERT_TRUE(r.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"2", "line\nbreak"}));
+  EXPECT_FALSE(r.read_row(row));
+}
+
+TEST(Csv, ReaderRejectsUnterminatedMultiline) {
+  std::stringstream ss("a,\"open\nstill open");
+  CsvReader r(ss);
+  std::vector<std::string> row;
+  EXPECT_THROW((void)r.read_row(row), ParseError);
+}
+
+}  // namespace
+}  // namespace exaeff

@@ -1,0 +1,197 @@
+// Tests for the deterministic RNG: reproducibility, stream splitting,
+// distribution sanity, and categorical sampling invariants.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace exaeff {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    same += (a() == b());
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::array<int, 7> counts{};
+  for (int i = 0; i < 70000; ++i) {
+    const auto idx = rng.uniform_index(7);
+    ASSERT_LT(idx, 7u);
+    ++counts[idx];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 8500);  // ~10000 expected each
+    EXPECT_LT(c, 11500);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng s1 = parent.split(1);
+  Rng s2 = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    same += (s1() == s2());
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, SplitIsDeterministicAndDoesNotAdvanceParent) {
+  Rng parent(99);
+  const auto before = Rng(99)();
+  Rng s1 = parent.split(42);
+  Rng s1_again = parent.split(42);
+  EXPECT_EQ(s1(), s1_again());
+  EXPECT_EQ(parent(), before);
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.exponential(3.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.exponential(0.0), Error);
+  EXPECT_THROW((void)rng.exponential(-1.0), Error);
+}
+
+TEST(Rng, LognormalMeanMatchesFormula) {
+  Rng rng(9);
+  const double mu = 1.0;
+  const double sigma = 0.4;
+  double sum = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  const double expect = std::exp(mu + 0.5 * sigma * sigma);
+  EXPECT_NEAR(sum / n / expect, 1.0, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(10);
+  const std::array<double, 3> w = {1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.categorical(w.data(), w.size())];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.015);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverChosen) {
+  Rng rng(10);
+  const std::array<double, 3> w = {1.0, 0.0, 1.0};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(rng.categorical(w.data(), w.size()), 1u);
+  }
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  const std::array<double, 2> negative = {1.0, -0.5};
+  EXPECT_THROW((void)rng.categorical(negative.data(), 2), Error);
+  const std::array<double, 2> zeros = {0.0, 0.0};
+  EXPECT_THROW((void)rng.categorical(zeros.data(), 2), Error);
+  EXPECT_THROW((void)rng.categorical(zeros.data(), 0), Error);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+// Property sweep: every seed produces values filling the unit interval
+// reasonably evenly (no stuck generators).
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformCoversDecilesForEverySeed) {
+  Rng rng(GetParam());
+  std::array<int, 10> deciles{};
+  for (int i = 0; i < 10000; ++i) {
+    ++deciles[static_cast<std::size_t>(rng.uniform() * 10.0)];
+  }
+  for (int d : deciles) {
+    EXPECT_GT(d, 700);
+    EXPECT_LT(d, 1300);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 42ULL, 1000ULL,
+                                           0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace exaeff

@@ -1,0 +1,229 @@
+// Tests for the statistics toolkit: streaming moments, histograms, KDE,
+// peak finding and percentiles.
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace exaeff {
+namespace {
+
+TEST(StreamingMoments, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.0, 0.25, 9.5};
+  StreamingMoments m;
+  for (double x : xs) m.add(x);
+
+  const double mean =
+      std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= xs.size();
+
+  EXPECT_EQ(m.count(), xs.size());
+  EXPECT_NEAR(m.mean(), mean, 1e-12);
+  EXPECT_NEAR(m.variance(), var, 1e-12);
+  EXPECT_NEAR(m.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_EQ(m.min(), -3.0);
+  EXPECT_EQ(m.max(), 9.5);
+}
+
+TEST(StreamingMoments, WeightedMean) {
+  StreamingMoments m;
+  m.add_weighted(10.0, 1.0);
+  m.add_weighted(20.0, 3.0);
+  EXPECT_NEAR(m.mean(), 17.5, 1e-12);
+  EXPECT_NEAR(m.weight(), 4.0, 1e-12);
+  EXPECT_NEAR(m.sum(), 70.0, 1e-12);
+}
+
+TEST(StreamingMoments, RejectsNonPositiveWeight) {
+  StreamingMoments m;
+  EXPECT_THROW(m.add_weighted(1.0, 0.0), Error);
+  EXPECT_THROW(m.add_weighted(1.0, -2.0), Error);
+}
+
+TEST(StreamingMoments, MergeEqualsSequential) {
+  Rng rng(3);
+  StreamingMoments all;
+  StreamingMoments a;
+  StreamingMoments b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(StreamingMoments, MergeWithEmpty) {
+  StreamingMoments a;
+  a.add(1.0);
+  StreamingMoments empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, BinsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_EQ(h.bin_weight(0), 1.0);
+  EXPECT_EQ(h.bin_weight(1), 2.0);
+  EXPECT_EQ(h.bin_weight(9), 1.0);
+  EXPECT_NEAR(h.total_weight(), 4.0, 1e-12);
+  // Density integrates to 1.
+  double mass = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    mass += h.density(i) * h.bin_width();
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.bin_weight(0), 1.0);
+  EXPECT_EQ(h.bin_weight(4), 1.0);
+}
+
+TEST(Histogram, WeightBetween) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.weight_between(0.0, 50.0), 50.0, 1e-12);
+  EXPECT_NEAR(h.weight_between(20.0, 30.0), 10.0, 1e-12);
+  EXPECT_EQ(h.weight_between(30.0, 30.0), 0.0);
+}
+
+TEST(Histogram, MergeRequiresSameBinning) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(b), Error);
+  Histogram c(0.0, 10.0, 10);
+  c.add(5.0);
+  a.merge(c);
+  EXPECT_EQ(a.total_weight(), 1.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), Error);
+  EXPECT_THROW(Histogram(2.0, 1.0, 10), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Kde, MassIsNormalized) {
+  const std::vector<double> xs = {2.0, 2.1, 5.0, 5.1, 5.2};
+  const auto grid = gaussian_kde(xs, {}, 0.0, 8.0, 401, 0.3);
+  double mass = 0.0;
+  const double step = 8.0 / 400.0;
+  for (double v : grid) mass += v * step;
+  EXPECT_NEAR(mass, 1.0, 0.01);
+}
+
+TEST(Kde, FindsBimodalPeaks) {
+  std::vector<double> xs;
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal(150.0, 10.0));
+  for (int i = 0; i < 3000; ++i) xs.push_back(rng.normal(450.0, 15.0));
+  const auto grid = gaussian_kde(xs, {}, 0.0, 600.0, 601, 8.0);
+  std::vector<double> grid_x(601);
+  for (int i = 0; i <= 600; ++i) grid_x[static_cast<std::size_t>(i)] = i;
+  const auto peaks = find_peaks(grid, grid_x, 0.2);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_NEAR(peaks[0].x, 150.0, 10.0);
+  EXPECT_NEAR(peaks[1].x, 450.0, 10.0);
+  EXPECT_GT(peaks[1].height, peaks[0].height);
+}
+
+TEST(Kde, WeightedSamplesShiftDensity) {
+  const std::vector<double> xs = {1.0, 9.0};
+  const std::vector<double> w = {1.0, 9.0};
+  const auto grid = gaussian_kde(xs, w, 0.0, 10.0, 101, 0.5);
+  EXPECT_GT(grid[90], grid[10]);
+}
+
+TEST(SmoothDensity, PreservesPeakLocation) {
+  Histogram h(0.0, 100.0, 100);
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) h.add(rng.normal(42.0, 4.0));
+  const auto density = smooth_density(h, 3.0);
+  std::size_t arg_max = 0;
+  for (std::size_t i = 0; i < density.size(); ++i) {
+    if (density[i] > density[arg_max]) arg_max = i;
+  }
+  EXPECT_NEAR(h.bin_center(arg_max), 42.0, 3.0);
+}
+
+TEST(FindPeaks, IgnoresLowProminenceWiggles) {
+  // A big peak with a tiny bump on its flank.
+  std::vector<double> y = {0, 1, 2, 5, 9, 10, 9.0, 8.7, 8.8, 6, 3, 1, 0};
+  std::vector<double> x(y.size());
+  std::iota(x.begin(), x.end(), 0.0);
+  const auto peaks = find_peaks(y, x, 0.1);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].x, 5.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_NEAR(percentile(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 100.0), 4.0, 1e-12);
+  EXPECT_NEAR(percentile(xs, 50.0), 2.5, 1e-12);
+  EXPECT_THROW((void)percentile(xs, 101.0), Error);
+  EXPECT_THROW((void)percentile(std::vector<double>{}, 50.0), Error);
+}
+
+TEST(WeightedMean, Basics) {
+  const std::vector<double> xs = {1.0, 3.0};
+  const std::vector<double> ws = {1.0, 3.0};
+  EXPECT_NEAR(weighted_mean(xs, ws), 2.5, 1e-12);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW((void)weighted_mean(xs, bad), Error);
+}
+
+// Property: histogram mean converges to the moments' mean for any
+// distribution parameterization.
+class HistogramMoments
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(HistogramMoments, HistogramMeanTracksStreamingMean) {
+  const auto [mu, sigma] = GetParam();
+  Rng rng(77);
+  Histogram h(mu - 6 * sigma, mu + 6 * sigma, 200);
+  StreamingMoments m;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.normal(mu, sigma);
+    h.add(x);
+    m.add(x);
+  }
+  double hist_mean = 0.0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i) {
+    hist_mean += h.bin_center(i) * h.bin_weight(i);
+  }
+  hist_mean /= h.total_weight();
+  EXPECT_NEAR(hist_mean, m.mean(), sigma * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, HistogramMoments,
+    ::testing::Values(std::pair{100.0, 5.0}, std::pair{300.0, 40.0},
+                      std::pair{0.0, 1.0}, std::pair{-50.0, 10.0}));
+
+}  // namespace
+}  // namespace exaeff

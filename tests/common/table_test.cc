@@ -1,0 +1,99 @@
+// Tests for the text-table renderer.
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace exaeff {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"xxxxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string s = t.str();
+  // All lines between rules have the same length.
+  std::size_t len = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t eol = s.find('\n', pos);
+    const std::size_t line_len = eol - pos;
+    if (len == 0) len = line_len;
+    EXPECT_EQ(line_len, len);
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTable, RowWidthValidated) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, HeaderAfterRowsRejected) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_header({"x", "y"}), Error);
+}
+
+TEST(TextTable, RuleInsertedBetweenRows) {
+  TextTable t;
+  t.set_header({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.str();
+  // 5 horizontal rules: top, under header, mid, before nothing, bottom.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, NumericFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(-1.0, 0), "-1");
+  EXPECT_EQ(TextTable::pct(88.56, 1), "88.6%");
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"x,y", "he said \"hi\""});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, StreamOperator) {
+  TextTable t;
+  t.set_header({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.str());
+}
+
+}  // namespace
+}  // namespace exaeff

@@ -1,0 +1,144 @@
+// Tests for the streaming campaign accumulator.
+#include "core/accumulator.h"
+
+#include <gtest/gtest.h>
+
+namespace exaeff::core {
+namespace {
+
+sched::Job make_job(sched::ScienceDomain d, sched::SizeBin b) {
+  sched::Job j;
+  j.job_id = 1;
+  j.domain = d;
+  j.bin = b;
+  j.num_nodes = 1;
+  j.begin_s = 0.0;
+  j.end_s = 1000.0;
+  j.nodes = {0};
+  return j;
+}
+
+telemetry::GcdSample sample(double t, float p) {
+  telemetry::GcdSample s;
+  s.t_s = t;
+  s.power_w = p;
+  return s;
+}
+
+TEST(CampaignAccumulator, BooksSamplesIntoRegionsAndCells) {
+  CampaignAccumulator acc(15.0, RegionBoundaries{});
+  const auto job =
+      make_job(sched::ScienceDomain::kCfd, sched::SizeBin::kB);
+  acc.on_job_sample(sample(0.0, 300.0F), job);   // M.I.
+  acc.on_job_sample(sample(15.0, 500.0F), job);  // C.I.
+  acc.on_job_sample(sample(30.0, 100.0F), job);  // latency
+
+  EXPECT_EQ(acc.gcd_sample_count(), 3u);
+  const auto d = acc.decomposition();
+  EXPECT_NEAR(d.total_gpu_hours, 3.0 * 15.0 / 3600.0, 1e-9);
+  EXPECT_NEAR(d.total_energy_j, (300.0 + 500.0 + 100.0) * 15.0, 1e-3);
+  EXPECT_NEAR(
+      d.regions[static_cast<int>(Region::kMemoryIntensive)].energy_j,
+      300.0 * 15.0, 1e-3);
+  EXPECT_NEAR(
+      d.regions[static_cast<int>(Region::kComputeIntensive)].energy_j,
+      500.0 * 15.0, 1e-3);
+
+  const auto& cell =
+      acc.cell(sched::ScienceDomain::kCfd, sched::SizeBin::kB);
+  EXPECT_NEAR(cell.energy_j(), 900.0 * 15.0, 1e-3);
+  EXPECT_NEAR(cell.gpu_hours(), 3.0 * 15.0 / 3600.0, 1e-9);
+  // Other cells untouched.
+  EXPECT_EQ(
+      acc.cell(sched::ScienceDomain::kCfd, sched::SizeBin::kA).energy_j(),
+      0.0);
+}
+
+TEST(CampaignAccumulator, HistogramsPopulated) {
+  CampaignAccumulator acc(15.0, RegionBoundaries{});
+  const auto job_cfd =
+      make_job(sched::ScienceDomain::kCfd, sched::SizeBin::kB);
+  const auto job_bio =
+      make_job(sched::ScienceDomain::kBiology, sched::SizeBin::kE);
+  acc.on_job_sample(sample(0.0, 300.0F), job_cfd);
+  acc.on_job_sample(sample(0.0, 120.0F), job_bio);
+
+  EXPECT_NEAR(acc.system_histogram().total_weight(), 2.0, 1e-12);
+  EXPECT_NEAR(
+      acc.domain_histogram(sched::ScienceDomain::kCfd).total_weight(), 1.0,
+      1e-12);
+  EXPECT_NEAR(
+      acc.domain_histogram(sched::ScienceDomain::kBiology).total_weight(),
+      1.0, 1e-12);
+  EXPECT_EQ(
+      acc.domain_histogram(sched::ScienceDomain::kAstro).total_weight(),
+      0.0);
+}
+
+TEST(CampaignAccumulator, NodeSamplesTracked) {
+  CampaignAccumulator acc(15.0, RegionBoundaries{});
+  telemetry::NodeSample n;
+  n.cpu_power_w = 150.0F;
+  acc.on_node_sample(n);
+  acc.on_node_sample(n);
+  EXPECT_EQ(acc.node_sample_count(), 2u);
+  EXPECT_NEAR(acc.total_cpu_energy_j(), 2 * 150.0 * 15.0, 1e-6);
+}
+
+TEST(CampaignAccumulator, MergeEqualsSequential) {
+  const RegionBoundaries b;
+  CampaignAccumulator all(15.0, b);
+  CampaignAccumulator left(15.0, b);
+  CampaignAccumulator right(15.0, b);
+
+  const auto job =
+      make_job(sched::ScienceDomain::kFusion, sched::SizeBin::kC);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = sample(15.0 * i, 100.0F + 4.0F * i);
+    all.on_job_sample(s, job);
+    (i % 2 ? left : right).on_job_sample(s, job);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.gcd_sample_count(), all.gcd_sample_count());
+  EXPECT_NEAR(left.total_gpu_energy_j(), all.total_gpu_energy_j(), 1e-6);
+  const auto da = all.decomposition();
+  const auto dm = left.decomposition();
+  for (std::size_t r = 0; r < kRegionCount; ++r) {
+    EXPECT_NEAR(dm.regions[r].energy_j, da.regions[r].energy_j, 1e-6);
+    EXPECT_NEAR(dm.regions[r].gpu_hours, da.regions[r].gpu_hours, 1e-9);
+  }
+  EXPECT_NEAR(left.system_histogram().total_weight(),
+              all.system_histogram().total_weight(), 1e-9);
+}
+
+TEST(CampaignAccumulator, MergeRequiresSameWindow) {
+  CampaignAccumulator a(15.0, RegionBoundaries{});
+  CampaignAccumulator b(30.0, RegionBoundaries{});
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(CampaignAccumulator, MaskedDecompositionSelectsCells) {
+  CampaignAccumulator acc(15.0, RegionBoundaries{});
+  acc.on_job_sample(
+      sample(0.0, 300.0F),
+      make_job(sched::ScienceDomain::kCfd, sched::SizeBin::kA));
+  acc.on_job_sample(
+      sample(0.0, 300.0F),
+      make_job(sched::ScienceDomain::kBiology, sched::SizeBin::kE));
+
+  std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+      mask{};
+  mask[static_cast<std::size_t>(sched::ScienceDomain::kCfd)]
+      [static_cast<std::size_t>(sched::SizeBin::kA)] = true;
+  const auto d = acc.decomposition_for(mask);
+  EXPECT_NEAR(d.total_energy_j, 300.0 * 15.0, 1e-6);
+  const auto full = acc.decomposition();
+  EXPECT_NEAR(full.total_energy_j, 2 * 300.0 * 15.0, 1e-6);
+}
+
+TEST(CampaignAccumulator, WindowValidation) {
+  EXPECT_THROW(CampaignAccumulator(0.0, RegionBoundaries{}), Error);
+}
+
+}  // namespace
+}  // namespace exaeff::core

@@ -1,0 +1,177 @@
+// Tests for the benchmark characterization stage (Table III machinery).
+#include "core/characterization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace exaeff::core {
+namespace {
+
+class CharacterizationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = new CapResponseTable(characterize(gpusim::mi250x_gcd()));
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    table_ = nullptr;
+  }
+  static const CapResponseTable* table_;
+};
+
+const CapResponseTable* CharacterizationTest::table_ = nullptr;
+
+TEST_F(CharacterizationTest, BaselineRowsAreHundredPercent) {
+  for (auto cls :
+       {BenchClass::kComputeIntensive, BenchClass::kMemoryIntensive}) {
+    const auto& f = table_->at(cls, CapType::kFrequency, 1700.0);
+    EXPECT_NEAR(f.avg_power_pct, 100.0, 1e-6);
+    EXPECT_NEAR(f.runtime_pct, 100.0, 1e-6);
+    EXPECT_NEAR(f.energy_pct, 100.0, 1e-6);
+    const auto& p = table_->at(cls, CapType::kPower, 560.0);
+    EXPECT_NEAR(p.energy_pct, 100.0, 1e-6);
+  }
+}
+
+TEST_F(CharacterizationTest, PowerDecreasesWithTighterFrequencyCap) {
+  for (auto cls :
+       {BenchClass::kComputeIntensive, BenchClass::kMemoryIntensive}) {
+    const auto rows = table_->rows(cls, CapType::kFrequency);
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+      EXPECT_LT(rows[i].avg_power_pct, rows[i - 1].avg_power_pct)
+          << bench_class_name(cls) << " at " << rows[i].setting;
+    }
+  }
+}
+
+TEST_F(CharacterizationTest, RuntimeIncreasesWithTighterFrequencyCap) {
+  const auto rows =
+      table_->rows(BenchClass::kComputeIntensive, CapType::kFrequency);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].runtime_pct, rows[i - 1].runtime_pct - 1e-9);
+  }
+}
+
+TEST_F(CharacterizationTest, VaiRuntimeTracksClockRatio) {
+  // Table III: runtime at 1300 MHz ~ 128-130%, at 700 MHz ~ 224-231%.
+  const auto& r1300 =
+      table_->at(BenchClass::kComputeIntensive, CapType::kFrequency, 1300.0);
+  EXPECT_NEAR(r1300.runtime_pct, 129.0, 4.0);
+  const auto& r700 =
+      table_->at(BenchClass::kComputeIntensive, CapType::kFrequency, 700.0);
+  EXPECT_NEAR(r700.runtime_pct, 227.0, 12.0);
+}
+
+TEST_F(CharacterizationTest, MemoryRuntimeFlatUnderFrequencyCaps) {
+  // Table III "MB": runtime stays ~99-104% for caps down to 900 MHz; at
+  // 700 MHz the fabric knee costs some bandwidth (the paper's 700 MHz
+  // row likewise loses most of its energy advantage).
+  for (const auto& r :
+       table_->rows(BenchClass::kMemoryIntensive, CapType::kFrequency)) {
+    if (r.setting >= 900.0) {
+      EXPECT_LT(r.runtime_pct, 106.0) << "at " << r.setting;
+    } else {
+      EXPECT_LT(r.runtime_pct, 125.0) << "at " << r.setting;
+    }
+  }
+}
+
+TEST_F(CharacterizationTest, MemoryEnergyMinimumNearNineHundred) {
+  // Table III "MB" energy: minimum at 900 MHz, worse again at 700 MHz.
+  const auto rows =
+      table_->rows(BenchClass::kMemoryIntensive, CapType::kFrequency);
+  double best = 1e9;
+  double best_setting = 0.0;
+  for (const auto& r : rows) {
+    if (r.energy_pct < best) {
+      best = r.energy_pct;
+      best_setting = r.setting;
+    }
+  }
+  EXPECT_EQ(best_setting, 900.0);
+  EXPECT_GT(table_->at(BenchClass::kMemoryIntensive, CapType::kFrequency,
+                       700.0)
+                .energy_pct,
+            best + 1.0);
+}
+
+TEST_F(CharacterizationTest, MemoryClassSavesEnergyUnderFrequencyCaps) {
+  // The memory-intensive region is where frequency capping pays: energy
+  // drops monotonically through the sweep (down to ~76-87%).
+  const auto rows =
+      table_->rows(BenchClass::kMemoryIntensive, CapType::kFrequency);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i].energy_pct, 97.0) << "at " << rows[i].setting;
+  }
+}
+
+TEST_F(CharacterizationTest, VaiEnergyHasInteriorMinimum) {
+  // Fig 5 / Table III: energy-to-solution dips in the mid-frequency
+  // range and worsens again at 700 MHz.
+  const auto rows =
+      table_->rows(BenchClass::kComputeIntensive, CapType::kFrequency);
+  double best = 1e9;
+  double best_setting = 0.0;
+  for (const auto& r : rows) {
+    if (r.energy_pct < best) {
+      best = r.energy_pct;
+      best_setting = r.setting;
+    }
+  }
+  EXPECT_GE(best_setting, 900.0);
+  EXPECT_LE(best_setting, 1500.0);
+  EXPECT_GT(table_->at(BenchClass::kComputeIntensive, CapType::kFrequency,
+                       700.0)
+                .energy_pct,
+            best + 2.0);
+}
+
+TEST_F(CharacterizationTest, MildPowerCapsBarelyAffectAnything) {
+  // "the higher power caps do not impact the application enough" — a
+  // 500 W cap leaves both classes essentially untouched.
+  for (auto cls :
+       {BenchClass::kComputeIntensive, BenchClass::kMemoryIntensive}) {
+    const auto& r = table_->at(cls, CapType::kPower, 500.0);
+    EXPECT_NEAR(r.runtime_pct, 100.0, 1.5);
+    EXPECT_GT(r.energy_pct, 98.0);
+  }
+}
+
+TEST_F(CharacterizationTest, DeepPowerCapHurtsVaiEnergy) {
+  // Table III(b): at 200 W the VAI average uses *more* energy than
+  // uncapped (105.7%) with a >2x runtime.
+  const auto& r =
+      table_->at(BenchClass::kComputeIntensive, CapType::kPower, 200.0);
+  EXPECT_GT(r.energy_pct, 100.0);
+  EXPECT_GT(r.runtime_pct, 190.0);
+}
+
+TEST_F(CharacterizationTest, UnknownSettingThrows) {
+  EXPECT_THROW(
+      (void)table_->at(BenchClass::kComputeIntensive, CapType::kFrequency,
+                       1234.0),
+      Error);
+}
+
+TEST(Characterization, CustomSweepSettings) {
+  CharacterizationOptions opts;
+  opts.frequency_caps_mhz = {1700.0, 1000.0};
+  opts.power_caps_w = {560.0, 350.0};
+  const auto table = characterize(gpusim::mi250x_gcd(), opts);
+  EXPECT_EQ(table.rows(BenchClass::kComputeIntensive, CapType::kFrequency)
+                .size(),
+            2u);
+  EXPECT_NO_THROW((void)table.at(BenchClass::kMemoryIntensive,
+                                 CapType::kPower, 350.0));
+}
+
+TEST(Characterization, NamesForReporting) {
+  EXPECT_STREQ(bench_class_name(BenchClass::kComputeIntensive), "VAI");
+  EXPECT_STREQ(bench_class_name(BenchClass::kMemoryIntensive), "MB");
+  EXPECT_STREQ(cap_type_name(CapType::kFrequency), "frequency");
+  EXPECT_STREQ(cap_type_name(CapType::kPower), "power");
+}
+
+}  // namespace
+}  // namespace exaeff::core

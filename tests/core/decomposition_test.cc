@@ -1,0 +1,119 @@
+// Tests for the power-decomposition inverse: envelopes must bracket the
+// true utilizations for any forward-generated reading.
+#include "core/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gpusim/perf_model.h"
+#include "workloads/vai.h"
+
+namespace exaeff::core {
+namespace {
+
+TEST(PowerDecomposer, ForwardMatchesPowerModelOnVai) {
+  // The inverse's internal forward model must agree with the real power
+  // model on pure-throughput kernels.
+  const auto spec = gpusim::mi250x_gcd();
+  const PowerDecomposer dec(spec);
+  const gpusim::PowerModel pm(spec);
+  const gpusim::ExecutionModel em(spec);
+  for (double ai : {0.0625, 1.0, 4.0, 64.0, 1024.0}) {
+    auto kernel = workloads::vai::make_kernel(spec, ai);
+    kernel.latency_s = 0.0;  // pure throughput window
+    const auto t = em.timing(kernel, spec.f_max_mhz);
+    const double truth = pm.steady_power(t, kernel);
+    const double alu_activity =
+        t.achieved_flops / spec.peak_flops_sustained;
+    const double traffic = t.achieved_hbm_bw / spec.hbm_bw;
+    EXPECT_NEAR(dec.forward_power(alu_activity, traffic, spec.f_max_mhz),
+                truth, 6.0)
+        << "AI " << ai;
+  }
+}
+
+TEST(PowerDecomposer, IdleReadingFlagged) {
+  const PowerDecomposer dec(gpusim::mi250x_gcd());
+  const auto est = dec.estimate(89.0, 1700.0);
+  EXPECT_TRUE(est.idle);
+  EXPECT_EQ(est.alu_max, 0.0);
+}
+
+TEST(PowerDecomposer, EnvelopesBracketGroundTruth) {
+  const auto spec = gpusim::mi250x_gcd();
+  const PowerDecomposer dec(spec);
+  // Generate readings from known utilization pairs; the envelope must
+  // contain the generating pair.
+  const double cases[][2] = {{0.1, 0.9}, {0.5, 0.5}, {0.9, 0.2},
+                             {1.0, 1.0}, {0.02, 0.6}, {0.7, 0.0}};
+  for (const auto& c : cases) {
+    const double p = dec.forward_power(c[0], c[1], 1700.0);
+    const auto est = dec.estimate(p, 1700.0);
+    EXPECT_LE(est.alu_min, c[0] + 1e-3) << c[0] << "/" << c[1];
+    EXPECT_GE(est.alu_max, c[0] - 1e-3) << c[0] << "/" << c[1];
+    EXPECT_LE(est.hbm_min, c[1] + 1e-3) << c[0] << "/" << c[1];
+    EXPECT_GE(est.hbm_max, c[1] - 1e-3) << c[0] << "/" << c[1];
+  }
+}
+
+TEST(PowerDecomposer, MidEstimateReproducesReading) {
+  const auto spec = gpusim::mi250x_gcd();
+  const PowerDecomposer dec(spec);
+  for (double p : {250.0, 350.0, 450.0, 530.0}) {
+    const auto est = dec.estimate(p, 1700.0);
+    EXPECT_NEAR(dec.forward_power(est.alu_mid, est.hbm_mid, 1700.0), p,
+                2.0)
+        << p;
+  }
+}
+
+TEST(PowerDecomposer, HighPowerImpliesBothEnginesBusy) {
+  // Only simultaneous ALU+HBM activity reaches near-TDP power (the
+  // paper's AI = 4 observation), so a 530 W reading must have positive
+  // *minimum* utilization on both engines.
+  const PowerDecomposer dec(gpusim::mi250x_gcd());
+  const auto est = dec.estimate(530.0, 1700.0);
+  EXPECT_GT(est.alu_min, 0.3);
+  EXPECT_GT(est.hbm_min, 0.3);
+}
+
+TEST(PowerDecomposer, LowPowerPermitsNarrowEnvelope) {
+  // A 200 W reading cannot hide a busy ALU or saturated HBM.
+  const PowerDecomposer dec(gpusim::mi250x_gcd());
+  const auto est = dec.estimate(200.0, 1700.0);
+  EXPECT_LT(est.alu_max, 0.5);
+  EXPECT_LT(est.hbm_max, 0.5);
+  EXPECT_NEAR(est.alu_min, 0.0, 1e-6);  // could be all-HBM
+  EXPECT_NEAR(est.hbm_min, 0.0, 1e-6);  // could be all-ALU
+}
+
+TEST(PowerDecomposer, EnvelopeWidensAsRegionsPredict) {
+  // Region semantics recovered quantitatively: memory-region readings
+  // allow high HBM but modest ALU; compute-region readings allow high
+  // ALU.
+  const PowerDecomposer dec(gpusim::mi250x_gcd());
+  const auto memory_reading = dec.estimate(350.0, 1700.0);
+  EXPECT_GT(memory_reading.hbm_max, 0.85);
+  EXPECT_LT(memory_reading.alu_max, 0.85);
+  const auto compute_reading = dec.estimate(460.0, 1700.0);
+  EXPECT_GT(compute_reading.alu_max, 0.95);
+}
+
+TEST(PowerDecomposer, LowerClockShiftsEnvelope) {
+  // At a lower clock the same wattage implies *more* activity.
+  const PowerDecomposer dec(gpusim::mi250x_gcd());
+  const auto full = dec.estimate(300.0, 1700.0);
+  const auto slow = dec.estimate(300.0, 1100.0);
+  EXPECT_GT(slow.alu_max, full.alu_max);
+  EXPECT_GE(slow.hbm_mid, full.hbm_mid - 1e-9);
+}
+
+TEST(PowerDecomposer, InputValidation) {
+  const PowerDecomposer dec(gpusim::mi250x_gcd());
+  EXPECT_THROW((void)dec.estimate(0.0, 1700.0), Error);
+  EXPECT_THROW((void)dec.forward_power(1.5, 0.0, 1700.0), Error);
+  EXPECT_THROW((void)dec.forward_power(0.0, -0.1, 1700.0), Error);
+}
+
+}  // namespace
+}  // namespace exaeff::core

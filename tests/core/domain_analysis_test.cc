@@ -1,0 +1,139 @@
+// Tests for the domain x size-bin heatmap analysis (Fig 10 / Table VI).
+#include "core/domain_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace exaeff::core {
+namespace {
+
+CapResponseTable simple_table() {
+  CapResponseTable t;
+  t.add(BenchClass::kComputeIntensive, CapType::kFrequency,
+        {1100.0, 60.0, 150.0, 94.0});
+  t.add(BenchClass::kMemoryIntensive, CapType::kFrequency,
+        {1100.0, 80.0, 101.0, 82.0});
+  return t;
+}
+
+sched::Job make_job(sched::ScienceDomain d, sched::SizeBin b) {
+  sched::Job j;
+  j.domain = d;
+  j.bin = b;
+  j.num_nodes = 1;
+  j.begin_s = 0.0;
+  j.end_s = 100.0;
+  j.nodes = {0};
+  return j;
+}
+
+telemetry::GcdSample sample(float p) {
+  telemetry::GcdSample s;
+  s.power_w = p;
+  return s;
+}
+
+class DomainAnalysisTest : public ::testing::Test {
+ protected:
+  DomainAnalysisTest()
+      : acc_(15.0, RegionBoundaries{}), table_(simple_table()),
+        engine_(table_) {
+    // CFD/A: heavy memory-intensive load (high yield).
+    for (int i = 0; i < 100; ++i) {
+      acc_.on_job_sample(sample(350.0F),
+                         make_job(sched::ScienceDomain::kCfd,
+                                  sched::SizeBin::kA));
+    }
+    // BIO/E: latency-bound load (no savings).
+    for (int i = 0; i < 100; ++i) {
+      acc_.on_job_sample(sample(120.0F),
+                         make_job(sched::ScienceDomain::kBiology,
+                                  sched::SizeBin::kE));
+    }
+    // CHM/B: compute-intensive (small savings at this setting).
+    for (int i = 0; i < 20; ++i) {
+      acc_.on_job_sample(sample(500.0F),
+                         make_job(sched::ScienceDomain::kChemistry,
+                                  sched::SizeBin::kB));
+    }
+  }
+
+  CampaignAccumulator acc_;
+  CapResponseTable table_;
+  ProjectionEngine engine_;
+};
+
+TEST_F(DomainAnalysisTest, EnergyHeatmapMatchesAccumulator) {
+  const DomainAnalyzer analyzer(acc_, engine_);
+  const auto h = analyzer.energy_heatmap();
+  EXPECT_EQ(h.row_labels.size(), sched::kDomainCount);
+  EXPECT_EQ(h.col_labels.size(), sched::kSizeBinCount);
+
+  double total = 0.0;
+  for (double v : h.values) total += v;
+  EXPECT_NEAR(total,
+              units::joules_to_mwh(acc_.total_gpu_energy_j()), 1e-9);
+
+  // CFD/A is the largest cell.
+  const std::size_t cfd =
+      static_cast<std::size_t>(sched::ScienceDomain::kCfd);
+  EXPECT_NEAR(h.at(cfd, 0), h.max_value(), 1e-12);
+}
+
+TEST_F(DomainAnalysisTest, SavingsConcentratedInMemoryIntensiveCells) {
+  const DomainAnalyzer analyzer(acc_, engine_);
+  const auto h = analyzer.savings_heatmap(CapType::kFrequency, 1100.0);
+  const auto cfd = static_cast<std::size_t>(sched::ScienceDomain::kCfd);
+  const auto bio =
+      static_cast<std::size_t>(sched::ScienceDomain::kBiology);
+  const auto chm =
+      static_cast<std::size_t>(sched::ScienceDomain::kChemistry);
+  EXPECT_GT(h.at(cfd, 0), 0.0);
+  EXPECT_EQ(h.at(bio, 4), 0.0);          // latency region: excluded
+  EXPECT_GT(h.at(cfd, 0), h.at(chm, 1)); // MI saves more than CI
+}
+
+TEST_F(DomainAnalysisTest, CellSavingsSumToGlobalProjection) {
+  const DomainAnalyzer analyzer(acc_, engine_);
+  const auto h = analyzer.savings_heatmap(CapType::kFrequency, 1100.0);
+  double cell_sum = 0.0;
+  for (double v : h.values) cell_sum += v;
+  const auto global = engine_.project(acc_.decomposition(),
+                                      CapType::kFrequency, 1100.0);
+  EXPECT_NEAR(cell_sum, global.total_saved_mwh, 1e-9);
+}
+
+TEST_F(DomainAnalysisTest, HighYieldSelection) {
+  const DomainAnalyzer analyzer(acc_, engine_);
+  const auto selected =
+      analyzer.high_yield_domains(CapType::kFrequency, 1100.0, 0.5);
+  ASSERT_FALSE(selected.empty());
+  EXPECT_EQ(selected[0], sched::ScienceDomain::kCfd);
+  for (auto d : selected) {
+    EXPECT_NE(d, sched::ScienceDomain::kBiology);
+  }
+}
+
+TEST_F(DomainAnalysisTest, SelectionMaskAndMaskedProjection) {
+  const std::vector<sched::ScienceDomain> domains = {
+      sched::ScienceDomain::kCfd};
+  const std::vector<sched::SizeBin> bins = {sched::SizeBin::kA,
+                                            sched::SizeBin::kB,
+                                            sched::SizeBin::kC};
+  const auto mask = DomainAnalyzer::selection_mask(domains, bins);
+  const auto masked = acc_.decomposition_for(mask);
+  // Only the CFD/A samples are inside the mask.
+  EXPECT_NEAR(masked.total_energy_j, 100 * 350.0 * 15.0, 1e-3);
+
+  // Table VI behaviour: the masked projection saves less in absolute
+  // terms than the system-wide one, but is a large share of it.
+  const auto full = engine_.project(acc_.decomposition(),
+                                    CapType::kFrequency, 1100.0);
+  const auto sel = engine_.project(masked, CapType::kFrequency, 1100.0);
+  EXPECT_LT(sel.total_saved_mwh, full.total_saved_mwh);
+  EXPECT_GT(sel.total_saved_mwh, 0.5 * full.total_saved_mwh);
+}
+
+}  // namespace
+}  // namespace exaeff::core

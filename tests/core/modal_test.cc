@@ -1,0 +1,78 @@
+// Tests for the modal decomposition (Table IV regions).
+#include "core/modal.h"
+
+#include <gtest/gtest.h>
+
+namespace exaeff::core {
+namespace {
+
+TEST(RegionBoundaries, ClassifyMatchesTableIV) {
+  const RegionBoundaries b;  // defaults are the paper's 200/420/560
+  EXPECT_EQ(b.classify(90.0), Region::kLatencyBound);
+  EXPECT_EQ(b.classify(200.0), Region::kLatencyBound);
+  EXPECT_EQ(b.classify(200.1), Region::kMemoryIntensive);
+  EXPECT_EQ(b.classify(420.0), Region::kMemoryIntensive);
+  EXPECT_EQ(b.classify(420.1), Region::kComputeIntensive);
+  EXPECT_EQ(b.classify(560.0), Region::kComputeIntensive);
+  EXPECT_EQ(b.classify(560.1), Region::kBoost);
+  EXPECT_EQ(b.classify(620.0), Region::kBoost);
+}
+
+TEST(RegionBoundaries, DerivedBoundariesMatchPaper) {
+  const auto b = derive_boundaries(gpusim::mi250x_gcd());
+  EXPECT_NEAR(b.latency_max_w, 200.0, 20.0);
+  EXPECT_NEAR(b.memory_max_w, 420.0, 15.0);
+  EXPECT_EQ(b.compute_max_w, 560.0);
+  // Ordering must hold regardless of calibration drift.
+  EXPECT_LT(b.latency_max_w, b.memory_max_w);
+  EXPECT_LT(b.memory_max_w, b.compute_max_w);
+}
+
+TEST(RegionNames, AllNamed) {
+  EXPECT_EQ(region_name(Region::kLatencyBound),
+            "Latency, Network & I/O bound");
+  EXPECT_EQ(region_name(Region::kMemoryIntensive),
+            "Memory intensive (M.I.)");
+  EXPECT_EQ(region_name(Region::kComputeIntensive),
+            "Compute intensive (C.I.)");
+  EXPECT_EQ(region_name(Region::kBoost), "Boosted frequency");
+}
+
+TEST(ModalDecomposition, PercentagesAndFractions) {
+  ModalDecomposition d;
+  d.regions[0] = {30.0, 3.0e6};
+  d.regions[1] = {50.0, 5.0e6};
+  d.regions[2] = {19.0, 1.5e6};
+  d.regions[3] = {1.0, 0.5e6};
+  d.total_gpu_hours = 100.0;
+  d.total_energy_j = 1.0e7;
+  EXPECT_NEAR(d.hours_pct(Region::kLatencyBound), 30.0, 1e-12);
+  EXPECT_NEAR(d.hours_pct(Region::kMemoryIntensive), 50.0, 1e-12);
+  EXPECT_NEAR(d.energy_fraction(Region::kComputeIntensive), 0.15, 1e-12);
+  EXPECT_NEAR(d.energy_fraction(Region::kBoost), 0.05, 1e-12);
+}
+
+TEST(ModalDecomposition, EmptyIsZero) {
+  const ModalDecomposition d;
+  EXPECT_EQ(d.hours_pct(Region::kLatencyBound), 0.0);
+  EXPECT_EQ(d.energy_fraction(Region::kBoost), 0.0);
+}
+
+// Property: every power value maps to exactly one region and regions
+// tile the axis in order.
+class RegionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegionSweep, MonotoneRegionIndex) {
+  const RegionBoundaries b;
+  const double p = GetParam();
+  const auto r = b.classify(p);
+  const auto r_next = b.classify(p + 50.0);
+  EXPECT_GE(static_cast<int>(r_next), static_cast<int>(r));
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, RegionSweep,
+                         ::testing::Values(85.0, 150.0, 199.0, 201.0, 350.0,
+                                           419.0, 421.0, 555.0, 561.0));
+
+}  // namespace
+}  // namespace exaeff::core

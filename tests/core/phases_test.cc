@@ -1,0 +1,141 @@
+// Tests for the power-series phase detector.
+#include "core/phases.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace exaeff::core {
+namespace {
+
+std::vector<float> step_series(std::initializer_list<std::pair<int, float>>
+                                   phases,
+                               double noise = 0.0, std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<float> out;
+  for (const auto& [len, level] : phases) {
+    for (int i = 0; i < len; ++i) {
+      out.push_back(level +
+                    static_cast<float>(noise > 0.0
+                                           ? rng.normal(0.0, noise)
+                                           : 0.0));
+    }
+  }
+  return out;
+}
+
+TEST(PhaseDetector, SinglePhase) {
+  const auto series = step_series({{100, 330.0F}}, 5.0);
+  const auto phases = detect_phases(series, RegionBoundaries{});
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].begin, 0u);
+  EXPECT_EQ(phases[0].end, 100u);
+  EXPECT_NEAR(phases[0].mean_power_w, 330.0, 3.0);
+  EXPECT_EQ(phases[0].region, Region::kMemoryIntensive);
+}
+
+TEST(PhaseDetector, TwoCleanPhases) {
+  const auto series = step_series({{50, 150.0F}, {50, 480.0F}}, 4.0);
+  const auto phases = detect_phases(series, RegionBoundaries{});
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].region, Region::kLatencyBound);
+  EXPECT_EQ(phases[1].region, Region::kComputeIntensive);
+  // Boundary found within a window of the true cut.
+  EXPECT_NEAR(static_cast<double>(phases[0].end), 50.0, 5.0);
+  EXPECT_EQ(phases[0].end, phases[1].begin);
+}
+
+TEST(PhaseDetector, ThreePhasesWithReturn) {
+  const auto series =
+      step_series({{60, 300.0F}, {60, 520.0F}, {60, 300.0F}}, 5.0);
+  const auto phases = detect_phases(series, RegionBoundaries{});
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].region, Region::kMemoryIntensive);
+  EXPECT_EQ(phases[1].region, Region::kComputeIntensive);
+  EXPECT_EQ(phases[2].region, Region::kMemoryIntensive);
+}
+
+TEST(PhaseDetector, SmallShiftBelowThresholdIgnored) {
+  const auto series = step_series({{50, 300.0F}, {50, 320.0F}}, 3.0);
+  PhaseDetectorOptions opts;
+  opts.threshold_w = 45.0;
+  const auto phases = detect_phases(series, RegionBoundaries{}, opts);
+  EXPECT_EQ(phases.size(), 1u);
+}
+
+TEST(PhaseDetector, NoisyPlateauNotOverSegmented) {
+  // Heavy noise on a single level must not produce spurious phases.
+  const auto series = step_series({{400, 350.0F}}, 12.0, 7);
+  const auto phases = detect_phases(series, RegionBoundaries{});
+  EXPECT_LE(phases.size(), 2u);
+}
+
+TEST(PhaseDetector, EmptyAndTinySeries) {
+  const std::vector<float> empty;
+  EXPECT_TRUE(detect_phases(empty, RegionBoundaries{}).empty());
+  const std::vector<float> tiny = {100.0F, 101.0F};
+  const auto phases = detect_phases(tiny, RegionBoundaries{});
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].length(), 2u);
+}
+
+TEST(PhaseDetector, OptionValidation) {
+  const std::vector<float> s = {1.0F};
+  PhaseDetectorOptions bad;
+  bad.window = 0;
+  EXPECT_THROW((void)detect_phases(s, RegionBoundaries{}, bad), Error);
+  bad = PhaseDetectorOptions{};
+  bad.threshold_w = 0.0;
+  EXPECT_THROW((void)detect_phases(s, RegionBoundaries{}, bad), Error);
+}
+
+TEST(PhaseProfile, SummaryCountsTransitionsAndShares) {
+  const auto series = step_series(
+      {{60, 150.0F}, {60, 520.0F}, {60, 150.0F}, {60, 520.0F}}, 4.0);
+  const auto phases = detect_phases(series, RegionBoundaries{});
+  const auto profile = summarize_phases(phases, series.size());
+  EXPECT_EQ(profile.phase_count, 4u);
+  EXPECT_EQ(profile.transitions, 3u);
+  EXPECT_NEAR(
+      profile.region_record_share[static_cast<int>(Region::kLatencyBound)],
+      0.5, 0.05);
+  EXPECT_NEAR(profile.region_record_share[static_cast<int>(
+                  Region::kComputeIntensive)],
+              0.5, 0.05);
+  EXPECT_FALSE(profile.single_moded());
+  EXPECT_NEAR(profile.mean_phase_length, 60.0, 6.0);
+}
+
+TEST(PhaseProfile, SingleModedDetection) {
+  const auto series = step_series({{200, 330.0F}, {10, 500.0F}}, 4.0);
+  const auto phases = detect_phases(series, RegionBoundaries{});
+  const auto profile = summarize_phases(phases, series.size());
+  EXPECT_TRUE(profile.single_moded(0.75));
+}
+
+TEST(PhaseProfile, EmptyProfile) {
+  const auto profile = summarize_phases({}, 0);
+  EXPECT_EQ(profile.phase_count, 0u);
+  EXPECT_FALSE(profile.single_moded());
+}
+
+// Property: the detector recovers the planted number of phases for a
+// range of phase lengths and levels, under moderate noise.
+class PlantedPhases : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlantedPhases, RecoversPlantedCount) {
+  const int n = GetParam();
+  std::initializer_list<std::pair<int, float>> spec3 = {
+      {80, 140.0F}, {80, 330.0F}, {80, 500.0F}};
+  std::initializer_list<std::pair<int, float>> spec2 = {{120, 250.0F},
+                                                        {120, 450.0F}};
+  const auto series =
+      n == 3 ? step_series(spec3, 6.0, 11) : step_series(spec2, 6.0, 12);
+  const auto phases = detect_phases(series, RegionBoundaries{});
+  EXPECT_EQ(phases.size(), static_cast<std::size_t>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PlantedPhases, ::testing::Values(2, 3));
+
+}  // namespace
+}  // namespace exaeff::core

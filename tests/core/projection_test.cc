@@ -1,0 +1,166 @@
+// Tests for the projection engine: the exact Table V arithmetic on a
+// hand-built response table and decomposition, plus sweep behaviour.
+#include "core/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace exaeff::core {
+namespace {
+
+/// A synthetic response table with easy round numbers.
+CapResponseTable synthetic_table() {
+  CapResponseTable t;
+  // Baselines.
+  t.add(BenchClass::kComputeIntensive, CapType::kFrequency,
+        {1700.0, 100.0, 100.0, 100.0});
+  t.add(BenchClass::kMemoryIntensive, CapType::kFrequency,
+        {1700.0, 100.0, 100.0, 100.0});
+  // One capped setting: CI uses 90% energy at +30% runtime; MI uses 80%
+  // energy at +0% runtime.
+  t.add(BenchClass::kComputeIntensive, CapType::kFrequency,
+        {900.0, 60.0, 130.0, 90.0});
+  t.add(BenchClass::kMemoryIntensive, CapType::kFrequency,
+        {900.0, 80.0, 100.0, 80.0});
+  return t;
+}
+
+/// A decomposition with 10 MWh CI, 40 MWh MI, 50 MWh elsewhere.
+ModalDecomposition synthetic_decomposition() {
+  ModalDecomposition d;
+  d.regions[static_cast<int>(Region::kLatencyBound)] = {
+      500.0, units::mwh_to_joules(45.0)};
+  d.regions[static_cast<int>(Region::kMemoryIntensive)] = {
+      400.0, units::mwh_to_joules(40.0)};
+  d.regions[static_cast<int>(Region::kComputeIntensive)] = {
+      90.0, units::mwh_to_joules(10.0)};
+  d.regions[static_cast<int>(Region::kBoost)] = {
+      10.0, units::mwh_to_joules(5.0)};
+  for (const auto& r : d.regions) {
+    d.total_gpu_hours += r.gpu_hours;
+    d.total_energy_j += r.energy_j;
+  }
+  return d;
+}
+
+TEST(ProjectionEngine, HandComputedRow) {
+  const auto table = synthetic_table();
+  const ProjectionEngine engine(table);
+  const auto row = engine.project(synthetic_decomposition(),
+                                  CapType::kFrequency, 900.0);
+
+  // CI saves 10 MWh x (1 - 0.9) = 1; MI saves 40 x (1 - 0.8) = 8.
+  EXPECT_NEAR(row.ci_saved_mwh, 1.0, 1e-9);
+  EXPECT_NEAR(row.mi_saved_mwh, 8.0, 1e-9);
+  EXPECT_NEAR(row.total_saved_mwh, 9.0, 1e-9);
+  // Savings over the full 100 MWh.
+  EXPECT_NEAR(row.savings_pct, 9.0, 1e-9);
+  // dT: energy-weighted runtime increase = 0.10 * 30 + 0.40 * 0 = 3%.
+  EXPECT_NEAR(row.delta_t_pct, 3.0, 1e-9);
+  // dT=0 savings: MI only = 8%.
+  EXPECT_NEAR(row.savings_pct_no_slowdown, 8.0, 1e-9);
+}
+
+TEST(ProjectionEngine, RegionsOneAndFourNeverContribute) {
+  const auto table = synthetic_table();
+  const ProjectionEngine engine(table);
+  // Decomposition with all energy in latency + boost: zero savings.
+  ModalDecomposition d;
+  d.regions[static_cast<int>(Region::kLatencyBound)] = {
+      100.0, units::mwh_to_joules(80.0)};
+  d.regions[static_cast<int>(Region::kBoost)] = {
+      10.0, units::mwh_to_joules(20.0)};
+  d.total_energy_j = units::mwh_to_joules(100.0);
+  d.total_gpu_hours = 110.0;
+  const auto row = engine.project(d, CapType::kFrequency, 900.0);
+  EXPECT_EQ(row.total_saved_mwh, 0.0);
+  EXPECT_EQ(row.savings_pct, 0.0);
+  EXPECT_EQ(row.delta_t_pct, 0.0);
+}
+
+TEST(ProjectionEngine, SweepSkipsBaseline) {
+  const auto table = synthetic_table();
+  const ProjectionEngine engine(table);
+  const auto rows =
+      engine.project_sweep(synthetic_decomposition(), CapType::kFrequency);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].setting, 900.0);
+}
+
+TEST(ProjectionEngine, BestNoSlowdownPicksMaximum) {
+  CapResponseTable t = synthetic_table();
+  // Add a second setting with worse MI energy.
+  t.add(BenchClass::kComputeIntensive, CapType::kFrequency,
+        {700.0, 50.0, 200.0, 105.0});
+  t.add(BenchClass::kMemoryIntensive, CapType::kFrequency,
+        {700.0, 75.0, 100.0, 90.0});
+  const ProjectionEngine engine(t);
+  const auto best =
+      engine.best_no_slowdown(synthetic_decomposition(), CapType::kFrequency);
+  EXPECT_EQ(best.setting, 900.0);  // 8% beats 4%
+}
+
+TEST(ProjectionEngine, NegativeSavingsRepresentedFaithfully) {
+  // Settings whose energy_pct exceeds 100 must yield negative savings
+  // (the paper's 700 MHz CI column is negative).
+  CapResponseTable t;
+  t.add(BenchClass::kComputeIntensive, CapType::kFrequency,
+        {700.0, 46.0, 231.0, 106.3});
+  t.add(BenchClass::kMemoryIntensive, CapType::kFrequency,
+        {700.0, 82.9, 99.1, 95.7});
+  const ProjectionEngine engine(t);
+  const auto row = engine.project(synthetic_decomposition(),
+                                  CapType::kFrequency, 700.0);
+  EXPECT_LT(row.ci_saved_mwh, 0.0);
+  EXPECT_GT(row.mi_saved_mwh, 0.0);
+}
+
+TEST(ProjectionEngine, EmptyDecompositionIsAllZeros) {
+  const auto table = synthetic_table();
+  const ProjectionEngine engine(table);
+  const auto row =
+      engine.project(ModalDecomposition{}, CapType::kFrequency, 900.0);
+  EXPECT_EQ(row.total_saved_mwh, 0.0);
+  EXPECT_EQ(row.savings_pct, 0.0);
+  EXPECT_EQ(row.delta_t_pct, 0.0);
+}
+
+TEST(ProjectionEngine, PaperTableVReproductionFromPublishedInputs) {
+  // Feed the *paper's own* Table III percentages and the back-solved
+  // region energies (E_CI = 2059 MWh, E_MI = 7086 MWh of 16820 MWh); the
+  // engine must reproduce the published Table V(a) savings columns.
+  CapResponseTable t;
+  t.add(BenchClass::kComputeIntensive, CapType::kFrequency,
+        {1300.0, 68.2, 129.8, 88.6});
+  t.add(BenchClass::kMemoryIntensive, CapType::kFrequency,
+        {1300.0, 84.5, 99.5, 84.3});
+  t.add(BenchClass::kComputeIntensive, CapType::kFrequency,
+        {900.0, 53.3, 182.4, 97.3});
+  t.add(BenchClass::kMemoryIntensive, CapType::kFrequency,
+        {900.0, 79.7, 99.0, 79.7});
+
+  ModalDecomposition d;
+  d.regions[static_cast<int>(Region::kComputeIntensive)] = {
+      0.0, units::mwh_to_joules(2059.0)};
+  d.regions[static_cast<int>(Region::kMemoryIntensive)] = {
+      0.0, units::mwh_to_joules(7086.0)};
+  d.regions[static_cast<int>(Region::kLatencyBound)] = {
+      0.0, units::mwh_to_joules(16820.0 - 2059.0 - 7086.0)};
+  for (const auto& r : d.regions) d.total_energy_j += r.energy_j;
+
+  const ProjectionEngine engine(t);
+  const auto r1300 = engine.project(d, CapType::kFrequency, 1300.0);
+  EXPECT_NEAR(r1300.ci_saved_mwh, 234.7, 3.0);   // paper: 234.7
+  EXPECT_NEAR(r1300.mi_saved_mwh, 1112.4, 4.0);  // paper: 1112.4
+  EXPECT_NEAR(r1300.savings_pct, 8.0, 0.1);      // paper: 8.0
+
+  const auto r900 = engine.project(d, CapType::kFrequency, 900.0);
+  EXPECT_NEAR(r900.ci_saved_mwh, 55.6, 2.0);     // paper: 55.6
+  EXPECT_NEAR(r900.mi_saved_mwh, 1438.3, 5.0);   // paper: 1438.3
+  EXPECT_NEAR(r900.savings_pct, 8.8, 0.1);       // paper: 8.8
+  EXPECT_NEAR(r900.savings_pct_no_slowdown, 8.5, 0.1);  // paper: 8.5
+}
+
+}  // namespace
+}  // namespace exaeff::core

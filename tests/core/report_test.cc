@@ -1,0 +1,87 @@
+// Tests for the campaign report renderer.
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sched/fleetgen.h"
+
+namespace exaeff::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto spec = gpusim::mi250x_gcd();
+    table_ = new CapResponseTable(characterize(spec));
+    sched::CampaignConfig cfg;
+    cfg.system = cluster::frontier_scaled(16);
+    cfg.duration_s = 1.0 * units::kDay;
+    library_ = new workloads::ProfileLibrary(
+        workloads::make_profile_library(spec));
+    const sched::FleetGenerator gen(cfg, *library_);
+    acc_ = new CampaignAccumulator(cfg.telemetry_window_s,
+                                   derive_boundaries(spec));
+    gen.generate_telemetry(gen.generate_schedule(), *acc_);
+  }
+  static void TearDownTestSuite() {
+    delete acc_;
+    delete table_;
+    delete library_;
+    acc_ = nullptr;
+    table_ = nullptr;
+    library_ = nullptr;
+  }
+  static CapResponseTable* table_;
+  static CampaignAccumulator* acc_;
+  static workloads::ProfileLibrary* library_;
+};
+
+CapResponseTable* ReportTest::table_ = nullptr;
+CampaignAccumulator* ReportTest::acc_ = nullptr;
+workloads::ProfileLibrary* ReportTest::library_ = nullptr;
+
+TEST_F(ReportTest, ContainsAllSections) {
+  ReportInputs in;
+  in.accumulator = acc_;
+  in.table = table_;
+  in.campaign_label = "test-campaign";
+  const std::string report = render_campaign_report(in);
+
+  EXPECT_NE(report.find("# Energy-savings analysis: test-campaign"),
+            std::string::npos);
+  EXPECT_NE(report.find("## Dataset"), std::string::npos);
+  EXPECT_NE(report.find("## Regions of operation"), std::string::npos);
+  EXPECT_NE(report.find("## Frequency-cap projection"), std::string::npos);
+  EXPECT_NE(report.find("## Power-cap projection"), std::string::npos);
+  EXPECT_NE(report.find("Best zero-slowdown point"), std::string::npos);
+  EXPECT_NE(report.find("## Energy by domain and job size"),
+            std::string::npos);
+  EXPECT_NE(report.find("## Selective capping"), std::string::npos);
+}
+
+TEST_F(ReportTest, ReportsConsistentTotals) {
+  ReportInputs in;
+  in.accumulator = acc_;
+  in.table = table_;
+  const std::string report = render_campaign_report(in);
+  // The record count appears verbatim.
+  EXPECT_NE(report.find(std::to_string(acc_->gcd_sample_count())),
+            std::string::npos);
+}
+
+TEST_F(ReportTest, FocusCapSettingRespected) {
+  ReportInputs in;
+  in.accumulator = acc_;
+  in.table = table_;
+  in.focus_cap_mhz = 900.0;
+  const std::string report = render_campaign_report(in);
+  EXPECT_NE(report.find("900 MHz"), std::string::npos);
+}
+
+TEST(Report, MissingInputsThrow) {
+  EXPECT_THROW((void)render_campaign_report(ReportInputs{}), ConfigError);
+}
+
+}  // namespace
+}  // namespace exaeff::core

@@ -1,0 +1,101 @@
+// Tests for the stateful device-control facade.
+#include "gpusim/control_api.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/membench.h"
+#include "workloads/vai.h"
+
+namespace exaeff::gpusim {
+namespace {
+
+KernelDesc vai(double ai) {
+  return workloads::vai::make_kernel(mi250x_gcd(), ai);
+}
+
+TEST(DeviceControl, DefaultsUncapped) {
+  DeviceControl dev(mi250x_gcd());
+  EXPECT_FALSE(dev.frequency_cap_mhz().has_value());
+  EXPECT_FALSE(dev.power_cap_w().has_value());
+  EXPECT_EQ(dev.read_frequency_mhz(), 1700.0);
+  EXPECT_NEAR(dev.read_power_w(), 89.0, 12.0);  // idle + sensor noise
+}
+
+TEST(DeviceControl, FrequencyCapIsStickyAndClamped) {
+  DeviceControl dev(mi250x_gcd());
+  EXPECT_EQ(dev.set_frequency_cap(1300.0), 1300.0);
+  EXPECT_EQ(dev.set_frequency_cap(100.0), 500.0);   // clamped to f_min
+  EXPECT_EQ(dev.set_frequency_cap(5000.0), 1700.0); // clamped to f_max
+  dev.set_frequency_cap(900.0);
+  const auto r1 = dev.launch(vai(64.0));
+  const auto r2 = dev.launch(vai(1024.0));
+  EXPECT_EQ(r1.freq_mhz, 900.0);
+  EXPECT_EQ(r2.freq_mhz, 900.0);  // cap persists across launches
+  EXPECT_EQ(dev.read_frequency_mhz(), 900.0);
+}
+
+TEST(DeviceControl, PowerCapApplied) {
+  DeviceControl dev(mi250x_gcd());
+  dev.set_power_cap(300.0);
+  const auto r = dev.launch(vai(1024.0));
+  EXPECT_LE(r.avg_power_w, 300.5);
+  EXPECT_FALSE(dev.cap_breached());
+}
+
+TEST(DeviceControl, BreachVisibleThroughApi) {
+  DeviceControl dev(mi250x_gcd());
+  dev.set_power_cap(140.0);
+  (void)dev.launch(vai(0.0625));  // HBM-heavy stream
+  EXPECT_TRUE(dev.cap_breached());
+  EXPECT_GT(dev.read_power_w(), 150.0);
+}
+
+TEST(DeviceControl, ResetRestoresDefaults) {
+  DeviceControl dev(mi250x_gcd());
+  dev.set_frequency_cap(900.0);
+  dev.set_power_cap(300.0);
+  dev.reset_caps();
+  EXPECT_FALSE(dev.frequency_cap_mhz().has_value());
+  EXPECT_FALSE(dev.power_cap_w().has_value());
+  const auto r = dev.launch(vai(64.0));
+  EXPECT_EQ(r.freq_mhz, 1700.0);
+}
+
+TEST(DeviceControl, EnergyCounterAccumulates) {
+  DeviceControl dev(mi250x_gcd());
+  EXPECT_EQ(dev.energy_counter_j(), 0.0);
+  const auto r1 = dev.launch(vai(64.0));
+  const auto r2 = dev.launch(vai(4.0));
+  EXPECT_NEAR(dev.energy_counter_j(), r1.energy_j + r2.energy_j, 1e-6);
+  EXPECT_EQ(dev.launch_count(), 2u);
+}
+
+TEST(DeviceControl, SensorReadsTrackLastLaunch) {
+  DeviceControl dev(mi250x_gcd());
+  (void)dev.launch(vai(4.0));  // near-TDP kernel
+  double sum = 0.0;
+  for (int i = 0; i < 32; ++i) sum += dev.read_power_w();
+  EXPECT_NEAR(sum / 32.0, 540.0, 12.0);
+}
+
+TEST(DeviceControl, InputValidation) {
+  DeviceControl dev(mi250x_gcd());
+  EXPECT_THROW((void)dev.set_frequency_cap(0.0), Error);
+  EXPECT_THROW((void)dev.set_power_cap(-5.0), Error);
+}
+
+TEST(DeviceControl, CappedEnergySavingsEndToEnd) {
+  // The whole point, through the control API: cap, run occupancy-bound
+  // memory work (bandwidth survives the lower clock), save energy.
+  DeviceControl capped(mi250x_gcd());
+  DeviceControl uncapped(mi250x_gcd());
+  capped.set_frequency_cap(900.0);
+  const auto k = workloads::membench::make_kernel(
+      mi250x_gcd(), 512.0 * 1024 * 1024);
+  (void)capped.launch(k);
+  (void)uncapped.launch(k);
+  EXPECT_LT(capped.energy_counter_j(), 0.90 * uncapped.energy_counter_j());
+}
+
+}  // namespace
+}  // namespace exaeff::gpusim

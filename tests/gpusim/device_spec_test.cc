@@ -1,0 +1,82 @@
+// Tests for the device description: validation, clock quantization, and
+// the dynamic-power scale factor.
+#include "gpusim/device_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace exaeff::gpusim {
+namespace {
+
+TEST(DeviceSpec, Mi250xPresetMatchesTableI) {
+  const DeviceSpec spec = mi250x_gcd();
+  EXPECT_EQ(spec.f_max_mhz, 1700.0);        // GCD max frequency
+  EXPECT_EQ(spec.tdp_w, 560.0);             // GCD max power
+  EXPECT_NEAR(spec.hbm_bytes / (1024.0 * 1024.0 * 1024.0), 64.0, 1e-9);
+  EXPECT_NEAR(spec.hbm_bw / 1e12, 1.6384, 1e-6);
+  EXPECT_NEAR(spec.peak_flops_theoretical / 1e12, 23.9, 1e-9);
+  EXPECT_GE(spec.idle_power_w, 88.0);
+  EXPECT_LE(spec.idle_power_w, 90.0);
+}
+
+TEST(DeviceSpec, RidgeNearFour) {
+  // The paper's empirical roofline puts the ridge at AI = 4 flop/byte.
+  const DeviceSpec spec = mi250x_gcd();
+  EXPECT_NEAR(spec.ridge_intensity(), 4.0, 0.1);
+}
+
+TEST(DeviceSpec, ClampFrequency) {
+  DeviceSpec spec = mi250x_gcd();
+  EXPECT_EQ(spec.clamp_frequency(5000.0), spec.f_max_mhz);
+  EXPECT_EQ(spec.clamp_frequency(10.0), spec.f_min_mhz);
+  spec.f_step_mhz = 25.0;
+  EXPECT_EQ(spec.clamp_frequency(512.0), 500.0);
+  EXPECT_EQ(spec.clamp_frequency(513.0), 525.0);
+}
+
+TEST(DeviceSpec, PowerScaleIsOneAtMax) {
+  const DeviceSpec spec = mi250x_gcd();
+  EXPECT_NEAR(spec.power_scale(spec.f_max_mhz), 1.0, 1e-12);
+}
+
+TEST(DeviceSpec, PowerScaleBelowCubicButSuperlinear) {
+  const DeviceSpec spec = mi250x_gcd();
+  // Halving the clock should save more than half the dynamic power
+  // (voltage scaling) but less than the cubic ideal.
+  const double s = spec.power_scale(850.0);
+  EXPECT_LT(s, 0.5);
+  EXPECT_GT(s, 0.125);
+}
+
+TEST(DeviceSpec, ValidationCatchesNonsense) {
+  DeviceSpec spec = mi250x_gcd();
+  spec.f_min_mhz = 2000.0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = mi250x_gcd();
+  spec.tdp_w = 10.0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = mi250x_gcd();
+  spec.boost_power_w = 100.0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+
+  spec = mi250x_gcd();
+  spec.hbm_bw = 0.0;
+  EXPECT_THROW(spec.validate(), ConfigError);
+}
+
+// Property: the power scale is strictly increasing in frequency.
+class PowerScaleMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerScaleMonotonicity, IncreasesWithFrequency) {
+  const DeviceSpec spec = mi250x_gcd();
+  const double f = GetParam();
+  EXPECT_LT(spec.power_scale(f), spec.power_scale(f + 100.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, PowerScaleMonotonicity,
+                         ::testing::Values(500.0, 700.0, 900.0, 1100.0,
+                                           1300.0, 1500.0));
+
+}  // namespace
+}  // namespace exaeff::gpusim

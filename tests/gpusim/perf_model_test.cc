@@ -1,0 +1,203 @@
+// Tests for the roofline execution model: binding classification, clock
+// scaling, issue-boundedness, fabric throttling and latency behaviour.
+#include "gpusim/perf_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace exaeff::gpusim {
+namespace {
+
+KernelDesc compute_kernel() {
+  KernelDesc k;
+  k.name = "compute";
+  k.flops = 1e13;
+  k.hbm_bytes = 1e9;
+  return k;
+}
+
+KernelDesc memory_kernel(double beta = 0.0) {
+  KernelDesc k;
+  k.name = "memory";
+  k.flops = 1e9;
+  k.hbm_bytes = 1e12;
+  k.issue_boundedness = beta;
+  return k;
+}
+
+TEST(ExecutionModel, ComputeBoundClassification) {
+  const ExecutionModel em(mi250x_gcd());
+  const auto t = em.timing(compute_kernel(), 1700.0);
+  EXPECT_EQ(t.bound, KernelTiming::Bound::kCompute);
+  EXPECT_NEAR(t.u_alu, 1.0, 1e-6);
+  EXPECT_LT(t.u_hbm, 0.01);
+}
+
+TEST(ExecutionModel, MemoryBoundClassification) {
+  const ExecutionModel em(mi250x_gcd());
+  const auto t = em.timing(memory_kernel(), 1700.0);
+  EXPECT_EQ(t.bound, KernelTiming::Bound::kHbm);
+  EXPECT_NEAR(t.u_hbm, 1.0, 1e-6);
+}
+
+TEST(ExecutionModel, ComputeTimeScalesInverselyWithClock) {
+  const ExecutionModel em(mi250x_gcd());
+  const auto t_full = em.timing(compute_kernel(), 1700.0);
+  const auto t_half = em.timing(compute_kernel(), 850.0);
+  EXPECT_NEAR(t_half.time_s / t_full.time_s, 2.0, 0.01);
+}
+
+TEST(ExecutionModel, IssueBoundStreamSlowsWithClock) {
+  const ExecutionModel em(mi250x_gcd());
+  // beta = 1: bandwidth fully follows the clock.
+  const auto t_full = em.timing(memory_kernel(1.0), 1700.0);
+  const auto t_half = em.timing(memory_kernel(1.0), 850.0);
+  EXPECT_NEAR(t_half.time_s / t_full.time_s, 2.0, 0.01);
+}
+
+TEST(ExecutionModel, OccupancyBoundStreamIgnoresClockAboveKnee) {
+  const ExecutionModel em(mi250x_gcd());
+  // beta = 0: bandwidth independent of the engine clock (Fig 6) — until
+  // the fabric knee (~47% relative clock), below which even occupancy-
+  // bound streams lose bandwidth.
+  const auto t_full = em.timing(memory_kernel(0.0), 1700.0);
+  const auto t_900 = em.timing(memory_kernel(0.0), 900.0);
+  EXPECT_NEAR(t_900.time_s / t_full.time_s, 1.0, 0.02);
+  const auto t_700 = em.timing(memory_kernel(0.0), 700.0);
+  EXPECT_GT(t_700.time_s / t_full.time_s, 1.05);
+}
+
+TEST(ExecutionModel, AchievedFlopsMatchRoofline) {
+  const DeviceSpec spec = mi250x_gcd();
+  const ExecutionModel em(spec);
+  const auto t = em.timing(compute_kernel(), 1700.0);
+  EXPECT_NEAR(t.achieved_flops, spec.peak_flops_sustained, 1e7);
+}
+
+TEST(ExecutionModel, FabricFactorSlowsHbm) {
+  const ExecutionModel em(mi250x_gcd());
+  const auto base = em.timing(memory_kernel(0.0), 1700.0, 1.0);
+  const auto throttled = em.timing(memory_kernel(0.0), 1700.0, 0.8);
+  EXPECT_NEAR(throttled.time_s / base.time_s, 1.25, 0.02);
+  EXPECT_THROW((void)em.timing(memory_kernel(), 1700.0, 0.0), Error);
+  EXPECT_THROW((void)em.timing(memory_kernel(), 1700.0, 1.5), Error);
+}
+
+TEST(ExecutionModel, LatencyTermAddsNonOverlapped) {
+  const ExecutionModel em(mi250x_gcd());
+  KernelDesc k = memory_kernel();
+  const double base = em.timing(k, 1700.0).time_s;
+  k.latency_s = 10.0;
+  const auto t = em.timing(k, 1700.0);
+  EXPECT_NEAR(t.time_s, base + 10.0, 1e-9);
+  EXPECT_GT(t.u_lat, 0.0);
+}
+
+TEST(ExecutionModel, LatencyScalesWithClockPerExponent) {
+  const ExecutionModel em(mi250x_gcd());
+  KernelDesc k;
+  k.name = "latency";
+  k.latency_s = 10.0;
+  k.latency_exp = 1.0;
+  k.flops = 1.0;
+  const double t_full = em.timing(k, 1700.0).time_s;
+  const double t_half = em.timing(k, 850.0).time_s;
+  EXPECT_NEAR(t_half / t_full, 2.0, 0.01);
+
+  k.latency_exp = 0.0;
+  const double t_full0 = em.timing(k, 1700.0).time_s;
+  const double t_half0 = em.timing(k, 850.0).time_s;
+  EXPECT_NEAR(t_half0 / t_full0, 1.0, 0.01);
+}
+
+TEST(ExecutionModel, LatencyBoundClassification) {
+  const ExecutionModel em(mi250x_gcd());
+  KernelDesc k;
+  k.name = "wait";
+  k.latency_s = 100.0;
+  k.hbm_bytes = 1e9;
+  const auto t = em.timing(k, 1700.0);
+  EXPECT_EQ(t.bound, KernelTiming::Bound::kLatency);
+  EXPECT_GT(t.u_lat, 0.99);
+}
+
+TEST(ExecutionModel, DivergenceInflatesComputeTime) {
+  const ExecutionModel em(mi250x_gcd());
+  KernelDesc k = compute_kernel();
+  const double base = em.timing(k, 1700.0).time_s;
+  k.divergence = 4.0;
+  EXPECT_NEAR(em.timing(k, 1700.0).time_s / base, 4.0, 0.01);
+}
+
+TEST(ExecutionModel, L2BoundKernel) {
+  const ExecutionModel em(mi250x_gcd());
+  KernelDesc k;
+  k.name = "l2";
+  k.l2_bytes = 1e13;
+  k.flops = 1.0;
+  const auto t = em.timing(k, 1700.0);
+  EXPECT_EQ(t.bound, KernelTiming::Bound::kL2);
+  // L2 bandwidth follows the clock.
+  const auto t_half = em.timing(k, 850.0);
+  EXPECT_NEAR(t_half.time_s / t.time_s, 2.0, 0.01);
+}
+
+TEST(KernelDesc, ValidationAndHelpers) {
+  KernelDesc k;
+  EXPECT_THROW(k.validate(), ConfigError);  // no work at all
+  k.flops = 1e12;
+  k.hbm_bytes = 1e11;
+  k.validate();
+  EXPECT_NEAR(k.arithmetic_intensity(), 10.0, 1e-12);
+  const auto doubled = k.scaled(2.0);
+  EXPECT_EQ(doubled.flops, 2e12);
+  EXPECT_EQ(doubled.hbm_bytes, 2e11);
+  k.issue_boundedness = 1.5;
+  EXPECT_THROW(k.validate(), ConfigError);
+  k.issue_boundedness = 0.5;
+  k.divergence = 0.5;
+  EXPECT_THROW(k.validate(), ConfigError);
+}
+
+// Property: runtime is non-increasing in frequency for any kernel shape.
+struct KernelCase {
+  const char* name;
+  double flops;
+  double hbm;
+  double l2;
+  double beta;
+  double latency;
+};
+
+class RuntimeMonotonicity : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(RuntimeMonotonicity, RuntimeNeverImprovesWhenClockDrops) {
+  const auto& c = GetParam();
+  KernelDesc k;
+  k.name = c.name;
+  k.flops = c.flops;
+  k.hbm_bytes = c.hbm;
+  k.l2_bytes = c.l2;
+  k.issue_boundedness = c.beta;
+  k.latency_s = c.latency;
+  const ExecutionModel em(mi250x_gcd());
+  double prev = 0.0;
+  for (double f : {1700.0, 1500.0, 1300.0, 1100.0, 900.0, 700.0, 500.0}) {
+    const double t = em.timing(k, f).time_s;
+    EXPECT_GE(t, prev - 1e-9) << "at " << f << " MHz";
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelShapes, RuntimeMonotonicity,
+    ::testing::Values(KernelCase{"compute", 1e13, 1e9, 0, 0.5, 0},
+                      KernelCase{"mem-issue", 1e9, 1e12, 1e12, 0.9, 0},
+                      KernelCase{"mem-occup", 1e9, 1e12, 1e12, 0.0, 0},
+                      KernelCase{"balanced", 4e12, 1e12, 1e12, 0.5, 0},
+                      KernelCase{"latency", 1e10, 1e10, 0, 0.3, 50.0},
+                      KernelCase{"l2", 1e10, 0, 5e12, 0.0, 0}));
+
+}  // namespace
+}  // namespace exaeff::gpusim

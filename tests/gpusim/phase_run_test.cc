@@ -1,0 +1,93 @@
+// Tests for multi-phase sequence execution.
+#include "gpusim/phase_run.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "workloads/vai.h"
+
+namespace exaeff::gpusim {
+namespace {
+
+GpuSimulator make_sim() { return GpuSimulator(mi250x_gcd()); }
+
+std::vector<KernelDesc> phases() {
+  const auto spec = mi250x_gcd();
+  return {workloads::vai::make_kernel(spec, 0.5),
+          workloads::vai::make_kernel(spec, 64.0),
+          workloads::vai::make_kernel(spec, 4.0)};
+}
+
+TEST(PhaseRun, AggregatesMatchIndividualRuns) {
+  const auto sim = make_sim();
+  const auto ks = phases();
+  const auto seq = run_sequence(sim, ks, PowerPolicy::none());
+  ASSERT_EQ(seq.phases.size(), 3u);
+
+  double time = 0.0;
+  double energy = 0.0;
+  for (const auto& k : ks) {
+    const auto r = sim.run(k, PowerPolicy::none());
+    time += r.time_s;
+    energy += r.energy_j;
+  }
+  EXPECT_NEAR(seq.time_s, time, 1e-9);
+  EXPECT_NEAR(seq.energy_j, energy, 1e-6);
+  EXPECT_NEAR(seq.avg_power_w, energy / time, 1e-9);
+}
+
+TEST(PhaseRun, StartOffsetsAreCumulative) {
+  const auto sim = make_sim();
+  const auto seq = run_sequence(sim, phases(), PowerPolicy::none());
+  EXPECT_EQ(seq.phases[0].start_s, 0.0);
+  EXPECT_NEAR(seq.phases[1].start_s, seq.phases[0].run.time_s, 1e-9);
+  EXPECT_NEAR(seq.phases[2].start_s,
+              seq.phases[0].run.time_s + seq.phases[1].run.time_s, 1e-9);
+}
+
+TEST(PhaseRun, BreachPropagates) {
+  const auto sim = make_sim();
+  const auto seq = run_sequence(sim, phases(), PowerPolicy::power(150.0));
+  EXPECT_TRUE(seq.any_cap_breached);
+  const auto clean = run_sequence(sim, phases(), PowerPolicy::none());
+  EXPECT_FALSE(clean.any_cap_breached);
+}
+
+TEST(PhaseRun, EmptySequenceRejected) {
+  const auto sim = make_sim();
+  EXPECT_THROW((void)run_sequence(sim, {}, PowerPolicy::none()), Error);
+}
+
+TEST(PhaseRun, TracedCoversWholeSequence) {
+  const auto sim = make_sim();
+  Rng rng(6);
+  std::vector<TracePoint> trace;
+  const auto seq = run_sequence_traced(sim, phases(), PowerPolicy::none(),
+                                       rng, trace);
+  ASSERT_FALSE(trace.empty());
+  // Trace timestamps are globally non-decreasing and span the run.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].t_s, trace[i - 1].t_s - 1e-9);
+  }
+  EXPECT_GE(trace.back().t_s + 2.0, seq.time_s * 0.99);
+  // Traced energy is close to the analytic sum.
+  double trace_e = 0.0;
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    trace_e += trace[i].power_w * (trace[i + 1].t_s - trace[i].t_s);
+  }
+  EXPECT_NEAR(trace_e / seq.energy_j, 1.0, 0.08);
+}
+
+TEST(PhaseRun, CapAffectsEveryPhase) {
+  const auto sim = make_sim();
+  const auto base = run_sequence(sim, phases(), PowerPolicy::none());
+  const auto capped =
+      run_sequence(sim, phases(), PowerPolicy::frequency(900.0));
+  for (std::size_t i = 0; i < base.phases.size(); ++i) {
+    EXPECT_GT(capped.phases[i].run.time_s, base.phases[i].run.time_s);
+    EXPECT_EQ(capped.phases[i].run.freq_mhz, 900.0);
+  }
+}
+
+}  // namespace
+}  // namespace exaeff::gpusim

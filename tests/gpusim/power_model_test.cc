@@ -1,0 +1,198 @@
+// Tests for the calibrated power model and the power-cap controller.
+// The calibration anchors are the paper's §IV-A measurements on MI250X.
+#include "gpusim/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "workloads/vai.h"
+
+namespace exaeff::gpusim {
+namespace {
+
+KernelDesc vai_kernel(double ai) {
+  return workloads::vai::make_kernel(mi250x_gcd(), ai);
+}
+
+// --- calibration anchors (paper §IV-A) --------------------------------
+
+TEST(PowerModel, IdlePowerAnchor) {
+  const DeviceSpec spec = mi250x_gcd();
+  const PowerModel pm(spec);
+  KernelDesc idleish;
+  idleish.name = "idle";
+  idleish.latency_s = 10.0;
+  idleish.latency_power_fraction = 0.0;
+  idleish.flops = 1.0;
+  EXPECT_NEAR(pm.power_at(idleish, spec.f_max_mhz), spec.idle_power_w, 2.0);
+}
+
+TEST(PowerModel, StreamAnchor380W) {
+  // AI = 1/16: HBM saturated, ALUs nearly idle -> ~380 W.
+  const PowerModel pm(mi250x_gcd());
+  EXPECT_NEAR(pm.power_at(vai_kernel(1.0 / 16.0), 1700.0), 380.0, 12.0);
+}
+
+TEST(PowerModel, RidgeAnchor540W) {
+  // AI = 4: memory and ALUs both saturated -> ~540 W, the only point
+  // approaching the 560 W TDP.
+  const PowerModel pm(mi250x_gcd());
+  EXPECT_NEAR(pm.power_at(vai_kernel(4.0), 1700.0), 540.0, 12.0);
+}
+
+TEST(PowerModel, ComputeAnchor420W) {
+  // AI >> ridge: ALUs saturated, HBM nearly idle -> ~420 W.
+  const PowerModel pm(mi250x_gcd());
+  EXPECT_NEAR(pm.power_at(vai_kernel(1024.0), 1700.0), 420.0, 12.0);
+}
+
+TEST(PowerModel, PeakPowerOccursAtRidge) {
+  const PowerModel pm(mi250x_gcd());
+  const double p_ridge = pm.power_at(vai_kernel(4.0), 1700.0);
+  for (double ai : workloads::vai::standard_intensities()) {
+    EXPECT_LE(pm.power_at(vai_kernel(ai), 1700.0), p_ridge + 1e-9)
+        << "AI = " << ai;
+  }
+}
+
+TEST(PowerModel, SteadyPowerNeverExceedsTdpForVai) {
+  // The paper: TDP is reached only at the ridge; steady power <= TDP.
+  const DeviceSpec spec = mi250x_gcd();
+  const PowerModel pm(spec);
+  for (double ai : workloads::vai::standard_intensities()) {
+    EXPECT_LE(pm.power_at(vai_kernel(ai), 1700.0), spec.tdp_w);
+  }
+}
+
+TEST(PowerModel, EnergyAtCombinesPowerAndTime) {
+  const DeviceSpec spec = mi250x_gcd();
+  const PowerModel pm(spec);
+  const ExecutionModel em(spec);
+  const auto k = vai_kernel(64.0);
+  const double e = pm.energy_at(k, 1300.0);
+  const auto t = em.timing(k, 1300.0);
+  EXPECT_NEAR(e, pm.steady_power(t, k) * t.time_s, 1e-6);
+}
+
+// --- frequency behaviour ------------------------------------------------
+
+TEST(PowerModel, MemoryBoundPowerDropsModeratelyWithClock) {
+  // Occupancy-bound HBM streams keep their bandwidth, so power falls only
+  // through the on-die share (Table III "MB": ~74-87%).
+  const PowerModel pm(mi250x_gcd());
+  KernelDesc k;
+  k.name = "mb";
+  k.hbm_bytes = 1e12;
+  k.l2_bytes = 1e12;
+  k.flops = 1e9;
+  k.issue_boundedness = 0.03;
+  const double ratio = pm.power_at(k, 900.0) / pm.power_at(k, 1700.0);
+  EXPECT_GT(ratio, 0.65);
+  EXPECT_LT(ratio, 0.90);
+}
+
+TEST(PowerModel, ComputeBoundPowerDropsSteeplyWithClock) {
+  // Table III "VAI": 53% at 900 MHz.
+  const PowerModel pm(mi250x_gcd());
+  const double ratio =
+      pm.power_at(vai_kernel(1024.0), 900.0) /
+      pm.power_at(vai_kernel(1024.0), 1700.0);
+  EXPECT_GT(ratio, 0.40);
+  EXPECT_LT(ratio, 0.60);
+}
+
+// --- power-cap controller ----------------------------------------------
+
+TEST(PowerCapController, UnconstrainedWhenCapAboveDemand) {
+  const DeviceSpec spec = mi250x_gcd();
+  const PowerCapController ctrl(spec);
+  const auto sol = ctrl.solve(vai_kernel(1024.0), 550.0);
+  EXPECT_EQ(sol.freq_mhz, spec.f_max_mhz);
+  EXPECT_FALSE(sol.breached);
+}
+
+TEST(PowerCapController, MeetsFeasibleCapAtReducedClock) {
+  const DeviceSpec spec = mi250x_gcd();
+  const PowerCapController ctrl(spec);
+  const auto sol = ctrl.solve(vai_kernel(1024.0), 300.0);
+  EXPECT_FALSE(sol.breached);
+  EXPECT_LT(sol.freq_mhz, spec.f_max_mhz);
+  EXPECT_GT(sol.freq_mhz, spec.cap_f_floor_mhz - 1.0);
+  EXPECT_LE(sol.power_w, 300.0 + 0.5);
+  // Highest admissible clock: 25 MHz more would break the cap.
+  const PowerModel pm(spec);
+  EXPECT_GT(pm.power_at(vai_kernel(1024.0), sol.freq_mhz + 25.0), 300.0);
+}
+
+TEST(PowerCapController, BreachesWhenHbmFloorExceedsCap) {
+  // The paper's Fig 6(d): 140 W / 200 W caps are breached under HBM
+  // traffic; the device throttles the fabric and still runs hot.
+  const DeviceSpec spec = mi250x_gcd();
+  const PowerCapController ctrl(spec);
+  KernelDesc k;
+  k.name = "hbm";
+  k.hbm_bytes = 1e12;
+  k.l2_bytes = 1e12;
+  k.flops = 1e9;
+  k.issue_boundedness = 0.03;
+  const auto sol = ctrl.solve(k, 140.0);
+  EXPECT_TRUE(sol.breached);
+  EXPECT_GT(sol.power_w, 140.0);
+  EXPECT_EQ(sol.fabric_factor, spec.fabric_floor);
+  EXPECT_NEAR(sol.freq_mhz, spec.cap_f_floor_mhz, 1.0);
+}
+
+TEST(PowerCapController, CacheResidentKernelMeetsLowCap) {
+  // When the data fits in L2, power stays strictly below the cap (paper:
+  // "the power usage is strictly below the max power cap").
+  const DeviceSpec spec = mi250x_gcd();
+  const PowerCapController ctrl(spec);
+  KernelDesc k;
+  k.name = "l2-resident";
+  k.l2_bytes = 1e13;
+  k.flops = 1e11;
+  const auto sol = ctrl.solve(k, 200.0);
+  EXPECT_FALSE(sol.breached);
+  EXPECT_LE(sol.power_w, 200.0 + 0.5);
+}
+
+TEST(PowerCapController, RejectsNonPositiveCap) {
+  const PowerCapController ctrl(mi250x_gcd());
+  EXPECT_THROW((void)ctrl.solve(vai_kernel(4.0), 0.0), Error);
+}
+
+// Property: for any feasible cap, the solution meets the cap; for any
+// kernel, the solved power is non-decreasing in the cap value.
+class CapSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapSweep, SolutionRespectsOrBreachesConsistently) {
+  const double cap = GetParam();
+  const DeviceSpec spec = mi250x_gcd();
+  const PowerCapController ctrl(spec);
+  for (double ai : {0.0625, 1.0, 4.0, 64.0, 1024.0}) {
+    const auto sol = ctrl.solve(vai_kernel(ai), cap);
+    if (sol.breached) {
+      EXPECT_GT(sol.power_w, cap);
+      EXPECT_NEAR(sol.freq_mhz, spec.cap_f_floor_mhz, 1.0);
+    } else {
+      EXPECT_LE(sol.power_w, cap + 0.5);
+    }
+  }
+}
+
+TEST_P(CapSweep, PowerMonotoneInCap) {
+  const double cap = GetParam();
+  const PowerCapController ctrl(mi250x_gcd());
+  const auto k = vai_kernel(4.0);
+  const auto tight = ctrl.solve(k, cap);
+  const auto loose = ctrl.solve(k, cap + 60.0);
+  EXPECT_LE(tight.power_w, loose.power_w + 1e-6);
+  EXPECT_LE(tight.freq_mhz, loose.freq_mhz + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Caps, CapSweep,
+                         ::testing::Values(140.0, 200.0, 300.0, 400.0,
+                                           500.0, 560.0));
+
+}  // namespace
+}  // namespace exaeff::gpusim

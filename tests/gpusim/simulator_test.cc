@@ -1,0 +1,188 @@
+// Tests for the GPU simulator: policy resolution, analytic vs traced
+// consistency, ramp/noise/boost behaviour of synthesized traces.
+#include "gpusim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/vai.h"
+
+namespace exaeff::gpusim {
+namespace {
+
+GpuSimulator make_sim() { return GpuSimulator(mi250x_gcd()); }
+
+KernelDesc vai(double ai) {
+  return exaeff::workloads::vai::make_kernel(mi250x_gcd(), ai);
+}
+
+TEST(GpuSimulator, UncappedRunsAtMaxClock) {
+  const auto sim = make_sim();
+  const auto r = sim.run(vai(64.0), PowerPolicy::none());
+  EXPECT_EQ(r.freq_mhz, sim.spec().f_max_mhz);
+  EXPECT_FALSE(r.cap_breached);
+  EXPECT_NEAR(r.energy_j, r.avg_power_w * r.time_s, 1e-6);
+}
+
+TEST(GpuSimulator, FrequencyCapSetsClock) {
+  const auto sim = make_sim();
+  const auto r = sim.run(vai(64.0), PowerPolicy::frequency(1300.0));
+  EXPECT_EQ(r.freq_mhz, 1300.0);
+}
+
+TEST(GpuSimulator, FrequencyCapSlowsComputeBoundProportionally) {
+  const auto sim = make_sim();
+  const auto base = sim.run(vai(1024.0), PowerPolicy::none());
+  const auto capped = sim.run(vai(1024.0), PowerPolicy::frequency(850.0));
+  EXPECT_NEAR(capped.time_s / base.time_s, 2.0, 0.01);
+}
+
+TEST(GpuSimulator, PowerCapOnlyAffectsExceedingKernels) {
+  // The paper: "a power limit only affects codes surpassing the limit,
+  // while a set frequency affects all."
+  const auto sim = make_sim();
+  const auto quiet = vai(1024.0);  // ~420 W
+  const auto base = sim.run(quiet, PowerPolicy::none());
+  const auto capped = sim.run(quiet, PowerPolicy::power(500.0));
+  EXPECT_EQ(capped.freq_mhz, base.freq_mhz);
+  EXPECT_NEAR(capped.time_s, base.time_s, 1e-9);
+
+  const auto loud = vai(4.0);  // ~540 W
+  const auto loud_capped = sim.run(loud, PowerPolicy::power(500.0));
+  EXPECT_LT(loud_capped.freq_mhz, base.freq_mhz);
+}
+
+TEST(GpuSimulator, CombinedPolicyTakesTheTighterBinding) {
+  const auto sim = make_sim();
+  PowerPolicy both;
+  both.freq_cap_mhz = 900.0;
+  both.power_cap_w = 500.0;
+  // 500 W allows ~1600 MHz for this kernel; the 900 MHz cap binds harder.
+  const auto r = sim.run(vai(1024.0), both);
+  EXPECT_EQ(r.freq_mhz, 900.0);
+
+  both.freq_cap_mhz = 1700.0;
+  both.power_cap_w = 300.0;
+  const auto r2 = sim.run(vai(1024.0), both);
+  EXPECT_LT(r2.freq_mhz, 1700.0);
+  EXPECT_LE(r2.avg_power_w, 300.5);
+}
+
+TEST(GpuSimulator, SettleReportsBreach) {
+  const auto sim = make_sim();
+  const auto sol = sim.settle(vai(1.0 / 16.0), PowerPolicy::power(150.0));
+  EXPECT_TRUE(sol.breached);
+  EXPECT_GT(sol.power_w, 150.0);
+}
+
+TEST(GpuSimulator, TracedEnergyTracksAnalyticEnergy) {
+  const auto sim = make_sim();
+  Rng rng(3);
+  std::vector<TracePoint> trace;
+  // Long enough that the start-of-run ramp is a small correction.
+  const auto kernel = vai(64.0).scaled(6.0);
+  const auto analytic = sim.run(kernel, PowerPolicy::none());
+  const auto traced =
+      sim.run_traced(kernel, PowerPolicy::none(), rng, trace);
+  EXPECT_FALSE(trace.empty());
+  // The traced energy is slightly lower (ramp from idle) but close.
+  EXPECT_NEAR(traced.energy_j / analytic.energy_j, 0.99, 0.04);
+}
+
+TEST(GpuSimulator, TraceStartsWithRamp) {
+  const auto sim = make_sim();
+  Rng rng(3);
+  std::vector<TracePoint> trace;
+  (void)sim.run_traced(vai(64.0), PowerPolicy::none(), rng, trace);
+  ASSERT_GT(trace.size(), 5u);
+  // First sample is near idle, later samples near steady power.
+  EXPECT_LT(trace.front().power_w, 150.0);
+  EXPECT_GT(trace[5].power_w, 300.0);
+}
+
+TEST(GpuSimulator, TraceRespectsSamplingPeriod) {
+  const auto sim = make_sim();
+  Rng rng(4);
+  std::vector<TracePoint> trace;
+  TraceOptions opts;
+  opts.dt_s = 2.0;
+  const auto r = sim.run_traced(vai(16.0), PowerPolicy::none(), rng, trace,
+                                opts);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace[i].t_s - trace[i - 1].t_s, 2.0, 1e-9);
+  }
+  EXPECT_GE(trace.back().t_s + opts.dt_s, r.time_s);
+}
+
+TEST(GpuSimulator, BoostOnlyForNearTdpUncappedRuns) {
+  const auto sim = make_sim();
+  const double tdp = sim.spec().tdp_w;
+
+  // Near-TDP kernel, uncapped: some samples may exceed TDP.
+  Rng rng(5);
+  std::vector<TracePoint> trace;
+  (void)sim.run_traced(vai(4.0).scaled(20.0), PowerPolicy::none(), rng,
+                       trace);
+  int boosted = 0;
+  for (const auto& p : trace) boosted += (p.power_w > tdp);
+  EXPECT_GT(boosted, 0);
+
+  // Power-capped run: never above the cap (plus sensor slack).
+  Rng rng2(5);
+  (void)sim.run_traced(vai(4.0).scaled(20.0), PowerPolicy::power(400.0),
+                       rng2, trace);
+  for (const auto& p : trace) EXPECT_LE(p.power_w, 400.0 * 1.02);
+
+  // Low-power kernel: no boost.
+  Rng rng3(5);
+  (void)sim.run_traced(vai(1024.0).scaled(5.0), PowerPolicy::none(), rng3,
+                       trace);
+  for (const auto& p : trace) EXPECT_LE(p.power_w, tdp);
+}
+
+TEST(GpuSimulator, TracedRunsAreDeterministicPerSeed) {
+  const auto sim = make_sim();
+  Rng a(42);
+  Rng b(42);
+  std::vector<TracePoint> ta;
+  std::vector<TracePoint> tb;
+  (void)sim.run_traced(vai(16.0), PowerPolicy::none(), a, ta);
+  (void)sim.run_traced(vai(16.0), PowerPolicy::none(), b, tb);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].power_w, tb[i].power_w);
+  }
+}
+
+TEST(PowerPolicy, LabelsAndValidation) {
+  EXPECT_EQ(PowerPolicy::none().label(), "uncapped");
+  EXPECT_EQ(PowerPolicy::frequency(1300.0).label(), "1300 MHz");
+  EXPECT_EQ(PowerPolicy::power(300.0).label(), "300 W");
+  PowerPolicy both;
+  both.freq_cap_mhz = 900.0;
+  both.power_cap_w = 250.0;
+  EXPECT_EQ(both.label(), "900 MHz + 250 W");
+  PowerPolicy bad;
+  bad.freq_cap_mhz = -1.0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+// Property: energy-to-solution at moderate frequency caps never exceeds
+// ~1.25x the uncapped energy for throughput-bound kernels (the paper's
+// core observation that capping saves or roughly preserves energy).
+class EnergySanity : public ::testing::TestWithParam<double> {};
+
+TEST_P(EnergySanity, ModerateCapsDoNotExplodeEnergy) {
+  const double ai = GetParam();
+  const auto sim = make_sim();
+  const auto base = sim.run(vai(ai), PowerPolicy::none());
+  for (double f : {1500.0, 1300.0, 1100.0}) {
+    const auto r = sim.run(vai(ai), PowerPolicy::frequency(f));
+    EXPECT_LT(r.energy_j / base.energy_j, 1.25) << "AI " << ai << " f " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, EnergySanity,
+                         ::testing::Values(0.0625, 0.5, 4.0, 64.0, 1024.0));
+
+}  // namespace
+}  // namespace exaeff::gpusim

@@ -1,0 +1,87 @@
+// Tests for the CSR graph container.
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace exaeff::graph {
+namespace {
+
+TEST(CsrGraph, TriangleBasics) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}};
+  const auto g = CsrGraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_NEAR(g.total_weight(), 3.0, 1e-12);
+}
+
+TEST(CsrGraph, BothDirectionsStored) {
+  const std::vector<Edge> edges = {{0, 1, 2.5}};
+  const auto g = CsrGraph::from_edges(2, edges);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0], 1);
+  ASSERT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0], 0);
+  EXPECT_EQ(g.weights(0)[0], 2.5);
+  EXPECT_NEAR(g.weighted_degree(0), 2.5, 1e-12);
+}
+
+TEST(CsrGraph, SelfLoopsDropped) {
+  const std::vector<Edge> edges = {{0, 0, 1.0}, {0, 1, 1.0}};
+  const auto g = CsrGraph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(CsrGraph, DuplicateEdgesMergeWeights) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 0, 2.0}, {0, 1, 3.0}};
+  const auto g = CsrGraph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_NEAR(g.weights(0)[0], 6.0, 1e-12);
+  EXPECT_NEAR(g.total_weight(), 6.0, 1e-12);
+}
+
+TEST(CsrGraph, InvalidEdgesRejected) {
+  const std::vector<Edge> out_of_range = {{0, 5, 1.0}};
+  EXPECT_THROW((void)CsrGraph::from_edges(2, out_of_range), Error);
+  const std::vector<Edge> bad_weight = {{0, 1, 0.0}};
+  EXPECT_THROW((void)CsrGraph::from_edges(2, bad_weight), Error);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  const auto g = CsrGraph::from_edges(4, {});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(CsrGraph, DegreeStatsStar) {
+  // Star graph: center degree n-1, leaves degree 1.
+  std::vector<Edge> edges;
+  for (VertexId v = 1; v < 9; ++v) edges.push_back({0, v, 1.0});
+  const auto g = CsrGraph::from_edges(9, edges);
+  const auto st = g.degree_stats();
+  EXPECT_EQ(st.d_max, 8u);
+  EXPECT_NEAR(st.d_avg, 16.0 / 9.0, 1e-9);
+  EXPECT_GT(st.cv(), 1.0);  // highly skewed
+}
+
+TEST(CsrGraph, DegreeStatsRegular) {
+  // Cycle: every vertex degree 2, zero variance.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 10; ++v) {
+    edges.push_back({v, static_cast<VertexId>((v + 1) % 10), 1.0});
+  }
+  const auto g = CsrGraph::from_edges(10, edges);
+  const auto st = g.degree_stats();
+  EXPECT_EQ(st.d_max, 2u);
+  EXPECT_NEAR(st.d_avg, 2.0, 1e-9);
+  EXPECT_NEAR(st.cv(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace exaeff::graph

@@ -1,0 +1,107 @@
+// Tests for the graph generators replacing the SNAP datasets.
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace exaeff::graph {
+namespace {
+
+TEST(Rmat, ProducesRequestedScale) {
+  Rng rng(1);
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8.0;
+  const auto g = rmat(p, rng);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  // Dedup and self-loop removal lose some edges but most survive.
+  EXPECT_GT(g.num_edges(), 4000u);
+  EXPECT_LE(g.num_edges(), 8192u);
+}
+
+TEST(Rmat, PowerLawSkew) {
+  Rng rng(2);
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8.0;
+  const auto g = rmat(p, rng);
+  const auto st = g.degree_stats();
+  // Heavy tail: the max degree dwarfs the average; CV well above a
+  // uniform random graph's.
+  EXPECT_GT(st.d_max, 20 * st.d_avg);
+  EXPECT_GT(st.cv(), 1.5);
+}
+
+TEST(Rmat, DeterministicFromRng) {
+  RmatParams p;
+  p.scale = 8;
+  Rng a(3);
+  Rng b(3);
+  const auto g1 = rmat(p, a);
+  const auto g2 = rmat(p, b);
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+}
+
+TEST(Rmat, ParameterValidation) {
+  Rng rng(1);
+  RmatParams p;
+  p.scale = 0;
+  EXPECT_THROW((void)rmat(p, rng), Error);
+  p.scale = 10;
+  p.a = 0.5;
+  p.b = 0.5;
+  p.c = 0.2;
+  EXPECT_THROW((void)rmat(p, rng), Error);
+}
+
+TEST(RoadGrid, BoundedDegree) {
+  Rng rng(4);
+  const auto g = road_grid(50, 50, 0.05, rng);
+  EXPECT_EQ(g.num_vertices(), 2500u);
+  const auto st = g.degree_stats();
+  // The paper's road network: d_max = 9, d_avg = 2.
+  EXPECT_LE(st.d_max, 9u);
+  EXPECT_GT(st.d_avg, 1.5);
+  EXPECT_LT(st.d_avg, 5.0);
+  EXPECT_LT(st.cv(), 0.6);  // nearly regular
+}
+
+TEST(RoadGrid, EdgeCountScalesWithArea) {
+  Rng rng(5);
+  const auto small = road_grid(10, 10, 0.0, rng);
+  const auto large = road_grid(20, 20, 0.0, rng);
+  // Pure lattice: 2wh - w - h edges.
+  EXPECT_EQ(small.num_edges(), 180u);
+  EXPECT_EQ(large.num_edges(), 760u);
+}
+
+TEST(RoadGrid, Validation) {
+  Rng rng(1);
+  EXPECT_THROW((void)road_grid(1, 10, 0.0, rng), Error);
+  EXPECT_THROW((void)road_grid(10, 10, 0.9, rng), Error);
+}
+
+TEST(NetworkSuite, CoversPaperRange) {
+  Rng rng(6);
+  const auto suite = paper_network_suite(rng);
+  ASSERT_GE(suite.size(), 5u);
+  std::size_t min_edges = SIZE_MAX;
+  std::size_t max_edges = 0;
+  bool has_social = false;
+  bool has_road = false;
+  for (const auto& n : suite) {
+    min_edges = std::min(min_edges, n.graph.num_edges());
+    max_edges = std::max(max_edges, n.graph.num_edges());
+    has_social |= n.power_law;
+    has_road |= !n.power_law;
+  }
+  // The paper uses networks of 3 K - 8 M edges.
+  EXPECT_LT(min_edges, 10000u);
+  EXPECT_GT(max_edges, 4000000u);
+  EXPECT_TRUE(has_social);
+  EXPECT_TRUE(has_road);
+}
+
+}  // namespace
+}  // namespace exaeff::graph

@@ -1,0 +1,144 @@
+// Tests for the Louvain -> GPU kernel mapping (the Fig 7 bridge).
+// The road/social contrast only emerges at realistic graph sizes (the
+// paper uses 2 M - 8 M edge networks), so the fixtures are built once.
+#include "graph/gpu_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "gpusim/simulator.h"
+#include "graph/generators.h"
+#include "graph/louvain.h"
+
+namespace exaeff::graph {
+namespace {
+
+struct Mapped {
+  gpusim::KernelDesc kernel;
+  DegreeStats stats;
+};
+
+Mapped map_social(int scale) {
+  Rng rng(31);
+  RmatParams p;
+  p.scale = scale;
+  const auto g = rmat(p, rng);
+  const auto run = louvain(g);
+  return Mapped{map_louvain_run(gpusim::mi250x_gcd(), g, run, {}),
+                g.degree_stats()};
+}
+
+Mapped map_road(std::size_t side) {
+  Rng rng(32);
+  const auto g = road_grid(side, side, 0.05, rng);
+  const auto run = louvain(g);
+  return Mapped{map_louvain_run(gpusim::mi250x_gcd(), g, run, {}),
+                g.degree_stats()};
+}
+
+class GpuMappingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    social_ = new Mapped(map_social(16));     // ~480 K edges, power law
+    road_ = new Mapped(map_road(500));        // ~510 K edges, bounded deg
+    social_small_ = new Mapped(map_social(12));
+  }
+  static void TearDownTestSuite() {
+    delete social_;
+    delete road_;
+    delete social_small_;
+    social_ = road_ = social_small_ = nullptr;
+  }
+  static Mapped* social_;
+  static Mapped* road_;
+  static Mapped* social_small_;
+};
+
+Mapped* GpuMappingTest::social_ = nullptr;
+Mapped* GpuMappingTest::road_ = nullptr;
+Mapped* GpuMappingTest::social_small_ = nullptr;
+
+TEST_F(GpuMappingTest, TrafficScalesWithEdgeScans) {
+  EXPECT_GT(social_->kernel.hbm_bytes,
+            3.0 * social_small_->kernel.hbm_bytes);
+  EXPECT_GT(social_->kernel.flops, 3.0 * social_small_->kernel.flops);
+}
+
+TEST_F(GpuMappingTest, RoadGraphsDivergeMoreThanSocial) {
+  // One thread per low-degree vertex starves the wavefront and walks the
+  // adjacency serially (paper §IV-C).
+  EXPECT_GT(road_->kernel.divergence, 5.0 * social_->kernel.divergence);
+}
+
+TEST_F(GpuMappingTest, RoadPowerWellBelowSocialPower) {
+  // Fig 7(a): the 8 M road network peaks at ~205 W — far below what a
+  // balanced social-network run draws.
+  const auto spec = gpusim::mi250x_gcd();
+  const gpusim::PowerModel pm(spec);
+  const double p_social = pm.power_at(social_->kernel, spec.f_max_mhz);
+  const double p_road = pm.power_at(road_->kernel, spec.f_max_mhz);
+  EXPECT_LT(p_road, 260.0);
+  EXPECT_GT(p_social, p_road + 30.0);
+}
+
+TEST_F(GpuMappingTest, RoadRuntimeMoreSensitiveToFrequency) {
+  // Fig 7: "the runtimes are less sensitive to frequencies [for social
+  // networks] compared to a road network".
+  const gpusim::GpuSimulator sim(gpusim::mi250x_gcd());
+  auto slowdown = [&](const gpusim::KernelDesc& k, double f) {
+    const auto base = sim.run(k, gpusim::PowerPolicy::none());
+    const auto low = sim.run(k, gpusim::PowerPolicy::frequency(f));
+    return low.time_s / base.time_s;
+  };
+  EXPECT_GT(slowdown(road_->kernel, 700.0),
+            slowdown(social_->kernel, 700.0) + 0.1);
+  EXPECT_GT(slowdown(road_->kernel, 900.0),
+            slowdown(social_->kernel, 900.0) + 0.08);
+}
+
+TEST_F(GpuMappingTest, SocialSavesEnergyAtNineHundredMhz) {
+  // §IV-C: the large social networks save energy at 900 MHz with a
+  // bounded runtime increase; the road network does not.
+  const gpusim::GpuSimulator sim(gpusim::mi250x_gcd());
+  const auto base = sim.run(social_->kernel, gpusim::PowerPolicy::none());
+  const auto capped =
+      sim.run(social_->kernel, gpusim::PowerPolicy::frequency(900.0));
+  EXPECT_LT(capped.energy_j, base.energy_j);
+  EXPECT_LT(capped.time_s / base.time_s, 1.45);
+
+  const auto road_base =
+      sim.run(road_->kernel, gpusim::PowerPolicy::none());
+  const auto road_capped =
+      sim.run(road_->kernel, gpusim::PowerPolicy::frequency(900.0));
+  EXPECT_GT(road_capped.energy_j, 0.98 * road_base.energy_j);
+}
+
+TEST_F(GpuMappingTest, RoadBenefitsFromModeratePowerCap) {
+  // §IV-C: the road network's ~205 W peak means a 220 W cap costs no
+  // runtime, while a 140 W cap is breached with a runtime penalty.
+  const gpusim::GpuSimulator sim(gpusim::mi250x_gcd());
+  const auto base = sim.run(road_->kernel, gpusim::PowerPolicy::none());
+  const auto mild =
+      sim.run(road_->kernel, gpusim::PowerPolicy::power(260.0));
+  EXPECT_NEAR(mild.time_s / base.time_s, 1.0, 0.02);
+
+  const auto harsh =
+      sim.run(road_->kernel, gpusim::PowerPolicy::power(140.0));
+  EXPECT_GT(harsh.time_s / base.time_s, 1.05);
+}
+
+TEST_F(GpuMappingTest, DegreeStatsInPaperRange) {
+  // The generated stand-ins match the paper's d_avg 2-23 / d_max <= 343
+  // envelope (road side).
+  EXPECT_LE(road_->stats.d_max, 9u);
+  EXPECT_GE(road_->stats.d_avg, 2.0);
+  EXPECT_LE(road_->stats.d_avg, 23.0);
+}
+
+TEST_F(GpuMappingTest, KernelValidatesAndNamed) {
+  EXPECT_NO_THROW(social_->kernel.validate());
+  EXPECT_EQ(social_->kernel.name, "louvain");
+  EXPECT_GT(social_->kernel.l2_bytes, social_->kernel.hbm_bytes);
+}
+
+}  // namespace
+}  // namespace exaeff::graph

@@ -1,0 +1,193 @@
+// Tests for the Louvain community-detection implementation: modularity
+// correctness, planted-community recovery, determinism and work stats.
+#include "graph/louvain.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "graph/generators.h"
+
+namespace exaeff::graph {
+namespace {
+
+/// Two dense cliques joined by a single bridge edge.
+CsrGraph two_cliques(int clique_size) {
+  std::vector<Edge> edges;
+  auto add_clique = [&edges](VertexId base, int n) {
+    for (VertexId i = 0; i < n; ++i) {
+      for (VertexId j = i + 1; j < n; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+  };
+  add_clique(0, clique_size);
+  add_clique(clique_size, clique_size);
+  edges.push_back(
+      {0, static_cast<VertexId>(clique_size), 1.0});  // bridge
+  return CsrGraph::from_edges(2 * clique_size, edges);
+}
+
+TEST(Modularity, SingletonPartitionOfCliqueIsNegative) {
+  const auto g = two_cliques(5);
+  std::vector<VertexId> singletons(g.num_vertices());
+  for (std::size_t v = 0; v < singletons.size(); ++v) {
+    singletons[v] = static_cast<VertexId>(v);
+  }
+  EXPECT_LT(modularity(g, singletons), 0.0);
+}
+
+TEST(Modularity, AllInOneCommunityIsZero) {
+  const auto g = two_cliques(5);
+  const std::vector<VertexId> one(g.num_vertices(), 0);
+  EXPECT_NEAR(modularity(g, one), 0.0, 1e-12);
+}
+
+TEST(Modularity, PlantedPartitionScoresHigh) {
+  const auto g = two_cliques(6);
+  std::vector<VertexId> planted(g.num_vertices());
+  for (std::size_t v = 0; v < planted.size(); ++v) {
+    planted[v] = v < 6 ? 0 : 1;
+  }
+  const double q = modularity(g, planted);
+  EXPECT_GT(q, 0.4);
+  EXPECT_LT(q, 0.51);  // Q is bounded by 0.5 + o(1) for two communities
+}
+
+TEST(Modularity, SizeMismatchThrows) {
+  const auto g = two_cliques(3);
+  const std::vector<VertexId> wrong(2, 0);
+  EXPECT_THROW((void)modularity(g, wrong), Error);
+}
+
+TEST(Louvain, RecoversTwoCliques) {
+  const auto g = two_cliques(8);
+  const auto result = louvain(g);
+  EXPECT_EQ(result.num_communities(), 2u);
+  // Every vertex of the first clique shares its community.
+  for (VertexId v = 1; v < 8; ++v) {
+    EXPECT_EQ(result.community[static_cast<std::size_t>(v)],
+              result.community[0]);
+  }
+  for (VertexId v = 9; v < 16; ++v) {
+    EXPECT_EQ(result.community[static_cast<std::size_t>(v)],
+              result.community[8]);
+  }
+  EXPECT_NE(result.community[0], result.community[8]);
+  EXPECT_GT(result.modularity, 0.4);
+}
+
+TEST(Louvain, ModularityMatchesReportedAssignment) {
+  const auto g = two_cliques(8);
+  const auto result = louvain(g);
+  EXPECT_NEAR(modularity(g, result.community), result.modularity, 1e-9);
+}
+
+TEST(Louvain, RingOfCliques) {
+  // Classic benchmark: k cliques arranged in a ring.
+  const int k = 6;
+  const int size = 5;
+  std::vector<Edge> edges;
+  for (int c = 0; c < k; ++c) {
+    const auto base = static_cast<VertexId>(c * size);
+    for (VertexId i = 0; i < size; ++i) {
+      for (VertexId j = i + 1; j < size; ++j) {
+        edges.push_back({base + i, base + j, 1.0});
+      }
+    }
+    const auto next = static_cast<VertexId>(((c + 1) % k) * size);
+    edges.push_back({base, next, 1.0});
+  }
+  const auto g = CsrGraph::from_edges(k * size, edges);
+  const auto result = louvain(g);
+  EXPECT_EQ(result.num_communities(), static_cast<std::size_t>(k));
+  EXPECT_GT(result.modularity, 0.6);
+}
+
+TEST(Louvain, DeterministicForFixedSeed) {
+  Rng rng(9);
+  RmatParams p;
+  p.scale = 10;
+  const auto g = rmat(p, rng);
+  LouvainParams params;
+  params.seed = 5;
+  const auto a = louvain(g, params);
+  const auto b = louvain(g, params);
+  EXPECT_EQ(a.modularity, b.modularity);
+  EXPECT_EQ(a.community, b.community);
+}
+
+TEST(Louvain, ImprovesOnRandomGraphs) {
+  Rng rng(10);
+  RmatParams p;
+  p.scale = 11;
+  const auto g = rmat(p, rng);
+  const auto result = louvain(g);
+  EXPECT_GT(result.modularity, 0.1);
+  EXPECT_LT(result.modularity, 1.0);
+  EXPECT_LT(result.num_communities(), g.num_vertices());
+}
+
+TEST(Louvain, RoadGraphFindsStrongCommunities) {
+  Rng rng(11);
+  const auto g = road_grid(40, 40, 0.05, rng);
+  const auto result = louvain(g);
+  // Lattices decompose into spatial tiles with high modularity.
+  EXPECT_GT(result.modularity, 0.6);
+}
+
+TEST(Louvain, PassStatsRecordWork) {
+  const auto g = two_cliques(8);
+  const auto result = louvain(g);
+  ASSERT_FALSE(result.passes.empty());
+  EXPECT_EQ(result.passes.front().vertices, g.num_vertices());
+  EXPECT_EQ(result.passes.front().edges, g.num_edges());
+  EXPECT_GT(result.passes.front().edge_scans, g.num_edges());
+  EXPECT_GT(result.passes.front().moves, 0u);
+  EXPECT_GT(result.total_edge_scans(), 0u);
+  // Levels shrink monotonically.
+  for (std::size_t i = 1; i < result.passes.size(); ++i) {
+    EXPECT_LT(result.passes[i].vertices, result.passes[i - 1].vertices);
+  }
+}
+
+TEST(Louvain, EmptyAndEdgelessGraphs) {
+  const auto empty = CsrGraph::from_edges(0, {});
+  const auto r0 = louvain(empty);
+  EXPECT_TRUE(r0.community.empty());
+
+  const auto isolated = CsrGraph::from_edges(5, {});
+  const auto r1 = louvain(isolated);
+  EXPECT_EQ(r1.community.size(), 5u);
+  EXPECT_EQ(r1.modularity, 0.0);
+}
+
+TEST(Louvain, ParamValidation) {
+  const auto g = two_cliques(3);
+  LouvainParams p;
+  p.max_passes = 0;
+  EXPECT_THROW((void)louvain(g, p), Error);
+  p = LouvainParams{};
+  p.max_iterations = 0;
+  EXPECT_THROW((void)louvain(g, p), Error);
+}
+
+// Property: modularity of the result is invariant to the seed's visiting
+// order up to small differences, and always beats the trivial partition.
+class LouvainSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LouvainSeeds, AlwaysBeatsTrivialPartitions) {
+  Rng rng(20);
+  RmatParams p;
+  p.scale = 9;
+  const auto g = rmat(p, rng);
+  LouvainParams params;
+  params.seed = GetParam();
+  const auto result = louvain(g, params);
+  EXPECT_GT(result.modularity, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LouvainSeeds,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 17ULL, 99ULL));
+
+}  // namespace
+}  // namespace exaeff::graph

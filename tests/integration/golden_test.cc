@@ -1,0 +1,86 @@
+// Golden snapshot: pins the exact deterministic outputs of the standard
+// seeded pipeline so silent behavioural drift fails loudly.  If a model
+// change legitimately moves these numbers, update the snapshot *and*
+// re-validate the EXPERIMENTS.md shape claims.
+#include <gtest/gtest.h>
+
+#include "core/accumulator.h"
+#include "core/characterization.h"
+#include "core/projection.h"
+#include "sched/fleetgen.h"
+
+namespace exaeff {
+namespace {
+
+TEST(Golden, CharacterizationAnchors) {
+  const auto table = core::characterize(gpusim::mi250x_gcd());
+  // Exact-model values (no randomness): tight tolerances.
+  const auto& vai1300 = table.at(core::BenchClass::kComputeIntensive,
+                                 core::CapType::kFrequency, 1300.0);
+  EXPECT_NEAR(vai1300.avg_power_pct, 74.0, 0.5);
+  EXPECT_NEAR(vai1300.runtime_pct, 128.3, 0.5);
+  const auto& mb900 = table.at(core::BenchClass::kMemoryIntensive,
+                               core::CapType::kFrequency, 900.0);
+  EXPECT_NEAR(mb900.energy_pct, 80.9, 0.8);
+  const auto& vai200 = table.at(core::BenchClass::kComputeIntensive,
+                                core::CapType::kPower, 200.0);
+  EXPECT_NEAR(vai200.runtime_pct, 214.0, 2.0);
+}
+
+TEST(Golden, StandardCampaignSnapshot) {
+  // The standard seed used by every bench binary.
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(24);
+  cfg.duration_s = 2.0 * units::kDay;
+  cfg.seed = 0xF50;
+  const auto gcd = cfg.system.node.gcd;
+  const auto library = workloads::make_profile_library(gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  core::CampaignAccumulator acc(cfg.telemetry_window_s,
+                                core::derive_boundaries(gcd));
+  gen.generate_telemetry(log, acc);
+
+  // Structural snapshot (exact integers are stable under the fixed seed).
+  EXPECT_GT(log.size(), 60u);
+  EXPECT_LT(log.size(), 400u);
+  const auto d = acc.decomposition();
+  // Region occupancy within the tuned band.
+  EXPECT_NEAR(d.hours_pct(core::Region::kLatencyBound), 31.0, 7.0);
+  EXPECT_NEAR(d.hours_pct(core::Region::kMemoryIntensive), 51.0, 8.0);
+  EXPECT_NEAR(d.hours_pct(core::Region::kComputeIntensive), 17.0, 7.0);
+
+  // Determinism of the exact totals: re-run and compare bit-for-bit.
+  core::CampaignAccumulator acc2(cfg.telemetry_window_s,
+                                 core::derive_boundaries(gcd));
+  gen.generate_telemetry(gen.generate_schedule(), acc2);
+  EXPECT_EQ(acc.gcd_sample_count(), acc2.gcd_sample_count());
+  EXPECT_EQ(acc.total_gpu_energy_j(), acc2.total_gpu_energy_j());
+}
+
+TEST(Golden, ProjectionHeadline) {
+  // The repository's headline claim (README/EXPERIMENTS): the best
+  // zero-slowdown point is 900 MHz and saves high-single to low-double
+  // digit percent.
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(24);
+  cfg.duration_s = 3.0 * units::kDay;
+  cfg.seed = 0xF50;
+  const auto gcd = cfg.system.node.gcd;
+  const auto library = workloads::make_profile_library(gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  core::CampaignAccumulator acc(cfg.telemetry_window_s,
+                                core::derive_boundaries(gcd));
+  gen.generate_telemetry(gen.generate_schedule(), acc);
+
+  const auto table = core::characterize(gcd);
+  const core::ProjectionEngine engine(table);
+  const auto best = engine.best_no_slowdown(acc.decomposition(),
+                                            core::CapType::kFrequency);
+  EXPECT_EQ(best.setting, 900.0);
+  EXPECT_GT(best.savings_pct_no_slowdown, 7.0);
+  EXPECT_LT(best.savings_pct_no_slowdown, 16.0);
+}
+
+}  // namespace
+}  // namespace exaeff

@@ -1,0 +1,54 @@
+// Tests for the science-domain taxonomy and project-id prefix recovery.
+#include "sched/domain.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+
+namespace exaeff::sched {
+namespace {
+
+TEST(Domain, AllDomainsHaveUniqueCodes) {
+  std::set<std::string_view> codes;
+  for (auto d : all_domains()) {
+    codes.insert(domain_code(d));
+    EXPECT_EQ(domain_code(d).size(), 3u);
+    EXPECT_FALSE(domain_name(d).empty());
+  }
+  EXPECT_EQ(codes.size(), kDomainCount);
+}
+
+TEST(Domain, ProjectIdRoundTrip) {
+  for (auto d : all_domains()) {
+    const std::string pid = make_project_id(d, 42);
+    EXPECT_EQ(domain_from_project_id(pid), d);
+    EXPECT_EQ(pid.substr(0, 3), domain_code(d));
+  }
+}
+
+TEST(Domain, ProjectIdNumberEmbedded) {
+  EXPECT_EQ(make_project_id(ScienceDomain::kChemistry, 7), "CHM007");
+  EXPECT_EQ(make_project_id(ScienceDomain::kBiology, 123), "BIO123");
+}
+
+TEST(Domain, UnknownPrefixThrows) {
+  EXPECT_THROW((void)domain_from_project_id("XXX001"), ParseError);
+  EXPECT_THROW((void)domain_from_project_id(""), ParseError);
+}
+
+class DomainSweep : public ::testing::TestWithParam<ScienceDomain> {};
+
+TEST_P(DomainSweep, PrefixRecoveryForEveryProjectNumber) {
+  const auto d = GetParam();
+  for (unsigned n : {0u, 1u, 99u, 999u}) {
+    EXPECT_EQ(domain_from_project_id(make_project_id(d, n)), d);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DomainSweep,
+                         ::testing::ValuesIn(all_domains()));
+
+}  // namespace
+}  // namespace exaeff::sched

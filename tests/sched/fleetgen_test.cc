@@ -1,0 +1,225 @@
+// Tests for the synthetic campaign generator: schedule validity,
+// determinism, domain mix, and joined-vs-unjoined telemetry consistency.
+#include "sched/fleetgen.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/units.h"
+
+namespace exaeff::sched {
+namespace {
+
+CampaignConfig small_config() {
+  CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(24);
+  cfg.duration_s = 12.0 * units::kHour;
+  cfg.seed = 7;
+  return cfg;
+}
+
+class FleetgenTest : public ::testing::Test {
+ protected:
+  FleetgenTest()
+      : library_(workloads::make_profile_library(gpusim::mi250x_gcd())) {}
+  workloads::ProfileLibrary library_;
+};
+
+/// Sink that records every joined sample.
+struct RecordingSink final : JobSampleSink {
+  struct Rec {
+    telemetry::GcdSample sample;
+    std::uint64_t job_id;
+  };
+  std::vector<Rec> records;
+  std::size_t node_records = 0;
+
+  void on_job_sample(const telemetry::GcdSample& s, const Job& j) override {
+    records.push_back(Rec{s, j.job_id});
+  }
+  void on_node_sample(const telemetry::NodeSample&) override {
+    ++node_records;
+  }
+};
+
+TEST_F(FleetgenTest, ScheduleIsDeterministic) {
+  const FleetGenerator gen(small_config(), library_);
+  const auto a = gen.generate_schedule();
+  const auto b = gen.generate_schedule();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].job_id, b.jobs()[i].job_id);
+    EXPECT_EQ(a.jobs()[i].begin_s, b.jobs()[i].begin_s);
+    EXPECT_EQ(a.jobs()[i].nodes, b.jobs()[i].nodes);
+  }
+}
+
+TEST_F(FleetgenTest, DifferentSeedsGiveDifferentSchedules) {
+  auto cfg = small_config();
+  const FleetGenerator g1(cfg, library_);
+  cfg.seed = 8;
+  const FleetGenerator g2(cfg, library_);
+  const auto a = g1.generate_schedule();
+  const auto b = g2.generate_schedule();
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.jobs()[i].begin_s != b.jobs()[i].begin_s ||
+              a.jobs()[i].num_nodes != b.jobs()[i].num_nodes;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(FleetgenTest, JobsRespectWalltimeAndMachineBounds) {
+  const auto cfg = small_config();
+  const FleetGenerator gen(cfg, library_);
+  const auto log = gen.generate_schedule();
+  ASSERT_GT(log.size(), 10u);
+  const SchedulingPolicy policy(
+      static_cast<std::uint32_t>(cfg.system.compute_nodes));
+  for (const Job& j : log.jobs()) {
+    EXPECT_GE(j.num_nodes, 1u);
+    EXPECT_LE(j.num_nodes, cfg.system.compute_nodes);
+    EXPECT_LE(j.duration_s(),
+              SchedulingPolicy::max_walltime_s(j.bin) + 1e-6);
+    EXPECT_EQ(j.bin, policy.bin_of(j.num_nodes));
+    EXPECT_EQ(j.domain, domain_from_project_id(j.project_id));
+    EXPECT_LE(j.end_s, cfg.duration_s + 1e-6);
+    for (auto n : j.nodes) EXPECT_LT(n, cfg.system.compute_nodes);
+  }
+}
+
+TEST_F(FleetgenTest, NoNodeRunsTwoJobsAtOnce) {
+  const FleetGenerator gen(small_config(), library_);
+  // build_index throws on overlap, so surviving it proves the invariant.
+  EXPECT_NO_THROW((void)gen.generate_schedule());
+}
+
+TEST_F(FleetgenTest, TelemetrySamplesLieWithinTheirJobs) {
+  const auto cfg = small_config();
+  const FleetGenerator gen(cfg, library_);
+  const auto log = gen.generate_schedule();
+  RecordingSink sink;
+  gen.generate_telemetry(log, sink);
+  ASSERT_GT(sink.records.size(), 1000u);
+
+  std::map<std::uint64_t, const Job*> by_id;
+  for (const Job& j : log.jobs()) by_id[j.job_id] = &j;
+  for (const auto& r : sink.records) {
+    const Job* j = by_id.at(r.job_id);
+    EXPECT_GE(r.sample.t_s, j->begin_s);
+    EXPECT_LT(r.sample.t_s, j->end_s);
+    EXPECT_LT(r.sample.gcd_index, 8);
+    EXPECT_GE(r.sample.power_w, 80.0F);
+    EXPECT_LE(r.sample.power_w,
+              static_cast<float>(cfg.system.node.gcd.boost_power_w));
+  }
+}
+
+TEST_F(FleetgenTest, JoinedSamplesAgreeWithSchedulerJoin) {
+  // The generator emits (sample, job) pairs; joining the bare sample
+  // against the scheduler log must find the same job — this validates
+  // the paper's telemetry/scheduler-log join path.
+  const auto cfg = small_config();
+  const FleetGenerator gen(cfg, library_);
+  const auto log = gen.generate_schedule();
+  RecordingSink sink;
+  gen.generate_telemetry(log, sink);
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < sink.records.size(); i += 97) {
+    const auto& r = sink.records[i];
+    const auto join = log.job_at(r.sample.node_id, r.sample.t_s);
+    ASSERT_TRUE(join.has_value());
+    EXPECT_EQ(log.jobs()[*join].job_id, r.job_id);
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST_F(FleetgenTest, TelemetryWindowSpacing) {
+  const auto cfg = small_config();
+  const FleetGenerator gen(cfg, library_);
+  const auto log = gen.generate_schedule();
+  RecordingSink sink;
+  gen.generate_telemetry(log, sink);
+  for (const auto& r : sink.records) {
+    const double frac = std::fmod(r.sample.t_s, cfg.telemetry_window_s);
+    EXPECT_NEAR(frac, 0.0, 1e-6);
+  }
+}
+
+TEST_F(FleetgenTest, NodeSamplesOnlyWhenEnabled) {
+  auto cfg = small_config();
+  const FleetGenerator gen(cfg, library_);
+  const auto log = gen.generate_schedule();
+  RecordingSink sink;
+  gen.generate_telemetry(log, sink);
+  EXPECT_EQ(sink.node_records, 0u);
+
+  cfg.emit_node_samples = true;
+  const FleetGenerator gen2(cfg, library_);
+  RecordingSink sink2;
+  gen2.generate_telemetry(gen2.generate_schedule(), sink2);
+  EXPECT_GT(sink2.node_records, 0u);
+}
+
+TEST_F(FleetgenTest, AllDomainsAppearInALongCampaign) {
+  auto cfg = small_config();
+  cfg.duration_s = 3.0 * units::kDay;
+  const FleetGenerator gen(cfg, library_);
+  const auto log = gen.generate_schedule();
+  std::array<int, kDomainCount> count{};
+  for (const Job& j : log.jobs()) {
+    ++count[static_cast<std::size_t>(j.domain)];
+  }
+  for (std::size_t d = 0; d < kDomainCount; ++d) {
+    EXPECT_GT(count[d], 0) << "domain " << d << " never scheduled";
+  }
+}
+
+TEST_F(FleetgenTest, ProfileMappingCoversAllDomains) {
+  const FleetGenerator gen(small_config(), library_);
+  for (auto d : all_domains()) {
+    EXPECT_FALSE(gen.profile_for(d).empty());
+  }
+}
+
+TEST_F(FleetgenTest, ConfigValidation) {
+  auto cfg = small_config();
+  cfg.duration_s = -1.0;
+  EXPECT_THROW(FleetGenerator(cfg, library_), Error);
+  cfg = small_config();
+  cfg.noise_rho = 1.0;
+  EXPECT_THROW(FleetGenerator(cfg, library_), Error);
+  cfg = small_config();
+  cfg.boost_sample_probability = 2.0;
+  EXPECT_THROW(FleetGenerator(cfg, library_), Error);
+}
+
+TEST_F(FleetgenTest, DomainTraitsSumToRoughlyOne) {
+  const auto traits = FleetGenerator::default_domain_traits();
+  double sum = 0.0;
+  for (const auto& t : traits) {
+    sum += t.hour_weight;
+    double bin_sum = 0.0;
+    for (double b : t.bin_hour_share) bin_sum += b;
+    EXPECT_NEAR(bin_sum, 1.0, 0.02);
+  }
+  EXPECT_NEAR(sum, 1.0, 0.02);
+}
+
+TEST_F(FleetgenTest, HighUtilizationAchieved) {
+  // The packing allocator should keep the fleet busy (Frontier runs at
+  // ~90%+ allocation).
+  auto cfg = small_config();
+  cfg.duration_s = 2.0 * units::kDay;
+  const FleetGenerator gen(cfg, library_);
+  const auto log = gen.generate_schedule();
+  const double capacity_hours =
+      cfg.duration_s / 3600.0 * cfg.system.compute_nodes * 8;
+  EXPECT_GT(log.total_gpu_hours(8) / capacity_hours, 0.80);
+}
+
+}  // namespace
+}  // namespace exaeff::sched

@@ -1,0 +1,107 @@
+// Tests for the scheduler log and the telemetry join (job_at).
+#include "sched/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace exaeff::sched {
+namespace {
+
+Job make_job(std::uint64_t id, ScienceDomain domain, double begin,
+             double end, std::vector<std::uint32_t> nodes) {
+  Job j;
+  j.job_id = id;
+  j.domain = domain;
+  j.project_id = make_project_id(domain, 1);
+  j.num_nodes = static_cast<std::uint32_t>(nodes.size());
+  j.begin_s = begin;
+  j.end_s = end;
+  j.nodes = std::move(nodes);
+  return j;
+}
+
+TEST(SchedulerLog, JobAtFindsRunningJob) {
+  SchedulerLog log;
+  log.add_job(make_job(1, ScienceDomain::kChemistry, 0.0, 100.0, {0, 1}));
+  log.add_job(make_job(2, ScienceDomain::kBiology, 150.0, 300.0, {1, 2}));
+  log.build_index(4);
+
+  EXPECT_EQ(log.job_at(0, 50.0).value(), 0u);
+  EXPECT_EQ(log.job_at(1, 50.0).value(), 0u);
+  EXPECT_EQ(log.job_at(1, 200.0).value(), 1u);
+  EXPECT_EQ(log.job_at(2, 200.0).value(), 1u);
+  EXPECT_FALSE(log.job_at(3, 50.0).has_value());   // never allocated
+  EXPECT_FALSE(log.job_at(0, 120.0).has_value());  // idle gap
+  EXPECT_FALSE(log.job_at(1, 120.0).has_value());
+}
+
+TEST(SchedulerLog, IntervalBoundsAreHalfOpen) {
+  SchedulerLog log;
+  log.add_job(make_job(1, ScienceDomain::kCfd, 10.0, 20.0, {0}));
+  log.build_index(1);
+  EXPECT_FALSE(log.job_at(0, 9.999).has_value());
+  EXPECT_TRUE(log.job_at(0, 10.0).has_value());
+  EXPECT_TRUE(log.job_at(0, 19.999).has_value());
+  EXPECT_FALSE(log.job_at(0, 20.0).has_value());
+}
+
+TEST(SchedulerLog, JobAtRequiresIndex) {
+  SchedulerLog log;
+  log.add_job(make_job(1, ScienceDomain::kCfd, 0.0, 1.0, {0}));
+  EXPECT_THROW((void)log.job_at(0, 0.5), Error);
+}
+
+TEST(SchedulerLog, OverlappingJobsOnNodeRejected) {
+  SchedulerLog log;
+  log.add_job(make_job(1, ScienceDomain::kCfd, 0.0, 100.0, {0}));
+  log.add_job(make_job(2, ScienceDomain::kCfd, 50.0, 150.0, {0}));
+  EXPECT_THROW(log.build_index(1), Error);
+}
+
+TEST(SchedulerLog, AddJobValidation) {
+  SchedulerLog log;
+  Job j = make_job(1, ScienceDomain::kCfd, 10.0, 10.0, {0});
+  EXPECT_THROW(log.add_job(j), Error);  // zero duration
+  Job j2 = make_job(1, ScienceDomain::kCfd, 0.0, 10.0, {0, 1});
+  j2.num_nodes = 1;  // mismatch
+  EXPECT_THROW(log.add_job(j2), Error);
+}
+
+TEST(SchedulerLog, NodeBeyondSystemRejectedAtIndex) {
+  SchedulerLog log;
+  log.add_job(make_job(1, ScienceDomain::kCfd, 0.0, 1.0, {5}));
+  EXPECT_THROW(log.build_index(4), Error);
+}
+
+TEST(SchedulerLog, GpuHoursAccounting) {
+  SchedulerLog log;
+  log.add_job(make_job(1, ScienceDomain::kCfd, 0.0, 3600.0, {0, 1}));
+  // 2 nodes x 8 GCD x 1 h = 16 GPU-hours.
+  EXPECT_NEAR(log.total_gpu_hours(8), 16.0, 1e-9);
+}
+
+TEST(SchedulerLog, CsvRoundTrip) {
+  SchedulerLog log;
+  log.add_job(make_job(42, ScienceDomain::kAstro, 100.0, 5000.0, {3, 5, 9}));
+  log.add_job(make_job(43, ScienceDomain::kFusion, 200.0, 900.0, {1}));
+  std::stringstream ss;
+  log.save_csv(ss);
+
+  const SchedulingPolicy policy(128);
+  SchedulerLog loaded = SchedulerLog::load_csv(ss, policy);
+  ASSERT_EQ(loaded.size(), 2u);
+  const Job& j = loaded.jobs()[0];
+  EXPECT_EQ(j.job_id, 42u);
+  EXPECT_EQ(j.domain, ScienceDomain::kAstro);
+  EXPECT_EQ(j.num_nodes, 3u);
+  EXPECT_EQ(j.nodes, (std::vector<std::uint32_t>{3, 5, 9}));
+  EXPECT_EQ(j.begin_s, 100.0);
+  EXPECT_EQ(j.end_s, 5000.0);
+  EXPECT_EQ(j.bin, policy.bin_of(3));
+}
+
+}  // namespace
+}  // namespace exaeff::sched

@@ -1,0 +1,88 @@
+// Tests for the Frontier scheduling policy (paper Table VII).
+#include "sched/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace exaeff::sched {
+namespace {
+
+TEST(SchedulingPolicy, TableViiBinsExactAtFrontierScale) {
+  const SchedulingPolicy policy(9408);
+  // Table VII boundaries.
+  EXPECT_EQ(policy.bin_of(9408), SizeBin::kA);
+  EXPECT_EQ(policy.bin_of(5645), SizeBin::kA);
+  EXPECT_EQ(policy.bin_of(5644), SizeBin::kB);
+  EXPECT_EQ(policy.bin_of(1882), SizeBin::kB);
+  EXPECT_EQ(policy.bin_of(1881), SizeBin::kC);
+  EXPECT_EQ(policy.bin_of(184), SizeBin::kC);
+  EXPECT_EQ(policy.bin_of(183), SizeBin::kD);
+  EXPECT_EQ(policy.bin_of(92), SizeBin::kD);
+  EXPECT_EQ(policy.bin_of(91), SizeBin::kE);
+  EXPECT_EQ(policy.bin_of(1), SizeBin::kE);
+}
+
+TEST(SchedulingPolicy, TableViiWalltimes) {
+  EXPECT_EQ(SchedulingPolicy::max_walltime_s(SizeBin::kA), 12.0 * 3600);
+  EXPECT_EQ(SchedulingPolicy::max_walltime_s(SizeBin::kB), 12.0 * 3600);
+  EXPECT_EQ(SchedulingPolicy::max_walltime_s(SizeBin::kC), 12.0 * 3600);
+  EXPECT_EQ(SchedulingPolicy::max_walltime_s(SizeBin::kD), 6.0 * 3600);
+  EXPECT_EQ(SchedulingPolicy::max_walltime_s(SizeBin::kE), 2.0 * 3600);
+}
+
+TEST(SchedulingPolicy, NodeRangesPartitionTheMachine) {
+  const SchedulingPolicy policy(9408);
+  std::uint32_t covered = 0;
+  std::uint32_t prev_hi = 0;
+  for (auto b : {SizeBin::kE, SizeBin::kD, SizeBin::kC, SizeBin::kB,
+                 SizeBin::kA}) {
+    const auto [lo, hi] = policy.node_range(b);
+    EXPECT_LE(lo, hi);
+    if (covered > 0) EXPECT_EQ(lo, prev_hi + 1);
+    covered += hi - lo + 1;
+    prev_hi = hi;
+  }
+  EXPECT_EQ(covered, 9408u);
+}
+
+TEST(SchedulingPolicy, BinOfValidatesRange) {
+  const SchedulingPolicy policy(100);
+  EXPECT_THROW((void)policy.bin_of(0), Error);
+  EXPECT_THROW((void)policy.bin_of(101), Error);
+}
+
+TEST(SchedulingPolicy, RejectsTinySystems) {
+  EXPECT_THROW(SchedulingPolicy(4), Error);
+}
+
+// Property: at every fleet scale the bin mapping is monotone (more nodes
+// never yields a smaller bin) and every bin is reachable.
+class PolicyScales : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PolicyScales, MonotoneAndComplete) {
+  const SchedulingPolicy policy(GetParam());
+  int prev = static_cast<int>(SizeBin::kE);
+  std::set<int> seen;
+  for (std::uint32_t n = 1; n <= GetParam(); ++n) {
+    const int bin = static_cast<int>(policy.bin_of(n));
+    // A=0 < B < C < D < E=4: bin index must be non-increasing with n.
+    EXPECT_LE(bin, prev);
+    prev = bin;
+    seen.insert(bin);
+  }
+  // Tiny fleets legitimately collapse the smallest bins (C's fractional
+  // lower bound rounds to a single node); all five bins must be reachable
+  // once the fleet is large enough to separate them.
+  if (GetParam() >= 128) {
+    EXPECT_EQ(seen.size(), kSizeBinCount);
+  } else {
+    EXPECT_GE(seen.size(), 3u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, PolicyScales,
+                         ::testing::Values(16u, 64u, 128u, 512u, 9408u));
+
+}  // namespace
+}  // namespace exaeff::sched

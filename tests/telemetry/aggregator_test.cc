@@ -1,0 +1,124 @@
+// Tests for the 2s -> 15s telemetry aggregation stage.
+#include "telemetry/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "telemetry/store.h"
+
+namespace exaeff::telemetry {
+namespace {
+
+GcdSample sample(double t, std::uint32_t node, std::uint16_t gcd, float p) {
+  GcdSample s;
+  s.t_s = t;
+  s.node_id = node;
+  s.gcd_index = gcd;
+  s.power_w = p;
+  return s;
+}
+
+TEST(Aggregator, WindowMeanEmittedOnBoundary) {
+  TelemetryStore store(15.0);
+  Aggregator agg(store, 15.0);
+  // Seven 2 s samples fill the first 15 s window (t = 0..14).
+  for (int i = 0; i < 7; ++i) {
+    agg.on_gcd_sample(sample(2.0 * i, 0, 0, 100.0F + 10.0F * i));
+  }
+  EXPECT_TRUE(store.empty());  // window not yet closed
+  agg.on_gcd_sample(sample(16.0, 0, 0, 500.0F));
+  ASSERT_EQ(store.size(), 1u);
+  // Mean of 100..160 step 10 = 130.
+  EXPECT_NEAR(store.gcd_samples()[0].power_w, 130.0, 1e-4);
+  EXPECT_EQ(store.gcd_samples()[0].t_s, 0.0);
+}
+
+TEST(Aggregator, FlushEmitsPartialWindows) {
+  TelemetryStore store(15.0);
+  Aggregator agg(store, 15.0);
+  agg.on_gcd_sample(sample(0.0, 1, 2, 100.0F));
+  agg.on_gcd_sample(sample(2.0, 1, 2, 200.0F));
+  agg.flush();
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_NEAR(store.gcd_samples()[0].power_w, 150.0, 1e-4);
+  EXPECT_EQ(store.gcd_samples()[0].node_id, 1u);
+  EXPECT_EQ(store.gcd_samples()[0].gcd_index, 2u);
+  // Flush is idempotent.
+  agg.flush();
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Aggregator, ChannelsAreIndependent) {
+  TelemetryStore store(15.0);
+  Aggregator agg(store, 15.0);
+  agg.on_gcd_sample(sample(0.0, 0, 0, 100.0F));
+  agg.on_gcd_sample(sample(0.0, 0, 1, 300.0F));
+  agg.on_gcd_sample(sample(0.0, 1, 0, 500.0F));
+  agg.flush();
+  ASSERT_EQ(store.size(), 3u);
+  double sum = 0.0;
+  for (const auto& s : store.gcd_samples()) sum += s.power_w;
+  EXPECT_NEAR(sum, 900.0, 1e-3);
+}
+
+TEST(Aggregator, WindowAlignmentToMultiples) {
+  TelemetryStore store(15.0);
+  Aggregator agg(store, 15.0);
+  agg.on_gcd_sample(sample(31.0, 0, 0, 100.0F));  // window [30, 45)
+  agg.on_gcd_sample(sample(47.0, 0, 0, 200.0F));  // window [45, 60)
+  agg.flush();
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.gcd_samples()[0].t_s, 30.0);
+  EXPECT_EQ(store.gcd_samples()[1].t_s, 45.0);
+}
+
+TEST(Aggregator, NodeChannelAggregated) {
+  TelemetryStore store(15.0);
+  Aggregator agg(store, 15.0);
+  NodeSample n;
+  n.t_s = 0.0;
+  n.node_id = 3;
+  n.cpu_power_w = 100.0F;
+  n.node_input_w = 1000.0F;
+  agg.on_node_sample(n);
+  n.t_s = 2.0;
+  n.cpu_power_w = 200.0F;
+  n.node_input_w = 2000.0F;
+  agg.on_node_sample(n);
+  agg.flush();
+  ASSERT_EQ(store.node_samples().size(), 1u);
+  EXPECT_NEAR(store.node_samples()[0].cpu_power_w, 150.0, 1e-4);
+  EXPECT_NEAR(store.node_samples()[0].node_input_w, 1500.0, 1e-3);
+}
+
+TEST(Aggregator, RejectsBadWindow) {
+  TelemetryStore store;
+  EXPECT_THROW(Aggregator(store, 0.0), Error);
+  EXPECT_THROW(Aggregator(store, -15.0), Error);
+}
+
+// Property: for a constant input signal the aggregated value equals the
+// input for any window length.
+class AggregatorWindows : public ::testing::TestWithParam<double> {};
+
+TEST_P(AggregatorWindows, ConstantSignalIsPreserved) {
+  const double window = GetParam();
+  TelemetryStore store(window);
+  Aggregator agg(store, window);
+  for (double t = 0.0; t < 10.0 * window; t += 2.0) {
+    agg.on_gcd_sample(sample(t, 0, 0, 333.0F));
+  }
+  agg.flush();
+  ASSERT_GE(store.size(), 5u);
+  for (const auto& s : store.gcd_samples()) {
+    EXPECT_NEAR(s.power_w, 333.0, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, AggregatorWindows,
+                         ::testing::Values(4.0, 15.0, 30.0, 60.0));
+
+}  // namespace
+}  // namespace exaeff::telemetry

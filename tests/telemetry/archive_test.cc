@@ -1,0 +1,106 @@
+// Tests for the file-backed telemetry archive.
+#include "telemetry/archive.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace exaeff::telemetry {
+namespace {
+
+std::vector<GcdSample> make_samples(std::size_t per_channel) {
+  std::vector<GcdSample> samples;
+  Rng rng(8);
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    for (std::uint16_t gcd = 0; gcd < 4; ++gcd) {
+      double p = 280.0;
+      for (std::size_t i = 0; i < per_channel; ++i) {
+        p += rng.normal(0.0, 3.0);
+        GcdSample s;
+        s.t_s = 15.0 * static_cast<double>(i);
+        s.node_id = node;
+        s.gcd_index = gcd;
+        s.power_w = static_cast<float>(p);
+        samples.push_back(s);
+      }
+    }
+  }
+  return samples;
+}
+
+TEST(Archive, RoundTrip) {
+  const auto samples = make_samples(200);
+  std::stringstream ss;
+  const auto info = write_archive(ss, samples);
+  EXPECT_EQ(info.records, samples.size());
+  EXPECT_EQ(info.t_min_s, 0.0);
+  EXPECT_EQ(info.t_max_s, 15.0 * 199);
+
+  const auto decoded = read_archive(ss);
+  ASSERT_EQ(decoded.size(), samples.size());
+  double sum_in = 0.0;
+  double sum_out = 0.0;
+  for (const auto& s : samples) sum_in += s.power_w;
+  for (const auto& s : decoded) sum_out += s.power_w;
+  EXPECT_NEAR(sum_out, sum_in, 0.125 * static_cast<double>(samples.size()));
+}
+
+TEST(Archive, InfoWithoutFullDecode) {
+  const auto samples = make_samples(50);
+  std::stringstream ss;
+  const auto written = write_archive(ss, samples);
+  const auto info = read_archive_info(ss);
+  EXPECT_EQ(info.records, written.records);
+  EXPECT_EQ(info.checksum, written.checksum);
+  EXPECT_EQ(info.payload_bytes, written.payload_bytes);
+}
+
+TEST(Archive, CompressionIsSubstantial) {
+  const auto samples = make_samples(2000);
+  std::stringstream ss;
+  const auto info = write_archive(ss, samples);
+  const double ratio = compression_ratio(samples.size(),
+                                         info.payload_bytes);
+  EXPECT_GT(ratio, 3.0);
+}
+
+TEST(Archive, EmptyArchive) {
+  std::stringstream ss;
+  const auto info = write_archive(ss, {});
+  EXPECT_EQ(info.records, 0u);
+  EXPECT_TRUE(read_archive(ss).empty());
+}
+
+TEST(Archive, CorruptionDetected) {
+  const auto samples = make_samples(100);
+  std::stringstream ss;
+  (void)write_archive(ss, samples);
+  std::string blob = ss.str();
+
+  // Flip one payload byte.
+  blob[blob.size() / 2] ^= 0x40;
+  std::stringstream corrupted(blob);
+  EXPECT_THROW((void)read_archive(corrupted), ParseError);
+
+  // Truncate.
+  std::stringstream truncated(blob.substr(0, blob.size() - 10));
+  EXPECT_THROW((void)read_archive(truncated), ParseError);
+
+  // Garbage header.
+  std::stringstream junk("not an archive at all");
+  EXPECT_THROW((void)read_archive(junk), ParseError);
+}
+
+TEST(Archive, Crc32KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE 802.3 check value).
+  const std::string s = "123456789";
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+  EXPECT_EQ(crc32({p, s.size()}), 0xCBF43926U);
+  EXPECT_EQ(crc32({p, 0}), 0x00000000U);
+}
+
+}  // namespace
+}  // namespace exaeff::telemetry

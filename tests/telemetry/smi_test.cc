@@ -1,0 +1,109 @@
+// Tests for the in-band (ROCm-SMI-like) vs out-of-band sampling agreement
+// machinery behind Fig 2(a).
+#include "telemetry/smi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "workloads/vai.h"
+
+namespace exaeff::telemetry {
+namespace {
+
+std::vector<gpusim::TracePoint> make_truth() {
+  const gpusim::GpuSimulator sim(gpusim::mi250x_gcd());
+  const auto kernel =
+      workloads::vai::make_kernel(gpusim::mi250x_gcd(), 16.0).scaled(5.0);
+  Rng rng(1);
+  std::vector<gpusim::TracePoint> trace;
+  (void)sim.run_traced(kernel, gpusim::PowerPolicy::none(), rng, trace);
+  return trace;
+}
+
+TEST(SmiSampling, SamplersHaveDocumentedPeriods) {
+  EXPECT_EQ(rocm_smi_sampler().period_s, 1.0);
+  EXPECT_EQ(oob_sensor_sampler().period_s, 2.0);
+}
+
+TEST(SmiSampling, SampleCountMatchesPeriod) {
+  const auto truth = make_truth();
+  Rng rng(2);
+  const auto s =
+      sample_trace(truth, rocm_smi_sampler(), 0.0, 60.0, rng);
+  EXPECT_EQ(s.size(), 60u);
+  const auto s2 =
+      sample_trace(truth, oob_sensor_sampler(), 0.0, 60.0, rng);
+  EXPECT_EQ(s2.size(), 30u);
+}
+
+TEST(SmiSampling, NoiseFreeSamplerReproducesTruth) {
+  const auto truth = make_truth();
+  SamplerSpec exact;
+  exact.period_s = 2.0;
+  exact.noise_stddev_w = 0.0;
+  Rng rng(3);
+  const auto s = sample_trace(truth, exact, 0.0, 20.0, rng);
+  for (const auto& p : s) {
+    // Each sample equals the trace (linear interp) exactly.
+    bool close = false;
+    for (const auto& t : truth) {
+      if (std::abs(t.t_s - p.t_s) < 1e-9 &&
+          std::abs(t.power_w - p.power_w) < 1e-6) {
+        close = true;
+      }
+    }
+    EXPECT_TRUE(close) << "t = " << p.t_s;
+  }
+}
+
+TEST(SmiSampling, AggregationReducesSeries) {
+  const auto truth = make_truth();
+  Rng rng(4);
+  const auto raw = sample_trace(truth, oob_sensor_sampler(), 0.0, 60.0, rng);
+  const auto agg = aggregate_series(raw, 15.0);
+  EXPECT_EQ(agg.size(), 4u);
+  for (std::size_t i = 1; i < agg.size(); ++i) {
+    EXPECT_NEAR(agg[i].t_s - agg[i - 1].t_s, 15.0, 1e-9);
+  }
+}
+
+TEST(SmiSampling, TelemetryAgreesWithSmi) {
+  // The Fig 2(a) claim: 15 s out-of-band telemetry tracks the in-band
+  // ROCm-SMI series closely on the same run.
+  const auto truth = make_truth();
+  const double t_end = truth.back().t_s;
+  Rng rng(5);
+  const auto smi = sample_trace(truth, rocm_smi_sampler(), 0.0, t_end, rng);
+  const auto oob = sample_trace(truth, oob_sensor_sampler(), 0.0, t_end, rng);
+  const auto telemetry = aggregate_series(oob, 15.0);
+  const auto smi_smooth = aggregate_series(smi, 15.0);
+
+  const Agreement ag = compare_series(telemetry, smi_smooth);
+  EXPECT_LT(ag.mean_rel_err, 0.05);
+  EXPECT_GT(ag.correlation, 0.9);
+}
+
+TEST(SmiSampling, CompareRejectsEmpty) {
+  const std::vector<SamplePoint> empty;
+  const std::vector<SamplePoint> one = {{0.0, 1.0}};
+  EXPECT_THROW((void)compare_series(empty, one), Error);
+}
+
+TEST(SmiSampling, SystematicOffsetShowsInAgreement) {
+  const auto truth = make_truth();
+  SamplerSpec biased;
+  biased.period_s = 1.0;
+  biased.offset_w = 50.0;
+  biased.noise_stddev_w = 0.0;
+  SamplerSpec exact = biased;
+  exact.offset_w = 0.0;
+  Rng rng(6);
+  const auto a = sample_trace(truth, biased, 0.0, 40.0, rng);
+  const auto b = sample_trace(truth, exact, 0.0, 40.0, rng);
+  const Agreement ag = compare_series(a, b);
+  EXPECT_NEAR(ag.mean_abs_err_w, 50.0, 1.0);
+  EXPECT_GT(ag.correlation, 0.99);  // perfectly correlated, just offset
+}
+
+}  // namespace
+}  // namespace exaeff::telemetry

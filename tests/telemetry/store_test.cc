@@ -1,0 +1,105 @@
+// Tests for the telemetry store: queries, energy integration, CSV IO.
+#include "telemetry/store.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace exaeff::telemetry {
+namespace {
+
+GcdSample sample(double t, std::uint32_t node, std::uint16_t gcd, float p) {
+  return GcdSample{t, node, gcd, p};
+}
+
+TEST(TelemetryStore, SeriesQueryAfterSort) {
+  TelemetryStore store(15.0);
+  store.on_gcd_sample(sample(30.0, 1, 0, 300.0F));
+  store.on_gcd_sample(sample(0.0, 0, 0, 100.0F));
+  store.on_gcd_sample(sample(15.0, 0, 0, 200.0F));
+  store.on_gcd_sample(sample(0.0, 0, 1, 150.0F));
+  store.sort();
+
+  const auto series = store.series(0, 0, 0.0, 100.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].power_w, 100.0F);
+  EXPECT_EQ(series[1].power_w, 200.0F);
+
+  const auto bounded = store.series(0, 0, 10.0, 16.0);
+  ASSERT_EQ(bounded.size(), 1u);
+  EXPECT_EQ(bounded[0].power_w, 200.0F);
+
+  EXPECT_TRUE(store.series(9, 0, 0.0, 100.0).empty());
+}
+
+TEST(TelemetryStore, SeriesRequiresSort) {
+  TelemetryStore store;
+  store.on_gcd_sample(sample(0.0, 0, 0, 1.0F));
+  EXPECT_THROW((void)store.series(0, 0, 0.0, 1.0), Error);
+}
+
+TEST(TelemetryStore, EnergyIntegration) {
+  TelemetryStore store(15.0);
+  store.on_gcd_sample(sample(0.0, 0, 0, 100.0F));
+  store.on_gcd_sample(sample(15.0, 0, 0, 200.0F));
+  EXPECT_NEAR(store.total_gpu_energy_j(), (100.0 + 200.0) * 15.0, 1e-6);
+}
+
+TEST(TelemetryStore, CpuEnergyFromNodeSamples) {
+  TelemetryStore store(15.0);
+  NodeSample n;
+  n.cpu_power_w = 120.0F;
+  store.on_node_sample(n);
+  store.on_node_sample(n);
+  EXPECT_NEAR(store.total_cpu_energy_j(), 2 * 120.0 * 15.0, 1e-6);
+}
+
+TEST(TelemetryStore, TimeExtent) {
+  TelemetryStore store(15.0);
+  EXPECT_EQ(store.time_extent().first, 0.0);
+  store.on_gcd_sample(sample(30.0, 0, 0, 1.0F));
+  store.on_gcd_sample(sample(90.0, 0, 0, 1.0F));
+  const auto [lo, hi] = store.time_extent();
+  EXPECT_EQ(lo, 30.0);
+  EXPECT_EQ(hi, 105.0);
+}
+
+TEST(TelemetryStore, CsvRoundTrip) {
+  TelemetryStore store(15.0);
+  store.on_gcd_sample(sample(0.0, 3, 7, 123.5F));
+  store.on_gcd_sample(sample(15.0, 4, 2, 456.25F));
+  std::stringstream ss;
+  store.save_csv(ss);
+
+  const TelemetryStore loaded = TelemetryStore::load_csv(ss, 15.0);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.gcd_samples()[0].node_id, 3u);
+  EXPECT_EQ(loaded.gcd_samples()[0].gcd_index, 7u);
+  EXPECT_NEAR(loaded.gcd_samples()[0].power_w, 123.5, 1e-3);
+  EXPECT_NEAR(loaded.gcd_samples()[1].power_w, 456.25, 1e-3);
+}
+
+TEST(TelemetryStore, LoadCsvRejectsMalformedRows) {
+  std::stringstream ss("t_s,node_id,gcd,power_w\n1,2,3\n");
+  EXPECT_THROW((void)TelemetryStore::load_csv(ss), ParseError);
+  std::stringstream ss2("t_s,node_id,gcd,power_w\n1,2,3,abc\n");
+  EXPECT_THROW((void)TelemetryStore::load_csv(ss2), ParseError);
+}
+
+TEST(TeeSink, ForwardsToBoth) {
+  TelemetryStore a;
+  TelemetryStore b;
+  TeeSink tee(a, b);
+  tee.on_gcd_sample(sample(0.0, 0, 0, 5.0F));
+  NodeSample n;
+  tee.on_node_sample(n);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(a.node_samples().size(), 1u);
+  EXPECT_EQ(b.node_samples().size(), 1u);
+}
+
+}  // namespace
+}  // namespace exaeff::telemetry

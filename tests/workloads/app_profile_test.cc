@@ -1,0 +1,171 @@
+// Tests for phase-based application profiles and the utilization-target
+// kernel constructor.
+#include "workloads/app_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gpusim/power_model.h"
+
+namespace exaeff::workloads {
+namespace {
+
+using gpusim::mi250x_gcd;
+
+TEST(KernelFromUtils, DominantEngineFillsThroughputTime) {
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  const auto k =
+      kernel_from_utils(spec, "mem", 100.0, 0.2, 0.8, 0.2, 0.5);
+  const auto t = em.timing(k, spec.f_max_mhz);
+  EXPECT_NEAR(t.time_s, 100.0, 1.0);
+  EXPECT_NEAR(t.u_hbm, 0.8, 0.02);
+  EXPECT_NEAR(t.u_alu, 0.2, 0.02);
+  EXPECT_NEAR(t.u_lat, 0.2, 0.02);
+}
+
+TEST(KernelFromUtils, HeadroomScaledUp) {
+  // If neither engine saturates the throughput window, both are scaled
+  // so the dominant one does (roofline: something must bind).
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  const auto k = kernel_from_utils(spec, "k", 50.0, 0.1, 0.4, 0.0);
+  const auto t = em.timing(k, spec.f_max_mhz);
+  EXPECT_NEAR(t.u_hbm, 1.0, 0.02);
+  EXPECT_NEAR(t.u_alu, 0.25, 0.02);
+}
+
+TEST(KernelFromUtils, PureLatencyPhase) {
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  const auto k = kernel_from_utils(spec, "wait", 60.0, 0.0, 0.0, 0.9);
+  const auto t = em.timing(k, spec.f_max_mhz);
+  EXPECT_GT(t.u_lat, 0.95);
+}
+
+TEST(KernelFromUtils, Validation) {
+  const auto spec = mi250x_gcd();
+  EXPECT_THROW((void)kernel_from_utils(spec, "k", -1.0, 0.5, 0.5, 0.0),
+               Error);
+  EXPECT_THROW((void)kernel_from_utils(spec, "k", 1.0, 1.5, 0.5, 0.0),
+               Error);
+  EXPECT_THROW((void)kernel_from_utils(spec, "k", 1.0, 0.5, 0.5, 1.0),
+               Error);
+  EXPECT_THROW((void)kernel_from_utils(spec, "k", 1.0, 0.0, 0.0, 0.0),
+               Error);
+}
+
+TEST(AppProfile, SamplePhaseRespectsWeights) {
+  const auto spec = mi250x_gcd();
+  AppProfile profile("test");
+  PhaseSpec rare;
+  rare.kernel = kernel_from_utils(spec, "rare", 10.0, 1.0, 0.1, 0.0);
+  rare.mean_duration_s = 10.0;
+  rare.weight = 1.0;
+  PhaseSpec common;
+  common.kernel = kernel_from_utils(spec, "common", 10.0, 0.1, 1.0, 0.0);
+  common.mean_duration_s = 10.0;
+  common.weight = 9.0;
+  profile.add_phase(rare);
+  profile.add_phase(common);
+
+  Rng rng(1);
+  int common_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto ph = profile.sample_phase(rng);
+    common_count += (ph.kernel.name == "common");
+  }
+  EXPECT_NEAR(common_count / 2000.0, 0.9, 0.03);
+}
+
+TEST(AppProfile, DurationsClampedAroundMean) {
+  const auto spec = mi250x_gcd();
+  AppProfile profile("test");
+  PhaseSpec p;
+  p.kernel = kernel_from_utils(spec, "k", 100.0, 0.5, 0.5, 0.1);
+  p.mean_duration_s = 100.0;
+  profile.add_phase(p);
+  Rng rng(2);
+  double sum = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto ph = profile.sample_phase(rng);
+    EXPECT_GE(ph.nominal_duration_s, 25.0);
+    EXPECT_LE(ph.nominal_duration_s, 400.0);
+    sum += ph.nominal_duration_s;
+  }
+  EXPECT_NEAR(sum / 3000.0, 100.0, 8.0);
+}
+
+TEST(AppProfile, SampledKernelScalesWithDuration) {
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  AppProfile profile("test");
+  PhaseSpec p;
+  p.kernel = kernel_from_utils(spec, "k", 100.0, 0.3, 0.9, 0.05);
+  p.mean_duration_s = 100.0;
+  profile.add_phase(p);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto ph = profile.sample_phase(rng);
+    const auto t = em.timing(ph.kernel, spec.f_max_mhz);
+    EXPECT_NEAR(t.time_s, ph.nominal_duration_s,
+                0.02 * ph.nominal_duration_s);
+  }
+}
+
+TEST(AppProfile, EmptyProfileRejectsSampling) {
+  AppProfile profile("empty");
+  Rng rng(1);
+  EXPECT_TRUE(profile.empty());
+  EXPECT_THROW((void)profile.sample_phase(rng), Error);
+}
+
+TEST(ProfileLibrary, PowerLevelsLandInIntendedRegions) {
+  // The profile library is the Fig 9 machinery: each archetype's phases
+  // must land in the intended power region at f_max.
+  const auto spec = mi250x_gcd();
+  const gpusim::PowerModel pm(spec);
+  const auto lib = make_profile_library(spec);
+
+  auto dominant_power = [&](const AppProfile& prof) {
+    // Weight-averaged steady power of the profile's phases.
+    double wsum = 0.0;
+    double psum = 0.0;
+    for (const auto& ph : prof.phases()) {
+      psum += ph.weight * pm.power_at(ph.kernel, spec.f_max_mhz);
+      wsum += ph.weight;
+    }
+    return psum / wsum;
+  };
+
+  EXPECT_GT(dominant_power(lib.compute_heavy), 420.0);
+  EXPECT_GT(dominant_power(lib.compute_moderate), 400.0);
+  const double mem_bw = dominant_power(lib.memory_bandwidth);
+  EXPECT_GT(mem_bw, 250.0);
+  EXPECT_LT(mem_bw, 420.0);
+  const double mem_lat = dominant_power(lib.memory_latency);
+  EXPECT_GT(mem_lat, 200.0);
+  EXPECT_LT(mem_lat, 380.0);
+  EXPECT_LT(dominant_power(lib.latency_io), 220.0);
+  EXPECT_LT(dominant_power(lib.latency_network), 220.0);
+}
+
+TEST(ProfileLibrary, MultimodalProfilesSpanRegions) {
+  const auto spec = mi250x_gcd();
+  const gpusim::PowerModel pm(spec);
+  const auto lib = make_profile_library(spec);
+  for (const auto* prof : {&lib.multimodal_wide, &lib.multimodal_burst}) {
+    double lo = 1e9;
+    double hi = 0.0;
+    for (const auto& ph : prof->phases()) {
+      const double p = pm.power_at(ph.kernel, spec.f_max_mhz);
+      lo = std::min(lo, p);
+      hi = std::max(hi, p);
+    }
+    EXPECT_LT(lo, 200.0) << prof->name();   // reaches region 1
+    EXPECT_GT(hi, 420.0) << prof->name();   // reaches region 3
+  }
+}
+
+}  // namespace
+}  // namespace exaeff::workloads

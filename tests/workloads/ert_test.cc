@@ -1,0 +1,101 @@
+// Tests for the empirical roofline tool: the measurement must recover
+// the device's ground-truth roofline through the public API alone.
+#include "workloads/ert.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace exaeff::workloads::ert {
+namespace {
+
+class ErtTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    spec_ = new gpusim::DeviceSpec(gpusim::mi250x_gcd());
+    report_ = new RooflineReport(measure(*spec_));
+  }
+  static void TearDownTestSuite() {
+    delete report_;
+    delete spec_;
+    report_ = nullptr;
+    spec_ = nullptr;
+  }
+  static gpusim::DeviceSpec* spec_;
+  static RooflineReport* report_;
+};
+
+gpusim::DeviceSpec* ErtTest::spec_ = nullptr;
+RooflineReport* ErtTest::report_ = nullptr;
+
+TEST_F(ErtTest, RecoversSustainedComputePeak) {
+  EXPECT_NEAR(report_->peak_gflops * 1e9, spec_->peak_flops_sustained,
+              0.02 * spec_->peak_flops_sustained);
+}
+
+TEST_F(ErtTest, RecoversHbmBandwidth) {
+  EXPECT_NEAR(report_->hbm_bandwidth_gbs * 1e9, spec_->hbm_bw,
+              0.02 * spec_->hbm_bw);
+}
+
+TEST_F(ErtTest, RecoversL2Bandwidth) {
+  EXPECT_NEAR(report_->l2_bandwidth_gbs * 1e9, spec_->l2_bw,
+              0.05 * spec_->l2_bw);
+}
+
+TEST_F(ErtTest, RidgeNearFour) {
+  EXPECT_NEAR(report_->ridge_intensity, spec_->ridge_intensity(), 0.2);
+}
+
+TEST_F(ErtTest, PowerEnvelopeMatchesPaper) {
+  // Max sustained power near 540 W (at the ridge), never above TDP.
+  EXPECT_NEAR(report_->max_power_w, 540.0, 15.0);
+  EXPECT_LE(report_->max_power_w, spec_->tdp_w);
+  EXPECT_GT(report_->idle_power_w, 300.0);  // all points do real work
+}
+
+TEST_F(ErtTest, SweepIsRooflineShaped) {
+  // GFLOP/s grows with intensity up to the ridge, then flattens;
+  // bandwidth is flat up to the ridge, then falls.
+  const auto& sweep = report_->sweep;
+  ASSERT_GE(sweep.size(), 10u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].gflops, sweep[i - 1].gflops - 1.0);
+    EXPECT_LE(sweep[i].bandwidth_gbs, sweep[i - 1].bandwidth_gbs + 1.0);
+  }
+}
+
+TEST_F(ErtTest, RenderContainsKeyNumbers) {
+  const std::string text = render(*report_);
+  EXPECT_NE(text.find("ridge intensity"), std::string::npos);
+  EXPECT_NE(text.find("GFLOP/s"), std::string::npos);
+  EXPECT_NE(text.find("HBM bandwidth"), std::string::npos);
+}
+
+TEST(Ert, CappedMeasurementSeesLowerRoofs) {
+  const auto spec = gpusim::mi250x_gcd();
+  Options opts;
+  opts.frequency_mhz = 850.0;
+  const auto capped = measure(spec, opts);
+  const auto full = measure(spec);
+  EXPECT_NEAR(capped.peak_gflops / full.peak_gflops, 0.5, 0.02);
+  // The ERT stream is issue-bound (like the paper's VAI), so its
+  // measured bandwidth also follows the clock — though less than 1:1.
+  const double bw_ratio =
+      capped.hbm_bandwidth_gbs / full.hbm_bandwidth_gbs;
+  EXPECT_GT(bw_ratio, 0.5);
+  EXPECT_LT(bw_ratio, 0.75);
+}
+
+TEST(Ert, OptionValidation) {
+  const auto spec = gpusim::mi250x_gcd();
+  Options bad;
+  bad.min_intensity = 0.0;
+  EXPECT_THROW((void)measure(spec, bad), Error);
+  bad = Options{};
+  bad.intensity_step = 1.0;
+  EXPECT_THROW((void)measure(spec, bad), Error);
+}
+
+}  // namespace
+}  // namespace exaeff::workloads::ert

@@ -1,0 +1,105 @@
+// Tests for the L2-cache / HBM memory benchmark generator (paper Fig 3/6).
+#include "workloads/membench.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gpusim/perf_model.h"
+#include "gpusim/power_model.h"
+
+namespace exaeff::workloads::membench {
+namespace {
+
+using gpusim::mi250x_gcd;
+
+TEST(Membench, HitFraction) {
+  const auto spec = mi250x_gcd();
+  EXPECT_EQ(l2_hit_fraction(spec, spec.l2_bytes / 2.0), 1.0);
+  EXPECT_EQ(l2_hit_fraction(spec, spec.l2_bytes), 1.0);
+  EXPECT_NEAR(l2_hit_fraction(spec, spec.l2_bytes * 4.0), 0.25, 1e-12);
+  EXPECT_THROW((void)l2_hit_fraction(spec, 0.0), Error);
+}
+
+TEST(Membench, CacheResidentIsL2Bound) {
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  const auto k = make_kernel(spec, 4.0 * 1024 * 1024);  // 4 MB < 16 MB L2
+  const auto t = em.timing(k, spec.f_max_mhz);
+  EXPECT_EQ(t.bound, gpusim::KernelTiming::Bound::kL2);
+}
+
+TEST(Membench, LargeWorkingSetIsHbmBound) {
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  const auto k = make_kernel(spec, 512.0 * 1024 * 1024);  // 512 MB
+  const auto t = em.timing(k, spec.f_max_mhz);
+  EXPECT_EQ(t.bound, gpusim::KernelTiming::Bound::kHbm);
+}
+
+TEST(Membench, CacheResidentSlowsWithClock) {
+  // Fig 6 left column: below the L2 capacity, lower clock = lower
+  // bandwidth = longer runtime.
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  const auto k = make_kernel(spec, 8.0 * 1024 * 1024);
+  const double t_full = em.timing(k, 1700.0).time_s;
+  const double t_low = em.timing(k, 850.0).time_s;
+  EXPECT_GT(t_low / t_full, 1.8);
+}
+
+TEST(Membench, HbmResidentIgnoresClockAboveFabricKnee) {
+  // Fig 6: beyond the L2 capacity, frequency caps down to ~900 MHz do
+  // not change runtime; below the fabric knee bandwidth finally erodes.
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  const auto k = make_kernel(spec, 768.0 * 1024 * 1024);
+  const double t_full = em.timing(k, 1700.0).time_s;
+  EXPECT_LT(em.timing(k, 900.0).time_s / t_full, 1.06);
+  const double deep = em.timing(k, 700.0).time_s / t_full;
+  EXPECT_GT(deep, 1.05);
+  EXPECT_LT(deep, 1.30);
+}
+
+TEST(Membench, BandwidthDropsAcrossTheCapacityCliff) {
+  // Achieved bandwidth falls as the working set spills out of L2.
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  double prev_bw = 1e30;
+  for (double size : standard_sizes()) {
+    const auto k = make_kernel(spec, size);
+    const auto t = em.timing(k, spec.f_max_mhz);
+    const double bw = (k.l2_bytes) / t.time_s;  // total served bytes/s
+    EXPECT_LE(bw, prev_bw * 1.01) << "size " << size;
+    prev_bw = bw;
+  }
+}
+
+TEST(Membench, CacheResidentDrawsLessPowerThanHbmResident) {
+  // Fig 6(d): power rises when data is accessed from HBM.
+  const auto spec = mi250x_gcd();
+  const gpusim::PowerModel pm(spec);
+  const auto cache_k = make_kernel(spec, 8.0 * 1024 * 1024);
+  const auto hbm_k = make_kernel(spec, 512.0 * 1024 * 1024);
+  EXPECT_LT(pm.power_at(cache_k, spec.f_max_mhz),
+            pm.power_at(hbm_k, spec.f_max_mhz) - 50.0);
+}
+
+TEST(Membench, StandardSizesStartAt384KiB) {
+  const auto sizes = standard_sizes();
+  ASSERT_GE(sizes.size(), 10u);
+  EXPECT_EQ(sizes.front(), 384.0 * 1024.0);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], 2.0 * sizes[i - 1]);
+  }
+}
+
+TEST(Membench, HbmResidentSizesExcludeCacheFits) {
+  const auto spec = mi250x_gcd();
+  for (double s : hbm_resident_sizes(spec)) {
+    EXPECT_GT(s, spec.l2_bytes);
+  }
+  EXPECT_FALSE(hbm_resident_sizes(spec).empty());
+}
+
+}  // namespace
+}  // namespace exaeff::workloads::membench

@@ -1,0 +1,86 @@
+// Tests for the VAI benchmark kernel generator (paper Algorithm 1).
+#include "workloads/vai.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "gpusim/perf_model.h"
+
+namespace exaeff::workloads::vai {
+namespace {
+
+using gpusim::mi250x_gcd;
+
+TEST(Vai, ArithmeticIntensityMatchesRequest) {
+  const auto spec = mi250x_gcd();
+  for (double ai : {0.0625, 0.5, 4.0, 64.0, 1024.0}) {
+    const auto k = make_kernel(spec, ai);
+    EXPECT_NEAR(k.arithmetic_intensity(), ai, ai * 1e-9);
+  }
+}
+
+TEST(Vai, RuntimeTargetHitAtMaxClock) {
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  Params params;
+  params.runtime_target_s = 20.0;
+  for (double ai : standard_intensities()) {
+    const auto k = make_kernel(spec, ai, params);
+    const auto t = em.timing(k, spec.f_max_mhz);
+    // Runtime is the target plus the small launch latency; the issue-
+    // bound stream adds nothing at f_max.
+    EXPECT_NEAR(t.time_s, 20.0 + params.launch_overhead_s, 0.5)
+        << "AI = " << ai;
+  }
+}
+
+TEST(Vai, MemoryBoundBelowRidgeComputeBoundAbove) {
+  const auto spec = mi250x_gcd();
+  const gpusim::ExecutionModel em(spec);
+  const auto mem = em.timing(make_kernel(spec, 1.0), spec.f_max_mhz);
+  EXPECT_EQ(mem.bound, gpusim::KernelTiming::Bound::kHbm);
+  const auto comp = em.timing(make_kernel(spec, 64.0), spec.f_max_mhz);
+  EXPECT_EQ(comp.bound, gpusim::KernelTiming::Bound::kCompute);
+}
+
+TEST(Vai, StreamCopyHasNegligibleFlops) {
+  const auto spec = mi250x_gcd();
+  const auto k = make_kernel(spec, 0.0);
+  EXPECT_LT(k.arithmetic_intensity(), 0.01);
+  EXPECT_GT(k.hbm_bytes, 0.0);
+}
+
+TEST(Vai, HbmTrafficTransitsL2) {
+  const auto k = make_kernel(mi250x_gcd(), 4.0);
+  EXPECT_EQ(k.l2_bytes, k.hbm_bytes);
+}
+
+TEST(Vai, StandardIntensitiesMatchPaperSweep) {
+  const auto ai = standard_intensities();
+  // 0, then 1/16 .. 1024 in powers of two = 1 + 15 values.
+  ASSERT_EQ(ai.size(), 16u);
+  EXPECT_EQ(ai.front(), 0.0);
+  EXPECT_EQ(ai[1], 1.0 / 16.0);
+  EXPECT_EQ(ai.back(), 1024.0);
+  for (std::size_t i = 2; i < ai.size(); ++i) {
+    EXPECT_NEAR(ai[i] / ai[i - 1], 2.0, 1e-12);
+  }
+}
+
+TEST(Vai, StandardCapsMatchTableIII) {
+  EXPECT_EQ(standard_frequency_caps(),
+            (std::vector<double>{1700, 1500, 1300, 1100, 900, 700}));
+  EXPECT_EQ(standard_power_caps(),
+            (std::vector<double>{560, 500, 400, 300, 200}));
+}
+
+TEST(Vai, RejectsInvalidInputs) {
+  const auto spec = mi250x_gcd();
+  EXPECT_THROW((void)make_kernel(spec, -1.0), Error);
+  Params p;
+  p.runtime_target_s = 0.0;
+  EXPECT_THROW((void)make_kernel(spec, 1.0, p), Error);
+}
+
+}  // namespace
+}  // namespace exaeff::workloads::vai

@@ -1,0 +1,221 @@
+// tools/exaeff_cli.cc
+//
+// The `exaeff` command-line tool: every workflow in the library behind
+// one binary, for operators who want answers without writing C++.
+//
+//   exaeff ert [freq_mhz]            empirical roofline of the device
+//   exaeff characterize              Table III cap-response table
+//   exaeff campaign [nodes] [days]   synthesize + summarize a campaign
+//   exaeff project [nodes] [days]    campaign + Table V projection
+//   exaeff report <path> [nodes]     full analysis report to a file
+//   exaeff decompose <watts> [mhz]   utilization envelope for a reading
+//   exaeff queue [nodes] [days]      FCFS vs EASY scheduling comparison
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/decomposition.h"
+#include "core/report.h"
+#include "sched/fleetgen.h"
+#include "sched/queue_sim.h"
+#include "workloads/ert.h"
+
+namespace {
+
+using namespace exaeff;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: exaeff <command> [args]\n"
+      "  ert [freq_mhz]            empirical roofline (optionally capped)\n"
+      "  characterize              benchmark cap-response table\n"
+      "  campaign [nodes] [days]   synthesize and summarize a campaign\n"
+      "  project [nodes] [days]    campaign + savings projection\n"
+      "  report <path> [nodes]     write the full analysis report\n"
+      "  decompose <watts> [mhz]   utilization envelope for a reading\n"
+      "  queue [nodes] [days]      FCFS vs EASY backfill comparison\n");
+  return 2;
+}
+
+struct CampaignBundle {
+  sched::CampaignConfig cfg;
+  workloads::ProfileLibrary library;
+  core::RegionBoundaries boundaries;
+  std::unique_ptr<core::CampaignAccumulator> acc;
+  std::size_t jobs = 0;
+};
+
+CampaignBundle run_campaign(std::size_t nodes, double days) {
+  CampaignBundle b;
+  b.cfg.system = cluster::frontier_scaled(nodes);
+  b.cfg.duration_s = days * units::kDay;
+  const auto& gcd = b.cfg.system.node.gcd;
+  b.library = workloads::make_profile_library(gcd);
+  b.boundaries = core::derive_boundaries(gcd);
+  const sched::FleetGenerator gen(b.cfg, b.library);
+  const auto log = gen.generate_schedule();
+  b.jobs = log.size();
+  b.acc = std::make_unique<core::CampaignAccumulator>(
+      b.cfg.telemetry_window_s, b.boundaries);
+  gen.generate_telemetry(log, *b.acc);
+  return b;
+}
+
+int cmd_ert(int argc, char** argv) {
+  workloads::ert::Options opts;
+  if (argc > 0) opts.frequency_mhz = std::atof(argv[0]);
+  const auto report = workloads::ert::measure(gpusim::mi250x_gcd(), opts);
+  std::printf("%s", workloads::ert::render(report).c_str());
+  return 0;
+}
+
+int cmd_characterize() {
+  const auto table = core::characterize(gpusim::mi250x_gcd());
+  std::printf("%-10s %-10s %8s %8s %8s %8s\n", "class", "cap", "setting",
+              "power%", "time%", "energy%");
+  for (auto cls : {core::BenchClass::kComputeIntensive,
+                   core::BenchClass::kMemoryIntensive}) {
+    for (auto type : {core::CapType::kFrequency, core::CapType::kPower}) {
+      for (const auto& r : table.rows(cls, type)) {
+        std::printf("%-10s %-10s %8.0f %8.1f %8.1f %8.1f\n",
+                    core::bench_class_name(cls), core::cap_type_name(type),
+                    r.setting, r.avg_power_pct, r.runtime_pct,
+                    r.energy_pct);
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  const std::size_t nodes =
+      argc > 0 ? static_cast<std::size_t>(std::atoi(argv[0])) : 32;
+  const double days = argc > 1 ? std::atof(argv[1]) : 7.0;
+  const auto b = run_campaign(nodes, days);
+  const auto d = b.acc->decomposition();
+  std::printf("campaign: %zu nodes, %.1f days, %zu jobs, %zu records\n",
+              nodes, days, b.jobs, b.acc->gcd_sample_count());
+  std::printf("GPU energy: %.2f MWh over %.0f GPU-hours\n",
+              units::joules_to_mwh(d.total_energy_j), d.total_gpu_hours);
+  for (int r = 0; r < 4; ++r) {
+    const auto region = static_cast<core::Region>(r);
+    std::printf("  %-30s %5.1f%% hours  %5.1f%% energy\n",
+                std::string(core::region_name(region)).c_str(),
+                d.hours_pct(region),
+                100.0 * d.energy_fraction(region));
+  }
+  return 0;
+}
+
+int cmd_project(int argc, char** argv) {
+  const std::size_t nodes =
+      argc > 0 ? static_cast<std::size_t>(std::atoi(argv[0])) : 32;
+  const double days = argc > 1 ? std::atof(argv[1]) : 7.0;
+  const auto b = run_campaign(nodes, days);
+  const auto table = core::characterize(b.cfg.system.node.gcd);
+  const core::ProjectionEngine engine(table);
+  const auto d = b.acc->decomposition();
+  std::printf("%-6s %10s %10s %10s %8s %8s %10s\n", "cap", "CI MWh",
+              "MI MWh", "TS MWh", "sav%", "dT%", "sav%@dT=0");
+  for (auto type : {core::CapType::kFrequency, core::CapType::kPower}) {
+    for (const auto& row : engine.project_sweep(d, type)) {
+      std::printf("%4.0f%-2s %10.3f %10.3f %10.3f %8.1f %8.1f %10.1f\n",
+                  row.setting,
+                  type == core::CapType::kFrequency ? "M" : "W",
+                  row.ci_saved_mwh, row.mi_saved_mwh, row.total_saved_mwh,
+                  row.savings_pct, row.delta_t_pct,
+                  row.savings_pct_no_slowdown);
+    }
+  }
+  const auto best = engine.best_no_slowdown(d, core::CapType::kFrequency);
+  std::printf("\nbest zero-slowdown point: %.0f MHz (%.1f%%)\n",
+              best.setting, best.savings_pct_no_slowdown);
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::size_t nodes =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 32;
+  const auto b = run_campaign(nodes, 7.0);
+  const auto table = core::characterize(b.cfg.system.node.gcd);
+  core::ReportInputs inputs;
+  inputs.accumulator = b.acc.get();
+  inputs.table = &table;
+  inputs.campaign_label = std::to_string(nodes) + "-node campaign";
+  std::ofstream out(argv[0]);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", argv[0]);
+    return 1;
+  }
+  out << core::render_campaign_report(inputs);
+  std::printf("report written to %s\n", argv[0]);
+  return 0;
+}
+
+int cmd_decompose(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const double watts = std::atof(argv[0]);
+  const double mhz = argc > 1 ? std::atof(argv[1]) : 1700.0;
+  const core::PowerDecomposer dec(gpusim::mi250x_gcd());
+  const auto est = dec.estimate(watts, mhz);
+  if (est.idle) {
+    std::printf("%.0f W at %.0f MHz: idle (no activity inferable)\n",
+                watts, mhz);
+    return 0;
+  }
+  std::printf("%.0f W at %.0f MHz:\n", watts, mhz);
+  std::printf("  ALU activity : %.2f .. %.2f (balanced point %.2f)\n",
+              est.alu_min, est.alu_max, est.alu_mid);
+  std::printf("  HBM traffic  : %.2f .. %.2f (balanced point %.2f)\n",
+              est.hbm_min, est.hbm_max, est.hbm_mid);
+  std::printf("  region       : %s\n",
+              std::string(core::region_name(
+                  core::RegionBoundaries{}.classify(watts)))
+                  .c_str());
+  return 0;
+}
+
+int cmd_queue(int argc, char** argv) {
+  const auto nodes = static_cast<std::uint32_t>(
+      argc > 0 ? std::atoi(argv[0]) : 64);
+  const double days = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const auto subs =
+      sched::synthesize_submissions(nodes, days * units::kDay, 1.3, 5);
+  for (auto disc : {sched::QueueDiscipline::kFcfs,
+                    sched::QueueDiscipline::kEasyBackfill}) {
+    const sched::BatchScheduler scheduler(nodes, disc);
+    const auto out = scheduler.run(subs);
+    std::printf("%-14s jobs=%zu util=%.1f%% mean-wait=%.0f min "
+                "backfilled=%zu\n",
+                disc == sched::QueueDiscipline::kFcfs ? "FCFS" : "EASY",
+                out.log.size(), 100.0 * out.utilization,
+                out.mean_wait_s / 60.0, out.backfilled);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const int rest = argc - 2;
+  char** rest_argv = argv + 2;
+  try {
+    if (cmd == "ert") return cmd_ert(rest, rest_argv);
+    if (cmd == "characterize") return cmd_characterize();
+    if (cmd == "campaign") return cmd_campaign(rest, rest_argv);
+    if (cmd == "project") return cmd_project(rest, rest_argv);
+    if (cmd == "report") return cmd_report(rest, rest_argv);
+    if (cmd == "decompose") return cmd_decompose(rest, rest_argv);
+    if (cmd == "queue") return cmd_queue(rest, rest_argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
