@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_agent.dir/bench_ablation_agent.cc.o"
+  "CMakeFiles/bench_ablation_agent.dir/bench_ablation_agent.cc.o.d"
+  "bench_ablation_agent"
+  "bench_ablation_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

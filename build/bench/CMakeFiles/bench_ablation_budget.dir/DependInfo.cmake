@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_budget.cc" "bench/CMakeFiles/bench_ablation_budget.dir/bench_ablation_budget.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_budget.dir/bench_ablation_budget.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/exaeff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/exaeff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/exaeff_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/exaeff_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/exaeff_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/exaeff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/exaeff_agent.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nextgen.dir/bench_ablation_nextgen.cc.o"
+  "CMakeFiles/bench_ablation_nextgen.dir/bench_ablation_nextgen.cc.o.d"
+  "bench_ablation_nextgen"
+  "bench_ablation_nextgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nextgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

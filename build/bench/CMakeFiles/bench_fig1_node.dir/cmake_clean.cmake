@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_node.dir/bench_fig1_node.cc.o"
+  "CMakeFiles/bench_fig1_node.dir/bench_fig1_node.cc.o.d"
+  "bench_fig1_node"
+  "bench_fig1_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

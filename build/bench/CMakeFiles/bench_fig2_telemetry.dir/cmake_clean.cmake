@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_telemetry.dir/bench_fig2_telemetry.cc.o"
+  "CMakeFiles/bench_fig2_telemetry.dir/bench_fig2_telemetry.cc.o.d"
+  "bench_fig2_telemetry"
+  "bench_fig2_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_accesspattern.dir/bench_fig3_accesspattern.cc.o"
+  "CMakeFiles/bench_fig3_accesspattern.dir/bench_fig3_accesspattern.cc.o.d"
+  "bench_fig3_accesspattern"
+  "bench_fig3_accesspattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_accesspattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

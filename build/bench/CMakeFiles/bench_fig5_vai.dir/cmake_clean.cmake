@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_vai.dir/bench_fig5_vai.cc.o"
+  "CMakeFiles/bench_fig5_vai.dir/bench_fig5_vai.cc.o.d"
+  "bench_fig5_vai"
+  "bench_fig5_vai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_vai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

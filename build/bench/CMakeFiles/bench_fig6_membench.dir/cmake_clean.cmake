@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_membench.dir/bench_fig6_membench.cc.o"
+  "CMakeFiles/bench_fig6_membench.dir/bench_fig6_membench.cc.o.d"
+  "bench_fig6_membench"
+  "bench_fig6_membench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_membench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

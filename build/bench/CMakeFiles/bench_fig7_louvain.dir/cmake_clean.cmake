@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_louvain.dir/bench_fig7_louvain.cc.o"
+  "CMakeFiles/bench_fig7_louvain.dir/bench_fig7_louvain.cc.o.d"
+  "bench_fig7_louvain"
+  "bench_fig7_louvain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_louvain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

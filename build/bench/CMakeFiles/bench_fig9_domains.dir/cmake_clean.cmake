@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_domains.dir/bench_fig9_domains.cc.o"
+  "CMakeFiles/bench_fig9_domains.dir/bench_fig9_domains.cc.o.d"
+  "bench_fig9_domains"
+  "bench_fig9_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_capresponse.dir/bench_table3_capresponse.cc.o"
+  "CMakeFiles/bench_table3_capresponse.dir/bench_table3_capresponse.cc.o.d"
+  "bench_table3_capresponse"
+  "bench_table3_capresponse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_capresponse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

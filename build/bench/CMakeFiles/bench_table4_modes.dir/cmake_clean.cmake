@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_modes.dir/bench_table4_modes.cc.o"
+  "CMakeFiles/bench_table4_modes.dir/bench_table4_modes.cc.o.d"
+  "bench_table4_modes"
+  "bench_table4_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_projection.dir/bench_table5_projection.cc.o"
+  "CMakeFiles/bench_table5_projection.dir/bench_table5_projection.cc.o.d"
+  "bench_table5_projection"
+  "bench_table5_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

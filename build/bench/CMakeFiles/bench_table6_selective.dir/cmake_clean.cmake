@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_selective.dir/bench_table6_selective.cc.o"
+  "CMakeFiles/bench_table6_selective.dir/bench_table6_selective.cc.o.d"
+  "bench_table6_selective"
+  "bench_table6_selective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_policy.dir/bench_table7_policy.cc.o"
+  "CMakeFiles/bench_table7_policy.dir/bench_table7_policy.cc.o.d"
+  "bench_table7_policy"
+  "bench_table7_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_projection.dir/datacenter_projection.cpp.o"
+  "CMakeFiles/datacenter_projection.dir/datacenter_projection.cpp.o.d"
+  "datacenter_projection"
+  "datacenter_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/generate_report.cpp" "examples/CMakeFiles/generate_report.dir/generate_report.cpp.o" "gcc" "examples/CMakeFiles/generate_report.dir/generate_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/exaeff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/exaeff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/exaeff_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/exaeff_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/exaeff_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/exaeff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

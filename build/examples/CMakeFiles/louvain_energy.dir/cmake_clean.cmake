@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/louvain_energy.dir/louvain_energy.cpp.o"
+  "CMakeFiles/louvain_energy.dir/louvain_energy.cpp.o.d"
+  "louvain_energy"
+  "louvain_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/louvain_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

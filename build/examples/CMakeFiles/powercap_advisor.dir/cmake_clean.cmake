@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powercap_advisor.dir/powercap_advisor.cpp.o"
+  "CMakeFiles/powercap_advisor.dir/powercap_advisor.cpp.o.d"
+  "powercap_advisor"
+  "powercap_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powercap_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

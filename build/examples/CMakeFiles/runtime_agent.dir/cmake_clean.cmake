@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_agent.dir/runtime_agent.cpp.o"
+  "CMakeFiles/runtime_agent.dir/runtime_agent.cpp.o.d"
+  "runtime_agent"
+  "runtime_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/budget.cc" "src/agent/CMakeFiles/exaeff_agent.dir/budget.cc.o" "gcc" "src/agent/CMakeFiles/exaeff_agent.dir/budget.cc.o.d"
+  "/root/repo/src/agent/capping_agent.cc" "src/agent/CMakeFiles/exaeff_agent.dir/capping_agent.cc.o" "gcc" "src/agent/CMakeFiles/exaeff_agent.dir/capping_agent.cc.o.d"
+  "/root/repo/src/agent/fingerprint.cc" "src/agent/CMakeFiles/exaeff_agent.dir/fingerprint.cc.o" "gcc" "src/agent/CMakeFiles/exaeff_agent.dir/fingerprint.cc.o.d"
+  "/root/repo/src/agent/power_steering.cc" "src/agent/CMakeFiles/exaeff_agent.dir/power_steering.cc.o" "gcc" "src/agent/CMakeFiles/exaeff_agent.dir/power_steering.cc.o.d"
+  "/root/repo/src/agent/response_model.cc" "src/agent/CMakeFiles/exaeff_agent.dir/response_model.cc.o" "gcc" "src/agent/CMakeFiles/exaeff_agent.dir/response_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/exaeff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/exaeff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/exaeff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/exaeff_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/exaeff_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

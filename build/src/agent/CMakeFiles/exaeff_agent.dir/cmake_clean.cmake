@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_agent.dir/budget.cc.o"
+  "CMakeFiles/exaeff_agent.dir/budget.cc.o.d"
+  "CMakeFiles/exaeff_agent.dir/capping_agent.cc.o"
+  "CMakeFiles/exaeff_agent.dir/capping_agent.cc.o.d"
+  "CMakeFiles/exaeff_agent.dir/fingerprint.cc.o"
+  "CMakeFiles/exaeff_agent.dir/fingerprint.cc.o.d"
+  "CMakeFiles/exaeff_agent.dir/power_steering.cc.o"
+  "CMakeFiles/exaeff_agent.dir/power_steering.cc.o.d"
+  "CMakeFiles/exaeff_agent.dir/response_model.cc.o"
+  "CMakeFiles/exaeff_agent.dir/response_model.cc.o.d"
+  "libexaeff_agent.a"
+  "libexaeff_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

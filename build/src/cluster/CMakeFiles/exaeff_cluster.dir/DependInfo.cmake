@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/node_sim.cc" "src/cluster/CMakeFiles/exaeff_cluster.dir/node_sim.cc.o" "gcc" "src/cluster/CMakeFiles/exaeff_cluster.dir/node_sim.cc.o.d"
+  "/root/repo/src/cluster/system_config.cc" "src/cluster/CMakeFiles/exaeff_cluster.dir/system_config.cc.o" "gcc" "src/cluster/CMakeFiles/exaeff_cluster.dir/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/exaeff_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

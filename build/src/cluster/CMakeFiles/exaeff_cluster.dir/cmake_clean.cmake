@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_cluster.dir/node_sim.cc.o"
+  "CMakeFiles/exaeff_cluster.dir/node_sim.cc.o.d"
+  "CMakeFiles/exaeff_cluster.dir/system_config.cc.o"
+  "CMakeFiles/exaeff_cluster.dir/system_config.cc.o.d"
+  "libexaeff_cluster.a"
+  "libexaeff_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

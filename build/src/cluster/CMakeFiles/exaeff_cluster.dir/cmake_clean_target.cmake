@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexaeff_cluster.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_common.dir/ascii_plot.cc.o"
+  "CMakeFiles/exaeff_common.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/exaeff_common.dir/csv.cc.o"
+  "CMakeFiles/exaeff_common.dir/csv.cc.o.d"
+  "CMakeFiles/exaeff_common.dir/rng.cc.o"
+  "CMakeFiles/exaeff_common.dir/rng.cc.o.d"
+  "CMakeFiles/exaeff_common.dir/stats.cc.o"
+  "CMakeFiles/exaeff_common.dir/stats.cc.o.d"
+  "CMakeFiles/exaeff_common.dir/table.cc.o"
+  "CMakeFiles/exaeff_common.dir/table.cc.o.d"
+  "libexaeff_common.a"
+  "libexaeff_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accumulator.cc" "src/core/CMakeFiles/exaeff_core.dir/accumulator.cc.o" "gcc" "src/core/CMakeFiles/exaeff_core.dir/accumulator.cc.o.d"
+  "/root/repo/src/core/characterization.cc" "src/core/CMakeFiles/exaeff_core.dir/characterization.cc.o" "gcc" "src/core/CMakeFiles/exaeff_core.dir/characterization.cc.o.d"
+  "/root/repo/src/core/decomposition.cc" "src/core/CMakeFiles/exaeff_core.dir/decomposition.cc.o" "gcc" "src/core/CMakeFiles/exaeff_core.dir/decomposition.cc.o.d"
+  "/root/repo/src/core/domain_analysis.cc" "src/core/CMakeFiles/exaeff_core.dir/domain_analysis.cc.o" "gcc" "src/core/CMakeFiles/exaeff_core.dir/domain_analysis.cc.o.d"
+  "/root/repo/src/core/modal.cc" "src/core/CMakeFiles/exaeff_core.dir/modal.cc.o" "gcc" "src/core/CMakeFiles/exaeff_core.dir/modal.cc.o.d"
+  "/root/repo/src/core/phases.cc" "src/core/CMakeFiles/exaeff_core.dir/phases.cc.o" "gcc" "src/core/CMakeFiles/exaeff_core.dir/phases.cc.o.d"
+  "/root/repo/src/core/projection.cc" "src/core/CMakeFiles/exaeff_core.dir/projection.cc.o" "gcc" "src/core/CMakeFiles/exaeff_core.dir/projection.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/exaeff_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/exaeff_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/exaeff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/exaeff_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/exaeff_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/exaeff_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_core.dir/accumulator.cc.o"
+  "CMakeFiles/exaeff_core.dir/accumulator.cc.o.d"
+  "CMakeFiles/exaeff_core.dir/characterization.cc.o"
+  "CMakeFiles/exaeff_core.dir/characterization.cc.o.d"
+  "CMakeFiles/exaeff_core.dir/decomposition.cc.o"
+  "CMakeFiles/exaeff_core.dir/decomposition.cc.o.d"
+  "CMakeFiles/exaeff_core.dir/domain_analysis.cc.o"
+  "CMakeFiles/exaeff_core.dir/domain_analysis.cc.o.d"
+  "CMakeFiles/exaeff_core.dir/modal.cc.o"
+  "CMakeFiles/exaeff_core.dir/modal.cc.o.d"
+  "CMakeFiles/exaeff_core.dir/phases.cc.o"
+  "CMakeFiles/exaeff_core.dir/phases.cc.o.d"
+  "CMakeFiles/exaeff_core.dir/projection.cc.o"
+  "CMakeFiles/exaeff_core.dir/projection.cc.o.d"
+  "CMakeFiles/exaeff_core.dir/report.cc.o"
+  "CMakeFiles/exaeff_core.dir/report.cc.o.d"
+  "libexaeff_core.a"
+  "libexaeff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

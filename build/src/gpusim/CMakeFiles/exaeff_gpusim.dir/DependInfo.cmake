@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/control_api.cc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/control_api.cc.o" "gcc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/control_api.cc.o.d"
+  "/root/repo/src/gpusim/device_spec.cc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/device_spec.cc.o" "gcc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/device_spec.cc.o.d"
+  "/root/repo/src/gpusim/perf_model.cc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/perf_model.cc.o" "gcc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/perf_model.cc.o.d"
+  "/root/repo/src/gpusim/phase_run.cc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/phase_run.cc.o" "gcc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/phase_run.cc.o.d"
+  "/root/repo/src/gpusim/policy.cc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/policy.cc.o" "gcc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/policy.cc.o.d"
+  "/root/repo/src/gpusim/power_model.cc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/power_model.cc.o" "gcc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/power_model.cc.o.d"
+  "/root/repo/src/gpusim/simulator.cc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/simulator.cc.o" "gcc" "src/gpusim/CMakeFiles/exaeff_gpusim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_gpusim.dir/control_api.cc.o"
+  "CMakeFiles/exaeff_gpusim.dir/control_api.cc.o.d"
+  "CMakeFiles/exaeff_gpusim.dir/device_spec.cc.o"
+  "CMakeFiles/exaeff_gpusim.dir/device_spec.cc.o.d"
+  "CMakeFiles/exaeff_gpusim.dir/perf_model.cc.o"
+  "CMakeFiles/exaeff_gpusim.dir/perf_model.cc.o.d"
+  "CMakeFiles/exaeff_gpusim.dir/phase_run.cc.o"
+  "CMakeFiles/exaeff_gpusim.dir/phase_run.cc.o.d"
+  "CMakeFiles/exaeff_gpusim.dir/policy.cc.o"
+  "CMakeFiles/exaeff_gpusim.dir/policy.cc.o.d"
+  "CMakeFiles/exaeff_gpusim.dir/power_model.cc.o"
+  "CMakeFiles/exaeff_gpusim.dir/power_model.cc.o.d"
+  "CMakeFiles/exaeff_gpusim.dir/simulator.cc.o"
+  "CMakeFiles/exaeff_gpusim.dir/simulator.cc.o.d"
+  "libexaeff_gpusim.a"
+  "libexaeff_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/exaeff_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/exaeff_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/exaeff_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/exaeff_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/gpu_mapping.cc" "src/graph/CMakeFiles/exaeff_graph.dir/gpu_mapping.cc.o" "gcc" "src/graph/CMakeFiles/exaeff_graph.dir/gpu_mapping.cc.o.d"
+  "/root/repo/src/graph/louvain.cc" "src/graph/CMakeFiles/exaeff_graph.dir/louvain.cc.o" "gcc" "src/graph/CMakeFiles/exaeff_graph.dir/louvain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_graph.dir/csr.cc.o"
+  "CMakeFiles/exaeff_graph.dir/csr.cc.o.d"
+  "CMakeFiles/exaeff_graph.dir/generators.cc.o"
+  "CMakeFiles/exaeff_graph.dir/generators.cc.o.d"
+  "CMakeFiles/exaeff_graph.dir/gpu_mapping.cc.o"
+  "CMakeFiles/exaeff_graph.dir/gpu_mapping.cc.o.d"
+  "CMakeFiles/exaeff_graph.dir/louvain.cc.o"
+  "CMakeFiles/exaeff_graph.dir/louvain.cc.o.d"
+  "libexaeff_graph.a"
+  "libexaeff_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/domain.cc" "src/sched/CMakeFiles/exaeff_sched.dir/domain.cc.o" "gcc" "src/sched/CMakeFiles/exaeff_sched.dir/domain.cc.o.d"
+  "/root/repo/src/sched/fleetgen.cc" "src/sched/CMakeFiles/exaeff_sched.dir/fleetgen.cc.o" "gcc" "src/sched/CMakeFiles/exaeff_sched.dir/fleetgen.cc.o.d"
+  "/root/repo/src/sched/log.cc" "src/sched/CMakeFiles/exaeff_sched.dir/log.cc.o" "gcc" "src/sched/CMakeFiles/exaeff_sched.dir/log.cc.o.d"
+  "/root/repo/src/sched/policy.cc" "src/sched/CMakeFiles/exaeff_sched.dir/policy.cc.o" "gcc" "src/sched/CMakeFiles/exaeff_sched.dir/policy.cc.o.d"
+  "/root/repo/src/sched/queue_sim.cc" "src/sched/CMakeFiles/exaeff_sched.dir/queue_sim.cc.o" "gcc" "src/sched/CMakeFiles/exaeff_sched.dir/queue_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/exaeff_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/exaeff_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/exaeff_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

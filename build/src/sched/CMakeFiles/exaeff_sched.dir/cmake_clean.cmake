@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_sched.dir/domain.cc.o"
+  "CMakeFiles/exaeff_sched.dir/domain.cc.o.d"
+  "CMakeFiles/exaeff_sched.dir/fleetgen.cc.o"
+  "CMakeFiles/exaeff_sched.dir/fleetgen.cc.o.d"
+  "CMakeFiles/exaeff_sched.dir/log.cc.o"
+  "CMakeFiles/exaeff_sched.dir/log.cc.o.d"
+  "CMakeFiles/exaeff_sched.dir/policy.cc.o"
+  "CMakeFiles/exaeff_sched.dir/policy.cc.o.d"
+  "CMakeFiles/exaeff_sched.dir/queue_sim.cc.o"
+  "CMakeFiles/exaeff_sched.dir/queue_sim.cc.o.d"
+  "libexaeff_sched.a"
+  "libexaeff_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exaeff_sched.
+# This may be replaced when dependencies are built.

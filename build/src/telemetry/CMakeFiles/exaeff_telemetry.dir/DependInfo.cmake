@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/aggregator.cc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/aggregator.cc.o" "gcc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/aggregator.cc.o.d"
+  "/root/repo/src/telemetry/archive.cc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/archive.cc.o" "gcc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/archive.cc.o.d"
+  "/root/repo/src/telemetry/codec.cc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/codec.cc.o" "gcc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/codec.cc.o.d"
+  "/root/repo/src/telemetry/smi.cc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/smi.cc.o" "gcc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/smi.cc.o.d"
+  "/root/repo/src/telemetry/store.cc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/store.cc.o" "gcc" "src/telemetry/CMakeFiles/exaeff_telemetry.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

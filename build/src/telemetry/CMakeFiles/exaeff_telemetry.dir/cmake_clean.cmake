@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_telemetry.dir/aggregator.cc.o"
+  "CMakeFiles/exaeff_telemetry.dir/aggregator.cc.o.d"
+  "CMakeFiles/exaeff_telemetry.dir/archive.cc.o"
+  "CMakeFiles/exaeff_telemetry.dir/archive.cc.o.d"
+  "CMakeFiles/exaeff_telemetry.dir/codec.cc.o"
+  "CMakeFiles/exaeff_telemetry.dir/codec.cc.o.d"
+  "CMakeFiles/exaeff_telemetry.dir/smi.cc.o"
+  "CMakeFiles/exaeff_telemetry.dir/smi.cc.o.d"
+  "CMakeFiles/exaeff_telemetry.dir/store.cc.o"
+  "CMakeFiles/exaeff_telemetry.dir/store.cc.o.d"
+  "libexaeff_telemetry.a"
+  "libexaeff_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app_profile.cc" "src/workloads/CMakeFiles/exaeff_workloads.dir/app_profile.cc.o" "gcc" "src/workloads/CMakeFiles/exaeff_workloads.dir/app_profile.cc.o.d"
+  "/root/repo/src/workloads/ert.cc" "src/workloads/CMakeFiles/exaeff_workloads.dir/ert.cc.o" "gcc" "src/workloads/CMakeFiles/exaeff_workloads.dir/ert.cc.o.d"
+  "/root/repo/src/workloads/membench.cc" "src/workloads/CMakeFiles/exaeff_workloads.dir/membench.cc.o" "gcc" "src/workloads/CMakeFiles/exaeff_workloads.dir/membench.cc.o.d"
+  "/root/repo/src/workloads/vai.cc" "src/workloads/CMakeFiles/exaeff_workloads.dir/vai.cc.o" "gcc" "src/workloads/CMakeFiles/exaeff_workloads.dir/vai.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/exaeff_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/exaeff_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

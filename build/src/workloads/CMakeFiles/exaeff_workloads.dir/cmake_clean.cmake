@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff_workloads.dir/app_profile.cc.o"
+  "CMakeFiles/exaeff_workloads.dir/app_profile.cc.o.d"
+  "CMakeFiles/exaeff_workloads.dir/ert.cc.o"
+  "CMakeFiles/exaeff_workloads.dir/ert.cc.o.d"
+  "CMakeFiles/exaeff_workloads.dir/membench.cc.o"
+  "CMakeFiles/exaeff_workloads.dir/membench.cc.o.d"
+  "CMakeFiles/exaeff_workloads.dir/vai.cc.o"
+  "CMakeFiles/exaeff_workloads.dir/vai.cc.o.d"
+  "libexaeff_workloads.a"
+  "libexaeff_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

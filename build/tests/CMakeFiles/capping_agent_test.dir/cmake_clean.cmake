@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capping_agent_test.dir/agent/capping_agent_test.cc.o"
+  "CMakeFiles/capping_agent_test.dir/agent/capping_agent_test.cc.o.d"
+  "capping_agent_test"
+  "capping_agent_test.pdb"
+  "capping_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capping_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

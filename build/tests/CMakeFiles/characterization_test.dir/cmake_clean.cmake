@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterization_test.dir/core/characterization_test.cc.o"
+  "CMakeFiles/characterization_test.dir/core/characterization_test.cc.o.d"
+  "characterization_test"
+  "characterization_test.pdb"
+  "characterization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

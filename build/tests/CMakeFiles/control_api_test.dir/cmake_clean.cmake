@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_api_test.dir/gpusim/control_api_test.cc.o"
+  "CMakeFiles/control_api_test.dir/gpusim/control_api_test.cc.o.d"
+  "control_api_test"
+  "control_api_test.pdb"
+  "control_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_analysis_test.dir/core/domain_analysis_test.cc.o"
+  "CMakeFiles/domain_analysis_test.dir/core/domain_analysis_test.cc.o.d"
+  "domain_analysis_test"
+  "domain_analysis_test.pdb"
+  "domain_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleetgen_test.dir/sched/fleetgen_test.cc.o"
+  "CMakeFiles/fleetgen_test.dir/sched/fleetgen_test.cc.o.d"
+  "fleetgen_test"
+  "fleetgen_test.pdb"
+  "fleetgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleetgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_mapping_test.dir/graph/gpu_mapping_test.cc.o"
+  "CMakeFiles/gpu_mapping_test.dir/graph/gpu_mapping_test.cc.o.d"
+  "gpu_mapping_test"
+  "gpu_mapping_test.pdb"
+  "gpu_mapping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

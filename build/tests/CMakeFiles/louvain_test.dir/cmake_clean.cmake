@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/louvain_test.dir/graph/louvain_test.cc.o"
+  "CMakeFiles/louvain_test.dir/graph/louvain_test.cc.o.d"
+  "louvain_test"
+  "louvain_test.pdb"
+  "louvain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/louvain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

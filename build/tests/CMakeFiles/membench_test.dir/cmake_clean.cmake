@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membench_test.dir/workloads/membench_test.cc.o"
+  "CMakeFiles/membench_test.dir/workloads/membench_test.cc.o.d"
+  "membench_test"
+  "membench_test.pdb"
+  "membench_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modal_test.dir/core/modal_test.cc.o"
+  "CMakeFiles/modal_test.dir/core/modal_test.cc.o.d"
+  "modal_test"
+  "modal_test.pdb"
+  "modal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

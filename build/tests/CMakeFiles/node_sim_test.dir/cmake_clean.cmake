@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_sim_test.dir/cluster/node_sim_test.cc.o"
+  "CMakeFiles/node_sim_test.dir/cluster/node_sim_test.cc.o.d"
+  "node_sim_test"
+  "node_sim_test.pdb"
+  "node_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

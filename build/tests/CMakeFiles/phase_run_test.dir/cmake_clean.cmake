@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_run_test.dir/gpusim/phase_run_test.cc.o"
+  "CMakeFiles/phase_run_test.dir/gpusim/phase_run_test.cc.o.d"
+  "phase_run_test"
+  "phase_run_test.pdb"
+  "phase_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_model_test.dir/gpusim/power_model_test.cc.o"
+  "CMakeFiles/power_model_test.dir/gpusim/power_model_test.cc.o.d"
+  "power_model_test"
+  "power_model_test.pdb"
+  "power_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_steering_test.dir/agent/power_steering_test.cc.o"
+  "CMakeFiles/power_steering_test.dir/agent/power_steering_test.cc.o.d"
+  "power_steering_test"
+  "power_steering_test.pdb"
+  "power_steering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_steering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

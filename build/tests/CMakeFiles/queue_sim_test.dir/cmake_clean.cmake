@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_sim_test.dir/sched/queue_sim_test.cc.o"
+  "CMakeFiles/queue_sim_test.dir/sched/queue_sim_test.cc.o.d"
+  "queue_sim_test"
+  "queue_sim_test.pdb"
+  "queue_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

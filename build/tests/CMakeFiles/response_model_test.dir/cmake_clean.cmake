@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/response_model_test.dir/agent/response_model_test.cc.o"
+  "CMakeFiles/response_model_test.dir/agent/response_model_test.cc.o.d"
+  "response_model_test"
+  "response_model_test.pdb"
+  "response_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/response_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smi_test.dir/telemetry/smi_test.cc.o"
+  "CMakeFiles/smi_test.dir/telemetry/smi_test.cc.o.d"
+  "smi_test"
+  "smi_test.pdb"
+  "smi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vai_test.dir/workloads/vai_test.cc.o"
+  "CMakeFiles/vai_test.dir/workloads/vai_test.cc.o.d"
+  "vai_test"
+  "vai_test.pdb"
+  "vai_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vai_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

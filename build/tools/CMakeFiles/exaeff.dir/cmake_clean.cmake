@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaeff.dir/exaeff_cli.cc.o"
+  "CMakeFiles/exaeff.dir/exaeff_cli.cc.o.d"
+  "exaeff"
+  "exaeff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaeff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
