@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace exaeff::agent {
 
 CappingAgent::CappingAgent(const AgentConfig& config,
@@ -31,6 +33,7 @@ double CappingAgent::observe(double power_w) {
   if (observed == believed_) {
     candidate_streak_ = 0;
   } else {
+    ++misclassified_;
     if (observed != candidate_) {
       candidate_ = observed;
       candidate_streak_ = 0;
@@ -90,6 +93,19 @@ ReplayResult replay_agent(std::span<const float> powers_w, double window_s,
     (void)agent.observe(p);
   }
   out.cap_switches = agent.switch_count();
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("exaeff_agent_region_switches_total",
+                "Cap re-actuations performed by the capping agent")
+        .inc(agent.switch_count());
+    reg.counter("exaeff_agent_misclassified_windows_total",
+                "Windows where the agent's believed region lagged the "
+                "observed region")
+        .inc(agent.misclassified_windows());
+    reg.counter("exaeff_agent_windows_total",
+                "Telemetry windows replayed through the capping agent")
+        .inc(out.windows);
+  }
   return out;
 }
 

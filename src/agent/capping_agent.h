@@ -66,6 +66,12 @@ class CappingAgent {
   /// Number of cap changes so far (actuation cost metric).
   [[nodiscard]] std::size_t switch_count() const { return switches_; }
 
+  /// Windows where the observed region disagreed with the believed one
+  /// (hysteresis lag): the cap in force was tuned for the wrong region.
+  [[nodiscard]] std::size_t misclassified_windows() const {
+    return misclassified_;
+  }
+
  private:
   AgentConfig config_;
   core::RegionBoundaries boundaries_;
@@ -77,6 +83,7 @@ class CappingAgent {
   std::size_t candidate_streak_ = 0;
   double current_cap_;
   std::size_t switches_ = 0;
+  std::size_t misclassified_ = 0;
 };
 
 /// Outcome of replaying a telemetry stream under a capping strategy.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "telemetry/aggregator.h"
 
 namespace exaeff::cluster {
@@ -12,6 +14,7 @@ NodeRunResult simulate_node_job(const NodeSpec& node,
                                 const gpusim::PowerPolicy& policy,
                                 const NodeRunOptions& options, Rng& rng,
                                 telemetry::TelemetrySink& sink) {
+  EXAEFF_TRACE_SPAN("node_sim.job");
   node.validate();
   EXAEFF_REQUIRE(!phases.empty(), "node job needs at least one phase");
   EXAEFF_REQUIRE(options.sensor_period_s > 0.0 &&
@@ -109,6 +112,15 @@ NodeRunResult simulate_node_job(const NodeSpec& node,
   }
   aggregator.flush();
   result.aggregated_samples = counter.gcd_records + counter.node_records;
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("exaeff_node_phases_total",
+                "Application phases executed by the node simulator")
+        .inc(phases.size() * gcds);
+    reg.counter("exaeff_samples_total",
+                "Telemetry samples synthesized by the pipeline")
+        .inc(result.raw_samples);
+  }
   return result;
 }
 

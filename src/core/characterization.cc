@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/trace.h"
 #include "workloads/membench.h"
 #include "workloads/vai.h"
 
@@ -65,6 +66,7 @@ void sweep(const gpusim::GpuSimulator& sim,
 
 CapResponseTable characterize(const gpusim::DeviceSpec& spec,
                               const CharacterizationOptions& opts) {
+  EXAEFF_TRACE_SPAN("core.characterize");
   const gpusim::GpuSimulator sim(spec);
 
   std::vector<double> freq_caps = opts.frequency_caps_mhz.empty()

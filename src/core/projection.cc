@@ -1,6 +1,8 @@
 #include "core/projection.h"
 
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace exaeff::core {
 
@@ -39,6 +41,7 @@ ProjectionRow ProjectionEngine::project(const ModalDecomposition& decomp,
 
 std::vector<ProjectionRow> ProjectionEngine::project_sweep(
     const ModalDecomposition& decomp, CapType type) const {
+  EXAEFF_TRACE_SPAN("projection.sweep");
   std::vector<ProjectionRow> rows;
   for (const auto& r : table_.rows(BenchClass::kComputeIntensive, type)) {
     // Skip the uncapped baseline rows (100% everything).
@@ -47,6 +50,12 @@ std::vector<ProjectionRow> ProjectionEngine::project_sweep(
       continue;
     }
     rows.push_back(project(decomp, type, r.setting));
+  }
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("exaeff_projection_rows_total",
+                 "Cap settings evaluated by projection sweeps")
+        .inc(rows.size());
   }
   return rows;
 }

@@ -6,10 +6,12 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "core/domain_analysis.h"
+#include "obs/trace.h"
 
 namespace exaeff::core {
 
 std::string render_campaign_report(const ReportInputs& inputs) {
+  EXAEFF_TRACE_SPAN("report.render");
   if (inputs.accumulator == nullptr || inputs.table == nullptr) {
     throw ConfigError("report needs an accumulator and a response table");
   }

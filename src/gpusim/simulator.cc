@@ -3,12 +3,31 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace exaeff::gpusim {
 
 CapSolution GpuSimulator::settle(const KernelDesc& kernel,
                                  const PowerPolicy& policy) const {
   policy.validate();
   kernel.validate();
+
+  // Registry updates are guarded so the disabled (default) cost is one
+  // relaxed load — settle() is on the bench-critical path.
+  struct SettleMetrics {
+    obs::Counter& calls;
+    obs::Counter& breaches;
+  };
+  static SettleMetrics* metrics = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return new SettleMetrics{
+        reg.counter("exaeff_settle_total",
+                    "Cap-settle solves performed by the GPU simulator"),
+        reg.counter("exaeff_cap_breach_total",
+                    "Settles where the power cap could not be met")};
+  }();
+  const bool count = obs::metrics_enabled();
+  if (count) metrics->calls.inc();
 
   // A frequency cap restricts the clock range; model it by solving the
   // power cap (if any) at a device whose f_max is the cap.
@@ -31,6 +50,7 @@ CapSolution GpuSimulator::settle(const KernelDesc& kernel,
     sol.power_w = power_.power_at(kernel, f_ceiling);
     sol.breached = sol.power_w > *policy.power_cap_w;
   }
+  if (count && sol.breached) metrics->breaches.inc();
   return sol;
 }
 

@@ -1,0 +1,129 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace exaeff::obs {
+
+namespace {
+
+double uptime_s() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+/// Quotes a value iff it contains whitespace, '=' or quotes.
+std::string render_value(const std::string& v) {
+  const bool needs_quotes =
+      v.empty() ||
+      v.find_first_of(" \t\n\"=") != std::string::npos;
+  if (!needs_quotes) return v;
+  std::string out = "\"";
+  for (char c : v) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+LogField::LogField(std::string_view k, double v) : key(k) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  value = buf;
+}
+
+LogLevel parse_log_level(std::string_view text, bool* ok) {
+  if (ok) *ok = true;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn" || text == "warning") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (ok) *ok = false;
+  return LogLevel::kInfo;
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+Logger& Logger::global() {
+  static Logger* logger = new Logger();  // leaked: usable during shutdown
+  return *logger;
+}
+
+Logger::~Logger() {
+  if (sink_) std::fclose(sink_);
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level_;
+}
+
+bool Logger::enabled(LogLevel level) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return level >= level_;
+}
+
+bool Logger::set_file_sink(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) std::fclose(sink_);
+  sink_ = f;
+  return f != nullptr;
+}
+
+void Logger::set_stderr_sink() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) std::fclose(sink_);
+  sink_ = nullptr;
+}
+
+void Logger::log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  std::string line;
+  line.reserve(64);
+  {
+    char head[48];
+    std::snprintf(head, sizeof head, "[%10.3f] ", uptime_s());
+    line = head;
+  }
+  line += log_level_name(level);
+  line.push_back(' ');
+  line += event;
+  for (const LogField& f : fields) {
+    line.push_back(' ');
+    line += f.key;
+    line.push_back('=');
+    line += render_value(f.value);
+  }
+  line.push_back('\n');
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < level_) return;
+  std::FILE* out = sink_ ? sink_ : stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+}  // namespace exaeff::obs

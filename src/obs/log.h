@@ -1,0 +1,100 @@
+// exaeff/obs/log.h
+//
+// Minimal structured logger: leveled events with key=value fields,
+// written to stderr (default) or a file sink.
+//
+//   obs::Logger::global().info("campaign.done",
+//                              {{"jobs", 1234}, {"nodes", 64}});
+//     ->  [12.345] info campaign.done jobs=1234 nodes=64
+//
+// The timestamp is seconds on the process-local monotonic clock, so log
+// output never depends on wall-clock state.  All emission goes through
+// one mutex; this logger is for stage-level diagnostics, not per-sample
+// hot paths.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace exaeff::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Parses "debug"/"info"/"warn"/"error" (case-sensitive); returns kInfo
+/// and sets *ok=false on anything else.
+LogLevel parse_log_level(std::string_view text, bool* ok = nullptr);
+[[nodiscard]] std::string_view log_level_name(LogLevel level);
+
+/// One key=value field.  Numeric constructors format eagerly so call
+/// sites can mix types in an initializer list.
+struct LogField {
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  LogField(std::string_view k, double v);
+  LogField(std::string_view k, unsigned long long v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, unsigned long v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, long long v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, int v) : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, unsigned v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false") {}
+
+  std::string key;
+  std::string value;
+};
+
+class Logger {
+ public:
+  /// The process-wide logger (stderr, info level).
+  static Logger& global();
+
+  Logger() = default;
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(LogLevel level);
+  [[nodiscard]] LogLevel level() const;
+  [[nodiscard]] bool enabled(LogLevel level) const;
+
+  /// Redirects output to `path` (append); falls back to stderr and
+  /// returns false if the file cannot be opened.
+  bool set_file_sink(const std::string& path);
+  /// Restores the stderr sink.
+  void set_stderr_sink();
+
+  void log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields = {});
+
+  void debug(std::string_view event,
+             std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kDebug, event, fields);
+  }
+  void info(std::string_view event,
+            std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kInfo, event, fields);
+  }
+  void warn(std::string_view event,
+            std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kWarn, event, fields);
+  }
+  void error(std::string_view event,
+             std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kError, event, fields);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kInfo;
+  std::FILE* sink_ = nullptr;  // nullptr = stderr; owned when non-null
+};
+
+}  // namespace exaeff::obs

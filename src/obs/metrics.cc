@@ -1,0 +1,322 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace exaeff::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(double lo, double hi, std::size_t bucket_count) {
+  EXAEFF_REQUIRE(lo > 0.0 && hi > lo, "histogram range must be 0 < lo < hi");
+  EXAEFF_REQUIRE(bucket_count >= 1, "histogram needs at least one bucket");
+  bounds_.resize(bucket_count);
+  const double step = std::log(hi / lo) / static_cast<double>(bucket_count);
+  for (std::size_t i = 0; i < bucket_count; ++i) {
+    bounds_[i] = lo * std::exp(step * static_cast<double>(i + 1));
+  }
+  bounds_.back() = hi;  // exact upper edge despite fp rounding
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bucket_count + 1);
+  for (std::size_t i = 0; i <= bucket_count; ++i) buckets_[i].store(0);
+  log_lo_ = std::log(lo);
+  inv_log_step_ = 1.0 / step;
+}
+
+void Histogram::observe(double x) {
+  std::size_t idx;
+  if (!(x > 0.0)) {
+    idx = 0;  // non-positive (and NaN) land in the first bucket
+  } else if (x > bounds_.back()) {
+    idx = bounds_.size();  // +inf bucket
+  } else {
+    const double f = (std::log(x) - log_lo_) * inv_log_step_;
+    idx = f <= 0.0 ? 0 : static_cast<std::size_t>(f);
+    // Guard fp rounding at bucket edges: idx must satisfy x <= bounds_[idx].
+    while (idx < bounds_.size() && x > bounds_[idx]) ++idx;
+    while (idx > 0 && x <= bounds_[idx - 1]) --idx;
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string render_labels(Labels labels) {
+  if (labels.empty()) return {};
+  std::sort(labels.begin(), labels.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += escape_label_value(labels[i].second);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  std::ostringstream ss;
+  ss.precision(12);
+  ss << v;
+  out += ss.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Series& MetricsRegistry::find_or_create(
+    Kind kind, const std::string& name, const std::string& help,
+    const Labels& labels, double lo, double hi, std::size_t buckets) {
+  EXAEFF_REQUIRE(valid_metric_name(name), "invalid metric name");
+  const std::string label_text = render_labels(labels);
+  const std::string key = name + label_text;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(key);
+  if (it != series_.end()) {
+    EXAEFF_REQUIRE(it->second.kind == kind,
+                   "metric re-registered with a different type");
+    return it->second;
+  }
+  Series s;
+  s.kind = kind;
+  s.family = name;
+  s.help = help;
+  s.label_text = label_text;
+  switch (kind) {
+    case Kind::kCounter: s.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: s.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      s.histogram = std::make_unique<Histogram>(lo, hi, buckets);
+      break;
+  }
+  return series_.emplace(key, std::move(s)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return *find_or_create(Kind::kCounter, name, help, labels, 0, 0, 0)
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help, const Labels& labels) {
+  return *find_or_create(Kind::kGauge, name, help, labels, 0, 0, 0).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const Labels& labels, double lo,
+                                      double hi, std::size_t bucket_count) {
+  return *find_or_create(Kind::kHistogram, name, help, labels, lo, hi,
+                         bucket_count)
+              .histogram;
+}
+
+std::string MetricsRegistry::expose_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [key, s] : series_) {
+    if (s.family != last_family) {
+      last_family = s.family;
+      if (!s.help.empty()) {
+        out += "# HELP " + s.family + " " + s.help + "\n";
+      }
+      const char* type = s.kind == Kind::kCounter   ? "counter"
+                         : s.kind == Kind::kGauge   ? "gauge"
+                                                    : "histogram";
+      out += "# TYPE " + s.family + " " + type + "\n";
+    }
+    switch (s.kind) {
+      case Kind::kCounter:
+        out += s.family + s.label_text + " " +
+               std::to_string(s.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += s.family + s.label_text + " ";
+        append_number(out, s.gauge->value());
+        out += "\n";
+        break;
+      case Kind::kHistogram: {
+        // Cumulative le-buckets, then sum and count, per convention.
+        const auto counts = s.histogram->bucket_counts();
+        const auto& bounds = s.histogram->bounds();
+        const std::string base_labels =
+            s.label_text.empty()
+                ? std::string()
+                : s.label_text.substr(1, s.label_text.size() - 2) + ",";
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cum += counts[i];
+          out += s.family + "_bucket{" + base_labels + "le=\"";
+          append_number(out, bounds[i]);
+          out += "\"} " + std::to_string(cum) + "\n";
+        }
+        cum += counts.back();
+        out += s.family + "_bucket{" + base_labels + "le=\"+Inf\"} " +
+               std::to_string(cum) + "\n";
+        out += s.family + "_sum" + s.label_text + " ";
+        append_number(out, s.histogram->sum());
+        out += "\n";
+        out += s.family + "_count" + s.label_text + " " +
+               std::to_string(s.histogram->count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::expose_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, s] : series_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":";
+    switch (s.kind) {
+      case Kind::kCounter:
+        out += std::to_string(s.counter->value());
+        break;
+      case Kind::kGauge:
+        append_number(out, s.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        out += "{\"count\":" + std::to_string(s.histogram->count()) +
+               ",\"sum\":";
+        append_number(out, s.histogram->sum());
+        out += ",\"buckets\":[";
+        const auto counts = s.histogram->bucket_counts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i) out += ",";
+          out += std::to_string(counts[i]);
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::top_series(
+    std::size_t limit) const {
+  std::vector<std::pair<std::string, double>> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, s] : series_) {
+      double v = 0.0;
+      if (s.kind == Kind::kCounter) {
+        v = static_cast<double>(s.counter->value());
+      } else if (s.kind == Kind::kGauge) {
+        v = s.gauge->value();
+      } else {
+        continue;
+      }
+      if (v != 0.0) rows.emplace_back(key, v);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (rows.size() > limit) rows.resize(limit);
+  return rows;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, s] : series_) {
+    switch (s.kind) {
+      case Kind::kCounter: s.counter->reset(); break;
+      case Kind::kGauge: s.gauge->reset(); break;
+      case Kind::kHistogram: s.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace exaeff::obs

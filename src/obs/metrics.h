@@ -1,0 +1,176 @@
+// exaeff/obs/metrics.h
+//
+// Process-wide metrics registry: named counters, gauges and histograms
+// with Prometheus-style text exposition and a JSON export.
+//
+// Design rules, in order of importance:
+//
+//   1. The *disabled* state (default) costs nothing on hot paths.  Stages
+//      that process millions of samples keep plain member tallies and
+//      publish them into the registry at stage boundaries; code that
+//      increments registry metrics directly guards with
+//      `obs::metrics_enabled()` — a single relaxed atomic load.
+//   2. The *enabled* hot path is one relaxed atomic RMW per update; no
+//      locks, no allocation.
+//   3. Registration is slow-path (mutex + map lookup).  Call sites cache
+//      the returned reference, typically in a function-local static.
+//   4. Instrumentation observes, never perturbs: nothing in this header
+//      touches RNG state, sample values, or control flow of the
+//      simulation pipeline.
+//
+// Metric references returned by the registry are stable for the lifetime
+// of the process (the registry never deletes metrics; reset() zeroes
+// values but keeps registrations).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace exaeff::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// True when metric updates should be applied.  One relaxed atomic load;
+/// safe (and intended) for per-call guards on warm paths.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Globally enables or disables metric updates.  Registration and
+/// exposition work regardless of this flag.
+void set_metrics_enabled(bool on);
+
+/// Label set attached to one series of a metric family, e.g.
+/// {{"stage", "fleetgen.schedule"}}.  Order is normalized by the registry.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer counter.
+class Counter {
+ public:
+  /// Adds `n`; relaxed, wait-free.
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins floating point gauge with atomic accumulate.
+class Gauge {
+ public:
+  void set(double x) { v_.store(x, std::memory_order_relaxed); }
+  void add(double x) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram over fixed log-spaced buckets.
+///
+/// Bucket upper bounds are geometric between `lo` and `hi` (the last
+/// bucket is +inf), chosen once at registration.  observe() is a branch-
+/// free bucket-index computation plus three relaxed atomic RMWs.
+class Histogram {
+ public:
+  /// `bucket_count` finite buckets spanning [lo, hi] geometrically.
+  Histogram(double lo, double hi, std::size_t bucket_count);
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Finite bucket upper bounds (the implicit +inf bucket is last).
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  double log_lo_ = 0.0;
+  double inv_log_step_ = 0.0;
+};
+
+/// Name → metric registry with Prometheus/JSON exposition.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all exaeff instrumentation.
+  static MetricsRegistry& global();
+
+  /// Registers (or finds) a series.  `name` must match
+  /// [a-zA-Z_:][a-zA-Z0-9_:]*; `help` is kept from the first call.
+  /// References remain valid for the registry's lifetime.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  /// Histogram buckets are fixed by the *first* registration of `name`.
+  Histogram& histogram(const std::string& name, const std::string& help = "",
+                       const Labels& labels = {}, double lo = 1e-6,
+                       double hi = 1e4, std::size_t bucket_count = 24);
+
+  /// Prometheus text exposition (families sorted by name, with
+  /// `# HELP` / `# TYPE` headers).
+  [[nodiscard]] std::string expose_prometheus() const;
+
+  /// JSON object {"name{labels}": value-or-histogram-object, ...}.
+  [[nodiscard]] std::string expose_json() const;
+
+  /// Series whose current value is non-zero, as (series-key, value)
+  /// sorted by descending value.  Counters and gauges only; used by the
+  /// CLI summary footer.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> top_series(
+      std::size_t limit) const;
+
+  /// Zeroes every registered metric; registrations are kept.
+  void reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Kind kind;
+    std::string family;  // metric name without labels
+    std::string help;
+    std::string label_text;  // normalized `{k="v",...}` or empty
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Series& find_or_create(Kind kind, const std::string& name,
+                         const std::string& help, const Labels& labels,
+                         double lo, double hi, std::size_t buckets);
+
+  mutable std::mutex mu_;
+  // Keyed by family + label_text; std::map keeps exposition sorted.
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace exaeff::obs

@@ -1,0 +1,176 @@
+#include "obs/trace.h"
+
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace exaeff::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Process-local monotonic epoch so trace timestamps start near zero.
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint64_t to_us(std::chrono::steady_clock::time_point t) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t - trace_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// Fixed-capacity ring of closed spans for one thread.  The tracer keeps
+/// the ring alive (shared_ptr) even after the owning thread exits, so a
+/// late flush still sees its spans.
+struct Tracer::ThreadRing {
+  std::vector<SpanEvent> events;  // grows to kRingCapacity then wraps
+  std::size_t next = 0;           // write cursor once at capacity
+  std::uint64_t total = 0;        // spans ever recorded by this thread
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  // currently-open spans on this thread
+  mutable std::mutex mu;    // ring vs. flush; uncontended in steady state
+
+  void push(const SpanEvent& e) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++total;
+    if (events.size() < Tracer::kRingCapacity) {
+      events.push_back(e);
+      return;
+    }
+    events[next] = e;
+    next = (next + 1) % Tracer::kRingCapacity;
+  }
+};
+
+namespace {
+
+struct TracerState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<Tracer::ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+};
+
+TracerState& state() {
+  static TracerState* s = new TracerState();  // leaked: outlives all threads
+  return *s;
+}
+
+thread_local std::shared_ptr<Tracer::ThreadRing> t_ring;
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadRing& Tracer::ring_for_this_thread() {
+  if (!t_ring) {
+    t_ring = std::make_shared<ThreadRing>();
+    TracerState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    t_ring->tid = s.next_tid++;
+    s.rings.push_back(t_ring);
+  }
+  return *t_ring;
+}
+
+void Tracer::set_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+  if (on) trace_epoch();  // pin the epoch before the first span
+}
+
+void Tracer::clear() {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (auto& ring : s.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mu);
+    ring->events.clear();
+    ring->next = 0;
+    ring->total = 0;
+  }
+}
+
+std::size_t Tracer::span_count() const {
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (const auto& ring : s.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mu);
+    n += ring->events.size();
+  }
+  return n;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  TracerState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  bool first = true;
+  for (const auto& ring : s.rings) {
+    std::lock_guard<std::mutex> rlock(ring->mu);
+    // Oldest-first: the segment after the cursor precedes the segment
+    // before it once the ring has wrapped.
+    const std::size_t n = ring->events.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const SpanEvent& e = ring->events[(ring->next + i) % n];
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << e.name << "\",\"cat\":\"exaeff\","
+         << "\"ph\":\"X\",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
+         << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{\"depth\":"
+         << e.depth << "}}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::ostringstream ss;
+  write_chrome_trace(ss);
+  return ss.str();
+}
+
+void TraceSpan::open(const char* name) {
+  name_ = name;
+  armed_ = true;
+  if (trace_enabled()) {
+    ++Tracer::global().ring_for_this_thread().depth;
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+void TraceSpan::close() {
+  const auto end = std::chrono::steady_clock::now();
+  if (trace_enabled()) {
+    Tracer::ThreadRing& ring = Tracer::global().ring_for_this_thread();
+    SpanEvent e;
+    e.name = name_;
+    e.start_us = to_us(start_);
+    e.dur_us = to_us(end) - e.start_us;
+    e.tid = ring.tid;
+    e.depth = ring.depth > 0 ? --ring.depth : 0;
+    ring.push(e);
+  }
+  if (metrics_enabled()) {
+    // The CLI stage-timing footer reads this family; spans feed it even
+    // when the ring-buffer tracer itself is off.
+    MetricsRegistry::global()
+        .gauge("exaeff_stage_seconds",
+               "Cumulative wall time per traced stage", {{"stage", name_}})
+        .add(std::chrono::duration<double>(end - start_).count());
+  }
+}
+
+}  // namespace exaeff::obs

@@ -1,0 +1,120 @@
+// exaeff/obs/trace.h
+//
+// Scoped-span tracer: RAII spans timed on the monotonic clock, recorded
+// into per-thread ring buffers and flushed as Chrome `trace_event` JSON
+// (loadable in chrome://tracing or Perfetto).
+//
+//   void run() {
+//     EXAEFF_TRACE_SPAN("fleetgen.schedule");
+//     ...  // span closes when the scope exits
+//   }
+//
+// Cost model:
+//   * Compile-time off (-DEXAEFF_TRACE_DISABLED): the macro expands to
+//     nothing at all — zero code, zero data.
+//   * Runtime off (the default): the span constructor is one relaxed
+//     atomic load and a branch; the destructor likewise.
+//   * Runtime on: two steady_clock reads plus a bounded ring-buffer
+//     write; no allocation after a thread's first span.
+//
+// Span names must be string literals (or otherwise outlive the tracer):
+// the ring stores the pointer, not a copy.  When metrics are also
+// enabled, every closed span accumulates wall time into the
+// `exaeff_stage_seconds{stage=<name>}` counter family, which is what the
+// CLI's stage-timing footer reads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace exaeff::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+/// True when spans should be recorded.  One relaxed atomic load.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// One closed span, microseconds on the process-local monotonic clock.
+struct SpanEvent {
+  const char* name;
+  std::uint64_t start_us;
+  std::uint64_t dur_us;
+  std::uint32_t tid;
+  std::uint32_t depth;  ///< nesting depth at open (0 = top level)
+};
+
+/// Process-wide tracer owning every thread's span ring.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Enables or disables span recording.
+  void set_enabled(bool on);
+
+  /// Clears every thread ring (recorded spans are dropped).
+  void clear();
+
+  /// Snapshot of all recorded spans (all threads), oldest first per
+  /// thread.  Spans still open are not included.
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Writes the Chrome trace_event JSON document for everything
+  /// recorded so far:  {"traceEvents":[{"name":...,"ph":"X",...},...]}.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// write_chrome_trace into a string (tests, small traces).
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Capacity of each per-thread ring; older spans are overwritten once
+  /// a thread exceeds it.
+  static constexpr std::size_t kRingCapacity = 1 << 14;
+
+  /// Implementation detail exposed for the .cc's thread registry.
+  struct ThreadRing;
+
+ private:
+  friend class TraceSpan;
+  ThreadRing& ring_for_this_thread();
+};
+
+/// RAII span.  Prefer the EXAEFF_TRACE_SPAN macro over direct use.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (trace_enabled() || metrics_enabled()) open(name);
+  }
+  ~TraceSpan() {
+    if (armed_) close();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void open(const char* name);
+  void close();
+
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_ = false;
+};
+
+}  // namespace exaeff::obs
+
+#ifndef EXAEFF_TRACE_DISABLED
+#define EXAEFF_TRACE_CONCAT_(a, b) a##b
+#define EXAEFF_TRACE_CONCAT(a, b) EXAEFF_TRACE_CONCAT_(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define EXAEFF_TRACE_SPAN(name) \
+  ::exaeff::obs::TraceSpan EXAEFF_TRACE_CONCAT(exaeff_span_, __LINE__)(name)
+#else
+#define EXAEFF_TRACE_SPAN(name) static_cast<void>(0)
+#endif

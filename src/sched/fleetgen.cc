@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "gpusim/power_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace exaeff::sched {
 
@@ -73,6 +75,7 @@ FleetGenerator::default_domain_traits() {
 }
 
 SchedulerLog FleetGenerator::generate_schedule() const {
+  EXAEFF_TRACE_SPAN("fleetgen.schedule");
   Rng rng(config_.seed);
   const auto total_nodes =
       static_cast<std::uint32_t>(config_.system.compute_nodes);
@@ -169,11 +172,26 @@ SchedulerLog FleetGenerator::generate_schedule() const {
   }
 
   log.build_index(total_nodes);
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("exaeff_jobs_placed_total",
+                "Jobs placed by the fleet generator")
+        .inc(log.size());
+    reg.gauge("exaeff_sim_time_seconds",
+              "Simulated campaign time advanced")
+        .set(config_.duration_s);
+  }
   return log;
 }
 
 void FleetGenerator::generate_telemetry(const SchedulerLog& log,
                                         JobSampleSink& sink) const {
+  EXAEFF_TRACE_SPAN("fleetgen.telemetry");
+  // Hot loop: tally into plain locals, publish into the registry once at
+  // the end so the per-sample path stays atomics-free.
+  std::uint64_t gcd_samples = 0;
+  std::uint64_t node_samples = 0;
+  std::uint64_t phase_count = 0;
   const auto& spec = config_.system.node.gcd;
   const gpusim::PowerModel power_model(spec);
   const double window = config_.telemetry_window_s;
@@ -209,6 +227,7 @@ void FleetGenerator::generate_telemetry(const SchedulerLog& log,
       t = end;
     }
     if (phases.empty()) continue;
+    phase_count += phases.size();
 
     const double first_window =
         std::ceil(job.begin_s / window) * window;
@@ -241,6 +260,7 @@ void FleetGenerator::generate_telemetry(const SchedulerLog& log,
           s.gcd_index = g;
           s.power_w = static_cast<float>(p);
           sink.on_job_sample(s, job);
+          ++gcd_samples;
         }
       }
 
@@ -270,9 +290,26 @@ void FleetGenerator::generate_telemetry(const SchedulerLog& log,
               ns.cpu_power_w + config_.system.node.other_power_w +
               static_cast<double>(gcds) * ph.steady_w);
           sink.on_node_sample(ns);
+          ++node_samples;
         }
       }
     }
+  }
+
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("exaeff_samples_total",
+                "Telemetry samples synthesized by the pipeline")
+        .inc(gcd_samples + node_samples);
+    reg.counter("exaeff_fleetgen_gcd_samples_total",
+                "Per-GCD power records emitted by fleetgen")
+        .inc(gcd_samples);
+    reg.counter("exaeff_fleetgen_node_samples_total",
+                "Node-level records emitted by fleetgen")
+        .inc(node_samples);
+    reg.counter("exaeff_fleetgen_phases_total",
+                "Application phases synthesized by fleetgen")
+        .inc(phase_count);
   }
 }
 

@@ -6,6 +6,8 @@
 #include <queue>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/policy.h"
 
 namespace exaeff::sched {
@@ -54,6 +56,13 @@ class NodePool {
 }  // namespace
 
 QueueOutcome BatchScheduler::run(std::vector<QueuedJob> submissions) const {
+  EXAEFF_TRACE_SPAN("queue_sim.run");
+  obs::Histogram* wait_hist = nullptr;
+  if (obs::metrics_enabled()) {
+    wait_hist = &obs::MetricsRegistry::global().histogram(
+        "exaeff_queue_wait_seconds", "Distribution of job queue waits", {},
+        /*lo=*/1.0, /*hi=*/1e6, /*bucket_count=*/20);
+  }
   for (const auto& j : submissions) {
     EXAEFF_REQUIRE(j.num_nodes >= 1 && j.num_nodes <= total_nodes_,
                    "job node count out of range");
@@ -93,6 +102,7 @@ QueueOutcome BatchScheduler::run(std::vector<QueuedJob> submissions) const {
     running.push(Running{job.end_s, job.num_nodes, job.nodes});
     busy_node_seconds += j.actual_runtime_s * j.num_nodes;
     const double wait = now - j.submit_s;
+    if (wait_hist) wait_hist->observe(wait);
     wait_sum += wait;
     outcome.max_wait_s = std::max(outcome.max_wait_s, wait);
     outcome.makespan_s = std::max(outcome.makespan_s, job.end_s);
@@ -193,6 +203,22 @@ QueueOutcome BatchScheduler::run(std::vector<QueuedJob> submissions) const {
                            outcome.makespan_s);
   }
   outcome.log.build_index(total_nodes_);
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    const char* disc =
+        discipline_ == QueueDiscipline::kFcfs ? "fcfs" : "easy";
+    reg.counter("exaeff_queue_jobs_total",
+                "Jobs run through the batch scheduler",
+                {{"discipline", disc}})
+        .inc(outcome.log.size());
+    reg.counter("exaeff_queue_backfilled_total",
+                "Jobs started out of order by EASY backfill",
+                {{"discipline", disc}})
+        .inc(outcome.backfilled);
+    reg.gauge("exaeff_sim_time_seconds",
+              "Simulated campaign time advanced")
+        .set(outcome.makespan_s);
+  }
   return outcome;
 }
 

@@ -2,9 +2,12 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace exaeff::telemetry {
 
 void Aggregator::on_gcd_sample(const GcdSample& sample) {
+  ++samples_in_;
   const std::uint64_t k = key(sample.node_id, sample.gcd_index);
   Accum& acc = gcd_windows_[k];
   const double window_start =
@@ -22,6 +25,7 @@ void Aggregator::on_gcd_sample(const GcdSample& sample) {
 }
 
 void Aggregator::on_node_sample(const NodeSample& sample) {
+  ++samples_in_;
   const std::uint64_t k = key(sample.node_id, 0xFFFF);
   Accum& acc = node_windows_[k];
   const double window_start =
@@ -46,6 +50,7 @@ void Aggregator::emit_gcd(std::uint64_t channel_key, const Accum& acc) {
   out.gcd_index = static_cast<std::uint16_t>(channel_key & 0xFFFF);
   out.power_w =
       static_cast<float>(acc.power_sum / static_cast<double>(acc.count));
+  ++windows_out_;
   downstream_.on_gcd_sample(out);
 }
 
@@ -57,6 +62,7 @@ void Aggregator::emit_node(std::uint64_t channel_key, const Accum& acc) {
       static_cast<float>(acc.power_sum / static_cast<double>(acc.count));
   out.node_input_w =
       static_cast<float>(acc.aux_sum / static_cast<double>(acc.count));
+  ++windows_out_;
   downstream_.on_node_sample(out);
 }
 
@@ -68,6 +74,17 @@ void Aggregator::flush() {
   for (auto& [k, acc] : node_windows_) {
     if (acc.active && acc.count > 0) emit_node(k, acc);
     acc = Accum{};
+  }
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("exaeff_agg_samples_in_total",
+                "Raw sensor samples consumed by the aggregator")
+        .inc(samples_in_ - published_in_);
+    reg.counter("exaeff_agg_windows_total",
+                "Aggregated window records emitted")
+        .inc(windows_out_ - published_out_);
+    published_in_ = samples_in_;
+    published_out_ = windows_out_;
   }
 }
 

@@ -31,10 +31,16 @@ class Aggregator final : public TelemetrySink {
   void on_gcd_sample(const GcdSample& sample) override;
   void on_node_sample(const NodeSample& sample) override;
 
-  /// Emits all partially-filled windows.  Idempotent.
+  /// Emits all partially-filled windows and publishes ingest/emit
+  /// tallies to the metrics registry (when enabled).  Idempotent.
   void flush();
 
   [[nodiscard]] double window_s() const { return window_s_; }
+
+  /// Raw samples consumed since construction (all channels).
+  [[nodiscard]] std::uint64_t samples_in() const { return samples_in_; }
+  /// Aggregated window records emitted since construction.
+  [[nodiscard]] std::uint64_t windows_out() const { return windows_out_; }
 
  private:
   struct Accum {
@@ -59,6 +65,12 @@ class Aggregator final : public TelemetrySink {
   double window_s_;
   std::unordered_map<std::uint64_t, Accum> gcd_windows_;
   std::unordered_map<std::uint64_t, Accum> node_windows_;
+  // Plain tallies on the per-sample path (no atomics); flush() publishes
+  // the delta since the previous publish into the metrics registry.
+  std::uint64_t samples_in_ = 0;
+  std::uint64_t windows_out_ = 0;
+  std::uint64_t published_in_ = 0;
+  std::uint64_t published_out_ = 0;
 };
 
 }  // namespace exaeff::telemetry

@@ -7,6 +7,7 @@
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace exaeff::telemetry {
 
@@ -21,7 +22,18 @@ double to_double(const std::string& s) {
 }
 }  // namespace
 
+void TelemetryStore::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("exaeff_store_samples", "Records retained by TelemetryStore")
+      .set(static_cast<double>(gcd_samples_.size() + node_samples_.size()));
+  reg.gauge("exaeff_store_bytes",
+            "Bytes of sample payload retained by TelemetryStore")
+      .set(static_cast<double>(retained_bytes()));
+}
+
 void TelemetryStore::sort() {
+  publish_metrics();
   std::sort(gcd_samples_.begin(), gcd_samples_.end(),
             [](const GcdSample& a, const GcdSample& b) {
               if (a.node_id != b.node_id) return a.node_id < b.node_id;

@@ -60,6 +60,16 @@ class TelemetryStore final : public TelemetrySink {
   /// Reads records back from CSV written by save_csv.
   static TelemetryStore load_csv(std::istream& is, double window_s = 15.0);
 
+  /// Bytes of sample payload currently retained.
+  [[nodiscard]] std::size_t retained_bytes() const {
+    return gcd_samples_.size() * sizeof(GcdSample) +
+           node_samples_.size() * sizeof(NodeSample);
+  }
+
+  /// Publishes retention gauges (`exaeff_store_samples`,
+  /// `exaeff_store_bytes`) to the metrics registry when enabled.
+  void publish_metrics() const;
+
  private:
   double window_s_;
   std::vector<GcdSample> gcd_samples_;

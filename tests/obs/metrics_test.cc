@@ -1,0 +1,191 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace exaeff::obs {
+namespace {
+
+/// Each test runs against the (process-global) registry; enable metrics
+/// and zero previous values so assertions see only this test's updates.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+TEST_F(MetricsTest, CounterSemantics) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test_counter_total", "help text");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name → same series object.
+  EXPECT_EQ(&reg.counter("test_counter_total"), &c);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  Gauge& g = MetricsRegistry::global().gauge("test_gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.25);
+  g.add(-0.75);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST_F(MetricsTest, LabelsCreateDistinctSeries) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("test_labeled_total", "", {{"stage", "a"}});
+  Counter& b = reg.counter("test_labeled_total", "", {{"stage", "b"}});
+  EXPECT_NE(&a, &b);
+  a.inc(3);
+  b.inc(7);
+  const std::string prom = reg.expose_prometheus();
+  EXPECT_NE(prom.find("test_labeled_total{stage=\"a\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_labeled_total{stage=\"b\"} 7"),
+            std::string::npos);
+}
+
+TEST_F(MetricsTest, LabelOrderIsNormalized) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a =
+      reg.counter("test_norm_total", "", {{"x", "1"}, {"a", "2"}});
+  Counter& b =
+      reg.counter("test_norm_total", "", {{"a", "2"}, {"x", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(MetricsTest, TypeConflictThrows) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_conflict");
+  EXPECT_THROW(reg.gauge("test_conflict"), Error);
+}
+
+TEST_F(MetricsTest, InvalidNameThrows) {
+  EXPECT_THROW(MetricsRegistry::global().counter("9starts_with_digit"),
+               Error);
+  EXPECT_THROW(MetricsRegistry::global().counter("has space"), Error);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAreLogSpacedAndCumulative) {
+  Histogram& h = MetricsRegistry::global().histogram(
+      "test_hist_seconds", "", {}, /*lo=*/1.0, /*hi=*/1000.0,
+      /*bucket_count=*/3);
+  // Bounds: 10, 100, 1000 (geometric).
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_NEAR(h.bounds()[0], 10.0, 1e-9);
+  EXPECT_NEAR(h.bounds()[1], 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.bounds()[2], 1000.0);
+
+  const double edge = h.bounds()[0];  // exact stored upper bound
+  h.observe(5.0);      // bucket 0
+  h.observe(edge);     // le-convention: exactly-on-bound stays in bucket 0
+  h.observe(99.0);     // bucket 1
+  h.observe(5000.0);   // +inf bucket
+  h.observe(-1.0);     // clamps into the first bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0 + edge + 99.0 + 5000.0 - 1.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+
+  const std::string prom =
+      MetricsRegistry::global().expose_prometheus();
+  EXPECT_NE(prom.find("test_hist_seconds_bucket{le=\"10\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_hist_seconds_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_hist_seconds_count 5"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsDoNotLoseUpdates) {
+  Counter& c = MetricsRegistry::global().counter("test_mt_total");
+  Histogram& h = MetricsRegistry::global().histogram(
+      "test_mt_hist", "", {}, 1e-3, 1e3, 12);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), (1.0 + 2.0 + 3.0 + 4.0) * kPerThread);
+}
+
+TEST_F(MetricsTest, ExpositionFormatHasHelpAndType) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_fmt_total", "counts things").inc(5);
+  reg.gauge("test_fmt_gauge", "measures things").set(1.5);
+  const std::string prom = reg.expose_prometheus();
+  EXPECT_NE(prom.find("# HELP test_fmt_total counts things"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_fmt_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("test_fmt_total 5\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE test_fmt_gauge gauge"), std::string::npos);
+  EXPECT_NE(prom.find("test_fmt_gauge 1.5"), std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonExportContainsSeries) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_json_total").inc(7);
+  const std::string json = reg.expose_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"test_json_total\":7"), std::string::npos);
+}
+
+TEST_F(MetricsTest, TopSeriesSortsDescendingAndSkipsZeros) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("test_top_a").inc(10);
+  reg.counter("test_top_b").inc(30);
+  reg.counter("test_top_zero");  // stays 0 → excluded
+  const auto rows = reg.top_series(16);
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, "test_top_b");
+  EXPECT_EQ(rows[1].first, "test_top_a");
+  for (const auto& [key, value] : rows) {
+    EXPECT_NE(key, "test_top_zero");
+    EXPECT_NE(value, 0.0);
+  }
+}
+
+TEST_F(MetricsTest, ResetZeroesButKeepsRegistrations) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test_reset_total");
+  c.inc(9);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&reg.counter("test_reset_total"), &c);
+}
+
+TEST_F(MetricsTest, EnabledFlagGatesCallSites) {
+  // The flag itself doesn't gate metric objects — it is the contract for
+  // instrumentation call sites.  Verify the flag round-trips.
+  set_metrics_enabled(false);
+  EXPECT_FALSE(metrics_enabled());
+  set_metrics_enabled(true);
+  EXPECT_TRUE(metrics_enabled());
+}
+
+}  // namespace
+}  // namespace exaeff::obs

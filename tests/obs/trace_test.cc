@@ -1,0 +1,256 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace exaeff::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validity checker (objects/arrays/strings/numbers/keywords).
+// Returns true iff `s` is one complete, well-formed JSON value.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string_view want(lit);
+    if (s_.compare(pos_, want.size(), want) != 0) return false;
+    pos_ += want.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().set_enabled(true);
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(TraceTest, RecordsClosedSpans) {
+  {
+    EXAEFF_TRACE_SPAN("outer");
+    EXAEFF_TRACE_SPAN("inner");
+  }
+  EXPECT_EQ(Tracer::global().span_count(), 2u);
+}
+
+TEST_F(TraceTest, NestedSpansCarryDepthAndContainment) {
+  {
+    EXAEFF_TRACE_SPAN("outer");
+    {
+      EXAEFF_TRACE_SPAN("middle");
+      EXAEFF_TRACE_SPAN("deepest");
+    }
+  }
+  const std::string json = Tracer::global().chrome_trace_json();
+  // Spans close innermost-first; depth reflects nesting at open time.
+  EXPECT_NE(json.find("\"name\":\"deepest\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"depth\":2}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"depth\":1}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"depth\":0}"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsValid) {
+  {
+    EXAEFF_TRACE_SPAN("stage.a");
+    EXAEFF_TRACE_SPAN("stage.b");
+  }
+  {
+    EXAEFF_TRACE_SPAN("stage.c");
+  }
+  const std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"stage.c\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  const std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST_F(TraceTest, SpansFromMultipleThreadsAreCollected) {
+  {
+    EXAEFF_TRACE_SPAN("main.thread");
+  }
+  std::thread worker([] { EXAEFF_TRACE_SPAN("worker.thread"); });
+  worker.join();
+  const std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"name\":\"main.thread\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker.thread\""), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledModeRecordsNothing) {
+  Tracer::global().set_enabled(false);
+  set_metrics_enabled(false);
+  {
+    EXAEFF_TRACE_SPAN("invisible");
+  }
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+  const std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_EQ(json.find("invisible"), std::string::npos);
+}
+
+TEST_F(TraceTest, DisabledSpanIsCheapNoOp) {
+  Tracer::global().set_enabled(false);
+  set_metrics_enabled(false);
+  // A large number of disabled spans must not record anything and must
+  // run at no-op speed (no allocation, no clock reads); this is a
+  // behavioral proxy for the zero-overhead contract.
+  for (int i = 0; i < 1000000; ++i) {
+    EXAEFF_TRACE_SPAN("noop");
+  }
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+}
+
+TEST_F(TraceTest, ClearDropsRecordedSpans) {
+  {
+    EXAEFF_TRACE_SPAN("doomed");
+  }
+  ASSERT_GE(Tracer::global().span_count(), 1u);
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanFeedsStageSecondsWhenMetricsEnabled) {
+  set_metrics_enabled(true);
+  MetricsRegistry::global().reset();
+  {
+    EXAEFF_TRACE_SPAN("timed.stage");
+  }
+  set_metrics_enabled(false);
+  const std::string prom =
+      MetricsRegistry::global().expose_prometheus();
+  EXPECT_NE(prom.find("exaeff_stage_seconds{stage=\"timed.stage\"}"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestBeyondCapacity) {
+  // Overfill one thread's ring; the tracer must neither grow unbounded
+  // nor lose the most recent spans.
+  for (std::size_t i = 0; i < Tracer::kRingCapacity + 100; ++i) {
+    EXAEFF_TRACE_SPAN("wrap");
+  }
+  EXPECT_EQ(Tracer::global().span_count(), Tracer::kRingCapacity);
+  const std::string json = Tracer::global().chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+}  // namespace
+}  // namespace exaeff::obs

@@ -10,14 +10,25 @@
 //   exaeff report <path> [nodes]     full analysis report to a file
 //   exaeff decompose <watts> [mhz]   utilization envelope for a reading
 //   exaeff queue [nodes] [days]      FCFS vs EASY scheduling comparison
+//
+// Global options (any position, `--flag=value` form):
+//   --trace=<file.json>    write a Chrome trace_event file of the run
+//   --metrics=<file>       write metrics (.prom text or .json by extension)
+//   --log-level=<level>    debug|info|warn|error (default info)
+//
+// Results go to stdout; diagnostics, logs and the end-of-run stage
+// summary go to stderr, so piping stdout stays clean and deterministic.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/decomposition.h"
 #include "core/report.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sched/fleetgen.h"
 #include "sched/queue_sim.h"
 #include "workloads/ert.h"
@@ -29,15 +40,73 @@ using namespace exaeff;
 int usage() {
   std::fprintf(
       stderr,
-      "usage: exaeff <command> [args]\n"
+      "usage: exaeff <command> [args] [options]\n"
+      "commands:\n"
       "  ert [freq_mhz]            empirical roofline (optionally capped)\n"
       "  characterize              benchmark cap-response table\n"
       "  campaign [nodes] [days]   synthesize and summarize a campaign\n"
       "  project [nodes] [days]    campaign + savings projection\n"
       "  report <path> [nodes]     write the full analysis report\n"
       "  decompose <watts> [mhz]   utilization envelope for a reading\n"
-      "  queue [nodes] [days]      FCFS vs EASY backfill comparison\n");
+      "  queue [nodes] [days]      FCFS vs EASY backfill comparison\n"
+      "options (any position):\n"
+      "  --trace=<file.json>       write Chrome trace_event spans "
+      "(chrome://tracing, Perfetto)\n"
+      "  --metrics=<file>          write run metrics; .json for JSON, "
+      "anything else Prometheus text\n"
+      "  --log-level=<level>       debug|info|warn|error (default info)\n"
+      "  --help                    show this message\n");
   return 2;
+}
+
+/// Options recognized on every subcommand.
+struct GlobalOptions {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string log_level = "info";
+  bool help = false;
+};
+
+/// Splits argv into `--flag=value` global options and positional args.
+/// Returns false (after complaining) on an unknown flag.
+bool parse_args(int argc, char** argv, GlobalOptions& opts,
+                std::vector<std::string>& positional) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional.push_back(arg);
+      continue;
+    }
+    if (arg == "--help") {
+      opts.help = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    if (key == "--trace") {
+      opts.trace_path = value;
+    } else if (key == "--metrics") {
+      opts.metrics_path = value;
+    } else if (key == "--log-level") {
+      opts.log_level = value;
+    } else {
+      std::fprintf(stderr, "exaeff: unknown option '%s'\n", key.c_str());
+      return false;
+    }
+    if (key != "--help" && value.empty()) {
+      std::fprintf(stderr, "exaeff: option '%s' needs =<value>\n",
+                   key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+double arg_num(const std::vector<std::string>& args, std::size_t i,
+               double fallback) {
+  return i < args.size() ? std::atof(args[i].c_str()) : fallback;
 }
 
 struct CampaignBundle {
@@ -49,6 +118,7 @@ struct CampaignBundle {
 };
 
 CampaignBundle run_campaign(std::size_t nodes, double days) {
+  EXAEFF_TRACE_SPAN("cli.run_campaign");
   CampaignBundle b;
   b.cfg.system = cluster::frontier_scaled(nodes);
   b.cfg.duration_s = days * units::kDay;
@@ -58,21 +128,34 @@ CampaignBundle run_campaign(std::size_t nodes, double days) {
   const sched::FleetGenerator gen(b.cfg, b.library);
   const auto log = gen.generate_schedule();
   b.jobs = log.size();
+  obs::Logger::global().debug(
+      "campaign.schedule",
+      {{"nodes", nodes}, {"days", days}, {"jobs", b.jobs}});
   b.acc = std::make_unique<core::CampaignAccumulator>(
       b.cfg.telemetry_window_s, b.boundaries);
-  gen.generate_telemetry(log, *b.acc);
+  {
+    EXAEFF_TRACE_SPAN("campaign.accumulate");
+    gen.generate_telemetry(log, *b.acc);
+  }
+  obs::Logger::global().info("campaign.generated",
+                             {{"nodes", nodes},
+                              {"days", days},
+                              {"jobs", b.jobs},
+                              {"gcd_samples", b.acc->gcd_sample_count()}});
   return b;
 }
 
-int cmd_ert(int argc, char** argv) {
+int cmd_ert(const std::vector<std::string>& args) {
+  EXAEFF_TRACE_SPAN("cli.ert");
   workloads::ert::Options opts;
-  if (argc > 0) opts.frequency_mhz = std::atof(argv[0]);
+  if (!args.empty()) opts.frequency_mhz = std::atof(args[0].c_str());
   const auto report = workloads::ert::measure(gpusim::mi250x_gcd(), opts);
   std::printf("%s", workloads::ert::render(report).c_str());
   return 0;
 }
 
 int cmd_characterize() {
+  EXAEFF_TRACE_SPAN("cli.characterize");
   const auto table = core::characterize(gpusim::mi250x_gcd());
   std::printf("%-10s %-10s %8s %8s %8s %8s\n", "class", "cap", "setting",
               "power%", "time%", "energy%");
@@ -90,10 +173,10 @@ int cmd_characterize() {
   return 0;
 }
 
-int cmd_campaign(int argc, char** argv) {
-  const std::size_t nodes =
-      argc > 0 ? static_cast<std::size_t>(std::atoi(argv[0])) : 32;
-  const double days = argc > 1 ? std::atof(argv[1]) : 7.0;
+int cmd_campaign(const std::vector<std::string>& args) {
+  EXAEFF_TRACE_SPAN("cli.campaign");
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32));
+  const double days = arg_num(args, 1, 7.0);
   const auto b = run_campaign(nodes, days);
   const auto d = b.acc->decomposition();
   std::printf("campaign: %zu nodes, %.1f days, %zu jobs, %zu records\n",
@@ -110,10 +193,10 @@ int cmd_campaign(int argc, char** argv) {
   return 0;
 }
 
-int cmd_project(int argc, char** argv) {
-  const std::size_t nodes =
-      argc > 0 ? static_cast<std::size_t>(std::atoi(argv[0])) : 32;
-  const double days = argc > 1 ? std::atof(argv[1]) : 7.0;
+int cmd_project(const std::vector<std::string>& args) {
+  EXAEFF_TRACE_SPAN("cli.project");
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32));
+  const double days = arg_num(args, 1, 7.0);
   const auto b = run_campaign(nodes, days);
   const auto table = core::characterize(b.cfg.system.node.gcd);
   const core::ProjectionEngine engine(table);
@@ -136,30 +219,31 @@ int cmd_project(int argc, char** argv) {
   return 0;
 }
 
-int cmd_report(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const std::size_t nodes =
-      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 32;
+int cmd_report(const std::vector<std::string>& args) {
+  EXAEFF_TRACE_SPAN("cli.report");
+  if (args.empty()) return usage();
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 1, 32));
   const auto b = run_campaign(nodes, 7.0);
   const auto table = core::characterize(b.cfg.system.node.gcd);
   core::ReportInputs inputs;
   inputs.accumulator = b.acc.get();
   inputs.table = &table;
   inputs.campaign_label = std::to_string(nodes) + "-node campaign";
-  std::ofstream out(argv[0]);
+  std::ofstream out(args[0]);
   if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", argv[0]);
+    obs::Logger::global().error("report.open_failed", {{"path", args[0]}});
     return 1;
   }
   out << core::render_campaign_report(inputs);
-  std::printf("report written to %s\n", argv[0]);
+  std::printf("report written to %s\n", args[0].c_str());
   return 0;
 }
 
-int cmd_decompose(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const double watts = std::atof(argv[0]);
-  const double mhz = argc > 1 ? std::atof(argv[1]) : 1700.0;
+int cmd_decompose(const std::vector<std::string>& args) {
+  EXAEFF_TRACE_SPAN("cli.decompose");
+  if (args.empty()) return usage();
+  const double watts = std::atof(args[0].c_str());
+  const double mhz = arg_num(args, 1, 1700.0);
   const core::PowerDecomposer dec(gpusim::mi250x_gcd());
   const auto est = dec.estimate(watts, mhz);
   if (est.idle) {
@@ -179,10 +263,10 @@ int cmd_decompose(int argc, char** argv) {
   return 0;
 }
 
-int cmd_queue(int argc, char** argv) {
-  const auto nodes = static_cast<std::uint32_t>(
-      argc > 0 ? std::atoi(argv[0]) : 64);
-  const double days = argc > 1 ? std::atof(argv[1]) : 2.0;
+int cmd_queue(const std::vector<std::string>& args) {
+  EXAEFF_TRACE_SPAN("cli.queue");
+  const auto nodes = static_cast<std::uint32_t>(arg_num(args, 0, 64));
+  const double days = arg_num(args, 1, 2.0);
   const auto subs =
       sched::synthesize_submissions(nodes, days * units::kDay, 1.3, 5);
   for (auto disc : {sched::QueueDiscipline::kFcfs,
@@ -198,24 +282,106 @@ int cmd_queue(int argc, char** argv) {
   return 0;
 }
 
+/// End-of-run footer on stderr: where the wall time and samples went.
+void print_summary_footer() {
+  const auto& reg = obs::MetricsRegistry::global();
+  const auto series = reg.top_series(64);
+  const std::string stage_prefix = "exaeff_stage_seconds{";
+
+  std::fprintf(stderr, "--- exaeff run summary ---\n");
+  std::fprintf(stderr, "stage timings:\n");
+  for (const auto& [key, value] : series) {
+    if (key.rfind(stage_prefix, 0) != 0) continue;
+    // key looks like exaeff_stage_seconds{stage="fleetgen.schedule"}.
+    const auto q0 = key.find('"');
+    const auto q1 = key.rfind('"');
+    const std::string stage = q0 != std::string::npos && q1 > q0
+                                  ? key.substr(q0 + 1, q1 - q0 - 1)
+                                  : key;
+    std::fprintf(stderr, "  %-28s %10.3f s\n", stage.c_str(), value);
+  }
+  std::fprintf(stderr, "top counters:\n");
+  int shown = 0;
+  for (const auto& [key, value] : series) {
+    if (key.rfind(stage_prefix, 0) == 0 ||
+        key.rfind("exaeff_sim_time_seconds", 0) == 0) {
+      continue;
+    }
+    if (++shown > 8) break;
+    std::fprintf(stderr, "  %-44s %14.0f\n", key.c_str(), value);
+  }
+}
+
+int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
+  if (cmd == "ert") return cmd_ert(args);
+  if (cmd == "characterize") return cmd_characterize();
+  if (cmd == "campaign") return cmd_campaign(args);
+  if (cmd == "project") return cmd_project(args);
+  if (cmd == "report") return cmd_report(args);
+  if (cmd == "decompose") return cmd_decompose(args);
+  if (cmd == "queue") return cmd_queue(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  const int rest = argc - 2;
-  char** rest_argv = argv + 2;
+  GlobalOptions opts;
+  std::vector<std::string> positional;
+  if (!parse_args(argc - 1, argv + 1, opts, positional)) return usage();
+  if (opts.help) {
+    usage();
+    return 0;
+  }
+  if (positional.empty()) return usage();
+
+  bool level_ok = true;
+  const auto level = obs::parse_log_level(opts.log_level, &level_ok);
+  if (!level_ok) {
+    std::fprintf(stderr, "exaeff: bad --log-level '%s'\n",
+                 opts.log_level.c_str());
+    return usage();
+  }
+  obs::Logger::global().set_level(level);
+  obs::set_metrics_enabled(true);  // feeds the summary footer
+  if (!opts.trace_path.empty()) obs::Tracer::global().set_enabled(true);
+
+  const std::string cmd = positional.front();
+  const std::vector<std::string> args(positional.begin() + 1,
+                                      positional.end());
+  int rc = 0;
   try {
-    if (cmd == "ert") return cmd_ert(rest, rest_argv);
-    if (cmd == "characterize") return cmd_characterize();
-    if (cmd == "campaign") return cmd_campaign(rest, rest_argv);
-    if (cmd == "project") return cmd_project(rest, rest_argv);
-    if (cmd == "report") return cmd_report(rest, rest_argv);
-    if (cmd == "decompose") return cmd_decompose(rest, rest_argv);
-    if (cmd == "queue") return cmd_queue(rest, rest_argv);
+    rc = dispatch(cmd, args);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
+    obs::Logger::global().error("cli.error", {{"what", e.what()}});
     return 1;
   }
-  return usage();
+
+  if (!opts.trace_path.empty()) {
+    std::ofstream out(opts.trace_path);
+    if (!out) {
+      obs::Logger::global().error("trace.open_failed",
+                                  {{"path", opts.trace_path}});
+    } else {
+      obs::Tracer::global().write_chrome_trace(out);
+      obs::Logger::global().info(
+          "trace.written", {{"path", opts.trace_path},
+                            {"spans", obs::Tracer::global().span_count()}});
+    }
+  }
+  if (!opts.metrics_path.empty()) {
+    std::ofstream out(opts.metrics_path);
+    if (!out) {
+      obs::Logger::global().error("metrics.open_failed",
+                                  {{"path", opts.metrics_path}});
+    } else {
+      const bool json = opts.metrics_path.size() >= 5 &&
+                        opts.metrics_path.rfind(".json") ==
+                            opts.metrics_path.size() - 5;
+      auto& reg = obs::MetricsRegistry::global();
+      out << (json ? reg.expose_json() : reg.expose_prometheus());
+    }
+  }
+  print_summary_footer();
+  return rc;
 }
