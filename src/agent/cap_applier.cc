@@ -1,0 +1,91 @@
+#include "agent/cap_applier.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace exaeff::agent {
+
+void RetryPolicy::validate() const {
+  EXAEFF_REQUIRE(max_attempts >= 1, "retry policy needs at least 1 attempt");
+  EXAEFF_REQUIRE(base_backoff_s >= 0.0, "backoff must be non-negative");
+  EXAEFF_REQUIRE(backoff_multiplier >= 1.0,
+                 "backoff multiplier must be >= 1");
+  EXAEFF_REQUIRE(max_backoff_s >= base_backoff_s,
+                 "backoff ceiling below base backoff");
+}
+
+CapApplier::CapApplier(ApplyFn fn, RetryPolicy policy)
+    : fn_(std::move(fn)), policy_(policy) {
+  EXAEFF_REQUIRE(static_cast<bool>(fn_), "cap applier needs an apply fn");
+  policy_.validate();
+}
+
+ApplyOutcome CapApplier::apply(double cap_mhz) {
+  ApplyOutcome out;
+  ++counters_.requests;
+  double wait = policy_.base_backoff_s;
+  for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    ++counters_.attempts;
+    out.attempts = attempt;
+    if (fn_(cap_mhz)) {
+      out.applied = true;
+      break;
+    }
+    ++counters_.transient_failures;
+    if (attempt < policy_.max_attempts) {
+      out.backoff_s += wait;
+      wait = std::min(wait * policy_.backoff_multiplier,
+                      policy_.max_backoff_s);
+    }
+  }
+  counters_.backoff_s += out.backoff_s;
+  if (!out.applied) ++counters_.gave_up;
+  return out;
+}
+
+void CapApplier::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("exaeff_cap_apply_requests_total",
+              "Cap-apply operations requested")
+      .inc(counters_.requests);
+  reg.counter("exaeff_cap_apply_attempts_total",
+              "Raw cap-apply invocations including retries")
+      .inc(counters_.attempts);
+  if (counters_.transient_failures > 0) {
+    reg.counter("exaeff_cap_apply_transient_failures_total",
+                "Cap-apply invocations that failed transiently")
+        .inc(counters_.transient_failures);
+  }
+  if (counters_.gave_up > 0) {
+    reg.counter("exaeff_cap_apply_gave_up_total",
+                "Cap-apply operations that exhausted all retries")
+        .inc(counters_.gave_up);
+  }
+  if (counters_.backoff_s > 0.0) {
+    reg.gauge("exaeff_cap_apply_backoff_seconds",
+              "Simulated backoff accumulated across cap-apply retries")
+        .add(counters_.backoff_s);
+  }
+}
+
+CapApplier::ApplyFn CapApplier::flaky_fn(double failure_probability,
+                                         std::uint64_t seed) {
+  EXAEFF_REQUIRE(failure_probability >= 0.0 && failure_probability <= 1.0,
+                 "failure probability must be in [0, 1]");
+  // The call counter makes draws depend only on (seed, call index), so a
+  // replay with the same seed sees the identical failure pattern.
+  auto calls = std::make_shared<std::uint64_t>(0);
+  return [failure_probability, seed, calls](double /*cap_mhz*/) {
+    const std::uint64_t n = (*calls)++;
+    std::uint64_t sm = seed ^ (n * 0xC2B2AE3D27D4EB4FULL);
+    const double u = static_cast<double>(splitmix64(sm) >> 11) * 0x1.0p-53;
+    return u >= failure_probability;
+  };
+}
+
+}  // namespace exaeff::agent

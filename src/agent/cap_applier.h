@@ -1,0 +1,79 @@
+// exaeff/agent/cap_applier.h
+//
+// Robust cap actuation.  On real fleets the frequency-cap write is an
+// out-of-band RAS/driver call that fails transiently (busy management
+// controller, dropped RPC); a naive agent that fires once and forgets
+// silently leaves the wrong cap in force for whole phases.  CapApplier
+// wraps the raw apply call with bounded retry and capped exponential
+// backoff, counts every outcome, and reports whether the cap actually
+// landed — the caller keeps the previous cap in force when it did not.
+//
+// Backoff is *simulated* (accumulated seconds, no sleeping): the replay
+// pipeline is offline, so the cost of retries is accounted, not paid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace exaeff::agent {
+
+/// Retry schedule for one cap-apply operation.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;     ///< total tries (first + retries)
+  double base_backoff_s = 0.05;     ///< wait before the first retry
+  double backoff_multiplier = 2.0;  ///< geometric growth per retry
+  double max_backoff_s = 1.0;       ///< per-wait ceiling
+
+  void validate() const;
+};
+
+/// Result of one apply() call.
+struct ApplyOutcome {
+  bool applied = false;        ///< cap landed within max_attempts
+  std::size_t attempts = 0;    ///< tries consumed (>= 1)
+  double backoff_s = 0.0;      ///< simulated wait accumulated across retries
+};
+
+/// Tallies across the applier's lifetime (published at stage boundaries).
+struct ApplierCounters {
+  std::uint64_t requests = 0;        ///< apply() calls
+  std::uint64_t attempts = 0;        ///< raw apply-fn invocations
+  std::uint64_t transient_failures = 0;  ///< apply-fn returned false
+  std::uint64_t gave_up = 0;         ///< requests that exhausted retries
+  double backoff_s = 0.0;            ///< total simulated backoff
+};
+
+/// Retrying wrapper around a raw cap-apply function.
+class CapApplier {
+ public:
+  /// The raw actuation call: returns true when the cap took effect.
+  using ApplyFn = std::function<bool(double cap_mhz)>;
+
+  CapApplier(ApplyFn fn, RetryPolicy policy = {});
+
+  /// Attempts to apply `cap_mhz`, retrying per the policy.
+  ApplyOutcome apply(double cap_mhz);
+
+  [[nodiscard]] const ApplierCounters& counters() const { return counters_; }
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+
+  /// Publishes applier counters (`exaeff_cap_apply_*`) to the metrics
+  /// registry when enabled.
+  void publish_metrics() const;
+
+  /// A deterministic flaky apply-fn that fails with probability
+  /// `failure_probability` — the injected transient-failure model used by
+  /// the fault bench.  Draws are stateless hashes of (seed, call index),
+  /// so a given seed always yields the same failure pattern.
+  [[nodiscard]] static ApplyFn flaky_fn(double failure_probability,
+                                        std::uint64_t seed);
+
+ private:
+  ApplyFn fn_;
+  RetryPolicy policy_;
+  ApplierCounters counters_;
+};
+
+}  // namespace exaeff::agent

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "agent/cap_applier.h"
 #include "obs/metrics.h"
 
 namespace exaeff::agent {
@@ -22,11 +23,20 @@ double CappingAgent::observe(double power_w) {
   filled_ = std::min(filled_ + 1, config_.window);
 
   // Classify the rolling mean (mean power is what the modal analysis
-  // bins; single windows are too noisy).
-  double mean = 0.0;
-  for (std::size_t i = 0; i < filled_; ++i) mean += ring_[i];
-  mean /= static_cast<double>(filled_);
-  const core::Region observed = boundaries_.classify(mean);
+  // bins; single windows are too noisy) — or the rolling median when
+  // configured, which shrugs off single-window glitches.
+  double stat = 0.0;
+  if (config_.classify_median) {
+    std::array<double, 16> tmp{};
+    std::copy_n(ring_.begin(), filled_, tmp.begin());
+    const auto mid = tmp.begin() + static_cast<std::ptrdiff_t>(filled_ / 2);
+    std::nth_element(tmp.begin(), mid, tmp.begin() + filled_);
+    stat = *mid;
+  } else {
+    for (std::size_t i = 0; i < filled_; ++i) stat += ring_[i];
+    stat /= static_cast<double>(filled_);
+  }
+  const core::Region observed = boundaries_.classify(stat);
 
   // Hysteresis: require `dwell` consecutive observations of a new region
   // before re-actuating; avoids cap flapping at phase boundaries.
@@ -105,6 +115,49 @@ ReplayResult replay_agent(std::span<const float> powers_w, double window_s,
     reg.counter("exaeff_agent_windows_total",
                 "Telemetry windows replayed through the capping agent")
         .inc(out.windows);
+  }
+  return out;
+}
+
+ReplayResult replay_agent_resilient(std::span<const float> powers_w,
+                                    double window_s,
+                                    const AgentConfig& config,
+                                    const RegionResponseModel& model,
+                                    const core::RegionBoundaries& b,
+                                    CapApplier& applier,
+                                    std::size_t* failed_applies) {
+  ReplayResult out;
+  CappingAgent agent(config, b);
+  // `in_force` tracks what the hardware actually runs at; it only moves
+  // when the applier confirms the write landed.
+  double in_force = agent.current_cap_mhz();
+  double last_wanted = in_force;
+  std::size_t failed = 0;
+  for (float p : powers_w) {
+    apply_window(p, window_s, in_force, model, b, out);
+    const double wanted = agent.observe(p);
+    // Actuate only on fresh decisions: a lost apply leaves the stale cap
+    // in force until the agent next changes its mind (the failure mode
+    // this replay quantifies), not a hot retry loop every window.
+    if (wanted != last_wanted) {
+      last_wanted = wanted;
+      if (applier.apply(wanted).applied) {
+        in_force = wanted;
+        ++out.cap_switches;
+      } else {
+        ++failed;
+      }
+    }
+  }
+  if (failed_applies != nullptr) *failed_applies = failed;
+  if (obs::metrics_enabled()) {
+    applier.publish_metrics();
+    if (failed > 0) {
+      obs::MetricsRegistry::global()
+          .counter("exaeff_agent_lost_cap_changes_total",
+                   "Agent cap changes lost to exhausted apply retries")
+          .inc(failed);
+    }
   }
   return out;
 }

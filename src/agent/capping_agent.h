@@ -45,6 +45,11 @@ struct AgentPolicy {
 struct AgentConfig {
   std::size_t window = 4;        ///< rolling windows (x15 s) per decision
   std::size_t dwell = 2;         ///< decisions before switching caps
+  /// Classify the rolling *median* instead of the mean.  The median is
+  /// robust to single-window spike/stuck glitches that would drag a mean
+  /// across a region boundary; off by default (mean matches the modal
+  /// analysis and the pre-robustness behavior exactly).
+  bool classify_median = false;
   AgentPolicy policy;
 };
 
@@ -117,5 +122,18 @@ struct ReplayResult {
     std::span<const float> powers_w, double window_s,
     const AgentConfig& config, const RegionResponseModel& model,
     const core::RegionBoundaries& b);
+
+class CapApplier;
+
+/// replay_agent with a fallible actuation path: every cap change the
+/// agent decides is routed through `applier`, and when the apply fails
+/// even after retries the *previous* cap stays in force (the hardware
+/// never saw the new one).  `failed_applies` (optional) receives the
+/// number of cap changes that were lost this way.
+[[nodiscard]] ReplayResult replay_agent_resilient(
+    std::span<const float> powers_w, double window_s,
+    const AgentConfig& config, const RegionResponseModel& model,
+    const core::RegionBoundaries& b, CapApplier& applier,
+    std::size_t* failed_applies = nullptr);
 
 }  // namespace exaeff::agent

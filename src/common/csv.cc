@@ -35,12 +35,16 @@ std::string format_csv_line(const std::vector<std::string>& cells) {
   return out;
 }
 
-std::vector<std::string> parse_csv_line(std::string_view line) {
+std::vector<std::string> parse_csv_line(std::string_view line,
+                                        std::size_t line_no) {
   std::vector<std::string> cells;
   std::string cur;
   bool in_quotes = false;
   for (std::size_t i = 0; i < line.size(); ++i) {
     const char c = line[i];
+    if (c == '\0') {
+      throw ParseError("NUL byte in CSV input", line_no, i + 1);
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
@@ -54,7 +58,9 @@ std::vector<std::string> parse_csv_line(std::string_view line) {
       }
     } else {
       if (c == '"') {
-        if (!cur.empty()) throw ParseError("quote inside unquoted CSV cell");
+        if (!cur.empty()) {
+          throw ParseError("quote inside unquoted CSV cell", line_no, i + 1);
+        }
         in_quotes = true;
       } else if (c == ',') {
         cells.push_back(std::move(cur));
@@ -66,7 +72,10 @@ std::vector<std::string> parse_csv_line(std::string_view line) {
       }
     }
   }
-  if (in_quotes) throw ParseError("unterminated quote in CSV line");
+  if (in_quotes) {
+    throw ParseError("unterminated quote in CSV line", line_no,
+                     line.size());
+  }
   cells.push_back(std::move(cur));
   return cells;
 }
@@ -78,6 +87,7 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 bool CsvReader::read_row(std::vector<std::string>& cells) {
   std::string line;
   if (!std::getline(is_, line)) return false;
+  row_line_ = next_line_++;
   // Re-join lines while inside a quoted cell (embedded newline support).
   auto count_quotes = [](const std::string& s) {
     std::size_t n = 0;
@@ -87,12 +97,14 @@ bool CsvReader::read_row(std::vector<std::string>& cells) {
   while (count_quotes(line) % 2 == 1) {
     std::string next;
     if (!std::getline(is_, next)) {
-      throw ParseError("unterminated quoted cell at end of CSV input");
+      throw ParseError("unterminated quoted cell at end of CSV input",
+                       row_line_);
     }
+    ++next_line_;
     line += '\n';
     line += next;
   }
-  cells = parse_csv_line(line);
+  cells = parse_csv_line(line, row_line_);
   return true;
 }
 

@@ -30,15 +30,25 @@ class CsvReader {
   explicit CsvReader(std::istream& is) : is_(is) {}
 
   /// Reads the next record into `cells`; returns false at end of input.
-  /// Throws ParseError on malformed quoting.
+  /// Throws ParseError (with line/column context) on malformed quoting or
+  /// embedded NUL bytes.
   bool read_row(std::vector<std::string>& cells);
+
+  /// 1-based input line the most recently read row started on; 0 before
+  /// the first read_row().  Rows with quoted embedded newlines span
+  /// several physical lines; this reports the first.
+  [[nodiscard]] std::size_t row_line() const { return row_line_; }
 
  private:
   std::istream& is_;
+  std::size_t next_line_ = 1;
+  std::size_t row_line_ = 0;
 };
 
-/// Parses a single CSV line (no embedded newlines) into cells.
-[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
+/// Parses a single CSV line (no embedded newlines) into cells.  `line_no`
+/// (1-based, 0 = unknown) is attached to ParseError context.
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line,
+                                                      std::size_t line_no = 0);
 
 /// Serializes cells into a single CSV line (no trailing newline).
 [[nodiscard]] std::string format_csv_line(

@@ -26,10 +26,52 @@ class ConfigError : public Error {
   explicit ConfigError(const std::string& what) : Error(what) {}
 };
 
-/// Thrown when a file or serialized payload cannot be parsed.
+namespace detail {
+inline std::string with_location(const std::string& what, std::size_t line,
+                                 std::size_t column) {
+  std::string out = what;
+  if (line > 0) {
+    out += " (line ";
+    out += std::to_string(line);
+    if (column > 0) {
+      out += ", column ";
+      out += std::to_string(column);
+    }
+    out += ")";
+  }
+  return out;
+}
+}  // namespace detail
+
+/// Thrown when a file or serialized payload cannot be parsed.  Carries
+/// optional 1-based line/column context (0 means unknown) so malformed
+/// input is rejected with an actionable location instead of producing
+/// garbage rows.
 class ParseError : public Error {
  public:
   explicit ParseError(const std::string& what) : Error(what) {}
+  ParseError(const std::string& what, std::size_t line,
+             std::size_t column = 0)
+      : Error(detail::with_location(what, line, column)),
+        line_(line),
+        column_(column) {}
+
+  /// 1-based input line of the failure; 0 when unknown.
+  [[nodiscard]] std::size_t line() const { return line_; }
+  /// 1-based column (byte offset within the line); 0 when unknown.
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_ = 0;
+  std::size_t column_ = 0;
+};
+
+/// Thrown when degraded telemetry falls below the configured quality
+/// floor (coverage / imputation thresholds) and a consumer refuses to
+/// project from it.
+class DataQualityError : public Error {
+ public:
+  explicit DataQualityError(const std::string& what) : Error(what) {}
 };
 
 namespace detail {

@@ -1,10 +1,30 @@
 #include "core/projection.h"
 
+#include <string>
+
+#include "common/error.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace exaeff::core {
+
+void require_quality(const DataQuality& q, const QualityPolicy& policy) {
+  if (q.coverage < policy.min_coverage) {
+    throw DataQualityError(
+        "telemetry coverage " + std::to_string(q.coverage) +
+        " is below the projection floor " +
+        std::to_string(policy.min_coverage) +
+        "; refusing to project from this data");
+  }
+  if (q.imputed_share > policy.max_imputed_share) {
+    throw DataQualityError(
+        "imputed share " + std::to_string(q.imputed_share) +
+        " exceeds the projection ceiling " +
+        std::to_string(policy.max_imputed_share) +
+        "; refusing to project from this data");
+  }
+}
 
 ProjectionRow ProjectionEngine::project(const ModalDecomposition& decomp,
                                         CapType type, double setting) const {

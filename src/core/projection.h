@@ -26,6 +26,30 @@
 
 namespace exaeff::core {
 
+/// Data-quality summary attached to a projection's input telemetry.
+/// Defaults describe a perfect (clean, complete) stream so existing
+/// callers are unaffected.
+struct DataQuality {
+  double coverage = 1.0;       ///< fraction of expected records observed
+  double imputed_share = 0.0;  ///< fraction of analyzed records synthesized
+
+  [[nodiscard]] bool perfect() const {
+    return coverage >= 1.0 && imputed_share <= 0.0;
+  }
+};
+
+/// Floor below which projections must refuse to report numbers: a savings
+/// estimate extrapolated from a sliver of the fleet is misinformation,
+/// not an upper bound.
+struct QualityPolicy {
+  double min_coverage = 0.5;       ///< refuse below this coverage
+  double max_imputed_share = 0.25; ///< refuse above this imputed share
+};
+
+/// Throws DataQualityError naming the failing dimension when `q` is below
+/// the policy floor.  No-op for data that meets the floor.
+void require_quality(const DataQuality& q, const QualityPolicy& policy);
+
 /// One row of Table V / Table VI.
 struct ProjectionRow {
   CapType cap_type = CapType::kFrequency;

@@ -15,6 +15,8 @@ std::string render_campaign_report(const ReportInputs& inputs) {
   if (inputs.accumulator == nullptr || inputs.table == nullptr) {
     throw ConfigError("report needs an accumulator and a response table");
   }
+  require_quality(inputs.quality, inputs.quality_policy);
+  const bool degraded = !inputs.quality.perfect();
   const CampaignAccumulator& acc = *inputs.accumulator;
   const CapResponseTable& table = *inputs.table;
   const ProjectionEngine engine(table);
@@ -31,7 +33,15 @@ std::string render_campaign_report(const ReportInputs& inputs) {
      << acc.window_s() << " s resolution)\n";
   os << "- GPU-hours: " << TextTable::num(decomp.total_gpu_hours, 0)
      << "\n";
-  os << "- GPU energy: " << TextTable::num(total_mwh, 2) << " MWh\n\n";
+  os << "- GPU energy: " << TextTable::num(total_mwh, 2) << " MWh\n";
+  if (degraded) {
+    os << "- telemetry coverage: "
+       << TextTable::num(100.0 * inputs.quality.coverage, 1) << " %\n";
+    os << "- imputed records: "
+       << TextTable::num(100.0 * inputs.quality.imputed_share, 1)
+       << " % (DEGRADED DATA: treat projections as approximate)\n";
+  }
+  os << "\n";
 
   // --- modal decomposition ----------------------------------------------
   os << "## Regions of operation\n\n";
@@ -59,16 +69,30 @@ std::string render_campaign_report(const ReportInputs& inputs) {
   auto projection_block = [&](CapType type, const char* title) {
     os << "## " << title << "\n\n";
     TextTable t;
-    t.set_header({"setting", "C.I. saved (MWh)", "M.I. saved (MWh)",
-                  "total (MWh)", "savings %", "dT %", "savings % at dT=0"});
+    std::vector<std::string> header = {
+        "setting",   "C.I. saved (MWh)", "M.I. saved (MWh)",
+        "total (MWh)", "savings %",      "dT %",
+        "savings % at dT=0"};
+    if (degraded) {
+      header.push_back("coverage %");
+      header.push_back("imputed %");
+    }
+    t.set_header(header);
     for (const auto& row : engine.project_sweep(decomp, type)) {
-      t.add_row({TextTable::num(row.setting, 0),
-                 TextTable::num(row.ci_saved_mwh, 3),
-                 TextTable::num(row.mi_saved_mwh, 3),
-                 TextTable::num(row.total_saved_mwh, 3),
-                 TextTable::num(row.savings_pct, 1),
-                 TextTable::num(row.delta_t_pct, 1),
-                 TextTable::num(row.savings_pct_no_slowdown, 1)});
+      std::vector<std::string> cells = {
+          TextTable::num(row.setting, 0),
+          TextTable::num(row.ci_saved_mwh, 3),
+          TextTable::num(row.mi_saved_mwh, 3),
+          TextTable::num(row.total_saved_mwh, 3),
+          TextTable::num(row.savings_pct, 1),
+          TextTable::num(row.delta_t_pct, 1),
+          TextTable::num(row.savings_pct_no_slowdown, 1)};
+      if (degraded) {
+        cells.push_back(TextTable::num(100.0 * inputs.quality.coverage, 1));
+        cells.push_back(
+            TextTable::num(100.0 * inputs.quality.imputed_share, 1));
+      }
+      t.add_row(cells);
     }
     os << t.str() << "\n";
   };

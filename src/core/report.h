@@ -25,6 +25,16 @@ struct ReportInputs {
   double focus_cap_mhz = 1100.0;
   /// Threshold for the "high-yield domain" selection.
   double high_yield_fraction = 0.35;
+
+  /// Data quality of the telemetry behind `accumulator`.  When imperfect,
+  /// the dataset section and the projection tables carry explicit
+  /// coverage / imputed-share columns so degraded numbers can never be
+  /// mistaken for clean ones; with the default (perfect) quality the
+  /// report is byte-identical to the pre-robustness format.
+  DataQuality quality{};
+  /// Floor enforced before rendering; render_campaign_report throws
+  /// DataQualityError when `quality` is below it.
+  QualityPolicy quality_policy{};
 };
 
 /// Renders the full report.  Throws ConfigError when inputs are missing.

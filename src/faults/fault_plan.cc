@@ -1,0 +1,169 @@
+#include "faults/fault_plan.h"
+
+#include <charconv>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace exaeff::faults {
+
+namespace {
+
+double parse_num(std::string_view item, std::string_view text) {
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size() ||
+      !std::isfinite(v)) {
+    throw ConfigError("fault spec: bad number in '" + std::string(item) +
+                      "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(std::string_view item, std::string_view text) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ConfigError("fault spec: bad integer in '" + std::string(item) +
+                      "'");
+  }
+  return v;
+}
+
+/// Splits "p:param" items; throws when the colon is missing.
+FaultRate parse_rate(std::string_view item, std::string_view value) {
+  const auto colon = value.find(':');
+  if (colon == std::string_view::npos) {
+    throw ConfigError("fault spec: '" + std::string(item) +
+                      "' needs the form p:param");
+  }
+  FaultRate r;
+  r.probability = parse_num(item, value.substr(0, colon));
+  r.param = parse_num(item, value.substr(colon + 1));
+  return r;
+}
+
+void require_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw ConfigError(std::string("fault spec: ") + what +
+                      " probability must be in [0, 1]");
+  }
+}
+
+void require_positive_param(const FaultRate& r, const char* what) {
+  require_probability(r.probability, what);
+  if (r.enabled() && !(r.param > 0.0)) {
+    throw ConfigError(std::string("fault spec: ") + what +
+                      " parameter must be > 0");
+  }
+}
+
+void append_rate(std::string& out, const char* key, const FaultRate& r,
+                 int param_digits = 0) {
+  if (!r.enabled()) return;
+  if (!out.empty()) out += ',';
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%g:%.*f", key, r.probability,
+                param_digits, r.param);
+  out += buf;
+}
+
+}  // namespace
+
+bool FaultPlan::any_enabled() const {
+  return drop_probability > 0.0 || burst.enabled() || stuck.enabled() ||
+         spike.enabled() || outage.enabled() || skew_max_s > 0.0 ||
+         reorder.enabled() || truncate_fraction > 0.0;
+}
+
+void FaultPlan::validate() const {
+  require_probability(drop_probability, "drop");
+  require_positive_param(burst, "burst");
+  require_positive_param(stuck, "stuck");
+  require_positive_param(spike, "spike");
+  require_positive_param(outage, "outage");
+  require_positive_param(reorder, "reorder");
+  if (reorder.enabled() && reorder.param != std::floor(reorder.param)) {
+    throw ConfigError("fault spec: reorder depth must be an integer");
+  }
+  if (!(skew_max_s >= 0.0) || !std::isfinite(skew_max_s)) {
+    throw ConfigError("fault spec: skew must be >= 0");
+  }
+  if (!(truncate_fraction >= 0.0 && truncate_fraction <= 1.0)) {
+    throw ConfigError("fault spec: truncate fraction must be in [0, 1]");
+  }
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw ConfigError("fault spec: item '" + std::string(item) +
+                        "' needs key=value");
+    }
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(item, value);
+    } else if (key == "drop") {
+      plan.drop_probability = parse_num(item, value);
+    } else if (key == "burst") {
+      plan.burst = parse_rate(item, value);
+    } else if (key == "stuck") {
+      plan.stuck = parse_rate(item, value);
+    } else if (key == "spike") {
+      plan.spike = parse_rate(item, value);
+    } else if (key == "outage") {
+      plan.outage = parse_rate(item, value);
+    } else if (key == "skew") {
+      plan.skew_max_s = parse_num(item, value);
+    } else if (key == "reorder") {
+      plan.reorder = parse_rate(item, value);
+    } else if (key == "truncate") {
+      plan.truncate_fraction = parse_num(item, value);
+    } else {
+      throw ConfigError("fault spec: unknown key '" + std::string(key) +
+                        "'");
+    }
+  }
+  plan.validate();
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char buf[64];
+  auto append = [&out, &buf](const char* text) {
+    if (!out.empty()) out += ',';
+    out += text;
+  };
+  if (drop_probability > 0.0) {
+    std::snprintf(buf, sizeof buf, "drop=%g", drop_probability);
+    append(buf);
+  }
+  append_rate(out, "burst", burst);
+  append_rate(out, "stuck", stuck);
+  append_rate(out, "spike", spike, 2);
+  append_rate(out, "outage", outage);
+  if (skew_max_s > 0.0) {
+    std::snprintf(buf, sizeof buf, "skew=%g", skew_max_s);
+    append(buf);
+  }
+  append_rate(out, "reorder", reorder);
+  if (truncate_fraction > 0.0) {
+    std::snprintf(buf, sizeof buf, "truncate=%g", truncate_fraction);
+    append(buf);
+  }
+  return out.empty() ? "none" : out;
+}
+
+}  // namespace exaeff::faults

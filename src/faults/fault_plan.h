@@ -1,0 +1,80 @@
+// exaeff/faults/fault_plan.h
+//
+// Declarative description of the data-loss and corruption a production
+// telemetry substrate exhibits.  The paper's analysis runs over three
+// months of out-of-band fleet telemetry, and at Frontier scale dropped
+// samples, glitching sensors, node outages and scheduler-log gaps are the
+// norm, not the exception.  A FaultPlan names each fault class and its
+// intensity; the injector (injector.h) realizes the plan deterministically
+// from the seed, so any degraded run is exactly reproducible.
+//
+// Spec grammar (the `--faults=` CLI flag and FaultPlan::parse):
+//
+//   spec    := item (',' item)*
+//   item    := 'seed=' u64              RNG seed            (default 0xFA17)
+//            | 'drop=' p                iid sample dropout probability
+//            | 'burst=' p ':' len_s     per-channel burst dropout: whole
+//                                       len_s epochs go dark w.p. p
+//            | 'stuck=' p ':' len_s     stuck-at sensor: channel repeats
+//                                       one value for a len_s epoch w.p. p
+//            | 'spike=' p ':' mag       glitch: sample power multiplied
+//                                       by mag w.p. p
+//            | 'outage=' p ':' len_s    node outage: every channel of the
+//                                       node dark for a len_s epoch w.p. p
+//            | 'skew=' max_s            per-node clock offset, uniform in
+//                                       [-max_s, +max_s]
+//            | 'reorder=' p ':' depth   delivery reordering: a sample is
+//                                       delayed behind up to `depth` later
+//                                       ones w.p. p (stream adapter only)
+//            | 'truncate=' frac         scheduler log loses the jobs that
+//                                       begin in the last frac of the
+//                                       campaign
+//
+// Example: --faults=drop=0.10,stuck=0.01:60,outage=0.002:3600,seed=7
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace exaeff::faults {
+
+/// One fault class with a probability and a per-class parameter.
+struct FaultRate {
+  double probability = 0.0;  ///< per-decision probability in [0, 1]
+  double param = 0.0;        ///< epoch length (s), magnitude, or depth
+
+  [[nodiscard]] bool enabled() const { return probability > 0.0; }
+};
+
+/// The full plan.  Default-constructed plans inject nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0xFA17;
+
+  double drop_probability = 0.0;  ///< iid sample dropout
+  FaultRate burst;                ///< param = epoch length, seconds
+  FaultRate stuck;                ///< param = epoch length, seconds
+  FaultRate spike;                ///< param = power multiplier
+  FaultRate outage;               ///< param = epoch length, seconds
+  double skew_max_s = 0.0;        ///< per-node clock offset bound
+  FaultRate reorder;              ///< param = delay depth, samples
+  double truncate_fraction = 0.0; ///< scheduler-log tail loss
+
+  /// True when at least one fault class is active.
+  [[nodiscard]] bool any_enabled() const;
+
+  /// Throws ConfigError when a probability, length or fraction is out of
+  /// range (probabilities and fractions in [0, 1], lengths/depths > 0 for
+  /// enabled classes, all values finite).
+  void validate() const;
+
+  /// Parses the spec grammar above.  Unknown keys, malformed numbers and
+  /// out-of-range values throw ConfigError naming the offending item.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec);
+
+  /// Canonical one-line rendering of the enabled classes (for logs and
+  /// report headers); "none" when nothing is enabled.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace exaeff::faults

@@ -1,0 +1,239 @@
+#include "faults/injector.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace exaeff::faults {
+
+namespace {
+
+// Per-class salts for the stateless decision draws.  Distinct arbitrary
+// constants; changing one reshuffles only that fault class.
+constexpr std::uint64_t kSaltDrop = 0x9D39247E33776D41ULL;
+constexpr std::uint64_t kSaltBurst = 0x2AF7398005AAA5C7ULL;
+constexpr std::uint64_t kSaltStuck = 0x44DB015024623547ULL;
+constexpr std::uint64_t kSaltSpike = 0x9C15F73E62A76AE2ULL;
+constexpr std::uint64_t kSaltOutage = 0x75834465489C0C89ULL;
+constexpr std::uint64_t kSaltSkew = 0x3290AC3A203001BFULL;
+constexpr std::uint64_t kSaltReorder = 0x0FBBAD1F61042279ULL;
+
+/// Pseudo-gcd index for the node-level channel (matches the aggregator's
+/// channel-key convention).
+constexpr std::uint16_t kNodeChannelGcd = 0xFFFF;
+
+std::uint64_t channel_key(std::uint32_t node, std::uint16_t gcd) {
+  return (static_cast<std::uint64_t>(node) << 16) | gcd;
+}
+
+/// Epoch index of time `t` for an epoch length; times before zero clamp
+/// into epoch 0 so skewed-negative timestamps stay well defined.
+std::uint64_t epoch_of(double t, double len_s) {
+  if (t <= 0.0) return 0;
+  return static_cast<std::uint64_t>(t / len_s);
+}
+
+/// Quantized time used to key iid per-sample draws: decouples the draw
+/// from float noise in t while keeping distinct samples distinct.
+std::uint64_t time_key(double t) {
+  return static_cast<std::uint64_t>(std::llround(t * 16.0));
+}
+
+}  // namespace
+
+FaultModel::FaultModel(const FaultPlan& plan) : plan_(plan) {
+  plan_.validate();
+}
+
+double FaultModel::roll(std::uint64_t salt, std::uint64_t key,
+                        std::uint64_t epoch) const {
+  std::uint64_t sm = plan_.seed ^ salt ^
+                     (key * 0x9E3779B97F4A7C15ULL) ^
+                     (epoch * 0xC2B2AE3D27D4EB4FULL);
+  return static_cast<double>(splitmix64(sm) >> 11) * 0x1.0p-53;
+}
+
+bool FaultModel::survives(std::uint64_t channel, std::uint32_t node,
+                          double t) {
+  if (plan_.outage.enabled() &&
+      roll(kSaltOutage, node, epoch_of(t, plan_.outage.param)) <
+          plan_.outage.probability) {
+    ++counters_.dropped_outage;
+    return false;
+  }
+  if (plan_.burst.enabled() &&
+      roll(kSaltBurst, channel, epoch_of(t, plan_.burst.param)) <
+          plan_.burst.probability) {
+    ++counters_.dropped_burst;
+    return false;
+  }
+  if (plan_.drop_probability > 0.0 &&
+      roll(kSaltDrop, channel, time_key(t)) < plan_.drop_probability) {
+    ++counters_.dropped_iid;
+    return false;
+  }
+  return true;
+}
+
+double FaultModel::corrupt(std::uint64_t channel, double t, double value) {
+  if (plan_.stuck.enabled()) {
+    const std::uint64_t epoch = epoch_of(t, plan_.stuck.param);
+    if (roll(kSaltStuck, channel, epoch) < plan_.stuck.probability) {
+      StuckState& st = stuck_[channel];
+      if (st.epoch != epoch) {
+        // First surviving sample of the stuck epoch pins the value.
+        st.epoch = epoch;
+        st.value = value;
+      }
+      ++counters_.stuck;
+      return st.value;
+    }
+  }
+  if (plan_.spike.enabled() &&
+      roll(kSaltSpike, channel, time_key(t)) < plan_.spike.probability) {
+    ++counters_.spiked;
+    return value * plan_.spike.param;
+  }
+  return value;
+}
+
+double FaultModel::skew_of(std::uint32_t node) const {
+  if (plan_.skew_max_s <= 0.0) return 0.0;
+  const double u = roll(kSaltSkew, node, 0);
+  return (2.0 * u - 1.0) * plan_.skew_max_s;
+}
+
+bool FaultModel::apply(telemetry::GcdSample& sample) {
+  ++counters_.samples_in;
+  const std::uint64_t chan = channel_key(sample.node_id, sample.gcd_index);
+  if (!survives(chan, sample.node_id, sample.t_s)) return false;
+  sample.power_w = static_cast<float>(
+      corrupt(chan, sample.t_s, static_cast<double>(sample.power_w)));
+  const double skew = skew_of(sample.node_id);
+  if (skew != 0.0) {
+    sample.t_s = std::max(0.0, sample.t_s + skew);
+    ++counters_.skewed;
+  }
+  ++counters_.passed;
+  return true;
+}
+
+bool FaultModel::apply(telemetry::NodeSample& sample) {
+  ++counters_.samples_in;
+  const std::uint64_t chan = channel_key(sample.node_id, kNodeChannelGcd);
+  if (!survives(chan, sample.node_id, sample.t_s)) return false;
+  sample.cpu_power_w = static_cast<float>(corrupt(
+      chan, sample.t_s, static_cast<double>(sample.cpu_power_w)));
+  const double skew = skew_of(sample.node_id);
+  if (skew != 0.0) {
+    sample.t_s = std::max(0.0, sample.t_s + skew);
+    ++counters_.skewed;
+  }
+  ++counters_.passed;
+  return true;
+}
+
+void FaultModel::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  const char* help = "Faults injected into the telemetry stream";
+  const auto publish = [&](const char* cls, std::uint64_t v) {
+    if (v > 0) {
+      reg.counter("exaeff_faults_injected_total", help, {{"class", cls}})
+          .inc(v);
+    }
+  };
+  publish("drop_iid", counters_.dropped_iid);
+  publish("drop_burst", counters_.dropped_burst);
+  publish("drop_outage", counters_.dropped_outage);
+  publish("stuck", counters_.stuck);
+  publish("spike", counters_.spiked);
+  publish("skew", counters_.skewed);
+  publish("reorder", counters_.reordered);
+  reg.counter("exaeff_faults_samples_total",
+              "Samples examined by the fault injector")
+      .inc(counters_.samples_in);
+  reg.counter("exaeff_faults_passed_total",
+              "Samples that survived fault injection")
+      .inc(counters_.passed);
+}
+
+void FaultInjector::release_due() {
+  // Deliver held samples whose delay has elapsed; compact in place so the
+  // hold-back order (and therefore the output) is deterministic.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (held_[i].remaining == 0) {
+      downstream_.on_gcd_sample(held_[i].sample);
+    } else {
+      --held_[i].remaining;
+      held_[kept++] = held_[i];
+    }
+  }
+  held_.resize(kept);
+}
+
+void FaultInjector::on_gcd_sample(const telemetry::GcdSample& sample) {
+  telemetry::GcdSample s = sample;
+  const bool pass = model_.apply(s);
+  if (!held_.empty()) release_due();
+  if (!pass) return;
+  const FaultPlan& plan = model_.plan();
+  if (plan.reorder.enabled()) {
+    // Stateless draw keyed on the channel and quantized time; the sample
+    // is held behind the next `depth` deliveries.
+    std::uint64_t sm = plan.seed ^ kSaltReorder ^
+                       ((channel_key(s.node_id, s.gcd_index) *
+                         0x9E3779B97F4A7C15ULL) +
+                        static_cast<std::uint64_t>(
+                            std::llround(std::max(0.0, s.t_s) * 16.0)));
+    const double u =
+        static_cast<double>(splitmix64(sm) >> 11) * 0x1.0p-53;
+    if (u < plan.reorder.probability) {
+      model_.count_reordered();
+      held_.push_back(
+          Held{s, static_cast<std::uint32_t>(plan.reorder.param)});
+      return;
+    }
+  }
+  downstream_.on_gcd_sample(s);
+}
+
+void FaultInjector::on_node_sample(const telemetry::NodeSample& sample) {
+  telemetry::NodeSample s = sample;
+  if (model_.apply(s)) downstream_.on_node_sample(s);
+}
+
+void FaultInjector::flush() {
+  for (auto& h : held_) downstream_.on_gcd_sample(h.sample);
+  held_.clear();
+}
+
+sched::SchedulerLog truncate_log(const sched::SchedulerLog& log,
+                                 double horizon_s, const FaultPlan& plan,
+                                 std::uint32_t total_nodes,
+                                 std::size_t* dropped_jobs) {
+  const double cutoff_s =
+      horizon_s * (1.0 - plan.truncate_fraction);
+  sched::SchedulerLog out;
+  std::size_t dropped = 0;
+  for (const auto& job : log.jobs()) {
+    if (plan.truncate_fraction > 0.0 && job.begin_s >= cutoff_s) {
+      ++dropped;
+      continue;
+    }
+    out.add_job(job);
+  }
+  out.build_index(total_nodes);
+  if (dropped_jobs != nullptr) *dropped_jobs = dropped;
+  if (dropped > 0 && obs::metrics_enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("exaeff_faults_truncated_jobs_total",
+                 "Scheduler-log records lost to truncation")
+        .inc(dropped);
+  }
+  return out;
+}
+
+}  // namespace exaeff::faults

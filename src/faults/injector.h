@@ -1,0 +1,164 @@
+// exaeff/faults/injector.h
+//
+// Deterministic realization of a FaultPlan over the telemetry substrate.
+//
+// Every per-sample decision is a *stateless hash draw* over
+// (plan seed, fault-class salt, channel key, epoch index) — not a
+// sequential RNG — so the injected stream is bit-identical for a given
+// seed regardless of how samples are interleaved across channels, how the
+// work is sharded, or whether metrics are enabled.  Only the stuck-at
+// fault keeps per-channel state (the held value), which is well defined
+// because each channel's samples arrive in time order.
+//
+// Three entry points share the same FaultModel core:
+//   * FaultInjector      — TelemetrySink adapter (raw-stream pipelines);
+//                          also implements delivery reordering.
+//   * JobFaultInjector   — JobSampleSink adapter (joined fleet pipeline).
+//   * truncate_log()     — scheduler-log tail loss.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "sched/fleetgen.h"
+#include "sched/log.h"
+#include "telemetry/sample.h"
+
+namespace exaeff::faults {
+
+/// Injection tallies, one per fault class plus throughput.
+struct FaultCounters {
+  std::uint64_t samples_in = 0;
+  std::uint64_t passed = 0;
+  std::uint64_t dropped_iid = 0;
+  std::uint64_t dropped_burst = 0;
+  std::uint64_t dropped_outage = 0;
+  std::uint64_t stuck = 0;
+  std::uint64_t spiked = 0;
+  std::uint64_t skewed = 0;
+  std::uint64_t reordered = 0;
+
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_iid + dropped_burst + dropped_outage;
+  }
+};
+
+/// The seeded fault core: decides, per sample, whether it is dropped and
+/// how it is corrupted.  apply() mutates the sample in place and returns
+/// false when the sample is lost.
+class FaultModel {
+ public:
+  explicit FaultModel(const FaultPlan& plan);
+
+  /// Per-GCD channel.  Returns false when the sample is dropped.
+  [[nodiscard]] bool apply(telemetry::GcdSample& sample);
+
+  /// Node-level channel (shares the node's outage/skew, has its own
+  /// drop/stuck/spike draws keyed on the node pseudo-channel).
+  [[nodiscard]] bool apply(telemetry::NodeSample& sample);
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+
+  /// Counts an externally-reordered delivery (used by FaultInjector).
+  void count_reordered() { ++counters_.reordered; }
+
+  /// Publishes `exaeff_faults_injected_total{class=...}` counters to the
+  /// metrics registry (no-op while metrics are disabled).
+  void publish_metrics() const;
+
+ private:
+  /// Deterministic decision draw in [0, 1).
+  [[nodiscard]] double roll(std::uint64_t salt, std::uint64_t key,
+                            std::uint64_t epoch) const;
+  /// Shared drop chain (outage -> burst -> iid) for one channel.
+  [[nodiscard]] bool survives(std::uint64_t channel, std::uint32_t node,
+                              double t);
+  /// Stuck-at and spike corruption of one power value.
+  [[nodiscard]] double corrupt(std::uint64_t channel, double t,
+                               double value);
+  /// Per-node clock offset in [-skew_max, +skew_max]; 0 when disabled.
+  [[nodiscard]] double skew_of(std::uint32_t node) const;
+
+  struct StuckState {
+    std::uint64_t epoch = ~std::uint64_t{0};
+    double value = 0.0;
+  };
+
+  FaultPlan plan_;
+  FaultCounters counters_;
+  std::unordered_map<std::uint64_t, StuckState> stuck_;
+};
+
+/// TelemetrySink adapter: faults the stream, then forwards survivors to
+/// `downstream`.  When the plan enables reordering, a small hold-back
+/// buffer delays selected samples behind later ones; call flush() after
+/// the last sample to drain it.
+class FaultInjector final : public telemetry::TelemetrySink {
+ public:
+  FaultInjector(telemetry::TelemetrySink& downstream, const FaultPlan& plan)
+      : downstream_(downstream), model_(plan) {}
+
+  void on_gcd_sample(const telemetry::GcdSample& sample) override;
+  void on_node_sample(const telemetry::NodeSample& sample) override;
+
+  /// Delivers every held-back sample (in hold-back order).  Idempotent.
+  void flush();
+
+  [[nodiscard]] const FaultModel& model() const { return model_; }
+  [[nodiscard]] const FaultCounters& counters() const {
+    return model_.counters();
+  }
+
+ private:
+  struct Held {
+    telemetry::GcdSample sample;
+    std::uint32_t remaining;  ///< deliveries left before release
+  };
+
+  void release_due();
+
+  telemetry::TelemetrySink& downstream_;
+  FaultModel model_;
+  std::vector<Held> held_;
+};
+
+/// JobSampleSink adapter for the joined fleet pipeline.  Reordering is not
+/// applied here: joined consumers are order-insensitive accumulators and
+/// the join itself carries the job identity.
+class JobFaultInjector final : public sched::JobSampleSink {
+ public:
+  JobFaultInjector(sched::JobSampleSink& downstream, const FaultPlan& plan)
+      : downstream_(downstream), model_(plan) {}
+
+  void on_job_sample(const telemetry::GcdSample& sample,
+                     const sched::Job& job) override {
+    telemetry::GcdSample s = sample;
+    if (model_.apply(s)) downstream_.on_job_sample(s, job);
+  }
+  void on_node_sample(const telemetry::NodeSample& sample) override {
+    telemetry::NodeSample s = sample;
+    if (model_.apply(s)) downstream_.on_node_sample(s);
+  }
+
+  [[nodiscard]] const FaultModel& model() const { return model_; }
+  [[nodiscard]] FaultModel& model() { return model_; }
+  [[nodiscard]] const FaultCounters& counters() const {
+    return model_.counters();
+  }
+
+ private:
+  sched::JobSampleSink& downstream_;
+  FaultModel model_;
+};
+
+/// Scheduler-log truncation: returns a copy of `log` without the jobs
+/// that begin after (1 - plan.truncate_fraction) * horizon_s, re-indexed
+/// for `total_nodes`.  `dropped_jobs` (optional) receives the loss count.
+[[nodiscard]] sched::SchedulerLog truncate_log(
+    const sched::SchedulerLog& log, double horizon_s, const FaultPlan& plan,
+    std::uint32_t total_nodes, std::size_t* dropped_jobs = nullptr);
+
+}  // namespace exaeff::faults

@@ -1,0 +1,85 @@
+#include "sched/join.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace exaeff::sched {
+
+double JoinResult::mean_coverage() const {
+  std::uint64_t expected = 0;
+  std::uint64_t observed = 0;
+  for (const auto& j : jobs) {
+    expected += j.expected;
+    observed += j.observed;
+  }
+  return expected > 0
+             ? static_cast<double>(observed) / static_cast<double>(expected)
+             : 1.0;
+}
+
+std::size_t JoinResult::jobs_below(double floor) const {
+  std::size_t n = 0;
+  for (const auto& j : jobs) {
+    if (j.coverage() < floor) ++n;
+  }
+  return n;
+}
+
+std::uint64_t expected_gcd_samples(const Job& job, double window_s,
+                                   std::size_t gcds_per_node) {
+  EXAEFF_REQUIRE(window_s > 0.0, "window must be positive");
+  // The generator emits at window-aligned times tw in [ceil(begin/w)*w,
+  // end); count those grid points without replaying the loop.
+  const double first = std::ceil(job.begin_s / window_s) * window_s;
+  if (first >= job.end_s) return 0;
+  const auto windows = static_cast<std::uint64_t>(
+      std::ceil((job.end_s - first) / window_s - 1e-9));
+  return windows * job.num_nodes * gcds_per_node;
+}
+
+std::uint64_t expected_gcd_samples(const SchedulerLog& log, double window_s,
+                                   std::size_t gcds_per_node) {
+  std::uint64_t total = 0;
+  for (const auto& j : log.jobs()) {
+    total += expected_gcd_samples(j, window_s, gcds_per_node);
+  }
+  return total;
+}
+
+JoinResult join_telemetry(const SchedulerLog& log,
+                          std::span<const telemetry::GcdSample> samples,
+                          double window_s, std::size_t gcds_per_node,
+                          JobSampleSink* sink) {
+  JoinResult result;
+  result.jobs.resize(log.size());
+  for (std::size_t j = 0; j < log.size(); ++j) {
+    result.jobs[j].expected =
+        expected_gcd_samples(log.jobs()[j], window_s, gcds_per_node);
+  }
+  for (const auto& s : samples) {
+    const auto job = log.job_at(s.node_id, s.t_s);
+    if (!job) {
+      ++result.unmatched;
+      continue;
+    }
+    ++result.matched;
+    ++result.jobs[*job].observed;
+    if (sink != nullptr) sink->on_job_sample(s, log.jobs()[*job]);
+  }
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("exaeff_join_matched_total",
+                "Telemetry samples attributed to a job by the join")
+        .inc(result.matched);
+    if (result.unmatched > 0) {
+      reg.counter("exaeff_join_unmatched_total",
+                  "Telemetry samples with no owning job (tolerated)")
+          .inc(result.unmatched);
+    }
+  }
+  return result;
+}
+
+}  // namespace exaeff::sched

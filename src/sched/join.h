@@ -1,0 +1,68 @@
+// exaeff/sched/join.h
+//
+// The degradation-tolerant telemetry <-> job join.  Raw telemetry carries
+// no workload metadata (paper §III-A), so job/domain analysis joins each
+// sample against the scheduler log's per-node allocation records.  On
+// clean data every sample lands in exactly one job; on production data
+// samples go unmatched (truncated scheduler logs, clock skew, idle-window
+// glitches) and jobs lose telemetry (dropout, node outages).  join()
+// tolerates both: unmatched samples are counted instead of crashing the
+// pipeline, and every job reports its telemetry coverage — the fraction
+// of the records it should have produced that actually arrived.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sched/fleetgen.h"
+#include "sched/log.h"
+#include "telemetry/sample.h"
+
+namespace exaeff::sched {
+
+/// Telemetry coverage of one job.
+struct JobCoverage {
+  std::uint64_t expected = 0;  ///< records a clean stream would contain
+  std::uint64_t observed = 0;  ///< records that actually joined
+
+  [[nodiscard]] double coverage() const {
+    return expected > 0 ? static_cast<double>(observed) /
+                              static_cast<double>(expected)
+                        : 1.0;
+  }
+};
+
+/// Outcome of a join pass.
+struct JoinResult {
+  std::uint64_t matched = 0;    ///< samples attributed to a job
+  std::uint64_t unmatched = 0;  ///< samples with no owning job (tolerated)
+  std::vector<JobCoverage> jobs;  ///< index-aligned with log.jobs()
+
+  /// Expected-weighted mean coverage across jobs; 1 when the log is empty.
+  [[nodiscard]] double mean_coverage() const;
+  /// Jobs whose coverage is below `floor`.
+  [[nodiscard]] std::size_t jobs_below(double floor) const;
+};
+
+/// Number of per-GCD records a clean 15 s stream of `job` contains
+/// (matches the fleet generator's emission grid exactly).
+[[nodiscard]] std::uint64_t expected_gcd_samples(const Job& job,
+                                                 double window_s,
+                                                 std::size_t gcds_per_node);
+
+/// Sum of expected_gcd_samples over the whole log.
+[[nodiscard]] std::uint64_t expected_gcd_samples(const SchedulerLog& log,
+                                                 double window_s,
+                                                 std::size_t gcds_per_node);
+
+/// Joins `samples` against `log` (which must be indexed).  Matched
+/// samples are forwarded to `sink` (when non-null) with their owning job;
+/// unmatched samples are dropped and counted.  Per-job expected counts
+/// use `window_s` and `gcds_per_node`.
+[[nodiscard]] JoinResult join_telemetry(
+    const SchedulerLog& log, std::span<const telemetry::GcdSample> samples,
+    double window_s, std::size_t gcds_per_node,
+    JobSampleSink* sink = nullptr);
+
+}  // namespace exaeff::sched

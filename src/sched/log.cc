@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <istream>
 #include <ostream>
 
@@ -11,20 +12,26 @@
 namespace exaeff::sched {
 
 namespace {
-double to_double(const std::string& s) {
+double to_double(const std::string& s, std::size_t line) {
   double v = 0.0;
   const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || p != s.data() + s.size()) {
-    throw ParseError("bad numeric field in scheduler CSV: '" + s + "'");
+    throw ParseError("bad numeric field in scheduler CSV: '" + s + "'",
+                     line);
+  }
+  if (!std::isfinite(v)) {
+    throw ParseError("non-finite field in scheduler CSV: '" + s + "'",
+                     line);
   }
   return v;
 }
 
-std::uint64_t to_u64(const std::string& s) {
+std::uint64_t to_u64(const std::string& s, std::size_t line) {
   std::uint64_t v = 0;
   const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || p != s.data() + s.size()) {
-    throw ParseError("bad integer field in scheduler CSV: '" + s + "'");
+    throw ParseError("bad integer field in scheduler CSV: '" + s + "'",
+                     line);
   }
   return v;
 }
@@ -101,20 +108,30 @@ SchedulerLog SchedulerLog::load_csv(std::istream& is,
   std::vector<std::string> cells;
   bool header = true;
   while (r.read_row(cells)) {
+    const std::size_t line = r.row_line();
     if (header) {
       header = false;
       continue;
     }
     if (cells.size() != 6) {
-      throw ParseError("scheduler CSV rows must have 6 fields");
+      throw ParseError("scheduler CSV rows must have 6 fields, got " +
+                           std::to_string(cells.size()),
+                       line);
     }
     Job j;
-    j.job_id = to_u64(cells[0]);
+    j.job_id = to_u64(cells[0], line);
     j.project_id = cells[1];
     j.domain = domain_from_project_id(j.project_id);
-    j.num_nodes = static_cast<std::uint32_t>(to_u64(cells[2]));
-    j.begin_s = to_double(cells[3]);
-    j.end_s = to_double(cells[4]);
+    const std::uint64_t num_nodes = to_u64(cells[2], line);
+    if (num_nodes == 0 || num_nodes > 0xFFFFFFFFULL) {
+      throw ParseError("scheduler CSV num_nodes out of range", line);
+    }
+    j.num_nodes = static_cast<std::uint32_t>(num_nodes);
+    j.begin_s = to_double(cells[3], line);
+    j.end_s = to_double(cells[4], line);
+    if (j.end_s <= j.begin_s) {
+      throw ParseError("scheduler CSV job has non-positive duration", line);
+    }
     j.bin = policy.bin_of(j.num_nodes);
     // Parse the space-separated node list.
     const std::string& ns = cells[5];
@@ -122,9 +139,16 @@ SchedulerLog SchedulerLog::load_csv(std::istream& is,
     while (pos < ns.size()) {
       std::size_t next = ns.find(' ', pos);
       if (next == std::string::npos) next = ns.size();
-      j.nodes.push_back(
-          static_cast<std::uint32_t>(to_u64(ns.substr(pos, next - pos))));
+      const std::uint64_t node = to_u64(ns.substr(pos, next - pos), line);
+      if (node > 0xFFFFFFFFULL) {
+        throw ParseError("scheduler CSV node id out of range", line);
+      }
+      j.nodes.push_back(static_cast<std::uint32_t>(node));
       pos = next + 1;
+    }
+    if (j.nodes.size() != j.num_nodes) {
+      throw ParseError("scheduler CSV node list does not match num_nodes",
+                       line);
     }
     log.add_job(std::move(j));
   }

@@ -6,21 +6,64 @@
 
 namespace exaeff::telemetry {
 
+bool Aggregator::admit(Accum& acc, double window_start, double t,
+                       double value, double aux) {
+  // Late: the sample's window closed before it arrived.  Merging it into
+  // the open window would silently bias the mean; drop and count instead.
+  if (window_start <= acc.watermark ||
+      (acc.active && window_start < acc.window_start)) {
+    ++late_;
+    return false;
+  }
+  // Duplicate timestamp of the channel's most recent reading: the newer
+  // value wins (sensor re-transmissions carry the corrected reading).
+  if (acc.active && acc.count > 0 && t == acc.last_t &&
+      window_start == acc.window_start) {
+    ++duplicates_;
+    acc.power_sum += value - acc.last_power;
+    acc.aux_sum += aux - acc.last_aux;
+    acc.last_power = value;
+    acc.last_aux = aux;
+    return false;
+  }
+  return true;
+}
+
+bool Aggregator::passes_coverage(const Accum& acc) {
+  if (gap_.expected_period_s <= 0.0) return true;
+  const double expected = window_s_ / gap_.expected_period_s;
+  const double coverage =
+      std::min(1.0, static_cast<double>(acc.count) / expected);
+  if (coverage < gap_.min_coverage) {
+    ++low_coverage_;
+    return false;
+  }
+  return true;
+}
+
 void Aggregator::on_gcd_sample(const GcdSample& sample) {
   ++samples_in_;
   const std::uint64_t k = key(sample.node_id, sample.gcd_index);
   Accum& acc = gcd_windows_[k];
   const double window_start =
       std::floor(sample.t_s / window_s_) * window_s_;
+  if (!admit(acc, window_start, sample.t_s,
+             static_cast<double>(sample.power_w), 0.0)) {
+    return;
+  }
   if (acc.active && window_start > acc.window_start) {
     emit_gcd(k, acc);
+    const double watermark = acc.window_start;
     acc = Accum{};
+    acc.watermark = watermark;
   }
   if (!acc.active) {
     acc.active = true;
     acc.window_start = window_start;
   }
   acc.power_sum += sample.power_w;
+  acc.last_t = sample.t_s;
+  acc.last_power = sample.power_w;
   ++acc.count;
 }
 
@@ -30,9 +73,16 @@ void Aggregator::on_node_sample(const NodeSample& sample) {
   Accum& acc = node_windows_[k];
   const double window_start =
       std::floor(sample.t_s / window_s_) * window_s_;
+  if (!admit(acc, window_start, sample.t_s,
+             static_cast<double>(sample.cpu_power_w),
+             static_cast<double>(sample.node_input_w))) {
+    return;
+  }
   if (acc.active && window_start > acc.window_start) {
     emit_node(k, acc);
+    const double watermark = acc.window_start;
     acc = Accum{};
+    acc.watermark = watermark;
   }
   if (!acc.active) {
     acc.active = true;
@@ -40,10 +90,14 @@ void Aggregator::on_node_sample(const NodeSample& sample) {
   }
   acc.power_sum += sample.cpu_power_w;
   acc.aux_sum += sample.node_input_w;
+  acc.last_t = sample.t_s;
+  acc.last_power = sample.cpu_power_w;
+  acc.last_aux = sample.node_input_w;
   ++acc.count;
 }
 
 void Aggregator::emit_gcd(std::uint64_t channel_key, const Accum& acc) {
+  if (!passes_coverage(acc)) return;
   GcdSample out;
   out.t_s = acc.window_start;
   out.node_id = static_cast<std::uint32_t>(channel_key >> 16);
@@ -55,6 +109,7 @@ void Aggregator::emit_gcd(std::uint64_t channel_key, const Accum& acc) {
 }
 
 void Aggregator::emit_node(std::uint64_t channel_key, const Accum& acc) {
+  if (!passes_coverage(acc)) return;
   NodeSample out;
   out.t_s = acc.window_start;
   out.node_id = static_cast<std::uint32_t>(channel_key >> 16);
@@ -69,11 +124,17 @@ void Aggregator::emit_node(std::uint64_t channel_key, const Accum& acc) {
 void Aggregator::flush() {
   for (auto& [k, acc] : gcd_windows_) {
     if (acc.active && acc.count > 0) emit_gcd(k, acc);
+    const double watermark =
+        acc.active ? acc.window_start : acc.watermark;
     acc = Accum{};
+    acc.watermark = watermark;
   }
   for (auto& [k, acc] : node_windows_) {
     if (acc.active && acc.count > 0) emit_node(k, acc);
+    const double watermark =
+        acc.active ? acc.window_start : acc.watermark;
     acc = Accum{};
+    acc.watermark = watermark;
   }
   if (obs::metrics_enabled()) {
     auto& reg = obs::MetricsRegistry::global();
@@ -83,8 +144,26 @@ void Aggregator::flush() {
     reg.counter("exaeff_agg_windows_total",
                 "Aggregated window records emitted")
         .inc(windows_out_ - published_out_);
+    if (late_ != published_late_) {
+      reg.counter("exaeff_agg_late_samples_total",
+                  "Samples rejected because their window had closed")
+          .inc(late_ - published_late_);
+    }
+    if (duplicates_ != published_dup_) {
+      reg.counter("exaeff_agg_duplicate_samples_total",
+                  "Same-timestamp samples resolved last-writer-wins")
+          .inc(duplicates_ - published_dup_);
+    }
+    if (low_coverage_ != published_lowcov_) {
+      reg.counter("exaeff_agg_low_coverage_windows_total",
+                  "Windows suppressed by the min-coverage policy")
+          .inc(low_coverage_ - published_lowcov_);
+    }
     published_in_ = samples_in_;
     published_out_ = windows_out_;
+    published_late_ = late_;
+    published_dup_ = duplicates_;
+    published_lowcov_ = low_coverage_;
   }
 }
 

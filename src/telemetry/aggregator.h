@@ -5,6 +5,20 @@
 // pre-processing state to make it 15-second intervals."  The aggregator
 // consumes raw sensor samples and emits window-mean records aligned to
 // multiples of the window length.
+//
+// Degraded-input policy (deterministic and order-robust):
+//   * Late samples — samples whose window closed before they arrived (the
+//     channel has already advanced past, or emitted, that window) — are
+//     dropped and counted, never merged into the wrong window.
+//   * Duplicate timestamps (a sample with the same time as the channel's
+//     most recent one) resolve last-writer-wins: the newer value replaces
+//     the older contribution.
+//   * Reordering *within* the open window is harmless: a window mean is
+//     order-invariant.
+//   * With a GapPolicy set, each window's coverage fraction
+//     (samples / expected samples per window) is computed and windows
+//     below `min_coverage` are suppressed and counted instead of emitting
+//     a mean computed from too few sensor readings.
 #pragma once
 
 #include <unordered_map>
@@ -14,11 +28,29 @@
 
 namespace exaeff::telemetry {
 
+/// Coverage policy for lossy streams.  Default-constructed policy (period
+/// 0) disables coverage accounting, preserving the historical behaviour
+/// of emitting every non-empty window.
+struct GapPolicy {
+  double expected_period_s = 0.0;  ///< raw sample cadence; 0 = unknown
+  double min_coverage = 0.0;       ///< suppress windows below this fraction
+
+  void validate(double window_s) const {
+    EXAEFF_REQUIRE(expected_period_s >= 0.0,
+                   "expected sample period must be >= 0");
+    EXAEFF_REQUIRE(expected_period_s <= window_s || expected_period_s == 0.0,
+                   "expected sample period must fit in the window");
+    EXAEFF_REQUIRE(min_coverage >= 0.0 && min_coverage <= 1.0,
+                   "min coverage must be in [0, 1]");
+  }
+};
+
 /// Streaming window-mean aggregator for per-GCD (and node) channels.
 ///
-/// Samples for one channel must arrive in non-decreasing time order;
-/// different channels may interleave arbitrarily.  Call `flush()` after
-/// the last sample to emit trailing partial windows.
+/// Samples for one channel should arrive in non-decreasing time order;
+/// different channels may interleave arbitrarily.  Out-of-order and
+/// duplicate samples are handled by the documented policy above.  Call
+/// `flush()` after the last sample to emit trailing partial windows.
 class Aggregator final : public TelemetrySink {
  public:
   /// `downstream` receives the aggregated records. `window_s` is the
@@ -27,6 +59,13 @@ class Aggregator final : public TelemetrySink {
       : downstream_(downstream), window_s_(window_s) {
     EXAEFF_REQUIRE(window_s > 0.0, "aggregation window must be positive");
   }
+
+  /// Enables coverage accounting; call before the first sample.
+  void set_gap_policy(const GapPolicy& policy) {
+    policy.validate(window_s_);
+    gap_ = policy;
+  }
+  [[nodiscard]] const GapPolicy& gap_policy() const { return gap_; }
 
   void on_gcd_sample(const GcdSample& sample) override;
   void on_node_sample(const NodeSample& sample) override;
@@ -41,6 +80,16 @@ class Aggregator final : public TelemetrySink {
   [[nodiscard]] std::uint64_t samples_in() const { return samples_in_; }
   /// Aggregated window records emitted since construction.
   [[nodiscard]] std::uint64_t windows_out() const { return windows_out_; }
+  /// Samples rejected because their window had already closed.
+  [[nodiscard]] std::uint64_t late_samples() const { return late_; }
+  /// Samples that replaced an earlier same-timestamp reading (LWW).
+  [[nodiscard]] std::uint64_t duplicate_samples() const {
+    return duplicates_;
+  }
+  /// Windows suppressed by the gap policy's coverage floor.
+  [[nodiscard]] std::uint64_t low_coverage_windows() const {
+    return low_coverage_;
+  }
 
  private:
   struct Accum {
@@ -49,6 +98,11 @@ class Aggregator final : public TelemetrySink {
     double aux_sum = 0.0;  // node_input for node channels
     std::size_t count = 0;
     bool active = false;
+    // Duplicate / late bookkeeping.
+    double last_t = 0.0;
+    double last_power = 0.0;
+    double last_aux = 0.0;
+    double watermark = -1.0e300;  ///< start of the last closed window
   };
 
   /// Channel key: node_id in the high bits, gcd (or 0xFFFF for the node
@@ -58,19 +112,34 @@ class Aggregator final : public TelemetrySink {
     return (static_cast<std::uint64_t>(node) << 16) | gcd;
   }
 
+  /// Coverage gate shared by both channel kinds; true = emit.
+  [[nodiscard]] bool passes_coverage(const Accum& acc);
+
   void emit_gcd(std::uint64_t channel_key, const Accum& acc);
   void emit_node(std::uint64_t channel_key, const Accum& acc);
 
+  /// Late/duplicate triage shared by both channel kinds.  Returns false
+  /// when the sample was fully handled (late-dropped or LWW-replaced).
+  bool admit(Accum& acc, double window_start, double t, double value,
+             double aux);
+
   TelemetrySink& downstream_;
   double window_s_;
+  GapPolicy gap_;
   std::unordered_map<std::uint64_t, Accum> gcd_windows_;
   std::unordered_map<std::uint64_t, Accum> node_windows_;
   // Plain tallies on the per-sample path (no atomics); flush() publishes
   // the delta since the previous publish into the metrics registry.
   std::uint64_t samples_in_ = 0;
   std::uint64_t windows_out_ = 0;
+  std::uint64_t late_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t low_coverage_ = 0;
   std::uint64_t published_in_ = 0;
   std::uint64_t published_out_ = 0;
+  std::uint64_t published_late_ = 0;
+  std::uint64_t published_dup_ = 0;
+  std::uint64_t published_lowcov_ = 0;
 };
 
 }  // namespace exaeff::telemetry

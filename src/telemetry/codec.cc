@@ -115,6 +115,12 @@ std::vector<GcdSample> decode_samples(std::span<const std::uint8_t> buffer) {
   if (power_quantum <= 0.0 || time_quantum <= 0.0) {
     throw ParseError("telemetry codec: bad quanta");
   }
+  // Every record consumes at least two payload bytes, so a count larger
+  // than the remaining buffer is corruption — reject it before reserving
+  // memory for it.
+  if (count > (buffer.size() - pos)) {
+    throw ParseError("telemetry codec: record count exceeds buffer size");
+  }
 
   std::vector<GcdSample> out;
   out.reserve(count);
@@ -142,6 +148,9 @@ std::vector<GcdSample> decode_samples(std::span<const std::uint8_t> buffer) {
     s.t_s = static_cast<double>(qt) * time_quantum;
     s.power_w = static_cast<float>(static_cast<double>(qp) * power_quantum);
     out.push_back(s);
+  }
+  if (pos != buffer.size()) {
+    throw ParseError("telemetry codec: trailing bytes after last record");
   }
   return out;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <istream>
 #include <ostream>
 
@@ -12,11 +13,26 @@
 namespace exaeff::telemetry {
 
 namespace {
-double to_double(const std::string& s) {
+double to_double(const std::string& s, std::size_t line) {
   double v = 0.0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
   if (ec != std::errc{} || ptr != s.data() + s.size()) {
-    throw ParseError("bad numeric field in telemetry CSV: '" + s + "'");
+    throw ParseError("bad numeric field in telemetry CSV: '" + s + "'",
+                     line);
+  }
+  if (!std::isfinite(v)) {
+    throw ParseError("non-finite field in telemetry CSV: '" + s + "'",
+                     line);
+  }
+  return v;
+}
+
+std::uint64_t to_u64(const std::string& s, std::size_t line) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ParseError("bad integer field in telemetry CSV: '" + s + "'",
+                     line);
   }
   return v;
 }
@@ -32,15 +48,55 @@ void TelemetryStore::publish_metrics() const {
       .set(static_cast<double>(retained_bytes()));
 }
 
-void TelemetryStore::sort() {
+std::size_t TelemetryStore::sort() {
   publish_metrics();
-  std::sort(gcd_samples_.begin(), gcd_samples_.end(),
-            [](const GcdSample& a, const GcdSample& b) {
-              if (a.node_id != b.node_id) return a.node_id < b.node_id;
-              if (a.gcd_index != b.gcd_index) return a.gcd_index < b.gcd_index;
-              return a.t_s < b.t_s;
-            });
+  // Stable sort keeps insertion order among equal (node, gcd, t) keys so
+  // the last-writer-wins dedupe below is deterministic.
+  std::stable_sort(gcd_samples_.begin(), gcd_samples_.end(),
+                   [](const GcdSample& a, const GcdSample& b) {
+                     if (a.node_id != b.node_id) return a.node_id < b.node_id;
+                     if (a.gcd_index != b.gcd_index) {
+                       return a.gcd_index < b.gcd_index;
+                     }
+                     return a.t_s < b.t_s;
+                   });
+  std::size_t removed = 0;
+  if (!gcd_samples_.empty()) {
+    std::size_t kept = 0;
+    for (std::size_t i = 1; i < gcd_samples_.size(); ++i) {
+      const GcdSample& prev = gcd_samples_[kept];
+      const GcdSample& cur = gcd_samples_[i];
+      if (cur.node_id == prev.node_id && cur.gcd_index == prev.gcd_index &&
+          cur.t_s == prev.t_s) {
+        gcd_samples_[kept] = cur;  // later insertion wins
+        ++removed;
+      } else {
+        gcd_samples_[++kept] = cur;
+      }
+    }
+    gcd_samples_.resize(kept + 1);
+  }
+  std::stable_sort(node_samples_.begin(), node_samples_.end(),
+                   [](const NodeSample& a, const NodeSample& b) {
+                     if (a.node_id != b.node_id) return a.node_id < b.node_id;
+                     return a.t_s < b.t_s;
+                   });
+  if (!node_samples_.empty()) {
+    std::size_t kept = 0;
+    for (std::size_t i = 1; i < node_samples_.size(); ++i) {
+      const NodeSample& prev = node_samples_[kept];
+      const NodeSample& cur = node_samples_[i];
+      if (cur.node_id == prev.node_id && cur.t_s == prev.t_s) {
+        node_samples_[kept] = cur;
+        ++removed;
+      } else {
+        node_samples_[++kept] = cur;
+      }
+    }
+    node_samples_.resize(kept + 1);
+  }
   sorted_ = true;
+  return removed;
 }
 
 std::vector<GcdSample> TelemetryStore::series(std::uint32_t node_id,
@@ -60,6 +116,86 @@ std::vector<GcdSample> TelemetryStore::series(std::uint32_t node_id,
     out.push_back(*it);
   }
   return out;
+}
+
+std::vector<GcdSample> TelemetryStore::clean_series(
+    std::uint32_t node_id, std::uint16_t gcd_index, double t0, double t1,
+    const CleanPolicy& policy, SeriesQuality* quality) const {
+  EXAEFF_REQUIRE(policy.max_power_w >= policy.min_power_w,
+                 "clean policy power range is inverted");
+  EXAEFF_REQUIRE(policy.mad_k >= 0.0, "clean policy mad_k must be >= 0");
+  std::vector<GcdSample> s = series(node_id, gcd_index, t0, t1);
+
+  SeriesQuality q;
+  q.observed = s.size();
+
+  // Range gate: non-finite and out-of-envelope readings are sensor
+  // garbage regardless of the series shape.
+  std::erase_if(s, [&](const GcdSample& r) {
+    const bool bad = !std::isfinite(static_cast<double>(r.power_w)) ||
+                     r.power_w < policy.min_power_w ||
+                     r.power_w > policy.max_power_w;
+    return bad;
+  });
+
+  // Robust spike gate: median / MAD, the standard stuck-and-spike filter
+  // for slowly-varying power series.
+  if (policy.mad_k > 0.0 && s.size() >= 4) {
+    std::vector<double> v;
+    v.reserve(s.size());
+    for (const auto& r : s) v.push_back(static_cast<double>(r.power_w));
+    const auto mid = v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2);
+    std::nth_element(v.begin(), mid, v.end());
+    const double median = *mid;
+    for (auto& x : v) x = std::abs(x - median);
+    std::nth_element(v.begin(), mid, v.end());
+    const double mad = *mid;
+    if (mad > 0.0) {
+      const double limit = policy.mad_k * 1.4826 * mad;
+      std::erase_if(s, [&](const GcdSample& r) {
+        return std::abs(static_cast<double>(r.power_w) - median) > limit;
+      });
+    }
+  }
+  q.rejected = q.observed - s.size();
+
+  // Grid accounting and optional imputation.  The grid is the window-
+  // aligned sample times the clean stream would have contained.
+  const double first = std::ceil(t0 / window_s_) * window_s_;
+  for (double t = first; t < t1; t += window_s_) ++q.expected;
+  if (policy.impute && !s.empty()) {
+    std::vector<GcdSample> filled;
+    filled.reserve(q.expected);
+    std::size_t next = 0;  // first surviving record with t >= grid point
+    for (double t = first; t < t1; t += window_s_) {
+      while (next < s.size() && s[next].t_s < t - 1e-9) ++next;
+      if (next < s.size() && std::abs(s[next].t_s - t) < 1e-9) {
+        filled.push_back(s[next]);
+        continue;
+      }
+      GcdSample imp;
+      imp.t_s = t;
+      imp.node_id = node_id;
+      imp.gcd_index = gcd_index;
+      if (next == 0) {
+        imp.power_w = s.front().power_w;  // before first: hold nearest
+      } else if (next >= s.size()) {
+        imp.power_w = s.back().power_w;  // after last: hold nearest
+      } else {
+        const GcdSample& a = s[next - 1];
+        const GcdSample& b = s[next];
+        const double f = (t - a.t_s) / (b.t_s - a.t_s);
+        imp.power_w = static_cast<float>(
+            (1.0 - f) * static_cast<double>(a.power_w) +
+            f * static_cast<double>(b.power_w));
+      }
+      ++q.imputed;
+      filled.push_back(imp);
+    }
+    s = std::move(filled);
+  }
+  if (quality != nullptr) *quality = q;
+  return s;
 }
 
 double TelemetryStore::total_gpu_energy_j() const {
@@ -100,18 +236,29 @@ TelemetryStore TelemetryStore::load_csv(std::istream& is, double window_s) {
   std::vector<std::string> cells;
   bool header = true;
   while (r.read_row(cells)) {
+    const std::size_t line = r.row_line();
     if (header) {
       header = false;
       continue;
     }
     if (cells.size() != 4) {
-      throw ParseError("telemetry CSV rows must have 4 fields");
+      throw ParseError("telemetry CSV rows must have 4 fields, got " +
+                           std::to_string(cells.size()),
+                       line);
     }
     GcdSample s;
-    s.t_s = to_double(cells[0]);
-    s.node_id = static_cast<std::uint32_t>(to_double(cells[1]));
-    s.gcd_index = static_cast<std::uint16_t>(to_double(cells[2]));
-    s.power_w = static_cast<float>(to_double(cells[3]));
+    s.t_s = to_double(cells[0], line);
+    const std::uint64_t node = to_u64(cells[1], line);
+    const std::uint64_t gcd = to_u64(cells[2], line);
+    if (node > 0xFFFFFFFFULL) {
+      throw ParseError("telemetry CSV node_id out of range", line);
+    }
+    if (gcd > 0xFFFFULL) {
+      throw ParseError("telemetry CSV gcd index out of range", line);
+    }
+    s.node_id = static_cast<std::uint32_t>(node);
+    s.gcd_index = static_cast<std::uint16_t>(gcd);
+    s.power_w = static_cast<float>(to_double(cells[3], line));
     store.on_gcd_sample(s);
   }
   return store;

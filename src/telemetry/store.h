@@ -3,6 +3,14 @@
 // In-memory telemetry store with range queries, energy integration and
 // CSV round-trip.  Suitable for benchmark-scale studies (millions of
 // records); the fleet-scale pipeline streams into accumulators instead.
+//
+// Degraded-data policy: records may arrive in any order and may contain
+// duplicates (re-transmissions).  sort() orders by (node, gcd, time) and
+// resolves exact duplicate timestamps last-writer-wins (the record
+// inserted last survives) — so small reorderings are fixed by sorting and
+// duplicate policy is deterministic regardless of arrival order.
+// clean_series() layers outlier rejection and optional gap imputation on
+// top of series() and reports the resulting data quality.
 #pragma once
 
 #include <iosfwd>
@@ -12,6 +20,40 @@
 #include "telemetry/sample.h"
 
 namespace exaeff::telemetry {
+
+/// Outlier-rejection / imputation policy for clean_series().
+struct CleanPolicy {
+  double min_power_w = 0.0;    ///< reject readings below (sensor floor)
+  double max_power_w = 1.0e4;  ///< reject readings above (sensor ceiling)
+  /// Robust spike gate: reject |x - median| > mad_k * 1.4826 * MAD.
+  /// 0 disables the gate; it is also skipped when MAD is 0 (constant
+  /// series) or fewer than 4 samples survive the range gate.
+  double mad_k = 0.0;
+  /// Fill missing window-grid points by linear interpolation between the
+  /// nearest surviving neighbours (nearest-value at the edges).
+  bool impute = false;
+};
+
+/// Data-quality summary of one clean_series() call.
+struct SeriesQuality {
+  std::size_t expected = 0;  ///< grid points in [t0, t1)
+  std::size_t observed = 0;  ///< records found before cleaning
+  std::size_t rejected = 0;  ///< records removed by range/MAD gates
+  std::size_t imputed = 0;   ///< grid points synthesized by imputation
+
+  [[nodiscard]] double coverage() const {
+    return expected > 0
+               ? static_cast<double>(observed - rejected) /
+                     static_cast<double>(expected)
+               : 1.0;
+  }
+  [[nodiscard]] double imputed_share() const {
+    const std::size_t kept = observed - rejected + imputed;
+    return kept > 0
+               ? static_cast<double>(imputed) / static_cast<double>(kept)
+               : 0.0;
+  }
+};
 
 /// Append-only store of aggregated telemetry records.
 class TelemetryStore final : public TelemetrySink {
@@ -37,13 +79,23 @@ class TelemetryStore final : public TelemetrySink {
   [[nodiscard]] bool empty() const { return gcd_samples_.empty(); }
   [[nodiscard]] double window_s() const { return window_s_; }
 
-  /// Sorts records by (node, gcd, time); required before series().
-  void sort();
+  /// Sorts records by (node, gcd, time) and removes exact duplicate
+  /// (node, gcd, time) records last-writer-wins; required before
+  /// series().  Returns the number of duplicates removed.
+  std::size_t sort();
 
   /// All records of one GCD channel within [t0, t1).  Requires sort().
   [[nodiscard]] std::vector<GcdSample> series(std::uint32_t node_id,
                                               std::uint16_t gcd_index,
                                               double t0, double t1) const;
+
+  /// series() plus outlier rejection and optional gap imputation under
+  /// `policy`; `quality` (optional) receives coverage/imputation stats.
+  /// Imputed records land on the window grid (multiples of window_s).
+  /// Requires sort().
+  [[nodiscard]] std::vector<GcdSample> clean_series(
+      std::uint32_t node_id, std::uint16_t gcd_index, double t0, double t1,
+      const CleanPolicy& policy, SeriesQuality* quality = nullptr) const;
 
   /// Total GPU energy across all records, joules (power x window).
   [[nodiscard]] double total_gpu_energy_j() const;

@@ -1,0 +1,158 @@
+// CapApplier: bounded retry with capped geometric backoff, deterministic
+// flaky-apply injection, and the resilient replay keeping the previous
+// cap in force when actuation is lost.
+#include "agent/cap_applier.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "agent/capping_agent.h"
+#include "agent/response_model.h"
+#include "common/error.h"
+#include "core/modal.h"
+
+namespace exaeff::agent {
+namespace {
+
+core::CapResponseTable table_900() {
+  core::CapResponseTable t;
+  t.add(core::BenchClass::kComputeIntensive, core::CapType::kFrequency,
+        {900.0, 55.0, 180.0, 97.0});
+  t.add(core::BenchClass::kMemoryIntensive, core::CapType::kFrequency,
+        {900.0, 78.0, 103.0, 81.0});
+  return t;
+}
+
+TEST(RetryPolicyTest, RejectsBadPolicies) {
+  EXPECT_THROW((RetryPolicy{0, 0.1, 2.0, 1.0}.validate()), Error);
+  EXPECT_THROW((RetryPolicy{3, -0.1, 2.0, 1.0}.validate()), Error);
+  EXPECT_THROW((RetryPolicy{3, 0.1, 0.5, 1.0}.validate()), Error);
+  EXPECT_THROW((RetryPolicy{3, 0.5, 2.0, 0.1}.validate()), Error);
+  EXPECT_NO_THROW((RetryPolicy{}.validate()));
+}
+
+TEST(CapApplierTest, FirstTrySuccessCostsNothing) {
+  CapApplier applier([](double) { return true; });
+  const auto out = applier.apply(1100.0);
+  EXPECT_TRUE(out.applied);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_DOUBLE_EQ(out.backoff_s, 0.0);
+  EXPECT_EQ(applier.counters().transient_failures, 0u);
+}
+
+TEST(CapApplierTest, RetriesThroughTransientFailures) {
+  int failures_left = 2;
+  CapApplier applier([&](double) { return failures_left-- <= 0; },
+                     RetryPolicy{4, 0.05, 2.0, 1.0});
+  const auto out = applier.apply(900.0);
+  EXPECT_TRUE(out.applied);
+  EXPECT_EQ(out.attempts, 3u);
+  // Backoff 0.05 then 0.10 (geometric).
+  EXPECT_DOUBLE_EQ(out.backoff_s, 0.05 + 0.10);
+  EXPECT_EQ(applier.counters().transient_failures, 2u);
+  EXPECT_EQ(applier.counters().gave_up, 0u);
+}
+
+TEST(CapApplierTest, BackoffIsCappedAtTheCeiling) {
+  CapApplier applier([](double) { return false; },
+                     RetryPolicy{5, 0.5, 4.0, 1.0});
+  const auto out = applier.apply(900.0);
+  EXPECT_FALSE(out.applied);
+  EXPECT_EQ(out.attempts, 5u);
+  // Waits: 0.5, 1.0 (capped from 2.0), 1.0, 1.0 — no wait after the
+  // final attempt.
+  EXPECT_DOUBLE_EQ(out.backoff_s, 0.5 + 1.0 + 1.0 + 1.0);
+  EXPECT_EQ(applier.counters().gave_up, 1u);
+}
+
+TEST(CapApplierTest, FlakyFnIsDeterministicPerSeed) {
+  auto pattern_of = [](std::uint64_t seed) {
+    auto fn = CapApplier::flaky_fn(0.5, seed);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(fn(1000.0));
+    return pattern;
+  };
+  EXPECT_EQ(pattern_of(7), pattern_of(7));
+  EXPECT_NE(pattern_of(7), pattern_of(8));
+}
+
+TEST(CapApplierTest, FlakyFailureRateIsAccurate) {
+  auto fn = CapApplier::flaky_fn(0.3, 42);
+  int failures = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (!fn(1000.0)) ++failures;
+  }
+  EXPECT_NEAR(failures / 10000.0, 0.3, 0.02);
+}
+
+/// A power series that walks memory-intensive long enough for the agent
+/// to decide a cap, then compute-intensive to force a second decision.
+std::vector<float> two_phase_series() {
+  std::vector<float> p;
+  for (int i = 0; i < 40; ++i) p.push_back(300.0F);  // memory-intensive
+  for (int i = 0; i < 40; ++i) p.push_back(500.0F);  // compute-intensive
+  return p;
+}
+
+TEST(ResilientReplayTest, ReliableApplierMatchesPlainReplay) {
+  const auto powers = two_phase_series();
+  const AgentConfig config;
+  const auto table = table_900();
+  const auto spec = gpusim::mi250x_gcd();
+  const RegionResponseModel model(table, spec);
+  const core::RegionBoundaries b;
+  const auto plain = replay_agent(powers, 15.0, config, model, b);
+  CapApplier applier([](double) { return true; });
+  std::size_t failed = 9999;
+  const auto resilient = replay_agent_resilient(powers, 15.0, config, model,
+                                                b, applier, &failed);
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(resilient.cap_switches, plain.cap_switches);
+  EXPECT_DOUBLE_EQ(resilient.capped_energy_j, plain.capped_energy_j);
+}
+
+TEST(ResilientReplayTest, LostApplyKeepsPreviousCapInForce) {
+  const auto powers = two_phase_series();
+  AgentConfig config;
+  config.policy.memory_cap_mhz = 900.0;
+  const auto table = table_900();
+  const auto spec = gpusim::mi250x_gcd();
+  const RegionResponseModel model(table, spec);
+  const core::RegionBoundaries b;
+
+  // An applier that always fails: no cap change ever lands, so the
+  // replay must behave exactly like an uncapped run.
+  CapApplier dead([](double) { return false; }, RetryPolicy{3, 0.1, 2, 1});
+  std::size_t failed = 0;
+  const auto r = replay_agent_resilient(powers, 15.0, config, model, b,
+                                        dead, &failed);
+  EXPECT_GT(failed, 0u);
+  EXPECT_EQ(r.cap_switches, 0u);
+  EXPECT_DOUBLE_EQ(r.capped_energy_j, r.base_energy_j);
+  EXPECT_GT(dead.counters().gave_up, 0u);
+  // Retries were bounded: 3 attempts per request, no more.
+  EXPECT_EQ(dead.counters().attempts, dead.counters().requests * 3);
+}
+
+TEST(CappingAgentTest, MedianClassificationShrugsOffSpikes) {
+  // Memory-intensive steady state with a one-window spike glitch into
+  // the compute region.  dwell=1 makes the mean-classifier flap; the
+  // median classifier must not.
+  auto run = [](bool median) {
+    AgentConfig config;
+    config.window = 5;
+    config.dwell = 1;
+    config.classify_median = median;
+    CappingAgent agent(config, core::RegionBoundaries{});
+    for (int i = 0; i < 20; ++i) (void)agent.observe(300.0);
+    (void)agent.observe(3000.0);  // glitch
+    for (int i = 0; i < 20; ++i) (void)agent.observe(300.0);
+    return agent.switch_count();
+  };
+  EXPECT_GT(run(false), run(true));
+  EXPECT_EQ(run(true), 1u);  // the one real latency->memory transition
+}
+
+}  // namespace
+}  // namespace exaeff::agent

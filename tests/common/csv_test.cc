@@ -62,5 +62,68 @@ TEST(Csv, ReaderRejectsUnterminatedMultiline) {
   EXPECT_THROW((void)r.read_row(row), ParseError);
 }
 
+TEST(Csv, NulByteRejectedWithColumn) {
+  std::string line = "a,b";
+  line.push_back('\0');
+  line += "c";
+  try {
+    (void)parse_csv_line(line, 7);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 7u);
+    EXPECT_EQ(e.column(), 4u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("NUL byte"), std::string::npos);
+    EXPECT_NE(what.find("line 7, column 4"), std::string::npos);
+  }
+}
+
+TEST(Csv, QuoteErrorsCarryLineAndColumn) {
+  try {
+    (void)parse_csv_line("ab\"c", 3);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 3u);  // the stray quote is the 3rd byte
+  }
+  try {
+    (void)parse_csv_line("a,\"open", 9);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 9u);
+    EXPECT_EQ(e.column(), 7u);  // end of line, where the quote dangles
+  }
+}
+
+TEST(Csv, ReaderTracksRowLines) {
+  std::stringstream ss("h1,h2\n1,\"a\nb\"\n2,z\n");
+  CsvReader r(ss);
+  std::vector<std::string> row;
+  EXPECT_EQ(r.row_line(), 0u);
+  ASSERT_TRUE(r.read_row(row));
+  EXPECT_EQ(r.row_line(), 1u);
+  // The quoted embedded newline spans physical lines 2-3; the row
+  // reports its first line.
+  ASSERT_TRUE(r.read_row(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "a\nb"}));
+  EXPECT_EQ(r.row_line(), 2u);
+  ASSERT_TRUE(r.read_row(row));
+  EXPECT_EQ(r.row_line(), 4u);
+  EXPECT_FALSE(r.read_row(row));
+}
+
+TEST(Csv, ReaderErrorNamesTheOffendingLine) {
+  std::stringstream ss("ok,row\nbad\"row\n");
+  CsvReader r(ss);
+  std::vector<std::string> row;
+  ASSERT_TRUE(r.read_row(row));
+  try {
+    (void)r.read_row(row);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
 }  // namespace
 }  // namespace exaeff

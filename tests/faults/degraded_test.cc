@@ -1,0 +1,218 @@
+// Degraded-data edge cases across the pipeline: empty/sparse aggregation
+// windows, jobs losing all telemetry, nodes going dark mid-job, and
+// bit-identical replay of a faulted campaign from one seed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/units.h"
+#include "core/accumulator.h"
+#include "core/modal.h"
+#include "faults/injector.h"
+#include "sched/fleetgen.h"
+#include "sched/join.h"
+#include "telemetry/aggregator.h"
+#include "telemetry/store.h"
+#include "workloads/app_profile.h"
+
+namespace exaeff {
+namespace {
+
+using telemetry::GcdSample;
+
+sched::Job make_job(std::uint64_t id, std::vector<std::uint32_t> nodes,
+                    double begin_s, double end_s) {
+  sched::Job j;
+  j.job_id = id;
+  j.project_id = "CHM007";
+  j.num_nodes = static_cast<std::uint32_t>(nodes.size());
+  j.nodes = std::move(nodes);
+  j.begin_s = begin_s;
+  j.end_s = end_s;
+  return j;
+}
+
+/// Clean per-GCD samples for a job on the generator's window grid.
+void emit_job_samples(const sched::Job& job, double window_s,
+                      std::uint16_t gcds, std::vector<GcdSample>& out) {
+  const double first = std::ceil(job.begin_s / window_s) * window_s;
+  for (std::uint32_t n : job.nodes) {
+    for (std::uint16_t g = 0; g < gcds; ++g) {
+      for (double t = first; t < job.end_s; t += window_s) {
+        GcdSample s;
+        s.t_s = t;
+        s.node_id = n;
+        s.gcd_index = g;
+        s.power_w = 300.0F;
+        out.push_back(s);
+      }
+    }
+  }
+}
+
+TEST(JoinTest, CleanJoinHasFullCoverage) {
+  sched::SchedulerLog log;
+  log.add_job(make_job(1, {0, 1}, 0.0, 3600.0));
+  log.add_job(make_job(2, {2}, 500.0, 7200.0));
+  log.build_index(3);
+  std::vector<GcdSample> samples;
+  for (const auto& j : log.jobs()) emit_job_samples(j, 15.0, 2, samples);
+
+  const auto r = sched::join_telemetry(log, samples, 15.0, 2);
+  EXPECT_EQ(r.unmatched, 0u);
+  EXPECT_EQ(r.matched, samples.size());
+  ASSERT_EQ(r.jobs.size(), 2u);
+  for (const auto& jc : r.jobs) {
+    EXPECT_EQ(jc.observed, jc.expected);
+    EXPECT_DOUBLE_EQ(jc.coverage(), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(r.mean_coverage(), 1.0);
+  EXPECT_EQ(r.jobs_below(0.99), 0u);
+}
+
+TEST(JoinTest, ExpectedCountMatchesGeneratorGrid) {
+  // Misaligned begin/end: the closed form must agree with the emission
+  // loop it models.
+  const auto job = make_job(1, {0}, 37.0, 1000.5);
+  std::vector<GcdSample> samples;
+  emit_job_samples(job, 15.0, 4, samples);
+  EXPECT_EQ(sched::expected_gcd_samples(job, 15.0, 4), samples.size());
+}
+
+TEST(JoinTest, JobWithAllTelemetryDroppedHasZeroCoverage) {
+  sched::SchedulerLog log;
+  log.add_job(make_job(1, {0}, 0.0, 3600.0));
+  log.add_job(make_job(2, {1}, 0.0, 3600.0));
+  log.build_index(2);
+  // Only job 1's node reports.
+  std::vector<GcdSample> samples;
+  emit_job_samples(log.jobs()[0], 15.0, 2, samples);
+
+  const auto r = sched::join_telemetry(log, samples, 15.0, 2);
+  EXPECT_DOUBLE_EQ(r.jobs[0].coverage(), 1.0);
+  EXPECT_DOUBLE_EQ(r.jobs[1].coverage(), 0.0);
+  EXPECT_EQ(r.jobs_below(0.5), 1u);
+  EXPECT_NEAR(r.mean_coverage(), 0.5, 1e-12);
+}
+
+TEST(JoinTest, NodeGoingDarkMidJobHalvesItsShare) {
+  sched::SchedulerLog log;
+  log.add_job(make_job(1, {0, 1}, 0.0, 3600.0));
+  log.build_index(2);
+  std::vector<GcdSample> all;
+  emit_job_samples(log.jobs()[0], 15.0, 1, all);
+  // Node 1 goes dark halfway through the job.
+  std::vector<GcdSample> degraded;
+  for (const auto& s : all) {
+    if (s.node_id == 1 && s.t_s >= 1800.0) continue;
+    degraded.push_back(s);
+  }
+  const auto r = sched::join_telemetry(log, degraded, 15.0, 1);
+  EXPECT_NEAR(r.jobs[0].coverage(), 0.75, 0.01);
+}
+
+TEST(JoinTest, UnmatchedSamplesAreToleratedAndCounted) {
+  sched::SchedulerLog log;
+  log.add_job(make_job(1, {0}, 0.0, 900.0));
+  log.build_index(2);
+  std::vector<GcdSample> samples;
+  emit_job_samples(log.jobs()[0], 15.0, 1, samples);
+  // Idle-node and post-job samples have no owner.
+  GcdSample stray;
+  stray.t_s = 100.0;
+  stray.node_id = 1;
+  samples.push_back(stray);
+  stray.t_s = 5000.0;
+  stray.node_id = 0;
+  samples.push_back(stray);
+
+  const auto r = sched::join_telemetry(log, samples, 15.0, 1);
+  EXPECT_EQ(r.unmatched, 2u);
+  EXPECT_EQ(r.matched, samples.size() - 2);
+}
+
+TEST(AggregatorDegradedTest, EmptyStreamEmitsNothing) {
+  telemetry::TelemetryStore store(60.0);
+  telemetry::Aggregator agg(store, 60.0);
+  agg.flush();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(agg.windows_out(), 0u);
+  EXPECT_EQ(agg.low_coverage_windows(), 0u);
+}
+
+TEST(AggregatorDegradedTest, LowCoverageWindowsAreSuppressed) {
+  telemetry::TelemetryStore store(60.0);
+  telemetry::Aggregator agg(store, 60.0);
+  agg.set_gap_policy({15.0, 0.5});  // expect 4 samples per 60 s window
+  // Window [0, 60): only one sample (coverage 0.25) -> suppressed.
+  GcdSample s;
+  s.power_w = 300.0F;
+  s.t_s = 0.0;
+  agg.on_gcd_sample(s);
+  // Window [60, 120): three samples (coverage 0.75) -> emitted.
+  for (double t : {60.0, 75.0, 90.0}) {
+    s.t_s = t;
+    agg.on_gcd_sample(s);
+  }
+  agg.flush();
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_DOUBLE_EQ(store.gcd_samples()[0].t_s, 60.0);
+  EXPECT_EQ(agg.low_coverage_windows(), 1u);
+  EXPECT_EQ(agg.windows_out(), 1u);
+}
+
+TEST(FaultedPipelineTest, SeededCampaignReplaysBitIdentically) {
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(8);
+  cfg.duration_s = 0.1 * units::kDay;
+  const auto library = workloads::make_profile_library(cfg.system.node.gcd);
+  const auto boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  const auto plan = faults::FaultPlan::parse(
+      "seed=123,drop=0.2,stuck=0.02:60,spike=0.01:1.5,outage=0.01:600");
+
+  auto run = [&](faults::FaultCounters* counters) {
+    core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
+    faults::JobFaultInjector inj(acc, plan);
+    gen.generate_telemetry(log, inj);
+    if (counters != nullptr) *counters = inj.counters();
+    return std::make_pair(acc.gcd_sample_count(),
+                          acc.total_gpu_energy_j());
+  };
+  faults::FaultCounters c1;
+  faults::FaultCounters c2;
+  const auto r1 = run(&c1);
+  const auto r2 = run(&c2);
+  EXPECT_EQ(r1.first, r2.first);
+  // Bit-identical, not approximately equal.
+  EXPECT_EQ(r1.second, r2.second);
+  EXPECT_EQ(c1.dropped(), c2.dropped());
+  EXPECT_EQ(c1.stuck, c2.stuck);
+  EXPECT_EQ(c1.spiked, c2.spiked);
+  EXPECT_GT(c1.dropped(), 0u);
+}
+
+TEST(FaultedPipelineTest, DisabledPlanMatchesCleanPipeline) {
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(8);
+  cfg.duration_s = 0.05 * units::kDay;
+  const auto library = workloads::make_profile_library(cfg.system.node.gcd);
+  const auto boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+
+  core::CampaignAccumulator clean(cfg.telemetry_window_s, boundaries);
+  gen.generate_telemetry(log, clean);
+
+  core::CampaignAccumulator faulted(cfg.telemetry_window_s, boundaries);
+  faults::JobFaultInjector inj(faulted, faults::FaultPlan{});
+  gen.generate_telemetry(log, inj);
+
+  EXPECT_EQ(clean.gcd_sample_count(), faulted.gcd_sample_count());
+  EXPECT_EQ(clean.total_gpu_energy_j(), faulted.total_gpu_energy_j());
+}
+
+}  // namespace
+}  // namespace exaeff

@@ -1,0 +1,99 @@
+// FaultPlan spec grammar: every key parses, every rejection path throws
+// ConfigError, and describe() round-trips the enabled classes.
+#include "faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace exaeff::faults {
+namespace {
+
+TEST(FaultPlanTest, DefaultPlanInjectsNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.any_enabled());
+  EXPECT_EQ(plan.describe(), "none");
+  EXPECT_NO_THROW(plan.validate());
+}
+
+TEST(FaultPlanTest, EmptySpecIsDefault) {
+  const auto plan = FaultPlan::parse("");
+  EXPECT_FALSE(plan.any_enabled());
+  EXPECT_EQ(plan.seed, FaultPlan{}.seed);
+}
+
+TEST(FaultPlanTest, ParsesEveryKey) {
+  const auto plan = FaultPlan::parse(
+      "seed=42,drop=0.1,burst=0.02:120,stuck=0.01:60,spike=0.005:1.5,"
+      "outage=0.001:3600,skew=2.5,reorder=0.03:4,truncate=0.2");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.drop_probability, 0.1);
+  EXPECT_DOUBLE_EQ(plan.burst.probability, 0.02);
+  EXPECT_DOUBLE_EQ(plan.burst.param, 120.0);
+  EXPECT_DOUBLE_EQ(plan.stuck.probability, 0.01);
+  EXPECT_DOUBLE_EQ(plan.stuck.param, 60.0);
+  EXPECT_DOUBLE_EQ(plan.spike.probability, 0.005);
+  EXPECT_DOUBLE_EQ(plan.spike.param, 1.5);
+  EXPECT_DOUBLE_EQ(plan.outage.probability, 0.001);
+  EXPECT_DOUBLE_EQ(plan.outage.param, 3600.0);
+  EXPECT_DOUBLE_EQ(plan.skew_max_s, 2.5);
+  EXPECT_DOUBLE_EQ(plan.reorder.probability, 0.03);
+  EXPECT_DOUBLE_EQ(plan.reorder.param, 4.0);
+  EXPECT_DOUBLE_EQ(plan.truncate_fraction, 0.2);
+  EXPECT_TRUE(plan.any_enabled());
+}
+
+TEST(FaultPlanTest, ToleratesEmptyItems) {
+  const auto plan = FaultPlan::parse(",drop=0.1,,");
+  EXPECT_DOUBLE_EQ(plan.drop_probability, 0.1);
+}
+
+TEST(FaultPlanTest, RejectsUnknownKey) {
+  EXPECT_THROW((void)FaultPlan::parse("frobnicate=1"), ConfigError);
+}
+
+TEST(FaultPlanTest, RejectsMissingEquals) {
+  EXPECT_THROW((void)FaultPlan::parse("drop"), ConfigError);
+}
+
+TEST(FaultPlanTest, RejectsMalformedNumbers) {
+  EXPECT_THROW((void)FaultPlan::parse("drop=abc"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("drop=0.1x"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("seed=-3"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("drop=nan"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("skew=inf"), ConfigError);
+}
+
+TEST(FaultPlanTest, RejectsRateWithoutColon) {
+  EXPECT_THROW((void)FaultPlan::parse("burst=0.1"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("stuck=0.1"), ConfigError);
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeProbabilities) {
+  EXPECT_THROW((void)FaultPlan::parse("drop=1.5"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("drop=-0.1"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("burst=2:60"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("truncate=1.5"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("skew=-1"), ConfigError);
+}
+
+TEST(FaultPlanTest, RejectsNonPositiveParams) {
+  EXPECT_THROW((void)FaultPlan::parse("burst=0.1:0"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("stuck=0.1:-60"), ConfigError);
+}
+
+TEST(FaultPlanTest, RejectsFractionalReorderDepth) {
+  EXPECT_THROW((void)FaultPlan::parse("reorder=0.1:2.5"), ConfigError);
+  EXPECT_NO_THROW((void)FaultPlan::parse("reorder=0.1:2"));
+}
+
+TEST(FaultPlanTest, DescribeListsEnabledClasses) {
+  const auto plan = FaultPlan::parse("drop=0.1,stuck=0.01:60");
+  const std::string desc = plan.describe();
+  EXPECT_NE(desc.find("drop=0.1"), std::string::npos);
+  EXPECT_NE(desc.find("stuck="), std::string::npos);
+  EXPECT_EQ(desc.find("spike"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exaeff::faults

@@ -1,0 +1,305 @@
+// FaultModel / FaultInjector: seeded determinism, per-class behavior and
+// rate accuracy, interleaving invariance of the stateless draws, and
+// scheduler-log truncation.
+#include "faults/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace exaeff::faults {
+namespace {
+
+using telemetry::GcdSample;
+using telemetry::NodeSample;
+
+struct CaptureSink final : telemetry::TelemetrySink {
+  std::vector<GcdSample> gcds;
+  std::vector<NodeSample> nodes;
+  void on_gcd_sample(const GcdSample& s) override { gcds.push_back(s); }
+  void on_node_sample(const NodeSample& s) override { nodes.push_back(s); }
+};
+
+bool same_stream(const std::vector<GcdSample>& a,
+                 const std::vector<GcdSample>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].t_s != b[i].t_s || a[i].node_id != b[i].node_id ||
+        a[i].gcd_index != b[i].gcd_index || a[i].power_w != b[i].power_w) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Time-major synthetic stream: `windows` x `nodes` x `gcds` records at
+/// 15 s spacing with a channel-identifying power value.
+std::vector<GcdSample> make_stream(std::size_t windows, std::uint32_t nodes,
+                                   std::uint16_t gcds) {
+  std::vector<GcdSample> out;
+  out.reserve(windows * nodes * gcds);
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      for (std::uint16_t g = 0; g < gcds; ++g) {
+        GcdSample s;
+        s.t_s = 15.0 * static_cast<double>(w);
+        s.node_id = n;
+        s.gcd_index = g;
+        s.power_w = 300.0F + static_cast<float>(n) * 10.0F +
+                    static_cast<float>(g);
+        out.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<GcdSample> inject(const std::vector<GcdSample>& in,
+                              const FaultPlan& plan,
+                              FaultCounters* counters = nullptr) {
+  CaptureSink sink;
+  FaultInjector inj(sink, plan);
+  for (const auto& s : in) inj.on_gcd_sample(s);
+  inj.flush();
+  if (counters != nullptr) *counters = inj.counters();
+  return sink.gcds;
+}
+
+TEST(FaultInjectorTest, DisabledPlanPassesEverythingUnchanged) {
+  const auto in = make_stream(50, 4, 2);
+  const auto out = inject(in, FaultPlan{});
+  EXPECT_TRUE(same_stream(in, out));
+}
+
+TEST(FaultInjectorTest, SameSeedIsBitIdentical) {
+  const auto in = make_stream(200, 4, 2);
+  const auto plan = FaultPlan::parse(
+      "seed=7,drop=0.1,stuck=0.05:60,spike=0.02:1.5,outage=0.01:120,"
+      "skew=3,reorder=0.05:3");
+  FaultCounters c1;
+  FaultCounters c2;
+  const auto out1 = inject(in, plan, &c1);
+  const auto out2 = inject(in, plan, &c2);
+  EXPECT_TRUE(same_stream(out1, out2));
+  EXPECT_EQ(c1.dropped(), c2.dropped());
+  EXPECT_EQ(c1.reordered, c2.reordered);
+  EXPECT_GT(c1.dropped(), 0u);
+  EXPECT_GT(c1.reordered, 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedDiffers) {
+  const auto in = make_stream(200, 4, 2);
+  const auto out1 = inject(in, FaultPlan::parse("seed=1,drop=0.1"));
+  const auto out2 = inject(in, FaultPlan::parse("seed=2,drop=0.1"));
+  EXPECT_FALSE(same_stream(out1, out2));
+}
+
+TEST(FaultInjectorTest, StatelessDrawsAreInterleavingInvariant) {
+  // Feed the identical sample set time-major and channel-major: the
+  // survivors and their values must agree (decisions depend only on the
+  // sample, never on arrival order).
+  const auto plan =
+      FaultPlan::parse("seed=9,drop=0.1,spike=0.05:1.4,outage=0.02:60");
+  auto time_major = make_stream(100, 4, 2);
+  auto channel_major = time_major;
+  std::stable_sort(channel_major.begin(), channel_major.end(),
+                   [](const GcdSample& a, const GcdSample& b) {
+                     if (a.node_id != b.node_id) return a.node_id < b.node_id;
+                     if (a.gcd_index != b.gcd_index) {
+                       return a.gcd_index < b.gcd_index;
+                     }
+                     return a.t_s < b.t_s;
+                   });
+  auto out1 = inject(time_major, plan);
+  auto out2 = inject(channel_major, plan);
+  const auto order = [](const GcdSample& a, const GcdSample& b) {
+    if (a.node_id != b.node_id) return a.node_id < b.node_id;
+    if (a.gcd_index != b.gcd_index) return a.gcd_index < b.gcd_index;
+    return a.t_s < b.t_s;
+  };
+  std::sort(out1.begin(), out1.end(), order);
+  std::sort(out2.begin(), out2.end(), order);
+  EXPECT_TRUE(same_stream(out1, out2));
+}
+
+TEST(FaultInjectorTest, IidDropRateIsAccurate) {
+  const auto in = make_stream(2000, 4, 2);  // 16k samples
+  FaultCounters c;
+  (void)inject(in, FaultPlan::parse("drop=0.2"), &c);
+  const double rate = static_cast<double>(c.dropped_iid) /
+                      static_cast<double>(c.samples_in);
+  EXPECT_NEAR(rate, 0.2, 0.02);
+  EXPECT_EQ(c.samples_in, c.passed + c.dropped());
+}
+
+TEST(FaultInjectorTest, StuckChannelRepeatsOneValue) {
+  // Ramp so every clean sample is distinct; any repeated value must come
+  // from the stuck fault.
+  std::vector<GcdSample> in;
+  for (int i = 0; i < 1000; ++i) {
+    GcdSample s;
+    s.t_s = 15.0 * i;
+    s.power_w = 200.0F + static_cast<float>(i) * 0.25F;
+    in.push_back(s);
+  }
+  FaultCounters c;
+  const auto out = inject(in, FaultPlan::parse("stuck=0.3:300"), &c);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_GT(c.stuck, 0u);
+  std::size_t repeats = 0;
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i].power_w == out[i - 1].power_w) ++repeats;
+  }
+  // A 300 s epoch spans 20 windows, so stuck epochs show up as runs.
+  EXPECT_GE(repeats + 1, c.stuck / 2);
+  EXPECT_GT(repeats, 0u);
+}
+
+TEST(FaultInjectorTest, SpikeMultipliesPower) {
+  const auto in = make_stream(1000, 1, 1);
+  FaultCounters c;
+  const auto out = inject(in, FaultPlan::parse("spike=0.1:2.0"), &c);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_GT(c.spiked, 0u);
+  std::size_t spiked = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].power_w == in[i].power_w * 2.0F) {
+      ++spiked;
+    } else {
+      EXPECT_EQ(out[i].power_w, in[i].power_w);
+    }
+  }
+  EXPECT_EQ(spiked, c.spiked);
+}
+
+TEST(FaultInjectorTest, OutageTakesDownEveryChannelOfTheNode) {
+  // High outage probability and one epoch per stream: when node n is out
+  // in an epoch, both of its channels must be silent for that epoch.
+  const auto in = make_stream(40, 8, 2);  // 600 s, epochs of 300 s
+  FaultCounters c;
+  const auto out = inject(in, FaultPlan::parse("outage=0.5:300"), &c);
+  EXPECT_GT(c.dropped_outage, 0u);
+  // Per (node, epoch): either all 2x20 records present or none.
+  for (std::uint32_t n = 0; n < 8; ++n) {
+    for (int epoch = 0; epoch < 2; ++epoch) {
+      std::size_t present = 0;
+      for (const auto& s : out) {
+        if (s.node_id == n &&
+            static_cast<int>(s.t_s / 300.0) == epoch) {
+          ++present;
+        }
+      }
+      EXPECT_TRUE(present == 0 || present == 40u)
+          << "node " << n << " epoch " << epoch << " partial outage: "
+          << present;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, SkewShiftsEachNodeByAConstantOffset) {
+  const auto in = make_stream(100, 4, 1);
+  const auto out = inject(in, FaultPlan::parse("skew=5"));
+  ASSERT_EQ(out.size(), in.size());
+  std::array<double, 4> offset{};
+  std::array<bool, 4> seen{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (in[i].t_s < 10.0) continue;  // skip the clamp-at-zero region
+    const double d = out[i].t_s - in[i].t_s;
+    EXPECT_LE(std::abs(d), 5.0);
+    if (!seen[in[i].node_id]) {
+      seen[in[i].node_id] = true;
+      offset[in[i].node_id] = d;
+    } else {
+      // t + offset rounds differently per t, so "constant" holds only to
+      // floating-point slack, not bit-exactly.
+      EXPECT_NEAR(d, offset[in[i].node_id], 1e-9);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, ReorderDelaysButNeverLoses) {
+  const auto in = make_stream(500, 2, 1);
+  FaultCounters c;
+  const auto out = inject(in, FaultPlan::parse("reorder=0.2:4"), &c);
+  EXPECT_EQ(out.size(), in.size());  // flush() drains the hold-back buffer
+  EXPECT_GT(c.reordered, 0u);
+  // The multiset of records is preserved.
+  auto a = in;
+  auto b = out;
+  const auto order = [](const GcdSample& x, const GcdSample& y) {
+    if (x.node_id != y.node_id) return x.node_id < y.node_id;
+    return x.t_s < y.t_s;
+  };
+  std::sort(a.begin(), a.end(), order);
+  std::sort(b.begin(), b.end(), order);
+  EXPECT_TRUE(same_stream(a, b));
+  // And some delivery actually happened out of order.
+  bool out_of_order = false;
+  double last = -1.0;
+  for (const auto& s : out) {
+    if (s.node_id == 0) {
+      if (s.t_s < last) out_of_order = true;
+      last = std::max(last, s.t_s);
+    }
+  }
+  EXPECT_TRUE(out_of_order);
+}
+
+TEST(FaultInjectorTest, NodeSamplesShareTheFaultModel) {
+  FaultCounters c;
+  CaptureSink sink;
+  FaultInjector inj(sink, FaultPlan::parse("drop=0.3"));
+  for (int i = 0; i < 2000; ++i) {
+    NodeSample s;
+    s.t_s = 15.0 * i;
+    s.node_id = 3;
+    s.cpu_power_w = 250.0F;
+    inj.on_node_sample(s);
+  }
+  c = inj.counters();
+  EXPECT_GT(c.dropped_iid, 0u);
+  EXPECT_EQ(sink.nodes.size(), c.passed);
+}
+
+TEST(TruncateLogTest, DropsTailJobsAndReindexes) {
+  sched::SchedulerLog log;
+  for (int i = 0; i < 10; ++i) {
+    sched::Job j;
+    j.job_id = static_cast<std::uint64_t>(i);
+    j.project_id = "CHM007";
+    j.num_nodes = 1;
+    j.nodes = {static_cast<std::uint32_t>(i % 4)};
+    j.begin_s = 1000.0 * i;
+    j.end_s = j.begin_s + 900.0;
+    log.add_job(j);
+  }
+  const auto plan = FaultPlan::parse("truncate=0.5");
+  std::size_t dropped = 0;
+  const auto cut = truncate_log(log, 10000.0, plan, 4, &dropped);
+  // Jobs beginning at >= 5000 s are lost: ids 5..9.
+  EXPECT_EQ(dropped, 5u);
+  EXPECT_EQ(cut.size(), 5u);
+  for (const auto& j : cut.jobs()) EXPECT_LT(j.begin_s, 5000.0);
+  // The copy is re-indexed and queryable.
+  EXPECT_TRUE(cut.job_at(0, 100.0).has_value());
+  EXPECT_FALSE(cut.job_at(1, 9500.0).has_value());
+}
+
+TEST(TruncateLogTest, ZeroFractionKeepsEverything) {
+  sched::SchedulerLog log;
+  sched::Job j;
+  j.project_id = "CHM007";
+  j.num_nodes = 1;
+  j.nodes = {0};
+  j.begin_s = 0.0;
+  j.end_s = 900.0;
+  log.add_job(j);
+  const auto cut = truncate_log(log, 1000.0, FaultPlan{}, 1);
+  EXPECT_EQ(cut.size(), 1u);
+}
+
+}  // namespace
+}  // namespace exaeff::faults

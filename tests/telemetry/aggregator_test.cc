@@ -99,6 +99,47 @@ TEST(Aggregator, RejectsBadWindow) {
   EXPECT_THROW(Aggregator(store, -15.0), Error);
 }
 
+TEST(Aggregator, LateSamplesAreDroppedAndCounted) {
+  TelemetryStore store(15.0);
+  Aggregator agg(store, 15.0);
+  agg.on_gcd_sample(sample(0.0, 0, 0, 100.0F));
+  agg.on_gcd_sample(sample(20.0, 0, 0, 500.0F));  // closes window [0, 15)
+  // t=5 belongs to the already-emitted window: merging it would bias the
+  // mean, so it must be dropped and counted.
+  agg.on_gcd_sample(sample(5.0, 0, 0, 900.0F));
+  // Reordering *within* the open window is harmless.
+  agg.on_gcd_sample(sample(16.0, 0, 0, 300.0F));
+  agg.flush();
+  ASSERT_EQ(store.size(), 2u);
+  EXPECT_NEAR(store.gcd_samples()[0].power_w, 100.0, 1e-4);
+  EXPECT_NEAR(store.gcd_samples()[1].power_w, 400.0, 1e-4);
+  EXPECT_EQ(agg.late_samples(), 1u);
+  EXPECT_EQ(agg.samples_in(), 4u);
+}
+
+TEST(Aggregator, DuplicateTimestampsResolveLastWriterWins) {
+  TelemetryStore store(15.0);
+  Aggregator agg(store, 15.0);
+  agg.on_gcd_sample(sample(0.0, 0, 0, 100.0F));
+  agg.on_gcd_sample(sample(2.0, 0, 0, 100.0F));
+  // Re-transmission of t=2 with the corrected reading.
+  agg.on_gcd_sample(sample(2.0, 0, 0, 400.0F));
+  agg.flush();
+  ASSERT_EQ(store.size(), 1u);
+  EXPECT_NEAR(store.gcd_samples()[0].power_w, 250.0, 1e-4);
+  EXPECT_EQ(agg.duplicate_samples(), 1u);
+  EXPECT_EQ(agg.windows_out(), 1u);
+}
+
+TEST(Aggregator, GapPolicyValidated) {
+  TelemetryStore store(15.0);
+  Aggregator agg(store, 15.0);
+  EXPECT_THROW(agg.set_gap_policy({-1.0, 0.5}), Error);
+  EXPECT_THROW(agg.set_gap_policy({30.0, 0.5}), Error);  // period > window
+  EXPECT_THROW(agg.set_gap_policy({2.0, 1.5}), Error);
+  EXPECT_NO_THROW(agg.set_gap_policy({2.0, 0.5}));
+}
+
 // Property: for a constant input signal the aggregated value equals the
 // input for any window length.
 class AggregatorWindows : public ::testing::TestWithParam<double> {};

@@ -117,6 +117,42 @@ TEST(Codec, CorruptBufferThrows) {
   EXPECT_THROW((void)decode_samples(junk), ParseError);
 }
 
+TEST(Codec, RejectsOversizedRecordCount) {
+  // Forge a header claiming far more records than the buffer could hold;
+  // the decoder must reject it before reserving memory for them.
+  const std::vector<GcdSample> one = {sample(0.0, 0, 0, 100.0F)};
+  const auto valid = encode_samples(one);
+  std::size_t pos = 0;
+  const std::uint64_t magic = get_varint(valid, pos);
+  std::vector<std::uint8_t> forged;
+  put_varint(forged, magic);
+  put_varint(forged, 1000000);  // record count
+  put_varint(forged, 125000);   // power quantum, micro-W
+  put_varint(forged, 500000);   // time quantum, micro-s
+  forged.push_back(0x01);       // a token amount of payload
+  try {
+    (void)decode_samples(forged);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("record count exceeds"),
+              std::string::npos);
+  }
+}
+
+TEST(Codec, RejectsTrailingBytes) {
+  const std::vector<GcdSample> two = {sample(0.0, 0, 0, 100.0F),
+                                      sample(15.0, 0, 0, 101.0F)};
+  auto buf = encode_samples(two);
+  buf.push_back(0x00);
+  try {
+    (void)decode_samples(buf);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing bytes"),
+              std::string::npos);
+  }
+}
+
 TEST(Codec, RejectsDuplicateTimestampsPerChannel) {
   const std::vector<GcdSample> dup = {sample(15.0, 0, 0, 100.0F),
                                       sample(15.0, 0, 0, 200.0F)};

@@ -88,6 +88,101 @@ TEST(TelemetryStore, LoadCsvRejectsMalformedRows) {
   EXPECT_THROW((void)TelemetryStore::load_csv(ss2), ParseError);
 }
 
+TEST(TelemetryStore, LoadCsvRejectsNonFiniteAndOutOfRangeFields) {
+  // Non-finite power parses as a double but is sensor garbage.
+  std::stringstream nan_power("t_s,node_id,gcd,power_w\n1,2,3,nan\n");
+  try {
+    (void)TelemetryStore::load_csv(nan_power);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+    EXPECT_EQ(e.line(), 2u);
+  }
+  std::stringstream inf_t("t_s,node_id,gcd,power_w\ninf,2,3,100\n");
+  EXPECT_THROW((void)TelemetryStore::load_csv(inf_t), ParseError);
+  // IDs wider than the sample fields can hold.
+  std::stringstream big_node("t_s,node_id,gcd,power_w\n1,4294967296,0,1\n");
+  EXPECT_THROW((void)TelemetryStore::load_csv(big_node), ParseError);
+  std::stringstream big_gcd("t_s,node_id,gcd,power_w\n1,0,65536,1\n");
+  EXPECT_THROW((void)TelemetryStore::load_csv(big_gcd), ParseError);
+  std::stringstream neg_node("t_s,node_id,gcd,power_w\n1,-2,0,1\n");
+  EXPECT_THROW((void)TelemetryStore::load_csv(neg_node), ParseError);
+}
+
+TEST(TelemetryStore, SortResolvesDuplicatesLastWriterWins) {
+  TelemetryStore store(15.0);
+  store.on_gcd_sample(sample(15.0, 0, 0, 111.0F));
+  store.on_gcd_sample(sample(0.0, 0, 0, 100.0F));
+  // Re-transmission of t=15 with the corrected reading, inserted last.
+  store.on_gcd_sample(sample(15.0, 0, 0, 222.0F));
+  EXPECT_EQ(store.sort(), 1u);
+  const auto series = store.series(0, 0, 0.0, 100.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].power_w, 100.0F);
+  EXPECT_EQ(series[1].power_w, 222.0F);
+}
+
+TEST(TelemetryStore, CleanSeriesRangeGateRejectsGarbage) {
+  TelemetryStore store(15.0);
+  store.on_gcd_sample(sample(0.0, 0, 0, 300.0F));
+  store.on_gcd_sample(sample(15.0, 0, 0, -5.0F));     // below sensor floor
+  store.on_gcd_sample(sample(30.0, 0, 0, 50000.0F));  // above ceiling
+  store.on_gcd_sample(sample(45.0, 0, 0, 310.0F));
+  store.sort();
+  SeriesQuality q;
+  const auto s = store.clean_series(0, 0, 0.0, 60.0, CleanPolicy{}, &q);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(q.observed, 4u);
+  EXPECT_EQ(q.rejected, 2u);
+  EXPECT_EQ(q.expected, 4u);
+  EXPECT_DOUBLE_EQ(q.coverage(), 0.5);
+}
+
+TEST(TelemetryStore, CleanSeriesMadGateRejectsSpike) {
+  TelemetryStore store(15.0);
+  for (int i = 0; i < 8; ++i) {
+    store.on_gcd_sample(
+        sample(15.0 * i, 0, 0, 300.0F + static_cast<float>(i)));
+  }
+  store.on_gcd_sample(sample(120.0, 0, 0, 3000.0F));  // spike glitch
+  store.sort();
+  CleanPolicy policy;
+  policy.mad_k = 5.0;
+  SeriesQuality q;
+  const auto s = store.clean_series(0, 0, 0.0, 135.0, policy, &q);
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(q.rejected, 1u);
+  for (const auto& r : s) EXPECT_LT(r.power_w, 400.0F);
+}
+
+TEST(TelemetryStore, CleanSeriesImputesMissingGridPoints) {
+  TelemetryStore store(15.0);
+  store.on_gcd_sample(sample(0.0, 0, 0, 100.0F));
+  // t=15 lost to dropout.
+  store.on_gcd_sample(sample(30.0, 0, 0, 300.0F));
+  store.sort();
+  CleanPolicy policy;
+  policy.impute = true;
+  SeriesQuality q;
+  const auto s = store.clean_series(0, 0, 0.0, 45.0, policy, &q);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[1].t_s, 15.0);
+  EXPECT_NEAR(s[1].power_w, 200.0, 1e-3);  // linear interpolation
+  EXPECT_EQ(q.expected, 3u);
+  EXPECT_EQ(q.observed, 2u);
+  EXPECT_EQ(q.imputed, 1u);
+  EXPECT_NEAR(q.imputed_share(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TelemetryStore, CleanSeriesRejectsInvertedPolicy) {
+  TelemetryStore store(15.0);
+  store.sort();
+  CleanPolicy bad;
+  bad.min_power_w = 10.0;
+  bad.max_power_w = 1.0;
+  EXPECT_THROW((void)store.clean_series(0, 0, 0.0, 1.0, bad), Error);
+}
+
 TEST(TeeSink, ForwardsToBoth) {
   TelemetryStore a;
   TelemetryStore b;

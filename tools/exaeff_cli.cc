@@ -10,11 +10,19 @@
 //   exaeff report <path> [nodes]     full analysis report to a file
 //   exaeff decompose <watts> [mhz]   utilization envelope for a reading
 //   exaeff queue [nodes] [days]      FCFS vs EASY scheduling comparison
+//   exaeff faults-sweep [nodes] [days]
+//                                    projection drift vs telemetry dropout
 //
 // Global options (any position, `--flag=value` form):
 //   --trace=<file.json>    write a Chrome trace_event file of the run
 //   --metrics=<file>       write metrics (.prom text or .json by extension)
 //   --log-level=<level>    debug|info|warn|error (default info)
+//   --faults=<spec>        inject telemetry faults (see faults/fault_plan.h)
+//   --min-coverage=<frac>  refuse projections below this telemetry coverage
+//
+// Commands that project savings exit with code 3 (and a clear stderr
+// message) when the surviving telemetry is below --min-coverage: a number
+// extrapolated from a sliver of the fleet is worse than no number.
 //
 // Results go to stdout; diagnostics, logs and the end-of-run stage
 // summary go to stderr, so piping stdout stays clean and deterministic.
@@ -26,10 +34,12 @@
 
 #include "core/decomposition.h"
 #include "core/report.h"
+#include "faults/injector.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sched/fleetgen.h"
+#include "sched/join.h"
 #include "sched/queue_sim.h"
 #include "workloads/ert.h"
 
@@ -49,12 +59,18 @@ int usage() {
       "  report <path> [nodes]     write the full analysis report\n"
       "  decompose <watts> [mhz]   utilization envelope for a reading\n"
       "  queue [nodes] [days]      FCFS vs EASY backfill comparison\n"
+      "  faults-sweep [nodes] [days]\n"
+      "                            projection drift vs telemetry dropout\n"
       "options (any position):\n"
       "  --trace=<file.json>       write Chrome trace_event spans "
       "(chrome://tracing, Perfetto)\n"
       "  --metrics=<file>          write run metrics; .json for JSON, "
       "anything else Prometheus text\n"
       "  --log-level=<level>       debug|info|warn|error (default info)\n"
+      "  --faults=<spec>           inject telemetry faults, e.g. "
+      "drop=0.1,stuck=0.01:60,seed=7\n"
+      "  --min-coverage=<frac>     refuse projections below this coverage "
+      "(default 0.5)\n"
       "  --help                    show this message\n");
   return 2;
 }
@@ -64,6 +80,8 @@ struct GlobalOptions {
   std::string trace_path;
   std::string metrics_path;
   std::string log_level = "info";
+  std::string faults_spec;
+  double min_coverage = 0.5;
   bool help = false;
 };
 
@@ -91,6 +109,10 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
       opts.metrics_path = value;
     } else if (key == "--log-level") {
       opts.log_level = value;
+    } else if (key == "--faults") {
+      opts.faults_spec = value;
+    } else if (key == "--min-coverage") {
+      opts.min_coverage = std::atof(value.c_str());
     } else {
       std::fprintf(stderr, "exaeff: unknown option '%s'\n", key.c_str());
       return false;
@@ -115,9 +137,11 @@ struct CampaignBundle {
   core::RegionBoundaries boundaries;
   std::unique_ptr<core::CampaignAccumulator> acc;
   std::size_t jobs = 0;
+  double coverage = 1.0;  ///< surviving / expected telemetry records
 };
 
-CampaignBundle run_campaign(std::size_t nodes, double days) {
+CampaignBundle run_campaign(std::size_t nodes, double days,
+                            const faults::FaultPlan& plan = {}) {
   EXAEFF_TRACE_SPAN("cli.run_campaign");
   CampaignBundle b;
   b.cfg.system = cluster::frontier_scaled(nodes);
@@ -126,16 +150,44 @@ CampaignBundle run_campaign(std::size_t nodes, double days) {
   b.library = workloads::make_profile_library(gcd);
   b.boundaries = core::derive_boundaries(gcd);
   const sched::FleetGenerator gen(b.cfg, b.library);
-  const auto log = gen.generate_schedule();
+  auto log = gen.generate_schedule();
+  if (plan.truncate_fraction > 0.0) {
+    std::size_t dropped = 0;
+    log = faults::truncate_log(log, b.cfg.duration_s, plan,
+                               b.cfg.system.compute_nodes, &dropped);
+    obs::Logger::global().warn("campaign.log_truncated",
+                               {{"dropped_jobs", dropped}});
+  }
   b.jobs = log.size();
   obs::Logger::global().debug(
       "campaign.schedule",
       {{"nodes", nodes}, {"days", days}, {"jobs", b.jobs}});
   b.acc = std::make_unique<core::CampaignAccumulator>(
       b.cfg.telemetry_window_s, b.boundaries);
+  const std::uint64_t expected = sched::expected_gcd_samples(
+      log, b.cfg.telemetry_window_s, b.cfg.system.node.gcds_per_node());
   {
     EXAEFF_TRACE_SPAN("campaign.accumulate");
-    gen.generate_telemetry(log, *b.acc);
+    if (plan.any_enabled()) {
+      faults::JobFaultInjector inj(*b.acc, plan);
+      gen.generate_telemetry(log, inj);
+      inj.model().publish_metrics();
+      obs::Logger::global().info(
+          "campaign.faulted",
+          {{"plan", plan.describe()},
+           {"dropped", inj.counters().dropped()},
+           {"passed", inj.counters().passed}});
+    } else {
+      gen.generate_telemetry(log, *b.acc);
+    }
+  }
+  // Coverage is only *measured* under an active fault plan: clean runs
+  // are 1.0 by construction (the generator emits exactly the expected
+  // grid), and keeping the exact constant keeps clean reports
+  // byte-identical to the pre-robustness output.
+  if (plan.any_enabled() && expected > 0) {
+    b.coverage = static_cast<double>(b.acc->gcd_sample_count()) /
+                 static_cast<double>(expected);
   }
   obs::Logger::global().info("campaign.generated",
                              {{"nodes", nodes},
@@ -193,14 +245,23 @@ int cmd_campaign(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_project(const std::vector<std::string>& args) {
+int cmd_project(const std::vector<std::string>& args,
+                const GlobalOptions& opts) {
   EXAEFF_TRACE_SPAN("cli.project");
   const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32));
   const double days = arg_num(args, 1, 7.0);
-  const auto b = run_campaign(nodes, days);
+  const auto plan = faults::FaultPlan::parse(opts.faults_spec);
+  const auto b = run_campaign(nodes, days, plan);
+  core::require_quality(core::DataQuality{b.coverage, 0.0},
+                        core::QualityPolicy{opts.min_coverage, 1.0});
   const auto table = core::characterize(b.cfg.system.node.gcd);
   const core::ProjectionEngine engine(table);
   const auto d = b.acc->decomposition();
+  if (b.coverage < 1.0) {
+    std::printf("telemetry coverage: %.1f%% (faults: %s) -- projections "
+                "are from degraded data\n",
+                100.0 * b.coverage, plan.describe().c_str());
+  }
   std::printf("%-6s %10s %10s %10s %8s %8s %10s\n", "cap", "CI MWh",
               "MI MWh", "TS MWh", "sav%", "dT%", "sav%@dT=0");
   for (auto type : {core::CapType::kFrequency, core::CapType::kPower}) {
@@ -219,16 +280,20 @@ int cmd_project(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_report(const std::vector<std::string>& args) {
+int cmd_report(const std::vector<std::string>& args,
+               const GlobalOptions& opts) {
   EXAEFF_TRACE_SPAN("cli.report");
   if (args.empty()) return usage();
   const auto nodes = static_cast<std::size_t>(arg_num(args, 1, 32));
-  const auto b = run_campaign(nodes, 7.0);
+  const auto plan = faults::FaultPlan::parse(opts.faults_spec);
+  const auto b = run_campaign(nodes, 7.0, plan);
   const auto table = core::characterize(b.cfg.system.node.gcd);
   core::ReportInputs inputs;
   inputs.accumulator = b.acc.get();
   inputs.table = &table;
   inputs.campaign_label = std::to_string(nodes) + "-node campaign";
+  inputs.quality.coverage = b.coverage;
+  inputs.quality_policy.min_coverage = opts.min_coverage;
   std::ofstream out(args[0]);
   if (!out) {
     obs::Logger::global().error("report.open_failed", {{"path", args[0]}});
@@ -282,6 +347,75 @@ int cmd_queue(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Sweeps iid dropout from clean to 30% over one fixed campaign and
+/// reports how far the projection drifts from the clean baseline — the
+/// "how much data loss can the analysis absorb" robustness bench.
+int cmd_faults_sweep(const std::vector<std::string>& args,
+                     const GlobalOptions& opts) {
+  EXAEFF_TRACE_SPAN("cli.faults_sweep");
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32));
+  const double days = arg_num(args, 1, 7.0);
+  const auto base_plan = faults::FaultPlan::parse(opts.faults_spec);
+
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(nodes);
+  cfg.duration_s = days * units::kDay;
+  const auto& gcd = cfg.system.node.gcd;
+  const auto library = workloads::make_profile_library(gcd);
+  const auto boundaries = core::derive_boundaries(gcd);
+  const auto table = core::characterize(gcd);
+  const core::ProjectionEngine engine(table);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  const std::uint64_t expected = sched::expected_gcd_samples(
+      log, cfg.telemetry_window_s, cfg.system.node.gcds_per_node());
+  const double focus_mhz = 1100.0;
+
+  std::printf("faults-sweep: %zu nodes, %.1f days, %zu jobs, cap %.0f MHz"
+              " (base faults: %s, seed 0x%llX)\n",
+              nodes, days, log.size(), focus_mhz,
+              base_plan.describe().c_str(),
+              static_cast<unsigned long long>(base_plan.seed));
+  std::printf("%-6s %12s %10s %10s %8s %10s %10s\n", "drop%", "records",
+              "coverage%", "TS MWh", "sav%", "sav%@dT=0", "drift%");
+
+  double clean_saved_mwh = 0.0;
+  for (int pct = 0; pct <= 30; pct += 5) {
+    faults::FaultPlan plan = base_plan;
+    plan.drop_probability = static_cast<double>(pct) / 100.0;
+    core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
+    faults::JobFaultInjector inj(acc, plan);
+    if (plan.any_enabled()) {
+      gen.generate_telemetry(log, inj);
+      inj.model().publish_metrics();
+    } else {
+      gen.generate_telemetry(log, acc);
+    }
+    const double coverage =
+        expected > 0 ? static_cast<double>(acc.gcd_sample_count()) /
+                           static_cast<double>(expected)
+                     : 1.0;
+    const auto row = engine.project(acc.decomposition(),
+                                    core::CapType::kFrequency, focus_mhz);
+    if (pct == 0) clean_saved_mwh = row.total_saved_mwh;
+    const double drift =
+        clean_saved_mwh > 0.0
+            ? 100.0 * (row.total_saved_mwh - clean_saved_mwh) /
+                  clean_saved_mwh
+            : 0.0;
+    const bool below_floor = coverage < opts.min_coverage;
+    std::printf("%-6d %12zu %10.2f %10.3f %8.1f %10.1f %+9.2f%s\n", pct,
+                acc.gcd_sample_count(), 100.0 * coverage,
+                row.total_saved_mwh, row.savings_pct,
+                row.savings_pct_no_slowdown, drift,
+                below_floor ? " [BELOW FLOOR]" : "");
+  }
+  std::printf("\ndrift%% is the change in projected savings at %.0f MHz "
+              "relative to the clean row.\n",
+              focus_mhz);
+  return 0;
+}
+
 /// End-of-run footer on stderr: where the wall time and samples went.
 void print_summary_footer() {
   const auto& reg = obs::MetricsRegistry::global();
@@ -312,14 +446,16 @@ void print_summary_footer() {
   }
 }
 
-int dispatch(const std::string& cmd, const std::vector<std::string>& args) {
+int dispatch(const std::string& cmd, const std::vector<std::string>& args,
+             const GlobalOptions& opts) {
   if (cmd == "ert") return cmd_ert(args);
   if (cmd == "characterize") return cmd_characterize();
   if (cmd == "campaign") return cmd_campaign(args);
-  if (cmd == "project") return cmd_project(args);
-  if (cmd == "report") return cmd_report(args);
+  if (cmd == "project") return cmd_project(args, opts);
+  if (cmd == "report") return cmd_report(args, opts);
   if (cmd == "decompose") return cmd_decompose(args);
   if (cmd == "queue") return cmd_queue(args);
+  if (cmd == "faults-sweep") return cmd_faults_sweep(args, opts);
   return usage();
 }
 
@@ -351,7 +487,13 @@ int main(int argc, char** argv) {
                                       positional.end());
   int rc = 0;
   try {
-    rc = dispatch(cmd, args);
+    rc = dispatch(cmd, args, opts);
+  } catch (const DataQualityError& e) {
+    // Distinct exit code: the pipeline worked, but the surviving data is
+    // too thin to stand behind the numbers.
+    std::fprintf(stderr, "exaeff: %s\n", e.what());
+    obs::Logger::global().error("cli.data_quality", {{"what", e.what()}});
+    return 3;
   } catch (const std::exception& e) {
     obs::Logger::global().error("cli.error", {{"what", e.what()}});
     return 1;
