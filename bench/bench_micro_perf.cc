@@ -3,9 +3,12 @@
 // fleet generation throughput and Louvain passes.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "core/accumulator.h"
 #include "core/characterization.h"
 #include "core/projection.h"
+#include "exec/thread_pool.h"
 #include "graph/generators.h"
 #include "graph/louvain.h"
 #include "sched/fleetgen.h"
@@ -110,6 +113,50 @@ void BM_FleetGeneration(benchmark::State& state) {
       static_cast<std::int64_t>(samples * state.iterations()));
 }
 BENCHMARK(BM_FleetGeneration)->Arg(16)->Arg(48)->Unit(benchmark::kMillisecond);
+
+void BM_FleetGenerationParallel(benchmark::State& state) {
+  // The sharded campaign path on a pool of range(1) threads — the same
+  // artifact as BM_FleetGeneration, produced through worker-local shards
+  // merged in job order.  Compare against Arg(16) above for speedup.
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(16);
+  cfg.duration_s = 1.0 * units::kDay;
+  const auto library =
+      workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
+    const auto log = gen.generate_schedule();
+    core::AccumulatorShards shards(acc);
+    gen.generate_telemetry(log, shards, pool);
+    samples = acc.gcd_sample_count();
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(samples * state.iterations()));
+}
+BENCHMARK(BM_FleetGenerationParallel)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // Dispatch + handshake cost of an (almost) empty loop on a warm pool.
+  exec::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::atomic<std::size_t> sink{0};
+    pool.parallel_for(64, 1, [&](std::size_t begin, std::size_t end) {
+      sink.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_Characterize(benchmark::State& state) {
   const auto spec = gpusim::mi250x_gcd();

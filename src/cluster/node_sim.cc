@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "telemetry/aggregator.h"
@@ -40,20 +41,36 @@ NodeRunResult simulate_node_job(const NodeSpec& node,
     }
   } counter(sink);
   telemetry::Aggregator aggregator(counter, options.aggregate_window_s);
+  aggregator.reserve_channels(gcds, 1);
 
   // Run every GCD's trace (same phase schedule, per-GCD jitter + noise).
+  // The split/uniform draws happen up front in GCD order — preserving the
+  // exact serial RNG sequence — so the traces themselves can run on the
+  // pool in any order and still reproduce the serial result bit for bit.
   NodeRunResult result;
   std::vector<std::vector<gpusim::TracePoint>> traces(gcds);
   std::vector<double> offsets(gcds);
+  std::vector<Rng> gcd_rngs;
+  gcd_rngs.reserve(gcds);
   for (std::size_t g = 0; g < gcds; ++g) {
-    Rng gcd_rng = rng.split(g + 1);
+    gcd_rngs.push_back(rng.split(g + 1));
     offsets[g] = rng.uniform(0.0, options.gcd_jitter_s);
-    const auto seq = gpusim::run_sequence_traced(sim, phases, policy,
-                                                 gcd_rng, traces[g],
-                                                 options.trace);
-    result.wall_time_s = std::max(result.wall_time_s,
-                                  offsets[g] + seq.time_s);
-    result.gpu_energy_j += seq.energy_j;
+  }
+  struct GcdRun {
+    double time_s = 0.0;
+    double energy_j = 0.0;
+  };
+  const auto runs = exec::map_indexed(
+      options.pool, gcds, [&](std::size_t g) {
+        Rng gcd_rng = gcd_rngs[g];
+        const auto seq = gpusim::run_sequence_traced(
+            sim, phases, policy, gcd_rng, traces[g], options.trace);
+        return GcdRun{seq.time_s, seq.energy_j};
+      });
+  for (std::size_t g = 0; g < gcds; ++g) {
+    result.wall_time_s =
+        std::max(result.wall_time_s, offsets[g] + runs[g].time_s);
+    result.gpu_energy_j += runs[g].energy_j;
   }
 
   // Walk the common 2 s sensor clock across all channels.

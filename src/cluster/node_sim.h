@@ -17,6 +17,10 @@
 #include "gpusim/phase_run.h"
 #include "telemetry/sample.h"
 
+namespace exaeff::exec {
+class ThreadPool;
+}  // namespace exaeff::exec
+
 namespace exaeff::cluster {
 
 /// Options for a node run.
@@ -27,6 +31,10 @@ struct NodeRunOptions {
   /// Per-GCD start jitter (ranks never align perfectly), seconds.
   double gcd_jitter_s = 1.0;
   gpusim::TraceOptions trace;       ///< noise/ramp/boost tuning
+  /// When set, per-GCD traces run concurrently.  Each GCD's stream comes
+  /// from rng.split(g+1) and the jitter draws happen up front in GCD
+  /// order, so the result is byte-identical to the serial run.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Outcome of simulating one job interval on one node.

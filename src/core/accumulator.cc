@@ -101,4 +101,12 @@ double CampaignAccumulator::total_gpu_energy_j() const {
   return decomposition().total_energy_j;
 }
 
+void AccumulatorShards::merge_shard(
+    std::unique_ptr<sched::JobSampleSink> shard) {
+  auto* acc = dynamic_cast<CampaignAccumulator*>(shard.get());
+  EXAEFF_REQUIRE(acc != nullptr,
+                 "AccumulatorShards: foreign shard passed to merge_shard");
+  target_->merge(*acc);
+}
+
 }  // namespace exaeff::core

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 
 #include "common/stats.h"
 #include "core/modal.h"
@@ -52,6 +53,13 @@ class CampaignAccumulator final : public sched::JobSampleSink {
 
   /// Merges a sibling accumulator (parallel sharding).
   void merge(const CampaignAccumulator& other);
+
+  /// Empty accumulator with identical window/boundaries/histogram
+  /// shape, suitable as a merge() source (the shard factory).
+  [[nodiscard]] CampaignAccumulator make_sibling() const {
+    return CampaignAccumulator(window_s_, boundaries_, hist_.lo(),
+                               hist_.hi(), hist_.bin_count());
+  }
 
   // --- results --------------------------------------------------------
   [[nodiscard]] const Histogram& system_histogram() const { return hist_; }
@@ -97,6 +105,26 @@ class CampaignAccumulator final : public sched::JobSampleSink {
   std::size_t samples_ = 0;
   std::size_t node_samples_ = 0;
   double cpu_energy_j_ = 0.0;
+};
+
+/// Shard factory for parallel campaign generation: hands each worker
+/// chunk an empty sibling of `target` and merges the shards back (in
+/// job-chunk order, per the JobSinkShards contract) into `target`.
+class AccumulatorShards final : public sched::JobSinkShards {
+ public:
+  /// `target` must outlive the shard set.
+  explicit AccumulatorShards(CampaignAccumulator& target)
+      : target_(&target) {}
+
+  [[nodiscard]] std::unique_ptr<sched::JobSampleSink> make_shard()
+      const override {
+    return std::make_unique<CampaignAccumulator>(target_->make_sibling());
+  }
+
+  void merge_shard(std::unique_ptr<sched::JobSampleSink> shard) override;
+
+ private:
+  CampaignAccumulator* target_;
 };
 
 }  // namespace exaeff::core

@@ -1,8 +1,10 @@
 #include "core/characterization.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
+#include "exec/thread_pool.h"
 #include "obs/trace.h"
 #include "workloads/membench.h"
 #include "workloads/vai.h"
@@ -10,18 +12,36 @@
 namespace exaeff::core {
 
 void CapResponseTable::add(BenchClass cls, CapType type, CapResponse row) {
-  table_[static_cast<int>(cls)][static_cast<int>(type)].push_back(row);
+  auto& sweep = table_[static_cast<int>(cls)][static_cast<int>(type)];
+  const auto idx = static_cast<std::uint32_t>(sweep.rows.size());
+  sweep.rows.push_back(row);
+  // Keep the side index sorted by setting; sweeps are a handful of rows
+  // and add() is cold, so an ordered insert is fine.
+  const auto pos = std::lower_bound(
+      sweep.by_setting.begin(), sweep.by_setting.end(), row.setting,
+      [&sweep](std::uint32_t i, double s) {
+        return sweep.rows[i].setting < s;
+      });
+  sweep.by_setting.insert(pos, idx);
 }
 
 std::span<const CapResponse> CapResponseTable::rows(BenchClass cls,
                                                     CapType type) const {
-  return table_[static_cast<int>(cls)][static_cast<int>(type)];
+  return table_[static_cast<int>(cls)][static_cast<int>(type)].rows;
 }
 
 const CapResponse& CapResponseTable::at(BenchClass cls, CapType type,
                                         double setting) const {
-  for (const auto& r : rows(cls, type)) {
-    if (std::abs(r.setting - setting) < 1e-6) return r;
+  const auto& sweep = table_[static_cast<int>(cls)][static_cast<int>(type)];
+  auto it = std::lower_bound(
+      sweep.by_setting.begin(), sweep.by_setting.end(),
+      setting - kSettingTolerance,
+      [&sweep](std::uint32_t i, double s) {
+        return sweep.rows[i].setting < s;
+      });
+  if (it != sweep.by_setting.end()) {
+    const CapResponse& r = sweep.rows[*it];
+    if (std::abs(r.setting - setting) < kSettingTolerance) return r;
   }
   throw Error("cap setting was not part of the characterization sweep");
 }
@@ -34,15 +54,16 @@ namespace {
 void sweep(const gpusim::GpuSimulator& sim,
            const std::vector<gpusim::KernelDesc>& kernels,
            const std::vector<double>& settings, CapType type,
-           BenchClass cls, CapResponseTable& out) {
+           BenchClass cls, exec::ThreadPool* pool, CapResponseTable& out) {
   // Baselines: unconstrained run per kernel.
-  std::vector<gpusim::RunResult> base;
-  base.reserve(kernels.size());
-  for (const auto& k : kernels) {
-    base.push_back(sim.run(k, gpusim::PowerPolicy::none()));
-  }
+  const auto base = exec::map_indexed(pool, kernels.size(), [&](std::size_t i) {
+    return sim.run(kernels[i], gpusim::PowerPolicy::none());
+  });
 
-  for (double setting : settings) {
+  // Settings evaluate independently; each row's per-kernel fold stays in
+  // kernel order, so rows match the serial sweep bit for bit.
+  const auto rows = exec::map_indexed(pool, settings.size(), [&](std::size_t s) {
+    const double setting = settings[s];
     const gpusim::PowerPolicy policy =
         type == CapType::kFrequency ? gpusim::PowerPolicy::frequency(setting)
                                     : gpusim::PowerPolicy::power(setting);
@@ -56,10 +77,10 @@ void sweep(const gpusim::GpuSimulator& sim,
       energy_pct += 100.0 * r.energy_j / base[i].energy_j;
     }
     const auto n = static_cast<double>(kernels.size());
-    out.add(cls, type,
-            CapResponse{setting, power_pct / n, runtime_pct / n,
-                        energy_pct / n});
-  }
+    return CapResponse{setting, power_pct / n, runtime_pct / n,
+                       energy_pct / n};
+  });
+  for (const CapResponse& row : rows) out.add(cls, type, row);
 }
 
 }  // namespace
@@ -93,13 +114,13 @@ CapResponseTable characterize(const gpusim::DeviceSpec& spec,
 
   CapResponseTable table;
   sweep(sim, vai_kernels, freq_caps, CapType::kFrequency,
-        BenchClass::kComputeIntensive, table);
+        BenchClass::kComputeIntensive, opts.pool, table);
   sweep(sim, vai_kernels, power_caps, CapType::kPower,
-        BenchClass::kComputeIntensive, table);
+        BenchClass::kComputeIntensive, opts.pool, table);
   sweep(sim, mb_kernels, freq_caps, CapType::kFrequency,
-        BenchClass::kMemoryIntensive, table);
+        BenchClass::kMemoryIntensive, opts.pool, table);
   sweep(sim, mb_kernels, power_caps, CapType::kPower,
-        BenchClass::kMemoryIntensive, table);
+        BenchClass::kMemoryIntensive, opts.pool, table);
   return table;
 }
 

@@ -11,11 +11,16 @@
 // respond like VAI, region 2 (memory-intensive) samples like MB.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "gpusim/device_spec.h"
 #include "gpusim/simulator.h"
+
+namespace exaeff::exec {
+class ThreadPool;
+}  // namespace exaeff::exec
 
 namespace exaeff::core {
 
@@ -50,12 +55,22 @@ class CapResponseTable {
   [[nodiscard]] std::span<const CapResponse> rows(BenchClass cls,
                                                   CapType type) const;
 
-  /// The row for an exact setting; throws if the setting was not swept.
+  /// The row for an exact setting (within kSettingTolerance); throws if
+  /// the setting was not swept.  Binary search over a sorted side index
+  /// maintained by add() — the projection engine calls this per region x
+  /// sweep point, so it must not rescan the rows.
   [[nodiscard]] const CapResponse& at(BenchClass cls, CapType type,
                                       double setting) const;
 
+  static constexpr double kSettingTolerance = 1e-6;
+
  private:
-  std::vector<CapResponse> table_[2][2];
+  struct Sweep {
+    std::vector<CapResponse> rows;  ///< insertion order, as presented
+    /// Row indices ordered by ascending setting (at() lookups).
+    std::vector<std::uint32_t> by_setting;
+  };
+  Sweep table_[2][2];
 };
 
 /// Characterization options.
@@ -63,6 +78,10 @@ struct CharacterizationOptions {
   std::vector<double> frequency_caps_mhz;  ///< default: Table III(a) set
   std::vector<double> power_caps_w;        ///< default: Table III(b) set
   bool include_stream_copy = true;  ///< include AI=0 in the VAI average
+  /// When set, baselines and sweep settings evaluate concurrently.  Each
+  /// row still folds its per-kernel averages in kernel order, so the
+  /// table is bit-identical to the serial sweep.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Runs both benchmark sweeps on the device and builds the table.

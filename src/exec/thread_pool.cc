@@ -1,0 +1,269 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace exaeff::exec {
+
+namespace {
+
+// Set for workers (for life) and for callers while inside a loop, so
+// nested parallel_for runs inline with identical chunking instead of
+// deadlocking on the dispatch mutex.
+thread_local bool t_in_parallel = false;
+
+struct ScopedInParallel {
+  bool prev = t_in_parallel;
+  ScopedInParallel() { t_in_parallel = true; }
+  ~ScopedInParallel() { t_in_parallel = prev; }
+};
+
+std::atomic<std::size_t> g_job_count{0};
+
+// Packed [lo, hi) chunk range: lo in the high 32 bits, hi in the low.
+constexpr std::uint64_t pack_range(std::uint32_t lo, std::uint32_t hi) {
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+bool take_front(std::atomic<std::uint64_t>& range, std::uint32_t& out) {
+  std::uint64_t v = range.load(std::memory_order_relaxed);
+  for (;;) {
+    const auto lo = static_cast<std::uint32_t>(v >> 32);
+    const auto hi = static_cast<std::uint32_t>(v);
+    if (lo >= hi) return false;
+    if (range.compare_exchange_weak(v, pack_range(lo + 1, hi),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      out = lo;
+      return true;
+    }
+  }
+}
+
+bool take_back(std::atomic<std::uint64_t>& range, std::uint32_t& out) {
+  std::uint64_t v = range.load(std::memory_order_relaxed);
+  for (;;) {
+    const auto lo = static_cast<std::uint32_t>(v >> 32);
+    const auto hi = static_cast<std::uint32_t>(v);
+    if (lo >= hi) return false;
+    if (range.compare_exchange_weak(v, pack_range(lo, hi - 1),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      out = hi - 1;
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t default_job_count() {
+  if (const char* env = std::getenv("EXAEFF_JOBS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+void set_job_count(std::size_t n) {
+  g_job_count.store(n, std::memory_order_relaxed);
+}
+
+std::size_t job_count() {
+  const std::size_t n = g_job_count.load(std::memory_order_relaxed);
+  return n == 0 ? default_job_count() : n;
+}
+
+struct ThreadPool::Loop {
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  // One packed [lo, hi) chunk range per participant; index 0 is the
+  // calling thread, 1..N-1 the workers.
+  std::vector<std::atomic<std::uint64_t>> slots;
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = threads == 0 ? job_count() : threads;
+  workers_.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t s = 1; s < n; ++s) {
+    workers_.emplace_back([this, s] { worker_main(s); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_serial(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const ScopedInParallel scope;
+  std::uint64_t executed = 0;
+  for (std::size_t begin = 0; begin < n; begin += grain) {
+    EXAEFF_TRACE_SPAN("exec.chunk");
+    body(begin, std::min(begin + grain, n));
+    ++executed;
+  }
+  chunks_.fetch_add(executed, std::memory_order_relaxed);
+  loops_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t g = grain == 0 ? chunk_grain(n) : grain;
+  const std::size_t chunks = (n + g - 1) / g;
+  EXAEFF_REQUIRE(chunks <= 0xFFFFFFFFULL, "parallel_for: too many chunks");
+  if (t_in_parallel || workers_.empty() || chunks == 1) {
+    run_serial(n, g, body);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> top(loop_mu_);
+  Loop loop;
+  loop.body = &body;
+  loop.n = n;
+  loop.grain = g;
+  const std::size_t participants = workers_.size() + 1;
+  loop.slots = std::vector<std::atomic<std::uint64_t>>(participants);
+  for (std::size_t s = 0; s < participants; ++s) {
+    const auto lo = static_cast<std::uint32_t>(chunks * s / participants);
+    const auto hi =
+        static_cast<std::uint32_t>(chunks * (s + 1) / participants);
+    loop.slots[s].store(pack_range(lo, hi), std::memory_order_relaxed);
+  }
+
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    loop_ = &loop;
+    done_workers_ = 0;
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  {
+    const ScopedInParallel scope;
+    run_slot(loop, 0);
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return done_workers_ == workers_.size(); });
+    loop_ = nullptr;
+  }
+  loops_.fetch_add(1, std::memory_order_relaxed);
+  if (loop.error) std::rethrow_exception(loop.error);
+}
+
+void ThreadPool::run_slot(Loop& loop, std::size_t slot) {
+  std::uint64_t executed = 0;
+  std::uint64_t stolen = 0;
+  const auto run_chunk = [&](std::uint32_t c) {
+    const std::size_t begin = static_cast<std::size_t>(c) * loop.grain;
+    const std::size_t end = std::min(begin + loop.grain, loop.n);
+    EXAEFF_TRACE_SPAN("exec.chunk");
+    try {
+      (*loop.body)(begin, end);
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lk(loop.error_mu);
+        if (!loop.error) loop.error = std::current_exception();
+      }
+      loop.abort.store(true, std::memory_order_relaxed);
+    }
+    ++executed;
+  };
+
+  std::uint32_t c = 0;
+  while (!loop.abort.load(std::memory_order_relaxed) &&
+         take_front(loop.slots[slot], c)) {
+    run_chunk(c);
+  }
+  const std::size_t nslots = loop.slots.size();
+  for (std::size_t off = 1; off < nslots; ++off) {
+    auto& victim = loop.slots[(slot + off) % nslots];
+    while (!loop.abort.load(std::memory_order_relaxed) &&
+           take_back(victim, c)) {
+      run_chunk(c);
+      ++stolen;
+    }
+  }
+  chunks_.fetch_add(executed, std::memory_order_relaxed);
+  steals_.fetch_add(stolen, std::memory_order_relaxed);
+}
+
+void ThreadPool::worker_main(std::size_t slot) {
+  t_in_parallel = true;  // nested loops from pool code always run inline
+  std::uint64_t seen = 0;
+  for (;;) {
+    Loop* loop = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      loop = loop_;
+    }
+    if (loop != nullptr) {
+      EXAEFF_TRACE_SPAN("exec.worker");
+      run_slot(*loop, slot);
+    }
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      ++done_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.loops = loops_.load(std::memory_order_relaxed);
+  s.chunks = chunks_.load(std::memory_order_relaxed);
+  s.steals = steals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::publish_metrics() {
+  if (!obs::metrics_enabled()) return;
+  const std::lock_guard<std::mutex> lk(publish_mu_);
+  const Stats now = stats();
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("exaeff_exec_loops_total", "Parallel loops dispatched")
+      .inc(now.loops - published_.loops);
+  reg.counter("exaeff_exec_chunks_total", "Parallel chunks executed")
+      .inc(now.chunks - published_.chunks);
+  reg.counter("exaeff_exec_steals_total",
+              "Chunks stolen from another worker's slot")
+      .inc(now.steals - published_.steals);
+  reg.gauge("exaeff_exec_threads", "Thread pool participants")
+      .set(static_cast<double>(thread_count()));
+  published_ = now;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace exaeff::exec

@@ -1,0 +1,185 @@
+// exaeff/exec/thread_pool.h
+//
+// Deterministic parallel execution engine (paper §V context: the
+// projection substrate is three months of fleet telemetry; re-simulating
+// it serially caps how large a fleet we can study).  A work-stealing
+// thread pool with chunked parallel_for / parallel_map plus an
+// ordered-reduction primitive (map_chunks) that hands back per-chunk
+// results in submission order.
+//
+// Determinism contract
+// --------------------
+// Chunk boundaries are a fixed function of (n, grain) — never of the
+// thread count.  Which *thread* runs a chunk varies run to run, but each
+// chunk sees exactly the same index range, and map_chunks() returns the
+// per-chunk results in ascending chunk order, so a serial left-fold over
+// them is byte-identical for any --jobs=N, including N=1.  Callers keep
+// the contract by (a) deriving per-item state from splittable RNG streams
+// or pure functions of the index, never from shared mutable state, and
+// (b) merging chunk results serially, in order.
+//
+// Concurrency model
+// -----------------
+// N-1 persistent workers plus the calling thread.  Chunks are dealt into
+// per-participant slots up front; each participant drains its own slot
+// front-to-back and then steals from other slots back-to-front (packed
+// 2x32-bit atomic ranges, CAS only — no locks on the steal path).  One
+// loop runs at a time; nested parallel_for from inside a worker runs
+// inline with identical chunking, so pipelines can compose freely
+// (e.g. faults-sweep points in parallel, each generating a campaign).
+// The first exception thrown by any chunk aborts the loop and is
+// rethrown on the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace exaeff::exec {
+
+/// Process-wide worker-count default: EXAEFF_JOBS env var if set and
+/// positive, else std::thread::hardware_concurrency() (min 1).
+[[nodiscard]] std::size_t default_job_count();
+
+/// Overrides the job count used by pools constructed afterwards
+/// (the CLI's --jobs=N). 0 restores default_job_count().
+void set_job_count(std::size_t n);
+
+/// Effective job count: the set_job_count() override or the default.
+[[nodiscard]] std::size_t job_count();
+
+class ThreadPool {
+ public:
+  /// threads == 0 means job_count(). One thread means no workers are
+  /// spawned and every loop runs inline on the caller.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Participants per loop (workers + calling thread).
+  [[nodiscard]] std::size_t thread_count() const {
+    return workers_.size() + 1;
+  }
+
+  /// Default grain: ~kChunkTarget chunks regardless of thread count, so
+  /// chunk boundaries (and thus reduction order) never depend on N.
+  static constexpr std::size_t kChunkTarget = 64;
+  [[nodiscard]] static std::size_t chunk_grain(std::size_t n) {
+    const std::size_t g = (n + kChunkTarget - 1) / kChunkTarget;
+    return g == 0 ? 1 : g;
+  }
+
+  /// Runs body(begin, end) over [0, n) in chunks of `grain` indices
+  /// (grain == 0 means chunk_grain(n)). Blocks until every chunk has
+  /// finished; rethrows the first chunk exception.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Element-wise map: out[i] = fn(i). fn is invoked concurrently and
+  /// must be safe to call from multiple threads; results land in index
+  /// order regardless of which thread computed them.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn, std::size_t grain = 0)
+      -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+    using T = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<std::optional<T>> tmp(n);
+    parallel_for(n, grain, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) tmp[i].emplace(fn(i));
+    });
+    std::vector<T> out;
+    out.reserve(n);
+    for (auto& t : tmp) out.push_back(std::move(*t));
+    return out;
+  }
+
+  /// Ordered reduction primitive: fn(begin, end) produces one partial
+  /// per chunk; the partials come back in ascending chunk order, ready
+  /// for a serial in-order merge. A left-fold of contiguous chunks
+  /// merged left-to-right is bit-identical to the full serial fold.
+  template <typename Fn>
+  auto map_chunks(std::size_t n, std::size_t grain, Fn&& fn) -> std::vector<
+      std::decay_t<std::invoke_result_t<Fn&, std::size_t, std::size_t>>> {
+    using T = std::decay_t<std::invoke_result_t<Fn&, std::size_t, std::size_t>>;
+    const std::size_t g = grain == 0 ? chunk_grain(n) : grain;
+    const std::size_t chunks = n == 0 ? 0 : (n + g - 1) / g;
+    std::vector<std::optional<T>> tmp(chunks);
+    parallel_for(n, g, [&](std::size_t begin, std::size_t end) {
+      tmp[begin / g].emplace(fn(begin, end));
+    });
+    std::vector<T> out;
+    out.reserve(chunks);
+    for (auto& t : tmp) out.push_back(std::move(*t));
+    return out;
+  }
+
+  /// Cumulative scheduling statistics (all loops since construction).
+  struct Stats {
+    std::uint64_t loops = 0;   ///< parallel_for invocations
+    std::uint64_t chunks = 0;  ///< chunk executions
+    std::uint64_t steals = 0;  ///< chunks taken from another slot
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Publishes stats deltas since the last call into the obs registry
+  /// (exaeff_exec_loops/chunks/steals_total, exaeff_exec_threads).
+  void publish_metrics();
+
+  /// Shared pool sized from job_count() at first use. set_job_count()
+  /// must be called before the first access to take effect here.
+  static ThreadPool& global();
+
+ private:
+  struct Loop;
+
+  void run_serial(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+  void run_slot(Loop& loop, std::size_t slot);
+  void worker_main(std::size_t slot);
+
+  std::vector<std::thread> workers_;
+
+  // Top-level loops are serialized; nested calls run inline instead.
+  std::mutex loop_mu_;
+
+  // Dispatch handshake: caller publishes (loop_, epoch_) under mu_ and
+  // wakes the workers; each worker runs its slot exactly once per epoch
+  // and reports back through done_workers_.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t epoch_ = 0;
+  std::size_t done_workers_ = 0;
+  Loop* loop_ = nullptr;
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> loops_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::mutex publish_mu_;
+  Stats published_;
+};
+
+/// Maps fn over [0, n) through `pool`, or serially (same chunking) when
+/// pool is null — the common "optional parallelism" shape for library
+/// code whose callers may not have a pool.
+template <typename Fn>
+auto map_indexed(ThreadPool* pool, std::size_t n, Fn&& fn)
+    -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {
+  using T = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+  if (pool != nullptr) return pool->parallel_map(n, fn);
+  std::vector<T> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(fn(i));
+  return out;
+}
+
+}  // namespace exaeff::exec

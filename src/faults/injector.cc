@@ -134,7 +134,7 @@ bool FaultModel::apply(telemetry::NodeSample& sample) {
   return true;
 }
 
-void FaultModel::publish_metrics() const {
+void publish_fault_counters(const FaultCounters& counters) {
   if (!obs::metrics_enabled()) return;
   auto& reg = obs::MetricsRegistry::global();
   const char* help = "Faults injected into the telemetry stream";
@@ -144,19 +144,54 @@ void FaultModel::publish_metrics() const {
           .inc(v);
     }
   };
-  publish("drop_iid", counters_.dropped_iid);
-  publish("drop_burst", counters_.dropped_burst);
-  publish("drop_outage", counters_.dropped_outage);
-  publish("stuck", counters_.stuck);
-  publish("spike", counters_.spiked);
-  publish("skew", counters_.skewed);
-  publish("reorder", counters_.reordered);
+  publish("drop_iid", counters.dropped_iid);
+  publish("drop_burst", counters.dropped_burst);
+  publish("drop_outage", counters.dropped_outage);
+  publish("stuck", counters.stuck);
+  publish("spike", counters.spiked);
+  publish("skew", counters.skewed);
+  publish("reorder", counters.reordered);
   reg.counter("exaeff_faults_samples_total",
               "Samples examined by the fault injector")
-      .inc(counters_.samples_in);
+      .inc(counters.samples_in);
   reg.counter("exaeff_faults_passed_total",
               "Samples that survived fault injection")
-      .inc(counters_.passed);
+      .inc(counters.passed);
+}
+
+void FaultModel::publish_metrics() const {
+  publish_fault_counters(counters_);
+}
+
+// A worker-local shard: faults the chunk's stream, forwards survivors to
+// the wrapped shard set's own shard.
+struct FaultedJobShards::Shard final : sched::JobSampleSink {
+  std::unique_ptr<sched::JobSampleSink> inner;
+  JobFaultInjector injector;
+
+  Shard(std::unique_ptr<sched::JobSampleSink> in, const FaultPlan& plan)
+      : inner(std::move(in)), injector(*inner, plan) {}
+
+  void on_job_sample(const telemetry::GcdSample& sample,
+                     const sched::Job& job) override {
+    injector.on_job_sample(sample, job);
+  }
+  void on_node_sample(const telemetry::NodeSample& sample) override {
+    injector.on_node_sample(sample);
+  }
+};
+
+std::unique_ptr<sched::JobSampleSink> FaultedJobShards::make_shard() const {
+  return std::make_unique<Shard>(inner_.make_shard(), plan_);
+}
+
+void FaultedJobShards::merge_shard(
+    std::unique_ptr<sched::JobSampleSink> shard) {
+  auto* s = dynamic_cast<Shard*>(shard.get());
+  EXAEFF_REQUIRE(s != nullptr,
+                 "FaultedJobShards: foreign shard passed to merge_shard");
+  counters_ += s->injector.counters();
+  inner_.merge_shard(std::move(s->inner));
 }
 
 void FaultInjector::release_due() {

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -43,7 +44,25 @@ struct FaultCounters {
   [[nodiscard]] std::uint64_t dropped() const {
     return dropped_iid + dropped_burst + dropped_outage;
   }
+
+  /// Tally merge for parallel sharding.
+  FaultCounters& operator+=(const FaultCounters& o) {
+    samples_in += o.samples_in;
+    passed += o.passed;
+    dropped_iid += o.dropped_iid;
+    dropped_burst += o.dropped_burst;
+    dropped_outage += o.dropped_outage;
+    stuck += o.stuck;
+    spiked += o.spiked;
+    skewed += o.skewed;
+    reordered += o.reordered;
+    return *this;
+  }
 };
+
+/// Publishes `counters` as exaeff_faults_* registry series (no-op while
+/// metrics are disabled).
+void publish_fault_counters(const FaultCounters& counters);
 
 /// The seeded fault core: decides, per sample, whether it is dropped and
 /// how it is corrupted.  apply() mutates the sample in place and returns
@@ -152,6 +171,38 @@ class JobFaultInjector final : public sched::JobSampleSink {
  private:
   sched::JobSampleSink& downstream_;
   FaultModel model_;
+};
+
+/// JobSinkShards decorator that faults each shard's stream before it
+/// reaches the wrapped shard set (the parallel analogue of wrapping a
+/// sink in JobFaultInjector).
+///
+/// Determinism: every drop/corrupt decision is a stateless hash draw,
+/// so it is unaffected by sharding.  The one exception is the stuck-at
+/// hold state, which lives per shard and thus resets at job-chunk
+/// boundaries; since chunk boundaries are a fixed function of the job
+/// count (never of the thread count), the realization is still
+/// byte-identical for any --jobs=N at a given seed.
+class FaultedJobShards final : public sched::JobSinkShards {
+ public:
+  /// `inner` and `plan` must outlive the shard set.
+  FaultedJobShards(sched::JobSinkShards& inner, const FaultPlan& plan)
+      : inner_(inner), plan_(plan) {}
+
+  [[nodiscard]] std::unique_ptr<sched::JobSampleSink> make_shard()
+      const override;
+  void merge_shard(std::unique_ptr<sched::JobSampleSink> shard) override;
+
+  /// Tallies merged from every shard seen so far.
+  [[nodiscard]] const FaultCounters& counters() const { return counters_; }
+  void publish_metrics() const { publish_fault_counters(counters_); }
+
+ private:
+  struct Shard;
+
+  sched::JobSinkShards& inner_;
+  const FaultPlan& plan_;
+  FaultCounters counters_;
 };
 
 /// Scheduler-log truncation: returns a copy of `log` without the jobs

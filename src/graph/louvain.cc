@@ -2,10 +2,27 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "exec/thread_pool.h"
+
 namespace exaeff::graph {
+
+namespace {
+
+/// Runs body(begin, end) over [0, n), on the pool when one is given.
+/// Only used for element-wise writes, where chunking cannot change the
+/// result.
+void for_range(exec::ThreadPool* pool, std::size_t n,
+               const std::function<void(std::size_t, std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, 0, body);
+  } else {
+    body(0, n);
+  }
+}
+
+}  // namespace
 
 std::size_t LouvainResult::num_communities() const {
   std::unordered_set<VertexId> distinct(community.begin(), community.end());
@@ -19,30 +36,56 @@ std::size_t LouvainResult::total_edge_scans() const {
 }
 
 double modularity(const CsrGraph& g, std::span<const VertexId> community) {
-  EXAEFF_REQUIRE(community.size() == g.num_vertices(),
+  return modularity(g, community, nullptr);
+}
+
+double modularity(const CsrGraph& g, std::span<const VertexId> community,
+                  exec::ThreadPool* pool) {
+  const std::size_t n = g.num_vertices();
+  EXAEFF_REQUIRE(community.size() == n,
                  "community assignment must cover every vertex");
   const double m2 = 2.0 * g.total_weight();
   if (m2 <= 0.0) return 0.0;
 
-  // Q = sum_c [ in_c / 2m - (tot_c / 2m)^2 ]
-  std::unordered_map<VertexId, double> internal;  // 2 * intra-community w
-  std::unordered_map<VertexId, double> total;     // sum of degrees
-  for (std::size_t vi = 0; vi < g.num_vertices(); ++vi) {
-    const auto v = static_cast<VertexId>(vi);
-    const VertexId cv = community[vi];
-    total[cv] += g.weighted_degree(v);
-    const auto nbrs = g.neighbors(v);
-    const auto ws = g.weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      if (community[static_cast<std::size_t>(nbrs[i])] == cv) {
-        internal[cv] += ws[i];
+  // Q = sum_c [ in_c / 2m - (tot_c / 2m)^2 ].  Per-vertex contributions
+  // are independent (scan my neighbors, sum same-community weights); the
+  // community fold and the final sum run serially in index order, so the
+  // result is identical for any thread count.
+  std::vector<double> deg(n, 0.0);
+  std::vector<double> vertex_internal(n, 0.0);
+  for_range(pool, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t vi = begin; vi < end; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      const VertexId cv = community[vi];
+      deg[vi] = g.weighted_degree(v);
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.weights(v);
+      double in_w = 0.0;
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (community[static_cast<std::size_t>(nbrs[i])] == cv) {
+          in_w += ws[i];
+        }
       }
+      vertex_internal[vi] = in_w;
     }
+  });
+
+  std::vector<double> internal(n, 0.0);  // 2 * intra-community w
+  std::vector<double> total(n, 0.0);     // sum of degrees
+  std::vector<bool> present(n, false);
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    const VertexId cv = community[vi];
+    EXAEFF_REQUIRE(cv >= 0 && static_cast<std::size_t>(cv) < n,
+                   "community ids must lie in [0, num_vertices)");
+    const auto c = static_cast<std::size_t>(cv);
+    total[c] += deg[vi];
+    internal[c] += vertex_internal[vi];
+    present[c] = true;
   }
   double q = 0.0;
-  for (const auto& [c, tot] : total) {
-    const double in_c = internal.count(c) ? internal.at(c) : 0.0;
-    q += in_c / m2 - (tot / m2) * (tot / m2);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (!present[c]) continue;
+    q += internal[c] / m2 - (total[c] / m2) * (total[c] / m2);
   }
   return q;
 }
@@ -62,10 +105,12 @@ void local_move_pass(const CsrGraph& g, const LouvainParams& params,
 
   std::vector<double> k(n);       // weighted degree of each vertex
   std::vector<double> sigma(n);   // total degree of each community
-  for (std::size_t v = 0; v < n; ++v) {
-    k[v] = g.weighted_degree(static_cast<VertexId>(v));
-    sigma[v] = k[v];
-  }
+  for_range(params.pool, n, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      k[v] = g.weighted_degree(static_cast<VertexId>(v));
+      sigma[v] = k[v];
+    }
+  });
 
   // Randomized visiting order decorrelates move sequences across levels.
   std::vector<VertexId> order(n);
@@ -74,9 +119,24 @@ void local_move_pass(const CsrGraph& g, const LouvainParams& params,
     std::swap(order[i - 1], order[rng.uniform_index(i)]);
   }
 
-  // Scratch: weight of edges from the current vertex to each community.
-  std::unordered_map<VertexId, double> links;
-  links.reserve(64);
+  // Scratch: weight of edges from the current vertex to each candidate
+  // community, as a stamped flat array.  `touched` records candidates in
+  // first-encounter order (own community first, then neighbor order), so
+  // the best-gain scan below is deterministic — no hash-order iteration.
+  std::vector<double> link_w(n, 0.0);
+  std::vector<std::uint64_t> stamp(n, 0);
+  std::uint64_t current_stamp = 0;
+  std::vector<VertexId> touched;
+  touched.reserve(64);
+  const auto touch = [&](VertexId c, double w) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (stamp[ci] != current_stamp) {
+      stamp[ci] = current_stamp;
+      link_w[ci] = 0.0;
+      touched.push_back(c);
+    }
+    link_w[ci] += w;
+  };
 
   for (int it = 0; it < params.max_iterations; ++it) {
     std::size_t moves = 0;
@@ -88,24 +148,26 @@ void local_move_pass(const CsrGraph& g, const LouvainParams& params,
       const auto ws = g.weights(v);
       stats.edge_scans += nbrs.size();
 
-      links.clear();
-      links[c_old] = 0.0;  // allow staying put at zero link weight
+      ++current_stamp;
+      touched.clear();
+      touch(c_old, 0.0);  // allow staying put at zero link weight
       for (std::size_t i = 0; i < nbrs.size(); ++i) {
-        const VertexId c = community[static_cast<std::size_t>(nbrs[i])];
-        if (nbrs[i] != v) links[c] += ws[i];
+        if (nbrs[i] != v) {
+          touch(community[static_cast<std::size_t>(nbrs[i])], ws[i]);
+        }
       }
 
       // Remove v from its community for the gain comparison.
       sigma[static_cast<std::size_t>(c_old)] -= k[vi];
-      const double link_old = links.at(c_old);
+      const double link_old = link_w[static_cast<std::size_t>(c_old)];
 
       VertexId c_best = c_old;
       double best_gain = 0.0;
-      for (const auto& [c, link_w] : links) {
+      for (const VertexId c : touched) {
         if (c == c_old) continue;
         // dQ(move to c) - dQ(stay) up to a constant factor 1/m:
         const double gain =
-            (link_w - link_old) -
+            (link_w[static_cast<std::size_t>(c)] - link_old) -
             k[vi] * (sigma[static_cast<std::size_t>(c)] -
                      sigma[static_cast<std::size_t>(c_old)]) /
                 m2;
@@ -130,7 +192,8 @@ void local_move_pass(const CsrGraph& g, const LouvainParams& params,
 /// Builds the aggregated graph where each community becomes a vertex.
 /// `renumber` maps old community ids to dense new vertex ids.
 CsrGraph aggregate(const CsrGraph& g, std::vector<VertexId>& community,
-                   std::vector<VertexId>& renumber) {
+                   std::vector<VertexId>& renumber,
+                   exec::ThreadPool* pool) {
   const std::size_t n = g.num_vertices();
   renumber.assign(n, -1);
   VertexId next = 0;
@@ -142,29 +205,40 @@ CsrGraph aggregate(const CsrGraph& g, std::vector<VertexId>& community,
     community[v] = renumber[static_cast<std::size_t>(community[v])];
   }
 
-  std::vector<Edge> edges;
-  edges.reserve(g.num_edges());
-  std::vector<double> self_loop(static_cast<std::size_t>(next), 0.0);
-  for (std::size_t vi = 0; vi < n; ++vi) {
-    const auto v = static_cast<VertexId>(vi);
-    const VertexId cu = community[vi];
-    const auto nbrs = g.neighbors(v);
-    const auto ws = g.weights(v);
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const VertexId cv = community[static_cast<std::size_t>(nbrs[i])];
-      if (cu < cv) {
-        edges.push_back(Edge{cu, cv, ws[i]});
-      } else if (cu == cv && v < nbrs[i]) {
-        self_loop[static_cast<std::size_t>(cu)] += ws[i];
-      }
-    }
-  }
   // CsrGraph drops self-loops; intra-community weight is preserved by the
   // modularity bookkeeping at the top level, so losing the loops in the
-  // aggregated topology only forgoes a constant in later gains.  To keep
-  // gains exact we fold self-loop weight back in as vertex "mass" via a
-  // synthetic two-vertex expansion — unnecessary in practice: Louvain's
+  // aggregated topology only forgoes a constant in later gains — Louvain's
   // later passes only need inter-community weights to decide merges.
+  //
+  // The neighbor scan runs per chunk of vertices; concatenating the
+  // per-chunk edge lists in chunk order reproduces the serial scan order
+  // exactly, so from_edges sees the identical input for any thread count.
+  const auto chunk_edges = [&](std::size_t begin, std::size_t end) {
+    std::vector<Edge> out;
+    for (std::size_t vi = begin; vi < end; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      const VertexId cu = community[vi];
+      const auto nbrs = g.neighbors(v);
+      const auto ws = g.weights(v);
+      for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        const VertexId cv = community[static_cast<std::size_t>(nbrs[i])];
+        if (cu < cv) out.push_back(Edge{cu, cv, ws[i]});
+      }
+    }
+    return out;
+  };
+
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  if (pool != nullptr) {
+    auto chunks = pool->map_chunks(
+        n, exec::ThreadPool::chunk_grain(n), chunk_edges);
+    for (auto& c : chunks) {
+      edges.insert(edges.end(), c.begin(), c.end());
+    }
+  } else {
+    edges = chunk_edges(0, n);
+  }
   return CsrGraph::from_edges(static_cast<std::size_t>(next), edges);
 }
 
@@ -185,7 +259,7 @@ LouvainResult louvain(const CsrGraph& g, const LouvainParams& params) {
   std::vector<VertexId> level_community;
   std::vector<VertexId> renumber;
   std::vector<VertexId> best_community = result.community;
-  double best_modularity = modularity(g, result.community);
+  double best_modularity = modularity(g, result.community, params.pool);
 
   for (int pass = 0; pass < params.max_passes; ++pass) {
     PassStats stats;
@@ -200,13 +274,13 @@ LouvainResult louvain(const CsrGraph& g, const LouvainParams& params) {
     }
 
     const std::size_t before = level.num_vertices();
-    CsrGraph next = aggregate(level, level_community, renumber);
+    CsrGraph next = aggregate(level, level_community, renumber, params.pool);
     // aggregate() renumbered the community ids to dense vertex ids of the
     // next level; re-project the original vertices the same way.
     for (auto& c : result.community) {
       c = renumber[static_cast<std::size_t>(c)];
     }
-    stats.modularity = modularity(g, result.community);
+    stats.modularity = modularity(g, result.community, params.pool);
     result.passes.push_back(stats);
 
     // Keep the best assignment seen: aggregation drops intra-community

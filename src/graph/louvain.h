@@ -13,6 +13,10 @@
 #include "common/rng.h"
 #include "graph/csr.h"
 
+namespace exaeff::exec {
+class ThreadPool;
+}  // namespace exaeff::exec
+
 namespace exaeff::graph {
 
 /// Algorithm controls.
@@ -21,6 +25,12 @@ struct LouvainParams {
   int max_iterations = 25;      ///< local-move sweeps per pass
   double min_gain = 1e-7;       ///< stop a pass when total gain is below
   std::uint64_t seed = 1;       ///< vertex visiting order shuffle
+  /// When set, the per-pass neighbor scans (degree init, modularity
+  /// evaluation, aggregation) run on the pool.  The greedy move loop is
+  /// inherently sequential and stays serial; community selection uses
+  /// deterministic encounter-order tie-breaking, so results do not
+  /// depend on the thread count.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Work/quality record of one pass (one aggregation level).
@@ -46,9 +56,15 @@ struct LouvainResult {
   [[nodiscard]] std::size_t total_edge_scans() const;
 };
 
-/// Modularity Q of a given community assignment on g.
+/// Modularity Q of a given community assignment on g.  Community ids
+/// must lie in [0, num_vertices).  The pool overload evaluates per-vertex
+/// contributions concurrently and folds them in vertex order, so both
+/// overloads agree for any thread count.
 [[nodiscard]] double modularity(const CsrGraph& g,
                                 std::span<const VertexId> community);
+[[nodiscard]] double modularity(const CsrGraph& g,
+                                std::span<const VertexId> community,
+                                exec::ThreadPool* pool);
 
 /// Runs Louvain on g.
 [[nodiscard]] LouvainResult louvain(const CsrGraph& g,

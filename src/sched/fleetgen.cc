@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "gpusim/power_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -184,55 +185,62 @@ SchedulerLog FleetGenerator::generate_schedule() const {
   return log;
 }
 
-void FleetGenerator::generate_telemetry(const SchedulerLog& log,
-                                        JobSampleSink& sink) const {
-  EXAEFF_TRACE_SPAN("fleetgen.telemetry");
-  // Hot loop: tally into plain locals, publish into the registry once at
-  // the end so the per-sample path stays atomics-free.
+namespace {
+
+struct EmitTally {
   std::uint64_t gcd_samples = 0;
   std::uint64_t node_samples = 0;
   std::uint64_t phase_count = 0;
-  const auto& spec = config_.system.node.gcd;
-  const gpusim::PowerModel power_model(spec);
-  const double window = config_.telemetry_window_s;
-  const double near_tdp = 0.85 * spec.tdp_w;
-  const Rng root(config_.seed ^ 0x7E1E7E1EULL);
 
-  struct PhaseSpan {
-    double begin_s;
-    double end_s;
-    double steady_w;
-    bool near_tdp;
-  };
+  EmitTally& operator+=(const EmitTally& o) {
+    gcd_samples += o.gcd_samples;
+    node_samples += o.node_samples;
+    phase_count += o.phase_count;
+    return *this;
+  }
+};
 
-  const double innovation_sd =
-      config_.noise_stddev_w *
-      std::sqrt(std::max(0.0, 1.0 - config_.noise_rho * config_.noise_rho));
+// Per-job telemetry synthesis, shared by the serial and sharded
+// generate_telemetry paths.  Every job derives all of its randomness
+// from root.split(job_id), so jobs can be emitted in any grouping — the
+// stream each job sees is identical either way.  The emitter itself is
+// single-threaded (reused phase scratch); the parallel path constructs
+// one per chunk.
+class JobEmitter {
+ public:
+  JobEmitter(const FleetGenerator& gen, const CampaignConfig& cfg)
+      : gen_(gen),
+        cfg_(cfg),
+        spec_(cfg.system.node.gcd),
+        power_model_(spec_),
+        window_(cfg.telemetry_window_s),
+        near_tdp_(0.85 * spec_.tdp_w),
+        innovation_sd_(
+            cfg.noise_stddev_w *
+            std::sqrt(std::max(0.0, 1.0 - cfg.noise_rho * cfg.noise_rho))),
+        root_(cfg.seed ^ 0x7E1E7E1EULL) {}
 
-  std::vector<PhaseSpan> phases;
-  for (std::size_t ji = 0; ji < log.jobs().size(); ++ji) {
-    const Job& job = log.jobs()[ji];
-    Rng job_rng = root.split(job.job_id);
+  void emit(const Job& job, JobSampleSink& sink) {
+    Rng job_rng = root_.split(job.job_id);
 
     // Phase schedule shared by all ranks of the job (bulk-synchronous).
-    const auto& profile = profile_for(job.domain);
-    phases.clear();
+    const auto& profile = gen_.profile_for(job.domain);
+    phases_.clear();
     double t = job.begin_s;
     while (t < job.end_s) {
       const auto sampled = profile.sample_phase(job_rng);
       const double steady =
-          power_model.power_at(sampled.kernel, spec.f_max_mhz);
+          power_model_.power_at(sampled.kernel, spec_.f_max_mhz);
       const double end = std::min(t + sampled.nominal_duration_s, job.end_s);
-      phases.push_back(PhaseSpan{t, end, steady, steady > near_tdp});
+      phases_.push_back(PhaseSpan{t, end, steady, steady > near_tdp_});
       t = end;
     }
-    if (phases.empty()) continue;
-    phase_count += phases.size();
+    if (phases_.empty()) return;
+    tally_.phase_count += phases_.size();
 
-    const double first_window =
-        std::ceil(job.begin_s / window) * window;
-    const auto gcds = static_cast<std::uint16_t>(
-        config_.system.node.gcds_per_node());
+    const double first_window = std::ceil(job.begin_s / window_) * window_;
+    const auto gcds =
+        static_cast<std::uint16_t>(cfg_.system.node.gcds_per_node());
 
     for (std::uint32_t node : job.nodes) {
       for (std::uint16_t g = 0; g < gcds; ++g) {
@@ -240,77 +248,145 @@ void FleetGenerator::generate_telemetry(const SchedulerLog& log,
             job_rng.split((static_cast<std::uint64_t>(node) << 8) | g);
         double noise = 0.0;
         std::size_t phase_idx = 0;
-        for (double tw = first_window; tw < job.end_s; tw += window) {
-          while (phase_idx + 1 < phases.size() &&
-                 phases[phase_idx].end_s <= tw) {
+        for (double tw = first_window; tw < job.end_s; tw += window_) {
+          while (phase_idx + 1 < phases_.size() &&
+                 phases_[phase_idx].end_s <= tw) {
             ++phase_idx;
           }
-          const PhaseSpan& ph = phases[phase_idx];
-          noise = config_.noise_rho * noise +
-                  chan_rng.normal(0.0, innovation_sd);
+          const PhaseSpan& ph = phases_[phase_idx];
+          noise = cfg_.noise_rho * noise +
+                  chan_rng.normal(0.0, innovation_sd_);
           double p = ph.steady_w + noise;
           if (ph.near_tdp &&
-              chan_rng.bernoulli(config_.boost_sample_probability)) {
-            p += chan_rng.exponential(config_.boost_extra_w);
+              chan_rng.bernoulli(cfg_.boost_sample_probability)) {
+            p += chan_rng.exponential(cfg_.boost_extra_w);
           }
-          p = std::clamp(p, spec.idle_power_w * 0.97, spec.boost_power_w);
+          p = std::clamp(p, spec_.idle_power_w * 0.97, spec_.boost_power_w);
           telemetry::GcdSample s;
           s.t_s = tw;
           s.node_id = node;
           s.gcd_index = g;
           s.power_w = static_cast<float>(p);
           sink.on_job_sample(s, job);
-          ++gcd_samples;
+          ++tally_.gcd_samples;
         }
       }
 
-      if (config_.emit_node_samples) {
+      if (cfg_.emit_node_samples) {
         // One synthetic CPU/node record per window, derived from the mean
         // GPU load of the job's phases on this node.
         Rng node_rng = job_rng.split(0xC0000000ULL | node);
         std::size_t phase_idx = 0;
-        for (double tw = first_window; tw < job.end_s; tw += window) {
-          while (phase_idx + 1 < phases.size() &&
-                 phases[phase_idx].end_s <= tw) {
+        for (double tw = first_window; tw < job.end_s; tw += window_) {
+          while (phase_idx + 1 < phases_.size() &&
+                 phases_[phase_idx].end_s <= tw) {
             ++phase_idx;
           }
-          const PhaseSpan& ph = phases[phase_idx];
+          const PhaseSpan& ph = phases_[phase_idx];
           const double rel = std::clamp(
-              (ph.steady_w - spec.idle_power_w) /
-                  (spec.tdp_w - spec.idle_power_w),
+              (ph.steady_w - spec_.idle_power_w) /
+                  (spec_.tdp_w - spec_.idle_power_w),
               0.0, 1.0);
           const double cpu_util = std::clamp(
               0.15 + 0.55 * rel + node_rng.normal(0.0, 0.05), 0.0, 1.0);
           telemetry::NodeSample ns;
           ns.t_s = tw;
           ns.node_id = node;
-          ns.cpu_power_w = static_cast<float>(
-              config_.system.node.cpu.power(cpu_util));
+          ns.cpu_power_w =
+              static_cast<float>(cfg_.system.node.cpu.power(cpu_util));
           ns.node_input_w = static_cast<float>(
-              ns.cpu_power_w + config_.system.node.other_power_w +
+              ns.cpu_power_w + cfg_.system.node.other_power_w +
               static_cast<double>(gcds) * ph.steady_w);
           sink.on_node_sample(ns);
-          ++node_samples;
+          ++tally_.node_samples;
         }
       }
     }
   }
 
-  if (obs::metrics_enabled()) {
-    auto& reg = obs::MetricsRegistry::global();
-    reg.counter("exaeff_samples_total",
-                "Telemetry samples synthesized by the pipeline")
-        .inc(gcd_samples + node_samples);
-    reg.counter("exaeff_fleetgen_gcd_samples_total",
-                "Per-GCD power records emitted by fleetgen")
-        .inc(gcd_samples);
-    reg.counter("exaeff_fleetgen_node_samples_total",
-                "Node-level records emitted by fleetgen")
-        .inc(node_samples);
-    reg.counter("exaeff_fleetgen_phases_total",
-                "Application phases synthesized by fleetgen")
-        .inc(phase_count);
+  [[nodiscard]] const EmitTally& tally() const { return tally_; }
+
+ private:
+  struct PhaseSpan {
+    double begin_s;
+    double end_s;
+    double steady_w;
+    bool near_tdp;
+  };
+
+  const FleetGenerator& gen_;
+  const CampaignConfig& cfg_;
+  const gpusim::DeviceSpec& spec_;
+  gpusim::PowerModel power_model_;
+  double window_;
+  double near_tdp_;
+  double innovation_sd_;
+  Rng root_;
+  std::vector<PhaseSpan> phases_;  // scratch reused across jobs
+  EmitTally tally_;
+};
+
+void publish_tally(const EmitTally& tally) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("exaeff_samples_total",
+              "Telemetry samples synthesized by the pipeline")
+      .inc(tally.gcd_samples + tally.node_samples);
+  reg.counter("exaeff_fleetgen_gcd_samples_total",
+              "Per-GCD power records emitted by fleetgen")
+      .inc(tally.gcd_samples);
+  reg.counter("exaeff_fleetgen_node_samples_total",
+              "Node-level records emitted by fleetgen")
+      .inc(tally.node_samples);
+  reg.counter("exaeff_fleetgen_phases_total",
+              "Application phases synthesized by fleetgen")
+      .inc(tally.phase_count);
+}
+
+}  // namespace
+
+void FleetGenerator::generate_telemetry(const SchedulerLog& log,
+                                        JobSampleSink& sink) const {
+  EXAEFF_TRACE_SPAN("fleetgen.telemetry");
+  // Hot loop: tally into plain locals, publish into the registry once at
+  // the end so the per-sample path stays atomics-free.
+  JobEmitter emitter(*this, config_);
+  for (const Job& job : log.jobs()) emitter.emit(job, sink);
+  publish_tally(emitter.tally());
+}
+
+void FleetGenerator::generate_telemetry(const SchedulerLog& log,
+                                        JobSinkShards& shards,
+                                        exec::ThreadPool& pool) const {
+  EXAEFF_TRACE_SPAN("fleetgen.telemetry");
+  const auto& jobs = log.jobs();
+
+  struct ChunkOut {
+    std::unique_ptr<JobSampleSink> sink;
+    EmitTally tally;
+  };
+  // Chunk boundaries depend only on the job count (see
+  // ThreadPool::chunk_grain), so the shard partition — and therefore the
+  // merged output — is identical for any thread count.
+  auto outs = pool.map_chunks(
+      jobs.size(), exec::ThreadPool::chunk_grain(jobs.size()),
+      [&](std::size_t begin, std::size_t end) {
+        ChunkOut out;
+        out.sink = shards.make_shard();
+        JobEmitter emitter(*this, config_);
+        for (std::size_t i = begin; i < end; ++i) {
+          emitter.emit(jobs[i], *out.sink);
+        }
+        out.tally = emitter.tally();
+        return out;
+      });
+
+  EmitTally total;
+  for (auto& out : outs) {
+    total += out.tally;
+    shards.merge_shard(std::move(out.sink));
   }
+  publish_tally(total);
 }
 
 }  // namespace exaeff::sched

@@ -26,6 +26,10 @@
 #include "telemetry/sample.h"
 #include "workloads/app_profile.h"
 
+namespace exaeff::exec {
+class ThreadPool;
+}  // namespace exaeff::exec
+
 namespace exaeff::sched {
 
 /// Receiver of joined telemetry (sample plus the job it belongs to).
@@ -36,6 +40,20 @@ class JobSampleSink {
                              const Job& job) = 0;
   /// Optional node-level channel (CPU power etc.).
   virtual void on_node_sample(const telemetry::NodeSample& /*sample*/) {}
+};
+
+/// Factory/merger of worker-local sinks for the parallel telemetry
+/// path.  Each chunk of jobs writes into its own shard, and shards are
+/// folded back in ascending job-chunk order, so the merged result is
+/// byte-identical for any thread count (see exec/thread_pool.h).
+///
+/// make_shard() is called concurrently from pool workers and must be
+/// thread-safe; merge_shard() is called serially, in chunk order.
+class JobSinkShards {
+ public:
+  virtual ~JobSinkShards() = default;
+  [[nodiscard]] virtual std::unique_ptr<JobSampleSink> make_shard() const = 0;
+  virtual void merge_shard(std::unique_ptr<JobSampleSink> shard) = 0;
 };
 
 /// Campaign parameters.
@@ -81,6 +99,15 @@ class FleetGenerator {
 
   /// Stage 2: synthesize per-GCD telemetry for every job into `sink`.
   void generate_telemetry(const SchedulerLog& log, JobSampleSink& sink) const;
+
+  /// Parallel stage 2: jobs are chunked across `pool`, each chunk
+  /// emitting into its own shard from `shards`, which are merged back
+  /// in job-index order.  Every job derives its stream from
+  /// root.split(job_id), so the shard contents — and therefore the
+  /// merged artifact — are byte-identical to the serial overload for
+  /// any thread count.
+  void generate_telemetry(const SchedulerLog& log, JobSinkShards& shards,
+                          exec::ThreadPool& pool) const;
 
   /// Profile used for a domain's applications.
   [[nodiscard]] const workloads::AppProfile& profile_for(

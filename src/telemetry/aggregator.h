@@ -67,6 +67,15 @@ class Aggregator final : public TelemetrySink {
   }
   [[nodiscard]] const GapPolicy& gap_policy() const { return gap_; }
 
+  /// Pre-sizes the channel tables for a known channel population (e.g.
+  /// gcds_per_node() + 1 for a node run), avoiding rehash churn during
+  /// ingest.  Purely a capacity hint; safe to skip or over-estimate.
+  void reserve_channels(std::size_t gcd_channels,
+                        std::size_t node_channels) {
+    gcd_windows_.reserve(gcd_channels);
+    node_windows_.reserve(node_channels);
+  }
+
   void on_gcd_sample(const GcdSample& sample) override;
   void on_node_sample(const NodeSample& sample) override;
 

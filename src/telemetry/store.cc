@@ -110,6 +110,13 @@ std::vector<GcdSample> TelemetryStore::series(std::uint32_t node_id,
         return s.t_s < t0;
       });
   std::vector<GcdSample> out;
+  // Closed-form grid bound: one record per window in [t0, t1), capped so
+  // a degenerate query range cannot force a giant allocation.
+  if (t1 > t0 && window_s_ > 0.0) {
+    const double windows = (t1 - t0) / window_s_;
+    out.reserve(static_cast<std::size_t>(
+                    std::min(windows, 1048576.0)) + 1);
+  }
   for (auto it = lo; it != gcd_samples_.end() && it->node_id == node_id &&
                      it->gcd_index == gcd_index && it->t_s < t1;
        ++it) {

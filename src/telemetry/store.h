@@ -62,6 +62,14 @@ class TelemetryStore final : public TelemetrySink {
   /// used when converting power records to energy.
   explicit TelemetryStore(double window_s = 15.0) : window_s_(window_s) {}
 
+  /// Pre-sizes the record buffers for a known ingest volume — e.g. the
+  /// closed-form campaign grid count from sched::expected_gcd_samples()
+  /// — so streaming ingest never reallocates.  A capacity hint only.
+  void reserve(std::size_t gcd_records, std::size_t node_records = 0) {
+    gcd_samples_.reserve(gcd_samples_.size() + gcd_records);
+    node_samples_.reserve(node_samples_.size() + node_records);
+  }
+
   void on_gcd_sample(const GcdSample& sample) override {
     gcd_samples_.push_back(sample);
   }

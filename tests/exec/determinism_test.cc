@@ -1,0 +1,228 @@
+// End-to-end determinism contract of the execution engine: every
+// pipeline stage that accepts a ThreadPool must produce exactly the
+// same artifact for any thread count — including 1 — and the sharded
+// paths must be invariant with and without fault injection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node_sim.h"
+#include "common/units.h"
+#include "core/accumulator.h"
+#include "core/characterization.h"
+#include "exec/thread_pool.h"
+#include "faults/injector.h"
+#include "graph/generators.h"
+#include "graph/louvain.h"
+#include "sched/fleetgen.h"
+#include "sched/join.h"
+#include "telemetry/store.h"
+#include "workloads/vai.h"
+
+namespace exaeff {
+namespace {
+
+sched::CampaignConfig small_config() {
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(12);
+  cfg.duration_s = 8.0 * units::kHour;
+  cfg.seed = 21;
+  return cfg;
+}
+
+/// Runs the sharded campaign path on a pool of `threads` and returns the
+/// filled accumulator (plus fault counters when `plan` is active).
+struct CampaignRun {
+  std::unique_ptr<core::CampaignAccumulator> acc;
+  faults::FaultCounters counters;
+};
+
+CampaignRun run_sharded(std::size_t threads, const faults::FaultPlan& plan) {
+  const auto cfg = small_config();
+  const auto library =
+      workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  CampaignRun run;
+  run.acc = std::make_unique<core::CampaignAccumulator>(
+      cfg.telemetry_window_s, core::RegionBoundaries{});
+  exec::ThreadPool pool(threads);
+  core::AccumulatorShards shards(*run.acc);
+  if (plan.any_enabled()) {
+    faults::FaultedJobShards faulted(shards, plan);
+    gen.generate_telemetry(log, faulted, pool);
+    run.counters = faulted.counters();
+  } else {
+    gen.generate_telemetry(log, shards, pool);
+  }
+  return run;
+}
+
+void expect_same_campaign(const CampaignRun& a, const CampaignRun& b) {
+  ASSERT_EQ(a.acc->gcd_sample_count(), b.acc->gcd_sample_count());
+  // Bitwise energy equality: the merge order is chunk order in both
+  // runs, so even floating-point folds must agree exactly.
+  EXPECT_EQ(a.acc->total_gpu_energy_j(), b.acc->total_gpu_energy_j());
+  const auto da = a.acc->decomposition();
+  const auto db = b.acc->decomposition();
+  EXPECT_EQ(da.total_energy_j, db.total_energy_j);
+  EXPECT_EQ(da.total_gpu_hours, db.total_gpu_hours);
+  for (std::size_t r = 0; r < core::kRegionCount; ++r) {
+    EXPECT_EQ(da.regions[r].energy_j, db.regions[r].energy_j);
+    EXPECT_EQ(da.regions[r].gpu_hours, db.regions[r].gpu_hours);
+  }
+}
+
+TEST(CampaignDeterminism, CleanShardedRunIsThreadCountInvariant) {
+  const faults::FaultPlan clean;
+  const auto one = run_sharded(1, clean);
+  const auto two = run_sharded(2, clean);
+  const auto eight = run_sharded(8, clean);
+  ASSERT_GT(one.acc->gcd_sample_count(), 0u);
+  expect_same_campaign(one, two);
+  expect_same_campaign(one, eight);
+}
+
+TEST(CampaignDeterminism, ShardedRunMatchesSerialSinkSampleForSample) {
+  // The serial (unsharded) API stays the reference: the sharded path
+  // must deliver the same records with the same job attribution.
+  const auto cfg = small_config();
+  const auto library =
+      workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+
+  core::CampaignAccumulator serial(cfg.telemetry_window_s,
+                                   core::RegionBoundaries{});
+  gen.generate_telemetry(log, serial);
+
+  core::CampaignAccumulator sharded(cfg.telemetry_window_s,
+                                    core::RegionBoundaries{});
+  exec::ThreadPool pool(4);
+  core::AccumulatorShards shards(sharded);
+  gen.generate_telemetry(log, shards, pool);
+
+  ASSERT_EQ(serial.gcd_sample_count(), sharded.gcd_sample_count());
+  // Shards fold into per-shard sub-sums before the final merge, so the
+  // totals can differ by rounding — but only by rounding.
+  const double rel = sharded.total_gpu_energy_j() /
+                     serial.total_gpu_energy_j();
+  EXPECT_NEAR(rel, 1.0, 1e-12);
+}
+
+TEST(CampaignDeterminism, FaultedShardedRunIsThreadCountInvariant) {
+  faults::FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_probability = 0.1;
+  plan.stuck.probability = 0.02;
+  plan.stuck.param = 60.0;
+  const auto one = run_sharded(1, plan);
+  const auto eight = run_sharded(8, plan);
+  ASSERT_GT(one.counters.dropped(), 0u);
+  expect_same_campaign(one, eight);
+  EXPECT_EQ(one.counters.passed, eight.counters.passed);
+  EXPECT_EQ(one.counters.dropped(), eight.counters.dropped());
+}
+
+TEST(NodeSimDeterminism, PooledTraceMatchesSerialExactly) {
+  const auto spec = gpusim::mi250x_gcd();
+  const std::vector<gpusim::KernelDesc> phases = {
+      workloads::vai::make_kernel(spec, 1.0).scaled(4.0),
+      workloads::vai::make_kernel(spec, 64.0).scaled(4.0)};
+  const cluster::NodeSpec node;
+
+  const auto run = [&](exec::ThreadPool* pool) {
+    telemetry::TelemetryStore store(15.0);
+    store.reserve(1024, 128);  // closed-form hint path
+    cluster::NodeRunOptions opts;
+    opts.node_id = 3;
+    opts.pool = pool;
+    Rng rng(11);
+    const auto result = cluster::simulate_node_job(
+        node, phases, gpusim::PowerPolicy::none(), opts, rng, store);
+    store.sort();
+    return std::pair<cluster::NodeRunResult,
+                     std::vector<telemetry::GcdSample>>{
+        result, {store.gcd_samples().begin(), store.gcd_samples().end()}};
+  };
+
+  exec::ThreadPool pool(4);
+  const auto serial = run(nullptr);
+  const auto pooled = run(&pool);
+  EXPECT_EQ(serial.first.wall_time_s, pooled.first.wall_time_s);
+  EXPECT_EQ(serial.first.gpu_energy_j, pooled.first.gpu_energy_j);
+  ASSERT_EQ(serial.second.size(), pooled.second.size());
+  for (std::size_t i = 0; i < serial.second.size(); ++i) {
+    EXPECT_EQ(serial.second[i].t_s, pooled.second[i].t_s);
+    EXPECT_EQ(serial.second[i].gcd_index, pooled.second[i].gcd_index);
+    EXPECT_EQ(serial.second[i].power_w, pooled.second[i].power_w);
+  }
+}
+
+TEST(CharacterizationDeterminism, PooledSweepMatchesSerialExactly) {
+  const auto spec = gpusim::mi250x_gcd();
+  const auto serial = core::characterize(spec);
+  core::CharacterizationOptions opts;
+  exec::ThreadPool pool(4);
+  opts.pool = &pool;
+  const auto pooled = core::characterize(spec, opts);
+  for (auto cls : {core::BenchClass::kComputeIntensive,
+                   core::BenchClass::kMemoryIntensive}) {
+    for (auto type : {core::CapType::kFrequency, core::CapType::kPower}) {
+      const auto a = serial.rows(cls, type);
+      const auto b = pooled.rows(cls, type);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].setting, b[i].setting);
+        EXPECT_EQ(a[i].avg_power_pct, b[i].avg_power_pct);
+        EXPECT_EQ(a[i].runtime_pct, b[i].runtime_pct);
+        EXPECT_EQ(a[i].energy_pct, b[i].energy_pct);
+      }
+    }
+  }
+}
+
+TEST(LouvainDeterminism, PooledPassesMatchSerialExactly) {
+  graph::RmatParams rparams;
+  rparams.scale = 9;
+  rparams.edge_factor = 10.0;
+  Rng grng(33);
+  const auto g = graph::rmat(rparams, grng);
+  graph::LouvainParams serial_params;
+  serial_params.seed = 5;
+  const auto serial = graph::louvain(g, serial_params);
+
+  exec::ThreadPool pool(4);
+  graph::LouvainParams pooled_params = serial_params;
+  pooled_params.pool = &pool;
+  const auto pooled = graph::louvain(g, pooled_params);
+
+  EXPECT_EQ(serial.modularity, pooled.modularity);
+  ASSERT_EQ(serial.community.size(), pooled.community.size());
+  for (std::size_t v = 0; v < serial.community.size(); ++v) {
+    ASSERT_EQ(serial.community[v], pooled.community[v]) << "vertex " << v;
+  }
+  ASSERT_EQ(serial.passes.size(), pooled.passes.size());
+  for (std::size_t p = 0; p < serial.passes.size(); ++p) {
+    EXPECT_EQ(serial.passes[p].moves, pooled.passes[p].moves);
+    EXPECT_EQ(serial.passes[p].modularity, pooled.passes[p].modularity);
+  }
+}
+
+TEST(ExpectedSamples, MatchShardedEmissionExactly) {
+  // The closed-form grid count (used by the CLI for reserve() hints and
+  // coverage) must match what the sharded generator actually emits.
+  const auto cfg = small_config();
+  const auto library =
+      workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  const auto expected = sched::expected_gcd_samples(
+      log, cfg.telemetry_window_s, cfg.system.node.gcds_per_node());
+  const auto run = run_sharded(4, faults::FaultPlan{});
+  EXPECT_EQ(run.acc->gcd_sample_count(), expected);
+}
+
+}  // namespace
+}  // namespace exaeff

@@ -1,0 +1,164 @@
+// Tests for the deterministic execution engine: coverage, ordering,
+// exception propagation, nesting, and thread-count invariance of the
+// chunking scheme.
+#include "exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace exaeff::exec {
+namespace {
+
+TEST(JobCount, OverrideAndRestore) {
+  set_job_count(3);
+  EXPECT_EQ(job_count(), 3u);
+  set_job_count(0);  // back to EXAEFF_JOBS / hardware default
+  EXPECT_GE(job_count(), 1u);
+}
+
+TEST(ChunkGrain, IsAFunctionOfSizeOnly) {
+  // ~64 chunks regardless of who asks; tiny loops get grain 1.
+  EXPECT_EQ(ThreadPool::chunk_grain(0), 1u);
+  EXPECT_EQ(ThreadPool::chunk_grain(10), 1u);
+  EXPECT_EQ(ThreadPool::chunk_grain(6400), 100u);
+  const std::size_t n = 123457;
+  const std::size_t g = ThreadPool::chunk_grain(n);
+  EXPECT_LE((n + g - 1) / g, ThreadPool::kChunkTarget);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(3);
+  const auto out =
+      pool.parallel_map(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, MapChunksReturnsContiguousAscendingChunks) {
+  ThreadPool pool(4);
+  const std::size_t n = 1003;
+  const std::size_t grain = 17;
+  const auto chunks = pool.map_chunks(
+      n, grain, [](std::size_t begin, std::size_t end) {
+        return std::pair<std::size_t, std::size_t>{begin, end};
+      });
+  ASSERT_EQ(chunks.size(), (n + grain - 1) / grain);
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : chunks) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_EQ(end, std::min(begin + grain, n));
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST(ThreadPool, FoldIsIdenticalForAnyThreadCount) {
+  // The determinism contract in one assertion: the same map_chunks fold,
+  // bit-compared across pool widths (incl. 1, where no workers exist).
+  const std::size_t n = 54321;
+  const auto fold = [&](ThreadPool& pool) {
+    const auto partials = pool.map_chunks(
+        n, ThreadPool::chunk_grain(n),
+        [](std::size_t begin, std::size_t end) {
+          double s = 0.0;
+          for (std::size_t i = begin; i < end; ++i) {
+            s += 1.0 / (1.0 + static_cast<double>(i));
+          }
+          return s;
+        });
+    double total = 0.0;
+    for (const double p : partials) total += p;
+    return total;
+  };
+  ThreadPool p1(1);
+  ThreadPool p2(2);
+  ThreadPool p8(8);
+  const double a = fold(p1);
+  EXPECT_EQ(a, fold(p2));  // exact: same chunks, same merge order
+  EXPECT_EQ(a, fold(p8));
+}
+
+TEST(ThreadPool, ExceptionsPropagateAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000, 10,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin >= 500) {
+                            throw std::runtime_error("chunk failed");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after an aborted loop.
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(100, 0, [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 100u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  const std::size_t outer = 8;
+  const std::size_t inner = 1000;
+  std::vector<std::size_t> sums(outer, 0);
+  pool.parallel_for(outer, 1, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t o = begin; o < end; ++o) {
+      // Nested loop: must not deadlock, must produce the serial result.
+      std::size_t s = 0;
+      pool.parallel_for(inner, 0,
+                        [&](std::size_t b, std::size_t e) {
+                          for (std::size_t i = b; i < e; ++i) s += i;
+                        });
+      sums[o] = s;
+    }
+  });
+  for (const std::size_t s : sums) EXPECT_EQ(s, inner * (inner - 1) / 2);
+}
+
+TEST(ThreadPool, StatsCountLoopsAndChunks) {
+  ThreadPool pool(2);
+  const auto before = pool.stats();
+  pool.parallel_for(100, 10, [](std::size_t, std::size_t) {});
+  const auto after = pool.stats();
+  EXPECT_EQ(after.loops - before.loops, 1u);
+  EXPECT_EQ(after.chunks - before.chunks, 10u);
+}
+
+TEST(ThreadPool, SingleThreadPoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto out = pool.parallel_map(50, [](std::size_t i) { return i; });
+  ASSERT_EQ(out.size(), 50u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(MapIndexed, NullPoolFallsBackToSerial) {
+  ThreadPool pool(4);
+  const auto serial = map_indexed(nullptr, 100,
+                                  [](std::size_t i) { return 3 * i + 1; });
+  const auto pooled = map_indexed(&pool, 100,
+                                  [](std::size_t i) { return 3 * i + 1; });
+  EXPECT_EQ(serial, pooled);
+}
+
+}  // namespace
+}  // namespace exaeff::exec

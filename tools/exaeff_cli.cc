@@ -19,6 +19,9 @@
 //   --log-level=<level>    debug|info|warn|error (default info)
 //   --faults=<spec>        inject telemetry faults (see faults/fault_plan.h)
 //   --min-coverage=<frac>  refuse projections below this telemetry coverage
+//   --jobs=<N>             worker threads (default: EXAEFF_JOBS env var or
+//                          hardware concurrency); outputs are byte-identical
+//                          for any N, including 1
 //
 // Commands that project savings exit with code 3 (and a clear stderr
 // message) when the surviving telemetry is below --min-coverage: a number
@@ -34,6 +37,7 @@
 
 #include "core/decomposition.h"
 #include "core/report.h"
+#include "exec/thread_pool.h"
 #include "faults/injector.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -71,6 +75,9 @@ int usage() {
       "drop=0.1,stuck=0.01:60,seed=7\n"
       "  --min-coverage=<frac>     refuse projections below this coverage "
       "(default 0.5)\n"
+      "  --jobs=<N>                worker threads (default: EXAEFF_JOBS or "
+      "hardware concurrency);\n"
+      "                            outputs are byte-identical for any N\n"
       "  --help                    show this message\n");
   return 2;
 }
@@ -82,6 +89,7 @@ struct GlobalOptions {
   std::string log_level = "info";
   std::string faults_spec;
   double min_coverage = 0.5;
+  std::size_t jobs = 0;  ///< 0 = EXAEFF_JOBS env or hardware concurrency
   bool help = false;
 };
 
@@ -113,6 +121,13 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
       opts.faults_spec = value;
     } else if (key == "--min-coverage") {
       opts.min_coverage = std::atof(value.c_str());
+    } else if (key == "--jobs") {
+      const long n = std::atol(value.c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "exaeff: --jobs needs a positive integer\n");
+        return false;
+      }
+      opts.jobs = static_cast<std::size_t>(n);
     } else {
       std::fprintf(stderr, "exaeff: unknown option '%s'\n", key.c_str());
       return false;
@@ -168,17 +183,19 @@ CampaignBundle run_campaign(std::size_t nodes, double days,
       log, b.cfg.telemetry_window_s, b.cfg.system.node.gcds_per_node());
   {
     EXAEFF_TRACE_SPAN("campaign.accumulate");
+    auto& pool = exec::ThreadPool::global();
+    core::AccumulatorShards shards(*b.acc);
     if (plan.any_enabled()) {
-      faults::JobFaultInjector inj(*b.acc, plan);
-      gen.generate_telemetry(log, inj);
-      inj.model().publish_metrics();
+      faults::FaultedJobShards faulted(shards, plan);
+      gen.generate_telemetry(log, faulted, pool);
+      faulted.publish_metrics();
       obs::Logger::global().info(
           "campaign.faulted",
           {{"plan", plan.describe()},
-           {"dropped", inj.counters().dropped()},
-           {"passed", inj.counters().passed}});
+           {"dropped", faulted.counters().dropped()},
+           {"passed", faulted.counters().passed}});
     } else {
-      gen.generate_telemetry(log, *b.acc);
+      gen.generate_telemetry(log, shards, pool);
     }
   }
   // Coverage is only *measured* under an active fault plan: clean runs
@@ -206,9 +223,17 @@ int cmd_ert(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Characterization options with the shared pool attached.
+core::CharacterizationOptions pooled_characterization() {
+  core::CharacterizationOptions copts;
+  copts.pool = &exec::ThreadPool::global();
+  return copts;
+}
+
 int cmd_characterize() {
   EXAEFF_TRACE_SPAN("cli.characterize");
-  const auto table = core::characterize(gpusim::mi250x_gcd());
+  const auto table =
+      core::characterize(gpusim::mi250x_gcd(), pooled_characterization());
   std::printf("%-10s %-10s %8s %8s %8s %8s\n", "class", "cap", "setting",
               "power%", "time%", "energy%");
   for (auto cls : {core::BenchClass::kComputeIntensive,
@@ -254,7 +279,8 @@ int cmd_project(const std::vector<std::string>& args,
   const auto b = run_campaign(nodes, days, plan);
   core::require_quality(core::DataQuality{b.coverage, 0.0},
                         core::QualityPolicy{opts.min_coverage, 1.0});
-  const auto table = core::characterize(b.cfg.system.node.gcd);
+  const auto table =
+      core::characterize(b.cfg.system.node.gcd, pooled_characterization());
   const core::ProjectionEngine engine(table);
   const auto d = b.acc->decomposition();
   if (b.coverage < 1.0) {
@@ -287,7 +313,8 @@ int cmd_report(const std::vector<std::string>& args,
   const auto nodes = static_cast<std::size_t>(arg_num(args, 1, 32));
   const auto plan = faults::FaultPlan::parse(opts.faults_spec);
   const auto b = run_campaign(nodes, 7.0, plan);
-  const auto table = core::characterize(b.cfg.system.node.gcd);
+  const auto table =
+      core::characterize(b.cfg.system.node.gcd, pooled_characterization());
   core::ReportInputs inputs;
   inputs.accumulator = b.acc.get();
   inputs.table = &table;
@@ -363,7 +390,7 @@ int cmd_faults_sweep(const std::vector<std::string>& args,
   const auto& gcd = cfg.system.node.gcd;
   const auto library = workloads::make_profile_library(gcd);
   const auto boundaries = core::derive_boundaries(gcd);
-  const auto table = core::characterize(gcd);
+  const auto table = core::characterize(gcd, pooled_characterization());
   const core::ProjectionEngine engine(table);
   const sched::FleetGenerator gen(cfg, library);
   const auto log = gen.generate_schedule();
@@ -379,35 +406,57 @@ int cmd_faults_sweep(const std::vector<std::string>& args,
   std::printf("%-6s %12s %10s %10s %8s %10s %10s\n", "drop%", "records",
               "coverage%", "TS MWh", "sav%", "sav%@dT=0", "drift%");
 
-  double clean_saved_mwh = 0.0;
-  for (int pct = 0; pct <= 30; pct += 5) {
+  // All dropout points run concurrently; each point's own campaign
+  // generation then runs inline inside its worker (nested parallel loops
+  // execute with identical chunking), so every point is byte-identical to
+  // a serial run.  Results are printed serially in pct order afterwards.
+  struct SweepPoint {
+    int pct = 0;
+    std::size_t records = 0;
+    double coverage = 1.0;
+    core::ProjectionRow row;
+    faults::FaultCounters counters;
+    bool faulted = false;
+  };
+  constexpr int kPoints = 7;  // 0%, 5%, ... 30%
+  auto& pool = exec::ThreadPool::global();
+  const auto points = pool.parallel_map(kPoints, [&](std::size_t i) {
+    SweepPoint p;
+    p.pct = static_cast<int>(i) * 5;
     faults::FaultPlan plan = base_plan;
-    plan.drop_probability = static_cast<double>(pct) / 100.0;
+    plan.drop_probability = static_cast<double>(p.pct) / 100.0;
     core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
-    faults::JobFaultInjector inj(acc, plan);
+    core::AccumulatorShards shards(acc);
     if (plan.any_enabled()) {
-      gen.generate_telemetry(log, inj);
-      inj.model().publish_metrics();
+      faults::FaultedJobShards faulted(shards, plan);
+      gen.generate_telemetry(log, faulted, pool);
+      p.counters = faulted.counters();
+      p.faulted = true;
     } else {
-      gen.generate_telemetry(log, acc);
+      gen.generate_telemetry(log, shards, pool);
     }
-    const double coverage =
-        expected > 0 ? static_cast<double>(acc.gcd_sample_count()) /
+    p.records = acc.gcd_sample_count();
+    p.coverage = expected > 0
+                     ? static_cast<double>(p.records) /
                            static_cast<double>(expected)
                      : 1.0;
-    const auto row = engine.project(acc.decomposition(),
-                                    core::CapType::kFrequency, focus_mhz);
-    if (pct == 0) clean_saved_mwh = row.total_saved_mwh;
+    p.row = engine.project(acc.decomposition(), core::CapType::kFrequency,
+                           focus_mhz);
+    return p;
+  });
+
+  const double clean_saved_mwh = points.front().row.total_saved_mwh;
+  for (const SweepPoint& p : points) {
+    if (p.faulted) faults::publish_fault_counters(p.counters);
     const double drift =
         clean_saved_mwh > 0.0
-            ? 100.0 * (row.total_saved_mwh - clean_saved_mwh) /
+            ? 100.0 * (p.row.total_saved_mwh - clean_saved_mwh) /
                   clean_saved_mwh
             : 0.0;
-    const bool below_floor = coverage < opts.min_coverage;
-    std::printf("%-6d %12zu %10.2f %10.3f %8.1f %10.1f %+9.2f%s\n", pct,
-                acc.gcd_sample_count(), 100.0 * coverage,
-                row.total_saved_mwh, row.savings_pct,
-                row.savings_pct_no_slowdown, drift,
+    const bool below_floor = p.coverage < opts.min_coverage;
+    std::printf("%-6d %12zu %10.2f %10.3f %8.1f %10.1f %+9.2f%s\n", p.pct,
+                p.records, 100.0 * p.coverage, p.row.total_saved_mwh,
+                p.row.savings_pct, p.row.savings_pct_no_slowdown, drift,
                 below_floor ? " [BELOW FLOOR]" : "");
   }
   std::printf("\ndrift%% is the change in projected savings at %.0f MHz "
@@ -481,6 +530,9 @@ int main(int argc, char** argv) {
   obs::Logger::global().set_level(level);
   obs::set_metrics_enabled(true);  // feeds the summary footer
   if (!opts.trace_path.empty()) obs::Tracer::global().set_enabled(true);
+  // Must precede the first ThreadPool::global() access; 0 keeps the
+  // EXAEFF_JOBS / hardware-concurrency default.
+  exec::set_job_count(opts.jobs);
 
   const std::string cmd = positional.front();
   const std::vector<std::string> args(positional.begin() + 1,
@@ -499,6 +551,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  exec::ThreadPool::global().publish_metrics();
   if (!opts.trace_path.empty()) {
     std::ofstream out(opts.trace_path);
     if (!out) {
