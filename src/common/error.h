@@ -74,6 +74,15 @@ class DataQualityError : public Error {
   explicit DataQualityError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when a run is cancelled mid-flight (SIGINT/SIGTERM, a wall
+/// clock deadline) and a parallel loop stopped before completing.  The
+/// work already finished is preserved (checkpoint journal); the CLI maps
+/// this to exit code 130.
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_requirement(std::string_view expr,
                                            std::string_view file, int line,

@@ -74,6 +74,13 @@ void Histogram::add(double x, double weight) {
   total_ += weight;
 }
 
+void Histogram::restore(std::span<const double> weights, double total) {
+  EXAEFF_REQUIRE(weights.size() == counts_.size(),
+                 "histogram restore must match the bin count");
+  std::copy(weights.begin(), weights.end(), counts_.begin());
+  total_ = total;
+}
+
 void Histogram::merge(const Histogram& other) {
   EXAEFF_REQUIRE(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
                      other.hi_ == hi_,

@@ -66,6 +66,12 @@ class Histogram {
   void add(double x, double weight = 1.0);
   void merge(const Histogram& other);
 
+  /// Overwrites the bin weights and total with previously captured
+  /// values (checkpoint restore).  `weights` must match bin_count();
+  /// passing back exactly what weights()/total_weight() returned
+  /// reproduces the histogram bit for bit.
+  void restore(std::span<const double> weights, double total);
+
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] double lo() const { return lo_; }
   [[nodiscard]] double hi() const { return hi_; }

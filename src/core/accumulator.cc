@@ -70,6 +70,54 @@ void CampaignAccumulator::merge(const CampaignAccumulator& other) {
   cpu_energy_j_ += other.cpu_energy_j_;
 }
 
+CampaignAccumulator::Snapshot CampaignAccumulator::snapshot() const {
+  Snapshot snap;
+  snap.hist_weights.assign(hist_.weights().begin(), hist_.weights().end());
+  snap.hist_total = hist_.total_weight();
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    snap.domain_weights[d].assign(domain_hist_[d].weights().begin(),
+                                  domain_hist_[d].weights().end());
+    snap.domain_totals[d] = domain_hist_[d].total_weight();
+  }
+  snap.cells.reserve(sched::kDomainCount * sched::kSizeBinCount *
+                     kRegionCount * 2);
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    for (std::size_t b = 0; b < sched::kSizeBinCount; ++b) {
+      for (std::size_t r = 0; r < kRegionCount; ++r) {
+        snap.cells.push_back(cells_[d][b].regions[r].gpu_hours);
+        snap.cells.push_back(cells_[d][b].regions[r].energy_j);
+      }
+    }
+  }
+  snap.gcd_samples = samples_;
+  snap.node_samples = node_samples_;
+  snap.cpu_energy_j = cpu_energy_j_;
+  return snap;
+}
+
+void CampaignAccumulator::restore(const Snapshot& snap) {
+  EXAEFF_REQUIRE(snap.cells.size() == sched::kDomainCount *
+                                          sched::kSizeBinCount *
+                                          kRegionCount * 2,
+                 "accumulator snapshot has the wrong cell count");
+  hist_.restore(snap.hist_weights, snap.hist_total);
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    domain_hist_[d].restore(snap.domain_weights[d], snap.domain_totals[d]);
+  }
+  std::size_t i = 0;
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    for (std::size_t b = 0; b < sched::kSizeBinCount; ++b) {
+      for (std::size_t r = 0; r < kRegionCount; ++r) {
+        cells_[d][b].regions[r].gpu_hours = snap.cells[i++];
+        cells_[d][b].regions[r].energy_j = snap.cells[i++];
+      }
+    }
+  }
+  samples_ = snap.gcd_samples;
+  node_samples_ = snap.node_samples;
+  cpu_energy_j_ = snap.cpu_energy_j;
+}
+
 ModalDecomposition CampaignAccumulator::decomposition() const {
   std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
       all{};

@@ -14,7 +14,9 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/stats.h"
 #include "core/modal.h"
@@ -60,6 +62,27 @@ class CampaignAccumulator final : public sched::JobSampleSink {
     return CampaignAccumulator(window_s_, boundaries_, hist_.lo(),
                                hist_.hi(), hist_.bin_count());
   }
+
+  /// Flat copy of the accumulated state, for the exaeff::run checkpoint
+  /// journal.  snapshot()/restore() round-trip bit for bit: a restored
+  /// accumulator merges and decomposes exactly like the original, which
+  /// is what makes a resumed campaign byte-identical to an uninterrupted
+  /// one.  Cell layout: (domain, bin, region) row-major, gpu_hours then
+  /// energy_j per region.
+  struct Snapshot {
+    std::vector<double> hist_weights;  ///< system histogram bins
+    double hist_total = 0.0;
+    std::array<std::vector<double>, sched::kDomainCount> domain_weights;
+    std::array<double, sched::kDomainCount> domain_totals{};
+    std::vector<double> cells;  ///< flattened CellAccum values
+    std::uint64_t gcd_samples = 0;
+    std::uint64_t node_samples = 0;
+    double cpu_energy_j = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Overwrites this accumulator's state; throws when the snapshot shape
+  /// does not match this accumulator's histogram/cell dimensions.
+  void restore(const Snapshot& snap);
 
   // --- results --------------------------------------------------------
   [[nodiscard]] const Histogram& system_histogram() const { return hist_; }

@@ -1,0 +1,58 @@
+// exaeff/exec/cancellation.h
+//
+// Cooperative cancellation for the execution engine.  A CancellationToken
+// is a single word of state shared between whoever requests the stop
+// (signal handlers, the deadline watchdog, tests) and the thread pool,
+// which checks it at chunk boundaries: once the token trips, no new chunk
+// is scheduled, in-flight chunks finish normally, and the interrupted
+// parallel_for/map_chunks throws CancelledError on the calling thread so
+// partially-computed results are never observed as complete.
+//
+// cancel() is async-signal-safe (one lock-free atomic CAS), which is the
+// whole reason this is not a condition variable: SIGINT/SIGTERM handlers
+// call it directly.  The first cancel wins and pins the reason; later
+// calls are no-ops so a signal racing a deadline keeps one stable cause.
+#pragma once
+
+#include <atomic>
+
+namespace exaeff::exec {
+
+class CancellationToken {
+ public:
+  /// Reason codes are positive signal numbers (SIGINT, SIGTERM, ...) or
+  /// the synthetic kDeadline for wall-clock expiry.
+  static constexpr int kDeadline = -1;
+
+  /// Trips the token.  Returns true when this call was the first (its
+  /// reason sticks); false when the token was already cancelled.
+  /// Async-signal-safe.
+  bool cancel(int reason) noexcept {
+    int expected = 0;
+    return reason != 0 &&
+           state_.compare_exchange_strong(expected, reason,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return state_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// The first cancel()'s reason; 0 while not cancelled.
+  [[nodiscard]] int reason() const noexcept {
+    return state_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms the token (tests, REPL-style reuse).  Not signal-safe with
+  /// respect to concurrent cancel(); call between runs only.
+  void reset() noexcept { state_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<int> state_{0};
+};
+
+static_assert(std::atomic<int>::is_always_lock_free,
+              "CancellationToken must be async-signal-safe");
+
+}  // namespace exaeff::exec

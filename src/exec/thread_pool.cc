@@ -88,12 +88,20 @@ struct ThreadPool::Loop {
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
   std::size_t n = 0;
   std::size_t grain = 1;
+  const CancellationToken* cancel = nullptr;
   // One packed [lo, hi) chunk range per participant; index 0 is the
   // calling thread, 1..N-1 the workers.
   std::vector<std::atomic<std::uint64_t>> slots;
   std::atomic<bool> abort{false};
+  std::atomic<std::size_t> completed{0};  ///< chunks that ran to the end
   std::mutex error_mu;
   std::exception_ptr error;
+
+  /// True once no further chunk may start (error or cancellation).
+  [[nodiscard]] bool stopped() const {
+    return abort.load(std::memory_order_relaxed) ||
+           (cancel != nullptr && cancel->cancelled());
+  }
 };
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -117,14 +125,23 @@ void ThreadPool::run_serial(
     std::size_t n, std::size_t grain,
     const std::function<void(std::size_t, std::size_t)>& body) {
   const ScopedInParallel scope;
+  const CancellationToken* tok = cancel_.load(std::memory_order_acquire);
   std::uint64_t executed = 0;
+  bool interrupted = false;
   for (std::size_t begin = 0; begin < n; begin += grain) {
+    if (tok != nullptr && tok->cancelled()) {
+      interrupted = true;
+      break;
+    }
     EXAEFF_TRACE_SPAN("exec.chunk");
     body(begin, std::min(begin + grain, n));
     ++executed;
   }
   chunks_.fetch_add(executed, std::memory_order_relaxed);
   loops_.fetch_add(1, std::memory_order_relaxed);
+  if (interrupted) {
+    throw CancelledError("parallel loop cancelled before completion");
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -144,6 +161,7 @@ void ThreadPool::parallel_for(
   loop.body = &body;
   loop.n = n;
   loop.grain = g;
+  loop.cancel = cancel_.load(std::memory_order_acquire);
   const std::size_t participants = workers_.size() + 1;
   loop.slots = std::vector<std::atomic<std::uint64_t>>(participants);
   for (std::size_t s = 0; s < participants; ++s) {
@@ -172,7 +190,13 @@ void ThreadPool::parallel_for(
     loop_ = nullptr;
   }
   loops_.fetch_add(1, std::memory_order_relaxed);
+  // A chunk's own exception outranks cancellation: exactly one exception
+  // reaches the caller either way.  A loop whose chunks all completed
+  // before the token was observed returns normally.
   if (loop.error) std::rethrow_exception(loop.error);
+  if (loop.completed.load(std::memory_order_acquire) < chunks) {
+    throw CancelledError("parallel loop cancelled before completion");
+  }
 }
 
 void ThreadPool::run_slot(Loop& loop, std::size_t slot) {
@@ -184,6 +208,7 @@ void ThreadPool::run_slot(Loop& loop, std::size_t slot) {
     EXAEFF_TRACE_SPAN("exec.chunk");
     try {
       (*loop.body)(begin, end);
+      loop.completed.fetch_add(1, std::memory_order_acq_rel);
     } catch (...) {
       {
         const std::lock_guard<std::mutex> lk(loop.error_mu);
@@ -195,15 +220,13 @@ void ThreadPool::run_slot(Loop& loop, std::size_t slot) {
   };
 
   std::uint32_t c = 0;
-  while (!loop.abort.load(std::memory_order_relaxed) &&
-         take_front(loop.slots[slot], c)) {
+  while (!loop.stopped() && take_front(loop.slots[slot], c)) {
     run_chunk(c);
   }
   const std::size_t nslots = loop.slots.size();
   for (std::size_t off = 1; off < nslots; ++off) {
     auto& victim = loop.slots[(slot + off) % nslots];
-    while (!loop.abort.load(std::memory_order_relaxed) &&
-           take_back(victim, c)) {
+    while (!loop.stopped() && take_back(victim, c)) {
       run_chunk(c);
       ++stolen;
     }

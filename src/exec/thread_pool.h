@@ -29,6 +29,16 @@
 // (e.g. faults-sweep points in parallel, each generating a campaign).
 // The first exception thrown by any chunk aborts the loop and is
 // rethrown on the calling thread.
+//
+// Cancellation
+// ------------
+// An optional CancellationToken (set_cancellation_token) is checked at
+// every chunk boundary: once tripped, no participant takes another chunk,
+// in-flight chunks finish, and the loop throws CancelledError on the
+// caller — unless a chunk itself threw first, in which case that single
+// exception is rethrown instead (never both).  A loop whose chunks all
+// completed before the token was observed returns normally: complete
+// results are never discarded.
 #pragma once
 
 #include <atomic>
@@ -42,6 +52,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "exec/cancellation.h"
 
 namespace exaeff::exec {
 
@@ -133,6 +145,17 @@ class ThreadPool {
   /// (exaeff_exec_loops/chunks/steals_total, exaeff_exec_threads).
   void publish_metrics();
 
+  /// Attaches (or detaches, with nullptr) the cancellation token checked
+  /// at chunk boundaries.  `token` must outlive every loop run while it
+  /// is attached.  Safe to call concurrently with running loops; chunks
+  /// already in flight finish either way.
+  void set_cancellation_token(const CancellationToken* token) {
+    cancel_.store(token, std::memory_order_release);
+  }
+  [[nodiscard]] const CancellationToken* cancellation_token() const {
+    return cancel_.load(std::memory_order_acquire);
+  }
+
   /// Shared pool sized from job_count() at first use. set_job_count()
   /// must be called before the first access to take effect here.
   static ThreadPool& global();
@@ -161,6 +184,7 @@ class ThreadPool {
   Loop* loop_ = nullptr;
   bool stop_ = false;
 
+  std::atomic<const CancellationToken*> cancel_{nullptr};
   std::atomic<std::uint64_t> loops_{0};
   std::atomic<std::uint64_t> chunks_{0};
   std::atomic<std::uint64_t> steals_{0};

@@ -28,7 +28,22 @@ std::uint64_t to_us(std::chrono::steady_clock::time_point t) {
           .count());
 }
 
+std::atomic<const char*> g_last_span_name{nullptr};
+std::atomic<std::uint64_t> g_last_span_open_us{0};
+
 }  // namespace
+
+const char* last_span_name() {
+  return g_last_span_name.load(std::memory_order_acquire);
+}
+
+std::uint64_t last_span_open_us() {
+  return g_last_span_open_us.load(std::memory_order_acquire);
+}
+
+std::uint64_t monotonic_now_us() {
+  return to_us(std::chrono::steady_clock::now());
+}
 
 /// Fixed-capacity ring of closed spans for one thread.  The tracer keeps
 /// the ring alive (shared_ptr) even after the owning thread exits, so a
@@ -149,6 +164,8 @@ void TraceSpan::open(const char* name) {
     ++Tracer::global().ring_for_this_thread().depth;
   }
   start_ = std::chrono::steady_clock::now();
+  g_last_span_name.store(name, std::memory_order_release);
+  g_last_span_open_us.store(to_us(start_), std::memory_order_release);
 }
 
 void TraceSpan::close() {

@@ -43,6 +43,21 @@ inline bool trace_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
 
+/// Name of the most recently opened span anywhere in the process (always
+/// a string literal, per the span contract), or nullptr before the first
+/// span.  Updated whenever tracing or metrics are enabled; watchdogs use
+/// it to name the active stage in "stuck" diagnostics.
+[[nodiscard]] const char* last_span_name();
+
+/// Monotonic microsecond timestamp at which last_span_name() was set
+/// (same clock as monotonic_now_us); 0 before the first span.  A stage
+/// that opens no new span for a long stretch is either one long chunk or
+/// genuinely stuck — exactly what a soft-timeout watchdog wants to see.
+[[nodiscard]] std::uint64_t last_span_open_us();
+
+/// Now on the span clock (process-local monotonic epoch).
+[[nodiscard]] std::uint64_t monotonic_now_us();
+
 /// One closed span, microseconds on the process-local monotonic clock.
 struct SpanEvent {
   const char* name;

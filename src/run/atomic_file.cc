@@ -1,0 +1,59 @@
+#include "run/atomic_file.h"
+
+#include <cstdio>
+#include <string_view>
+
+#include <unistd.h>
+
+#include "obs/log.h"
+
+namespace exaeff::run {
+
+namespace {
+
+/// Writes `content` to `temp` with an fsync before close; returns false
+/// on any short write or flush failure.
+bool write_synced(const std::string& temp, std::string_view content) {
+  std::FILE* f = std::fopen(temp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = content.empty() ||
+            std::fwrite(content.data(), 1, content.size(), f) ==
+                content.size();
+  ok = std::fflush(f) == 0 && ok;
+  // Without the fsync a crash after rename can still surface an empty
+  // file on some filesystems: the rename is durable but the data is not.
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(::getpid())) {}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) std::remove(temp_path_.c_str());
+}
+
+bool AtomicFile::commit() {
+  if (committed_) return false;
+  if (!write_synced(temp_path_, buffer_.view()) ||
+      std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    obs::Logger::global().error("run.atomic_write_failed",
+                                {{"path", path_}});
+    std::remove(temp_path_.c_str());
+    return false;
+  }
+  committed_ = true;
+  return true;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view content) {
+  AtomicFile f(path);
+  f.write(content);
+  return f.commit();
+}
+
+}  // namespace exaeff::run

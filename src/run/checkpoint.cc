@@ -1,0 +1,346 @@
+#include "run/checkpoint.h"
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace exaeff::run {
+
+namespace {
+
+void hash_field(std::string& acc, std::string_view name, std::uint64_t v) {
+  acc += name;
+  acc += '=';
+  acc += encode_u64(v);
+  acc += '|';
+}
+
+void hash_field(std::string& acc, std::string_view name, double v) {
+  acc += name;
+  acc += '=';
+  acc += encode_f64(v);
+  acc += '|';
+}
+
+/// Appends a sparse (index:bits) encoding of one histogram's weights.
+void encode_weights(std::ostringstream& os, std::span<const double> w,
+                    double total) {
+  std::size_t nonzero = 0;
+  for (const double x : w) nonzero += x != 0.0 ? 1 : 0;
+  os << ' ' << encode_f64(total) << ' ' << nonzero;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i] != 0.0) os << ' ' << i << ':' << encode_f64(w[i]);
+  }
+}
+
+/// Token reader over a space-separated payload.
+class TokenReader {
+ public:
+  explicit TokenReader(std::string_view payload) : rest_(payload) {}
+
+  [[nodiscard]] bool next(std::string_view& tok) {
+    while (!rest_.empty() && rest_.front() == ' ') rest_.remove_prefix(1);
+    if (rest_.empty()) return false;
+    const auto sp = rest_.find(' ');
+    tok = rest_.substr(0, sp);
+    rest_.remove_prefix(sp == std::string_view::npos ? rest_.size()
+                                                     : sp + 1);
+    return true;
+  }
+
+  [[nodiscard]] bool next_u64(std::uint64_t& out) {
+    std::string_view tok;
+    return next(tok) && decode_u64(tok, out);
+  }
+
+  [[nodiscard]] bool next_f64(double& out) {
+    std::string_view tok;
+    return next(tok) && decode_f64(tok, out);
+  }
+
+  /// Plain decimal (counts, bin indices).
+  [[nodiscard]] bool next_dec(std::size_t& out) {
+    std::string_view tok;
+    if (!next(tok) || tok.empty()) return false;
+    std::size_t v = 0;
+    for (const char c : tok) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<std::size_t>(c - '0');
+    }
+    out = v;
+    return true;
+  }
+
+  [[nodiscard]] bool expect(std::string_view word) {
+    std::string_view tok;
+    return next(tok) && tok == word;
+  }
+
+  [[nodiscard]] bool exhausted() {
+    std::string_view tok;
+    return !next(tok);
+  }
+
+ private:
+  std::string_view rest_;
+};
+
+/// Reads one sparse weight section into a dense vector of `bins` zeros.
+[[nodiscard]] bool decode_weights(TokenReader& r, std::size_t bins,
+                                  std::vector<double>& weights,
+                                  double& total) {
+  std::size_t npairs = 0;
+  if (!r.next_f64(total) || !r.next_dec(npairs) || npairs > bins) {
+    return false;
+  }
+  weights.assign(bins, 0.0);
+  for (std::size_t p = 0; p < npairs; ++p) {
+    std::string_view tok;
+    if (!r.next(tok)) return false;
+    const auto colon = tok.find(':');
+    if (colon == std::string_view::npos) return false;
+    std::size_t idx = 0;
+    for (const char c : tok.substr(0, colon)) {
+      if (c < '0' || c > '9') return false;
+      idx = idx * 10 + static_cast<std::size_t>(c - '0');
+    }
+    double v = 0.0;
+    if (idx >= bins || !decode_f64(tok.substr(colon + 1), v)) return false;
+    weights[idx] = v;
+  }
+  return true;
+}
+
+void encode_counters(std::ostringstream& os,
+                     const faults::FaultCounters& c) {
+  os << ' ' << encode_u64(c.samples_in) << ' ' << encode_u64(c.passed)
+     << ' ' << encode_u64(c.dropped_iid) << ' '
+     << encode_u64(c.dropped_burst) << ' ' << encode_u64(c.dropped_outage)
+     << ' ' << encode_u64(c.stuck) << ' ' << encode_u64(c.spiked) << ' '
+     << encode_u64(c.skewed) << ' ' << encode_u64(c.reordered);
+}
+
+[[nodiscard]] bool decode_counters(TokenReader& r,
+                                   faults::FaultCounters& c) {
+  return r.next_u64(c.samples_in) && r.next_u64(c.passed) &&
+         r.next_u64(c.dropped_iid) && r.next_u64(c.dropped_burst) &&
+         r.next_u64(c.dropped_outage) && r.next_u64(c.stuck) &&
+         r.next_u64(c.spiked) && r.next_u64(c.skewed) &&
+         r.next_u64(c.reordered);
+}
+
+}  // namespace
+
+std::uint64_t campaign_config_key(const sched::CampaignConfig& cfg,
+                                  const faults::FaultPlan& plan,
+                                  std::size_t job_count) {
+  std::string basis = "campaign|";
+  hash_field(basis, "nodes",
+             static_cast<std::uint64_t>(cfg.system.compute_nodes));
+  hash_field(basis, "duration", cfg.duration_s);
+  hash_field(basis, "window", cfg.telemetry_window_s);
+  hash_field(basis, "seed", cfg.seed);
+  hash_field(basis, "gap", cfg.sched_gap_s);
+  hash_field(basis, "minjob", cfg.min_job_duration_s);
+  hash_field(basis, "noise", cfg.noise_stddev_w);
+  hash_field(basis, "rho", cfg.noise_rho);
+  hash_field(basis, "boostp", cfg.boost_sample_probability);
+  hash_field(basis, "boostw", cfg.boost_extra_w);
+  hash_field(basis, "nodechan",
+             static_cast<std::uint64_t>(cfg.emit_node_samples ? 1 : 0));
+  basis += "plan=";
+  basis += plan.describe();
+  basis += '|';
+  hash_field(basis, "planseed", plan.seed);
+  hash_field(basis, "jobs", static_cast<std::uint64_t>(job_count));
+  return fnv1a64(basis);
+}
+
+std::uint64_t campaign_chunk_key(std::uint64_t config_key,
+                                 std::size_t begin, std::size_t end) {
+  std::string basis = "chunk|";
+  hash_field(basis, "cfg", config_key);
+  hash_field(basis, "begin", static_cast<std::uint64_t>(begin));
+  hash_field(basis, "end", static_cast<std::uint64_t>(end));
+  return fnv1a64(basis);
+}
+
+std::string encode_campaign_chunk(const core::CampaignAccumulator& partial,
+                                  const faults::FaultCounters& counters) {
+  const auto snap = partial.snapshot();
+  std::ostringstream os;
+  os << "v1 " << encode_u64(snap.gcd_samples) << ' '
+     << encode_u64(snap.node_samples) << ' '
+     << encode_f64(snap.cpu_energy_j);
+  os << " hist";
+  encode_weights(os, snap.hist_weights, snap.hist_total);
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    os << " dom";
+    encode_weights(os, snap.domain_weights[d], snap.domain_totals[d]);
+  }
+  os << " cells " << snap.cells.size();
+  for (const double v : snap.cells) os << ' ' << encode_f64(v);
+  os << " faults";
+  encode_counters(os, counters);
+  return os.str();
+}
+
+bool decode_campaign_chunk(std::string_view payload,
+                           core::CampaignAccumulator& partial,
+                           faults::FaultCounters& counters) {
+  const std::size_t bins = partial.system_histogram().bin_count();
+  core::CampaignAccumulator::Snapshot snap;
+  faults::FaultCounters parsed;
+  TokenReader r(payload);
+  if (!r.expect("v1") || !r.next_u64(snap.gcd_samples) ||
+      !r.next_u64(snap.node_samples) || !r.next_f64(snap.cpu_energy_j)) {
+    return false;
+  }
+  if (!r.expect("hist") ||
+      !decode_weights(r, bins, snap.hist_weights, snap.hist_total)) {
+    return false;
+  }
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    if (!r.expect("dom") || !decode_weights(r, bins, snap.domain_weights[d],
+                                            snap.domain_totals[d])) {
+      return false;
+    }
+  }
+  std::size_t ncells = 0;
+  constexpr std::size_t kExpectedCells =
+      sched::kDomainCount * sched::kSizeBinCount * core::kRegionCount * 2;
+  if (!r.expect("cells") || !r.next_dec(ncells) ||
+      ncells != kExpectedCells) {
+    return false;
+  }
+  snap.cells.resize(ncells);
+  for (double& v : snap.cells) {
+    if (!r.next_f64(v)) return false;
+  }
+  if (!r.expect("faults") || !decode_counters(r, parsed) ||
+      !r.exhausted()) {
+    return false;
+  }
+  partial.restore(snap);
+  counters = parsed;
+  return true;
+}
+
+void generate_telemetry_checkpointed(const sched::FleetGenerator& gen,
+                                     const sched::SchedulerLog& log,
+                                     core::CampaignAccumulator& acc,
+                                     const faults::FaultPlan& plan,
+                                     exec::ThreadPool& pool,
+                                     Journal* journal,
+                                     faults::FaultCounters* counters_out) {
+  EXAEFF_TRACE_SPAN("run.telemetry_checkpointed");
+  const auto& jobs = log.jobs();
+  const std::size_t grain = exec::ThreadPool::chunk_grain(jobs.size());
+  const std::uint64_t config_key =
+      campaign_config_key(gen.config(), plan, jobs.size());
+
+  struct ChunkOut {
+    std::unique_ptr<core::CampaignAccumulator> partial;
+    faults::FaultCounters counters;
+  };
+  // Chunk boundaries are a function of the job count only (the exec
+  // determinism contract), so the journal keys — and the merge order —
+  // are stable across thread counts and across the kill/resume boundary.
+  auto outs = pool.map_chunks(
+      jobs.size(), grain, [&](std::size_t begin, std::size_t end) {
+        ChunkOut out;
+        out.partial = std::make_unique<core::CampaignAccumulator>(
+            acc.make_sibling());
+        const std::uint64_t key =
+            campaign_chunk_key(config_key, begin, end);
+        if (journal != nullptr) {
+          if (const std::string* payload = journal->find(key)) {
+            if (decode_campaign_chunk(*payload, *out.partial,
+                                      out.counters)) {
+              return out;
+            }
+            obs::Logger::global().warn(
+                "run.checkpoint_decode_failed",
+                {{"chunk_begin", begin}, {"chunk_end", end}});
+          }
+        }
+        if (plan.any_enabled()) {
+          faults::JobFaultInjector inject(*out.partial, plan);
+          gen.generate_telemetry(log, begin, end, inject);
+          out.counters = inject.counters();
+        } else {
+          gen.generate_telemetry(log, begin, end, *out.partial);
+        }
+        // Journal before the chunk reports complete: a cancellation or
+        // crash arriving later can only lose not-yet-finished chunks.
+        if (journal != nullptr) {
+          journal->append(key,
+                          encode_campaign_chunk(*out.partial, out.counters));
+        }
+        return out;
+      });
+
+  faults::FaultCounters total;
+  for (auto& out : outs) {
+    acc.merge(*out.partial);
+    total += out.counters;
+  }
+  if (counters_out != nullptr) *counters_out = total;
+}
+
+std::uint64_t sweep_point_key(std::uint64_t config_key,
+                              double focus_setting, int pct) {
+  std::string basis = "sweep|";
+  hash_field(basis, "cfg", config_key);
+  hash_field(basis, "focus", focus_setting);
+  hash_field(basis, "pct", static_cast<std::uint64_t>(pct));
+  return fnv1a64(basis);
+}
+
+std::string encode_sweep_point(const SweepPointCheckpoint& p) {
+  std::ostringstream os;
+  os << "sw1 " << p.pct << ' ' << encode_u64(p.records) << ' '
+     << encode_f64(p.coverage) << ' '
+     << static_cast<int>(p.row.cap_type) << ' '
+     << encode_f64(p.row.setting) << ' ' << encode_f64(p.row.ci_saved_mwh)
+     << ' ' << encode_f64(p.row.mi_saved_mwh) << ' '
+     << encode_f64(p.row.total_saved_mwh) << ' '
+     << encode_f64(p.row.savings_pct) << ' '
+     << encode_f64(p.row.delta_t_pct) << ' '
+     << encode_f64(p.row.savings_pct_no_slowdown) << ' '
+     << (p.faulted ? 1 : 0);
+  encode_counters(os, p.counters);
+  return os.str();
+}
+
+bool decode_sweep_point(std::string_view payload, SweepPointCheckpoint& p) {
+  SweepPointCheckpoint out;
+  TokenReader r(payload);
+  std::size_t pct = 0;
+  std::size_t cap_type = 0;
+  std::size_t faulted = 0;
+  if (!r.expect("sw1") || !r.next_dec(pct) || !r.next_u64(out.records) ||
+      !r.next_f64(out.coverage) || !r.next_dec(cap_type) ||
+      cap_type > 1 || !r.next_f64(out.row.setting) ||
+      !r.next_f64(out.row.ci_saved_mwh) ||
+      !r.next_f64(out.row.mi_saved_mwh) ||
+      !r.next_f64(out.row.total_saved_mwh) ||
+      !r.next_f64(out.row.savings_pct) ||
+      !r.next_f64(out.row.delta_t_pct) ||
+      !r.next_f64(out.row.savings_pct_no_slowdown) ||
+      !r.next_dec(faulted) || faulted > 1 ||
+      !decode_counters(r, out.counters) || !r.exhausted()) {
+    return false;
+  }
+  out.pct = static_cast<int>(pct);
+  out.row.cap_type = static_cast<core::CapType>(cap_type);
+  out.faulted = faulted == 1;
+  p = out;
+  return true;
+}
+
+}  // namespace exaeff::run

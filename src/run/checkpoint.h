@@ -1,0 +1,101 @@
+// exaeff/run/checkpoint.h
+//
+// Chunk-granular checkpoint/resume for the campaign pipeline and the
+// faults sweep.
+//
+// The parallel telemetry path (exec::ThreadPool::map_chunks over the
+// scheduler log) already partitions a campaign into chunks whose
+// boundaries are a fixed function of the job count, and folds per-chunk
+// accumulator partials serially in chunk order.  Checkpointing rides on
+// exactly that structure: each completed chunk's partial is serialized
+// (bit-exact hex doubles) and appended to a Journal under a content hash
+// of (campaign config, seed, fault plan, chunk range).  On resume,
+// journaled chunks are restored instead of recomputed; since a restored
+// partial is bitwise equal to the recomputed one and the fold order is
+// unchanged, the resumed run's artifacts are byte-identical to an
+// uninterrupted run at the same seed, config, and any --jobs=N.
+//
+// Cancellation (SIGINT/SIGTERM/deadline) surfaces here as the pool's
+// CancelledError: chunks finished before the stop are already durably
+// journaled (appends happen inside the chunk, before it reports done),
+// so nothing computed is ever lost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/accumulator.h"
+#include "core/projection.h"
+#include "faults/injector.h"
+#include "run/journal.h"
+#include "sched/fleetgen.h"
+
+namespace exaeff::run {
+
+/// Content hash identifying one campaign realization: everything that
+/// changes the telemetry stream (fleet size, duration, window, seed,
+/// noise/boost parameters, fault plan, job count).  Two runs share
+/// journal entries iff their keys match.
+[[nodiscard]] std::uint64_t campaign_config_key(
+    const sched::CampaignConfig& cfg, const faults::FaultPlan& plan,
+    std::size_t job_count);
+
+/// Key of one job-chunk work unit under `config_key`.
+[[nodiscard]] std::uint64_t campaign_chunk_key(std::uint64_t config_key,
+                                               std::size_t begin,
+                                               std::size_t end);
+
+// --- campaign chunk payloads -----------------------------------------
+
+[[nodiscard]] std::string encode_campaign_chunk(
+    const core::CampaignAccumulator& partial,
+    const faults::FaultCounters& counters);
+
+/// Restores a payload into `partial` (an empty sibling of the target
+/// accumulator).  Returns false — leaving the outputs untouched — on any
+/// malformed field or shape mismatch, in which case the caller simply
+/// recomputes the chunk.
+[[nodiscard]] bool decode_campaign_chunk(std::string_view payload,
+                                         core::CampaignAccumulator& partial,
+                                         faults::FaultCounters& counters);
+
+/// Drop-in replacement for the FleetGenerator sharded-telemetry path
+/// with chunk-granular checkpointing.  Chunks present in `journal` are
+/// restored; missing chunks are computed in parallel on `pool` (faulted
+/// through `plan` when enabled) and appended to `journal` as they
+/// complete.  Partials merge into `acc` serially in chunk order either
+/// way.  With `journal == nullptr` this is byte-identical to
+/// FleetGenerator::generate_telemetry(log, shards, pool).
+/// `counters_out` (optional) receives the merged fault tallies.
+void generate_telemetry_checkpointed(const sched::FleetGenerator& gen,
+                                     const sched::SchedulerLog& log,
+                                     core::CampaignAccumulator& acc,
+                                     const faults::FaultPlan& plan,
+                                     exec::ThreadPool& pool,
+                                     Journal* journal,
+                                     faults::FaultCounters* counters_out);
+
+// --- faults-sweep point payloads --------------------------------------
+
+/// One completed dropout point of `faults-sweep` — the sweep's unit of
+/// checkpointing (each point regenerates a whole campaign internally).
+struct SweepPointCheckpoint {
+  int pct = 0;
+  std::uint64_t records = 0;
+  double coverage = 1.0;
+  core::ProjectionRow row;
+  faults::FaultCounters counters;
+  bool faulted = false;
+};
+
+/// Key of one sweep point under `config_key` (include the focus cap
+/// setting so a changed sweep configuration never matches stale points).
+[[nodiscard]] std::uint64_t sweep_point_key(std::uint64_t config_key,
+                                            double focus_setting, int pct);
+
+[[nodiscard]] std::string encode_sweep_point(const SweepPointCheckpoint& p);
+[[nodiscard]] bool decode_sweep_point(std::string_view payload,
+                                      SweepPointCheckpoint& p);
+
+}  // namespace exaeff::run

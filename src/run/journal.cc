@@ -1,0 +1,192 @@
+#include "run/journal.h"
+
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace exaeff::run {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+// Record grammar, one per line:
+//   ck1 <key:16 hex> <payload-length decimal> <payload>|
+// The fixed magic, declared length, and trailing '|' let load() reject a
+// torn final record without a separate index or checksum file.
+constexpr std::string_view kMagic = "ck1 ";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string encode_u64(std::uint64_t v) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHexDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::string encode_f64(double v) {
+  return encode_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+bool decode_u64(std::string_view hex, std::uint64_t& out) {
+  if (hex.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    const int d = hex_value(c);
+    if (d < 0) return false;
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  out = v;
+  return true;
+}
+
+bool decode_f64(std::string_view hex, double& out) {
+  std::uint64_t bits = 0;
+  if (!decode_u64(hex, bits)) return false;
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+std::uint64_t fnv1a64(std::string_view data, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+Journal::Journal(std::string path, bool resume) : path_(std::move(path)) {
+  if (resume) {
+    // Load every valid record; stop at the first torn/corrupt one (a
+    // crash can only damage the tail, and anything after an invalid
+    // record has no trustworthy framing).
+    if (std::FILE* in = std::fopen(path_.c_str(), "rb")) {
+      std::string line;
+      int c;
+      bool stop = false;
+      while (!stop && (c = std::fgetc(in)) != EOF) {
+        if (c != '\n') {
+          line.push_back(static_cast<char>(c));
+          continue;
+        }
+        std::string_view rec = line;
+        std::uint64_t key = 0;
+        std::size_t len = 0;
+        bool ok = rec.size() > kMagic.size() + 17 &&
+                  rec.substr(0, kMagic.size()) == kMagic;
+        if (ok) {
+          rec.remove_prefix(kMagic.size());
+          ok = decode_u64(rec.substr(0, 16), key) && rec[16] == ' ';
+        }
+        if (ok) {
+          rec.remove_prefix(17);
+          const auto sp = rec.find(' ');
+          ok = sp != std::string_view::npos && sp > 0;
+          if (ok) {
+            len = 0;
+            for (const char d : rec.substr(0, sp)) {
+              if (d < '0' || d > '9') {
+                ok = false;
+                break;
+              }
+              len = len * 10 + static_cast<std::size_t>(d - '0');
+            }
+            if (ok) rec.remove_prefix(sp + 1);
+          }
+        }
+        ok = ok && rec.size() == len + 1 && rec[len] == '|';
+        if (!ok) {
+          obs::Logger::global().warn(
+              "run.journal_torn_record",
+              {{"path", path_}, {"loaded", loaded_}});
+          stop = true;
+        } else {
+          entries_[key] = std::string(rec.substr(0, len));
+          ++loaded_;
+        }
+        line.clear();
+      }
+      // A trailing line with no '\n' is a torn append; ignored.
+      std::fclose(in);
+    }
+    file_ = std::fopen(path_.c_str(), "ab");
+  } else {
+    file_ = std::fopen(path_.c_str(), "wb");
+  }
+  if (file_ == nullptr) {
+    throw Error("cannot open checkpoint journal: " + path_);
+  }
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+const std::string* Journal::find(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  ++resumed_;
+  // Entries are never erased or rehashed away mid-run (insertions only
+  // add nodes; node addresses are stable), so the pointer stays valid.
+  return &it->second;
+}
+
+void Journal::append(std::uint64_t key, std::string payload) {
+  EXAEFF_REQUIRE(payload.find('\n') == std::string::npos,
+                 "journal payloads must be single-line");
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (entries_.contains(key)) return;
+  std::string rec;
+  rec.reserve(payload.size() + 32);
+  rec += kMagic;
+  rec += encode_u64(key);
+  rec += ' ';
+  rec += std::to_string(payload.size());
+  rec += ' ';
+  rec += payload;
+  rec += "|\n";
+  if (std::fwrite(rec.data(), 1, rec.size(), file_) != rec.size() ||
+      std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    throw Error("checkpoint journal append failed: " + path_);
+  }
+  entries_[key] = std::move(payload);
+  ++appended_;
+}
+
+std::size_t Journal::size() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+void Journal::publish_metrics() {
+  if (!obs::metrics_enabled()) return;
+  const std::lock_guard<std::mutex> lk(mu_);
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("exaeff_run_checkpoints_written_total",
+              "Work units durably appended to the checkpoint journal")
+      .inc(appended_ - published_written_);
+  reg.counter("exaeff_run_chunks_resumed_total",
+              "Work units replayed from the checkpoint journal")
+      .inc(resumed_ - published_resumed_);
+  published_written_ = appended_;
+  published_resumed_ = resumed_;
+}
+
+}  // namespace exaeff::run

@@ -1,0 +1,90 @@
+// exaeff/run/journal.h
+//
+// Chunk-granular checkpoint journal for long campaigns.
+//
+// Completed work units (job-chunk accumulator partials, sweep points)
+// are appended to an on-disk journal keyed by a content hash of
+// (config, seed, fault plan, chunk identity).  On `--resume`, a unit
+// whose key is present is replayed from the journal instead of being
+// recomputed; because the payload round-trips every double bit for bit
+// (hex bit patterns, never decimal) and units merge in the same order
+// either way, a resumed run is byte-identical to an uninterrupted one.
+//
+// Crash safety: entries are appended with fflush + fsync, each record is
+// self-delimiting (declared payload length plus a terminator), and load
+// stops at the first record that fails validation — a SIGKILL mid-append
+// costs at most the entry being written, never the journal.  Appends may
+// come from concurrent pool workers; records land in completion order,
+// which is irrelevant because lookups go through the key map.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace exaeff::run {
+
+// --- wire codec -------------------------------------------------------
+// Lossless text encoding used by every journal payload: 64-bit values as
+// fixed-width lowercase hex of the bit pattern.  Exact round-trip is the
+// determinism contract; decimal formatting would lose ulps.
+
+[[nodiscard]] std::string encode_u64(std::uint64_t v);
+[[nodiscard]] std::string encode_f64(double v);
+/// Returns false (leaving `out` untouched) on malformed input.
+[[nodiscard]] bool decode_u64(std::string_view hex, std::uint64_t& out);
+[[nodiscard]] bool decode_f64(std::string_view hex, double& out);
+
+/// FNV-1a 64-bit hash; the journal's content-addressing primitive.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data,
+                                    std::uint64_t seed = 0xCBF29CE484222325ULL);
+
+// --- journal ----------------------------------------------------------
+
+class Journal {
+ public:
+  /// Opens (creating directories is the caller's job) the journal at
+  /// `path`.  With `resume` true, existing valid records are loaded and
+  /// appends extend the file; otherwise the file starts empty.  Throws
+  /// exaeff::Error when the file cannot be opened for writing.
+  Journal(std::string path, bool resume);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Payload previously stored under `key`, or nullptr.  Counts a
+  /// resumed unit on hit.  Thread-safe.
+  [[nodiscard]] const std::string* find(std::uint64_t key) const;
+
+  /// Appends (key, payload) and flushes it to disk (fflush + fsync)
+  /// before returning, so a unit is either durably journaled or not
+  /// journaled at all.  `payload` must not contain '\n'.  Thread-safe;
+  /// re-appending an existing key is a no-op.
+  void append(std::uint64_t key, std::string payload);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t entries_loaded() const { return loaded_; }
+  [[nodiscard]] std::uint64_t entries_appended() const { return appended_; }
+  [[nodiscard]] std::uint64_t entries_resumed() const { return resumed_; }
+
+  /// Publishes exaeff_run_checkpoints_written_total and
+  /// exaeff_run_chunks_resumed_total deltas since the last call.
+  void publish_metrics();
+
+ private:
+  mutable std::mutex mu_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::unordered_map<std::uint64_t, std::string> entries_;
+  std::uint64_t loaded_ = 0;
+  std::uint64_t appended_ = 0;
+  mutable std::uint64_t resumed_ = 0;
+  std::uint64_t published_written_ = 0;
+  std::uint64_t published_resumed_ = 0;
+};
+
+}  // namespace exaeff::run

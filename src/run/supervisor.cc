@@ -1,0 +1,145 @@
+#include "run/supervisor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace exaeff::run {
+
+namespace {
+
+// One supervisor may own the process signal handlers at a time.  The
+// handler reads the token through a lock-free atomic; everything it does
+// is async-signal-safe (CAS, _exit).
+std::atomic<exec::CancellationToken*> g_signal_token{nullptr};
+
+extern "C" void exaeff_signal_handler(int sig) {
+  exec::CancellationToken* tok =
+      g_signal_token.load(std::memory_order_acquire);
+  if (tok == nullptr || !tok->cancel(sig)) {
+    // No graceful path (or the second signal): exit the conventional way.
+    _exit(128 + sig);
+  }
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options) : options_(options) {
+  if (options_.soft_stage_timeout_s <= 0.0) {
+    options_.soft_stage_timeout_s =
+        options_.deadline_s > 0.0
+            ? std::clamp(options_.deadline_s / 4.0, 1.0, 30.0)
+            : 30.0;
+  }
+  if (options_.handle_signals) {
+    exec::CancellationToken* expected = nullptr;
+    EXAEFF_REQUIRE(g_signal_token.compare_exchange_strong(
+                       expected, &token_, std::memory_order_acq_rel),
+                   "only one Supervisor may handle signals at a time");
+    signals_installed_ = true;
+    struct sigaction sa = {};
+    sa.sa_handler = exaeff_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking IO promptly
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+  }
+  if (options_.deadline_s > 0.0) {
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry::global()
+          .gauge("exaeff_run_deadline_seconds",
+                 "Wall-clock deadline configured for this run")
+          .set(options_.deadline_s);
+    }
+    watchdog_ = std::thread([this] { watchdog_main(); });
+  }
+}
+
+Supervisor::~Supervisor() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  if (signals_installed_) {
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_DFL;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    g_signal_token.store(nullptr, std::memory_order_release);
+  }
+}
+
+void Supervisor::watchdog_main() {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const auto deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options_.deadline_s));
+  const auto soft_us =
+      static_cast<std::uint64_t>(options_.soft_stage_timeout_s * 1e6);
+  const char* warned_stage = nullptr;
+  std::uint64_t warned_open_us = 0;
+
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lk, std::chrono::milliseconds(100),
+                     [this] { return stop_; })) {
+      return;
+    }
+    if (token_.cancelled()) return;  // someone else tripped it; done
+    if (Clock::now() >= deadline) {
+      obs::Logger::global().warn(
+          "run.deadline_exceeded",
+          {{"deadline_s", options_.deadline_s},
+           {"stage", obs::last_span_name() ? obs::last_span_name() : "?"}});
+      token_.cancel(exec::CancellationToken::kDeadline);
+      return;
+    }
+    // Stuck-stage heuristic: spans open constantly while the pipeline
+    // makes progress; a long quiet spell names the wedged stage.
+    const char* stage = obs::last_span_name();
+    const std::uint64_t opened = obs::last_span_open_us();
+    if (stage != nullptr &&
+        obs::monotonic_now_us() - opened > soft_us &&
+        (stage != warned_stage || opened != warned_open_us)) {
+      warned_stage = stage;
+      warned_open_us = opened;
+      obs::Logger::global().warn(
+          "run.stuck_stage",
+          {{"stage", stage},
+           {"quiet_s", static_cast<double>(
+                           obs::monotonic_now_us() - opened) / 1e6},
+           {"soft_timeout_s", options_.soft_stage_timeout_s}});
+    }
+  }
+}
+
+std::string Supervisor::reason_name(int reason) {
+  switch (reason) {
+    case SIGINT: return "SIGINT";
+    case SIGTERM: return "SIGTERM";
+    case exec::CancellationToken::kDeadline: return "deadline";
+    default: return "cancelled";
+  }
+}
+
+void Supervisor::publish_cancellation() {
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry::global()
+      .counter("exaeff_run_cancellations_total",
+               "Runs interrupted by signal or deadline")
+      .inc();
+}
+
+}  // namespace exaeff::run

@@ -1,0 +1,72 @@
+// exaeff/run/supervisor.h
+//
+// Supervised execution for long campaigns: one object that owns the
+// run's CancellationToken and every way it can trip —
+//
+//   * SIGINT / SIGTERM handlers (async-signal-safe: the handler does one
+//     atomic CAS on the token; a second signal hard-exits with the
+//     conventional 128+sig code in case graceful shutdown itself hangs),
+//   * an optional wall-clock deadline enforced by a watchdog thread,
+//     which also logs a "stuck stage" warning naming the most recently
+//     opened obs span when no new span has opened for the soft timeout
+//     (one long chunk, a deadlock, a wedged stage).
+//
+// The pipeline observes cancellation at thread-pool chunk boundaries
+// (exec/cancellation.h): in-flight work finishes, finished work is in the
+// checkpoint journal, and the interrupted loop throws CancelledError,
+// which the CLI maps to exit code 130.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "exec/cancellation.h"
+
+namespace exaeff::run {
+
+struct SupervisorOptions {
+  /// Wall-clock budget for the whole run; <= 0 disables the watchdog's
+  /// deadline (signals still work).
+  double deadline_s = 0.0;
+  /// Log a stuck-stage warning when no obs span has opened for this
+  /// long; <= 0 derives min(30 s, deadline / 4) clamped to >= 1 s.
+  double soft_stage_timeout_s = 0.0;
+  /// Install SIGINT/SIGTERM handlers (tests turn this off).
+  bool handle_signals = true;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options = {});
+  /// Restores previous signal dispositions and joins the watchdog.
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  [[nodiscard]] exec::CancellationToken& token() { return token_; }
+  [[nodiscard]] bool cancelled() const { return token_.cancelled(); }
+
+  /// Human-readable cause for token.reason(): "SIGINT", "SIGTERM",
+  /// "deadline", or "cancelled".
+  [[nodiscard]] static std::string reason_name(int reason);
+
+  /// Increments exaeff_run_cancellations_total (call once per observed
+  /// cancellation, from normal context — never from a handler).
+  static void publish_cancellation();
+
+ private:
+  void watchdog_main();
+
+  SupervisorOptions options_;
+  exec::CancellationToken token_;
+  bool signals_installed_ = false;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread watchdog_;
+};
+
+}  // namespace exaeff::run

@@ -356,6 +356,18 @@ void FleetGenerator::generate_telemetry(const SchedulerLog& log,
 }
 
 void FleetGenerator::generate_telemetry(const SchedulerLog& log,
+                                        std::size_t begin, std::size_t end,
+                                        JobSampleSink& sink) const {
+  EXAEFF_TRACE_SPAN("fleetgen.telemetry");
+  const auto& jobs = log.jobs();
+  EXAEFF_REQUIRE(begin <= end && end <= jobs.size(),
+                 "generate_telemetry: job range out of bounds");
+  JobEmitter emitter(*this, config_);
+  for (std::size_t i = begin; i < end; ++i) emitter.emit(jobs[i], sink);
+  publish_tally(emitter.tally());
+}
+
+void FleetGenerator::generate_telemetry(const SchedulerLog& log,
                                         JobSinkShards& shards,
                                         exec::ThreadPool& pool) const {
   EXAEFF_TRACE_SPAN("fleetgen.telemetry");

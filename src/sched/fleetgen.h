@@ -109,6 +109,14 @@ class FleetGenerator {
   void generate_telemetry(const SchedulerLog& log, JobSinkShards& shards,
                           exec::ThreadPool& pool) const;
 
+  /// Stage 2 restricted to the job-index range [begin, end) — the
+  /// checkpoint/resume building block (exaeff::run).  Every job derives
+  /// its stream from root.split(job_id) exactly as the full overloads
+  /// do, so emitting a range into its own sink and folding the sinks in
+  /// ascending range order is byte-identical to one full pass.
+  void generate_telemetry(const SchedulerLog& log, std::size_t begin,
+                          std::size_t end, JobSampleSink& sink) const;
+
   /// Profile used for a domain's applications.
   [[nodiscard]] const workloads::AppProfile& profile_for(
       ScienceDomain d) const;

@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "common/error.h"
 
 namespace exaeff::exec {
 namespace {
@@ -149,6 +152,113 @@ TEST(ThreadPool, SingleThreadPoolHasNoWorkers) {
   const auto out = pool.parallel_map(50, [](std::size_t i) { return i; });
   ASSERT_EQ(out.size(), 50u);
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(Cancellation, TokenFirstReasonWins) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.cancel(2));
+  EXPECT_FALSE(token.cancel(15));  // already cancelled; reason kept
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), 2);
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(Cancellation, PreCancelledTokenRunsNoChunks) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  token.cancel(CancellationToken::kDeadline);
+  pool.set_cancellation_token(&token);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(10000, 0,
+                        [&](std::size_t, std::size_t) {
+                          ran.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      CancelledError);
+  EXPECT_EQ(ran.load(), 0u);
+  pool.set_cancellation_token(nullptr);
+}
+
+TEST(Cancellation, MidLoopCancelStopsSchedulingNewChunks) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  pool.set_cancellation_token(&token);
+  std::atomic<std::size_t> started{0};
+  std::atomic<std::size_t> after_cancel{0};
+  EXPECT_THROW(
+      pool.parallel_for(100000, 100,
+                        [&](std::size_t, std::size_t) {
+                          if (token.cancelled()) {
+                            // Chunks already in flight may finish; no chunk
+                            // may *start* after the token is observed.
+                            after_cancel.fetch_add(
+                                1, std::memory_order_relaxed);
+                          }
+                          if (started.fetch_add(
+                                  1, std::memory_order_relaxed) == 20) {
+                            token.cancel(SIGINT);
+                          }
+                        }),
+      CancelledError);
+  EXPECT_LT(started.load(), 1000u);  // most of the loop never ran
+  // Every post-cancel body observed the token only because it was already
+  // running (at most one per worker thread).
+  EXPECT_LE(after_cancel.load(), pool.thread_count());
+  pool.set_cancellation_token(nullptr);
+}
+
+TEST(Cancellation, ChunkExceptionOutranksCancellation) {
+  // A chunk that throws while the token is also tripped must surface the
+  // chunk's own exception, exactly once — not CancelledError.
+  ThreadPool pool(4);
+  CancellationToken token;
+  pool.set_cancellation_token(&token);
+  try {
+    pool.parallel_for(10000, 100, [&](std::size_t begin, std::size_t) {
+      if (begin == 0) {
+        token.cancel(SIGTERM);
+        throw std::runtime_error("chunk failed");
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const CancelledError&) {
+    // The throwing chunk is the one that cancels, so it definitely ran —
+    // its exception must win over the cancellation.
+    FAIL() << "CancelledError masked the chunk's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk failed");
+  }
+  pool.set_cancellation_token(nullptr);
+}
+
+TEST(Cancellation, PoolIsReusableAfterCancelledLoop) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  pool.set_cancellation_token(&token);
+  token.cancel(SIGINT);
+  EXPECT_THROW(pool.parallel_for(1000, 10, [](std::size_t, std::size_t) {}),
+               CancelledError);
+  token.reset();
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(1000, 10, [&](std::size_t begin, std::size_t end) {
+    count.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(count.load(), 1000u);
+  pool.set_cancellation_token(nullptr);
+}
+
+TEST(Cancellation, MapChunksThrowsInsteadOfReturningPartialResults) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  pool.set_cancellation_token(&token);
+  token.cancel(SIGTERM);
+  EXPECT_THROW(
+      (void)pool.map_chunks(10000, 0,
+                            [](std::size_t b, std::size_t) { return b; }),
+      CancelledError);
+  pool.set_cancellation_token(nullptr);
 }
 
 TEST(MapIndexed, NullPoolFallsBackToSerial) {

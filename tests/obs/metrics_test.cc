@@ -2,10 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "run/journal.h"
+#include "run/supervisor.h"
 
 namespace exaeff::obs {
 namespace {
@@ -185,6 +191,49 @@ TEST_F(MetricsTest, EnabledFlagGatesCallSites) {
   EXPECT_FALSE(metrics_enabled());
   set_metrics_enabled(true);
   EXPECT_TRUE(metrics_enabled());
+}
+
+TEST_F(MetricsTest, SupervisedRunPublishesCheckpointAndCancellationSeries) {
+  // The exaeff_run_* series the operators' dashboards key on: journal
+  // write/replay counters, the cancellation counter, and the configured
+  // deadline gauge.
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      ("exaeff_metrics_run_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  {
+    run::Journal journal(dir + "/journal.ckpt", /*resume=*/false);
+    journal.append(1, "one");
+    journal.append(2, "two");
+    (void)journal.find(1);
+    journal.publish_metrics();
+  }
+  {
+    run::Journal journal(dir + "/journal.ckpt", /*resume=*/true);
+    (void)journal.find(2);
+    journal.publish_metrics();
+  }
+  run::Supervisor::publish_cancellation();
+  {
+    run::SupervisorOptions opts;
+    opts.deadline_s = 120.0;
+    opts.handle_signals = false;
+    run::Supervisor sup(opts);
+  }
+  const std::string prom = MetricsRegistry::global().expose_prometheus();
+  EXPECT_NE(prom.find("exaeff_run_checkpoints_written_total 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("exaeff_run_chunks_resumed_total 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("exaeff_run_cancellations_total 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("exaeff_run_deadline_seconds 120"), std::string::npos)
+      << prom;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

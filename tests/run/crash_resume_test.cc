@@ -1,0 +1,371 @@
+// Crash-safety tests for the supervised-execution layer: checkpointed
+// telemetry must be byte-identical to the uninterrupted sharded path, a
+// partially-filled journal must resume to the same bits, cancellation
+// must preserve finished chunks, and — the real thing — a child process
+// SIGKILLed at randomized seeded points must, after resuming, produce an
+// artifact identical to a never-interrupted run.
+#include "run/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/system_config.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "core/accumulator.h"
+#include "core/modal.h"
+#include "exec/thread_pool.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "run/atomic_file.h"
+#include "run/journal.h"
+#include "run/supervisor.h"
+#include "sched/fleetgen.h"
+#include "workloads/app_profile.h"
+
+namespace exaeff::run {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("exaeff_crash_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+/// One small fixed campaign shared by every test in this file.
+struct Campaign {
+  explicit Campaign(std::size_t nodes = 8, double days = 1.0) {
+    cfg.system = cluster::frontier_scaled(nodes);
+    cfg.duration_s = days * units::kDay;
+    library = workloads::make_profile_library(cfg.system.node.gcd);
+    boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  }
+  [[nodiscard]] core::CampaignAccumulator make_accumulator() const {
+    return core::CampaignAccumulator(cfg.telemetry_window_s, boundaries);
+  }
+  sched::CampaignConfig cfg;
+  workloads::ProfileLibrary library;
+  core::RegionBoundaries boundaries;
+};
+
+/// Canonical digest of a finished campaign: the chunk codec over the
+/// whole accumulator captures every field bit for bit.
+std::string digest(const core::CampaignAccumulator& acc,
+                   const faults::FaultCounters& counters) {
+  return encode_campaign_chunk(acc, counters);
+}
+
+std::string run_uninterrupted(const Campaign& c,
+                              const faults::FaultPlan& plan,
+                              std::size_t threads) {
+  exec::ThreadPool pool(threads);
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  auto acc = c.make_accumulator();
+  faults::FaultCounters counters;
+  generate_telemetry_checkpointed(gen, log, acc, plan, pool,
+                                  /*journal=*/nullptr, &counters);
+  return digest(acc, counters);
+}
+
+TEST(CheckpointedTelemetry, NullJournalMatchesShardedPathBitwise) {
+  const Campaign c;
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  for (const char* spec : {"", "drop=0.15,seed=11"}) {
+    const auto plan = faults::FaultPlan::parse(spec);
+    exec::ThreadPool pool(4);
+
+    auto sharded = c.make_accumulator();
+    faults::FaultCounters sharded_counters;
+    {
+      core::AccumulatorShards shards(sharded);
+      if (plan.any_enabled()) {
+        faults::FaultedJobShards faulted(shards, plan);
+        gen.generate_telemetry(log, faulted, pool);
+        sharded_counters = faulted.counters();
+      } else {
+        gen.generate_telemetry(log, shards, pool);
+      }
+    }
+
+    auto checkpointed = c.make_accumulator();
+    faults::FaultCounters counters;
+    generate_telemetry_checkpointed(gen, log, checkpointed, plan, pool,
+                                    nullptr, &counters);
+    EXPECT_EQ(digest(checkpointed, counters),
+              digest(sharded, sharded_counters))
+        << "plan '" << spec << "'";
+  }
+}
+
+TEST(CheckpointedTelemetry, FreshJournalRecordsEveryChunk) {
+  const Campaign c;
+  TempDir tmp;
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  const std::size_t chunks =
+      (log.size() + exec::ThreadPool::chunk_grain(log.size()) - 1) /
+      exec::ThreadPool::chunk_grain(log.size());
+
+  exec::ThreadPool pool(4);
+  Journal journal(tmp.path("journal.ckpt"), false);
+  auto acc = c.make_accumulator();
+  generate_telemetry_checkpointed(gen, log, acc, {}, pool, &journal,
+                                  nullptr);
+  EXPECT_EQ(journal.size(), chunks);
+  EXPECT_EQ(journal.entries_appended(), chunks);
+  EXPECT_EQ(journal.entries_resumed(), 0u);
+}
+
+TEST(CheckpointedTelemetry, PartialJournalResumesByteIdentical) {
+  const Campaign c;
+  TempDir tmp;
+  const std::string baseline = run_uninterrupted(c, {}, 1);
+
+  // Full checkpointed run at one thread count...
+  const std::string full_path = tmp.path("full.ckpt");
+  {
+    exec::ThreadPool pool(4);
+    const sched::FleetGenerator gen(c.cfg, c.library);
+    const auto log = gen.generate_schedule();
+    Journal journal(full_path, false);
+    auto acc = c.make_accumulator();
+    generate_telemetry_checkpointed(gen, log, acc, {}, pool, &journal,
+                                    nullptr);
+    EXPECT_EQ(digest(acc, {}), baseline);
+  }
+  // ...then keep only every other journal record — the on-disk state an
+  // interrupted run leaves behind — and resume at a different one.
+  const std::string half_path = tmp.path("half.ckpt");
+  std::size_t kept = 0;
+  {
+    std::ifstream in(full_path, std::ios::binary);
+    std::ofstream out(half_path, std::ios::binary);
+    std::string line;
+    for (std::size_t i = 0; std::getline(in, line); ++i) {
+      if (i % 2 == 0) {
+        out << line << '\n';
+        ++kept;
+      }
+    }
+    ASSERT_GT(kept, 2u);
+  }
+  {
+    exec::ThreadPool pool(3);
+    const sched::FleetGenerator gen(c.cfg, c.library);
+    const auto log = gen.generate_schedule();
+    Journal journal(half_path, true);
+    EXPECT_EQ(journal.entries_loaded(), kept);
+    auto acc = c.make_accumulator();
+    generate_telemetry_checkpointed(gen, log, acc, {}, pool, &journal,
+                                    nullptr);
+    EXPECT_EQ(digest(acc, {}), baseline);
+    EXPECT_EQ(journal.entries_resumed(), kept);
+  }
+}
+
+TEST(CheckpointedTelemetry, FaultedResumeIsByteIdentical) {
+  // Resume under an active fault plan: the per-chunk injector draws
+  // faults from (plan seed, sample identity) only, so a restored chunk
+  // and a recomputed one carry identical faulted telemetry.
+  const Campaign c;
+  TempDir tmp;
+  const auto plan = faults::FaultPlan::parse("drop=0.2,stuck=0.01:60,seed=5");
+  const std::string baseline = run_uninterrupted(c, plan, 2);
+
+  const std::string path = tmp.path("journal.ckpt");
+  {
+    exec::ThreadPool pool(4);
+    const sched::FleetGenerator gen(c.cfg, c.library);
+    const auto log = gen.generate_schedule();
+    Journal journal(path, false);
+    auto acc = c.make_accumulator();
+    faults::FaultCounters counters;
+    generate_telemetry_checkpointed(gen, log, acc, plan, pool, &journal,
+                                    &counters);
+  }
+  exec::ThreadPool pool(1);
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  Journal journal(path, true);
+  auto acc = c.make_accumulator();
+  faults::FaultCounters counters;
+  generate_telemetry_checkpointed(gen, log, acc, plan, pool, &journal,
+                                  &counters);
+  EXPECT_EQ(digest(acc, counters), baseline);
+  EXPECT_EQ(journal.entries_appended(), 0u);  // everything replayed
+}
+
+TEST(CheckpointedTelemetry, CancelledRunKeepsFinishedChunksAndResumes) {
+  const Campaign c(16, 2.0);
+  TempDir tmp;
+  const std::string baseline = run_uninterrupted(c, {}, 2);
+  const std::string path = tmp.path("journal.ckpt");
+
+  std::size_t journaled_at_cancel = 0;
+  {
+    exec::ThreadPool pool(2);
+    exec::CancellationToken token;
+    pool.set_cancellation_token(&token);
+    const sched::FleetGenerator gen(c.cfg, c.library);
+    const auto log = gen.generate_schedule();
+    Journal journal(path, false);
+    auto acc = c.make_accumulator();
+    // Trip the token as soon as a few chunks are durable, like a SIGINT
+    // landing mid-campaign.
+    std::thread watcher([&] {
+      while (journal.size() < 3) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      token.cancel(SIGINT);
+    });
+    EXPECT_THROW(generate_telemetry_checkpointed(gen, log, acc, {}, pool,
+                                                 &journal, nullptr),
+                 CancelledError);
+    watcher.join();
+    journaled_at_cancel = journal.size();
+    EXPECT_GE(journaled_at_cancel, 3u);
+  }
+  // Resume completes the campaign to the exact baseline bits.
+  exec::ThreadPool pool(4);
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  Journal journal(path, true);
+  EXPECT_EQ(journal.entries_loaded(), journaled_at_cancel);
+  auto acc = c.make_accumulator();
+  generate_telemetry_checkpointed(gen, log, acc, {}, pool, &journal,
+                                  nullptr);
+  EXPECT_EQ(digest(acc, {}), baseline);
+}
+
+TEST(Supervisor, DeadlineCancelsTheToken) {
+  SupervisorOptions opts;
+  opts.deadline_s = 0.15;
+  opts.handle_signals = false;
+  Supervisor sup(opts);
+  const auto start = std::chrono::steady_clock::now();
+  while (!sup.cancelled() &&
+         std::chrono::steady_clock::now() - start < std::chrono::seconds(5)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(sup.cancelled());
+  EXPECT_EQ(sup.token().reason(), exec::CancellationToken::kDeadline);
+  EXPECT_EQ(Supervisor::reason_name(sup.token().reason()), "deadline");
+}
+
+TEST(Supervisor, ReasonNames) {
+  EXPECT_EQ(Supervisor::reason_name(SIGINT), "SIGINT");
+  EXPECT_EQ(Supervisor::reason_name(SIGTERM), "SIGTERM");
+  EXPECT_EQ(Supervisor::reason_name(123), "cancelled");
+}
+
+// --- the crash harness ------------------------------------------------
+
+/// Child body: run the checkpointed campaign (resuming whatever journal
+/// state a previous incarnation left) and atomically publish the digest.
+/// Exit codes: 0 done, 9 any exception.  Runs in a forked child — uses
+/// _exit, never returns.
+[[noreturn]] void child_main(const std::string& dir) {
+  try {
+    const Campaign c(64, 8.0);
+    exec::ThreadPool pool(2);
+    const sched::FleetGenerator gen(c.cfg, c.library);
+    const auto log = gen.generate_schedule();
+    Journal journal(dir + "/journal.ckpt", /*resume=*/true);
+    auto acc = c.make_accumulator();
+    faults::FaultCounters counters;
+    generate_telemetry_checkpointed(gen, log, acc, {}, pool, &journal,
+                                    &counters);
+    AtomicFile out(dir + "/digest.txt");
+    out.stream() << digest(acc, counters);
+    ::_exit(out.commit() ? 0 : 9);
+  } catch (...) {
+    ::_exit(9);
+  }
+}
+
+TEST(CrashResume, SigkillAtSeededPointsThenResumeMatchesBaseline) {
+  TempDir tmp;
+  const std::string dir = tmp.path("");
+
+  // Seeded LCG: the kill schedule is randomized but reproducible.
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ULL;
+  constexpr int kKills = 5;
+  bool finished = false;
+  int attempts = 0;
+  std::size_t interrupted = 0;
+  for (; attempts < kKills + 5 && !finished; ++attempts) {
+    const pid_t pid = ::fork();
+    ASSERT_NE(pid, -1) << "fork failed";
+    if (pid == 0) child_main(dir);  // never returns
+
+    if (attempts < kKills) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      const auto delay = std::chrono::milliseconds(
+          20 + static_cast<int>((lcg >> 33) % 250));
+      std::this_thread::sleep_for(delay);
+      ::kill(pid, SIGKILL);
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    if (WIFSIGNALED(status)) ++interrupted;
+    if (WIFEXITED(status)) {
+      ASSERT_NE(WEXITSTATUS(status), 9) << "child failed rather than died";
+      if (WEXITSTATUS(status) == 0) finished = true;
+    }
+  }
+  ASSERT_TRUE(finished) << "campaign never completed in " << attempts
+                        << " attempts";
+  // The campaign is sized so kills land mid-run; a harness whose every
+  // child finishes before the SIGKILL isn't exercising resume at all.
+  EXPECT_GE(interrupted, 1u);
+  std::error_code ec;
+  ASSERT_TRUE(fs::exists(dir + "/journal.ckpt", ec));
+  EXPECT_GT(fs::file_size(dir + "/journal.ckpt", ec), 0u);
+
+  // No partial artifacts: the digest only ever appears complete.
+  std::ifstream in(dir + "/digest.txt", std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string crash_digest((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+
+  const Campaign c(64, 8.0);
+  EXPECT_EQ(crash_digest, run_uninterrupted(c, {}, 2));
+
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << "stray temp file: " << entry.path();
+  }
+}
+
+}  // namespace
+}  // namespace exaeff::run

@@ -1,0 +1,356 @@
+// Tests for the checkpoint journal and the atomic artifact writer: the
+// bit-exact wire codec, torn-tail recovery, duplicate-key semantics, and
+// the write-temp → fsync → rename commit path.
+#include "run/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include <bit>
+
+#include "cluster/system_config.h"
+#include "common/units.h"
+#include "core/accumulator.h"
+#include "core/modal.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "run/atomic_file.h"
+#include "run/checkpoint.h"
+#include "sched/fleetgen.h"
+#include "workloads/app_profile.h"
+
+namespace exaeff::run {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("exaeff_journal_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+TEST(WireCodec, U64RoundTripsExactly) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{0xDEADBEEF},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    const std::string hex = encode_u64(v);
+    EXPECT_EQ(hex.size(), 16u);
+    std::uint64_t back = 0;
+    ASSERT_TRUE(decode_u64(hex, back));
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(WireCodec, F64RoundTripsBitForBit) {
+  // Values decimal formatting would mangle: subnormals, ulp-separated
+  // neighbours, negative zero, infinities, NaN payloads.
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0 / 3.0,
+                          std::nextafter(1.0 / 3.0, 1.0),
+                          std::numeric_limits<double>::denorm_min(),
+                          -std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::quiet_NaN()};
+  for (const double v : cases) {
+    double back = 0.0;
+    ASSERT_TRUE(decode_f64(encode_f64(v), back));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back),
+              std::bit_cast<std::uint64_t>(v));
+  }
+}
+
+TEST(WireCodec, DecodeRejectsMalformedInput) {
+  std::uint64_t u = 99;
+  EXPECT_FALSE(decode_u64("", u));
+  EXPECT_FALSE(decode_u64("1234", u));                   // too short
+  EXPECT_FALSE(decode_u64("00000000000000000", u));      // too long
+  EXPECT_FALSE(decode_u64("00000000000000gz", u));       // bad digit
+  EXPECT_FALSE(decode_u64("00000000000000AB", u));       // upper case
+  EXPECT_EQ(u, 99u);  // untouched on failure
+}
+
+TEST(WireCodec, Fnv1a64MatchesReference) {
+  // Reference FNV-1a vectors.
+  EXPECT_EQ(fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_NE(fnv1a64("ab"), fnv1a64("ba"));
+}
+
+TEST(Journal, AppendFindRoundTrip) {
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  {
+    Journal j(path, /*resume=*/false);
+    j.append(1, "alpha");
+    j.append(2, "beta");
+    EXPECT_EQ(j.size(), 2u);
+    const std::string* hit = j.find(1);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, "alpha");
+    EXPECT_EQ(j.find(42), nullptr);
+  }
+  Journal reloaded(path, /*resume=*/true);
+  EXPECT_EQ(reloaded.entries_loaded(), 2u);
+  const std::string* hit = reloaded.find(2);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, "beta");
+}
+
+TEST(Journal, DuplicateKeyIsANoOp) {
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  Journal j(path, false);
+  j.append(7, "first");
+  j.append(7, "second");
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(*j.find(7), "first");
+  EXPECT_EQ(j.entries_appended(), 1u);
+}
+
+TEST(Journal, FreshModeTruncatesExistingFile) {
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  { Journal j(path, false); j.append(1, "old"); }
+  Journal j(path, false);  // no --resume: start over
+  EXPECT_EQ(j.size(), 0u);
+  EXPECT_EQ(j.find(1), nullptr);
+}
+
+TEST(Journal, TornTailIsDroppedEarlierRecordsSurvive) {
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  { Journal j(path, false); j.append(1, "keep me"); j.append(2, "and me"); }
+  // Simulate a SIGKILL mid-append: a trailing half-record.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "ck1 00000000000000aa 37 half-written";
+  }
+  Journal j(path, true);
+  EXPECT_EQ(j.entries_loaded(), 2u);
+  EXPECT_NE(j.find(1), nullptr);
+  EXPECT_EQ(j.find(0xAA), nullptr);
+}
+
+TEST(Journal, CorruptMiddleRecordStopsLoadThere) {
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  { Journal j(path, false); j.append(1, "good"); }
+  // A corrupt record followed by a well-formed one: nothing after the
+  // corruption has trustworthy framing, so the late record is dropped.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "ck1 garbage|\n";
+    out << "ck1 0000000000000002 4 late|\n";
+  }
+  Journal j(path, true);
+  EXPECT_EQ(j.entries_loaded(), 1u);
+  EXPECT_NE(j.find(1), nullptr);
+  EXPECT_EQ(j.find(2), nullptr);
+}
+
+TEST(Journal, PayloadsWithRecordDelimiterBytesRoundTrip) {
+  // '|' inside a payload must not confuse framing (length is explicit).
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  { Journal j(path, false); j.append(5, "a|b|c| "); }
+  Journal j(path, true);
+  ASSERT_NE(j.find(5), nullptr);
+  EXPECT_EQ(*j.find(5), "a|b|c| ");
+}
+
+TEST(AtomicFile, CommitPublishesExactContent) {
+  TempDir tmp;
+  const std::string path = tmp.path("artifact.txt");
+  {
+    AtomicFile f(path);
+    f.stream() << "line one\n";
+    f.write("line two\n");
+    ASSERT_TRUE(f.commit());
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "line one\nline two\n");
+}
+
+TEST(AtomicFile, AbandonedWriteLeavesNoFile) {
+  TempDir tmp;
+  const std::string path = tmp.path("artifact.txt");
+  {
+    AtomicFile f(path);
+    f.stream() << "never committed";
+  }
+  EXPECT_FALSE(fs::exists(path));
+  // No temp residue either.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(fs::path(path).parent_path())) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 0u);
+}
+
+TEST(AtomicFile, CommitReplacesPreviousArtifactAtomically) {
+  TempDir tmp;
+  const std::string path = tmp.path("artifact.txt");
+  ASSERT_TRUE(write_file_atomic(path, "old"));
+  ASSERT_TRUE(write_file_atomic(path, "new content"));
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "new content");
+}
+
+TEST(AtomicFile, CommitFailsCleanlyOnMissingDirectory) {
+  AtomicFile f("/nonexistent-dir-for-exaeff-test/x/artifact.txt");
+  f.write("content");
+  EXPECT_FALSE(f.commit());
+}
+
+// --- checkpoint payload codecs ---------------------------------------
+
+/// A small real campaign to exercise the accumulator codec on non-trivial
+/// state (all four regions, both fault counters populated).
+struct SmallCampaign {
+  SmallCampaign() {
+    cfg.system = cluster::frontier_scaled(8);
+    cfg.duration_s = 0.25 * units::kDay;
+    library = workloads::make_profile_library(cfg.system.node.gcd);
+    boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  }
+  sched::CampaignConfig cfg;
+  workloads::ProfileLibrary library;
+  core::RegionBoundaries boundaries;
+};
+
+TEST(CheckpointCodec, CampaignChunkRoundTripsBitForBit) {
+  SmallCampaign c;
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  ASSERT_GT(log.size(), 0u);
+  core::CampaignAccumulator acc(c.cfg.telemetry_window_s, c.boundaries);
+  auto partial = acc.make_sibling();
+  faults::FaultPlan plan = faults::FaultPlan::parse("drop=0.2,seed=9");
+  faults::JobFaultInjector inject(partial, plan);
+  gen.generate_telemetry(log, 0, log.size(), inject);
+  const faults::FaultCounters counters = inject.counters();
+  ASSERT_GT(partial.gcd_sample_count(), 0u);
+
+  const std::string payload = encode_campaign_chunk(partial, counters);
+  EXPECT_EQ(payload.find('\n'), std::string::npos);
+
+  auto restored = acc.make_sibling();
+  faults::FaultCounters restored_counters;
+  ASSERT_TRUE(decode_campaign_chunk(payload, restored, restored_counters));
+  // Snapshot equality is bitwise equality of every accumulator field.
+  const auto a = partial.snapshot();
+  const auto b = restored.snapshot();
+  EXPECT_EQ(a.hist_weights, b.hist_weights);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.hist_total),
+            std::bit_cast<std::uint64_t>(b.hist_total));
+  EXPECT_EQ(a.cells, b.cells);
+  EXPECT_EQ(a.gcd_samples, b.gcd_samples);
+  EXPECT_EQ(a.node_samples, b.node_samples);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.cpu_energy_j),
+            std::bit_cast<std::uint64_t>(b.cpu_energy_j));
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    EXPECT_EQ(a.domain_weights[d], b.domain_weights[d]);
+  }
+  EXPECT_EQ(restored_counters.samples_in, counters.samples_in);
+  EXPECT_EQ(restored_counters.passed, counters.passed);
+  EXPECT_EQ(restored_counters.dropped_iid, counters.dropped_iid);
+  // Re-encoding the restored state reproduces the payload byte for byte.
+  EXPECT_EQ(encode_campaign_chunk(restored, restored_counters), payload);
+}
+
+TEST(CheckpointCodec, DecodeRejectsTamperedPayloads) {
+  SmallCampaign c;
+  core::CampaignAccumulator acc(c.cfg.telemetry_window_s, c.boundaries);
+  auto partial = acc.make_sibling();
+  faults::FaultCounters counters;
+  EXPECT_FALSE(decode_campaign_chunk("", partial, counters));
+  EXPECT_FALSE(decode_campaign_chunk("v2 whatever", partial, counters));
+  const std::string good = encode_campaign_chunk(partial, counters);
+  // Truncations and trailing junk are both rejected.
+  EXPECT_FALSE(decode_campaign_chunk(
+      std::string_view(good).substr(0, good.size() / 2), partial, counters));
+  EXPECT_FALSE(decode_campaign_chunk(good + " extra", partial, counters));
+  EXPECT_TRUE(decode_campaign_chunk(good, partial, counters));
+}
+
+TEST(CheckpointCodec, ConfigKeySeparatesDistinctCampaigns) {
+  SmallCampaign c;
+  const faults::FaultPlan clean;
+  const std::uint64_t base = campaign_config_key(c.cfg, clean, 100);
+  EXPECT_EQ(base, campaign_config_key(c.cfg, clean, 100));  // stable
+
+  sched::CampaignConfig other = c.cfg;
+  other.seed ^= 1;
+  EXPECT_NE(campaign_config_key(other, clean, 100), base);
+  EXPECT_NE(campaign_config_key(c.cfg, clean, 101), base);
+  const auto faulted = faults::FaultPlan::parse("drop=0.1,seed=3");
+  EXPECT_NE(campaign_config_key(c.cfg, faulted, 100), base);
+  EXPECT_NE(campaign_chunk_key(base, 0, 10), campaign_chunk_key(base, 10, 20));
+}
+
+TEST(CheckpointCodec, SweepPointRoundTrips) {
+  SweepPointCheckpoint p;
+  p.pct = 15;
+  p.records = 123456789;
+  p.coverage = 0.85123456789;
+  p.row.cap_type = core::CapType::kFrequency;
+  p.row.setting = 1100.0;
+  p.row.ci_saved_mwh = 1.0 / 7.0;
+  p.row.mi_saved_mwh = 2.0 / 7.0;
+  p.row.total_saved_mwh = 3.0 / 7.0;
+  p.row.savings_pct = 4.0 / 7.0;
+  p.row.delta_t_pct = 5.0 / 7.0;
+  p.row.savings_pct_no_slowdown = 6.0 / 7.0;
+  p.counters.samples_in = 1000;
+  p.counters.dropped_iid = 150;
+  p.counters.passed = 850;
+  p.faulted = true;
+
+  SweepPointCheckpoint q;
+  ASSERT_TRUE(decode_sweep_point(encode_sweep_point(p), q));
+  EXPECT_EQ(q.pct, p.pct);
+  EXPECT_EQ(q.records, p.records);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(q.coverage),
+            std::bit_cast<std::uint64_t>(p.coverage));
+  EXPECT_EQ(q.row.cap_type, p.row.cap_type);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(q.row.total_saved_mwh),
+            std::bit_cast<std::uint64_t>(p.row.total_saved_mwh));
+  EXPECT_EQ(q.counters.dropped_iid, p.counters.dropped_iid);
+  EXPECT_TRUE(q.faulted);
+
+  SweepPointCheckpoint bad;
+  EXPECT_FALSE(decode_sweep_point("sw1 truncated", bad));
+  EXPECT_NE(sweep_point_key(1, 1100.0, 5), sweep_point_key(1, 1100.0, 10));
+  EXPECT_NE(sweep_point_key(1, 1100.0, 5), sweep_point_key(2, 1100.0, 5));
+}
+
+}  // namespace
+}  // namespace exaeff::run

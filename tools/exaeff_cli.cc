@@ -22,19 +22,32 @@
 //   --jobs=<N>             worker threads (default: EXAEFF_JOBS env var or
 //                          hardware concurrency); outputs are byte-identical
 //                          for any N, including 1
+//   --checkpoint=<dir>     journal completed work units to <dir>/journal.ckpt
+//   --resume               replay journaled work units instead of recomputing
+//   --deadline=<sec>       cancel the run after this wall-clock budget
 //
 // Commands that project savings exit with code 3 (and a clear stderr
 // message) when the surviving telemetry is below --min-coverage: a number
 // extrapolated from a sliver of the fleet is worse than no number.
 //
+// Exit codes: 0 success, 2 usage/argument error, 3 data-quality refusal,
+// 130 cancelled (SIGINT, SIGTERM, or --deadline; the checkpoint journal,
+// if any, is already flushed), 1 any other error.
+//
 // Results go to stdout; diagnostics, logs and the end-of-run stage
 // summary go to stderr, so piping stdout stays clean and deterministic.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/error.h"
 #include "core/decomposition.h"
 #include "core/report.h"
 #include "exec/thread_pool.h"
@@ -42,6 +55,10 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "run/atomic_file.h"
+#include "run/checkpoint.h"
+#include "run/journal.h"
+#include "run/supervisor.h"
 #include "sched/fleetgen.h"
 #include "sched/join.h"
 #include "sched/queue_sim.h"
@@ -78,6 +95,14 @@ int usage() {
       "  --jobs=<N>                worker threads (default: EXAEFF_JOBS or "
       "hardware concurrency);\n"
       "                            outputs are byte-identical for any N\n"
+      "  --checkpoint=<dir>        journal completed work units to "
+      "<dir>/journal.ckpt\n"
+      "                            (campaign, project, faults-sweep)\n"
+      "  --resume                  replay finished work units from the "
+      "checkpoint journal\n"
+      "  --deadline=<sec>          cancel after this wall-clock budget "
+      "(exit 130,\n"
+      "                            checkpoint preserved)\n"
       "  --help                    show this message\n");
   return 2;
 }
@@ -88,10 +113,42 @@ struct GlobalOptions {
   std::string metrics_path;
   std::string log_level = "info";
   std::string faults_spec;
+  std::string checkpoint_dir;
   double min_coverage = 0.5;
+  double deadline_s = 0.0;  ///< 0 = no deadline
   std::size_t jobs = 0;  ///< 0 = EXAEFF_JOBS env or hardware concurrency
+  bool resume = false;
   bool help = false;
 };
+
+/// A malformed command line: one-line message, exit code 2.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Strict "positive finite number" parse: the whole token must convert
+/// and the value must be > 0.  Rejects "abc", "3x", "-1", "0", "inf".
+bool try_parse_positive(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(v) || v <= 0.0) {
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+double parse_positive(const std::string& text, const char* what) {
+  double v = 0.0;
+  if (!try_parse_positive(text, v)) {
+    throw UsageError(std::string("exaeff: ") + what +
+                     " must be a positive number, got '" + text + "'");
+  }
+  return v;
+}
 
 /// Splits argv into `--flag=value` global options and positional args.
 /// Returns false (after complaining) on an unknown flag.
@@ -107,6 +164,10 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
       opts.help = true;
       continue;
     }
+    if (arg == "--resume") {
+      opts.resume = true;
+      continue;
+    }
     const auto eq = arg.find('=');
     const std::string key = arg.substr(0, eq);
     const std::string value =
@@ -120,14 +181,37 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
     } else if (key == "--faults") {
       opts.faults_spec = value;
     } else if (key == "--min-coverage") {
-      opts.min_coverage = std::atof(value.c_str());
-    } else if (key == "--jobs") {
-      const long n = std::atol(value.c_str());
-      if (n < 1) {
-        std::fprintf(stderr, "exaeff: --jobs needs a positive integer\n");
+      double v = 0.0;
+      if (!try_parse_positive(value, v) || v > 1.0) {
+        std::fprintf(stderr,
+                     "exaeff: --min-coverage must be in (0, 1], got '%s'\n",
+                     value.c_str());
         return false;
       }
-      opts.jobs = static_cast<std::size_t>(n);
+      opts.min_coverage = v;
+    } else if (key == "--jobs") {
+      double v = 0.0;
+      if (!try_parse_positive(value, v) || v != std::floor(v) ||
+          v > 4096.0) {
+        std::fprintf(stderr,
+                     "exaeff: --jobs must be a positive integer, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      opts.jobs = static_cast<std::size_t>(v);
+    } else if (key == "--checkpoint") {
+      opts.checkpoint_dir = value;
+    } else if (key == "--deadline") {
+      double v = 0.0;
+      if (!try_parse_positive(value, v)) {
+        std::fprintf(
+            stderr,
+            "exaeff: --deadline must be a positive number of seconds, "
+            "got '%s'\n",
+            value.c_str());
+        return false;
+      }
+      opts.deadline_s = v;
     } else {
       std::fprintf(stderr, "exaeff: unknown option '%s'\n", key.c_str());
       return false;
@@ -141,9 +225,12 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
   return true;
 }
 
+/// Positional numeric argument: validated when present, `fallback` when
+/// absent.  Throws UsageError (exit 2) on garbage — a campaign over
+/// "abc" nodes should fail loudly, not silently run the 0-node default.
 double arg_num(const std::vector<std::string>& args, std::size_t i,
-               double fallback) {
-  return i < args.size() ? std::atof(args[i].c_str()) : fallback;
+               double fallback, const char* what) {
+  return i < args.size() ? parse_positive(args[i], what) : fallback;
 }
 
 struct CampaignBundle {
@@ -156,7 +243,8 @@ struct CampaignBundle {
 };
 
 CampaignBundle run_campaign(std::size_t nodes, double days,
-                            const faults::FaultPlan& plan = {}) {
+                            const faults::FaultPlan& plan = {},
+                            run::Journal* journal = nullptr) {
   EXAEFF_TRACE_SPAN("cli.run_campaign");
   CampaignBundle b;
   b.cfg.system = cluster::frontier_scaled(nodes);
@@ -184,18 +272,33 @@ CampaignBundle run_campaign(std::size_t nodes, double days,
   {
     EXAEFF_TRACE_SPAN("campaign.accumulate");
     auto& pool = exec::ThreadPool::global();
-    core::AccumulatorShards shards(*b.acc);
-    if (plan.any_enabled()) {
-      faults::FaultedJobShards faulted(shards, plan);
-      gen.generate_telemetry(log, faulted, pool);
-      faulted.publish_metrics();
-      obs::Logger::global().info(
-          "campaign.faulted",
-          {{"plan", plan.describe()},
-           {"dropped", faulted.counters().dropped()},
-           {"passed", faulted.counters().passed}});
+    if (journal != nullptr) {
+      // Checkpointed path: chunk partials are journaled as they finish
+      // and replayed on --resume; byte-identical to the sharded path.
+      faults::FaultCounters counters;
+      run::generate_telemetry_checkpointed(gen, log, *b.acc, plan, pool,
+                                           journal, &counters);
+      if (plan.any_enabled()) {
+        faults::publish_fault_counters(counters);
+        obs::Logger::global().info("campaign.faulted",
+                                   {{"plan", plan.describe()},
+                                    {"dropped", counters.dropped()},
+                                    {"passed", counters.passed}});
+      }
     } else {
-      gen.generate_telemetry(log, shards, pool);
+      core::AccumulatorShards shards(*b.acc);
+      if (plan.any_enabled()) {
+        faults::FaultedJobShards faulted(shards, plan);
+        gen.generate_telemetry(log, faulted, pool);
+        faulted.publish_metrics();
+        obs::Logger::global().info(
+            "campaign.faulted",
+            {{"plan", plan.describe()},
+             {"dropped", faulted.counters().dropped()},
+             {"passed", faulted.counters().passed}});
+      } else {
+        gen.generate_telemetry(log, shards, pool);
+      }
     }
   }
   // Coverage is only *measured* under an active fault plan: clean runs
@@ -217,7 +320,7 @@ CampaignBundle run_campaign(std::size_t nodes, double days,
 int cmd_ert(const std::vector<std::string>& args) {
   EXAEFF_TRACE_SPAN("cli.ert");
   workloads::ert::Options opts;
-  if (!args.empty()) opts.frequency_mhz = std::atof(args[0].c_str());
+  if (!args.empty()) opts.frequency_mhz = parse_positive(args[0], "freq_mhz");
   const auto report = workloads::ert::measure(gpusim::mi250x_gcd(), opts);
   std::printf("%s", workloads::ert::render(report).c_str());
   return 0;
@@ -250,11 +353,12 @@ int cmd_characterize() {
   return 0;
 }
 
-int cmd_campaign(const std::vector<std::string>& args) {
+int cmd_campaign(const std::vector<std::string>& args,
+                 run::Journal* journal) {
   EXAEFF_TRACE_SPAN("cli.campaign");
-  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32));
-  const double days = arg_num(args, 1, 7.0);
-  const auto b = run_campaign(nodes, days);
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32, "nodes"));
+  const double days = arg_num(args, 1, 7.0, "days");
+  const auto b = run_campaign(nodes, days, {}, journal);
   const auto d = b.acc->decomposition();
   std::printf("campaign: %zu nodes, %.1f days, %zu jobs, %zu records\n",
               nodes, days, b.jobs, b.acc->gcd_sample_count());
@@ -271,12 +375,12 @@ int cmd_campaign(const std::vector<std::string>& args) {
 }
 
 int cmd_project(const std::vector<std::string>& args,
-                const GlobalOptions& opts) {
+                const GlobalOptions& opts, run::Journal* journal) {
   EXAEFF_TRACE_SPAN("cli.project");
-  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32));
-  const double days = arg_num(args, 1, 7.0);
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32, "nodes"));
+  const double days = arg_num(args, 1, 7.0, "days");
   const auto plan = faults::FaultPlan::parse(opts.faults_spec);
-  const auto b = run_campaign(nodes, days, plan);
+  const auto b = run_campaign(nodes, days, plan, journal);
   core::require_quality(core::DataQuality{b.coverage, 0.0},
                         core::QualityPolicy{opts.min_coverage, 1.0});
   const auto table =
@@ -310,7 +414,7 @@ int cmd_report(const std::vector<std::string>& args,
                const GlobalOptions& opts) {
   EXAEFF_TRACE_SPAN("cli.report");
   if (args.empty()) return usage();
-  const auto nodes = static_cast<std::size_t>(arg_num(args, 1, 32));
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 1, 32, "nodes"));
   const auto plan = faults::FaultPlan::parse(opts.faults_spec);
   const auto b = run_campaign(nodes, 7.0, plan);
   const auto table =
@@ -321,12 +425,12 @@ int cmd_report(const std::vector<std::string>& args,
   inputs.campaign_label = std::to_string(nodes) + "-node campaign";
   inputs.quality.coverage = b.coverage;
   inputs.quality_policy.min_coverage = opts.min_coverage;
-  std::ofstream out(args[0]);
-  if (!out) {
+  run::AtomicFile out(args[0]);
+  out.stream() << core::render_campaign_report(inputs);
+  if (!out.commit()) {
     obs::Logger::global().error("report.open_failed", {{"path", args[0]}});
     return 1;
   }
-  out << core::render_campaign_report(inputs);
   std::printf("report written to %s\n", args[0].c_str());
   return 0;
 }
@@ -334,8 +438,8 @@ int cmd_report(const std::vector<std::string>& args,
 int cmd_decompose(const std::vector<std::string>& args) {
   EXAEFF_TRACE_SPAN("cli.decompose");
   if (args.empty()) return usage();
-  const double watts = std::atof(args[0].c_str());
-  const double mhz = arg_num(args, 1, 1700.0);
+  const double watts = parse_positive(args[0], "watts");
+  const double mhz = arg_num(args, 1, 1700.0, "mhz");
   const core::PowerDecomposer dec(gpusim::mi250x_gcd());
   const auto est = dec.estimate(watts, mhz);
   if (est.idle) {
@@ -357,8 +461,8 @@ int cmd_decompose(const std::vector<std::string>& args) {
 
 int cmd_queue(const std::vector<std::string>& args) {
   EXAEFF_TRACE_SPAN("cli.queue");
-  const auto nodes = static_cast<std::uint32_t>(arg_num(args, 0, 64));
-  const double days = arg_num(args, 1, 2.0);
+  const auto nodes = static_cast<std::uint32_t>(arg_num(args, 0, 64, "nodes"));
+  const double days = arg_num(args, 1, 2.0, "days");
   const auto subs =
       sched::synthesize_submissions(nodes, days * units::kDay, 1.3, 5);
   for (auto disc : {sched::QueueDiscipline::kFcfs,
@@ -378,10 +482,10 @@ int cmd_queue(const std::vector<std::string>& args) {
 /// reports how far the projection drifts from the clean baseline — the
 /// "how much data loss can the analysis absorb" robustness bench.
 int cmd_faults_sweep(const std::vector<std::string>& args,
-                     const GlobalOptions& opts) {
+                     const GlobalOptions& opts, run::Journal* journal) {
   EXAEFF_TRACE_SPAN("cli.faults_sweep");
-  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32));
-  const double days = arg_num(args, 1, 7.0);
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32, "nodes"));
+  const double days = arg_num(args, 1, 7.0, "days");
   const auto base_plan = faults::FaultPlan::parse(opts.faults_spec);
 
   sched::CampaignConfig cfg;
@@ -410,19 +514,28 @@ int cmd_faults_sweep(const std::vector<std::string>& args,
   // generation then runs inline inside its worker (nested parallel loops
   // execute with identical chunking), so every point is byte-identical to
   // a serial run.  Results are printed serially in pct order afterwards.
-  struct SweepPoint {
-    int pct = 0;
-    std::size_t records = 0;
-    double coverage = 1.0;
-    core::ProjectionRow row;
-    faults::FaultCounters counters;
-    bool faulted = false;
-  };
+  // The sweep checkpoints at point granularity: a finished point is one
+  // journal entry, replayed wholesale on --resume.
+  using SweepPoint = run::SweepPointCheckpoint;
   constexpr int kPoints = 7;  // 0%, 5%, ... 30%
+  const std::uint64_t config_key =
+      journal != nullptr
+          ? run::campaign_config_key(cfg, base_plan, log.size())
+          : 0;
   auto& pool = exec::ThreadPool::global();
   const auto points = pool.parallel_map(kPoints, [&](std::size_t i) {
     SweepPoint p;
     p.pct = static_cast<int>(i) * 5;
+    const std::uint64_t key =
+        run::sweep_point_key(config_key, focus_mhz, p.pct);
+    if (journal != nullptr) {
+      if (const std::string* payload = journal->find(key)) {
+        SweepPoint restored;
+        if (run::decode_sweep_point(*payload, restored)) return restored;
+        obs::Logger::global().warn("run.checkpoint_decode_failed",
+                                   {{"sweep_pct", p.pct}});
+      }
+    }
     faults::FaultPlan plan = base_plan;
     plan.drop_probability = static_cast<double>(p.pct) / 100.0;
     core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
@@ -442,6 +555,9 @@ int cmd_faults_sweep(const std::vector<std::string>& args,
                      : 1.0;
     p.row = engine.project(acc.decomposition(), core::CapType::kFrequency,
                            focus_mhz);
+    if (journal != nullptr) {
+      journal->append(key, run::encode_sweep_point(p));
+    }
     return p;
   });
 
@@ -455,7 +571,8 @@ int cmd_faults_sweep(const std::vector<std::string>& args,
             : 0.0;
     const bool below_floor = p.coverage < opts.min_coverage;
     std::printf("%-6d %12zu %10.2f %10.3f %8.1f %10.1f %+9.2f%s\n", p.pct,
-                p.records, 100.0 * p.coverage, p.row.total_saved_mwh,
+                static_cast<std::size_t>(p.records), 100.0 * p.coverage,
+                p.row.total_saved_mwh,
                 p.row.savings_pct, p.row.savings_pct_no_slowdown, drift,
                 below_floor ? " [BELOW FLOOR]" : "");
   }
@@ -496,15 +613,15 @@ void print_summary_footer() {
 }
 
 int dispatch(const std::string& cmd, const std::vector<std::string>& args,
-             const GlobalOptions& opts) {
+             const GlobalOptions& opts, run::Journal* journal) {
   if (cmd == "ert") return cmd_ert(args);
   if (cmd == "characterize") return cmd_characterize();
-  if (cmd == "campaign") return cmd_campaign(args);
-  if (cmd == "project") return cmd_project(args, opts);
+  if (cmd == "campaign") return cmd_campaign(args, journal);
+  if (cmd == "project") return cmd_project(args, opts, journal);
   if (cmd == "report") return cmd_report(args, opts);
   if (cmd == "decompose") return cmd_decompose(args);
   if (cmd == "queue") return cmd_queue(args);
-  if (cmd == "faults-sweep") return cmd_faults_sweep(args, opts);
+  if (cmd == "faults-sweep") return cmd_faults_sweep(args, opts, journal);
   return usage();
 }
 
@@ -513,12 +630,16 @@ int dispatch(const std::string& cmd, const std::vector<std::string>& args,
 int main(int argc, char** argv) {
   GlobalOptions opts;
   std::vector<std::string> positional;
-  if (!parse_args(argc - 1, argv + 1, opts, positional)) return usage();
+  if (!parse_args(argc - 1, argv + 1, opts, positional)) return 2;
   if (opts.help) {
     usage();
     return 0;
   }
   if (positional.empty()) return usage();
+  if (opts.resume && opts.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "exaeff: --resume requires --checkpoint=<dir>\n");
+    return 2;
+  }
 
   bool level_ok = true;
   const auto level = obs::parse_log_level(opts.log_level, &level_ok);
@@ -534,47 +655,84 @@ int main(int argc, char** argv) {
   // EXAEFF_JOBS / hardware-concurrency default.
   exec::set_job_count(opts.jobs);
 
+  // Supervised execution: SIGINT/SIGTERM and the optional --deadline all
+  // trip one cancellation token, observed at pool chunk boundaries.
+  run::SupervisorOptions sup_opts;
+  sup_opts.deadline_s = opts.deadline_s;
+  run::Supervisor supervisor(sup_opts);
+  exec::ThreadPool::global().set_cancellation_token(&supervisor.token());
+
   const std::string cmd = positional.front();
   const std::vector<std::string> args(positional.begin() + 1,
                                       positional.end());
+  std::unique_ptr<run::Journal> journal;
   int rc = 0;
   try {
-    rc = dispatch(cmd, args, opts);
+    if (!opts.checkpoint_dir.empty()) {
+      std::filesystem::create_directories(opts.checkpoint_dir);
+      journal = std::make_unique<run::Journal>(
+          opts.checkpoint_dir + "/journal.ckpt", opts.resume);
+      if (opts.resume) {
+        obs::Logger::global().info(
+            "run.resuming", {{"journal", journal->path()},
+                             {"entries", journal->entries_loaded()}});
+      }
+    }
+    rc = dispatch(cmd, args, opts, journal.get());
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
   } catch (const DataQualityError& e) {
     // Distinct exit code: the pipeline worked, but the surviving data is
     // too thin to stand behind the numbers.
     std::fprintf(stderr, "exaeff: %s\n", e.what());
     obs::Logger::global().error("cli.data_quality", {{"what", e.what()}});
     return 3;
+  } catch (const CancelledError&) {
+    // Conventional interrupted-by-signal code.  Everything finished
+    // before the stop is already durable in the journal; partial
+    // artifacts were never renamed into place.
+    run::Supervisor::publish_cancellation();
+    const std::string why =
+        run::Supervisor::reason_name(supervisor.token().reason());
+    std::fprintf(stderr, "exaeff: run cancelled (%s)\n", why.c_str());
+    if (journal != nullptr) {
+      std::fprintf(stderr,
+                   "exaeff: checkpoint saved (%zu work units in %s); "
+                   "resume with --resume\n",
+                   journal->size(), journal->path().c_str());
+    }
+    obs::Logger::global().warn("cli.cancelled", {{"reason", why}});
+    return 130;
   } catch (const std::exception& e) {
     obs::Logger::global().error("cli.error", {{"what", e.what()}});
     return 1;
   }
 
   exec::ThreadPool::global().publish_metrics();
+  if (journal != nullptr) journal->publish_metrics();
   if (!opts.trace_path.empty()) {
-    std::ofstream out(opts.trace_path);
-    if (!out) {
+    run::AtomicFile out(opts.trace_path);
+    obs::Tracer::global().write_chrome_trace(out.stream());
+    if (!out.commit()) {
       obs::Logger::global().error("trace.open_failed",
                                   {{"path", opts.trace_path}});
     } else {
-      obs::Tracer::global().write_chrome_trace(out);
       obs::Logger::global().info(
           "trace.written", {{"path", opts.trace_path},
                             {"spans", obs::Tracer::global().span_count()}});
     }
   }
   if (!opts.metrics_path.empty()) {
-    std::ofstream out(opts.metrics_path);
-    if (!out) {
+    const bool json = opts.metrics_path.size() >= 5 &&
+                      opts.metrics_path.rfind(".json") ==
+                          opts.metrics_path.size() - 5;
+    auto& reg = obs::MetricsRegistry::global();
+    if (!run::write_file_atomic(
+            opts.metrics_path,
+            json ? reg.expose_json() : reg.expose_prometheus())) {
       obs::Logger::global().error("metrics.open_failed",
                                   {{"path", opts.metrics_path}});
-    } else {
-      const bool json = opts.metrics_path.size() >= 5 &&
-                        opts.metrics_path.rfind(".json") ==
-                            opts.metrics_path.size() - 5;
-      auto& reg = obs::MetricsRegistry::global();
-      out << (json ? reg.expose_json() : reg.expose_prometheus());
     }
   }
   print_summary_footer();
