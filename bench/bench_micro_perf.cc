@@ -4,7 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <sstream>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/accumulator.h"
 #include "core/characterization.h"
 #include "core/projection.h"
@@ -13,6 +16,7 @@
 #include "graph/louvain.h"
 #include "sched/fleetgen.h"
 #include "telemetry/aggregator.h"
+#include "telemetry/archive.h"
 #include "telemetry/store.h"
 #include "workloads/vai.h"
 
@@ -91,6 +95,64 @@ void BM_AccumulatorIngest(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AccumulatorIngest);
+
+/// A realistic multi-channel stream: per-channel runs of consecutive
+/// windows, the shape the batched producers hand to consumers.
+std::vector<telemetry::GcdSample> synth_stream() {
+  std::vector<telemetry::GcdSample> stream;
+  Rng rng(42);
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    for (std::uint16_t g = 0; g < 8; ++g) {
+      for (int w = 0; w < 512; ++w) {
+        telemetry::GcdSample s;
+        s.t_s = 15.0 * w;
+        s.node_id = node;
+        s.gcd_index = g;
+        s.power_w = static_cast<float>(320.0 + 90.0 * rng.normal());
+        stream.push_back(s);
+      }
+    }
+  }
+  return stream;
+}
+
+void BM_BatchedIngest(benchmark::State& state) {
+  // Span-batched counterpart of BM_AccumulatorIngest: one on_job_batch
+  // call per channel run instead of one virtual call per record.
+  const auto stream = synth_stream();
+  sched::Job job;
+  job.domain = sched::ScienceDomain::kCfd;
+  job.bin = sched::SizeBin::kB;
+  job.num_nodes = 1;
+  job.begin_s = 0;
+  job.end_s = 1e9;
+  job.nodes = {0};
+  core::CampaignAccumulator acc(15.0, core::RegionBoundaries{});
+  const std::span<const telemetry::GcdSample> span(stream);
+  for (auto _ : state) {
+    for (std::size_t off = 0; off < span.size(); off += 512) {
+      acc.on_job_batch(span.subspan(off, 512), job);
+    }
+    benchmark::DoNotOptimize(acc.gcd_sample_count());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(stream.size() * state.iterations()));
+}
+BENCHMARK(BM_BatchedIngest);
+
+void BM_ArchiveRoundTrip(benchmark::State& state) {
+  const auto stream = synth_stream();
+  for (auto _ : state) {
+    std::stringstream buf;
+    const auto info = telemetry::write_archive(buf, stream);
+    benchmark::DoNotOptimize(info.checksum);
+    const auto decoded = telemetry::read_archive(buf);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(stream.size() * state.iterations()));
+}
+BENCHMARK(BM_ArchiveRoundTrip);
 
 void BM_FleetGeneration(benchmark::State& state) {
   sched::CampaignConfig cfg;

@@ -39,6 +39,16 @@ NodeRunResult simulate_node_job(const NodeSpec& node,
       ++node_records;
       inner.on_node_sample(s);
     }
+    void on_gcd_batch(
+        std::span<const telemetry::GcdSample> samples) override {
+      gcd_records += samples.size();
+      inner.on_gcd_batch(samples);
+    }
+    void on_node_batch(
+        std::span<const telemetry::NodeSample> samples) override {
+      node_records += samples.size();
+      inner.on_node_batch(samples);
+    }
   } counter(sink);
   telemetry::Aggregator aggregator(counter, options.aggregate_window_s);
   aggregator.reserve_channels(gcds, 1);
@@ -92,8 +102,15 @@ NodeRunResult simulate_node_job(const NodeSpec& node,
 
   const double idle = node.gcd.idle_power_w;
   const double tdp = node.gcd.tdp_w;
+  const bool batching = telemetry::batching_enabled();
+  std::vector<telemetry::GcdSample> tick_batch;
+  tick_batch.reserve(gcds);
   for (double t = 0.0; t < result.wall_time_s;
        t += options.sensor_period_s) {
+    // The sensor walk is time-major (the shared rng interleaves idle
+    // noise and CPU-utilization draws per tick), so one tick's worth of
+    // per-GCD readings forms the natural batch.
+    tick_batch.clear();
     double gcd_sum = 0.0;
     for (std::size_t g = 0; g < gcds; ++g) {
       // The GCD finished? Sensor reads idle.
@@ -107,9 +124,16 @@ NodeRunResult simulate_node_job(const NodeSpec& node,
       s.node_id = options.node_id;
       s.gcd_index = static_cast<std::uint16_t>(g);
       s.power_w = static_cast<float>(std::max(0.0, p));
-      aggregator.on_gcd_sample(s);
+      tick_batch.push_back(s);
       gcd_sum += s.power_w;
       ++result.raw_samples;
+    }
+    if (batching) {
+      aggregator.on_gcd_batch(tick_batch);
+    } else {
+      for (const telemetry::GcdSample& s : tick_batch) {
+        aggregator.on_gcd_sample(s);
+      }
     }
     // CPU orchestration tracks mean GPU load.
     const double rel = std::clamp(

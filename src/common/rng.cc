@@ -6,18 +6,6 @@
 
 namespace exaeff {
 
-double Rng::normal() {
-  // Marsaglia polar method; rejection loop terminates with probability 1.
-  for (;;) {
-    const double u = uniform(-1.0, 1.0);
-    const double v = uniform(-1.0, 1.0);
-    const double s = u * u + v * v;
-    if (s > 0.0 && s < 1.0) {
-      return u * std::sqrt(-2.0 * std::log(s) / s);
-    }
-  }
-}
-
 double Rng::exponential(double mean) {
   EXAEFF_REQUIRE(mean > 0.0, "exponential mean must be positive");
   // Inverse CDF; 1-uniform() is in (0, 1] so log() is finite.

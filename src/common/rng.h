@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -89,7 +90,20 @@ class Rng {
 
   /// Standard normal via Marsaglia polar method (cached spare is not used
   /// to keep the generator stateless w.r.t. distribution draws).
-  [[nodiscard]] double normal();
+  /// Defined inline: telemetry synthesis draws one of these per sample,
+  /// and keeping the rejection loop visible to the caller lets the raw
+  /// generator fold into the fill loops.
+  [[nodiscard]] double normal() {
+    // Marsaglia polar method; rejection loop terminates with probability 1.
+    for (;;) {
+      const double u = uniform(-1.0, 1.0);
+      const double v = uniform(-1.0, 1.0);
+      const double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        return u * std::sqrt(-2.0 * std::log(s) / s);
+      }
+    }
+  }
 
   /// Normal with mean/stddev.
   [[nodiscard]] double normal(double mean, double stddev) {
@@ -109,6 +123,17 @@ class Rng {
 
   /// Bernoulli draw with probability p of returning true.
   [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Raw engine state accessors, for lockstep lane engines (rng_lanes.h)
+  /// that must consume and reproduce this exact stream.  Not for general
+  /// use: going through these bypasses the distribution helpers' draw
+  /// accounting.
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const {
+    return state_;
+  }
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) {
+    state_ = s;
+  }
 
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

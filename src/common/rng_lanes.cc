@@ -1,0 +1,315 @@
+#include "common/rng_lanes.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define EXAEFF_RNG_LANES_X86 1
+#include <immintrin.h>
+#endif
+
+namespace exaeff {
+namespace {
+
+/// Reference kernel: runs each of `lanes` streams through the scalar
+/// rejection loop, writing u[stride*i + l].  Matching Rng::normal()'s
+/// draw stream is automatic because it *is* that loop, stopped just
+/// before the transform.
+void kernel_portable(std::uint64_t* a, std::uint64_t* b, std::uint64_t* c,
+                     std::uint64_t* d, std::size_t lanes, std::size_t n,
+                     double* u, double* s, std::size_t stride) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Rng rng(0);
+    rng.set_state({a[l], b[l], c[l], d[l]});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (;;) {
+        const double lu = rng.uniform(-1.0, 1.0);
+        const double lv = rng.uniform(-1.0, 1.0);
+        const double ls = lu * lu + lv * lv;
+        if (ls > 0.0 && ls < 1.0) {
+          u[stride * i + l] = lu;
+          s[stride * i + l] = ls;
+          break;
+        }
+      }
+    }
+    const auto st = rng.state();
+    a[l] = st[0];
+    b[l] = st[1];
+    c[l] = st[2];
+    d[l] = st[3];
+  }
+}
+
+#if defined(EXAEFF_RNG_LANES_X86)
+
+__attribute__((target("avx2"))) inline __m256i rotl4(__m256i x, int k) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, k), _mm256_srli_epi64(x, 64 - k));
+}
+
+/// Exact u64 -> double conversion for x < 2^53 (AVX2 has no 64-bit
+/// integer convert).  Splits x into hi*2^32 + lo; both halves are
+/// exactly representable and the final sum fits in 53 bits, so every
+/// step is exact and the result equals static_cast<double>(x).
+__attribute__((target("avx2"))) inline __m256d u53_to_pd(__m256i x) {
+  const __m256i hi = _mm256_or_si256(
+      _mm256_srli_epi64(x, 32),
+      _mm256_castpd_si256(_mm256_set1_pd(19342813113834066795298816.)));
+  const __m256i lo = _mm256_blend_epi32(
+      x, _mm256_castpd_si256(_mm256_set1_pd(0x1.0p52)), 0xAA);
+  const __m256d f = _mm256_sub_pd(
+      _mm256_castsi256_pd(hi), _mm256_set1_pd(19342813118337666422669312.));
+  return _mm256_add_pd(_mm256_castsi256_pd(lo), f);
+}
+
+/// Four lanes of masked lockstep rejection, writing u[stride*i + 0..3].
+/// The stride parameter lets an 8-lane engine run two half-groups into
+/// its interleaved layout on machines without AVX-512.
+__attribute__((target("avx2"))) void kernel4_avx2(std::uint64_t* a,
+                                                  std::uint64_t* b,
+                                                  std::uint64_t* c,
+                                                  std::uint64_t* d,
+                                                  std::size_t n, double* u,
+                                                  double* s,
+                                                  std::size_t stride) {
+  __m256i A = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a));
+  __m256i B = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b));
+  __m256i C = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c));
+  __m256i D = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d));
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d neg1 = _mm256_set1_pd(-1.0);
+  const __m256d two = _mm256_set1_pd(2.0);
+  const __m256d scale = _mm256_set1_pd(0x1.0p-53);
+  const __m256d ones_mask = _mm256_cmp_pd(zero, zero, _CMP_EQ_OQ);
+  for (std::size_t i = 0; i < n; ++i) {
+    __m256d done = zero;
+    __m256d ures = zero;
+    __m256d sres = zero;
+    for (;;) {
+      // A lane that has already accepted goes inactive: its state stops
+      // advancing (so it consumes exactly the scalar loop's draws) and
+      // its result is frozen.
+      const __m256d active = _mm256_andnot_pd(done, ones_mask);
+      // Two raw xoshiro256** draws, on copies so inactive lanes can
+      // discard the advance.  result = rotl(b*5, 7) * 9 with the
+      // multiplies strength-reduced to shift-adds.
+      __m256i nA = A;
+      __m256i nB = B;
+      __m256i nC = C;
+      __m256i nD = D;
+      __m256i b5 = _mm256_add_epi64(nB, _mm256_slli_epi64(nB, 2));
+      __m256i r7 = rotl4(b5, 7);
+      const __m256i r1 = _mm256_add_epi64(r7, _mm256_slli_epi64(r7, 3));
+      __m256i t = _mm256_slli_epi64(nB, 17);
+      nC = _mm256_xor_si256(nC, nA);
+      nD = _mm256_xor_si256(nD, nB);
+      nB = _mm256_xor_si256(nB, nC);
+      nA = _mm256_xor_si256(nA, nD);
+      nC = _mm256_xor_si256(nC, t);
+      nD = rotl4(nD, 45);
+      b5 = _mm256_add_epi64(nB, _mm256_slli_epi64(nB, 2));
+      r7 = rotl4(b5, 7);
+      const __m256i r2 = _mm256_add_epi64(r7, _mm256_slli_epi64(r7, 3));
+      t = _mm256_slli_epi64(nB, 17);
+      nC = _mm256_xor_si256(nC, nA);
+      nD = _mm256_xor_si256(nD, nB);
+      nB = _mm256_xor_si256(nB, nC);
+      nA = _mm256_xor_si256(nA, nD);
+      nC = _mm256_xor_si256(nC, t);
+      nD = rotl4(nD, 45);
+      // u, v in [-1, 1): -1 + 2 * ((r >> 11) * 2^-53), the exact
+      // operation tree of Rng::uniform(-1, 1).
+      const __m256d u01 =
+          _mm256_mul_pd(u53_to_pd(_mm256_srli_epi64(r1, 11)), scale);
+      const __m256d v01 =
+          _mm256_mul_pd(u53_to_pd(_mm256_srli_epi64(r2, 11)), scale);
+      const __m256d uu = _mm256_add_pd(neg1, _mm256_mul_pd(two, u01));
+      const __m256d vv = _mm256_add_pd(neg1, _mm256_mul_pd(two, v01));
+      const __m256d ss =
+          _mm256_add_pd(_mm256_mul_pd(uu, uu), _mm256_mul_pd(vv, vv));
+      const __m256d accept = _mm256_and_pd(_mm256_cmp_pd(ss, zero, _CMP_GT_OQ),
+                                           _mm256_cmp_pd(ss, one, _CMP_LT_OQ));
+      const __m256d take = _mm256_and_pd(active, accept);
+      const __m256i act_i = _mm256_castpd_si256(active);
+      A = _mm256_blendv_epi8(A, nA, act_i);
+      B = _mm256_blendv_epi8(B, nB, act_i);
+      C = _mm256_blendv_epi8(C, nC, act_i);
+      D = _mm256_blendv_epi8(D, nD, act_i);
+      ures = _mm256_blendv_pd(ures, uu, take);
+      sres = _mm256_blendv_pd(sres, ss, take);
+      done = _mm256_or_pd(done, take);
+      if (_mm256_movemask_pd(done) == 0xF) break;
+    }
+    _mm256_storeu_pd(u + stride * i, ures);
+    _mm256_storeu_pd(s + stride * i, sres);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(a), A);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(b), B);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(c), C);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(d), D);
+}
+
+// GCC implements the unmasked AVX-512 shift/rotate intrinsics in terms
+// of their masked forms with an _mm512_undefined_epi32() "don't care"
+// source, which -Wmaybe-uninitialized flags; there is no actual
+// uninitialized read.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+/// Eight lanes in one ZMM register per state word.  AVX-512 makes the
+/// round body markedly cheaper than two AVX2 half-groups: rotates are
+/// native (vprolq), the u64 -> double conversion is a single
+/// vcvtuqq2pd (AVX512DQ) instead of the five-op split trick, and the
+/// accept/freeze bookkeeping lives in mask registers instead of
+/// blendv chains.
+__attribute__((target("avx512f,avx512dq"))) void kernel8_avx512(
+    std::uint64_t* a, std::uint64_t* b, std::uint64_t* c, std::uint64_t* d,
+    std::size_t n, double* u, double* s) {
+  __m512i A = _mm512_loadu_si512(a);
+  __m512i B = _mm512_loadu_si512(b);
+  __m512i C = _mm512_loadu_si512(c);
+  __m512i D = _mm512_loadu_si512(d);
+  const __m512d zero = _mm512_setzero_pd();
+  const __m512d one = _mm512_set1_pd(1.0);
+  const __m512d neg1 = _mm512_set1_pd(-1.0);
+  const __m512d two = _mm512_set1_pd(2.0);
+  const __m512d scale = _mm512_set1_pd(0x1.0p-53);
+  for (std::size_t i = 0; i < n; ++i) {
+    __mmask8 done = 0;
+    __m512d ures = zero;
+    __m512d sres = zero;
+    for (;;) {
+      const auto active = static_cast<__mmask8>(~done);
+      __m512i nA = A;
+      __m512i nB = B;
+      __m512i nC = C;
+      __m512i nD = D;
+      __m512i b5 = _mm512_add_epi64(nB, _mm512_slli_epi64(nB, 2));
+      __m512i r7 = _mm512_rol_epi64(b5, 7);
+      const __m512i r1 = _mm512_add_epi64(r7, _mm512_slli_epi64(r7, 3));
+      __m512i t = _mm512_slli_epi64(nB, 17);
+      nC = _mm512_xor_si512(nC, nA);
+      nD = _mm512_xor_si512(nD, nB);
+      nB = _mm512_xor_si512(nB, nC);
+      nA = _mm512_xor_si512(nA, nD);
+      nC = _mm512_xor_si512(nC, t);
+      nD = _mm512_rol_epi64(nD, 45);
+      b5 = _mm512_add_epi64(nB, _mm512_slli_epi64(nB, 2));
+      r7 = _mm512_rol_epi64(b5, 7);
+      const __m512i r2 = _mm512_add_epi64(r7, _mm512_slli_epi64(r7, 3));
+      t = _mm512_slli_epi64(nB, 17);
+      nC = _mm512_xor_si512(nC, nA);
+      nD = _mm512_xor_si512(nD, nB);
+      nB = _mm512_xor_si512(nB, nC);
+      nA = _mm512_xor_si512(nA, nD);
+      nC = _mm512_xor_si512(nC, t);
+      nD = _mm512_rol_epi64(nD, 45);
+      // vcvtuqq2pd rounds to nearest; the operands are < 2^53, so the
+      // conversion is exact and equals static_cast<double>.
+      const __m512d u01 = _mm512_mul_pd(
+          _mm512_cvtepu64_pd(_mm512_srli_epi64(r1, 11)), scale);
+      const __m512d v01 = _mm512_mul_pd(
+          _mm512_cvtepu64_pd(_mm512_srli_epi64(r2, 11)), scale);
+      const __m512d uu = _mm512_add_pd(neg1, _mm512_mul_pd(two, u01));
+      const __m512d vv = _mm512_add_pd(neg1, _mm512_mul_pd(two, v01));
+      const __m512d ss =
+          _mm512_add_pd(_mm512_mul_pd(uu, uu), _mm512_mul_pd(vv, vv));
+      const __mmask8 accept =
+          _mm512_cmp_pd_mask(ss, zero, _CMP_GT_OQ) &
+          _mm512_cmp_pd_mask(ss, one, _CMP_LT_OQ);
+      const auto take = static_cast<__mmask8>(active & accept);
+      A = _mm512_mask_mov_epi64(A, active, nA);
+      B = _mm512_mask_mov_epi64(B, active, nB);
+      C = _mm512_mask_mov_epi64(C, active, nC);
+      D = _mm512_mask_mov_epi64(D, active, nD);
+      ures = _mm512_mask_mov_pd(ures, take, uu);
+      sres = _mm512_mask_mov_pd(sres, take, ss);
+      done |= take;
+      if (done == 0xFF) break;
+    }
+    _mm512_storeu_pd(u + 8 * i, ures);
+    _mm512_storeu_pd(s + 8 * i, sres);
+  }
+  _mm512_storeu_si512(a, A);
+  _mm512_storeu_si512(b, B);
+  _mm512_storeu_si512(c, C);
+  _mm512_storeu_si512(d, D);
+}
+
+#pragma GCC diagnostic pop
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+bool cpu_has_avx512() {
+  static const bool has = __builtin_cpu_supports("avx512f") &&
+                          __builtin_cpu_supports("avx512dq");
+  return has;
+}
+
+#endif  // EXAEFF_RNG_LANES_X86
+
+}  // namespace
+
+PolarLanes4::PolarLanes4(const std::array<Rng, 4>& lanes) {
+  for (std::size_t l = 0; l < 4; ++l) {
+    const auto st = lanes[l].state();
+    a_[l] = st[0];
+    b_[l] = st[1];
+    c_[l] = st[2];
+    d_[l] = st[3];
+  }
+}
+
+void PolarLanes4::extract(std::array<Rng, 4>& lanes) const {
+  for (std::size_t l = 0; l < 4; ++l) {
+    lanes[l].set_state({a_[l], b_[l], c_[l], d_[l]});
+  }
+}
+
+void PolarLanes4::generate(std::size_t n, double* u, double* s) {
+#if defined(EXAEFF_RNG_LANES_X86)
+  if (cpu_has_avx2()) {
+    kernel4_avx2(a_.data(), b_.data(), c_.data(), d_.data(), n, u, s, 4);
+    return;
+  }
+#endif
+  kernel_portable(a_.data(), b_.data(), c_.data(), d_.data(), 4, n, u, s, 4);
+}
+
+PolarLanes8::PolarLanes8(const std::array<Rng, 8>& lanes) {
+  for (std::size_t l = 0; l < 8; ++l) {
+    const auto st = lanes[l].state();
+    a_[l] = st[0];
+    b_[l] = st[1];
+    c_[l] = st[2];
+    d_[l] = st[3];
+  }
+}
+
+void PolarLanes8::extract(std::array<Rng, 8>& lanes) const {
+  for (std::size_t l = 0; l < 8; ++l) {
+    lanes[l].set_state({a_[l], b_[l], c_[l], d_[l]});
+  }
+}
+
+void PolarLanes8::generate(std::size_t n, double* u, double* s) {
+#if defined(EXAEFF_RNG_LANES_X86)
+  if (cpu_has_avx512()) {
+    kernel8_avx512(a_.data(), b_.data(), c_.data(), d_.data(), n, u, s);
+    return;
+  }
+  if (cpu_has_avx2()) {
+    // Two independent half-groups into the 8-wide interleave.  Lockstep
+    // is per half-group, which changes nothing observable: each lane
+    // still consumes exactly its own scalar draw sequence.
+    kernel4_avx2(a_.data(), b_.data(), c_.data(), d_.data(), n, u, s, 8);
+    kernel4_avx2(a_.data() + 4, b_.data() + 4, c_.data() + 4, d_.data() + 4,
+                 n, u + 4, s + 4, 8);
+    return;
+  }
+#endif
+  kernel_portable(a_.data(), b_.data(), c_.data(), d_.data(), 8, n, u, s, 8);
+}
+
+}  // namespace exaeff

@@ -1,0 +1,84 @@
+// exaeff/common/rng_lanes.h
+//
+// Lockstep Marsaglia-polar pre-draws for N independent Rng streams.
+//
+// The telemetry hot path draws one standard normal per sample per
+// channel, and channels that share a phase schedule walk the same
+// windows.  Drawing those channels one at a time serializes every
+// sample behind the polar method's mispredicted rejection branch.
+// A PolarLanes engine instead advances N streams together: each call
+// to generate() produces, per stream, exactly the accepted (u, s) pair
+// the scalar rejection loop in Rng::normal() would have produced,
+// consuming exactly the same raw draws — so after extract() the lanes
+// continue bit-for-bit where a scalar walk would have left them.
+//
+// The u * sqrt(-2 ln s / s) transform is deliberately left to the
+// caller (polar_transform below): run as a second pass over already-
+// accepted pairs, the log/sqrt chains are independent and pipeline,
+// instead of each one serializing behind the next draw's rejection
+// branch.
+//
+// On x86 the rejection loop itself runs masked in SIMD lanes — a lane
+// that has accepted freezes (state stops advancing, result is held)
+// until every lane of the round is done.  PolarLanes8 uses one AVX-512
+// register per xoshiro state word where available and falls back to
+// two AVX2 half-groups; PolarLanes4 is the AVX2-sized variant.  Both
+// produce bit-identical output through a portable kernel elsewhere.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace exaeff {
+
+/// The deferred half of Rng::normal(): maps an accepted polar pair to
+/// the standard-normal value, with the exact expression (and therefore
+/// the exact rounding) the scalar rejection loop uses.
+[[nodiscard]] inline double polar_transform(double u, double s) {
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+/// Four xoshiro256** streams advanced in lockstep through the polar
+/// method's rejection loop.
+class PolarLanes4 {
+ public:
+  explicit PolarLanes4(const std::array<Rng, 4>& lanes);
+
+  /// Fills u[4*i + lane] and s[4*i + lane] for i in [0, n): one
+  /// accepted (u, s) pair per lane per step, in the interleaved layout
+  /// the two-pass fill loops consume.
+  void generate(std::size_t n, double* u, double* s);
+
+  /// Writes the advanced stream states back into `lanes`.
+  void extract(std::array<Rng, 4>& lanes) const;
+
+ private:
+  // xoshiro256** lane states, structure-of-arrays so each state word
+  // maps onto one SIMD register.
+  std::array<std::uint64_t, 4> a_{}, b_{}, c_{}, d_{};
+};
+
+/// Eight xoshiro256** streams advanced in lockstep — the shape of one
+/// node's full GCD channel set.  Wider lockstep costs slightly more
+/// rounds per step (the slowest lane gates all eight) but halves the
+/// per-round loop overhead per draw, and maps onto one AVX-512
+/// register per state word.
+class PolarLanes8 {
+ public:
+  explicit PolarLanes8(const std::array<Rng, 8>& lanes);
+
+  /// Fills u[8*i + lane] and s[8*i + lane] for i in [0, n).
+  void generate(std::size_t n, double* u, double* s);
+
+  /// Writes the advanced stream states back into `lanes`.
+  void extract(std::array<Rng, 8>& lanes) const;
+
+ private:
+  std::array<std::uint64_t, 8> a_{}, b_{}, c_{}, d_{};
+};
+
+}  // namespace exaeff

@@ -61,13 +61,6 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
   EXAEFF_REQUIRE(bins > 0, "histogram needs at least one bin");
 }
 
-std::size_t Histogram::bin_index(double x) const {
-  if (x <= lo_) return 0;
-  if (x >= hi_) return counts_.size() - 1;
-  auto idx = static_cast<std::size_t>((x - lo_) / width_);
-  return std::min(idx, counts_.size() - 1);
-}
-
 void Histogram::add(double x, double weight) {
   EXAEFF_REQUIRE(weight >= 0.0, "histogram weight must be non-negative");
   counts_[bin_index(x)] += weight;

@@ -66,6 +66,29 @@ class Histogram {
   void add(double x, double weight = 1.0);
   void merge(const Histogram& other);
 
+  /// Bin that `x` falls into (out-of-range values clamp to the edge
+  /// bins, exactly as add() counts them).  Inline: this is the per-sample
+  /// lookup on the batched telemetry ingest path.
+  [[nodiscard]] std::size_t bin_index_of(double x) const {
+    return bin_index(x);
+  }
+  /// Adds `weight` directly to bin `bin` — the hot-path companion to
+  /// add() for callers sharing one bin lookup across several histograms
+  /// of identical shape.  Precondition: bin < bin_count().
+  void add_at(std::size_t bin, double weight = 1.0) {
+    counts_[bin] += weight;
+    total_ += weight;
+  }
+  /// Counts one unit-weight sample in bin `bin` WITHOUT updating the
+  /// total — pair with one add_total(n) per batch.  Splitting the two
+  /// removes a serialized add into total_ from every iteration of the
+  /// batched ingest loop; unit weights make the deferred total exact
+  /// (n additions of 1.0 and one addition of n are both integer sums,
+  /// bit-identical below 2^53).  Precondition: bin < bin_count().
+  void count_at(std::size_t bin) { counts_[bin] += 1.0; }
+  /// Adds `n` unit-weight samples' worth of total weight; see count_at.
+  void add_total(double n) { total_ += n; }
+
   /// Overwrites the bin weights and total with previously captured
   /// values (checkpoint restore).  `weights` must match bin_count();
   /// passing back exactly what weights()/total_weight() returned
@@ -90,7 +113,12 @@ class Histogram {
   [[nodiscard]] std::span<const double> weights() const { return counts_; }
 
  private:
-  [[nodiscard]] std::size_t bin_index(double x) const;
+  [[nodiscard]] std::size_t bin_index(double x) const {
+    if (x <= lo_) return 0;
+    if (x >= hi_) return counts_.size() - 1;
+    const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    return std::min(idx, counts_.size() - 1);
+  }
 
   double lo_;
   double hi_;

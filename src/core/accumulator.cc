@@ -20,6 +20,7 @@ CampaignAccumulator::CampaignAccumulator(double window_s,
                                          double hist_lo_w, double hist_hi_w,
                                          std::size_t hist_bins)
     : window_s_(window_s),
+      hours_per_sample_(window_s / 3600.0),
       boundaries_(boundaries),
       hist_(hist_lo_w, hist_hi_w, hist_bins),
       domain_hist_(make_histograms<sched::kDomainCount>(hist_lo_w, hist_hi_w,
@@ -31,16 +32,19 @@ void CampaignAccumulator::on_job_sample(const telemetry::GcdSample& sample,
                                         const sched::Job& job) {
   const double p = sample.power_w;
   const Region region = boundaries_.classify(p);
-  const double hours = window_s_ / 3600.0;
   const double energy = p * window_s_;
 
-  hist_.add(p);
-  domain_hist_[static_cast<std::size_t>(job.domain)].add(p);
+  // hist_ and domain_hist_ share one shape, so one bin lookup serves
+  // both (same clamping as Histogram::add) — same sharing as the batch
+  // path below.
+  const std::size_t bin = hist_.bin_index_of(p);
+  hist_.add_at(bin);
+  domain_hist_[static_cast<std::size_t>(job.domain)].add_at(bin);
 
   auto& share = cells_[static_cast<std::size_t>(job.domain)]
                       [static_cast<std::size_t>(job.bin)]
                           .regions[static_cast<std::size_t>(region)];
-  share.gpu_hours += hours;
+  share.gpu_hours += hours_per_sample_;
   share.energy_j += energy;
   ++samples_;
 }
@@ -48,6 +52,44 @@ void CampaignAccumulator::on_job_sample(const telemetry::GcdSample& sample,
 void CampaignAccumulator::on_node_sample(const telemetry::NodeSample& sample) {
   cpu_energy_j_ += sample.cpu_power_w * window_s_;
   ++node_samples_;
+}
+
+void CampaignAccumulator::on_job_batch(
+    std::span<const telemetry::GcdSample> samples, const sched::Job& job) {
+  // Span-invariant lookups hoisted out of the loop; every floating-point
+  // accumulation below adds the same values in the same per-sample order
+  // as on_job_sample(), so batched ingest is bit-identical to it.
+  Histogram& dh = domain_hist_[static_cast<std::size_t>(job.domain)];
+  auto& row = cells_[static_cast<std::size_t>(job.domain)]
+                    [static_cast<std::size_t>(job.bin)];
+  const double hours = hours_per_sample_;
+  const double window = window_s_;
+  for (const telemetry::GcdSample& sample : samples) {
+    const double p = sample.power_w;
+    const Region region = boundaries_.classify(p);
+    // hist_ and domain_hist_ share one shape, so one bin lookup serves
+    // both (same clamping as Histogram::add).  Totals are deferred to
+    // one add_total per batch — exact for unit weights — so the loop
+    // carries no serialized add into either histogram's total.
+    const std::size_t bin = hist_.bin_index_of(p);
+    hist_.count_at(bin);
+    dh.count_at(bin);
+    auto& share = row.regions[static_cast<std::size_t>(region)];
+    share.gpu_hours += hours;
+    share.energy_j += p * window;
+  }
+  const auto n = static_cast<double>(samples.size());
+  hist_.add_total(n);
+  dh.add_total(n);
+  samples_ += samples.size();
+}
+
+void CampaignAccumulator::on_node_batch(
+    std::span<const telemetry::NodeSample> samples) {
+  for (const telemetry::NodeSample& sample : samples) {
+    cpu_energy_j_ += sample.cpu_power_w * window_s_;
+  }
+  node_samples_ += samples.size();
 }
 
 void CampaignAccumulator::merge(const CampaignAccumulator& other) {

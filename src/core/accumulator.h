@@ -53,6 +53,15 @@ class CampaignAccumulator final : public sched::JobSampleSink {
                      const sched::Job& job) override;
   void on_node_sample(const telemetry::NodeSample& sample) override;
 
+  /// Batch fast paths: per-sample accumulation order is preserved bit
+  /// for bit, but the (domain, bin) cell row and domain histogram are
+  /// resolved once per span and the power-histogram bin index is shared
+  /// between the system and domain histograms.
+  void on_job_batch(std::span<const telemetry::GcdSample> samples,
+                    const sched::Job& job) override;
+  void on_node_batch(
+      std::span<const telemetry::NodeSample> samples) override;
+
   /// Merges a sibling accumulator (parallel sharding).
   void merge(const CampaignAccumulator& other);
 
@@ -119,6 +128,10 @@ class CampaignAccumulator final : public sched::JobSampleSink {
 
  private:
   double window_s_;
+  // window_s_ / 3600.0, precomputed once: the ingest loops add it per
+  // sample and the division is loop-invariant for the accumulator's
+  // whole lifetime.
+  double hours_per_sample_ = 0.0;
   RegionBoundaries boundaries_;
   Histogram hist_;
   std::array<Histogram, sched::kDomainCount> domain_hist_;

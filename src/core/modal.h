@@ -47,12 +47,15 @@ struct RegionBoundaries {
   double memory_max_w = 420.0;   ///< region 2 upper edge
   double compute_max_w = 560.0;  ///< region 3 upper edge (TDP)
 
-  /// Classifies a power sample.
+  /// Classifies a power sample.  Branchless — the region index is the
+  /// number of boundaries the sample exceeds — because telemetry noise
+  /// keeps samples hovering around the edges, and the ingest hot loop
+  /// classifies every sample; data-dependent branches here mispredict.
   [[nodiscard]] constexpr Region classify(double power_w) const {
-    if (power_w <= latency_max_w) return Region::kLatencyBound;
-    if (power_w <= memory_max_w) return Region::kMemoryIntensive;
-    if (power_w <= compute_max_w) return Region::kComputeIntensive;
-    return Region::kBoost;
+    const int r = static_cast<int>(power_w > latency_max_w) +
+                  static_cast<int>(power_w > memory_max_w) +
+                  static_cast<int>(power_w > compute_max_w);
+    return static_cast<Region>(r);
   }
 };
 

@@ -179,6 +179,14 @@ struct FaultedJobShards::Shard final : sched::JobSampleSink {
   void on_node_sample(const telemetry::NodeSample& sample) override {
     injector.on_node_sample(sample);
   }
+  void on_job_batch(std::span<const telemetry::GcdSample> samples,
+                    const sched::Job& job) override {
+    injector.on_job_batch(samples, job);
+  }
+  void on_node_batch(
+      std::span<const telemetry::NodeSample> samples) override {
+    injector.on_node_batch(samples);
+  }
 };
 
 std::unique_ptr<sched::JobSampleSink> FaultedJobShards::make_shard() const {
@@ -238,6 +246,114 @@ void FaultInjector::on_gcd_sample(const telemetry::GcdSample& sample) {
 void FaultInjector::on_node_sample(const telemetry::NodeSample& sample) {
   telemetry::NodeSample s = sample;
   if (model_.apply(s)) downstream_.on_node_sample(s);
+}
+
+void FaultInjector::on_gcd_batch(
+    std::span<const telemetry::GcdSample> samples) {
+  if (model_.plan().reorder.enabled()) {
+    // The hold-back buffer decrements per delivery, so its state is a
+    // function of the per-record walk; replay it exactly.
+    for (const telemetry::GcdSample& s : samples) on_gcd_sample(s);
+    return;
+  }
+  if (!model_.mutates_values()) {
+    // Drops only: forward the surviving sub-spans zero-copy.
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      telemetry::GcdSample s = samples[i];
+      if (model_.apply(s)) continue;
+      if (i > run) downstream_.on_gcd_batch(samples.subspan(run, i - run));
+      run = i + 1;
+    }
+    if (samples.size() > run) {
+      downstream_.on_gcd_batch(samples.subspan(run));
+    }
+    return;
+  }
+  gcd_scratch_.clear();
+  gcd_scratch_.reserve(samples.size());
+  for (const telemetry::GcdSample& sample : samples) {
+    telemetry::GcdSample s = sample;
+    if (model_.apply(s)) gcd_scratch_.push_back(s);
+  }
+  if (!gcd_scratch_.empty()) downstream_.on_gcd_batch(gcd_scratch_);
+}
+
+void FaultInjector::on_node_batch(
+    std::span<const telemetry::NodeSample> samples) {
+  if (!model_.mutates_values()) {
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      telemetry::NodeSample s = samples[i];
+      if (model_.apply(s)) continue;
+      if (i > run) downstream_.on_node_batch(samples.subspan(run, i - run));
+      run = i + 1;
+    }
+    if (samples.size() > run) {
+      downstream_.on_node_batch(samples.subspan(run));
+    }
+    return;
+  }
+  node_scratch_.clear();
+  node_scratch_.reserve(samples.size());
+  for (const telemetry::NodeSample& sample : samples) {
+    telemetry::NodeSample s = sample;
+    if (model_.apply(s)) node_scratch_.push_back(s);
+  }
+  if (!node_scratch_.empty()) downstream_.on_node_batch(node_scratch_);
+}
+
+void JobFaultInjector::on_job_batch(
+    std::span<const telemetry::GcdSample> samples, const sched::Job& job) {
+  if (!model_.mutates_values()) {
+    // Drop decisions are stateless hash draws and survivors are
+    // unmodified, so the span partitions into surviving sub-spans that
+    // forward zero-copy.
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      telemetry::GcdSample s = samples[i];
+      if (model_.apply(s)) continue;
+      if (i > run) {
+        downstream_.on_job_batch(samples.subspan(run, i - run), job);
+      }
+      run = i + 1;
+    }
+    if (samples.size() > run) {
+      downstream_.on_job_batch(samples.subspan(run), job);
+    }
+    return;
+  }
+  gcd_scratch_.clear();
+  gcd_scratch_.reserve(samples.size());
+  for (const telemetry::GcdSample& sample : samples) {
+    telemetry::GcdSample s = sample;
+    if (model_.apply(s)) gcd_scratch_.push_back(s);
+  }
+  if (!gcd_scratch_.empty()) downstream_.on_job_batch(gcd_scratch_, job);
+}
+
+void JobFaultInjector::on_node_batch(
+    std::span<const telemetry::NodeSample> samples) {
+  if (!model_.mutates_values()) {
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      telemetry::NodeSample s = samples[i];
+      if (model_.apply(s)) continue;
+      if (i > run) downstream_.on_node_batch(samples.subspan(run, i - run));
+      run = i + 1;
+    }
+    if (samples.size() > run) {
+      downstream_.on_node_batch(samples.subspan(run));
+    }
+    return;
+  }
+  node_scratch_.clear();
+  node_scratch_.reserve(samples.size());
+  for (const telemetry::NodeSample& sample : samples) {
+    telemetry::NodeSample s = sample;
+    if (model_.apply(s)) node_scratch_.push_back(s);
+  }
+  if (!node_scratch_.empty()) downstream_.on_node_batch(node_scratch_);
 }
 
 void FaultInjector::flush() {

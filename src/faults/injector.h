@@ -81,6 +81,15 @@ class FaultModel {
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] const FaultCounters& counters() const { return counters_; }
 
+  /// True when the plan can rewrite sample fields (stuck/spike/skew).
+  /// When false, a surviving sample is bit-identical to its input, so
+  /// batch adapters may forward sub-spans of the original span instead
+  /// of copying.
+  [[nodiscard]] bool mutates_values() const {
+    return plan_.stuck.enabled() || plan_.spike.enabled() ||
+           plan_.skew_max_s > 0.0;
+  }
+
   /// Counts an externally-reordered delivery (used by FaultInjector).
   void count_reordered() { ++counters_.reordered; }
 
@@ -123,6 +132,13 @@ class FaultInjector final : public telemetry::TelemetrySink {
   void on_gcd_sample(const telemetry::GcdSample& sample) override;
   void on_node_sample(const telemetry::NodeSample& sample) override;
 
+  /// Batch fast paths.  GCD batches fall back to the per-record walk
+  /// while reordering is enabled — the hold-back buffer counts
+  /// deliveries, so its state depends on per-record interleaving.
+  void on_gcd_batch(std::span<const telemetry::GcdSample> samples) override;
+  void on_node_batch(
+      std::span<const telemetry::NodeSample> samples) override;
+
   /// Delivers every held-back sample (in hold-back order).  Idempotent.
   void flush();
 
@@ -142,6 +158,8 @@ class FaultInjector final : public telemetry::TelemetrySink {
   telemetry::TelemetrySink& downstream_;
   FaultModel model_;
   std::vector<Held> held_;
+  std::vector<telemetry::GcdSample> gcd_scratch_;   // batch survivors
+  std::vector<telemetry::NodeSample> node_scratch_;  // batch survivors
 };
 
 /// JobSampleSink adapter for the joined fleet pipeline.  Reordering is not
@@ -162,6 +180,17 @@ class JobFaultInjector final : public sched::JobSampleSink {
     if (model_.apply(s)) downstream_.on_node_sample(s);
   }
 
+  /// Batch fast paths: drop decisions are stateless hash draws, so a
+  /// span partitions into surviving sub-spans that forward downstream
+  /// zero-copy when the plan cannot rewrite values; otherwise survivors
+  /// are compacted into a scratch buffer and forwarded as one batch.
+  /// Either way the downstream record sequence matches the per-record
+  /// path exactly.
+  void on_job_batch(std::span<const telemetry::GcdSample> samples,
+                    const sched::Job& job) override;
+  void on_node_batch(
+      std::span<const telemetry::NodeSample> samples) override;
+
   [[nodiscard]] const FaultModel& model() const { return model_; }
   [[nodiscard]] FaultModel& model() { return model_; }
   [[nodiscard]] const FaultCounters& counters() const {
@@ -171,6 +200,8 @@ class JobFaultInjector final : public sched::JobSampleSink {
  private:
   sched::JobSampleSink& downstream_;
   FaultModel model_;
+  std::vector<telemetry::GcdSample> gcd_scratch_;   // batch survivors
+  std::vector<telemetry::NodeSample> node_scratch_;  // batch survivors
 };
 
 /// JobSinkShards decorator that faults each shard's stream before it

@@ -1,10 +1,12 @@
 #include "sched/fleetgen.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 #include <vector>
 
+#include "common/rng_lanes.h"
 #include "exec/thread_pool.h"
 #include "gpusim/power_model.h"
 #include "obs/metrics.h"
@@ -191,11 +193,15 @@ struct EmitTally {
   std::uint64_t gcd_samples = 0;
   std::uint64_t node_samples = 0;
   std::uint64_t phase_count = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_records = 0;
 
   EmitTally& operator+=(const EmitTally& o) {
     gcd_samples += o.gcd_samples;
     node_samples += o.node_samples;
     phase_count += o.phase_count;
+    batches += o.batches;
+    batch_records += o.batch_records;
     return *this;
   }
 };
@@ -204,8 +210,23 @@ struct EmitTally {
 // generate_telemetry paths.  Every job derives all of its randomness
 // from root.split(job_id), so jobs can be emitted in any grouping — the
 // stream each job sees is identical either way.  The emitter itself is
-// single-threaded (reused phase scratch); the parallel path constructs
-// one per chunk.
+// single-threaded (reused phase/batch scratch); the parallel path
+// constructs one per chunk.
+//
+// Hot-path structure: records for one (node, gcd) channel are written
+// into a flat worker-local buffer — walked phase by phase so the steady
+// power and near-TDP flag are loop constants (the steady power itself is
+// already memoized once per phase in `phases_`, shared by every channel
+// of the job) — and flushed with a single on_job_batch() call per
+// channel instead of one virtual call per window.  Channels are filled
+// kGcdLanes at a time where counts allow it — kGcdLanes independent RNG
+// streams advanced in lockstep through PolarLanes8 (one full node's GCD
+// channel set per group), with the normal transform deferred to a
+// second pass over the accepted pairs.
+// The record values and the RNG draw sequence are exactly those of the
+// per-record path, so the output is byte-identical;
+// `telemetry::batching_enabled()` selects the per-record fallback for
+// cross-checking.
 class JobEmitter {
  public:
   JobEmitter(const FleetGenerator& gen, const CampaignConfig& cfg)
@@ -218,12 +239,15 @@ class JobEmitter {
         innovation_sd_(
             cfg.noise_stddev_w *
             std::sqrt(std::max(0.0, 1.0 - cfg.noise_rho * cfg.noise_rho))),
-        root_(cfg.seed ^ 0x7E1E7E1EULL) {}
+        root_(cfg.seed ^ 0x7E1E7E1EULL),
+        batching_(telemetry::batching_enabled()) {}
 
   void emit(const Job& job, JobSampleSink& sink) {
     Rng job_rng = root_.split(job.job_id);
 
     // Phase schedule shared by all ranks of the job (bulk-synchronous).
+    // power_at() is evaluated once per phase here and reused by every
+    // (node x gcd) channel below — it is invariant across channels.
     const auto& profile = gen_.profile_for(job.domain);
     phases_.clear();
     double t = job.begin_s;
@@ -241,65 +265,38 @@ class JobEmitter {
     const double first_window = std::ceil(job.begin_s / window_) * window_;
     const auto gcds =
         static_cast<std::uint16_t>(cfg_.system.node.gcds_per_node());
+    // Window count, identical for every channel of the job — lets the
+    // lane fills size their buffers once and write records by index.
+    std::size_t total_windows = 0;
+    for (double tc = first_window; tc < job.end_s; tc += window_) {
+      ++total_windows;
+    }
 
-    for (std::uint32_t node : job.nodes) {
-      for (std::uint16_t g = 0; g < gcds; ++g) {
-        Rng chan_rng =
-            job_rng.split((static_cast<std::uint64_t>(node) << 8) | g);
-        double noise = 0.0;
-        std::size_t phase_idx = 0;
-        for (double tw = first_window; tw < job.end_s; tw += window_) {
-          while (phase_idx + 1 < phases_.size() &&
-                 phases_[phase_idx].end_s <= tw) {
-            ++phase_idx;
-          }
-          const PhaseSpan& ph = phases_[phase_idx];
-          noise = cfg_.noise_rho * noise +
-                  chan_rng.normal(0.0, innovation_sd_);
-          double p = ph.steady_w + noise;
-          if (ph.near_tdp &&
-              chan_rng.bernoulli(cfg_.boost_sample_probability)) {
-            p += chan_rng.exponential(cfg_.boost_extra_w);
-          }
-          p = std::clamp(p, spec_.idle_power_w * 0.97, spec_.boost_power_w);
-          telemetry::GcdSample s;
-          s.t_s = tw;
-          s.node_id = node;
-          s.gcd_index = g;
-          s.power_w = static_cast<float>(p);
-          sink.on_job_sample(s, job);
-          ++tally_.gcd_samples;
+    // Nodes are walked in groups of kGcdLanes so the per-node CPU
+    // channels can be drawn in lockstep too (one normal per window,
+    // no data-dependent draws — the ideal lane shape).  Within a
+    // group, every node's gcd channels flush first (in node order),
+    // then the group's node channels (in node order): each stream's
+    // internal order is exactly the per-record path's, and every
+    // JobSampleSink consumer keeps disjoint state per stream, so the
+    // changed gcd/node interleave cannot change any output.
+    const auto& nodes = job.nodes;
+    std::size_t ni = 0;
+    if (cfg_.emit_node_samples) {
+      for (; ni + kGcdLanes <= nodes.size(); ni += kGcdLanes) {
+        for (int k = 0; k < kGcdLanes; ++k) {
+          fill_node_gcds(job, sink, job_rng, nodes[ni + k], gcds,
+                         first_window, total_windows);
         }
+        fill_node_lanes(job, sink, job_rng, &nodes[ni], gcds, first_window,
+                        total_windows);
       }
-
+    }
+    for (; ni < nodes.size(); ++ni) {
+      fill_node_gcds(job, sink, job_rng, nodes[ni], gcds, first_window,
+                     total_windows);
       if (cfg_.emit_node_samples) {
-        // One synthetic CPU/node record per window, derived from the mean
-        // GPU load of the job's phases on this node.
-        Rng node_rng = job_rng.split(0xC0000000ULL | node);
-        std::size_t phase_idx = 0;
-        for (double tw = first_window; tw < job.end_s; tw += window_) {
-          while (phase_idx + 1 < phases_.size() &&
-                 phases_[phase_idx].end_s <= tw) {
-            ++phase_idx;
-          }
-          const PhaseSpan& ph = phases_[phase_idx];
-          const double rel = std::clamp(
-              (ph.steady_w - spec_.idle_power_w) /
-                  (spec_.tdp_w - spec_.idle_power_w),
-              0.0, 1.0);
-          const double cpu_util = std::clamp(
-              0.15 + 0.55 * rel + node_rng.normal(0.0, 0.05), 0.0, 1.0);
-          telemetry::NodeSample ns;
-          ns.t_s = tw;
-          ns.node_id = node;
-          ns.cpu_power_w =
-              static_cast<float>(cfg_.system.node.cpu.power(cpu_util));
-          ns.node_input_w = static_cast<float>(
-              ns.cpu_power_w + cfg_.system.node.other_power_w +
-              static_cast<double>(gcds) * ph.steady_w);
-          sink.on_node_sample(ns);
-          ++tally_.node_samples;
-        }
+        fill_node_channel(job, sink, job_rng, nodes[ni], gcds, first_window);
       }
     }
   }
@@ -314,6 +311,365 @@ class JobEmitter {
     bool near_tdp;
   };
 
+  // One phase run inside a pre-drawn stretch: its steady power and how
+  // many telemetry windows it spans.
+  struct RunSeg {
+    double steady_w;
+    std::size_t count;
+  };
+
+  // How many gcd channels are drawn in lockstep.  Each lane owns an
+  // independent RNG stream (the channel's own split), so the interleaved
+  // draw chains carry no cross-lane data dependencies and the core
+  // overlaps one lane's log/sqrt latency with the others'.
+  static constexpr int kGcdLanes = 8;
+
+  // Scalar fill for one (node, gcd) channel: walked phase by phase so
+  // steady power and the near-TDP flag are loop constants, then flushed
+  // as one batch.  Also the reference sequence the laned fill reproduces.
+  void fill_gcd_channel(const Job& job, JobSampleSink& sink,
+                        const Rng& job_rng, std::uint32_t node,
+                        std::uint16_t g, double first_window) {
+    const double rho = cfg_.noise_rho;
+    const double boost_p = cfg_.boost_sample_probability;
+    const double boost_w = cfg_.boost_extra_w;
+    const double clamp_lo = spec_.idle_power_w * 0.97;
+    const double clamp_hi = spec_.boost_power_w;
+    const double job_end = job.end_s;
+
+    Rng chan_rng =
+        job_rng.split((static_cast<std::uint64_t>(node) << 8) | g);
+    double noise = 0.0;
+    gcd_batch_.clear();
+    std::size_t phase_idx = 0;
+    double tw = first_window;
+    while (tw < job_end) {
+      while (phase_idx + 1 < phases_.size() &&
+             phases_[phase_idx].end_s <= tw) {
+        ++phase_idx;
+      }
+      const PhaseSpan& ph = phases_[phase_idx];
+      // All windows in [tw, run_end) belong to this phase; the last
+      // phase (whose end is job_end by construction) absorbs any
+      // float-edge leftovers exactly like the per-window walk did.
+      const double run_end =
+          phase_idx + 1 < phases_.size() ? ph.end_s : job_end;
+      const double steady = ph.steady_w;
+      if (ph.near_tdp) {
+        for (; tw < run_end; tw += window_) {
+          noise = rho * noise + chan_rng.normal(0.0, innovation_sd_);
+          double p = steady + noise;
+          if (chan_rng.bernoulli(boost_p)) {
+            p += chan_rng.exponential(boost_w);
+          }
+          p = std::clamp(p, clamp_lo, clamp_hi);
+          telemetry::GcdSample s;
+          s.t_s = tw;
+          s.node_id = node;
+          s.gcd_index = g;
+          s.power_w = static_cast<float>(p);
+          gcd_batch_.push_back(s);
+        }
+      } else {
+        for (; tw < run_end; tw += window_) {
+          noise = rho * noise + chan_rng.normal(0.0, innovation_sd_);
+          const double p = std::clamp(steady + noise, clamp_lo, clamp_hi);
+          telemetry::GcdSample s;
+          s.t_s = tw;
+          s.node_id = node;
+          s.gcd_index = g;
+          s.power_w = static_cast<float>(p);
+          gcd_batch_.push_back(s);
+        }
+      }
+    }
+    tally_.gcd_samples += gcd_batch_.size();
+    flush_gcd(sink, job, gcd_batch_);
+  }
+
+  // All gcd channels of one node: lane groups first (kGcdLanes channels
+  // drawn in lockstep), remainder through the scalar fill.  Channels
+  // flush strictly in gcd order either way.
+  void fill_node_gcds(const Job& job, JobSampleSink& sink,
+                      const Rng& job_rng, std::uint32_t node,
+                      std::uint16_t gcds, double first_window,
+                      std::size_t total_windows) {
+    std::uint16_t g = 0;
+    for (; g + kGcdLanes <= gcds; g += kGcdLanes) {
+      fill_gcd_lanes(job, sink, job_rng, node, g, first_window,
+                     total_windows);
+    }
+    for (; g < gcds; ++g) {
+      fill_gcd_channel(job, sink, job_rng, node, g, first_window);
+    }
+  }
+
+  // Lockstep fill of channels [g0, g0 + kGcdLanes): the shared phase
+  // schedule means every lane sees the same window-to-phase mapping, so
+  // one walk drives all lanes.  Away from TDP a window draws exactly one
+  // normal per lane, so whole phase runs pre-draw their accepted polar
+  // pairs through PolarLanes8 and apply the transform as a second pass;
+  // near TDP the boost draws make stream consumption data-dependent, so
+  // those runs stay on the scalar per-lane loop.  Each lane consumes its
+  // own channel stream in the channel's own order — values and sequence
+  // are exactly the scalar fill's, and lanes flush in gcd order.
+  void fill_gcd_lanes(const Job& job, JobSampleSink& sink,
+                      const Rng& job_rng, std::uint32_t node,
+                      std::uint16_t g0, double first_window,
+                      std::size_t total_windows) {
+    const double rho = cfg_.noise_rho;
+    const double boost_p = cfg_.boost_sample_probability;
+    const double boost_w = cfg_.boost_extra_w;
+    const double clamp_lo = spec_.idle_power_w * 0.97;
+    const double clamp_hi = spec_.boost_power_w;
+    const double job_end = job.end_s;
+
+    std::array<Rng, kGcdLanes> rng;
+    std::array<double, kGcdLanes> noise{};
+    std::array<telemetry::GcdSample*, kGcdLanes> out{};
+    for (int l = 0; l < kGcdLanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      rng[li] = job_rng.split((static_cast<std::uint64_t>(node) << 8) |
+                              static_cast<std::uint64_t>(g0 + l));
+      lane_batches_[li].resize(total_windows);
+      out[li] = lane_batches_[li].data();
+    }
+    std::size_t filled = 0;  // windows emitted so far, same in every lane
+    std::size_t phase_idx = 0;
+    double tw = first_window;
+    while (tw < job_end) {
+      while (phase_idx + 1 < phases_.size() &&
+             phases_[phase_idx].end_s <= tw) {
+        ++phase_idx;
+      }
+      const PhaseSpan& ph = phases_[phase_idx];
+      const double run_end =
+          phase_idx + 1 < phases_.size() ? ph.end_s : job_end;
+      const double steady = ph.steady_w;
+      if (ph.near_tdp) {
+        for (; tw < run_end; tw += window_, ++filled) {
+          for (int l = 0; l < kGcdLanes; ++l) {
+            const auto li = static_cast<std::size_t>(l);
+            noise[li] =
+                rho * noise[li] + rng[li].normal(0.0, innovation_sd_);
+            double p = steady + noise[li];
+            if (rng[li].bernoulli(boost_p)) {
+              p += rng[li].exponential(boost_w);
+            }
+            p = std::clamp(p, clamp_lo, clamp_hi);
+            telemetry::GcdSample s;
+            s.t_s = tw;
+            s.node_id = node;
+            s.gcd_index = static_cast<std::uint16_t>(g0 + l);
+            s.power_w = static_cast<float>(p);
+            out[li][filled] = s;
+          }
+        }
+      } else {
+        // Extend the pre-draw over every consecutive non-near-TDP phase
+        // (phases average ~4 windows, so per-phase engine calls would
+        // amortize poorly).  The count walk advances a cursor with the
+        // very float additions the scalar loop would take, recording one
+        // (steady, window count) segment per phase run; the per-lane
+        // replay below retraces it.
+        runs_.clear();
+        std::size_t n = 0;
+        double tc = tw;
+        std::size_t pi = phase_idx;
+        while (tc < job_end) {
+          while (pi + 1 < phases_.size() && phases_[pi].end_s <= tc) {
+            ++pi;
+          }
+          if (phases_[pi].near_tdp) break;
+          const double seg_end =
+              pi + 1 < phases_.size() ? phases_[pi].end_s : job_end;
+          std::size_t c = 0;
+          for (; tc < seg_end; tc += window_) ++c;
+          runs_.push_back(RunSeg{phases_[pi].steady_w, c});
+          n += c;
+        }
+        polar_u_.resize(kGcdLanes * n);
+        polar_s_.resize(kGcdLanes * n);
+        PolarLanes8 lanes(rng);
+        lanes.generate(n, polar_u_.data(), polar_s_.data());
+        lanes.extract(rng);
+        for (int l = 0; l < kGcdLanes; ++l) {
+          const auto li = static_cast<std::size_t>(l);
+          double nz = noise[li];
+          telemetry::GcdSample* dst = out[li] + filled;
+          double t2 = tw;
+          std::size_t w = 0;
+          for (const RunSeg& seg : runs_) {
+            const double seg_steady = seg.steady_w;
+            for (std::size_t k = 0; k < seg.count; ++k, t2 += window_) {
+              const double m =
+                  polar_transform(polar_u_[kGcdLanes * w + li],
+                                  polar_s_[kGcdLanes * w + li]);
+              nz = rho * nz + (0.0 + innovation_sd_ * m);
+              const double p =
+                  std::clamp(seg_steady + nz, clamp_lo, clamp_hi);
+              telemetry::GcdSample s;
+              s.t_s = t2;
+              s.node_id = node;
+              s.gcd_index = static_cast<std::uint16_t>(g0 + l);
+              s.power_w = static_cast<float>(p);
+              dst[w] = s;
+              ++w;
+            }
+          }
+          noise[li] = nz;
+        }
+        filled += n;
+        tw = tc;
+        phase_idx = pi;
+      }
+    }
+    for (int l = 0; l < kGcdLanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      tally_.gcd_samples += lane_batches_[li].size();
+      flush_gcd(sink, job, lane_batches_[li]);
+    }
+  }
+
+  // One node's CPU channel: one synthetic record per window, derived
+  // from the mean GPU load of the job's phases on this node.  Scalar
+  // reference path (also the lane-group remainder).
+  void fill_node_channel(const Job& job, JobSampleSink& sink,
+                         const Rng& job_rng, std::uint32_t node,
+                         std::uint16_t gcds, double first_window) {
+    const double job_end = job.end_s;
+    Rng node_rng = job_rng.split(0xC0000000ULL | node);
+    node_batch_.clear();
+    std::size_t phase_idx = 0;
+    double tw = first_window;
+    while (tw < job_end) {
+      while (phase_idx + 1 < phases_.size() &&
+             phases_[phase_idx].end_s <= tw) {
+        ++phase_idx;
+      }
+      const PhaseSpan& ph = phases_[phase_idx];
+      const double run_end =
+          phase_idx + 1 < phases_.size() ? ph.end_s : job_end;
+      const double rel = std::clamp(
+          (ph.steady_w - spec_.idle_power_w) /
+              (spec_.tdp_w - spec_.idle_power_w),
+          0.0, 1.0);
+      const double gpu_w = static_cast<double>(gcds) * ph.steady_w;
+      for (; tw < run_end; tw += window_) {
+        const double cpu_util = std::clamp(
+            0.15 + 0.55 * rel + node_rng.normal(0.0, 0.05), 0.0, 1.0);
+        telemetry::NodeSample ns;
+        ns.t_s = tw;
+        ns.node_id = node;
+        ns.cpu_power_w =
+            static_cast<float>(cfg_.system.node.cpu.power(cpu_util));
+        ns.node_input_w = static_cast<float>(
+            ns.cpu_power_w + cfg_.system.node.other_power_w + gpu_w);
+        node_batch_.push_back(ns);
+      }
+    }
+    tally_.node_samples += node_batch_.size();
+    flush_node(sink, node_batch_);
+  }
+
+  // CPU channels of kGcdLanes nodes in lockstep.  Every window draws
+  // exactly one normal regardless of phase, so the whole job span
+  // pre-draws in one generate() call; the transform pass then walks the
+  // shared phase schedule per lane.  Values and per-stream order are
+  // exactly fill_node_channel's.
+  void fill_node_lanes(const Job& job, JobSampleSink& sink,
+                       const Rng& job_rng, const std::uint32_t* group,
+                       std::uint16_t gcds, double first_window,
+                       std::size_t total_windows) {
+    const double job_end = job.end_s;
+    const std::size_t n = total_windows;
+    if (n == 0) return;
+
+    std::array<Rng, kGcdLanes> rng;
+    for (int l = 0; l < kGcdLanes; ++l) {
+      rng[static_cast<std::size_t>(l)] =
+          job_rng.split(0xC0000000ULL | group[l]);
+    }
+    polar_u_.resize(kGcdLanes * n);
+    polar_s_.resize(kGcdLanes * n);
+    PolarLanes8 lanes(rng);
+    lanes.generate(n, polar_u_.data(), polar_s_.data());
+
+    for (int l = 0; l < kGcdLanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      const std::uint32_t node = group[li];
+      auto& out = node_lane_batches_[li];
+      out.clear();
+      std::size_t phase_idx = 0;
+      std::size_t w = 0;
+      double tw = first_window;
+      while (tw < job_end) {
+        while (phase_idx + 1 < phases_.size() &&
+               phases_[phase_idx].end_s <= tw) {
+          ++phase_idx;
+        }
+        const PhaseSpan& ph = phases_[phase_idx];
+        const double run_end =
+            phase_idx + 1 < phases_.size() ? ph.end_s : job_end;
+        const double rel = std::clamp(
+            (ph.steady_w - spec_.idle_power_w) /
+                (spec_.tdp_w - spec_.idle_power_w),
+            0.0, 1.0);
+        const double gpu_w = static_cast<double>(gcds) * ph.steady_w;
+        for (; tw < run_end; tw += window_) {
+          const double m = polar_transform(polar_u_[kGcdLanes * w + li],
+                                           polar_s_[kGcdLanes * w + li]);
+          ++w;
+          const double cpu_util = std::clamp(
+              0.15 + 0.55 * rel + (0.0 + 0.05 * m), 0.0, 1.0);
+          telemetry::NodeSample ns;
+          ns.t_s = tw;
+          ns.node_id = node;
+          ns.cpu_power_w =
+              static_cast<float>(cfg_.system.node.cpu.power(cpu_util));
+          ns.node_input_w = static_cast<float>(
+              ns.cpu_power_w + cfg_.system.node.other_power_w + gpu_w);
+          out.push_back(ns);
+        }
+      }
+    }
+    for (int l = 0; l < kGcdLanes; ++l) {
+      const auto li = static_cast<std::size_t>(l);
+      tally_.node_samples += node_lane_batches_[li].size();
+      flush_node(sink, node_lane_batches_[li]);
+    }
+  }
+
+  // Delivers a buffered channel.  The batch call and the per-record
+  // fallback hand the sink the identical record sequence; only the call
+  // shape differs.
+  void flush_gcd(JobSampleSink& sink, const Job& job,
+                 const std::vector<telemetry::GcdSample>& batch) {
+    if (batch.empty()) return;
+    if (batching_) {
+      ++tally_.batches;
+      tally_.batch_records += batch.size();
+      sink.on_job_batch(batch, job);
+    } else {
+      for (const telemetry::GcdSample& s : batch) {
+        sink.on_job_sample(s, job);
+      }
+    }
+  }
+  void flush_node(JobSampleSink& sink,
+                  const std::vector<telemetry::NodeSample>& batch) {
+    if (batch.empty()) return;
+    if (batching_) {
+      ++tally_.batches;
+      tally_.batch_records += batch.size();
+      sink.on_node_batch(batch);
+    } else {
+      for (const telemetry::NodeSample& s : batch) {
+        sink.on_node_sample(s);
+      }
+    }
+  }
+
   const FleetGenerator& gen_;
   const CampaignConfig& cfg_;
   const gpusim::DeviceSpec& spec_;
@@ -322,7 +678,16 @@ class JobEmitter {
   double near_tdp_;
   double innovation_sd_;
   Rng root_;
+  bool batching_;
   std::vector<PhaseSpan> phases_;  // scratch reused across jobs
+  std::vector<telemetry::GcdSample> gcd_batch_;   // scratch, one channel
+  std::array<std::vector<telemetry::GcdSample>, kGcdLanes>
+      lane_batches_;  // scratch, one lane group
+  std::vector<telemetry::NodeSample> node_batch_;  // scratch, one node
+  std::array<std::vector<telemetry::NodeSample>, kGcdLanes>
+      node_lane_batches_;  // scratch, one node group
+  std::vector<double> polar_u_, polar_s_;  // scratch, pre-drawn pairs
+  std::vector<RunSeg> runs_;  // scratch, one pre-drawn stretch
   EmitTally tally_;
 };
 
@@ -341,6 +706,14 @@ void publish_tally(const EmitTally& tally) {
   reg.counter("exaeff_fleetgen_phases_total",
               "Application phases synthesized by fleetgen")
       .inc(tally.phase_count);
+  if (tally.batches > 0) {
+    reg.counter("exaeff_telemetry_batches_total",
+                "Span-batched sink deliveries on the telemetry hot path")
+        .inc(tally.batches);
+    reg.counter("exaeff_telemetry_batch_records_total",
+                "Telemetry records delivered through batched sink calls")
+        .inc(tally.batch_records);
+  }
 }
 
 }  // namespace

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <memory>
+#include <span>
 
 #include "cluster/system_config.h"
 #include "common/rng.h"
@@ -33,6 +34,13 @@ class ThreadPool;
 namespace exaeff::sched {
 
 /// Receiver of joined telemetry (sample plus the job it belongs to).
+///
+/// Batch contract (mirrors telemetry::TelemetrySink): producers may
+/// deliver a contiguous span of one job's records via on_job_batch().
+/// The defaults loop over the per-record virtuals, so sinks that only
+/// implement those observe the identical record sequence — batching
+/// must never change observable output.  Spans are valid only for the
+/// duration of the call.
 class JobSampleSink {
  public:
   virtual ~JobSampleSink() = default;
@@ -40,6 +48,15 @@ class JobSampleSink {
                              const Job& job) = 0;
   /// Optional node-level channel (CPU power etc.).
   virtual void on_node_sample(const telemetry::NodeSample& /*sample*/) {}
+
+  /// Batch delivery of samples that all belong to `job`.
+  virtual void on_job_batch(std::span<const telemetry::GcdSample> samples,
+                            const Job& job) {
+    for (const telemetry::GcdSample& s : samples) on_job_sample(s, job);
+  }
+  virtual void on_node_batch(std::span<const telemetry::NodeSample> samples) {
+    for (const telemetry::NodeSample& s : samples) on_node_sample(s);
+  }
 };
 
 /// Factory/merger of worker-local sinks for the parallel telemetry

@@ -41,10 +41,9 @@ bool Aggregator::passes_coverage(const Accum& acc) {
   return true;
 }
 
-void Aggregator::on_gcd_sample(const GcdSample& sample) {
+void Aggregator::ingest_gcd(std::uint64_t channel_key, Accum& acc,
+                            const GcdSample& sample) {
   ++samples_in_;
-  const std::uint64_t k = key(sample.node_id, sample.gcd_index);
-  Accum& acc = gcd_windows_[k];
   const double window_start =
       std::floor(sample.t_s / window_s_) * window_s_;
   if (!admit(acc, window_start, sample.t_s,
@@ -52,7 +51,7 @@ void Aggregator::on_gcd_sample(const GcdSample& sample) {
     return;
   }
   if (acc.active && window_start > acc.window_start) {
-    emit_gcd(k, acc);
+    emit_gcd(channel_key, acc);
     const double watermark = acc.window_start;
     acc = Accum{};
     acc.watermark = watermark;
@@ -67,10 +66,9 @@ void Aggregator::on_gcd_sample(const GcdSample& sample) {
   ++acc.count;
 }
 
-void Aggregator::on_node_sample(const NodeSample& sample) {
+void Aggregator::ingest_node(std::uint64_t channel_key, Accum& acc,
+                             const NodeSample& sample) {
   ++samples_in_;
-  const std::uint64_t k = key(sample.node_id, 0xFFFF);
-  Accum& acc = node_windows_[k];
   const double window_start =
       std::floor(sample.t_s / window_s_) * window_s_;
   if (!admit(acc, window_start, sample.t_s,
@@ -79,7 +77,7 @@ void Aggregator::on_node_sample(const NodeSample& sample) {
     return;
   }
   if (acc.active && window_start > acc.window_start) {
-    emit_node(k, acc);
+    emit_node(channel_key, acc);
     const double watermark = acc.window_start;
     acc = Accum{};
     acc.watermark = watermark;
@@ -94,6 +92,53 @@ void Aggregator::on_node_sample(const NodeSample& sample) {
   acc.last_power = sample.cpu_power_w;
   acc.last_aux = sample.node_input_w;
   ++acc.count;
+}
+
+void Aggregator::on_gcd_sample(const GcdSample& sample) {
+  const std::uint64_t k = key(sample.node_id, sample.gcd_index);
+  if (k != last_gcd_key_ || last_gcd_acc_ == nullptr) {
+    last_gcd_acc_ = &gcd_windows_[k];
+    last_gcd_key_ = k;
+  }
+  ingest_gcd(k, *last_gcd_acc_, sample);
+}
+
+void Aggregator::on_node_sample(const NodeSample& sample) {
+  const std::uint64_t k = key(sample.node_id, 0xFFFF);
+  if (k != last_node_key_ || last_node_acc_ == nullptr) {
+    last_node_acc_ = &node_windows_[k];
+    last_node_key_ = k;
+  }
+  ingest_node(k, *last_node_acc_, sample);
+}
+
+void Aggregator::on_gcd_batch(std::span<const GcdSample> samples) {
+  // The cached accumulator pointer stays valid while the channel key is
+  // unchanged: only a lookup of a *new* key can rehash the table, and
+  // ingest never inserts into it.
+  std::uint64_t cached_key = ~std::uint64_t{0};
+  Accum* acc = nullptr;
+  for (const GcdSample& sample : samples) {
+    const std::uint64_t k = key(sample.node_id, sample.gcd_index);
+    if (acc == nullptr || k != cached_key) {
+      acc = &gcd_windows_[k];
+      cached_key = k;
+    }
+    ingest_gcd(k, *acc, sample);
+  }
+}
+
+void Aggregator::on_node_batch(std::span<const NodeSample> samples) {
+  std::uint64_t cached_key = ~std::uint64_t{0};
+  Accum* acc = nullptr;
+  for (const NodeSample& sample : samples) {
+    const std::uint64_t k = key(sample.node_id, 0xFFFF);
+    if (acc == nullptr || k != cached_key) {
+      acc = &node_windows_[k];
+      cached_key = k;
+    }
+    ingest_node(k, *acc, sample);
+  }
 }
 
 void Aggregator::emit_gcd(std::uint64_t channel_key, const Accum& acc) {

@@ -79,6 +79,13 @@ class Aggregator final : public TelemetrySink {
   void on_gcd_sample(const GcdSample& sample) override;
   void on_node_sample(const NodeSample& sample) override;
 
+  /// Batch fast paths: identical per-sample semantics, but the channel
+  /// accumulator lookup is cached across consecutive same-channel
+  /// samples — the common case for batched producers, which deliver one
+  /// channel per span.
+  void on_gcd_batch(std::span<const GcdSample> samples) override;
+  void on_node_batch(std::span<const NodeSample> samples) override;
+
   /// Emits all partially-filled windows and publishes ingest/emit
   /// tallies to the metrics registry (when enabled).  Idempotent.
   void flush();
@@ -132,11 +139,27 @@ class Aggregator final : public TelemetrySink {
   bool admit(Accum& acc, double window_start, double t, double value,
              double aux);
 
+  /// Per-sample ingest cores; the single-sample virtuals and the batch
+  /// loops funnel through these with a pre-resolved accumulator.
+  void ingest_gcd(std::uint64_t channel_key, Accum& acc,
+                  const GcdSample& sample);
+  void ingest_node(std::uint64_t channel_key, Accum& acc,
+                   const NodeSample& sample);
+
   TelemetrySink& downstream_;
   double window_s_;
   GapPolicy gap_;
   std::unordered_map<std::uint64_t, Accum> gcd_windows_;
   std::unordered_map<std::uint64_t, Accum> node_windows_;
+  // Last-channel cache for the per-sample path: telemetry arrives in
+  // long per-channel runs, so most samples hit the same accumulator as
+  // the one before.  unordered_map elements have stable addresses, so
+  // the cached pointer survives unrelated inserts (entries are never
+  // erased).
+  std::uint64_t last_gcd_key_ = ~std::uint64_t{0};
+  Accum* last_gcd_acc_ = nullptr;
+  std::uint64_t last_node_key_ = ~std::uint64_t{0};
+  Accum* last_node_acc_ = nullptr;
   // Plain tallies on the per-sample path (no atomics); flush() publishes
   // the delta since the previous publish into the metrics registry.
   std::uint64_t samples_in_ = 0;

@@ -142,6 +142,17 @@ std::vector<GcdSample> read_archive(std::istream& is) {
   return samples;
 }
 
+ArchiveInfo read_archive(std::istream& is, TelemetrySink& sink) {
+  const ArchiveInfo info = read_header(is);
+  const auto payload = read_payload(is, info);
+  const auto samples = decode_samples(payload);
+  if (samples.size() != info.records) {
+    throw ParseError("telemetry archive: record count mismatch");
+  }
+  sink.on_gcd_batch(samples);
+  return info;
+}
+
 ArchiveInfo read_archive_info(std::istream& is) {
   const ArchiveInfo info = read_header(is);
   (void)read_payload(is, info);  // verify integrity

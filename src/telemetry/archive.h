@@ -33,6 +33,12 @@ ArchiveInfo write_archive(std::ostream& os,
 /// Throws ParseError on corruption.
 [[nodiscard]] std::vector<GcdSample> read_archive(std::istream& is);
 
+/// Reads an archive and streams the decoded records into `sink` as one
+/// span batch (per-record for sinks that don't override the batch
+/// call).  Returns the archive summary.  Throws ParseError on
+/// corruption; nothing is delivered in that case.
+ArchiveInfo read_archive(std::istream& is, TelemetrySink& sink);
+
 /// Reads just the summary (fast; payload is skipped, checksum is still
 /// verified).
 [[nodiscard]] ArchiveInfo read_archive_info(std::istream& is);

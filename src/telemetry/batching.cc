@@ -1,0 +1,32 @@
+#include "telemetry/sample.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace exaeff::telemetry {
+
+namespace {
+// -1 = not yet resolved from the environment; 0/1 once decided.
+std::atomic<int> g_batching{-1};
+}  // namespace
+
+bool batching_enabled() {
+  int v = g_batching.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("EXAEFF_BATCH");
+    const bool off =
+        env != nullptr && (std::string_view(env) == "0" ||
+                           std::string_view(env) == "off" ||
+                           std::string_view(env) == "false");
+    v = off ? 0 : 1;
+    g_batching.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_batching(bool enabled) {
+  g_batching.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace exaeff::telemetry

@@ -50,14 +50,22 @@ std::vector<std::uint8_t> encode_samples(std::span<const GcdSample> samples,
                  "codec quanta must be positive");
 
   // Channel-major, time-ascending ordering maximizes delta locality.
-  std::vector<GcdSample> sorted(samples.begin(), samples.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const GcdSample& a, const GcdSample& b) {
-              const auto ka = channel_key(a);
-              const auto kb = channel_key(b);
-              if (ka != kb) return ka < kb;
-              return a.t_s < b.t_s;
-            });
+  // Batched pipelines already produce that order, so test first and
+  // encode straight from the caller's span — the copy + sort is only
+  // paid for unordered input.  Output bytes are identical either way.
+  const auto channel_time_less = [](const GcdSample& a, const GcdSample& b) {
+    const auto ka = channel_key(a);
+    const auto kb = channel_key(b);
+    if (ka != kb) return ka < kb;
+    return a.t_s < b.t_s;
+  };
+  std::vector<GcdSample> scratch;
+  std::span<const GcdSample> sorted = samples;
+  if (!std::is_sorted(samples.begin(), samples.end(), channel_time_less)) {
+    scratch.assign(samples.begin(), samples.end());
+    std::sort(scratch.begin(), scratch.end(), channel_time_less);
+    sorted = scratch;
+  }
 
   std::vector<std::uint8_t> out;
   out.reserve(sorted.size() * 3 + 64);

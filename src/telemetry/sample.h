@@ -10,8 +10,17 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace exaeff::telemetry {
+
+/// Whether producers emit telemetry through the span-based batch calls
+/// (the default) or fall back to one virtual call per record.  Both
+/// paths are byte-identical by contract; the fallback exists so CI can
+/// cross-check them (`EXAEFF_BATCH=0`) and as a bisection aid.  Reads
+/// the environment once; set_batching() overrides it (tests).
+[[nodiscard]] bool batching_enabled();
+void set_batching(bool enabled);
 
 /// Instantaneous (or window-averaged) power of one GCD on one node.
 /// The paper's analysis operates almost entirely on this record.
@@ -32,6 +41,15 @@ struct NodeSample {
 
 /// Consumer of telemetry records.  Implementations must tolerate samples
 /// arriving grouped by node but interleaved in time across nodes.
+///
+/// Batch contract: producers may deliver a contiguous span of records
+/// through on_gcd_batch()/on_node_batch() instead of one virtual call
+/// per record.  The default implementations loop over the per-record
+/// virtuals, so a sink that only overrides those observes the exact
+/// same record sequence either way — batching is purely a throughput
+/// optimization and must never change observable output.  A batch span
+/// is only valid for the duration of the call; sinks that retain
+/// records must copy them.
 class TelemetrySink {
  public:
   virtual ~TelemetrySink() = default;
@@ -40,6 +58,14 @@ class TelemetrySink {
 
   /// Node-level channels are optional; default is to ignore them.
   virtual void on_node_sample(const NodeSample& /*sample*/) {}
+
+  /// Batch delivery; default preserves per-record semantics exactly.
+  virtual void on_gcd_batch(std::span<const GcdSample> samples) {
+    for (const GcdSample& s : samples) on_gcd_sample(s);
+  }
+  virtual void on_node_batch(std::span<const NodeSample> samples) {
+    for (const NodeSample& s : samples) on_node_sample(s);
+  }
 };
 
 /// Sink that forwards to two children (e.g. store + live histogram).
@@ -55,6 +81,14 @@ class TeeSink final : public TelemetrySink {
   void on_node_sample(const NodeSample& s) override {
     first_.on_node_sample(s);
     second_.on_node_sample(s);
+  }
+  void on_gcd_batch(std::span<const GcdSample> samples) override {
+    first_.on_gcd_batch(samples);
+    second_.on_gcd_batch(samples);
+  }
+  void on_node_batch(std::span<const NodeSample> samples) override {
+    first_.on_node_batch(samples);
+    second_.on_node_batch(samples);
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cmath>
 #include <istream>
+#include <memory>
 #include <ostream>
 
 #include "common/csv.h"
@@ -99,30 +100,32 @@ std::size_t TelemetryStore::sort() {
   return removed;
 }
 
-std::vector<GcdSample> TelemetryStore::series(std::uint32_t node_id,
-                                              std::uint16_t gcd_index,
-                                              double t0, double t1) const {
-  EXAEFF_REQUIRE(sorted_, "call sort() before series()");
+std::span<const GcdSample> TelemetryStore::series_view(
+    std::uint32_t node_id, std::uint16_t gcd_index, double t0,
+    double t1) const {
+  EXAEFF_REQUIRE(sorted_, "call sort() before series_view()");
+  // Both ends by binary search over the (node, gcd, time) order — the
+  // range query is O(log n) regardless of how many records it spans.
   const auto lo = std::partition_point(
       gcd_samples_.begin(), gcd_samples_.end(), [&](const GcdSample& s) {
         if (s.node_id != node_id) return s.node_id < node_id;
         if (s.gcd_index != gcd_index) return s.gcd_index < gcd_index;
         return s.t_s < t0;
       });
-  std::vector<GcdSample> out;
-  // Closed-form grid bound: one record per window in [t0, t1), capped so
-  // a degenerate query range cannot force a giant allocation.
-  if (t1 > t0 && window_s_ > 0.0) {
-    const double windows = (t1 - t0) / window_s_;
-    out.reserve(static_cast<std::size_t>(
-                    std::min(windows, 1048576.0)) + 1);
-  }
-  for (auto it = lo; it != gcd_samples_.end() && it->node_id == node_id &&
-                     it->gcd_index == gcd_index && it->t_s < t1;
-       ++it) {
-    out.push_back(*it);
-  }
-  return out;
+  const auto hi = std::partition_point(
+      lo, gcd_samples_.end(), [&](const GcdSample& s) {
+        if (s.node_id != node_id) return s.node_id < node_id;
+        if (s.gcd_index != gcd_index) return s.gcd_index < gcd_index;
+        return s.t_s < t1;
+      });
+  return {std::to_address(lo), static_cast<std::size_t>(hi - lo)};
+}
+
+std::vector<GcdSample> TelemetryStore::series(std::uint32_t node_id,
+                                              std::uint16_t gcd_index,
+                                              double t0, double t1) const {
+  const auto view = series_view(node_id, gcd_index, t0, t1);
+  return {view.begin(), view.end()};
 }
 
 std::vector<GcdSample> TelemetryStore::clean_series(

@@ -76,6 +76,14 @@ class TelemetryStore final : public TelemetrySink {
   void on_node_sample(const NodeSample& sample) override {
     node_samples_.push_back(sample);
   }
+  /// Batch fast path: one bulk append per span.
+  void on_gcd_batch(std::span<const GcdSample> samples) override {
+    gcd_samples_.insert(gcd_samples_.end(), samples.begin(), samples.end());
+  }
+  void on_node_batch(std::span<const NodeSample> samples) override {
+    node_samples_.insert(node_samples_.end(), samples.begin(),
+                         samples.end());
+  }
 
   [[nodiscard]] std::span<const GcdSample> gcd_samples() const {
     return gcd_samples_;
@@ -92,7 +100,15 @@ class TelemetryStore final : public TelemetrySink {
   /// series().  Returns the number of duplicates removed.
   std::size_t sort();
 
-  /// All records of one GCD channel within [t0, t1).  Requires sort().
+  /// All records of one GCD channel within [t0, t1), as a zero-copy view
+  /// into the sorted record buffer (binary search at both ends).  The
+  /// view is invalidated by any mutation of the store.  Requires sort().
+  [[nodiscard]] std::span<const GcdSample> series_view(
+      std::uint32_t node_id, std::uint16_t gcd_index, double t0,
+      double t1) const;
+
+  /// Copying wrapper around series_view() for callers that outlive or
+  /// mutate the store.  Requires sort().
   [[nodiscard]] std::vector<GcdSample> series(std::uint32_t node_id,
                                               std::uint16_t gcd_index,
                                               double t0, double t1) const;

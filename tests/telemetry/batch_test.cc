@@ -1,0 +1,298 @@
+// Byte-identity contract of the batched telemetry hot path: every
+// producer that switches to span-batched sink delivery must hand its
+// consumers exactly the records the per-record path produces — same
+// values, same per-stream order — for any thread count, with and
+// without fault injection, and across checkpoint/resume.  The
+// per-record reference is selected with telemetry::set_batching(false)
+// (what EXAEFF_BATCH=0 does at process start).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/rng_lanes.h"
+#include "common/units.h"
+#include "core/accumulator.h"
+#include "exec/thread_pool.h"
+#include "faults/injector.h"
+#include "run/checkpoint.h"
+#include "run/journal.h"
+#include "sched/fleetgen.h"
+#include "telemetry/aggregator.h"
+#include "telemetry/sample.h"
+#include "telemetry/store.h"
+#include "workloads/app_profile.h"
+
+namespace exaeff {
+namespace {
+
+/// Restores the process-wide batching flag on scope exit.
+class BatchingGuard {
+ public:
+  BatchingGuard() : prev_(telemetry::batching_enabled()) {}
+  ~BatchingGuard() { telemetry::set_batching(prev_); }
+
+ private:
+  bool prev_;
+};
+
+sched::CampaignConfig small_config() {
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(12);
+  cfg.duration_s = 6.0 * units::kHour;
+  cfg.seed = 33;
+  return cfg;
+}
+
+void expect_same_snapshot(const core::CampaignAccumulator::Snapshot& a,
+                          const core::CampaignAccumulator::Snapshot& b) {
+  EXPECT_EQ(a.gcd_samples, b.gcd_samples);
+  EXPECT_EQ(a.node_samples, b.node_samples);
+  EXPECT_EQ(a.cpu_energy_j, b.cpu_energy_j);
+  EXPECT_EQ(a.hist_total, b.hist_total);
+  EXPECT_EQ(a.hist_weights, b.hist_weights);
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    EXPECT_EQ(a.domain_totals[d], b.domain_totals[d]);
+    EXPECT_EQ(a.domain_weights[d], b.domain_weights[d]);
+  }
+  EXPECT_EQ(a.cells, b.cells);
+}
+
+/// JobSampleSink that records both streams verbatim, whatever the call
+/// shape — the order- and value-sensitive witness.
+struct RecordingSink final : sched::JobSampleSink {
+  std::vector<telemetry::GcdSample> gcd;
+  std::vector<telemetry::NodeSample> node;
+  std::size_t batch_calls = 0;
+
+  void on_job_sample(const telemetry::GcdSample& s,
+                     const sched::Job&) override {
+    gcd.push_back(s);
+  }
+  void on_node_sample(const telemetry::NodeSample& s) override {
+    node.push_back(s);
+  }
+  void on_job_batch(std::span<const telemetry::GcdSample> samples,
+                    const sched::Job&) override {
+    ++batch_calls;
+    gcd.insert(gcd.end(), samples.begin(), samples.end());
+  }
+  void on_node_batch(
+      std::span<const telemetry::NodeSample> samples) override {
+    ++batch_calls;
+    node.insert(node.end(), samples.begin(), samples.end());
+  }
+};
+
+RecordingSink record_emission(bool batching) {
+  BatchingGuard guard;
+  telemetry::set_batching(batching);
+  auto cfg = small_config();
+  cfg.emit_node_samples = true;  // exercise the node-channel lanes too
+  const auto library = workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  RecordingSink sink;
+  gen.generate_telemetry(log, sink);
+  return sink;
+}
+
+TEST(BatchedEmission, StreamsMatchPerRecordPathExactly) {
+  const auto batched = record_emission(true);
+  const auto fallback = record_emission(false);
+  ASSERT_GT(batched.gcd.size(), 0u);
+  ASSERT_GT(batched.node.size(), 0u);
+  EXPECT_GT(batched.batch_calls, 0u);
+  EXPECT_EQ(fallback.batch_calls, 0u);
+
+  // Each stream must carry identical records in identical order.  (The
+  // relative interleaving of the two streams across batch boundaries is
+  // unspecified; every consumer keeps disjoint per-stream state.)
+  ASSERT_EQ(batched.gcd.size(), fallback.gcd.size());
+  for (std::size_t i = 0; i < batched.gcd.size(); ++i) {
+    const auto& x = batched.gcd[i];
+    const auto& y = fallback.gcd[i];
+    ASSERT_EQ(x.t_s, y.t_s) << "gcd record " << i;
+    ASSERT_EQ(x.node_id, y.node_id) << "gcd record " << i;
+    ASSERT_EQ(x.gcd_index, y.gcd_index) << "gcd record " << i;
+    ASSERT_EQ(x.power_w, y.power_w) << "gcd record " << i;
+  }
+  ASSERT_EQ(batched.node.size(), fallback.node.size());
+  for (std::size_t i = 0; i < batched.node.size(); ++i) {
+    const auto& x = batched.node[i];
+    const auto& y = fallback.node[i];
+    ASSERT_EQ(x.t_s, y.t_s) << "node record " << i;
+    ASSERT_EQ(x.node_id, y.node_id) << "node record " << i;
+    ASSERT_EQ(x.cpu_power_w, y.cpu_power_w) << "node record " << i;
+    ASSERT_EQ(x.node_input_w, y.node_input_w) << "node record " << i;
+  }
+}
+
+core::CampaignAccumulator::Snapshot run_campaign(bool batching,
+                                                 std::size_t threads,
+                                                 const faults::FaultPlan& plan,
+                                                 faults::FaultCounters* out =
+                                                     nullptr) {
+  BatchingGuard guard;
+  telemetry::set_batching(batching);
+  const auto cfg = small_config();
+  const auto library = workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  core::CampaignAccumulator acc(cfg.telemetry_window_s,
+                                core::RegionBoundaries{});
+  exec::ThreadPool pool(threads);
+  core::AccumulatorShards shards(acc);
+  if (plan.any_enabled()) {
+    faults::FaultedJobShards faulted(shards, plan);
+    gen.generate_telemetry(log, faulted, pool);
+    if (out != nullptr) *out = faulted.counters();
+  } else {
+    gen.generate_telemetry(log, shards, pool);
+  }
+  return acc.snapshot();
+}
+
+TEST(BatchedCampaign, MatchesPerRecordAcrossThreadCounts) {
+  const faults::FaultPlan clean;
+  const auto reference = run_campaign(false, 1, clean);
+  ASSERT_GT(reference.gcd_samples, 0u);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    expect_same_snapshot(reference, run_campaign(true, threads, clean));
+    expect_same_snapshot(reference, run_campaign(false, threads, clean));
+  }
+}
+
+TEST(BatchedCampaign, FaultSurvivorsMatchPerRecordPath) {
+  faults::FaultPlan plan;
+  plan.seed = 91;
+  plan.drop_probability = 0.08;
+  plan.spike.probability = 0.02;
+  plan.spike.param = 250.0;
+  faults::FaultCounters ref_counters;
+  const auto reference = run_campaign(false, 1, plan, &ref_counters);
+  ASSERT_GT(ref_counters.dropped(), 0u);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    faults::FaultCounters counters;
+    expect_same_snapshot(reference,
+                         run_campaign(true, threads, plan, &counters));
+    EXPECT_EQ(ref_counters.passed, counters.passed);
+    EXPECT_EQ(ref_counters.dropped(), counters.dropped());
+    EXPECT_EQ(ref_counters.spiked, counters.spiked);
+  }
+}
+
+TEST(BatchedCampaign, CheckpointResumeStaysByteIdentical) {
+  // A checkpointed run interrupted after a partial journal, then resumed
+  // on a different thread count, must reproduce the uninterrupted
+  // per-record artifact bit for bit.
+  const auto cfg = small_config();
+  const auto library = workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  const faults::FaultPlan plan;
+
+  const auto run_checkpointed = [&](bool batching, std::size_t threads,
+                                    run::Journal* journal) {
+    BatchingGuard guard;
+    telemetry::set_batching(batching);
+    core::CampaignAccumulator acc(cfg.telemetry_window_s,
+                                  core::RegionBoundaries{});
+    exec::ThreadPool pool(threads);
+    run::generate_telemetry_checkpointed(gen, log, acc, plan, pool, journal,
+                                         nullptr);
+    return acc.snapshot();
+  };
+
+  const auto reference = run_checkpointed(false, 1, nullptr);
+
+  // First pass fills a journal with the batched path; the "resume" run
+  // restores every chunk from it (restored partials short-circuit the
+  // generator entirely) and must still match.
+  const auto journal_path =
+      (std::filesystem::temp_directory_path() /
+       "exaeff_batch_test_journal.ckpt")
+          .string();
+  std::filesystem::remove(journal_path);
+  run::Journal journal(journal_path, /*resume=*/false);
+  const auto first = run_checkpointed(true, 8, &journal);
+  expect_same_snapshot(reference, first);
+  ASSERT_GT(journal.size(), 0u);
+  const auto resumed = run_checkpointed(true, 1, &journal);
+  expect_same_snapshot(reference, resumed);
+  std::filesystem::remove(journal_path);
+}
+
+TEST(BatchedAggregation, BatchCallMatchesPerRecordWalk) {
+  // Synthesize a multi-channel, multi-window stream, then feed it to two
+  // aggregators through the two call shapes.
+  std::vector<telemetry::GcdSample> stream;
+  Rng rng(7);
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    for (std::uint16_t g = 0; g < 2; ++g) {
+      for (int w = 0; w < 200; ++w) {
+        telemetry::GcdSample s;
+        s.t_s = 15.0 * w;
+        s.node_id = node;
+        s.gcd_index = g;
+        s.power_w = static_cast<float>(300.0 + 80.0 * rng.normal());
+        stream.push_back(s);
+      }
+    }
+  }
+
+  telemetry::TelemetryStore a(15.0);
+  telemetry::Aggregator agg_a(a, 15.0);
+  for (const auto& s : stream) agg_a.on_gcd_sample(s);
+  agg_a.flush();
+
+  telemetry::TelemetryStore b(15.0);
+  telemetry::Aggregator agg_b(b, 15.0);
+  agg_b.on_gcd_batch(stream);
+  agg_b.flush();
+
+  const auto sa = a.gcd_samples();
+  const auto sb = b.gcd_samples();
+  ASSERT_EQ(sa.size(), sb.size());
+  ASSERT_GT(sa.size(), 0u);
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].t_s, sb[i].t_s);
+    EXPECT_EQ(sa[i].node_id, sb[i].node_id);
+    EXPECT_EQ(sa[i].gcd_index, sb[i].gcd_index);
+    EXPECT_EQ(sa[i].power_w, sb[i].power_w);
+  }
+}
+
+TEST(PolarLanes, LockstepDrawsMatchScalarRejectionLoop) {
+  // The lane engine must consume and produce exactly the scalar stream:
+  // after n lockstep draws, each lane's Rng continues bit-for-bit where
+  // the scalar walk would have left it, and the transformed values are
+  // bitwise equal to Rng::normal().
+  constexpr std::size_t kDraws = 4096;
+  std::array<Rng, 4> lanes = {Rng(101), Rng(202), Rng(303), Rng(404)};
+  std::array<Rng, 4> scalar = lanes;
+
+  std::vector<double> u(4 * kDraws);
+  std::vector<double> s(4 * kDraws);
+  PolarLanes4 engine(lanes);
+  engine.generate(kDraws, u.data(), s.data());
+  engine.extract(lanes);
+
+  for (std::size_t l = 0; l < 4; ++l) {
+    for (std::size_t i = 0; i < kDraws; ++i) {
+      const double expected = scalar[l].normal();
+      const double got = polar_transform(u[4 * i + l], s[4 * i + l]);
+      ASSERT_EQ(expected, got) << "lane " << l << " draw " << i;
+    }
+    // Post-run stream continuation.
+    for (int k = 0; k < 16; ++k) {
+      ASSERT_EQ(scalar[l](), lanes[l]()) << "lane " << l << " raw " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace exaeff
