@@ -1,0 +1,238 @@
+#include "obs/exposition_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef EXAEFF_GIT_DESCRIBE
+#define EXAEFF_GIT_DESCRIBE "unknown"
+#endif
+
+namespace exaeff::obs {
+
+namespace {
+
+std::mutex g_run_info_mu;
+RunInfo g_run_info;
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+struct Response {
+  int status = 200;
+  const char* content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Bad Request";
+  }
+}
+
+/// Serializes `r` as a complete HTTP/1.0 response.
+std::string render_response(const Response& r, bool head_only) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << r.status << " " << status_text(r.status) << "\r\n"
+     << "Content-Type: " << r.content_type << "\r\n"
+     << "Content-Length: " << r.body.size() << "\r\n"
+     << "Connection: close\r\n\r\n";
+  if (!head_only) os << r.body;
+  return os.str();
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+void set_run_info(const RunInfo& info) {
+  std::lock_guard<std::mutex> lock(g_run_info_mu);
+  g_run_info = info;
+}
+
+RunInfo run_info() {
+  std::lock_guard<std::mutex> lock(g_run_info_mu);
+  RunInfo info = g_run_info;
+  if (info.git_describe.empty()) info.git_describe = EXAEFF_GIT_DESCRIBE;
+  if (info.pid == 0) info.pid = static_cast<int>(::getpid());
+  return info;
+}
+
+std::string run_info_json() {
+  const RunInfo info = run_info();
+  std::ostringstream os;
+  os << "{\"command\":" << json_string(info.command)
+     << ",\"seed\":" << info.seed
+     << ",\"config_hash\":" << json_string(info.config_hash)
+     << ",\"git_describe\":" << json_string(info.git_describe)
+     << ",\"pid\":" << info.pid << ",\"uptime_s\":";
+  os.precision(6);
+  os << std::fixed << static_cast<double>(monotonic_now_us()) * 1e-6 << "}";
+  return os.str();
+}
+
+ExpositionServer::ExpositionServer(ExpositionServerOptions options)
+    : options_(std::move(options)) {}
+
+ExpositionServer::~ExpositionServer() { stop(); }
+
+void ExpositionServer::set_refresh_hook(std::function<void()> hook) {
+  refresh_hook_ = std::move(hook);
+}
+
+bool ExpositionServer::start() {
+  if (running_.load()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    error_ = "bad bind address '" + options_.bind_address + "'";
+    close_fd(listen_fd_);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    error_ = std::string("bind: ") + std::strerror(errno);
+    close_fd(listen_fd_);
+    return false;
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    error_ = std::string("listen: ") + std::strerror(errno);
+    close_fd(listen_fd_);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  stop_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { serve_main(); });
+  return true;
+}
+
+void ExpositionServer::stop() {
+  if (!running_.load() && !thread_.joinable()) return;
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  close_fd(listen_fd_);
+  running_.store(false);
+}
+
+void ExpositionServer::serve_main() {
+  // Poll with a short timeout so stop() is observed promptly even when
+  // no scraper ever connects — the property that makes Supervisor
+  // teardown (SIGTERM, --deadline) safe with a live server attached.
+  while (!stop_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;  // timeout or EINTR: re-check stop_
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+  }
+}
+
+void ExpositionServer::handle_connection(int fd) {
+  // One short read is enough for a scrape request line; HTTP/1.0, no
+  // keep-alive, no body.
+  char buf[2048];
+  const ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
+  if (n <= 0) {
+    ::close(fd);
+    return;
+  }
+  buf[n] = '\0';
+  std::string method, target;
+  {
+    std::istringstream line(std::string(buf, static_cast<std::size_t>(n)));
+    line >> method >> target;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_enabled()) {
+    MetricsRegistry::global()
+        .counter("exaeff_scrapes_total", "HTTP requests served by the "
+                                         "exposition server")
+        .inc();
+  }
+
+  Response r;
+  if (method != "GET" && method != "HEAD") {
+    r.status = 405;
+    r.body = "method not allowed\n";
+  } else if (target == "/metrics") {
+    if (refresh_hook_) refresh_hook_();
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = MetricsRegistry::global().expose_prometheus();
+  } else if (target == "/metrics.json") {
+    if (refresh_hook_) refresh_hook_();
+    r.content_type = "application/json";
+    r.body = MetricsRegistry::global().expose_json();
+  } else if (target == "/healthz") {
+    r.body = "ok\n";
+  } else if (target == "/runinfo") {
+    r.content_type = "application/json";
+    r.body = run_info_json();
+  } else {
+    r.status = 404;
+    r.body = "not found\n";
+  }
+
+  const std::string out = render_response(r, method == "HEAD");
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t w = ::send(fd, out.data() + off, out.size() - off,
+                             MSG_NOSIGNAL);
+    if (w <= 0) break;
+    off += static_cast<std::size_t>(w);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+}  // namespace exaeff::obs

@@ -1,0 +1,98 @@
+// exaeff/obs/exposition_server.h
+//
+// Live scrape endpoint: a small, dependency-free HTTP/1.0 server that
+// exposes the process's observability surface while a run is in flight —
+// the paper's in-band-telemetry discipline applied to the tool itself.
+//
+//   GET /metrics        Prometheus text exposition of the registry
+//   GET /metrics.json   the same registry as a flat JSON object
+//   GET /healthz        "ok" liveness probe
+//   GET /runinfo        run identity: command, seed, config hash,
+//                       git describe, pid, uptime
+//
+// Design constraints, in order:
+//   1. Zero cost when not constructed — the CLI only builds one under
+//      --listen=, and nothing else references it.
+//   2. Shutdown-safe under run::Supervisor cancellation: the accept
+//      loop polls with a short timeout and stop() closes the socket and
+//      joins the thread, so SIGINT/SIGTERM/--deadline teardown never
+//      blocks on a scrape.
+//   3. Strictly read-only: a scrape renders registry state (after an
+//      optional refresh hook republishes lazy metrics) and never touches
+//      pipeline data, so stdout stays byte-identical with the server on.
+//
+// One connection is served at a time (scrapes are small and fast);
+// concurrent scrapers queue in the listen backlog.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace exaeff::obs {
+
+/// Identity of the running process, served at /runinfo.
+struct RunInfo {
+  std::string command;       ///< e.g. "project 64 7 --listen=9100"
+  std::uint64_t seed = 0;    ///< the run's RNG seed (fault-plan seed)
+  std::string config_hash;   ///< hex content hash of the configuration
+  std::string git_describe;  ///< source version; default: baked at build
+  int pid = 0;
+};
+
+/// Sets / reads the process-wide run info.  Thread-safe.
+void set_run_info(const RunInfo& info);
+[[nodiscard]] RunInfo run_info();
+/// The /runinfo JSON body (includes live uptime_s on the span clock).
+[[nodiscard]] std::string run_info_json();
+
+struct ExpositionServerOptions {
+  std::uint16_t port = 0;  ///< 0 binds an ephemeral port (see port())
+  std::string bind_address = "127.0.0.1";
+};
+
+class ExpositionServer {
+ public:
+  explicit ExpositionServer(ExpositionServerOptions options = {});
+  /// Stops the server if running.
+  ~ExpositionServer();
+  ExpositionServer(const ExpositionServer&) = delete;
+  ExpositionServer& operator=(const ExpositionServer&) = delete;
+
+  /// Invoked before every /metrics or /metrics.json response so
+  /// lazily-published series (span quantiles, pool counters, resource
+  /// gauges) are scrape-fresh.  Set before start().
+  void set_refresh_hook(std::function<void()> hook);
+
+  /// Binds, listens, and spawns the serving thread.  Returns false —
+  /// with the reason in last_error() — when the port cannot be bound.
+  [[nodiscard]] bool start();
+  /// Stops accepting, closes the socket, joins the thread.  Idempotent.
+  void stop();
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// The actually-bound port (resolves port 0 after start()).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_main();
+  void handle_connection(int fd);
+
+  ExpositionServerOptions options_;
+  std::function<void()> refresh_hook_;
+  std::string error_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace exaeff::obs

@@ -56,6 +56,32 @@ void Histogram::observe(double x) {
   }
 }
 
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t n = 0;
+  for (const auto c : counts) n += c;
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(n);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double c = static_cast<double>(counts[i]);
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // +inf bucket
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double upper = bounds_[i];
+      double frac = (rank - cum) / c;
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lower + (upper - lower) * frac;
+    }
+    cum += c;
+  }
+  return bounds_.back();
+}
+
 std::vector<std::uint64_t> Histogram::bucket_counts() const {
   std::vector<std::uint64_t> out(bounds_.size() + 1);
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -306,6 +332,17 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::top_series(
   });
   if (rows.size() > limit) rows.resize(limit);
   return rows;
+}
+
+double MetricsRegistry::counter_sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double total = 0.0;
+  for (const auto& [key, s] : series_) {
+    if (s.kind == Kind::kCounter) {
+      total += static_cast<double>(s.counter->value());
+    }
+  }
+  return total;
 }
 
 void MetricsRegistry::reset() {

@@ -103,6 +103,13 @@ class Histogram {
   [[nodiscard]] double sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
+  /// Streaming quantile estimate by linear interpolation inside the
+  /// log-spaced buckets (the Prometheus histogram_quantile rule): `q` is
+  /// clamped to [0, 1], the first bucket interpolates up from 0, and
+  /// ranks landing in the +inf overflow bucket return the highest finite
+  /// bound.  Returns 0 for an empty histogram.  Concurrent observes make
+  /// the estimate approximate, never invalid.
+  [[nodiscard]] double quantile(double q) const;
   /// Finite bucket upper bounds (the implicit +inf bucket is last).
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
@@ -148,6 +155,11 @@ class MetricsRegistry {
   /// CLI summary footer.
   [[nodiscard]] std::vector<std::pair<std::string, double>> top_series(
       std::size_t limit) const;
+
+  /// Sum of every registered counter's current value — a single "work
+  /// done so far" scalar the resource sampler timelines alongside
+  /// RSS/CPU so throughput collapses show up against resource growth.
+  [[nodiscard]] double counter_sum() const;
 
   /// Zeroes every registered metric; registrations are kept.
   void reset();

@@ -1,0 +1,242 @@
+#include "obs/resource_sampler.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#ifdef __linux__
+#include <dirent.h>
+#include <sys/resource.h>
+#include <sys/time.h>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace exaeff::obs {
+
+namespace {
+
+#ifdef __linux__
+
+double timeval_seconds(const timeval& tv) {
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+/// Parses "VmRSS:   123456 kB"-style lines out of /proc/self/status.
+/// Returns 0 for keys that are absent (e.g. on non-procfs systems).
+void read_proc_status(double& rss_bytes, double& peak_rss_bytes,
+                      double& threads) {
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    double* out = nullptr;
+    double scale = 1.0;
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      out = &rss_bytes;
+      scale = 1024.0;
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      out = &peak_rss_bytes;
+      scale = 1024.0;
+    } else if (std::strncmp(line, "Threads:", 8) == 0) {
+      out = &threads;
+    }
+    if (out == nullptr) continue;
+    const char* p = std::strchr(line, ':') + 1;
+    *out = std::strtod(p, nullptr) * scale;
+  }
+  std::fclose(f);
+}
+
+double count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0.0;
+  double n = 0.0;
+  while (const dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') n += 1.0;
+  }
+  ::closedir(dir);
+  return n > 0.0 ? n - 1.0 : 0.0;  // exclude the opendir fd itself
+}
+
+#endif  // __linux__
+
+void append_json_number(std::ostream& os, double v) {
+  // JSON has no NaN/Inf; resource readings should never produce them,
+  // but a malformed artifact is worse than a clamped one.
+  if (!(v == v)) {
+    os << "0";
+    return;
+  }
+  std::ostringstream ss;
+  ss.precision(12);
+  ss << v;
+  os << ss.str();
+}
+
+}  // namespace
+
+ResourceSample read_resource_sample() {
+  ResourceSample s;
+  s.t_s = static_cast<double>(monotonic_now_us()) * 1e-6;
+#ifdef __linux__
+  read_proc_status(s.rss_bytes, s.peak_rss_bytes, s.threads);
+  s.open_fds = count_open_fds();
+  rusage ru{};
+  if (::getrusage(RUSAGE_SELF, &ru) == 0) {
+    s.cpu_user_s = timeval_seconds(ru.ru_utime);
+    s.cpu_sys_s = timeval_seconds(ru.ru_stime);
+    // ru_maxrss (KiB) backstops VmHWM where /proc is unavailable.
+    if (s.peak_rss_bytes == 0.0) {
+      s.peak_rss_bytes = static_cast<double>(ru.ru_maxrss) * 1024.0;
+    }
+  }
+#endif
+  return s;
+}
+
+ResourceSampler::ResourceSampler(ResourceSamplerOptions options)
+    : options_(options) {
+  if (options_.interval_s <= 0.0) options_.interval_s = 0.2;
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+}
+
+ResourceSampler::~ResourceSampler() { stop(); }
+
+void ResourceSampler::set_tick_hook(std::function<void()> hook) {
+  tick_hook_ = std::move(hook);
+}
+
+void ResourceSampler::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  take_sample();  // the timeline always has a t=start sample
+  thread_ = std::thread([this] { sampler_main(); });
+}
+
+void ResourceSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  take_sample();  // ... and a t=end sample, however short the run
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool ResourceSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void ResourceSampler::sampler_main() {
+  const auto interval = std::chrono::duration<double>(options_.interval_s);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    take_sample();
+    lock.lock();
+  }
+}
+
+void ResourceSampler::take_sample() {
+  if (tick_hook_) tick_hook_();
+  ResourceSample s = read_resource_sample();
+  s.counters_total = MetricsRegistry::global().counter_sum();
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    s.counters_delta = have_last_counters_
+                           ? s.counters_total - last_counters_total_
+                           : 0.0;
+    last_counters_total_ = s.counters_total;
+    have_last_counters_ = true;
+    ++total_;
+    if (ring_.size() < options_.ring_capacity) {
+      ring_.push_back(s);
+    } else {
+      ring_[next_] = s;
+      next_ = (next_ + 1) % options_.ring_capacity;
+    }
+  }
+  if (options_.publish_gauges && metrics_enabled()) {
+    auto& reg = MetricsRegistry::global();
+    reg.gauge("exaeff_process_rss_bytes", "Resident set size").set(s.rss_bytes);
+    reg.gauge("exaeff_process_peak_rss_bytes", "Peak resident set size")
+        .set(s.peak_rss_bytes);
+    reg.gauge("exaeff_process_cpu_user_seconds", "Cumulative user CPU")
+        .set(s.cpu_user_s);
+    reg.gauge("exaeff_process_cpu_system_seconds", "Cumulative system CPU")
+        .set(s.cpu_sys_s);
+    reg.gauge("exaeff_process_threads", "Live thread count").set(s.threads);
+    reg.gauge("exaeff_process_open_fds", "Open file descriptors")
+        .set(s.open_fds);
+  }
+}
+
+std::vector<ResourceSample> ResourceSampler::samples() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  std::vector<ResourceSample> out;
+  out.reserve(ring_.size());
+  const std::size_t n = ring_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(next_ + i) % n]);
+  }
+  return out;
+}
+
+std::uint64_t ResourceSampler::total_samples() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return total_;
+}
+
+void ResourceSampler::write_timeline_json(std::ostream& os) const {
+  const auto rows = samples();
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    total = total_;
+  }
+  os << "{\"interval_s\":";
+  append_json_number(os, options_.interval_s);
+  os << ",\"total_samples\":" << total
+     << ",\"dropped\":" << total - rows.size() << ",\"samples\":[";
+  bool first = true;
+  for (const auto& s : rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"t_s\":";
+    append_json_number(os, s.t_s);
+    os << ",\"rss_bytes\":";
+    append_json_number(os, s.rss_bytes);
+    os << ",\"peak_rss_bytes\":";
+    append_json_number(os, s.peak_rss_bytes);
+    os << ",\"cpu_user_s\":";
+    append_json_number(os, s.cpu_user_s);
+    os << ",\"cpu_sys_s\":";
+    append_json_number(os, s.cpu_sys_s);
+    os << ",\"threads\":";
+    append_json_number(os, s.threads);
+    os << ",\"open_fds\":";
+    append_json_number(os, s.open_fds);
+    os << ",\"counters_total\":";
+    append_json_number(os, s.counters_total);
+    os << ",\"counters_delta\":";
+    append_json_number(os, s.counters_delta);
+    os << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace exaeff::obs

@@ -1,0 +1,111 @@
+// exaeff/obs/resource_sampler.h
+//
+// In-band resource telemetry for the pipeline itself: a background
+// thread that samples the process's /proc/self state (RSS, peak RSS,
+// user/sys CPU, thread count, open fds) and the metrics registry's
+// counter total on a fixed interval, into a bounded time-series ring.
+//
+// This is the same discipline the paper applies to Frontier — continuous
+// per-node power/utilization streams, not end-of-run totals — turned on
+// the tool: a campaign whose RSS ramps while its counter throughput
+// flattens is spilling or leaking, and the timeline shows *when*.  The
+// ring holds the most recent `ring_capacity` samples (older ones are
+// overwritten), so memory stays fixed no matter how long the run is.
+//
+// Each tick optionally publishes exaeff_process_* gauges into the
+// registry (live scrape surface) and invokes a caller-supplied hook —
+// the CLI uses it to refresh the exec thread-pool counters so pool
+// activity is visible mid-run, without obs depending on exec.
+//
+// The sampler never touches RNG state or pipeline data; with the
+// sampler off (the default) no thread is spawned and nothing costs
+// anything.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exaeff::obs {
+
+/// One snapshot of the process's resource state.  All fields are plain
+/// doubles so the timeline serializes uniformly.
+struct ResourceSample {
+  double t_s = 0.0;             ///< span-clock seconds at sampling time
+  double rss_bytes = 0.0;       ///< current resident set (VmRSS)
+  double peak_rss_bytes = 0.0;  ///< high-water resident set (VmHWM)
+  double cpu_user_s = 0.0;      ///< cumulative user CPU (getrusage)
+  double cpu_sys_s = 0.0;       ///< cumulative system CPU
+  double threads = 0.0;         ///< live threads (/proc/self/status)
+  double open_fds = 0.0;        ///< open descriptors (/proc/self/fd)
+  double counters_total = 0.0;  ///< sum over all registry counters
+  double counters_delta = 0.0;  ///< counters_total increment since the
+                                ///< previous sample (0 for the first)
+};
+
+/// Reads the current usage (Linux: /proc/self + getrusage; fields that
+/// cannot be read are left 0).  counters_total/delta are filled by the
+/// sampler, not here.
+[[nodiscard]] ResourceSample read_resource_sample();
+
+struct ResourceSamplerOptions {
+  double interval_s = 0.2;
+  std::size_t ring_capacity = 4096;
+  /// Publish exaeff_process_* gauges each tick (when metrics are on).
+  bool publish_gauges = true;
+};
+
+/// Background /proc sampler with a bounded ring.  start()/stop() are
+/// idempotent; the destructor stops the thread.
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(ResourceSamplerOptions options = {});
+  ~ResourceSampler();
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Extra work to run on every tick before the sample is taken (e.g.
+  /// exec::ThreadPool::global().publish_metrics()).  Set before start().
+  void set_tick_hook(std::function<void()> hook);
+
+  /// Takes an immediate first sample and spawns the sampling thread.
+  void start();
+  /// Takes a final sample and joins the thread.  Safe to call twice.
+  void stop();
+  [[nodiscard]] bool running() const;
+
+  /// Ring contents, oldest first.
+  [[nodiscard]] std::vector<ResourceSample> samples() const;
+  /// Samples ever taken (>= samples().size(); the excess was overwritten).
+  [[nodiscard]] std::uint64_t total_samples() const;
+
+  /// Serializes the ring as a JSON document:
+  ///   {"interval_s":..,"total_samples":..,"dropped":..,"samples":[...]}
+  void write_timeline_json(std::ostream& os) const;
+
+ private:
+  void sampler_main();
+  void take_sample();
+
+  ResourceSamplerOptions options_;
+  std::function<void()> tick_hook_;
+
+  mutable std::mutex ring_mu_;
+  std::vector<ResourceSample> ring_;  // grows to capacity, then wraps
+  std::size_t next_ = 0;              // write cursor once at capacity
+  std::uint64_t total_ = 0;
+  double last_counters_total_ = 0.0;
+  bool have_last_counters_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace exaeff::obs

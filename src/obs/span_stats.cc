@@ -1,0 +1,86 @@
+#include "obs/span_stats.h"
+
+#include <algorithm>
+
+namespace exaeff::obs {
+
+SpanStats& SpanStats::global() {
+  static SpanStats* stats = new SpanStats();  // leaked: outlives all threads
+  return *stats;
+}
+
+void SpanStats::record(const char* name, double inclusive_s,
+                       double exclusive_s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  ++e.count;
+  e.inclusive_s += inclusive_s;
+  e.exclusive_s += exclusive_s;
+  e.hist.observe(inclusive_s);
+}
+
+StageSummary SpanStats::summarize(const std::string& name, const Entry& e) {
+  StageSummary s;
+  s.stage = name;
+  s.count = e.count;
+  s.inclusive_s = e.inclusive_s;
+  s.exclusive_s = e.exclusive_s;
+  s.p50_s = e.hist.quantile(0.50);
+  s.p95_s = e.hist.quantile(0.95);
+  s.p99_s = e.hist.quantile(0.99);
+  return s;
+}
+
+std::vector<StageSummary> SpanStats::snapshot() const {
+  std::vector<StageSummary> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) out.push_back(summarize(name, e));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StageSummary& a, const StageSummary& b) {
+              if (a.exclusive_s != b.exclusive_s) {
+                return a.exclusive_s > b.exclusive_s;
+              }
+              return a.stage < b.stage;
+            });
+  return out;
+}
+
+StageSummary SpanStats::stage(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    StageSummary s;
+    s.stage = name;
+    return s;
+  }
+  return summarize(name, it->second);
+}
+
+void SpanStats::publish(MetricsRegistry& reg) const {
+  for (const auto& s : snapshot()) {
+    const Labels stage_only = {{"stage", s.stage}};
+    reg.gauge("exaeff_stage_seconds_exclusive",
+              "Per-stage wall time excluding nested spans", stage_only)
+        .set(s.exclusive_s);
+    reg.gauge("exaeff_stage_spans", "Closed spans per stage", stage_only)
+        .set(static_cast<double>(s.count));
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", s.p50_s}, {"0.95", s.p95_s}, {"0.99", s.p99_s}};
+    for (const auto& [q, v] : quantiles) {
+      reg.gauge("exaeff_stage_seconds",
+                "Cumulative wall time per traced stage",
+                {{"stage", s.stage}, {"quantile", q}})
+          .set(v);
+    }
+  }
+}
+
+void SpanStats::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace exaeff::obs

@@ -1,0 +1,86 @@
+// exaeff/obs/span_stats.h
+//
+// Span → latency aggregation: every closed trace span (obs/trace.h)
+// feeds an always-on per-stage duration summary while metrics are
+// enabled, independent of the Chrome-trace ring buffer.  Each stage
+// keeps a count, an inclusive wall-time sum, a *child-exclusive* sum
+// (time spent in the span minus time spent in spans nested inside it —
+// the number a "where did the wall clock go" footer should print, since
+// inclusive sums double-count nested spans, including recursive spans
+// of the same name), and a log-bucketed duration histogram from which
+// p50/p95/p99 are interpolated on demand.
+//
+// The recording path is one mutex-guarded hash-map upsert plus a
+// histogram observe per span close — the same order of cost as the
+// registry gauge update the tracer already does, and spans close at
+// stage granularity, not per sample.  When metrics are disabled nothing
+// is recorded and nothing is allocated.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace exaeff::obs {
+
+/// Aggregated timing for one span name.  Durations are seconds.
+struct StageSummary {
+  std::string stage;
+  std::uint64_t count = 0;
+  double inclusive_s = 0.0;  ///< sum of span durations, nesting included
+  double exclusive_s = 0.0;  ///< inclusive minus time inside child spans
+  double p50_s = 0.0;        ///< quantiles of the per-span inclusive
+  double p95_s = 0.0;        ///< duration distribution
+  double p99_s = 0.0;
+};
+
+/// Process-wide per-stage latency aggregator.  Thread-safe.
+class SpanStats {
+ public:
+  static SpanStats& global();
+
+  /// Folds one closed span into its stage's aggregate.  Called by
+  /// TraceSpan::close(); `name` follows the span contract (outlives the
+  /// process).
+  void record(const char* name, double inclusive_s, double exclusive_s);
+
+  /// Every stage seen so far, sorted by descending exclusive time —
+  /// the CLI footer order.
+  [[nodiscard]] std::vector<StageSummary> snapshot() const;
+
+  /// Aggregate for one stage; count == 0 when the stage was never seen.
+  [[nodiscard]] StageSummary stage(const std::string& name) const;
+
+  /// Publishes the aggregates into `reg` as gauges:
+  ///   exaeff_stage_seconds{quantile="0.5"|"0.95"|"0.99",stage=...}
+  ///   exaeff_stage_seconds_exclusive{stage=...}
+  ///   exaeff_stage_spans{stage=...}
+  /// Call before any exposition (scrape or --metrics dump) so the
+  /// summary is as fresh as the scrape.  The unlabeled-quantile
+  /// exaeff_stage_seconds{stage=...} gauge stays owned by the tracer.
+  void publish(MetricsRegistry& reg) const;
+
+  /// Drops every aggregate (tests).
+  void reset();
+
+ private:
+  struct Entry {
+    std::uint64_t count = 0;
+    double inclusive_s = 0.0;
+    double exclusive_s = 0.0;
+    // 1 µs .. 10 ks log-spaced, same span as the registry default.
+    Histogram hist{1e-6, 1e4, 24};
+  };
+
+  [[nodiscard]] static StageSummary summarize(const std::string& name,
+                                              const Entry& e);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace exaeff::obs

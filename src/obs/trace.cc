@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span_stats.h"
 
 namespace exaeff::obs {
 
@@ -15,6 +16,15 @@ std::atomic<bool> g_trace_enabled{false};
 }  // namespace detail
 
 namespace {
+
+/// Per-thread stack of open-span frames, used to apportion wall time
+/// between a span and the spans nested inside it.  Pushed in open() and
+/// popped in close(), which pair exactly (armed_), so the stack stays
+/// balanced even when tracing/metrics toggle mid-span.
+struct OpenFrame {
+  double child_s = 0.0;  ///< wall time of directly-nested closed spans
+};
+thread_local std::vector<OpenFrame> t_open_frames;
 
 /// Process-local monotonic epoch so trace timestamps start near zero.
 std::chrono::steady_clock::time_point trace_epoch() {
@@ -163,6 +173,7 @@ void TraceSpan::open(const char* name) {
   if (trace_enabled()) {
     ++Tracer::global().ring_for_this_thread().depth;
   }
+  t_open_frames.emplace_back();
   start_ = std::chrono::steady_clock::now();
   g_last_span_name.store(name, std::memory_order_release);
   g_last_span_open_us.store(to_us(start_), std::memory_order_release);
@@ -180,13 +191,27 @@ void TraceSpan::close() {
     e.depth = ring.depth > 0 ? --ring.depth : 0;
     ring.push(e);
   }
+  const double dur_s = std::chrono::duration<double>(end - start_).count();
+  // Apportion wall time to this span net of its children: the frame we
+  // pushed at open() accumulated the duration of every directly-nested
+  // span, so exclusive = inclusive - children (clamped against clock
+  // skew), and our own inclusive time rolls up into the parent frame.
+  double child_s = 0.0;
+  if (!t_open_frames.empty()) {
+    child_s = t_open_frames.back().child_s;
+    t_open_frames.pop_back();
+  }
+  if (!t_open_frames.empty()) t_open_frames.back().child_s += dur_s;
+  const double exclusive_s = dur_s > child_s ? dur_s - child_s : 0.0;
   if (metrics_enabled()) {
-    // The CLI stage-timing footer reads this family; spans feed it even
-    // when the ring-buffer tracer itself is off.
+    // The stage-seconds gauge stays the cumulative *inclusive* family;
+    // SpanStats keeps the exclusive sums and the duration histogram the
+    // CLI footer and the /metrics quantiles read.
     MetricsRegistry::global()
         .gauge("exaeff_stage_seconds",
                "Cumulative wall time per traced stage", {{"stage", name_}})
-        .add(std::chrono::duration<double>(end - start_).count());
+        .add(dur_s);
+    SpanStats::global().record(name_, dur_s, exclusive_s);
   }
 }
 

@@ -20,8 +20,10 @@
 // Span names must be string literals (or otherwise outlive the tracer):
 // the ring stores the pointer, not a copy.  When metrics are also
 // enabled, every closed span accumulates wall time into the
-// `exaeff_stage_seconds{stage=<name>}` counter family, which is what the
-// CLI's stage-timing footer reads.
+// `exaeff_stage_seconds{stage=<name>}` gauge family and into the
+// SpanStats per-stage summary (obs/span_stats.h) — duration histogram,
+// p50/p95/p99, and child-exclusive wall time — which is what the CLI's
+// stage-timing footer and the /metrics scrape endpoint read.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,258 @@
+// Tests for the live scrape endpoint: ephemeral-port bind, every route's
+// content, error routes, concurrent scrapers, refresh-hook freshness,
+// idempotent stop, and — the shutdown contract — a forked child whose
+// run::Supervisor turns SIGTERM into a clean server stop and exit 0.
+#include "obs/exposition_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span_stats.h"
+#include "run/supervisor.h"
+
+namespace exaeff::obs {
+namespace {
+
+/// Minimal blocking HTTP/1.0 client for loopback scrapes: sends one GET
+/// (or arbitrary request line) and returns the full response text.
+std::string http_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string out;
+  if (::send(fd, request.data(), request.size(), 0) ==
+      static_cast<ssize_t>(request.size())) {
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  return out;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  return http_request(port, "GET " + target + " HTTP/1.0\r\n\r\n");
+}
+
+/// Body of an HTTP response (everything after the blank line).
+std::string body_of(const std::string& response) {
+  const auto p = response.find("\r\n\r\n");
+  return p == std::string::npos ? std::string() : response.substr(p + 4);
+}
+
+class ExpositionServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    MetricsRegistry::global().reset();
+    SpanStats::global().reset();
+  }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+TEST_F(ExpositionServerTest, BindsEphemeralPortAndServesMetrics) {
+  MetricsRegistry::global().counter("test_scraped_total").inc(7);
+  ExpositionServer server;  // port 0 → ephemeral
+  ASSERT_TRUE(server.start()) << server.last_error();
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const std::string resp = http_get(server.port(), "/metrics");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(resp.find("test_scraped_total 7"), std::string::npos);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ExpositionServerTest, MetricsJsonRouteServesRegistryJson) {
+  MetricsRegistry::global().gauge("test_json_gauge").set(2.5);
+  ExpositionServer server;
+  ASSERT_TRUE(server.start()) << server.last_error();
+  const std::string body = body_of(http_get(server.port(), "/metrics.json"));
+  EXPECT_NE(body.find("\"test_json_gauge\""), std::string::npos);
+  EXPECT_NE(body.find("2.5"), std::string::npos);
+}
+
+TEST_F(ExpositionServerTest, HealthzAndRunInfoRoutes) {
+  RunInfo info;
+  info.command = "project 64 7";
+  info.seed = 64023;
+  info.config_hash = "ee6651a7af18671d";
+  set_run_info(info);
+
+  ExpositionServer server;
+  ASSERT_TRUE(server.start()) << server.last_error();
+  EXPECT_EQ(body_of(http_get(server.port(), "/healthz")), "ok\n");
+
+  const std::string runinfo = body_of(http_get(server.port(), "/runinfo"));
+  EXPECT_NE(runinfo.find("\"command\":\"project 64 7\""), std::string::npos);
+  EXPECT_NE(runinfo.find("\"seed\":64023"), std::string::npos);
+  EXPECT_NE(runinfo.find("\"config_hash\":\"ee6651a7af18671d\""),
+            std::string::npos);
+  EXPECT_NE(runinfo.find("\"git_describe\":"), std::string::npos);
+  EXPECT_NE(runinfo.find("\"uptime_s\":"), std::string::npos);
+}
+
+TEST_F(ExpositionServerTest, UnknownRouteIs404AndNonGetIs405) {
+  ExpositionServer server;
+  ASSERT_TRUE(server.start()) << server.last_error();
+  EXPECT_NE(http_get(server.port(), "/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+  EXPECT_NE(
+      http_request(server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+          .find("HTTP/1.0 405"),
+      std::string::npos);
+  // HEAD is allowed and returns headers only.
+  const std::string head =
+      http_request(server.port(), "HEAD /healthz HTTP/1.0\r\n\r\n");
+  EXPECT_NE(head.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_EQ(body_of(head), "");
+}
+
+TEST_F(ExpositionServerTest, RefreshHookRunsBeforeEveryMetricsScrape) {
+  int refreshes = 0;
+  ExpositionServer server;
+  server.set_refresh_hook([&refreshes] {
+    ++refreshes;
+    MetricsRegistry::global().gauge("test_refreshed_gauge").set(refreshes);
+  });
+  ASSERT_TRUE(server.start()) << server.last_error();
+  EXPECT_NE(body_of(http_get(server.port(), "/metrics"))
+                .find("test_refreshed_gauge 1"),
+            std::string::npos);
+  EXPECT_NE(body_of(http_get(server.port(), "/metrics"))
+                .find("test_refreshed_gauge 2"),
+            std::string::npos);
+  // Non-metrics routes must not pay for a refresh.
+  http_get(server.port(), "/healthz");
+  EXPECT_EQ(refreshes, 2);
+}
+
+TEST_F(ExpositionServerTest, ConcurrentScrapersAllGetCompleteResponses) {
+  MetricsRegistry::global().counter("test_concurrent_total").inc(123);
+  ExpositionServer server;
+  ASSERT_TRUE(server.start()) << server.last_error();
+
+  constexpr int kScrapers = 8;
+  constexpr int kScrapesEach = 5;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kScrapers, 0);
+  threads.reserve(kScrapers);
+  for (int i = 0; i < kScrapers; ++i) {
+    threads.emplace_back([&, i] {
+      for (int j = 0; j < kScrapesEach; ++j) {
+        const std::string resp = http_get(server.port(), "/metrics");
+        if (resp.find("HTTP/1.0 200") != std::string::npos &&
+            resp.find("test_concurrent_total 123") != std::string::npos) {
+          ++ok[i];
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kScrapers; ++i) EXPECT_EQ(ok[i], kScrapesEach) << i;
+  EXPECT_GE(server.requests_served(),
+            static_cast<std::uint64_t>(kScrapers * kScrapesEach));
+}
+
+TEST_F(ExpositionServerTest, StopIsIdempotentAndFastWithNoClients) {
+  ExpositionServer server;
+  ASSERT_TRUE(server.start()) << server.last_error();
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  server.stop();  // second call is a no-op
+  const double stop_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  // The accept loop polls at 100 ms; stopping must take ~one poll cycle,
+  // not block on a connection that never comes.
+  EXPECT_LT(stop_s, 2.0);
+  EXPECT_FALSE(server.running());
+  // A scrape after stop must fail to connect.
+  EXPECT_EQ(http_get(server.port(), "/healthz"), "");
+}
+
+TEST_F(ExpositionServerTest, PortCollisionReportsErrorInsteadOfAborting) {
+  ExpositionServer first;
+  ASSERT_TRUE(first.start()) << first.last_error();
+  ExpositionServer second(
+      ExpositionServerOptions{.port = first.port(), .bind_address = "127.0.0.1"});
+  EXPECT_FALSE(second.start());
+  EXPECT_FALSE(second.last_error().empty());
+  EXPECT_FALSE(second.running());
+}
+
+// The shutdown contract under supervision: a child process serving
+// scrapes receives SIGTERM, the Supervisor trips its token, the child
+// stops the server and exits 0 — never a hang, never a crash.  Fork
+// harness in the style of tests/run/crash_resume_test.cc.
+TEST_F(ExpositionServerTest, CleanShutdownOnSigtermUnderSupervisor) {
+  int port_pipe[2];
+  ASSERT_EQ(::pipe(port_pipe), 0);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: supervised server loop.  Use _exit on every path so gtest
+    // machinery never runs twice.
+    ::close(port_pipe[0]);
+    run::Supervisor supervisor;  // installs SIGINT/SIGTERM handlers
+    ExpositionServer server;
+    if (!server.start()) ::_exit(3);
+    const std::uint16_t port = server.port();
+    if (::write(port_pipe[1], &port, sizeof port) != sizeof port) {
+      ::_exit(4);
+    }
+    ::close(port_pipe[1]);
+    while (!supervisor.cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    server.stop();
+    ::_exit(server.running() ? 5 : 0);
+  }
+
+  // Parent: wait for the child's port, scrape it, then terminate.
+  ::close(port_pipe[1]);
+  std::uint16_t port = 0;
+  ASSERT_EQ(::read(port_pipe[0], &port, sizeof port),
+            static_cast<ssize_t>(sizeof port));
+  ::close(port_pipe[0]);
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(body_of(http_get(port, "/healthz")), "ok\n");
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace exaeff::obs

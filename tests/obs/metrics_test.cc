@@ -236,5 +236,80 @@ TEST_F(MetricsTest, SupervisedRunPublishesCheckpointAndCancellationSeries) {
   std::filesystem::remove_all(dir, ec);
 }
 
+// --- Histogram::quantile: log-bucket interpolation edge cases ---------
+
+TEST_F(MetricsTest, QuantileOfEmptyHistogramIsZero) {
+  const Histogram h(1e-6, 1e4, 24);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST_F(MetricsTest, QuantileSingleBucketInterpolatesWithinItsBounds) {
+  Histogram h(1.0, 100.0, 4);  // bucket bounds ~3.16, 10, ~31.6, 100
+  for (int i = 0; i < 10; ++i) h.observe(5.0);  // all in the (3.16, 10] bucket
+  const auto& bounds = h.bounds();
+  // Every quantile of a one-bucket distribution lies inside that bucket.
+  const double lower = bounds[0];
+  const double upper = bounds[1];
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, lower) << q;
+    EXPECT_LE(v, upper) << q;
+  }
+  // Higher ranks interpolate monotonically towards the upper bound.
+  EXPECT_LE(h.quantile(0.1), h.quantile(0.9));
+}
+
+TEST_F(MetricsTest, QuantileExtremesAndClamping) {
+  Histogram h(1.0, 100.0, 4);
+  h.observe(5.0);
+  h.observe(50.0);
+  // q is clamped to [0, 1]; q=0 sits at (or below) the smallest
+  // observation's bucket, q=1 at the largest observation's bucket bound.
+  EXPECT_LE(h.quantile(0.0), 5.0);
+  EXPECT_GE(h.quantile(1.0), 50.0 * 0.99);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST_F(MetricsTest, QuantileFirstBucketInterpolatesUpFromZero) {
+  Histogram h(1.0, 100.0, 4);
+  h.observe(0.5);  // below lo → first bucket
+  const double v = h.quantile(0.5);
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, h.bounds().front());
+}
+
+TEST_F(MetricsTest, QuantileOverflowBucketReturnsHighestFiniteBound) {
+  Histogram h(1.0, 100.0, 4);
+  h.observe(1e6);  // beyond hi → +inf overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST_F(MetricsTest, QuantileIsMonotoneInQ) {
+  Histogram h(1e-3, 1e3, 12);
+  for (const double x : {0.002, 0.02, 0.2, 2.0, 20.0, 200.0, 2000.0}) {
+    h.observe(x);
+  }
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << q;
+    prev = v;
+  }
+}
+
+TEST_F(MetricsTest, QuantileTracksTheMedianAcrossBuckets) {
+  Histogram h(1e-3, 1e3, 24);
+  // 99 small values and 1 huge one: the p50 must stay near the small
+  // mass, the p99+ must land in the huge value's bucket.
+  for (int i = 0; i < 99; ++i) h.observe(0.01);
+  h.observe(500.0);
+  EXPECT_LT(h.quantile(0.5), 0.1);
+  EXPECT_GT(h.quantile(0.995), 100.0);
+}
+
 }  // namespace
 }  // namespace exaeff::obs

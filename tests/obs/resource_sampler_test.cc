@@ -1,0 +1,198 @@
+// Tests for the /proc self-sampler: single-sample plausibility, the
+// bounded ring, counter deltas against the registry, timeline JSON
+// structure, gauge publication, and tick-hook invocation.
+#include "obs/resource_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace exaeff::obs {
+namespace {
+
+class ResourceSamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+/// Spins until `pred` holds or ~2 s elapse; sampler ticks are 5–20 ms in
+/// these tests, so this bounds flakiness without slowing the suite.
+template <typename Pred>
+bool wait_for(Pred pred) {
+  for (int i = 0; i < 200; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST_F(ResourceSamplerTest, SingleSampleIsPlausible) {
+  const ResourceSample s = read_resource_sample();
+#ifdef __linux__
+  EXPECT_GT(s.rss_bytes, 0.0);
+  EXPECT_GE(s.peak_rss_bytes, s.rss_bytes * 0.5);  // HWM can lag slightly
+  EXPECT_GE(s.threads, 1.0);
+  EXPECT_GT(s.open_fds, 0.0);
+#endif
+  EXPECT_GE(s.cpu_user_s + s.cpu_sys_s, 0.0);
+  EXPECT_GE(s.t_s, 0.0);
+}
+
+TEST_F(ResourceSamplerTest, StartStopCollectsMonotonicSamples) {
+  ResourceSampler sampler(
+      ResourceSamplerOptions{.interval_s = 0.005, .ring_capacity = 128});
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+  ASSERT_TRUE(wait_for([&] { return sampler.total_samples() >= 4; }));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+
+  const auto samples = sampler.samples();
+  ASSERT_GE(samples.size(), 4u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_s, samples[i - 1].t_s) << i;
+    EXPECT_GE(samples[i].cpu_user_s + samples[i].cpu_sys_s,
+              samples[i - 1].cpu_user_s + samples[i - 1].cpu_sys_s)
+        << i;
+  }
+  // stop() is idempotent and the ring survives it.
+  sampler.stop();
+  EXPECT_EQ(sampler.samples().size(), samples.size());
+}
+
+TEST_F(ResourceSamplerTest, RingStaysBoundedAndKeepsNewestSamples) {
+  ResourceSampler sampler(
+      ResourceSamplerOptions{.interval_s = 0.002, .ring_capacity = 4});
+  sampler.start();
+  ASSERT_TRUE(wait_for([&] { return sampler.total_samples() >= 10; }));
+  sampler.stop();
+
+  const auto samples = sampler.samples();
+  EXPECT_EQ(samples.size(), 4u);
+  EXPECT_GT(sampler.total_samples(), 4u);
+  // Oldest-first ordering must hold across the wrap point.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].t_s, samples[i - 1].t_s) << i;
+  }
+}
+
+TEST_F(ResourceSamplerTest, CounterDeltasTrackRegistryProgress) {
+  Counter& work = MetricsRegistry::global().counter("test_work_total");
+  ResourceSampler sampler(
+      ResourceSamplerOptions{.interval_s = 0.005, .ring_capacity = 64});
+  sampler.start();
+  ASSERT_TRUE(wait_for([&] { return sampler.total_samples() >= 2; }));
+  work.inc(1000);
+  ASSERT_TRUE(wait_for([&] {
+    const auto s = sampler.samples();
+    return !s.empty() && s.back().counters_total >= 1000.0;
+  }));
+  sampler.stop();
+
+  const auto samples = sampler.samples();
+  ASSERT_GE(samples.size(), 2u);
+  // The first sample's delta is zero by definition; the increment shows
+  // up as a positive delta on exactly the samples that straddled it.
+  EXPECT_DOUBLE_EQ(samples.front().counters_delta, 0.0);
+  double total_delta = 0.0;
+  for (const auto& s : samples) total_delta += s.counters_delta;
+  EXPECT_GE(total_delta, 1000.0);
+  EXPECT_GE(samples.back().counters_total, 1000.0);
+}
+
+TEST_F(ResourceSamplerTest, TickHookRunsEveryTick) {
+  std::atomic<int> ticks{0};
+  ResourceSampler sampler(
+      ResourceSamplerOptions{.interval_s = 0.005, .ring_capacity = 64});
+  sampler.set_tick_hook([&ticks] { ++ticks; });
+  sampler.start();
+  ASSERT_TRUE(wait_for([&] { return ticks.load() >= 3; }));
+  sampler.stop();
+  EXPECT_GE(ticks.load(), 3);
+}
+
+TEST_F(ResourceSamplerTest, PublishesProcessGaugesWhileMetricsOn) {
+  ResourceSampler sampler(
+      ResourceSamplerOptions{.interval_s = 0.005, .ring_capacity = 16});
+  sampler.start();
+  ASSERT_TRUE(wait_for([&] { return sampler.total_samples() >= 2; }));
+  sampler.stop();
+  const std::string prom = MetricsRegistry::global().expose_prometheus();
+#ifdef __linux__
+  EXPECT_NE(prom.find("exaeff_process_rss_bytes"), std::string::npos);
+  EXPECT_NE(prom.find("exaeff_process_peak_rss_bytes"), std::string::npos);
+  EXPECT_NE(prom.find("exaeff_process_threads"), std::string::npos);
+  EXPECT_NE(prom.find("exaeff_process_open_fds"), std::string::npos);
+#endif
+  EXPECT_NE(prom.find("exaeff_process_cpu_user_seconds"), std::string::npos);
+  EXPECT_NE(prom.find("exaeff_process_cpu_system_seconds"),
+            std::string::npos);
+}
+
+TEST_F(ResourceSamplerTest, TimelineJsonHasDocumentShapeAndAllFields) {
+  ResourceSampler sampler(
+      ResourceSamplerOptions{.interval_s = 0.002, .ring_capacity = 4});
+  sampler.start();
+  ASSERT_TRUE(wait_for([&] { return sampler.total_samples() >= 8; }));
+  sampler.stop();
+
+  std::ostringstream os;
+  sampler.write_timeline_json(os);
+  const std::string json = os.str();
+
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  for (const char* key :
+       {"\"interval_s\":", "\"total_samples\":", "\"dropped\":",
+        "\"samples\":[", "\"t_s\":", "\"rss_bytes\":", "\"peak_rss_bytes\":",
+        "\"cpu_user_s\":", "\"cpu_sys_s\":", "\"threads\":",
+        "\"open_fds\":", "\"counters_total\":", "\"counters_delta\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // dropped = total - retained must be positive after overfilling the
+  // 4-slot ring.
+  const auto d = json.find("\"dropped\":");
+  ASSERT_NE(d, std::string::npos);
+  EXPECT_NE(json[d + 10], '0');
+
+  // Balanced braces/brackets — cheap structural JSON sanity.
+  int braces = 0;
+  int brackets = 0;
+  for (const char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(ResourceSamplerTest, NoGaugesPublishedWhileMetricsDisabled) {
+  set_metrics_enabled(false);
+  ResourceSampler sampler(
+      ResourceSamplerOptions{.interval_s = 0.005, .ring_capacity = 16});
+  sampler.start();
+  ASSERT_TRUE(wait_for([&] { return sampler.total_samples() >= 2; }));
+  sampler.stop();
+  set_metrics_enabled(true);
+  // Sampling continued (the timeline artifact works without --metrics)…
+  EXPECT_GE(sampler.samples().size(), 2u);
+  // …but no gauge was written.  (The family may be *registered* from an
+  // earlier test — registrations survive reset() — so check the value.)
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::global().gauge("exaeff_process_rss_bytes").value(),
+      0.0);
+}
+
+}  // namespace
+}  // namespace exaeff::obs

@@ -1,0 +1,185 @@
+// Tests for the span → latency aggregator: per-stage counts and sums,
+// child-exclusive wall time for nested (including same-name recursive)
+// spans, quantile publication into the registry, and footer ordering.
+#include "obs/span_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace exaeff::obs {
+namespace {
+
+/// SpanStats is fed by TraceSpan::close(), which records only while
+/// metrics are enabled; each test starts from an empty aggregate.
+class SpanStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    MetricsRegistry::global().reset();
+    SpanStats::global().reset();
+  }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+void spin_for(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST_F(SpanStatsTest, RecordAggregatesPerStage) {
+  auto& stats = SpanStats::global();
+  stats.record("alpha", 1.0, 0.6);
+  stats.record("alpha", 3.0, 2.4);
+  stats.record("beta", 0.5, 0.5);
+
+  const StageSummary alpha = stats.stage("alpha");
+  EXPECT_EQ(alpha.count, 2u);
+  EXPECT_DOUBLE_EQ(alpha.inclusive_s, 4.0);
+  EXPECT_DOUBLE_EQ(alpha.exclusive_s, 3.0);
+  // Quantiles interpolate inside log buckets, so they bracket the
+  // observations only up to one bucket's width (~2.6× per bucket).
+  EXPECT_GT(alpha.p50_s, 0.5);
+  EXPECT_LT(alpha.p99_s, 3.0 * 2.7);
+  EXPECT_LE(alpha.p50_s, alpha.p95_s);
+  EXPECT_LE(alpha.p95_s, alpha.p99_s);
+
+  EXPECT_EQ(stats.stage("beta").count, 1u);
+  EXPECT_EQ(stats.stage("never.seen").count, 0u);
+}
+
+TEST_F(SpanStatsTest, SnapshotSortsByDescendingExclusiveTime) {
+  auto& stats = SpanStats::global();
+  stats.record("small", 1.0, 0.1);
+  stats.record("large", 1.0, 0.9);
+  stats.record("medium", 1.0, 0.5);
+
+  const auto snap = stats.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].stage, "large");
+  EXPECT_EQ(snap[1].stage, "medium");
+  EXPECT_EQ(snap[2].stage, "small");
+}
+
+TEST_F(SpanStatsTest, NestedSpansReportChildExclusiveTime) {
+  {
+    EXAEFF_TRACE_SPAN("outer.stage");
+    spin_for(std::chrono::microseconds(2000));
+    {
+      EXAEFF_TRACE_SPAN("inner.stage");
+      spin_for(std::chrono::microseconds(2000));
+    }
+  }
+  const StageSummary outer = SpanStats::global().stage("outer.stage");
+  const StageSummary inner = SpanStats::global().stage("inner.stage");
+  ASSERT_EQ(outer.count, 1u);
+  ASSERT_EQ(inner.count, 1u);
+  // A leaf span is all exclusive; the parent's exclusive time excludes
+  // the child, so inclusive sums still add up but exclusive ones do not
+  // double count.
+  EXPECT_DOUBLE_EQ(inner.exclusive_s, inner.inclusive_s);
+  EXPECT_GE(outer.inclusive_s, inner.inclusive_s);
+  EXPECT_NEAR(outer.exclusive_s, outer.inclusive_s - inner.inclusive_s,
+              1e-9);
+  EXPECT_GT(outer.exclusive_s, 0.0);
+}
+
+TEST_F(SpanStatsTest, RecursiveSameNameSpansDoNotDoubleCountExclusive) {
+  {
+    EXAEFF_TRACE_SPAN("recur");
+    spin_for(std::chrono::microseconds(1000));
+    {
+      EXAEFF_TRACE_SPAN("recur");
+      spin_for(std::chrono::microseconds(1000));
+    }
+  }
+  const StageSummary s = SpanStats::global().stage("recur");
+  ASSERT_EQ(s.count, 2u);
+  // Inclusive double-counts the nested instance (that is its contract);
+  // exclusive must cover each microsecond exactly once, i.e. equal the
+  // outer instance's wall time, which is strictly less than the sum.
+  EXPECT_LT(s.exclusive_s, s.inclusive_s);
+  EXPECT_GE(s.exclusive_s, 0.002 * 0.5);  // at least ~half the spun time
+}
+
+TEST_F(SpanStatsTest, SiblingSpansAllChargeTheParent) {
+  {
+    EXAEFF_TRACE_SPAN("parent");
+    for (int i = 0; i < 3; ++i) {
+      EXAEFF_TRACE_SPAN("child");
+      spin_for(std::chrono::microseconds(500));
+    }
+  }
+  const StageSummary parent = SpanStats::global().stage("parent");
+  const StageSummary child = SpanStats::global().stage("child");
+  ASSERT_EQ(child.count, 3u);
+  EXPECT_NEAR(parent.exclusive_s, parent.inclusive_s - child.inclusive_s,
+              1e-9);
+}
+
+TEST_F(SpanStatsTest, SpansOnOtherThreadsAreIndependent) {
+  // The open-frame stack is thread-local: a span on another thread must
+  // not be charged to this thread's open span.
+  {
+    EXAEFF_TRACE_SPAN("main.thread");
+    std::thread t([] {
+      EXAEFF_TRACE_SPAN("worker.thread");
+      spin_for(std::chrono::microseconds(1000));
+    });
+    t.join();
+  }
+  const StageSummary main_s = SpanStats::global().stage("main.thread");
+  const StageSummary worker = SpanStats::global().stage("worker.thread");
+  ASSERT_EQ(main_s.count, 1u);
+  ASSERT_EQ(worker.count, 1u);
+  // main.thread had no children on its own thread → fully exclusive.
+  EXPECT_DOUBLE_EQ(main_s.exclusive_s, main_s.inclusive_s);
+}
+
+TEST_F(SpanStatsTest, PublishCreatesQuantileAndExclusiveGauges) {
+  auto& stats = SpanStats::global();
+  stats.record("pub.stage", 2.0, 1.5);
+  stats.record("pub.stage", 2.0, 1.5);
+  stats.publish(MetricsRegistry::global());
+
+  const std::string prom = MetricsRegistry::global().expose_prometheus();
+  EXPECT_NE(prom.find("exaeff_stage_seconds{quantile=\"0.5\","
+                      "stage=\"pub.stage\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("exaeff_stage_seconds{quantile=\"0.95\","
+                      "stage=\"pub.stage\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("exaeff_stage_seconds{quantile=\"0.99\","
+                      "stage=\"pub.stage\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("exaeff_stage_seconds_exclusive{stage=\"pub.stage\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("exaeff_stage_spans{stage=\"pub.stage\"} 2"),
+            std::string::npos);
+}
+
+TEST_F(SpanStatsTest, NothingRecordedWhileMetricsDisabled) {
+  set_metrics_enabled(false);
+  {
+    EXAEFF_TRACE_SPAN("dark.stage");
+  }
+  set_metrics_enabled(true);
+  EXPECT_EQ(SpanStats::global().stage("dark.stage").count, 0u);
+}
+
+TEST_F(SpanStatsTest, ResetDropsAllAggregates) {
+  SpanStats::global().record("gone", 1.0, 1.0);
+  ASSERT_EQ(SpanStats::global().snapshot().size(), 1u);
+  SpanStats::global().reset();
+  EXPECT_TRUE(SpanStats::global().snapshot().empty());
+  EXPECT_EQ(SpanStats::global().stage("gone").count, 0u);
+}
+
+}  // namespace
+}  // namespace exaeff::obs

@@ -1,0 +1,260 @@
+// tools/bench_diff.cc
+//
+// Bench regression gate: compares two google-benchmark JSON result
+// files (the committed baseline vs a fresh run) and fails when any
+// benchmark regressed by more than the tolerance.
+//
+//   bench_diff <baseline.json> <current.json> [--tolerance=15]
+//              [--allow-missing]
+//
+// Per-benchmark real_time values are normalized to nanoseconds via
+// time_unit and compared as current/baseline ratios.  Aggregate rows
+// (mean/median/stddev from --benchmark_repetitions) are skipped so a
+// repeated baseline still lines up with a single-shot run.
+//
+// Exit codes: 0 all within tolerance, 1 regression (or a baseline
+// benchmark missing from the current run, unless --allow-missing),
+// 2 usage / unreadable / unparsable input.
+//
+// The parser is deliberately minimal — it understands exactly the
+// subset of JSON google-benchmark emits — so the gate stays
+// dependency-free like everything else in the repo.
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchResult {
+  std::string name;
+  double real_time_ns = 0.0;
+  double cpu_time_ns = 0.0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <current.json> "
+               "[--tolerance=<pct>] [--allow-missing]\n"
+               "  exit 1 when any benchmark's real_time regressed by more "
+               "than <pct>%% (default 15)\n");
+  return 2;
+}
+
+/// Extracts the JSON string immediately following `"key":` at `from`,
+/// or an empty string when absent before `until`.
+std::string find_string_field(const std::string& text, const std::string& key,
+                              std::size_t from, std::size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const auto k = text.find(needle, from);
+  if (k == std::string::npos || k >= until) return {};
+  auto p = text.find(':', k + needle.size());
+  if (p == std::string::npos) return {};
+  p = text.find('"', p);
+  if (p == std::string::npos || p >= until) return {};
+  const auto q = text.find('"', p + 1);
+  if (q == std::string::npos) return {};
+  return text.substr(p + 1, q - p - 1);
+}
+
+/// Extracts the number following `"key":`, or NaN when absent.
+double find_number_field(const std::string& text, const std::string& key,
+                         std::size_t from, std::size_t until) {
+  const std::string needle = "\"" + key + "\"";
+  const auto k = text.find(needle, from);
+  if (k == std::string::npos || k >= until) return std::nan("");
+  const auto p = text.find(':', k + needle.size());
+  if (p == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + p + 1, nullptr);
+}
+
+double unit_to_ns(const std::string& unit) {
+  if (unit == "ns" || unit.empty()) return 1.0;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return std::nan("");
+}
+
+/// Parses the "benchmarks" array of a google-benchmark JSON document.
+/// Returns false when the file does not look like benchmark output.
+bool parse_benchmarks(const std::string& text,
+                      std::vector<BenchResult>& out) {
+  const auto arr = text.find("\"benchmarks\"");
+  if (arr == std::string::npos) return false;
+  std::size_t pos = text.find('[', arr);
+  if (pos == std::string::npos) return false;
+  // Walk the top-level objects of the array by brace depth.
+  int depth = 0;
+  std::size_t obj_begin = 0;
+  for (std::size_t i = pos + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '{') {
+      if (depth == 0) obj_begin = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        const std::size_t obj_end = i;
+        const std::string run_type =
+            find_string_field(text, "run_type", obj_begin, obj_end);
+        if (run_type.empty() || run_type == "iteration") {
+          BenchResult r;
+          r.name = find_string_field(text, "name", obj_begin, obj_end);
+          const double scale = unit_to_ns(
+              find_string_field(text, "time_unit", obj_begin, obj_end));
+          const double real =
+              find_number_field(text, "real_time", obj_begin, obj_end);
+          const double cpu =
+              find_number_field(text, "cpu_time", obj_begin, obj_end);
+          if (!r.name.empty() && std::isfinite(scale) &&
+              std::isfinite(real)) {
+            r.real_time_ns = real * scale;
+            r.cpu_time_ns = std::isfinite(cpu) ? cpu * scale : 0.0;
+            out.push_back(r);
+          }
+        }
+      }
+    } else if (c == ']' && depth == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool load_file(const char* path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string format_time(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance_pct = 15.0;
+  bool allow_missing = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(arg.c_str() + 12, &end);
+      if (end != arg.c_str() + arg.size() || errno == ERANGE ||
+          !std::isfinite(v) || v <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_diff: --tolerance must be a positive percent, "
+                     "got '%s'\n",
+                     arg.c_str() + 12);
+        return 2;
+      }
+      tolerance_pct = v;
+    } else if (arg == "--allow-missing") {
+      allow_missing = true;
+    } else if (arg == "--help") {
+      return usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) return usage();
+
+  std::string base_text, cur_text;
+  if (!load_file(files[0], base_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read '%s'\n", files[0]);
+    return 2;
+  }
+  if (!load_file(files[1], cur_text)) {
+    std::fprintf(stderr, "bench_diff: cannot read '%s'\n", files[1]);
+    return 2;
+  }
+  std::vector<BenchResult> base, cur;
+  if (!parse_benchmarks(base_text, base) || base.empty()) {
+    std::fprintf(stderr,
+                 "bench_diff: '%s' is not google-benchmark JSON output\n",
+                 files[0]);
+    return 2;
+  }
+  if (!parse_benchmarks(cur_text, cur) || cur.empty()) {
+    std::fprintf(stderr,
+                 "bench_diff: '%s' is not google-benchmark JSON output\n",
+                 files[1]);
+    return 2;
+  }
+
+  std::map<std::string, BenchResult> current;
+  for (const auto& r : cur) current[r.name] = r;
+
+  std::printf("%-44s %14s %14s %9s\n", "benchmark", "baseline", "current",
+              "delta");
+  int regressions = 0;
+  int missing = 0;
+  for (const auto& b : base) {
+    const auto it = current.find(b.name);
+    if (it == current.end()) {
+      std::printf("%-44s %14s %14s %9s\n", b.name.c_str(),
+                  format_time(b.real_time_ns).c_str(), "MISSING", "-");
+      ++missing;
+      continue;
+    }
+    const double delta_pct =
+        b.real_time_ns > 0.0
+            ? 100.0 * (it->second.real_time_ns - b.real_time_ns) /
+                  b.real_time_ns
+            : 0.0;
+    const bool regressed = delta_pct > tolerance_pct;
+    std::printf("%-44s %14s %14s %+8.1f%%%s\n", b.name.c_str(),
+                format_time(b.real_time_ns).c_str(),
+                format_time(it->second.real_time_ns).c_str(), delta_pct,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+    current.erase(it);
+  }
+  for (const auto& [name, r] : current) {
+    std::printf("%-44s %14s %14s %9s\n", name.c_str(), "(new)",
+                format_time(r.real_time_ns).c_str(), "-");
+  }
+
+  if (missing > 0 && !allow_missing) {
+    std::fprintf(stderr,
+                 "bench_diff: %d baseline benchmark(s) missing from the "
+                 "current run (update %s or pass --allow-missing)\n",
+                 missing, files[0]);
+    return 1;
+  }
+  if (regressions > 0) {
+    std::fprintf(stderr,
+                 "bench_diff: %d benchmark(s) regressed beyond %.1f%%\n",
+                 regressions, tolerance_pct);
+    return 1;
+  }
+  std::fprintf(stderr, "bench_diff: %zu benchmarks within %.1f%%\n",
+               base.size(), tolerance_pct);
+  return 0;
+}

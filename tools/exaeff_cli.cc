@@ -16,6 +16,12 @@
 // Global options (any position, `--flag=value` form):
 //   --trace=<file.json>    write a Chrome trace_event file of the run
 //   --metrics=<file>       write metrics (.prom text or .json by extension)
+//   --listen=<port>        serve /metrics, /metrics.json, /healthz and
+//                          /runinfo over HTTP while the run is in flight
+//                          (port 0 binds an ephemeral port; the bound
+//                          port is logged as obs.listening)
+//   --timeline=<file.json> sample /proc/self (RSS, CPU, threads, fds)
+//                          on an interval and write the time series
 //   --log-level=<level>    debug|info|warn|error (default info)
 //   --faults=<spec>        inject telemetry faults (see faults/fault_plan.h)
 //   --min-coverage=<frac>  refuse projections below this telemetry coverage
@@ -52,8 +58,11 @@
 #include "core/report.h"
 #include "exec/thread_pool.h"
 #include "faults/injector.h"
+#include "obs/exposition_server.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource_sampler.h"
+#include "obs/span_stats.h"
 #include "obs/trace.h"
 #include "run/atomic_file.h"
 #include "run/checkpoint.h"
@@ -87,6 +96,12 @@ int usage() {
       "(chrome://tracing, Perfetto)\n"
       "  --metrics=<file>          write run metrics; .json for JSON, "
       "anything else Prometheus text\n"
+      "  --listen=<port>           serve live /metrics, /metrics.json, "
+      "/healthz, /runinfo\n"
+      "                            over HTTP during the run (0 = ephemeral "
+      "port)\n"
+      "  --timeline=<file.json>    sample process RSS/CPU/threads/fds into "
+      "a JSON time series\n"
       "  --log-level=<level>       debug|info|warn|error (default info)\n"
       "  --faults=<spec>           inject telemetry faults, e.g. "
       "drop=0.1,stuck=0.01:60,seed=7\n"
@@ -111,12 +126,14 @@ int usage() {
 struct GlobalOptions {
   std::string trace_path;
   std::string metrics_path;
+  std::string timeline_path;
   std::string log_level = "info";
   std::string faults_spec;
   std::string checkpoint_dir;
   double min_coverage = 0.5;
   double deadline_s = 0.0;  ///< 0 = no deadline
   std::size_t jobs = 0;  ///< 0 = EXAEFF_JOBS env or hardware concurrency
+  int listen_port = -1;  ///< -1 = no exposition server; 0 = ephemeral
   bool resume = false;
   bool help = false;
 };
@@ -176,6 +193,22 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
       opts.trace_path = value;
     } else if (key == "--metrics") {
       opts.metrics_path = value;
+    } else if (key == "--timeline") {
+      opts.timeline_path = value;
+    } else if (key == "--listen") {
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(value.c_str(), &end, 10);
+      if (value.empty() || value.front() == '-' ||
+          end != value.c_str() + value.size() || errno == ERANGE ||
+          v > 65535) {
+        std::fprintf(stderr,
+                     "exaeff: --listen must be a port in [0, 65535], "
+                     "got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      opts.listen_port = static_cast<int>(v);
     } else if (key == "--log-level") {
       opts.log_level = value;
     } else if (key == "--faults") {
@@ -583,27 +616,28 @@ int cmd_faults_sweep(const std::vector<std::string>& args,
 }
 
 /// End-of-run footer on stderr: where the wall time and samples went.
+/// Stage lines report *child-exclusive* wall clock from the SpanStats
+/// aggregates — summing the old inclusive gauges double-counted every
+/// nested span (cli.project contained cli.run_campaign contained
+/// campaign.accumulate, and all three showed the full duration) — plus
+/// per-span p50/p95/p99 from the duration histograms.
 void print_summary_footer() {
-  const auto& reg = obs::MetricsRegistry::global();
-  const auto series = reg.top_series(64);
-  const std::string stage_prefix = "exaeff_stage_seconds{";
-
+  const auto stages = obs::SpanStats::global().snapshot();
   std::fprintf(stderr, "--- exaeff run summary ---\n");
-  std::fprintf(stderr, "stage timings:\n");
-  for (const auto& [key, value] : series) {
-    if (key.rfind(stage_prefix, 0) != 0) continue;
-    // key looks like exaeff_stage_seconds{stage="fleetgen.schedule"}.
-    const auto q0 = key.find('"');
-    const auto q1 = key.rfind('"');
-    const std::string stage = q0 != std::string::npos && q1 > q0
-                                  ? key.substr(q0 + 1, q1 - q0 - 1)
-                                  : key;
-    std::fprintf(stderr, "  %-28s %10.3f s\n", stage.c_str(), value);
+  std::fprintf(stderr, "stage timings (exclusive of nested stages):\n");
+  for (const auto& s : stages) {
+    std::fprintf(stderr,
+                 "  %-28s %10.3f s   n=%-7llu p50 %8.3f  p95 %8.3f  "
+                 "p99 %8.3f\n",
+                 s.stage.c_str(), s.exclusive_s,
+                 static_cast<unsigned long long>(s.count), s.p50_s, s.p95_s,
+                 s.p99_s);
   }
   std::fprintf(stderr, "top counters:\n");
+  const auto series = obs::MetricsRegistry::global().top_series(64);
   int shown = 0;
   for (const auto& [key, value] : series) {
-    if (key.rfind(stage_prefix, 0) == 0 ||
+    if (key.rfind("exaeff_stage_", 0) == 0 ||
         key.rfind("exaeff_sim_time_seconds", 0) == 0) {
       continue;
     }
@@ -665,9 +699,60 @@ int main(int argc, char** argv) {
   const std::string cmd = positional.front();
   const std::vector<std::string> args(positional.begin() + 1,
                                       positional.end());
+
+  // Live self-observability: the /proc resource sampler runs whenever a
+  // timeline or a scrape endpoint wants it, and the exposition server
+  // only exists under --listen=.  Both are declared before the try so
+  // every exit path (usage error, data-quality refusal, cancellation)
+  // tears them down through the destructors; neither touches pipeline
+  // state, so stdout stays byte-identical with them on or off.
+  std::unique_ptr<obs::ResourceSampler> sampler;
+  std::unique_ptr<obs::ExpositionServer> server;
   std::unique_ptr<run::Journal> journal;
   int rc = 0;
   try {
+    if (opts.listen_port >= 0 || !opts.timeline_path.empty()) {
+      sampler = std::make_unique<obs::ResourceSampler>();
+      sampler->set_tick_hook(
+          [] { exec::ThreadPool::global().publish_metrics(); });
+      sampler->start();
+    }
+    if (opts.listen_port >= 0) {
+      std::string command_line = cmd;
+      for (const auto& a : args) command_line += " " + a;
+      obs::RunInfo info;
+      info.command = command_line;
+      info.seed = faults::FaultPlan::parse(opts.faults_spec).seed;
+      char hash_hex[17];
+      std::string full_line;
+      for (int i = 1; i < argc; ++i) {
+        if (i > 1) full_line += " ";
+        full_line += argv[i];
+      }
+      std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                    static_cast<unsigned long long>(run::fnv1a64(full_line)));
+      info.config_hash = hash_hex;
+      obs::set_run_info(info);
+
+      obs::ExpositionServerOptions sopts;
+      sopts.port = static_cast<std::uint16_t>(opts.listen_port);
+      server = std::make_unique<obs::ExpositionServer>(sopts);
+      // Scrape-freshness: republish the lazy series (span quantiles,
+      // pool counters) right before each exposition.
+      server->set_refresh_hook([] {
+        exec::ThreadPool::global().publish_metrics();
+        obs::SpanStats::global().publish(obs::MetricsRegistry::global());
+      });
+      if (!server->start()) {
+        std::fprintf(stderr, "exaeff: --listen=%d failed: %s\n",
+                     opts.listen_port, server->last_error().c_str());
+        return 2;
+      }
+      obs::Logger::global().info(
+          "obs.listening",
+          {{"port", static_cast<unsigned>(server->port())},
+           {"endpoints", "/metrics /metrics.json /healthz /runinfo"}});
+    }
     if (!opts.checkpoint_dir.empty()) {
       std::filesystem::create_directories(opts.checkpoint_dir);
       journal = std::make_unique<run::Journal>(
@@ -711,6 +796,31 @@ int main(int argc, char** argv) {
 
   exec::ThreadPool::global().publish_metrics();
   if (journal != nullptr) journal->publish_metrics();
+  // Final span aggregates (quantiles, exclusive times) land in the
+  // registry before any exposition below reads it.
+  obs::SpanStats::global().publish(obs::MetricsRegistry::global());
+  if (sampler != nullptr) {
+    sampler->stop();  // takes the end-of-run sample
+    if (!opts.timeline_path.empty()) {
+      run::AtomicFile out(opts.timeline_path);
+      sampler->write_timeline_json(out.stream());
+      if (!out.commit()) {
+        obs::Logger::global().error("timeline.open_failed",
+                                    {{"path", opts.timeline_path}});
+      } else {
+        obs::Logger::global().info(
+            "timeline.written",
+            {{"path", opts.timeline_path},
+             {"samples", sampler->total_samples()}});
+      }
+    }
+  }
+  if (server != nullptr) {
+    obs::Logger::global().info(
+        "obs.server_stopped",
+        {{"requests", server->requests_served()}});
+    server->stop();
+  }
   if (!opts.trace_path.empty()) {
     run::AtomicFile out(opts.trace_path);
     obs::Tracer::global().write_chrome_trace(out.stream());
