@@ -1,9 +1,13 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical
 // library paths: simulator evaluation, cap solving, telemetry ingest,
-// fleet generation throughput and Louvain passes.
+// fleet generation throughput, the multi-process shard runtime and
+// Louvain passes.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
 #include <sstream>
 #include <vector>
 
@@ -15,6 +19,7 @@
 #include "graph/generators.h"
 #include "graph/louvain.h"
 #include "sched/fleetgen.h"
+#include "shard/coordinator.h"
 #include "telemetry/aggregator.h"
 #include "telemetry/archive.h"
 #include "telemetry/store.h"
@@ -204,6 +209,44 @@ BENCHMARK(BM_FleetGenerationParallel)
     ->Arg(1)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ShardedCampaign(benchmark::State& state) {
+  // The full multi-process path on range(0) forked workers: spawn,
+  // heartbeat supervision, per-shard journals, deterministic merge.
+  // Compare against BM_FleetGenerationParallel for the process-level
+  // overhead (fork + journal encode/decode + pipe supervision).
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(16);
+  cfg.duration_s = 1.0 * units::kDay;
+  const auto library =
+      workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  const auto log = gen.generate_schedule();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("exaeff-bench-shards-" + std::to_string(::getpid()));
+  std::size_t samples = 0;
+  for (auto _ : state) {
+    std::filesystem::create_directories(dir);
+    core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
+    shard::ShardOptions opts;
+    opts.shards = static_cast<std::size_t>(state.range(0));
+    opts.shard_dir = dir.string();
+    opts.worker_threads = 2;
+    (void)shard::run_sharded_campaign(gen, log, acc, {}, opts, nullptr);
+    samples = acc.gcd_sample_count();
+    benchmark::DoNotOptimize(samples);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(samples * state.iterations()));
+}
+BENCHMARK(BM_ShardedCampaign)
+    ->Arg(1)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

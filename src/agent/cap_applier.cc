@@ -9,15 +9,6 @@
 
 namespace exaeff::agent {
 
-void RetryPolicy::validate() const {
-  EXAEFF_REQUIRE(max_attempts >= 1, "retry policy needs at least 1 attempt");
-  EXAEFF_REQUIRE(base_backoff_s >= 0.0, "backoff must be non-negative");
-  EXAEFF_REQUIRE(backoff_multiplier >= 1.0,
-                 "backoff multiplier must be >= 1");
-  EXAEFF_REQUIRE(max_backoff_s >= base_backoff_s,
-                 "backoff ceiling below base backoff");
-}
-
 CapApplier::CapApplier(ApplyFn fn, RetryPolicy policy)
     : fn_(std::move(fn)), policy_(policy) {
   EXAEFF_REQUIRE(static_cast<bool>(fn_), "cap applier needs an apply fn");
@@ -27,7 +18,6 @@ CapApplier::CapApplier(ApplyFn fn, RetryPolicy policy)
 ApplyOutcome CapApplier::apply(double cap_mhz) {
   ApplyOutcome out;
   ++counters_.requests;
-  double wait = policy_.base_backoff_s;
   for (std::size_t attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     ++counters_.attempts;
     out.attempts = attempt;
@@ -36,10 +26,8 @@ ApplyOutcome CapApplier::apply(double cap_mhz) {
       break;
     }
     ++counters_.transient_failures;
-    if (attempt < policy_.max_attempts) {
-      out.backoff_s += wait;
-      wait = std::min(wait * policy_.backoff_multiplier,
-                      policy_.max_backoff_s);
+    if (policy_.retries_after(attempt)) {
+      out.backoff_s += policy_.backoff_before_retry(attempt);
     }
   }
   counters_.backoff_s += out.backoff_s;

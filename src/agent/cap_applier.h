@@ -15,19 +15,14 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/backoff.h"
 #include "common/rng.h"
 
 namespace exaeff::agent {
 
-/// Retry schedule for one cap-apply operation.
-struct RetryPolicy {
-  std::size_t max_attempts = 4;     ///< total tries (first + retries)
-  double base_backoff_s = 0.05;     ///< wait before the first retry
-  double backoff_multiplier = 2.0;  ///< geometric growth per retry
-  double max_backoff_s = 1.0;       ///< per-wait ceiling
-
-  void validate() const;
-};
+/// Retry schedule for one cap-apply operation (shared with the shard
+/// coordinator's worker-restart loop; see common/backoff.h).
+using RetryPolicy = common::BackoffPolicy;
 
 /// Result of one apply() call.
 struct ApplyOutcome {

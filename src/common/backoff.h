@@ -1,0 +1,60 @@
+// exaeff/common/backoff.h
+//
+// Bounded retry with capped exponential backoff — the one retry schedule
+// every resilient actuator in the codebase shares.  agent::CapApplier
+// uses it to re-issue transient cap-apply failures (simulated waits: the
+// replay pipeline is offline, so retry cost is accounted, not paid), and
+// shard::Coordinator uses it to restart crashed or hung worker processes
+// (real waits: a management controller that just fell over needs a
+// moment before the respawn).
+//
+// The schedule for a policy {max_attempts=A, base=b, multiplier=m,
+// max=c} is: attempt 1 immediately, then waits
+//
+//   w_k = min(b * m^(k-1), c)   before the retry that follows attempt k,
+//
+// for k = 1 .. A-1.  Attempt A is the last; there is no wait after it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/error.h"
+
+namespace exaeff::common {
+
+/// Retry schedule for one fallible operation.
+struct BackoffPolicy {
+  std::size_t max_attempts = 4;     ///< total tries (first + retries)
+  double base_backoff_s = 0.05;     ///< wait before the first retry
+  double backoff_multiplier = 2.0;  ///< geometric growth per retry
+  double max_backoff_s = 1.0;       ///< per-wait ceiling
+
+  void validate() const {
+    EXAEFF_REQUIRE(max_attempts >= 1,
+                   "retry policy needs at least 1 attempt");
+    EXAEFF_REQUIRE(base_backoff_s >= 0.0, "backoff must be non-negative");
+    EXAEFF_REQUIRE(backoff_multiplier >= 1.0,
+                   "backoff multiplier must be >= 1");
+    EXAEFF_REQUIRE(max_backoff_s >= base_backoff_s,
+                   "backoff ceiling below base backoff");
+  }
+
+  /// Wait before the retry that follows (1-based) failed `attempt`.
+  /// Computed by the same progressive-capping recurrence the original
+  /// incremental loop used, so accumulated totals match bit for bit.
+  [[nodiscard]] double backoff_before_retry(std::size_t attempt) const {
+    double wait = base_backoff_s;
+    for (std::size_t k = 1; k < attempt; ++k) {
+      wait = std::min(wait * backoff_multiplier, max_backoff_s);
+    }
+    return wait;
+  }
+
+  /// True when a retry is allowed after (1-based) failed `attempt`.
+  [[nodiscard]] bool retries_after(std::size_t attempt) const {
+    return attempt < max_attempts;
+  }
+};
+
+}  // namespace exaeff::common

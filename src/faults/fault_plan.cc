@@ -94,6 +94,7 @@ void FaultPlan::validate() const {
   if (!(truncate_fraction >= 0.0 && truncate_fraction <= 1.0)) {
     throw ConfigError("fault spec: truncate fraction must be in [0, 1]");
   }
+  require_probability(crash_probability, "crash");
 }
 
 FaultPlan FaultPlan::parse(std::string_view spec) {
@@ -130,6 +131,8 @@ FaultPlan FaultPlan::parse(std::string_view spec) {
       plan.reorder = parse_rate(item, value);
     } else if (key == "truncate") {
       plan.truncate_fraction = parse_num(item, value);
+    } else if (key == "crash") {
+      plan.crash_probability = parse_num(item, value);
     } else {
       throw ConfigError("fault spec: unknown key '" + std::string(key) +
                         "'");
@@ -161,6 +164,10 @@ std::string FaultPlan::describe() const {
   append_rate(out, "reorder", reorder);
   if (truncate_fraction > 0.0) {
     std::snprintf(buf, sizeof buf, "truncate=%g", truncate_fraction);
+    append(buf);
+  }
+  if (crash_probability > 0.0) {
+    std::snprintf(buf, sizeof buf, "crash=%g", crash_probability);
     append(buf);
   }
   return out.empty() ? "none" : out;

@@ -29,6 +29,10 @@
 //            | 'truncate=' frac         scheduler log loses the jobs that
 //                                       begin in the last frac of the
 //                                       campaign
+//            | 'crash=' p               process fault: each shard-worker
+//                                       incarnation self-kills (SIGKILL)
+//                                       at a seeded drawn chunk w.p. p
+//                                       (only --shards mode spawns workers)
 //
 // Example: --faults=drop=0.10,stuck=0.01:60,outage=0.002:3600,seed=7
 #pragma once
@@ -59,8 +63,11 @@ struct FaultPlan {
   double skew_max_s = 0.0;        ///< per-node clock offset bound
   FaultRate reorder;              ///< param = delay depth, samples
   double truncate_fraction = 0.0; ///< scheduler-log tail loss
+  double crash_probability = 0.0; ///< per-incarnation worker self-kill
 
-  /// True when at least one fault class is active.
+  /// True when at least one *data* fault class is active.  The crash
+  /// fault is deliberately excluded: it kills processes, never touches
+  /// telemetry content, so a crash-only plan still produces clean data.
   [[nodiscard]] bool any_enabled() const;
 
   /// Throws ConfigError when a probability, length or fraction is out of

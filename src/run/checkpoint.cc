@@ -237,9 +237,33 @@ void generate_telemetry_checkpointed(const sched::FleetGenerator& gen,
                                      exec::ThreadPool& pool,
                                      Journal* journal,
                                      faults::FaultCounters* counters_out) {
+  generate_telemetry_checkpointed(gen, log, 0, log.jobs().size(), acc, plan,
+                                  pool, journal, counters_out, {});
+}
+
+void generate_telemetry_checkpointed(const sched::FleetGenerator& gen,
+                                     const sched::SchedulerLog& log,
+                                     std::size_t range_begin,
+                                     std::size_t range_end,
+                                     core::CampaignAccumulator& acc,
+                                     const faults::FaultPlan& plan,
+                                     exec::ThreadPool& pool,
+                                     Journal* journal,
+                                     faults::FaultCounters* counters_out,
+                                     const ChunkDoneFn& on_chunk_done) {
   EXAEFF_TRACE_SPAN("run.telemetry_checkpointed");
   const auto& jobs = log.jobs();
+  // The grain always derives from the *full* job count, and the range
+  // must sit on chunk boundaries: that keeps chunk identities — journal
+  // keys and fold order — identical no matter how the log is split
+  // across shards, thread counts, or resume boundaries.
   const std::size_t grain = exec::ThreadPool::chunk_grain(jobs.size());
+  EXAEFF_REQUIRE(range_begin <= range_end && range_end <= jobs.size(),
+                 "telemetry range out of bounds");
+  EXAEFF_REQUIRE(range_begin % grain == 0,
+                 "telemetry range must start on a chunk boundary");
+  EXAEFF_REQUIRE(range_end % grain == 0 || range_end == jobs.size(),
+                 "telemetry range must end on a chunk boundary");
   const std::uint64_t config_key =
       campaign_config_key(gen.config(), plan, jobs.size());
 
@@ -251,36 +275,43 @@ void generate_telemetry_checkpointed(const sched::FleetGenerator& gen,
   // determinism contract), so the journal keys — and the merge order —
   // are stable across thread counts and across the kill/resume boundary.
   auto outs = pool.map_chunks(
-      jobs.size(), grain, [&](std::size_t begin, std::size_t end) {
+      range_end - range_begin, grain,
+      [&](std::size_t local_begin, std::size_t local_end) {
+        const std::size_t begin = range_begin + local_begin;
+        const std::size_t end = range_begin + local_end;
         ChunkOut out;
         out.partial = std::make_unique<core::CampaignAccumulator>(
             acc.make_sibling());
         const std::uint64_t key =
             campaign_chunk_key(config_key, begin, end);
+        bool restored = false;
         if (journal != nullptr) {
           if (const std::string* payload = journal->find(key)) {
-            if (decode_campaign_chunk(*payload, *out.partial,
-                                      out.counters)) {
-              return out;
+            restored =
+                decode_campaign_chunk(*payload, *out.partial, out.counters);
+            if (!restored) {
+              obs::Logger::global().warn(
+                  "run.checkpoint_decode_failed",
+                  {{"chunk_begin", begin}, {"chunk_end", end}});
             }
-            obs::Logger::global().warn(
-                "run.checkpoint_decode_failed",
-                {{"chunk_begin", begin}, {"chunk_end", end}});
           }
         }
-        if (plan.any_enabled()) {
-          faults::JobFaultInjector inject(*out.partial, plan);
-          gen.generate_telemetry(log, begin, end, inject);
-          out.counters = inject.counters();
-        } else {
-          gen.generate_telemetry(log, begin, end, *out.partial);
+        if (!restored) {
+          if (plan.any_enabled()) {
+            faults::JobFaultInjector inject(*out.partial, plan);
+            gen.generate_telemetry(log, begin, end, inject);
+            out.counters = inject.counters();
+          } else {
+            gen.generate_telemetry(log, begin, end, *out.partial);
+          }
+          // Journal before the chunk reports complete: a cancellation or
+          // crash arriving later can only lose not-yet-finished chunks.
+          if (journal != nullptr) {
+            journal->append(
+                key, encode_campaign_chunk(*out.partial, out.counters));
+          }
         }
-        // Journal before the chunk reports complete: a cancellation or
-        // crash arriving later can only lose not-yet-finished chunks.
-        if (journal != nullptr) {
-          journal->append(key,
-                          encode_campaign_chunk(*out.partial, out.counters));
-        }
+        if (on_chunk_done) on_chunk_done(begin, end);
         return out;
       });
 

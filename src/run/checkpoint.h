@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -75,6 +76,28 @@ void generate_telemetry_checkpointed(const sched::FleetGenerator& gen,
                                      exec::ThreadPool& pool,
                                      Journal* journal,
                                      faults::FaultCounters* counters_out);
+
+/// Called after each chunk lands (restored or computed + journaled) with
+/// its global [begin, end) job range.  May run concurrently from pool
+/// workers.
+using ChunkDoneFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Range-restricted variant covering jobs [begin, end) of `log` — the
+/// shard worker's inner loop.  Chunk boundaries, journal keys, and the
+/// merge order are those of the full-log run (the grain is derived from
+/// log.jobs().size(), and `begin` must be chunk-aligned), so per-chunk
+/// partials journaled by any shard split can be refolded into exactly
+/// the serial fold tree.  `end` must be chunk-aligned or equal to the
+/// job count.
+void generate_telemetry_checkpointed(const sched::FleetGenerator& gen,
+                                     const sched::SchedulerLog& log,
+                                     std::size_t begin, std::size_t end,
+                                     core::CampaignAccumulator& acc,
+                                     const faults::FaultPlan& plan,
+                                     exec::ThreadPool& pool,
+                                     Journal* journal,
+                                     faults::FaultCounters* counters_out,
+                                     const ChunkDoneFn& on_chunk_done = {});
 
 // --- faults-sweep point payloads --------------------------------------
 

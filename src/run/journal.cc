@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include <sys/file.h>
 #include <unistd.h>
 
 #include "common/error.h"
@@ -78,6 +79,7 @@ Journal::Journal(std::string path, bool resume) : path_(std::move(path)) {
     // record has no trustworthy framing).
     if (std::FILE* in = std::fopen(path_.c_str(), "rb")) {
       std::string line;
+      std::size_t valid_bytes = 0;  // end of the last accepted record
       int c;
       bool stop = false;
       while (!stop && (c = std::fgetc(in)) != EOF) {
@@ -119,11 +121,20 @@ Journal::Journal(std::string path, bool resume) : path_(std::move(path)) {
         } else {
           entries_[key] = std::string(rec.substr(0, len));
           ++loaded_;
+          valid_bytes += line.size() + 1;
         }
         line.clear();
       }
       // A trailing line with no '\n' is a torn append; ignored.
       std::fclose(in);
+      // Cut the file back to the last valid record before appending.
+      // Without this, new appends land *after* the torn bytes — glued
+      // onto the partial record's line — and every future load rejects
+      // them, so a resumed shard could never make durable progress.
+      if (::truncate(path_.c_str(), static_cast<off_t>(valid_bytes)) !=
+          0) {
+        throw Error("cannot truncate torn checkpoint journal: " + path_);
+      }
     }
     file_ = std::fopen(path_.c_str(), "ab");
   } else {
@@ -131,6 +142,17 @@ Journal::Journal(std::string path, bool resume) : path_(std::move(path)) {
   }
   if (file_ == nullptr) {
     throw Error("cannot open checkpoint journal: " + path_);
+  }
+  // Advisory exclusive lock for the journal's lifetime.  Two processes
+  // pointed at the same --checkpoint dir would interleave appends and
+  // tear each other's records; fail the late-comer fast instead.  The
+  // kernel drops the lock automatically when the process dies, so a
+  // crashed owner never wedges a resume.
+  if (::flock(::fileno(file_), LOCK_EX | LOCK_NB) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw JournalLockedError(
+        "checkpoint journal is locked by another process: " + path_);
   }
 }
 

@@ -25,7 +25,18 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/error.h"
+
 namespace exaeff::run {
+
+/// Another live process holds the journal at the same path.  A distinct
+/// type so the CLI can map it to a usage error (exit 2) instead of a
+/// generic failure: two writers interleaving appends would tear records
+/// for both of them.
+class JournalLockedError : public Error {
+ public:
+  using Error::Error;
+};
 
 // --- wire codec -------------------------------------------------------
 // Lossless text encoding used by every journal payload: 64-bit values as

@@ -1,0 +1,340 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "exec/thread_pool.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "run/checkpoint.h"
+#include "run/journal.h"
+
+namespace exaeff::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Supervision state of one shard.
+struct ShardState {
+  JobRange range;
+  std::string journal_path;
+  std::size_t attempt = 0;  ///< incarnations spawned so far
+  int pid = -1;             ///< live worker, or -1
+  int hb_fd = -1;           ///< read end of the heartbeat pipe
+  Clock::time_point last_hb;
+  Clock::time_point restart_at;  ///< valid while backing_off
+  bool backing_off = false;
+  bool hung = false;    ///< SIGKILL sent, waiting for the reap
+  bool done = false;    ///< journal verified complete
+  bool failed = false;  ///< retries exhausted
+};
+
+[[nodiscard]] bool live(const ShardState& s) { return s.pid >= 0; }
+
+void close_fd(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+/// True when every chunk of `range` is present in the shard journal and
+/// decodes cleanly.  Reload goes through run::Journal, so a torn tail
+/// from a mid-append SIGKILL is silently dropped here and recomputed by
+/// the next incarnation.
+bool shard_complete(const ShardState& s, std::uint64_t config_key,
+                    std::size_t grain,
+                    const core::CampaignAccumulator& proto) {
+  std::error_code ec;
+  if (!std::filesystem::exists(s.journal_path, ec)) return false;
+  run::Journal journal(s.journal_path, /*resume=*/true);
+  core::CampaignAccumulator scratch = proto.make_sibling();
+  faults::FaultCounters counters;
+  for (std::size_t b = s.range.begin; b < s.range.end; b += grain) {
+    const std::size_t e = std::min(b + grain, s.range.end);
+    const std::string* payload =
+        journal.find(run::campaign_chunk_key(config_key, b, e));
+    if (payload == nullptr ||
+        !run::decode_campaign_chunk(*payload, scratch, counters)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void kill_and_reap(std::vector<ShardState>& shards) {
+  for (ShardState& s : shards) {
+    if (!live(s)) continue;
+    ::kill(s.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(s.pid, &status, 0);
+    s.pid = -1;
+    close_fd(s.hb_fd);
+  }
+}
+
+}  // namespace
+
+std::string ShardReport::describe(std::size_t max_attempts) const {
+  char head[128];
+  std::snprintf(head, sizeof head,
+                "%zu of %zu shards failed after %zu attempts; missing jobs",
+                failed_shards.size(), shards, max_attempts);
+  std::string out = head;
+  for (const JobRange& r : missing_ranges) {
+    char range[64];
+    std::snprintf(range, sizeof range, " [%zu,%zu)", r.begin, r.end);
+    out += range;
+  }
+  return out;
+}
+
+void publish_shard_metrics(const ShardReport& report) {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("exaeff_shard_restarts_total",
+              "Shard workers restarted after a crash or hang")
+      .inc(report.restarts);
+  reg.counter("exaeff_shard_heartbeats_missed_total",
+              "Shard workers declared hung on heartbeat deadline")
+      .inc(report.heartbeats_missed);
+  reg.counter("exaeff_shard_shards_failed_total",
+              "Shards that exhausted every restart attempt")
+      .inc(report.failed_shards.size());
+}
+
+ShardReport run_sharded_campaign(const sched::FleetGenerator& gen,
+                                 const sched::SchedulerLog& log,
+                                 core::CampaignAccumulator& acc,
+                                 const faults::FaultPlan& plan,
+                                 const ShardOptions& options,
+                                 faults::FaultCounters* counters_out) {
+  EXAEFF_TRACE_SPAN("shard.campaign");
+  EXAEFF_REQUIRE(options.shards >= 1, "need at least one shard");
+  EXAEFF_REQUIRE(!options.shard_dir.empty(),
+                 "sharded campaigns need a shard directory");
+  EXAEFF_REQUIRE(options.heartbeat_timeout_s > options.heartbeat_interval_s,
+                 "heartbeat timeout must exceed the interval");
+  options.retry.validate();
+
+  const std::size_t n_jobs = log.jobs().size();
+  const std::size_t grain = exec::ThreadPool::chunk_grain(n_jobs);
+  const std::uint64_t config_key =
+      run::campaign_config_key(gen.config(), plan, n_jobs);
+  const auto ranges = partition_jobs(n_jobs, options.shards);
+
+  ShardReport report;
+  report.shards = ranges.size();
+  report.total_chunks = n_jobs == 0 ? 0 : (n_jobs + grain - 1) / grain;
+
+  std::vector<ShardState> shards(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    shards[i].range = ranges[i];
+    shards[i].journal_path =
+        options.shard_dir + "/shard-" + std::to_string(i) + ".ckpt";
+  }
+
+  const auto hb_timeout =
+      std::chrono::duration<double>(options.heartbeat_timeout_s);
+
+  auto spawn = [&](std::size_t i) {
+    ShardState& s = shards[i];
+    ++s.attempt;
+    s.backing_off = false;
+    s.hung = false;
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) {
+      throw Error("shard coordinator: pipe() failed");
+    }
+    ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+    const int pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw Error("shard coordinator: fork() failed");
+    }
+    if (pid == 0) {
+      // Child: drop every coordinator-side descriptor (other workers'
+      // pipes would otherwise keep their read ends from ever seeing
+      // EOF), keep only our write end.
+      ::close(fds[0]);
+      for (const ShardState& other : shards) {
+        if (other.hb_fd >= 0) ::close(other.hb_fd);
+      }
+      WorkerConfig cfg;
+      cfg.shard_index = i;
+      cfg.attempt = s.attempt;
+      cfg.range = s.range;
+      cfg.journal_path = s.journal_path;
+      cfg.heartbeat_fd = fds[1];
+      cfg.heartbeat_interval_s = options.heartbeat_interval_s;
+      cfg.threads = options.worker_threads;
+      cfg.resume = options.resume || s.attempt > 1;
+      worker_main(gen, log, acc, plan, cfg);  // never returns
+    }
+    ::close(fds[1]);
+    s.pid = pid;
+    s.hb_fd = fds[0];
+    s.last_hb = Clock::now();
+    obs::Logger::global().debug(
+        "shard.spawned", {{"shard", i},
+                          {"attempt", s.attempt},
+                          {"pid", static_cast<unsigned>(pid)}});
+    if (options.on_spawn) options.on_spawn(i, s.attempt, pid);
+  };
+
+  // A worker's exit settles its attempt.  The journal is the ground
+  // truth, not the exit status: an incarnation that crashed *after* its
+  // last chunk landed still completed the shard, and one that exited 0
+  // with a short journal (torn tail) did not.
+  auto settle_exit = [&](std::size_t i, int status) {
+    ShardState& s = shards[i];
+    s.pid = -1;
+    close_fd(s.hb_fd);
+    if (shard_complete(s, config_key, grain, acc)) {
+      s.done = true;
+      return;
+    }
+    obs::Logger::global().warn(
+        "shard.attempt_failed",
+        {{"shard", i},
+         {"attempt", s.attempt},
+         {"status", static_cast<unsigned>(status)},
+         {"hung", s.hung ? 1u : 0u}});
+    if (options.retry.retries_after(s.attempt)) {
+      ++report.restarts;
+      s.backing_off = true;
+      s.restart_at =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 options.retry.backoff_before_retry(
+                                     s.attempt)));
+    } else {
+      s.failed = true;
+    }
+  };
+
+  for (std::size_t i = 0; i < shards.size(); ++i) spawn(i);
+
+  std::vector<pollfd> pfds;
+  std::vector<std::size_t> pfd_shard;
+  char drain[256];
+  for (;;) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      kill_and_reap(shards);
+      throw CancelledError("sharded campaign cancelled");
+    }
+
+    bool all_settled = true;
+    const auto now = Clock::now();
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      ShardState& s = shards[i];
+      if (s.done || s.failed) continue;
+      all_settled = false;
+      if (live(s)) {
+        int status = 0;
+        // Per-pid WNOHANG, never waitpid(-1): the embedding process
+        // (tests, a larger harness) may own children of its own.
+        const int r = ::waitpid(s.pid, &status, WNOHANG);
+        if (r == s.pid) {
+          settle_exit(i, status);
+        } else if (!s.hung && now - s.last_hb > hb_timeout) {
+          // Hung (or SIGSTOPped) worker: no heartbeat inside the
+          // deadline.  SIGKILL lands even on stopped processes; the
+          // reap above settles the attempt next pass.
+          ++report.heartbeats_missed;
+          s.hung = true;
+          obs::Logger::global().warn(
+              "shard.heartbeat_missed",
+              {{"shard", i}, {"attempt", s.attempt}});
+          ::kill(s.pid, SIGKILL);
+        }
+      } else if (s.backing_off && now >= s.restart_at) {
+        spawn(i);
+      }
+    }
+    if (all_settled) break;
+
+    // Block on the heartbeat pipes (or just sleep, when everyone is in
+    // backoff) for one beat interval, then drain whatever arrived.
+    pfds.clear();
+    pfd_shard.clear();
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].hb_fd >= 0) {
+        pfds.push_back({shards[i].hb_fd, POLLIN, 0});
+        pfd_shard.push_back(i);
+      }
+    }
+    const int timeout_ms = std::max(
+        1, static_cast<int>(options.heartbeat_interval_s * 1000.0));
+    if (pfds.empty()) {
+      ::poll(nullptr, 0, timeout_ms);
+      continue;
+    }
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready <= 0) continue;
+    const auto beat = Clock::now();
+    for (std::size_t p = 0; p < pfds.size(); ++p) {
+      if ((pfds[p].revents & POLLIN) == 0) continue;
+      while (::read(pfds[p].fd, drain, sizeof drain) > 0) {
+      }
+      shards[pfd_shard[p]].last_hb = beat;
+    }
+  }
+
+  // Deterministic merge: shards own contiguous ascending job ranges, so
+  // walking shards in index order and their chunks in ascending order
+  // reproduces the exact serial left-fold of per-chunk partials — the
+  // byte-identity contract.  Failed shards are skipped whole; their
+  // ranges surface in the report.
+  faults::FaultCounters total;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ShardState& s = shards[i];
+    if (!s.done) {
+      report.failed_shards.push_back(i);
+      report.missing_ranges.push_back(s.range);
+      continue;
+    }
+    run::Journal journal(s.journal_path, /*resume=*/true);
+    for (std::size_t b = s.range.begin; b < s.range.end; b += grain) {
+      if (options.cancel != nullptr && options.cancel->cancelled()) {
+        throw CancelledError("sharded campaign cancelled mid-merge");
+      }
+      const std::size_t e = std::min(b + grain, s.range.end);
+      const std::string* payload =
+          journal.find(run::campaign_chunk_key(config_key, b, e));
+      core::CampaignAccumulator partial = acc.make_sibling();
+      faults::FaultCounters counters;
+      EXAEFF_REQUIRE(payload != nullptr &&
+                         run::decode_campaign_chunk(*payload, partial,
+                                                    counters),
+                     "verified shard journal failed to decode");
+      acc.merge(partial);
+      total += counters;
+      ++report.merged_chunks;
+      if (options.on_chunk_merged) options.on_chunk_merged(b / grain);
+    }
+  }
+  if (counters_out != nullptr) *counters_out = total;
+
+  publish_shard_metrics(report);
+  obs::Logger::global().info(
+      "shard.campaign_done",
+      {{"shards", report.shards},
+       {"merged_chunks", report.merged_chunks},
+       {"restarts", report.restarts},
+       {"failed", report.failed_shards.size()}});
+  return report;
+}
+
+}  // namespace exaeff::shard

@@ -1,0 +1,101 @@
+// exaeff/shard/coordinator.h
+//
+// Fault-tolerant multi-process shard campaigns: the coordinator half of
+// exaeff::shard (`exaeff campaign --shards=N`).
+//
+// The paper's headline analysis spans 9408 nodes over three months; at
+// that scale worker crashes, hangs, and torn files are operational
+// routine, not exceptions.  The coordinator fork()s one worker per
+// contiguous chunk-aligned job range (worker.h), then supervises:
+//
+//   * crashes   — per-worker waitpid(WNOHANG) + exit status;
+//   * hangs     — a heartbeat pipe per worker with a deadline (the
+//                 --deadline watchdog idiom, per process);
+//   * torn data — each shard file is a run::Journal, so a SIGKILL
+//                 mid-append costs at most one record on reload.
+//
+// A failed or hung worker is SIGKILLed (if needed) and restarted under
+// a common::BackoffPolicy, resuming from its own shard journal rather
+// than from scratch.  Because every shard boundary sits on a
+// map_chunks chunk boundary and chunk partials fold in ascending global
+// chunk order, the merged accumulator is byte-identical to a serial run
+// for any shard count, thread count, and any crash/restart schedule —
+// floating-point addition is non-associative, so the merge folds
+// *per-chunk* partials in chunk order, never pre-folded per-shard
+// state.
+//
+// When a shard exhausts its retries the merge degrades gracefully:
+// surviving shards still fold deterministically, the report lists the
+// missing job ranges, and the caller routes the shortfall through the
+// --min-coverage gate and exits 3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/backoff.h"
+#include "exec/cancellation.h"
+#include "faults/injector.h"
+#include "shard/worker.h"
+
+namespace exaeff::shard {
+
+struct ShardOptions {
+  std::size_t shards = 2;          ///< worker processes requested
+  common::BackoffPolicy retry;     ///< restart schedule per shard
+  double heartbeat_interval_s = 0.05;
+  /// A worker silent for this long is declared hung and SIGKILLed.
+  double heartbeat_timeout_s = 2.0;
+  /// Directory for shard-<i>.ckpt journals; must exist.
+  std::string shard_dir;
+  /// Threads per worker pool; 0 = exec::job_count().
+  std::size_t worker_threads = 0;
+  /// First incarnations load pre-existing shard journals (--resume).
+  bool resume = false;
+  /// Checked in the supervise loop and between merged chunks; tripping
+  /// it SIGKILLs every live worker and throws CancelledError.
+  const exec::CancellationToken* cancel = nullptr;
+
+  // Test hooks (both optional, called from the coordinating thread).
+  /// After each fork: (shard_index, attempt, pid).
+  std::function<void(std::size_t, std::size_t, int)> on_spawn;
+  /// After each chunk partial merges into the caller's accumulator.
+  std::function<void(std::size_t chunk_index)> on_chunk_merged;
+};
+
+/// What happened, for metrics, the CLI report line, and tests.
+struct ShardReport {
+  std::size_t shards = 0;             ///< effective worker count
+  std::size_t total_chunks = 0;
+  std::size_t merged_chunks = 0;
+  std::uint64_t restarts = 0;          ///< respawns after the first spawn
+  std::uint64_t heartbeats_missed = 0; ///< hang detections (SIGKILLs)
+  std::vector<std::size_t> failed_shards;  ///< exhausted all retries
+  std::vector<JobRange> missing_ranges;    ///< their job ranges, in order
+
+  [[nodiscard]] bool degraded() const { return !failed_shards.empty(); }
+
+  /// One line naming the missing job ranges, e.g.
+  /// "2 of 8 shards failed after 4 attempts; missing jobs [64,128) [192,256)".
+  [[nodiscard]] std::string describe(std::size_t max_attempts) const;
+};
+
+/// Publishes exaeff_shard_{restarts,heartbeats_missed,shards_failed}_total.
+void publish_shard_metrics(const ShardReport& report);
+
+/// Runs the campaign's telemetry stage across `options.shards` worker
+/// processes and folds the per-chunk partials into `acc` (merged fault
+/// tallies into `counters_out` when non-null).  Returns the supervision
+/// report; inspect report.degraded() — completed shards are merged
+/// either way.  Throws CancelledError when options.cancel trips, and
+/// Error on unrecoverable coordinator-side failures (fork/pipe).
+ShardReport run_sharded_campaign(const sched::FleetGenerator& gen,
+                                 const sched::SchedulerLog& log,
+                                 core::CampaignAccumulator& acc,
+                                 const faults::FaultPlan& plan,
+                                 const ShardOptions& options,
+                                 faults::FaultCounters* counters_out);
+
+}  // namespace exaeff::shard

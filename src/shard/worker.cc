@@ -1,0 +1,164 @@
+#include "shard/worker.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <mutex>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "run/checkpoint.h"
+#include "run/journal.h"
+
+namespace exaeff::shard {
+
+std::vector<JobRange> partition_jobs(std::size_t n_jobs,
+                                     std::size_t n_shards) {
+  std::vector<JobRange> out;
+  if (n_jobs == 0 || n_shards == 0) return out;
+  const std::size_t grain = exec::ThreadPool::chunk_grain(n_jobs);
+  const std::size_t chunks = (n_jobs + grain - 1) / grain;
+  const std::size_t shards = std::min(n_shards, chunks);
+  out.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    // Deal whole chunks, not raw job indices: every boundary lands on a
+    // chunk edge, so shard journals and the serial journal agree on
+    // every chunk key.
+    const std::size_t chunk_lo = s * chunks / shards;
+    const std::size_t chunk_hi = (s + 1) * chunks / shards;
+    out.push_back(
+        {chunk_lo * grain, std::min(chunk_hi * grain, n_jobs)});
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> crash_decision(const faults::FaultPlan& plan,
+                                            std::size_t shard_index,
+                                            std::size_t attempt,
+                                            std::size_t chunk_count) {
+  if (!(plan.crash_probability > 0.0) || chunk_count == 0) {
+    return std::nullopt;
+  }
+  // One splitmix64 stream per (seed, shard, attempt): first draw decides
+  // whether this incarnation dies, second picks the chunk it dies after.
+  // Keying on the attempt makes retried incarnations independent, so
+  // crash=1 deterministically exhausts every retry while crash=p<1
+  // yields reproducible mixed schedules.
+  std::uint64_t state = plan.seed;
+  state ^= 0xC7A5ECu;  // domain-separate from the telemetry fault draws
+  state ^= splitmix64(state) + shard_index;
+  state ^= splitmix64(state) + attempt;
+  const double u =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  if (u >= plan.crash_probability) return std::nullopt;
+  return splitmix64(state) % chunk_count + 1;
+}
+
+namespace {
+
+/// Heartbeat pump: one byte every interval until stopped.  The chunk
+/// callback writes its own bytes from pool threads; 1-byte writes to a
+/// pipe are atomic, and the coordinator only cares that *something*
+/// arrived recently, so interleaving is immaterial.
+class HeartbeatPump {
+ public:
+  HeartbeatPump(int fd, double interval_s) : fd_(fd) {
+    if (fd_ < 0) return;
+    thread_ = std::thread([this, interval_s] {
+      const auto interval = std::chrono::duration<double>(interval_s);
+      std::unique_lock<std::mutex> lk(mu_);
+      while (!stop_) {
+        beat(fd_);
+        cv_.wait_for(lk, interval, [this] { return stop_; });
+      }
+    });
+  }
+
+  ~HeartbeatPump() {
+    if (fd_ < 0) return;
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+  /// Writes one heartbeat byte; drops it when the pipe is full (the
+  /// write end is O_NONBLOCK) — a full pipe already proves liveness.
+  static void beat(int fd) {
+    if (fd < 0) return;
+    const char b = 'h';
+    [[maybe_unused]] const ssize_t n = ::write(fd, &b, 1);
+  }
+
+ private:
+  int fd_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+void worker_main(const sched::FleetGenerator& gen,
+                 const sched::SchedulerLog& log,
+                 const core::CampaignAccumulator& proto,
+                 const faults::FaultPlan& plan, const WorkerConfig& cfg) {
+  // Shed the parent's supervision machinery: default signal dispositions
+  // (the parent's handlers reference its Supervisor token), and no
+  // metrics/tracing (their global registries are not fork-safe while
+  // other parent threads may have been mid-update).
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  obs::set_metrics_enabled(false);
+  obs::Tracer::global().set_enabled(false);
+
+  try {
+    const std::size_t grain =
+        exec::ThreadPool::chunk_grain(log.jobs().size());
+    const std::size_t local_chunks =
+        cfg.range.empty() ? 0 : (cfg.range.size() + grain - 1) / grain;
+    const auto crash_after =
+        crash_decision(plan, cfg.shard_index, cfg.attempt, local_chunks);
+
+    run::Journal journal(cfg.journal_path, cfg.resume);
+    HeartbeatPump pump(cfg.heartbeat_fd, cfg.heartbeat_interval_s);
+    // The worker's own pool — never ThreadPool::global(), whose worker
+    // threads did not survive the fork.
+    exec::ThreadPool pool(cfg.threads);
+
+    std::atomic<std::uint64_t> chunks_done{0};
+    core::CampaignAccumulator acc = proto.make_sibling();
+    run::generate_telemetry_checkpointed(
+        gen, log, cfg.range.begin, cfg.range.end, acc, plan, pool,
+        &journal, nullptr,
+        [&](std::size_t /*begin*/, std::size_t /*end*/) {
+          const std::uint64_t done =
+              chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+          HeartbeatPump::beat(cfg.heartbeat_fd);
+          // Replayed chunks count too: with crash=1 a retried
+          // incarnation still dies, so retry exhaustion is reachable
+          // from the CLI, not just from tests.
+          if (crash_after.has_value() && done == *crash_after) {
+            ::raise(SIGKILL);
+          }
+        });
+    // The accumulator itself is discarded: the durable product of a
+    // worker is its journal, which the coordinator refolds in global
+    // chunk order.
+    ::_exit(0);
+  } catch (...) {
+    ::_exit(1);
+  }
+}
+
+}  // namespace exaeff::shard

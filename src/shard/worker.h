@@ -1,0 +1,85 @@
+// exaeff/shard/worker.h
+//
+// The worker half of the multi-process shard runtime (see
+// coordinator.h for the supervision story).  A shard worker is a
+// fork()ed child that owns one contiguous, chunk-aligned job range of
+// the campaign: it journals per-chunk accumulator partials to its own
+// run::Journal-format shard file (so a restarted incarnation resumes
+// from the last durable chunk) and writes a heartbeat byte to a pipe on
+// an interval plus one per finished chunk, which is how the coordinator
+// tells "slow" from "hung".
+//
+// Everything here runs post-fork in a process that inherited a threaded
+// parent, so the worker touches none of the parent's shared machinery:
+// it builds its own exec::ThreadPool, disables metrics and tracing
+// (their registries' mutexes may have been mid-operation in another
+// thread at fork time), resets signal dispositions, and leaves through
+// _exit() — never exit() — so no parent-registered atexit handler or
+// static destructor runs twice.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "faults/fault_plan.h"
+#include "sched/fleetgen.h"
+
+namespace exaeff::shard {
+
+/// One contiguous job-index range [begin, end).
+struct JobRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+  bool operator==(const JobRange&) const = default;
+};
+
+/// Splits `n_jobs` into at most `n_shards` contiguous ranges whose
+/// boundaries all sit on exec::ThreadPool::chunk_grain(n_jobs) chunk
+/// boundaries — the invariant that makes per-shard journals refold into
+/// exactly the serial chunk order.  Shards get a near-even number of
+/// chunks each; when there are fewer chunks than shards, the tail
+/// shards are simply omitted (every returned range is non-empty).
+[[nodiscard]] std::vector<JobRange> partition_jobs(std::size_t n_jobs,
+                                                   std::size_t n_shards);
+
+/// The seeded `crash=` fault draw for one worker incarnation: returns
+/// the 1-based count of chunk completions (journal replays included)
+/// after which the incarnation raises SIGKILL against itself, or
+/// nullopt when this incarnation survives.  Deterministic in
+/// (plan.seed, plan.crash_probability, shard_index, attempt), so a
+/// chaos run's crash schedule is reproducible from the command line and
+/// tests can predict exactly which shards exhaust their retries.
+[[nodiscard]] std::optional<std::uint64_t> crash_decision(
+    const faults::FaultPlan& plan, std::size_t shard_index,
+    std::size_t attempt, std::size_t chunk_count);
+
+/// Everything a forked worker needs; assembled by the coordinator.
+struct WorkerConfig {
+  std::size_t shard_index = 0;
+  std::size_t attempt = 1;          ///< 1-based incarnation counter
+  JobRange range;                   ///< chunk-aligned job range owned
+  std::string journal_path;         ///< this shard's checkpoint file
+  int heartbeat_fd = -1;            ///< pipe write end; -1 disables
+  double heartbeat_interval_s = 0.05;
+  std::size_t threads = 0;          ///< worker pool width; 0 = job_count()
+  bool resume = false;              ///< load existing shard journal
+};
+
+/// Body of a forked shard worker; must be called directly after fork()
+/// in the child and never returns.  Exit status: 0 when every chunk of
+/// the range is durably journaled, 1 on any error (the coordinator
+/// retries either way after verifying the journal — a crash *after* the
+/// last chunk landed still counts as a completed shard).
+[[noreturn]] void worker_main(const sched::FleetGenerator& gen,
+                              const sched::SchedulerLog& log,
+                              const core::CampaignAccumulator& proto,
+                              const faults::FaultPlan& plan,
+                              const WorkerConfig& cfg);
+
+}  // namespace exaeff::shard

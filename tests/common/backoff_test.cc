@@ -1,0 +1,64 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace exaeff::common {
+namespace {
+
+TEST(BackoffPolicyTest, DefaultsValidate) {
+  BackoffPolicy p;
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.max_attempts, 4u);
+  EXPECT_DOUBLE_EQ(p.base_backoff_s, 0.05);
+  EXPECT_DOUBLE_EQ(p.backoff_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(p.max_backoff_s, 1.0);
+}
+
+TEST(BackoffPolicyTest, ValidateRejectsZeroAttempts) {
+  BackoffPolicy p{0, 0.1, 2.0, 1.0};
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(BackoffPolicyTest, ValidateRejectsNegativeBase) {
+  BackoffPolicy p{3, -0.1, 2.0, 1.0};
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(BackoffPolicyTest, ValidateRejectsShrinkingMultiplier) {
+  BackoffPolicy p{3, 0.1, 0.5, 1.0};
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(BackoffPolicyTest, ValidateRejectsCeilingBelowBase) {
+  BackoffPolicy p{3, 0.5, 2.0, 0.1};
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(BackoffPolicyTest, GeometricScheduleWithCap) {
+  BackoffPolicy p{6, 0.05, 2.0, 0.3};
+  EXPECT_DOUBLE_EQ(p.backoff_before_retry(1), 0.05);
+  EXPECT_DOUBLE_EQ(p.backoff_before_retry(2), 0.1);
+  EXPECT_DOUBLE_EQ(p.backoff_before_retry(3), 0.2);
+  // 0.4 would exceed the ceiling; the cap pins every later wait.
+  EXPECT_DOUBLE_EQ(p.backoff_before_retry(4), 0.3);
+  EXPECT_DOUBLE_EQ(p.backoff_before_retry(5), 0.3);
+}
+
+TEST(BackoffPolicyTest, RetriesAfterBoundsAttempts) {
+  BackoffPolicy p{3, 0.1, 2.0, 1.0};
+  EXPECT_TRUE(p.retries_after(1));
+  EXPECT_TRUE(p.retries_after(2));
+  EXPECT_FALSE(p.retries_after(3));
+  EXPECT_FALSE(p.retries_after(4));
+}
+
+TEST(BackoffPolicyTest, SingleAttemptNeverRetries) {
+  BackoffPolicy p{1, 0.1, 2.0, 1.0};
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_FALSE(p.retries_after(1));
+}
+
+}  // namespace
+}  // namespace exaeff::common

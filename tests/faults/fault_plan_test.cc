@@ -87,6 +87,27 @@ TEST(FaultPlanTest, RejectsFractionalReorderDepth) {
   EXPECT_NO_THROW((void)FaultPlan::parse("reorder=0.1:2"));
 }
 
+TEST(FaultPlanTest, ParsesCrashProbability) {
+  const auto plan = FaultPlan::parse("crash=0.25,seed=3");
+  EXPECT_DOUBLE_EQ(plan.crash_probability, 0.25);
+  EXPECT_NO_THROW(plan.validate());
+  // crash= is a *process*-level fault: it never touches telemetry
+  // content, so it must not flip the per-sample injection path on.
+  EXPECT_FALSE(plan.any_enabled());
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeCrashProbability) {
+  EXPECT_THROW((void)FaultPlan::parse("crash=1.5"), ConfigError);
+  EXPECT_THROW((void)FaultPlan::parse("crash=-0.1"), ConfigError);
+  EXPECT_NO_THROW((void)FaultPlan::parse("crash=1"));
+}
+
+TEST(FaultPlanTest, DescribeIncludesCrash) {
+  EXPECT_NE(FaultPlan::parse("crash=0.5").describe().find("crash=0.5"),
+            std::string::npos);
+  EXPECT_EQ(FaultPlan{}.describe().find("crash"), std::string::npos);
+}
+
 TEST(FaultPlanTest, DescribeListsEnabledClasses) {
   const auto plan = FaultPlan::parse("drop=0.1,stuck=0.01:60");
   const std::string desc = plan.describe();

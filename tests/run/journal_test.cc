@@ -154,6 +154,28 @@ TEST(Journal, TornTailIsDroppedEarlierRecordsSurvive) {
   EXPECT_EQ(j.find(0xAA), nullptr);
 }
 
+TEST(Journal, AppendAfterTornTailResumeSurvivesTheNextLoad) {
+  // The torn bytes must be truncated away on resume; otherwise the next
+  // append lands on the torn record's line, gets rejected by the next
+  // load, and the journal can never make durable progress again.
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  { Journal j(path, false); j.append(1, "keep me"); }
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "ck1 00000000000000aa 37 half-written";
+  }
+  {
+    Journal j(path, true);
+    EXPECT_EQ(j.entries_loaded(), 1u);
+    j.append(2, "recomputed");
+  }
+  Journal j(path, true);
+  EXPECT_EQ(j.entries_loaded(), 2u);
+  ASSERT_NE(j.find(2), nullptr);
+  EXPECT_EQ(*j.find(2), "recomputed");
+}
+
 TEST(Journal, CorruptMiddleRecordStopsLoadThere) {
   TempDir tmp;
   const std::string path = tmp.path("journal.ckpt");
@@ -179,6 +201,31 @@ TEST(Journal, PayloadsWithRecordDelimiterBytesRoundTrip) {
   Journal j(path, true);
   ASSERT_NE(j.find(5), nullptr);
   EXPECT_EQ(*j.find(5), "a|b|c| ");
+}
+
+TEST(Journal, SecondOpenOfALiveJournalFailsFast) {
+  // Advisory flock: two writers interleaving appends would tear each
+  // other's records, so the second open must throw instead.  flock
+  // conflicts are per-open-file-description, so one process opening the
+  // path twice exercises the same kernel path as two processes.
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  Journal first(path, false);
+  first.append(1, "payload");
+  EXPECT_THROW(Journal(path, /*resume=*/true), JournalLockedError);
+  EXPECT_THROW(Journal(path, /*resume=*/false), JournalLockedError);
+}
+
+TEST(Journal, LockIsReleasedOnDestruction) {
+  TempDir tmp;
+  const std::string path = tmp.path("journal.ckpt");
+  {
+    Journal j(path, false);
+    j.append(1, "payload");
+  }
+  Journal reopened(path, true);
+  ASSERT_NE(reopened.find(1), nullptr);
+  EXPECT_EQ(*reopened.find(1), "payload");
 }
 
 TEST(AtomicFile, CommitPublishesExactContent) {

@@ -1,0 +1,127 @@
+// Signal-path tests for run::Supervisor that need a process of their
+// own: the first SIGTERM must trip the cancellation token (graceful
+// path), and a second signal — graceful shutdown itself wedged — must
+// hard-exit with the conventional 128+sig status.  Both run in forked
+// children so the gtest process never installs competing handlers.
+#include "run/supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+namespace exaeff::run {
+namespace {
+
+void write_byte(int fd, char b) {
+  [[maybe_unused]] const ssize_t n = ::write(fd, &b, 1);
+}
+
+bool read_byte_with_timeout(int fd, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  char b = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::read(fd, &b, 1);
+    if (n == 1) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
+}
+
+/// Child body for the double-signal test: installs the supervisor's
+/// handlers, reports readiness, reports the first (graceful)
+/// cancellation, then simulates a hung shutdown by spinning forever.
+/// Only the second signal's hard _exit(128+sig) can end it.
+[[noreturn]] void hung_shutdown_child(int ready_fd, int cancelled_fd) {
+  SupervisorOptions opts;
+  opts.handle_signals = true;
+  Supervisor sup(opts);
+  write_byte(ready_fd, 'r');
+  while (!sup.cancelled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  write_byte(cancelled_fd, 'c');
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+}
+
+TEST(Supervisor, SecondSignalHardExitsWith128PlusSig) {
+  int ready[2] = {-1, -1};
+  int cancelled[2] = {-1, -1};
+  ASSERT_EQ(::pipe(ready), 0);
+  ASSERT_EQ(::pipe(cancelled), 0);
+  ::fcntl(ready[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(cancelled[0], F_SETFL, O_NONBLOCK);
+
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    ::close(ready[0]);
+    ::close(cancelled[0]);
+    hung_shutdown_child(ready[1], cancelled[1]);  // never returns
+  }
+  ::close(ready[1]);
+  ::close(cancelled[1]);
+
+  // First SIGTERM only after the handlers are installed; second only
+  // after the child confirms the first was absorbed gracefully —
+  // otherwise the kernel may coalesce the two pending signals into one.
+  ASSERT_TRUE(read_byte_with_timeout(ready[0], 10.0));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  ASSERT_TRUE(read_byte_with_timeout(cancelled[0], 10.0))
+      << "first SIGTERM did not trip the token";
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 128 + SIGTERM);
+  ::close(ready[0]);
+  ::close(cancelled[0]);
+}
+
+TEST(Supervisor, SingleSignalCancelsGracefully) {
+  int ready[2] = {-1, -1};
+  ASSERT_EQ(::pipe(ready), 0);
+  ::fcntl(ready[0], F_SETFL, O_NONBLOCK);
+
+  const pid_t pid = ::fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    ::close(ready[0]);
+    SupervisorOptions opts;
+    opts.handle_signals = true;
+    Supervisor sup(opts);
+    write_byte(ready[1], 'r');
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (!sup.cancelled() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // Exit 0 iff the token tripped with the signal as its reason.
+    ::_exit(sup.cancelled() &&
+                    sup.token().reason() == SIGINT
+                ? 0
+                : 9);
+  }
+  ::close(ready[1]);
+  ASSERT_TRUE(read_byte_with_timeout(ready[0], 10.0));
+  ASSERT_EQ(::kill(pid, SIGINT), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  ::close(ready[0]);
+}
+
+}  // namespace
+}  // namespace exaeff::run

@@ -28,6 +28,10 @@
 //   --jobs=<N>             worker threads (default: EXAEFF_JOBS env var or
 //                          hardware concurrency); outputs are byte-identical
 //                          for any N, including 1
+//   --shards=<N>           run campaign/project telemetry across N worker
+//                          *processes* with heartbeat supervision and
+//                          crash/hang restart; byte-identical to --shards=1
+//                          and to the in-process path for any N
 //   --checkpoint=<dir>     journal completed work units to <dir>/journal.ckpt
 //   --resume               replay journaled work units instead of recomputing
 //   --deadline=<sec>       cancel the run after this wall-clock budget
@@ -53,6 +57,8 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/error.h"
 #include "core/decomposition.h"
 #include "core/report.h"
@@ -71,6 +77,7 @@
 #include "sched/fleetgen.h"
 #include "sched/join.h"
 #include "sched/queue_sim.h"
+#include "shard/coordinator.h"
 #include "workloads/ert.h"
 
 namespace {
@@ -110,6 +117,10 @@ int usage() {
       "  --jobs=<N>                worker threads (default: EXAEFF_JOBS or "
       "hardware concurrency);\n"
       "                            outputs are byte-identical for any N\n"
+      "  --shards=<N>              campaign/project telemetry across N "
+      "supervised worker\n"
+      "                            processes (crash/hang restart); "
+      "byte-identical for any N\n"
       "  --checkpoint=<dir>        journal completed work units to "
       "<dir>/journal.ckpt\n"
       "                            (campaign, project, faults-sweep)\n"
@@ -133,6 +144,7 @@ struct GlobalOptions {
   double min_coverage = 0.5;
   double deadline_s = 0.0;  ///< 0 = no deadline
   std::size_t jobs = 0;  ///< 0 = EXAEFF_JOBS env or hardware concurrency
+  std::size_t shards = 0;  ///< 0 = in-process; N = worker processes
   int listen_port = -1;  ///< -1 = no exposition server; 0 = ephemeral
   bool resume = false;
   bool help = false;
@@ -232,6 +244,17 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
         return false;
       }
       opts.jobs = static_cast<std::size_t>(v);
+    } else if (key == "--shards") {
+      double v = 0.0;
+      if (!try_parse_positive(value, v) || v != std::floor(v) ||
+          v > 256.0) {
+        std::fprintf(
+            stderr,
+            "exaeff: --shards must be an integer in [1, 256], got '%s'\n",
+            value.c_str());
+        return false;
+      }
+      opts.shards = static_cast<std::size_t>(v);
     } else if (key == "--checkpoint") {
       opts.checkpoint_dir = value;
     } else if (key == "--deadline") {
@@ -275,7 +298,73 @@ struct CampaignBundle {
   double coverage = 1.0;  ///< surviving / expected telemetry records
 };
 
+/// Freshly-created scratch directory for shard journals when the run
+/// has no --checkpoint dir; removed (with its shard files) on scope
+/// exit, so a shard-mode run without checkpointing leaves no residue.
+struct ScratchShardDir {
+  std::filesystem::path path;
+  ScratchShardDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("exaeff-shards-" + std::to_string(static_cast<long>(::getpid())));
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchShardDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+/// The multi-process telemetry stage: forks opts.shards supervised
+/// workers and refolds their journaled chunk partials into `acc` in
+/// global chunk order (byte-identical to the in-process path).  On
+/// retry exhaustion the survivors are merged, the missing job ranges
+/// and merged coverage go into one DataQualityError line, and the CLI
+/// exits 3 through the normal data-quality path.
+void run_campaign_sharded(const sched::FleetGenerator& gen,
+                          const sched::SchedulerLog& log,
+                          core::CampaignAccumulator& acc,
+                          const faults::FaultPlan& plan,
+                          const GlobalOptions& opts,
+                          std::uint64_t expected_samples) {
+  shard::ShardOptions sopts;
+  sopts.shards = opts.shards;
+  sopts.resume = opts.resume;
+  sopts.cancel = exec::ThreadPool::global().cancellation_token();
+  std::unique_ptr<ScratchShardDir> scratch;
+  if (!opts.checkpoint_dir.empty()) {
+    sopts.shard_dir = opts.checkpoint_dir;
+  } else {
+    scratch = std::make_unique<ScratchShardDir>();
+    sopts.shard_dir = scratch->path.string();
+  }
+  faults::FaultCounters counters;
+  const auto report =
+      shard::run_sharded_campaign(gen, log, acc, plan, sopts, &counters);
+  if (plan.any_enabled()) {
+    faults::publish_fault_counters(counters);
+    obs::Logger::global().info("campaign.faulted",
+                               {{"plan", plan.describe()},
+                                {"dropped", counters.dropped()},
+                                {"passed", counters.passed}});
+  }
+  if (report.degraded()) {
+    const double coverage =
+        expected_samples > 0
+            ? static_cast<double>(acc.gcd_sample_count()) /
+                  static_cast<double>(expected_samples)
+            : 0.0;
+    char tail[96];
+    std::snprintf(tail, sizeof tail,
+                  " (merged coverage %.1f%%, floor %.1f%%)",
+                  100.0 * coverage, 100.0 * opts.min_coverage);
+    throw DataQualityError("sharded campaign degraded: " +
+                           report.describe(sopts.retry.max_attempts) +
+                           tail);
+  }
+}
+
 CampaignBundle run_campaign(std::size_t nodes, double days,
+                            const GlobalOptions& opts,
                             const faults::FaultPlan& plan = {},
                             run::Journal* journal = nullptr) {
   EXAEFF_TRACE_SPAN("cli.run_campaign");
@@ -302,10 +391,17 @@ CampaignBundle run_campaign(std::size_t nodes, double days,
       b.cfg.telemetry_window_s, b.boundaries);
   const std::uint64_t expected = sched::expected_gcd_samples(
       log, b.cfg.telemetry_window_s, b.cfg.system.node.gcds_per_node());
+  if (plan.crash_probability > 0.0 && opts.shards == 0) {
+    obs::Logger::global().warn(
+        "faults.crash_ignored",
+        {{"why", "crash= only applies to --shards worker processes"}});
+  }
   {
     EXAEFF_TRACE_SPAN("campaign.accumulate");
     auto& pool = exec::ThreadPool::global();
-    if (journal != nullptr) {
+    if (opts.shards > 0) {
+      run_campaign_sharded(gen, log, *b.acc, plan, opts, expected);
+    } else if (journal != nullptr) {
       // Checkpointed path: chunk partials are journaled as they finish
       // and replayed on --resume; byte-identical to the sharded path.
       faults::FaultCounters counters;
@@ -387,11 +483,15 @@ int cmd_characterize() {
 }
 
 int cmd_campaign(const std::vector<std::string>& args,
-                 run::Journal* journal) {
+                 const GlobalOptions& opts, run::Journal* journal) {
   EXAEFF_TRACE_SPAN("cli.campaign");
   const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32, "nodes"));
   const double days = arg_num(args, 1, 7.0, "days");
-  const auto b = run_campaign(nodes, days, {}, journal);
+  // campaign historically ignored --faults; it now honors the plan (the
+  // chaos path needs crash= here), and with no --faults the parse
+  // yields the empty plan, so existing invocations are unchanged.
+  const auto plan = faults::FaultPlan::parse(opts.faults_spec);
+  const auto b = run_campaign(nodes, days, opts, plan, journal);
   const auto d = b.acc->decomposition();
   std::printf("campaign: %zu nodes, %.1f days, %zu jobs, %zu records\n",
               nodes, days, b.jobs, b.acc->gcd_sample_count());
@@ -413,7 +513,7 @@ int cmd_project(const std::vector<std::string>& args,
   const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32, "nodes"));
   const double days = arg_num(args, 1, 7.0, "days");
   const auto plan = faults::FaultPlan::parse(opts.faults_spec);
-  const auto b = run_campaign(nodes, days, plan, journal);
+  const auto b = run_campaign(nodes, days, opts, plan, journal);
   core::require_quality(core::DataQuality{b.coverage, 0.0},
                         core::QualityPolicy{opts.min_coverage, 1.0});
   const auto table =
@@ -449,7 +549,7 @@ int cmd_report(const std::vector<std::string>& args,
   if (args.empty()) return usage();
   const auto nodes = static_cast<std::size_t>(arg_num(args, 1, 32, "nodes"));
   const auto plan = faults::FaultPlan::parse(opts.faults_spec);
-  const auto b = run_campaign(nodes, 7.0, plan);
+  const auto b = run_campaign(nodes, 7.0, opts, plan);
   const auto table =
       core::characterize(b.cfg.system.node.gcd, pooled_characterization());
   core::ReportInputs inputs;
@@ -650,7 +750,7 @@ int dispatch(const std::string& cmd, const std::vector<std::string>& args,
              const GlobalOptions& opts, run::Journal* journal) {
   if (cmd == "ert") return cmd_ert(args);
   if (cmd == "characterize") return cmd_characterize();
-  if (cmd == "campaign") return cmd_campaign(args, journal);
+  if (cmd == "campaign") return cmd_campaign(args, opts, journal);
   if (cmd == "project") return cmd_project(args, opts, journal);
   if (cmd == "report") return cmd_report(args, opts);
   if (cmd == "decompose") return cmd_decompose(args);
@@ -699,6 +799,12 @@ int main(int argc, char** argv) {
   const std::string cmd = positional.front();
   const std::vector<std::string> args(positional.begin() + 1,
                                       positional.end());
+  if (opts.shards > 0 && cmd != "campaign" && cmd != "project") {
+    std::fprintf(stderr,
+                 "exaeff: --shards is only supported by campaign and "
+                 "project\n");
+    return 2;
+  }
 
   // Live self-observability: the /proc resource sampler runs whenever a
   // timeline or a scrape endpoint wants it, and the exposition server
@@ -711,12 +817,9 @@ int main(int argc, char** argv) {
   std::unique_ptr<run::Journal> journal;
   int rc = 0;
   try {
-    if (opts.listen_port >= 0 || !opts.timeline_path.empty()) {
-      sampler = std::make_unique<obs::ResourceSampler>();
-      sampler->set_tick_hook(
-          [] { exec::ThreadPool::global().publish_metrics(); });
-      sampler->start();
-    }
+    // The scrape port binds before anything heavier starts: a taken
+    // port (EADDRINUSE) should cost one line and exit 2, not surface
+    // after samplers, journals and a partial pipeline spun up.
     if (opts.listen_port >= 0) {
       std::string command_line = cmd;
       for (const auto& a : args) command_line += " " + a;
@@ -753,6 +856,12 @@ int main(int argc, char** argv) {
           {{"port", static_cast<unsigned>(server->port())},
            {"endpoints", "/metrics /metrics.json /healthz /runinfo"}});
     }
+    if (opts.listen_port >= 0 || !opts.timeline_path.empty()) {
+      sampler = std::make_unique<obs::ResourceSampler>();
+      sampler->set_tick_hook(
+          [] { exec::ThreadPool::global().publish_metrics(); });
+      sampler->start();
+    }
     if (!opts.checkpoint_dir.empty()) {
       std::filesystem::create_directories(opts.checkpoint_dir);
       journal = std::make_unique<run::Journal>(
@@ -766,6 +875,12 @@ int main(int argc, char** argv) {
     rc = dispatch(cmd, args, opts, journal.get());
   } catch (const UsageError& e) {
     std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  } catch (const run::JournalLockedError& e) {
+    // Another process holds the checkpoint journal (advisory flock):
+    // a concurrent writer would interleave torn records, so fail fast
+    // as a usage-class error instead of corrupting the shared file.
+    std::fprintf(stderr, "exaeff: %s\n", e.what());
     return 2;
   } catch (const DataQualityError& e) {
     // Distinct exit code: the pipeline worked, but the surviving data is
