@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <vector>
 
@@ -18,10 +19,12 @@
 #include "exec/thread_pool.h"
 #include "graph/generators.h"
 #include "graph/louvain.h"
+#include "run/spill_campaign.h"
 #include "sched/fleetgen.h"
 #include "shard/coordinator.h"
 #include "telemetry/aggregator.h"
 #include "telemetry/archive.h"
+#include "telemetry/spill_store.h"
 #include "telemetry/store.h"
 #include "workloads/vai.h"
 
@@ -286,6 +289,92 @@ void BM_LouvainPass(benchmark::State& state) {
       static_cast<std::int64_t>(g.num_edges()) * state.iterations());
 }
 BENCHMARK(BM_LouvainPass)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_ChunkedArchiveRoundTrip(benchmark::State& state) {
+  // Lossless multi-chunk frame: small chunk_records forces many chunks
+  // so the per-chunk header/index/CRC overhead is in the measurement.
+  const auto stream = synth_stream();
+  telemetry::CodecOptions opts;
+  opts.lossless = true;
+  for (auto _ : state) {
+    std::stringstream buf;
+    const auto info =
+        telemetry::write_archive(buf, stream, opts, /*chunk_records=*/2048);
+    benchmark::DoNotOptimize(info.chunks);
+    const auto decoded = telemetry::read_archive(buf);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(stream.size() * state.iterations()));
+}
+BENCHMARK(BM_ChunkedArchiveRoundTrip);
+
+void BM_MmapDecode(benchmark::State& state) {
+  // Query-driven readback through the mmap-backed reader: open, decode
+  // every chunk, close.  The file is written once outside the loop.
+  const auto stream = synth_stream();
+  telemetry::CodecOptions opts;
+  opts.lossless = true;
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("exaeff-bench-mmap-" + std::to_string(::getpid()) +
+                     ".tel");
+  {
+    std::ofstream os(path, std::ios::binary);
+    (void)telemetry::write_archive(os, stream, opts, /*chunk_records=*/2048);
+  }
+  for (auto _ : state) {
+    const telemetry::ArchiveReader reader(path.string());
+    std::size_t records = 0;
+    for (std::size_t i = 0; i < reader.info().chunks; ++i) {
+      records += reader.decode_chunk(i).size();
+    }
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(stream.size() * state.iterations()));
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+BENCHMARK(BM_MmapDecode);
+
+void BM_SpillCampaign(benchmark::State& state) {
+  // The out-of-core driver end to end: plan windows on a small budget,
+  // generate in parallel, spill every window through the lossless
+  // archive.  The counter reports node-days of campaign per second —
+  // the paper-scale capacity metric (9408 nodes x 90 days = 846,720
+  // node-days).
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(16);
+  cfg.duration_s = 1.0 * units::kDay;
+  const auto library = workloads::make_profile_library(cfg.system.node.gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  const auto log = gen.generate_schedule();
+  const auto windows = run::plan_spill_windows(
+      log, cfg.telemetry_window_s, cfg.system.node.gcds_per_node(),
+      /*memory_budget_bytes=*/8u << 20);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("exaeff-bench-spill-" + std::to_string(::getpid()));
+  exec::ThreadPool pool(4);
+  for (auto _ : state) {
+    std::filesystem::create_directories(dir);
+    core::CampaignAccumulator acc(cfg.telemetry_window_s, boundaries);
+    telemetry::SpillConfig scfg;
+    scfg.dir = dir.string();
+    scfg.window_s = cfg.telemetry_window_s;
+    telemetry::SpillStore store(std::move(scfg));
+    run::generate_telemetry_spilled(gen, log, acc, store, pool, nullptr,
+                                    windows);
+    benchmark::DoNotOptimize(store.spilled_bytes());
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  const double node_days = 16.0 * (cfg.duration_s / units::kDay);
+  state.counters["node_days_per_s"] =
+      benchmark::Counter(node_days * static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SpillCampaign)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_ProjectionSweep(benchmark::State& state) {
   const auto spec = gpusim::mi250x_gcd();

@@ -1,4 +1,4 @@
-#include "run/atomic_file.h"
+#include "common/atomic_file.h"
 
 #include <cstdio>
 #include <string_view>
@@ -7,7 +7,7 @@
 
 #include "obs/log.h"
 
-namespace exaeff::run {
+namespace exaeff {
 
 namespace {
 
@@ -56,4 +56,4 @@ bool write_file_atomic(const std::string& path, std::string_view content) {
   return f.commit();
 }
 
-}  // namespace exaeff::run
+}  // namespace exaeff

@@ -1,5 +1,11 @@
 #include "core/accumulator.h"
 
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 namespace exaeff::core {
 
 namespace {
@@ -13,6 +19,162 @@ std::array<Histogram, N> make_histograms(double lo, double hi,
     return std::array<Histogram, N>{((void)I, Histogram(l, h, b))...};
   }(std::make_index_sequence<N>{}, lo, hi, bins);
 }
+
+// --- SIMD histogram binning -------------------------------------------
+//
+// The batched ingest loop spends most of its time on the per-sample
+// bin lookup (an FP divide) and the region classification (three
+// compares).  Both are pure per-lane arithmetic with no loop-carried
+// state, so blocks of samples precompute them in SIMD lanes; the
+// floating-point *accumulations* (histogram counts, cell hours/energy)
+// then run in the original per-sample order over the precomputed
+// values, so batched ingest stays bit-identical to on_job_sample().
+//
+// Bit-identity of the precompute itself: the bin index is one IEEE
+// subtract, one IEEE divide and a truncating convert — vdivpd and
+// vcvttpd2qq round exactly like their scalar counterparts — with the
+// same edge clamping as Histogram::bin_index; the region code is the
+// same branchless sum-of-compares as RegionBoundaries::classify; the
+// energy product is one IEEE multiply.  The generator never emits NaN
+// power values, matching the scalar path's precondition.
+//
+// Dispatch follows common/rng_lanes: AVX-512F/DQ, then AVX2, then a
+// portable kernel that is the scalar loop verbatim.
+
+/// Loop-invariant parameters of one precompute call.
+struct BinParams {
+  double lo = 0.0;      ///< histogram lower edge
+  double hi = 0.0;      ///< histogram upper edge
+  double width = 0.0;   ///< histogram bin width
+  double window = 0.0;  ///< telemetry window (energy weight), seconds
+  double r1 = 0.0;      ///< region boundary 1 (latency_max_w)
+  double r2 = 0.0;      ///< region boundary 2 (memory_max_w)
+  double r3 = 0.0;      ///< region boundary 3 (compute_max_w)
+  std::int64_t last = 0;  ///< bin_count() - 1
+};
+
+using BinLanesFn = void (*)(const double* p, std::size_t n,
+                            const BinParams& bp, std::int64_t* bin,
+                            std::int64_t* region, double* energy);
+
+void bin_lanes_portable(const double* p, std::size_t n, const BinParams& bp,
+                        std::int64_t* bin, std::int64_t* region,
+                        double* energy) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = p[i];
+    // Histogram::bin_index, verbatim.
+    std::int64_t idx;
+    if (x <= bp.lo) {
+      idx = 0;
+    } else if (x >= bp.hi) {
+      idx = bp.last;
+    } else {
+      idx = std::min(
+          static_cast<std::int64_t>((x - bp.lo) / bp.width), bp.last);
+    }
+    bin[i] = idx;
+    // RegionBoundaries::classify, verbatim.
+    region[i] = static_cast<std::int64_t>(x > bp.r1) +
+                static_cast<std::int64_t>(x > bp.r2) +
+                static_cast<std::int64_t>(x > bp.r3);
+    energy[i] = x * bp.window;
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+__attribute__((target("avx2"))) void bin_lanes_avx2(
+    const double* p, std::size_t n, const BinParams& bp, std::int64_t* bin,
+    std::int64_t* region, double* energy) {
+  const __m256d vlo = _mm256_set1_pd(bp.lo);
+  const __m256d vhi = _mm256_set1_pd(bp.hi);
+  const __m256d vwidth = _mm256_set1_pd(bp.width);
+  const __m256d vwin = _mm256_set1_pd(bp.window);
+  const __m256d vr1 = _mm256_set1_pd(bp.r1);
+  const __m256d vr2 = _mm256_set1_pd(bp.r2);
+  const __m256d vr3 = _mm256_set1_pd(bp.r3);
+  const __m256i vlast = _mm256_set1_epi64x(bp.last);
+  const __m256i vzero = _mm256_setzero_si256();
+  for (std::size_t i = 0; i < n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(p + i);
+    const __m256d t = _mm256_div_pd(_mm256_sub_pd(x, vlo), vwidth);
+    // Truncating convert, exactly the scalar cast.  AVX2 has no
+    // pd->epi64, but in-range quotients fit i32 (edge lanes convert
+    // garbage and are overwritten by the blends below).
+    __m256i idx = _mm256_cvtepi32_epi64(_mm256_cvttpd_epi32(t));
+    const __m256i over = _mm256_cmpgt_epi64(idx, vlast);
+    idx = _mm256_blendv_epi8(idx, vlast, over);  // std::min(idx, last)
+    const __m256d le_lo = _mm256_cmp_pd(x, vlo, _CMP_LE_OQ);
+    const __m256d ge_hi = _mm256_cmp_pd(x, vhi, _CMP_GE_OQ);
+    idx = _mm256_blendv_epi8(idx, vzero, _mm256_castpd_si256(le_lo));
+    idx = _mm256_blendv_epi8(idx, vlast, _mm256_castpd_si256(ge_hi));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(bin + i), idx);
+    // classify(): each true compare is an all-ones (-1) lane; the
+    // region index is minus their sum.
+    const __m256i m1 =
+        _mm256_castpd_si256(_mm256_cmp_pd(x, vr1, _CMP_GT_OQ));
+    const __m256i m2 =
+        _mm256_castpd_si256(_mm256_cmp_pd(x, vr2, _CMP_GT_OQ));
+    const __m256i m3 =
+        _mm256_castpd_si256(_mm256_cmp_pd(x, vr3, _CMP_GT_OQ));
+    const __m256i sum = _mm256_add_epi64(_mm256_add_epi64(m1, m2), m3);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(region + i),
+                        _mm256_sub_epi64(vzero, sum));
+    _mm256_storeu_pd(energy + i, _mm256_mul_pd(x, vwin));
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) void bin_lanes_avx512(
+    const double* p, std::size_t n, const BinParams& bp, std::int64_t* bin,
+    std::int64_t* region, double* energy) {
+  const __m512d vlo = _mm512_set1_pd(bp.lo);
+  const __m512d vhi = _mm512_set1_pd(bp.hi);
+  const __m512d vwidth = _mm512_set1_pd(bp.width);
+  const __m512d vwin = _mm512_set1_pd(bp.window);
+  const __m512d vr1 = _mm512_set1_pd(bp.r1);
+  const __m512d vr2 = _mm512_set1_pd(bp.r2);
+  const __m512d vr3 = _mm512_set1_pd(bp.r3);
+  const __m512i vlast = _mm512_set1_epi64(bp.last);
+  const __m512i vzero = _mm512_setzero_si512();
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __m512d x = _mm512_loadu_pd(p + i);
+    const __m512d t = _mm512_div_pd(_mm512_sub_pd(x, vlo), vwidth);
+    // vcvttpd2qq truncates toward zero exactly like the scalar cast;
+    // out-of-range lanes saturate negative and the edge masks below
+    // overwrite them.
+    __m512i idx = _mm512_cvttpd_epi64(t);
+    idx = _mm512_min_epi64(idx, vlast);
+    const __mmask8 le_lo = _mm512_cmp_pd_mask(x, vlo, _CMP_LE_OQ);
+    const __mmask8 ge_hi = _mm512_cmp_pd_mask(x, vhi, _CMP_GE_OQ);
+    idx = _mm512_mask_mov_epi64(idx, le_lo, vzero);
+    idx = _mm512_mask_mov_epi64(idx, ge_hi, vlast);
+    _mm512_storeu_si512(bin + i, idx);
+    const __m512i m1 =
+        _mm512_movm_epi64(_mm512_cmp_pd_mask(x, vr1, _CMP_GT_OQ));
+    const __m512i m2 =
+        _mm512_movm_epi64(_mm512_cmp_pd_mask(x, vr2, _CMP_GT_OQ));
+    const __m512i m3 =
+        _mm512_movm_epi64(_mm512_cmp_pd_mask(x, vr3, _CMP_GT_OQ));
+    const __m512i sum = _mm512_add_epi64(_mm512_add_epi64(m1, m2), m3);
+    _mm512_storeu_si512(region + i, _mm512_sub_epi64(vzero, sum));
+    _mm512_storeu_pd(energy + i, _mm512_mul_pd(x, vwin));
+  }
+}
+
+#endif  // x86_64 && GNUC
+
+BinLanesFn resolve_bin_lanes() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    return bin_lanes_avx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return bin_lanes_avx2;
+#endif
+  return bin_lanes_portable;
+}
+
+const BinLanesFn g_bin_lanes = resolve_bin_lanes();
 }  // namespace
 
 CampaignAccumulator::CampaignAccumulator(double window_s,
@@ -64,13 +226,50 @@ void CampaignAccumulator::on_job_batch(
                     [static_cast<std::size_t>(job.bin)];
   const double hours = hours_per_sample_;
   const double window = window_s_;
-  for (const telemetry::GcdSample& sample : samples) {
-    const double p = sample.power_w;
+  // SIMD blocks precompute bin index, region, and energy product per
+  // lane (see the kernels above); the in-order consumption loop then
+  // applies them sample by sample, so every accumulation adds the same
+  // value in the same order as the scalar tail below.  hist_ and
+  // domain_hist_ share one shape, so one bin lookup serves both (same
+  // clamping as Histogram::add); totals are deferred to one add_total
+  // per batch — exact for unit weights — so the loop carries no
+  // serialized add into either histogram's total.
+  BinParams bp;
+  bp.lo = hist_.lo();
+  bp.hi = hist_.hi();
+  bp.width = hist_.bin_width();
+  bp.window = window;
+  bp.r1 = boundaries_.latency_max_w;
+  bp.r2 = boundaries_.memory_max_w;
+  bp.r3 = boundaries_.compute_max_w;
+  bp.last = static_cast<std::int64_t>(hist_.bin_count()) - 1;
+  // Block size trades stack footprint (4 lanes × 2 KB) against the cost
+  // of the indirect kernel call: at 256 samples the call and the
+  // gather/consume load-store traffic amortize over 32 AVX-512 (64
+  // AVX2) iterations.
+  constexpr std::size_t kBlock = 256;
+  alignas(64) double p_lane[kBlock];
+  alignas(64) std::int64_t bin_lane[kBlock];
+  alignas(64) std::int64_t region_lane[kBlock];
+  alignas(64) double energy_lane[kBlock];
+  std::size_t i = 0;
+  for (; i + kBlock <= samples.size(); i += kBlock) {
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      p_lane[j] = samples[i + j].power_w;
+    }
+    g_bin_lanes(p_lane, kBlock, bp, bin_lane, region_lane, energy_lane);
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      const auto bin = static_cast<std::size_t>(bin_lane[j]);
+      hist_.count_at(bin);
+      dh.count_at(bin);
+      auto& share = row.regions[static_cast<std::size_t>(region_lane[j])];
+      share.gpu_hours += hours;
+      share.energy_j += energy_lane[j];
+    }
+  }
+  for (; i < samples.size(); ++i) {
+    const double p = samples[i].power_w;
     const Region region = boundaries_.classify(p);
-    // hist_ and domain_hist_ share one shape, so one bin lookup serves
-    // both (same clamping as Histogram::add).  Totals are deferred to
-    // one add_total per batch — exact for unit weights — so the loop
-    // carries no serialized add into either histogram's total.
     const std::size_t bin = hist_.bin_index_of(p);
     hist_.count_at(bin);
     dh.count_at(bin);

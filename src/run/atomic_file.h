@@ -1,51 +1,15 @@
 // exaeff/run/atomic_file.h
 //
-// Crash-safe artifact commit: every file the pipeline writes (reports,
-// traces, metrics, checkpoints) goes through write-temp → flush → fsync
-// → rename.  rename(2) is atomic within a filesystem, so a kill at any
-// instant leaves either the previous artifact or the complete new one on
-// disk — never a truncated file.  The temp file lives next to the target
-// (`<path>.tmp.<pid>`) so the rename never crosses filesystems, and is
-// unlinked if the writer dies before commit() or abandons the write.
+// Compatibility alias: the atomic write-temp → fsync → rename writer
+// moved to common/atomic_file.h so layers below run/ (the telemetry
+// spill store) can use it.  Existing run:: spellings keep working.
 #pragma once
 
-#include <sstream>
-#include <string>
+#include "common/atomic_file.h"
 
 namespace exaeff::run {
 
-/// Buffered atomic file writer.  Accumulate content via stream() (or
-/// write()), then commit() once; the destructor discards an uncommitted
-/// temp file.  Artifacts in this pipeline are reports and journals —
-/// small enough that buffering in memory is the simple, safe choice.
-class AtomicFile {
- public:
-  explicit AtomicFile(std::string path);
-  ~AtomicFile();
-  AtomicFile(const AtomicFile&) = delete;
-  AtomicFile& operator=(const AtomicFile&) = delete;
-
-  /// The in-memory buffer; anything streamed here lands in the file on
-  /// commit().
-  [[nodiscard]] std::ostream& stream() { return buffer_; }
-  void write(std::string_view text) { buffer_ << text; }
-
-  /// Writes the buffer to `<path>.tmp.<pid>`, fsyncs, and renames over
-  /// the target.  Returns false (and removes the temp) on any failure.
-  /// At most one commit per instance.
-  [[nodiscard]] bool commit();
-
-  [[nodiscard]] const std::string& path() const { return path_; }
-
- private:
-  std::string path_;
-  std::string temp_path_;
-  std::ostringstream buffer_;
-  bool committed_ = false;
-};
-
-/// One-shot helper: atomically replaces `path` with `content`.
-[[nodiscard]] bool write_file_atomic(const std::string& path,
-                                     std::string_view content);
+using exaeff::AtomicFile;
+using exaeff::write_file_atomic;
 
 }  // namespace exaeff::run

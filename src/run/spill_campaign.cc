@@ -1,0 +1,231 @@
+#include "run/spill_campaign.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/error.h"
+#include "exec/thread_pool.h"
+#include "obs/trace.h"
+#include "sched/join.h"
+
+namespace exaeff::run {
+
+namespace {
+
+/// Tees one chunk's stream into the chunk's partial accumulator while
+/// capturing the raw samples contiguously.  The capture normalizes the
+/// generator's delivery shape: per-sample (EXAEFF_BATCH=0) and batched
+/// generation append the identical record sequence, so everything
+/// downstream — including spill-file bytes — is independent of the
+/// batching switch.
+class CaptureSink final : public sched::JobSampleSink {
+ public:
+  explicit CaptureSink(core::CampaignAccumulator& acc) : acc_(&acc) {}
+
+  void on_job_sample(const telemetry::GcdSample& sample,
+                     const sched::Job& job) override {
+    acc_->on_job_sample(sample, job);
+    gcd.push_back(sample);
+  }
+  void on_node_sample(const telemetry::NodeSample& sample) override {
+    acc_->on_node_sample(sample);
+    node.push_back(sample);
+  }
+  void on_job_batch(std::span<const telemetry::GcdSample> samples,
+                    const sched::Job& job) override {
+    acc_->on_job_batch(samples, job);
+    gcd.insert(gcd.end(), samples.begin(), samples.end());
+  }
+  void on_node_batch(
+      std::span<const telemetry::NodeSample> samples) override {
+    acc_->on_node_batch(samples);
+    node.insert(node.end(), samples.begin(), samples.end());
+  }
+
+  std::vector<telemetry::GcdSample> gcd;
+  std::vector<telemetry::NodeSample> node;
+
+ private:
+  core::CampaignAccumulator* acc_;
+};
+
+}  // namespace
+
+std::vector<SpillWindow> plan_spill_windows(const sched::SchedulerLog& log,
+                                            double window_s,
+                                            std::size_t gcds_per_node,
+                                            std::size_t memory_budget_bytes) {
+  const auto& jobs = log.jobs();
+  std::vector<SpillWindow> windows;
+  if (jobs.empty()) return windows;
+  EXAEFF_REQUIRE(memory_budget_bytes > 0,
+                 "spill plan: memory budget must be positive");
+  const std::size_t grain = exec::ThreadPool::chunk_grain(jobs.size());
+  SpillWindow cur{0, 0};
+  std::uint64_t expected_bytes = 0;
+  for (std::size_t begin = 0; begin < jobs.size(); begin += grain) {
+    const std::size_t end = std::min(begin + grain, jobs.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      expected_bytes +=
+          sched::expected_gcd_samples(jobs[i], window_s, gcds_per_node) *
+          sizeof(telemetry::GcdSample);
+    }
+    cur.end = end;
+    // The budget check runs after at least one chunk joined the window,
+    // so every window is non-empty and the plan always terminates.
+    if (expected_bytes >= memory_budget_bytes) {
+      windows.push_back(cur);
+      cur = {end, end};
+      expected_bytes = 0;
+    }
+  }
+  if (cur.end > cur.begin) windows.push_back(cur);
+  return windows;
+}
+
+std::vector<SpillWindow> windows_in_range(
+    std::span<const SpillWindow> windows, std::size_t begin,
+    std::size_t end, std::size_t* first_index) {
+  std::vector<SpillWindow> out;
+  bool found_begin = begin == end;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const SpillWindow& w = windows[i];
+    if (w.end <= begin || w.begin >= end) continue;
+    EXAEFF_REQUIRE(w.begin >= begin && w.end <= end,
+                   "shard range does not sit on spill window boundaries");
+    if (out.empty()) {
+      found_begin = w.begin == begin;
+      if (first_index != nullptr) *first_index = i;
+    }
+    out.push_back(w);
+  }
+  EXAEFF_REQUIRE(found_begin && (out.empty() ? begin == end
+                                             : out.back().end == end),
+                 "shard range does not sit on spill window boundaries");
+  if (out.empty() && first_index != nullptr) *first_index = 0;
+  return out;
+}
+
+void generate_telemetry_spilled(const sched::FleetGenerator& gen,
+                                const sched::SchedulerLog& log,
+                                std::size_t range_begin,
+                                std::size_t range_end,
+                                core::CampaignAccumulator& acc,
+                                telemetry::SpillStore& store,
+                                exec::ThreadPool& pool, Journal* journal,
+                                std::span<const SpillWindow> windows,
+                                const ChunkDoneFn& on_chunk_done) {
+  EXAEFF_TRACE_SPAN("run.telemetry_spilled");
+  const auto& jobs = log.jobs();
+  // Same alignment contract as the checkpointed path: grain from the
+  // full job count, range on chunk boundaries, so chunk identities and
+  // the fold order match every other generation path.
+  const std::size_t grain = exec::ThreadPool::chunk_grain(jobs.size());
+  EXAEFF_REQUIRE(range_begin <= range_end && range_end <= jobs.size(),
+                 "telemetry range out of bounds");
+  EXAEFF_REQUIRE(range_begin % grain == 0,
+                 "telemetry range must start on a chunk boundary");
+  EXAEFF_REQUIRE(range_end % grain == 0 || range_end == jobs.size(),
+                 "telemetry range must end on a chunk boundary");
+  EXAEFF_REQUIRE(
+      windows.empty() ? range_begin == range_end
+                      : windows.front().begin == range_begin &&
+                            windows.back().end == range_end,
+      "spill windows must cover the telemetry range exactly");
+  const faults::FaultPlan no_faults;  // spill mode never injects faults
+  const std::uint64_t config_key =
+      campaign_config_key(gen.config(), no_faults, jobs.size());
+  const double window_s = gen.config().telemetry_window_s;
+  const std::size_t gcds_per_node =
+      gen.config().system.node.gcds_per_node();
+
+  struct ChunkOut {
+    std::unique_ptr<core::CampaignAccumulator> partial;
+    std::vector<telemetry::GcdSample> gcd;
+    std::vector<telemetry::NodeSample> node;
+    std::uint64_t key = 0;
+  };
+
+  std::size_t prev_end = range_begin;
+  for (const SpillWindow& w : windows) {
+    EXAEFF_REQUIRE(w.begin == prev_end && w.end > w.begin,
+                   "spill windows must be contiguous and non-empty");
+    EXAEFF_REQUIRE(w.begin % grain == 0 &&
+                       (w.end % grain == 0 || w.end == jobs.size()),
+                   "spill window must sit on chunk boundaries");
+    prev_end = w.end;
+
+    auto outs = pool.map_chunks(
+        w.end - w.begin, grain,
+        [&](std::size_t local_begin, std::size_t local_end) {
+          const std::size_t begin = w.begin + local_begin;
+          const std::size_t end = w.begin + local_end;
+          ChunkOut out;
+          out.partial = std::make_unique<core::CampaignAccumulator>(
+              acc.make_sibling());
+          CaptureSink capture(*out.partial);
+          // Reserve the exact record count up front: a growing vector's
+          // doubling reallocation would transiently hold ~1.5× the
+          // chunk's bytes, and the chunk is the unit the memory budget
+          // is planned in.
+          std::uint64_t expected = 0;
+          for (std::size_t k = begin; k < end; ++k) {
+            expected +=
+                sched::expected_gcd_samples(jobs[k], window_s,
+                                            gcds_per_node);
+          }
+          capture.gcd.reserve(expected);
+          // Always generate: the raw samples the spill window needs are
+          // never journaled, and the generator is deterministic, so a
+          // restarted worker recomputes the same bytes.
+          gen.generate_telemetry(log, begin, end, capture);
+          out.gcd = std::move(capture.gcd);
+          out.node = std::move(capture.node);
+          out.key = campaign_chunk_key(config_key, begin, end);
+          if (on_chunk_done) on_chunk_done(begin, end);
+          return out;
+        });
+
+    // Serial fold in chunk order: accumulator merge plus the store
+    // ingest, then the planned window close — the only place a spill
+    // file is ever cut, so the file set is a function of the plan alone.
+    for (auto& out : outs) {
+      acc.merge(*out.partial);
+      // Hand each chunk's capture to the store by move (adopted
+      // wholesale when it opens the window) and drop the node capture
+      // right after the fold: the resident window and the captured
+      // chunks must not double-buffer the window's bytes.
+      store.ingest_gcd_owned(std::move(out.gcd));
+      store.on_node_batch(out.node);
+      std::vector<telemetry::GcdSample>().swap(out.gcd);
+      std::vector<telemetry::NodeSample>().swap(out.node);
+    }
+    store.close_window();
+    // Journal only after the window's spill file is durably committed:
+    // a journal that claims a chunk must never outrun the spill file
+    // carrying that chunk's telemetry (the shard coordinator treats a
+    // complete journal as a complete shard).
+    if (journal != nullptr) {
+      for (const auto& out : outs) {
+        if (journal->find(out.key) == nullptr) {
+          journal->append(out.key,
+                          encode_campaign_chunk(*out.partial,
+                                                faults::FaultCounters{}));
+        }
+      }
+    }
+  }
+}
+
+void generate_telemetry_spilled(const sched::FleetGenerator& gen,
+                                const sched::SchedulerLog& log,
+                                core::CampaignAccumulator& acc,
+                                telemetry::SpillStore& store,
+                                exec::ThreadPool& pool, Journal* journal,
+                                std::span<const SpillWindow> windows) {
+  generate_telemetry_spilled(gen, log, 0, log.jobs().size(), acc, store,
+                             pool, journal, windows, {});
+}
+
+}  // namespace exaeff::run

@@ -1,0 +1,103 @@
+// exaeff/run/spill_campaign.h
+//
+// Out-of-core campaign generation: the driver that lets a paper-scale
+// campaign (9408 nodes x 90 days) run its telemetry through a
+// telemetry::SpillStore on a fixed memory budget while the accumulator
+// pipeline runs unchanged.
+//
+// The plan step packs whole job-chunks (the exec::ThreadPool grain that
+// every parallel path shares) into spill windows whose expected raw
+// telemetry volume reaches the memory budget.  Window boundaries are a
+// function of (schedule, budget) only — never of thread or shard count —
+// so the set of spill files a campaign writes is deterministic: the
+// driver closes the store at each planned boundary instead of relying on
+// the store's byte-count backstop.
+//
+// Within a window, chunks generate in parallel exactly like the
+// checkpointed path (same grain, same chunk identities, same serial fold
+// order); each chunk captures its raw samples contiguously alongside its
+// accumulator partial, and the fold feeds the captures to the store in
+// chunk order.  Batched (EXAEFF_BATCH=1) and per-sample generation
+// capture identical contiguous streams, so spill files are byte-stable
+// across that switch too.
+//
+// Peak resident telemetry is about twice the budget: one window of chunk
+// captures plus the store's resident copy of the same window during the
+// fold.  See docs/performance.md ("Out-of-core campaigns").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "run/checkpoint.h"
+#include "run/journal.h"
+#include "sched/fleetgen.h"
+#include "telemetry/spill_store.h"
+
+namespace exaeff::run {
+
+/// One spill window: the half-open job-index range whose telemetry is
+/// buffered together and spilled as one archive.  Boundaries always sit
+/// on exec::ThreadPool::chunk_grain(job_count) chunk edges.
+struct SpillWindow {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  bool operator==(const SpillWindow&) const = default;
+};
+
+/// Plans the spill windows of a campaign: greedily packs whole
+/// job-chunks until the cumulative expected raw telemetry
+/// (sched::expected_gcd_samples x sizeof(GcdSample)) reaches
+/// `memory_budget_bytes`, then closes the window.  Every window holds at
+/// least one chunk, so the plan terminates for any budget.  Windows
+/// partition [0, job_count) exactly; empty log -> empty plan.
+[[nodiscard]] std::vector<SpillWindow> plan_spill_windows(
+    const sched::SchedulerLog& log, double window_s,
+    std::size_t gcds_per_node, std::size_t memory_budget_bytes);
+
+/// The windows of `windows` covering jobs [begin, end) — the shard
+/// worker's slice of a global plan.  Requires [begin, end) to sit on
+/// window boundaries of the plan.  Also returns (via `first_index`,
+/// optional) the global plan index of the first returned window, which
+/// is what a shard worker passes as SpillConfig::window_index_base so
+/// its files carry campaign-global window numbers.
+[[nodiscard]] std::vector<SpillWindow> windows_in_range(
+    std::span<const SpillWindow> windows, std::size_t begin,
+    std::size_t end, std::size_t* first_index = nullptr);
+
+/// Generates telemetry for jobs [range_begin, range_end) of `log` into
+/// `acc` (exactly as the checkpointed/sharded paths do) while streaming
+/// every raw sample through `store`, closing the store's window at each
+/// planned boundary in `windows` (which must cover exactly
+/// [range_begin, range_end)).  Chunk grain derives from the full job
+/// count and the range must be chunk-aligned, so accumulator results and
+/// spill-file bytes are identical for any thread count or shard split.
+///
+/// When `journal` is non-null, every generated chunk's partial is
+/// appended under the same campaign_chunk_key the checkpointed path
+/// uses (fault-free plan) — but only after the chunk's window commits
+/// its spill file, so a journal never claims telemetry whose spill file
+/// a crash could have lost.  Generation itself always recomputes (the
+/// raw samples a spill window needs are not journaled).
+void generate_telemetry_spilled(const sched::FleetGenerator& gen,
+                                const sched::SchedulerLog& log,
+                                std::size_t range_begin,
+                                std::size_t range_end,
+                                core::CampaignAccumulator& acc,
+                                telemetry::SpillStore& store,
+                                exec::ThreadPool& pool, Journal* journal,
+                                std::span<const SpillWindow> windows,
+                                const ChunkDoneFn& on_chunk_done = {});
+
+/// Whole-log convenience overload.
+void generate_telemetry_spilled(const sched::FleetGenerator& gen,
+                                const sched::SchedulerLog& log,
+                                core::CampaignAccumulator& acc,
+                                telemetry::SpillStore& store,
+                                exec::ThreadPool& pool, Journal* journal,
+                                std::span<const SpillWindow> windows);
+
+}  // namespace exaeff::run

@@ -128,9 +128,30 @@ ShardReport run_sharded_campaign(const sched::FleetGenerator& gen,
 
   const std::size_t n_jobs = log.jobs().size();
   const std::size_t grain = exec::ThreadPool::chunk_grain(n_jobs);
-  const std::uint64_t config_key =
-      run::campaign_config_key(gen.config(), plan, n_jobs);
-  const auto ranges = partition_jobs(n_jobs, options.shards);
+  const bool spill = !options.spill_dir.empty();
+  std::vector<run::SpillWindow> plan_windows;
+  std::vector<JobRange> ranges;
+  if (spill) {
+    EXAEFF_REQUIRE(options.memory_budget_bytes > 0,
+                   "spill campaigns need a positive memory budget");
+    EXAEFF_REQUIRE(!plan.any_enabled(),
+                   "spill campaigns cannot inject telemetry faults");
+    // The spill plan is campaign-global and shards take whole windows,
+    // so the union of worker spill directories (they share one) is the
+    // exact file set a single-process spill run writes.
+    plan_windows = run::plan_spill_windows(
+        log, gen.config().telemetry_window_s,
+        gen.config().system.node.gcds_per_node(),
+        options.memory_budget_bytes);
+    ranges = partition_windows(plan_windows, options.shards);
+  } else {
+    ranges = partition_jobs(n_jobs, options.shards);
+  }
+  // Spill workers key their journals off the fault-free plan (telemetry
+  // faults are rejected above; crash chaos never touches content), so
+  // the coordinator must verify and merge under the same key.
+  const std::uint64_t config_key = run::campaign_config_key(
+      gen.config(), spill ? faults::FaultPlan{} : plan, n_jobs);
 
   ShardReport report;
   report.shards = ranges.size();
@@ -180,6 +201,17 @@ ShardReport run_sharded_campaign(const sched::FleetGenerator& gen,
       cfg.heartbeat_interval_s = options.heartbeat_interval_s;
       cfg.threads = options.worker_threads;
       cfg.resume = options.resume || s.attempt > 1;
+      if (spill) {
+        cfg.spill_dir = options.spill_dir;
+        std::size_t first = 0;
+        cfg.windows = run::windows_in_range(plan_windows, s.range.begin,
+                                            s.range.end, &first);
+        cfg.window_index_base = first;
+        // Spill incarnations regenerate from scratch: the raw samples a
+        // window needs are never journaled, and a resumed journal could
+        // claim chunks whose spill files a crash tore.
+        cfg.resume = false;
+      }
       worker_main(gen, log, acc, plan, cfg);  // never returns
     }
     ::close(fds[1]);

@@ -54,6 +54,15 @@ struct ShardOptions {
   std::size_t worker_threads = 0;
   /// First incarnations load pre-existing shard journals (--resume).
   bool resume = false;
+  /// Out-of-core mode: non-empty `spill_dir` (with a positive
+  /// `memory_budget_bytes`) plans campaign-global spill windows, deals
+  /// whole windows to shards, and has every worker stream its telemetry
+  /// through a telemetry::SpillStore into the shared directory.  Window
+  /// file names carry global indices, so the merged directory is
+  /// byte-identical to a single-process spill run.  Incompatible with
+  /// telemetry fault injection (spill queries must be exact).
+  std::string spill_dir;
+  std::size_t memory_budget_bytes = 0;
   /// Checked in the supervise loop and between merged chunks; tripping
   /// it SIGKILLs every live worker and throws CancelledError.
   const exec::CancellationToken* cancel = nullptr;

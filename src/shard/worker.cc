@@ -39,6 +39,20 @@ std::vector<JobRange> partition_jobs(std::size_t n_jobs,
   return out;
 }
 
+std::vector<JobRange> partition_windows(
+    std::span<const run::SpillWindow> windows, std::size_t n_shards) {
+  std::vector<JobRange> out;
+  if (windows.empty() || n_shards == 0) return out;
+  const std::size_t shards = std::min(n_shards, windows.size());
+  out.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t lo = s * windows.size() / shards;
+    const std::size_t hi = (s + 1) * windows.size() / shards;
+    out.push_back({windows[lo].begin, windows[hi - 1].end});
+  }
+  return out;
+}
+
 std::optional<std::uint64_t> crash_decision(const faults::FaultPlan& plan,
                                             std::size_t shard_index,
                                             std::size_t attempt,
@@ -138,20 +152,31 @@ void worker_main(const sched::FleetGenerator& gen,
 
     std::atomic<std::uint64_t> chunks_done{0};
     core::CampaignAccumulator acc = proto.make_sibling();
-    run::generate_telemetry_checkpointed(
-        gen, log, cfg.range.begin, cfg.range.end, acc, plan, pool,
-        &journal, nullptr,
-        [&](std::size_t /*begin*/, std::size_t /*end*/) {
-          const std::uint64_t done =
-              chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
-          HeartbeatPump::beat(cfg.heartbeat_fd);
-          // Replayed chunks count too: with crash=1 a retried
-          // incarnation still dies, so retry exhaustion is reachable
-          // from the CLI, not just from tests.
-          if (crash_after.has_value() && done == *crash_after) {
-            ::raise(SIGKILL);
-          }
-        });
+    const auto on_chunk = [&](std::size_t /*begin*/, std::size_t /*end*/) {
+      const std::uint64_t done =
+          chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      HeartbeatPump::beat(cfg.heartbeat_fd);
+      // Replayed chunks count too: with crash=1 a retried
+      // incarnation still dies, so retry exhaustion is reachable
+      // from the CLI, not just from tests.
+      if (crash_after.has_value() && done == *crash_after) {
+        ::raise(SIGKILL);
+      }
+    };
+    if (!cfg.spill_dir.empty()) {
+      telemetry::SpillConfig spill;
+      spill.dir = cfg.spill_dir;
+      spill.window_s = gen.config().telemetry_window_s;
+      spill.window_index_base = cfg.window_index_base;
+      telemetry::SpillStore store(std::move(spill));
+      run::generate_telemetry_spilled(gen, log, cfg.range.begin,
+                                      cfg.range.end, acc, store, pool,
+                                      &journal, cfg.windows, on_chunk);
+    } else {
+      run::generate_telemetry_checkpointed(gen, log, cfg.range.begin,
+                                           cfg.range.end, acc, plan, pool,
+                                           &journal, nullptr, on_chunk);
+    }
     // The accumulator itself is discarded: the durable product of a
     // worker is its journal, which the coordinator refolds in global
     // chunk order.

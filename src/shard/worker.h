@@ -20,11 +20,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/accumulator.h"
 #include "faults/fault_plan.h"
+#include "run/spill_campaign.h"
 #include "sched/fleetgen.h"
 
 namespace exaeff::shard {
@@ -48,6 +50,14 @@ struct JobRange {
 [[nodiscard]] std::vector<JobRange> partition_jobs(std::size_t n_jobs,
                                                    std::size_t n_shards);
 
+/// Spill-mode analogue of partition_jobs(): deals whole spill windows
+/// to at most `n_shards` contiguous ranges (every returned range is
+/// non-empty).  Window boundaries sit on chunk boundaries by
+/// construction, so shard journals keep the chunk-key invariant, and
+/// whole windows per shard keep the spill-file set campaign-global.
+[[nodiscard]] std::vector<JobRange> partition_windows(
+    std::span<const run::SpillWindow> windows, std::size_t n_shards);
+
 /// The seeded `crash=` fault draw for one worker incarnation: returns
 /// the 1-based count of chunk completions (journal replays included)
 /// after which the incarnation raises SIGKILL against itself, or
@@ -69,6 +79,20 @@ struct WorkerConfig {
   double heartbeat_interval_s = 0.05;
   std::size_t threads = 0;          ///< worker pool width; 0 = job_count()
   bool resume = false;              ///< load existing shard journal
+
+  // Out-of-core mode (exaeff campaign --spill-dir=/--memory-budget=):
+  // non-empty `spill_dir` switches the worker from the checkpointed
+  // generator to run::generate_telemetry_spilled.  `windows` is this
+  // shard's slice of the campaign-global spill plan (covering `range`
+  // exactly) and `window_index_base` the global plan index of its first
+  // window, so every worker names its spill files by campaign-global
+  // window number and the shared spill directory is identical to a
+  // single-process run.  Spill incarnations never resume from their
+  // journal — the raw samples a window needs are not journaled — they
+  // regenerate deterministically and rewrite their files atomically.
+  std::string spill_dir;
+  std::vector<run::SpillWindow> windows;
+  std::size_t window_index_base = 0;
 };
 
 /// Body of a forked shard worker; must be called directly after fork()

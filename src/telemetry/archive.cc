@@ -1,17 +1,31 @@
 #include "telemetry/archive.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <array>
+#include <bit>
+#include <cstdlib>
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace exaeff::telemetry {
 
 namespace {
 
-constexpr char kFileMagic[8] = {'E', 'X', 'A', 'T', 'E', 'L', '0', '1'};
+constexpr char kFileMagic[8] = {'E', 'X', 'A', 'T', 'E', 'L', '0', '2'};
+constexpr char kTailMagic[8] = {'E', 'X', 'A', 'I', 'D', 'X', '0', '2'};
+constexpr std::size_t kHeaderBytes = sizeof kFileMagic;
+constexpr std::size_t kEntryBytes = 64;  // 8 little-endian u64 fields
+constexpr std::size_t kFooterBytes = 32;
 
 std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
@@ -25,36 +39,145 @@ std::array<std::uint32_t, 256> make_crc_table() {
   return table;
 }
 
-void put_u64(std::ostream& os, std::uint64_t v) {
-  char buf[8];
-  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
-  os.write(buf, 8);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
 }
 
-std::uint64_t get_u64(std::istream& is) {
-  char buf[8];
-  is.read(buf, 8);
-  if (is.gcount() != 8) throw ParseError("telemetry archive: truncated");
+void put_f64(std::vector<std::uint8_t>& out, double d) {
+  put_u64(out, std::bit_cast<std::uint64_t>(d));
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> buf, std::size_t pos) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(buf[i]))
+    v |= static_cast<std::uint64_t>(buf[pos + static_cast<std::size_t>(i)])
          << (8 * i);
   }
   return v;
 }
 
-double get_f64(std::istream& is) {
-  const std::uint64_t bits = get_u64(is);
-  double d;
-  static_assert(sizeof d == sizeof bits);
-  __builtin_memcpy(&d, &bits, sizeof d);
-  return d;
+double get_f64(std::span<const std::uint8_t> buf, std::size_t pos) {
+  return std::bit_cast<double>(get_u64(buf, pos));
 }
 
-void put_f64(std::ostream& os, double d) {
-  std::uint64_t bits;
-  __builtin_memcpy(&bits, &d, sizeof bits);
-  put_u64(os, bits);
+std::uint64_t channel_key(const GcdSample& s) {
+  return (static_cast<std::uint64_t>(s.node_id) << 16) | s.gcd_index;
+}
+
+std::string chunk_context(std::size_t index, std::size_t total,
+                          const std::string& what) {
+  return "telemetry archive: chunk " + std::to_string(index + 1) + " of " +
+         std::to_string(total) + ": " + what;
+}
+
+/// Reads the rest of `is` into memory.
+std::vector<std::uint8_t> slurp(std::istream& is) {
+  std::vector<std::uint8_t> data;
+  char buf[65536];
+  for (;;) {
+    is.read(buf, sizeof buf);
+    const std::streamsize got = is.gcount();
+    data.insert(data.end(), buf, buf + got);
+    if (got < static_cast<std::streamsize>(sizeof buf)) break;
+  }
+  return data;
+}
+
+struct ParsedIndex {
+  ArchiveInfo info;
+  std::vector<ChunkInfo> chunks;
+};
+
+/// Validates header magic, footer and index CRC; returns the index.
+/// Chunk payloads are bounds-checked but not CRC-verified here.
+ParsedIndex parse_index(std::span<const std::uint8_t> file) {
+  if (file.size() < kHeaderBytes + kFooterBytes) {
+    throw ParseError("telemetry archive: truncated");
+  }
+  if (!std::equal(kFileMagic, kFileMagic + sizeof kFileMagic, file.data())) {
+    throw ParseError("telemetry archive: bad magic");
+  }
+  const std::size_t footer_at = file.size() - kFooterBytes;
+  if (!std::equal(kTailMagic, kTailMagic + sizeof kTailMagic,
+                  file.data() + footer_at + 24)) {
+    throw ParseError("telemetry archive: bad footer magic");
+  }
+  const std::uint64_t index_offset = get_u64(file, footer_at);
+  const std::uint64_t chunk_count = get_u64(file, footer_at + 8);
+  const auto index_crc =
+      static_cast<std::uint32_t>(get_u64(file, footer_at + 16));
+  if (index_offset < kHeaderBytes || index_offset > footer_at ||
+      chunk_count != (footer_at - index_offset) / kEntryBytes ||
+      (footer_at - index_offset) % kEntryBytes != 0) {
+    throw ParseError("telemetry archive: index size mismatch");
+  }
+  if (chunk_count == 0 && index_offset != kHeaderBytes) {
+    throw ParseError("telemetry archive: empty index with payload bytes");
+  }
+  const auto index_bytes =
+      file.subspan(index_offset, footer_at - index_offset);
+  if (crc32(index_bytes) != index_crc) {
+    throw ParseError("telemetry archive: index checksum mismatch");
+  }
+
+  ParsedIndex parsed;
+  parsed.info.checksum = index_crc;
+  parsed.info.chunks = chunk_count;
+  parsed.info.t_min_s = std::numeric_limits<double>::infinity();
+  parsed.info.t_max_s = -parsed.info.t_min_s;
+  parsed.chunks.reserve(chunk_count);
+  for (std::uint64_t i = 0; i < chunk_count; ++i) {
+    const std::size_t at = index_offset + i * kEntryBytes;
+    ChunkInfo c;
+    c.records = get_u64(file, at);
+    c.t_min_s = get_f64(file, at + 8);
+    c.t_max_s = get_f64(file, at + 16);
+    c.key_min = get_u64(file, at + 24);
+    c.key_max = get_u64(file, at + 32);
+    c.offset = get_u64(file, at + 40);
+    c.bytes = get_u64(file, at + 48);
+    c.checksum = static_cast<std::uint32_t>(get_u64(file, at + 56));
+    if (c.offset < kHeaderBytes || c.bytes > index_offset ||
+        c.offset > index_offset - c.bytes) {
+      throw ParseError(
+          chunk_context(i, chunk_count, "payload out of bounds"));
+    }
+    parsed.info.records += c.records;
+    parsed.info.payload_bytes += c.bytes;
+    if (c.records > 0) {
+      parsed.info.t_min_s = std::min(parsed.info.t_min_s, c.t_min_s);
+      parsed.info.t_max_s = std::max(parsed.info.t_max_s, c.t_max_s);
+    }
+    parsed.chunks.push_back(c);
+  }
+  if (parsed.info.records == 0) {
+    parsed.info.t_min_s = 0.0;
+    parsed.info.t_max_s = 0.0;
+  }
+  return parsed;
+}
+
+/// CRC-checks and decodes one chunk out of a whole-file byte span.
+std::vector<GcdSample> decode_chunk_bytes(std::span<const std::uint8_t> file,
+                                          const ChunkInfo& c,
+                                          std::size_t index,
+                                          std::size_t total) {
+  const auto payload = file.subspan(c.offset, c.bytes);
+  if (crc32(payload) != c.checksum) {
+    throw ParseError(chunk_context(index, total, "checksum mismatch"));
+  }
+  std::vector<GcdSample> samples;
+  try {
+    samples = decode_samples(payload);
+  } catch (const ParseError& e) {
+    throw ParseError(chunk_context(index, total, e.what()));
+  }
+  if (samples.size() != c.records) {
+    throw ParseError(chunk_context(index, total, "record count mismatch"));
+  }
+  return samples;
 }
 
 }  // namespace
@@ -68,95 +191,272 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) {
   return crc ^ 0xFFFFFFFFU;
 }
 
-ArchiveInfo write_archive(std::ostream& os,
-                          std::span<const GcdSample> samples,
-                          const CodecOptions& options) {
-  const auto payload = encode_samples(samples, options);
+ChunkedArchiveWriter::ChunkedArchiveWriter(std::ostream& os,
+                                           CodecOptions options)
+    : os_(os), options_(options), offset_(kHeaderBytes) {
+  os_.write(kFileMagic, sizeof kFileMagic);
+  EXAEFF_REQUIRE(os_.good(), "telemetry archive: write failed");
+}
 
+void ChunkedArchiveWriter::add_chunk(std::span<const GcdSample> samples) {
+  EXAEFF_REQUIRE(!finished_, "telemetry archive: add_chunk after finish");
+  if (samples.empty()) return;
+  const auto payload = encode_samples(samples, options_);
+
+  ChunkInfo c;
+  c.records = samples.size();
+  c.offset = offset_;
+  c.bytes = payload.size();
+  c.checksum = crc32(payload);
+  c.t_min_s = std::numeric_limits<double>::infinity();
+  c.t_max_s = -c.t_min_s;
+  c.key_min = ~std::uint64_t{0};
+  c.key_max = 0;
+  for (const auto& s : samples) {
+    c.t_min_s = std::min(c.t_min_s, s.t_s);
+    c.t_max_s = std::max(c.t_max_s, s.t_s);
+    const auto key = channel_key(s);
+    c.key_min = std::min(c.key_min, key);
+    c.key_max = std::max(c.key_max, key);
+  }
+
+  os_.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  EXAEFF_REQUIRE(os_.good(), "telemetry archive: write failed");
+  offset_ += payload.size();
+  chunks_.push_back(c);
+}
+
+ArchiveInfo ChunkedArchiveWriter::finish() {
+  EXAEFF_REQUIRE(!finished_, "telemetry archive: finish called twice");
+  finished_ = true;
+
+  std::vector<std::uint8_t> index;
+  index.reserve(chunks_.size() * kEntryBytes + kFooterBytes);
   ArchiveInfo info;
-  info.records = samples.size();
-  info.payload_bytes = payload.size();
-  info.checksum = crc32(payload);
+  info.chunks = chunks_.size();
   info.t_min_s = std::numeric_limits<double>::infinity();
   info.t_max_s = -info.t_min_s;
-  for (const auto& s : samples) {
-    info.t_min_s = std::min(info.t_min_s, s.t_s);
-    info.t_max_s = std::max(info.t_max_s, s.t_s);
+  for (const auto& c : chunks_) {
+    put_u64(index, c.records);
+    put_f64(index, c.t_min_s);
+    put_f64(index, c.t_max_s);
+    put_u64(index, c.key_min);
+    put_u64(index, c.key_max);
+    put_u64(index, c.offset);
+    put_u64(index, c.bytes);
+    put_u64(index, c.checksum);
+    info.records += c.records;
+    info.payload_bytes += c.bytes;
+    info.t_min_s = std::min(info.t_min_s, c.t_min_s);
+    info.t_max_s = std::max(info.t_max_s, c.t_max_s);
   }
-  if (samples.empty()) {
+  if (chunks_.empty()) {
     info.t_min_s = 0.0;
     info.t_max_s = 0.0;
   }
+  info.checksum = crc32(index);
 
-  os.write(kFileMagic, sizeof kFileMagic);
-  put_u64(os, info.records);
-  put_f64(os, info.t_min_s);
-  put_f64(os, info.t_max_s);
-  put_u64(os, info.payload_bytes);
-  put_u64(os, info.checksum);
-  os.write(reinterpret_cast<const char*>(payload.data()),
-           static_cast<std::streamsize>(payload.size()));
-  EXAEFF_REQUIRE(os.good(), "telemetry archive: write failed");
+  // Footer: index offset, chunk count, index CRC, tail magic.
+  put_u64(index, offset_);
+  put_u64(index, chunks_.size());
+  put_u64(index, info.checksum);
+  index.insert(index.end(), kTailMagic, kTailMagic + sizeof kTailMagic);
+  os_.write(reinterpret_cast<const char*>(index.data()),
+            static_cast<std::streamsize>(index.size()));
+  EXAEFF_REQUIRE(os_.good(), "telemetry archive: write failed");
+
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("exaeff_archive_chunks_total", "Archive chunks written")
+        .inc(chunks_.size());
+    reg.counter("exaeff_archive_bytes_raw_total",
+                "Raw sample bytes framed into archive chunks")
+        .inc(info.records * sizeof(GcdSample));
+    reg.counter("exaeff_archive_bytes_encoded_total",
+                "Encoded archive payload bytes written")
+        .inc(info.payload_bytes);
+  }
   return info;
 }
 
-namespace {
-ArchiveInfo read_header(std::istream& is) {
-  char magic[sizeof kFileMagic];
-  is.read(magic, sizeof magic);
-  if (is.gcount() != sizeof magic ||
-      !std::equal(magic, magic + sizeof magic, kFileMagic)) {
-    throw ParseError("telemetry archive: bad magic");
+ArchiveInfo write_archive(std::ostream& os,
+                          std::span<const GcdSample> samples,
+                          const CodecOptions& options,
+                          std::size_t chunk_records) {
+  EXAEFF_REQUIRE(chunk_records > 0, "telemetry archive: chunk_records == 0");
+  ChunkedArchiveWriter writer(os, options);
+  for (std::size_t off = 0; off < samples.size(); off += chunk_records) {
+    writer.add_chunk(
+        samples.subspan(off, std::min(chunk_records, samples.size() - off)));
   }
-  ArchiveInfo info;
-  info.records = get_u64(is);
-  info.t_min_s = get_f64(is);
-  info.t_max_s = get_f64(is);
-  info.payload_bytes = get_u64(is);
-  info.checksum = static_cast<std::uint32_t>(get_u64(is));
-  return info;
+  return writer.finish();
 }
-
-std::vector<std::uint8_t> read_payload(std::istream& is,
-                                       const ArchiveInfo& info) {
-  std::vector<std::uint8_t> payload(info.payload_bytes);
-  is.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(payload.size()));
-  if (static_cast<std::uint64_t>(is.gcount()) != info.payload_bytes) {
-    throw ParseError("telemetry archive: truncated payload");
-  }
-  if (crc32(payload) != info.checksum) {
-    throw ParseError("telemetry archive: checksum mismatch");
-  }
-  return payload;
-}
-}  // namespace
 
 std::vector<GcdSample> read_archive(std::istream& is) {
-  const ArchiveInfo info = read_header(is);
-  const auto payload = read_payload(is, info);
-  auto samples = decode_samples(payload);
-  if (samples.size() != info.records) {
-    throw ParseError("telemetry archive: record count mismatch");
+  const auto file = slurp(is);
+  const auto parsed = parse_index(file);
+  std::vector<GcdSample> out;
+  out.reserve(parsed.info.records);
+  for (std::size_t i = 0; i < parsed.chunks.size(); ++i) {
+    const auto samples =
+        decode_chunk_bytes(file, parsed.chunks[i], i, parsed.chunks.size());
+    out.insert(out.end(), samples.begin(), samples.end());
   }
-  return samples;
+  return out;
 }
 
 ArchiveInfo read_archive(std::istream& is, TelemetrySink& sink) {
-  const ArchiveInfo info = read_header(is);
-  const auto payload = read_payload(is, info);
-  const auto samples = decode_samples(payload);
-  if (samples.size() != info.records) {
-    throw ParseError("telemetry archive: record count mismatch");
+  const auto file = slurp(is);
+  const auto parsed = parse_index(file);
+  // Decode everything before delivering anything, so a corrupt chunk
+  // mid-file leaves the sink untouched.
+  std::vector<std::vector<GcdSample>> decoded;
+  decoded.reserve(parsed.chunks.size());
+  for (std::size_t i = 0; i < parsed.chunks.size(); ++i) {
+    decoded.push_back(
+        decode_chunk_bytes(file, parsed.chunks[i], i, parsed.chunks.size()));
   }
-  sink.on_gcd_batch(samples);
-  return info;
+  for (const auto& samples : decoded) {
+    sink.on_gcd_batch(samples);
+  }
+  return parsed.info;
 }
 
 ArchiveInfo read_archive_info(std::istream& is) {
-  const ArchiveInfo info = read_header(is);
-  (void)read_payload(is, info);  // verify integrity
-  return info;
+  const auto file = slurp(is);
+  const std::span<const std::uint8_t> view(file);
+  const auto parsed = parse_index(view);
+  for (std::size_t i = 0; i < parsed.chunks.size(); ++i) {
+    const auto& c = parsed.chunks[i];
+    if (crc32(view.subspan(c.offset, c.bytes)) != c.checksum) {
+      throw ParseError(
+          chunk_context(i, parsed.chunks.size(), "checksum mismatch"));
+    }
+  }
+  return parsed.info;
+}
+
+ArchiveReader::ArchiveReader(const std::string& path) : path_(path) {
+  if (std::getenv("EXAEFF_NO_MMAP") == nullptr) {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        const auto size = static_cast<std::size_t>(st.st_size);
+        void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p != MAP_FAILED) {
+          mapped_ = p;
+          size_ = size;
+        }
+      }
+      ::close(fd);
+    }
+  }
+  if (mapped_ == nullptr) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw ParseError("telemetry archive: cannot open '" + path + "'");
+    }
+    fallback_ = slurp(in);
+    size_ = fallback_.size();
+  }
+  try {
+    auto parsed = parse_index(bytes());
+    info_ = parsed.info;
+    chunks_ = std::move(parsed.chunks);
+  } catch (...) {
+    if (mapped_ != nullptr) ::munmap(mapped_, size_);
+    throw;
+  }
+  key_ordered_ = true;
+  for (std::size_t i = 1; i < chunks_.size(); ++i) {
+    if (chunks_[i].key_min < chunks_[i - 1].key_max) {
+      key_ordered_ = false;
+      break;
+    }
+  }
+}
+
+ArchiveReader::~ArchiveReader() {
+  if (mapped_ != nullptr) ::munmap(mapped_, size_);
+}
+
+std::span<const std::uint8_t> ArchiveReader::bytes() const {
+  if (mapped_ != nullptr) {
+    return {static_cast<const std::uint8_t*>(mapped_), size_};
+  }
+  return fallback_;
+}
+
+std::vector<GcdSample> ArchiveReader::decode_chunk(std::size_t index) const {
+  EXAEFF_REQUIRE(index < chunks_.size(),
+                 "telemetry archive: chunk index out of range");
+  return decode_chunk_bytes(bytes(), chunks_[index], index, chunks_.size());
+}
+
+std::uint64_t ArchiveReader::visit_time_range(double t0_s, double t1_s,
+                                              TelemetrySink& sink) const {
+  std::uint64_t delivered = 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const auto& c = chunks_[i];
+    if (c.records == 0 || c.t_max_s < t0_s || c.t_min_s >= t1_s) continue;
+    const auto samples = decode_chunk(i);
+    // Deliver maximal contiguous in-range runs as span batches.
+    std::size_t run_begin = 0;
+    bool in_run = false;
+    const std::span<const GcdSample> span(samples);
+    for (std::size_t j = 0; j <= samples.size(); ++j) {
+      const bool keep =
+          j < samples.size() && samples[j].t_s >= t0_s && samples[j].t_s < t1_s;
+      if (keep && !in_run) {
+        run_begin = j;
+        in_run = true;
+      } else if (!keep && in_run) {
+        sink.on_gcd_batch(span.subspan(run_begin, j - run_begin));
+        delivered += j - run_begin;
+        in_run = false;
+      }
+    }
+  }
+  return delivered;
+}
+
+void ArchiveReader::append_series(std::uint32_t node_id,
+                                  std::uint16_t gcd_index, double t0_s,
+                                  double t1_s,
+                                  std::vector<GcdSample>& out) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(node_id) << 16) | gcd_index;
+  std::size_t begin = 0;
+  if (key_ordered_) {
+    // Chunks are key-ordered (spill files are written channel-major),
+    // so the candidates form a contiguous index range.
+    const auto it = std::partition_point(
+        chunks_.begin(), chunks_.end(),
+        [key](const ChunkInfo& c) { return c.key_max < key; });
+    begin = static_cast<std::size_t>(it - chunks_.begin());
+  }
+  for (std::size_t i = begin; i < chunks_.size(); ++i) {
+    const auto& c = chunks_[i];
+    if (key_ordered_ && c.key_min > key) break;
+    if (c.records == 0 || c.key_min > key || c.key_max < key ||
+        c.t_max_s < t0_s || c.t_min_s >= t1_s) {
+      continue;
+    }
+    const auto samples = decode_chunk(i);
+    // Decoded chunks are channel-major and time-ascending, so the
+    // requested slice is one contiguous run found by binary search.
+    const auto lo = std::partition_point(
+        samples.begin(), samples.end(), [&](const GcdSample& s) {
+          const auto k = channel_key(s);
+          return k < key || (k == key && s.t_s < t0_s);
+        });
+    for (auto it = lo; it != samples.end(); ++it) {
+      if (channel_key(*it) != key || it->t_s >= t1_s) break;
+      out.push_back(*it);
+    }
+  }
 }
 
 }  // namespace exaeff::telemetry

@@ -1,49 +1,161 @@
 // exaeff/telemetry/archive.h
 //
 // File-backed telemetry archives: the storage format a site would keep
-// its campaign history in.  An archive is the codec's compact encoding
-// framed with a small footer (record count, time extent, CRC), written
-// and read through streams so tests can use memory buffers and tools
-// can use files.
+// its campaign history in.  An archive is a sequence of independently
+// framed codec chunks followed by a trailing index and a fixed-size
+// footer:
+//
+//   [8B magic "EXATEL02"]
+//   [chunk 0 payload][chunk 1 payload]...          (codec byte streams)
+//   [index: one 64-byte entry per chunk]           (extents + CRC)
+//   [footer: index offset, chunk count, index CRC, 8B tail magic]
+//
+// Each index entry carries the chunk's record count, time extent,
+// channel-key extent, byte offset/length and a CRC-32 of the payload,
+// so readback seeks the index from the end of the file and decodes only
+// the chunks a query touches instead of the whole file.  Streams are
+// used for writing and whole-file reads so tests can use memory
+// buffers; `ArchiveReader` maps a file read-only (with a plain read
+// fallback) for query-driven readback.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "telemetry/codec.h"
 #include "telemetry/store.h"
 
 namespace exaeff::telemetry {
 
-/// Archive summary (readable without decoding the payload).
+/// One entry of the trailing chunk index.
+struct ChunkInfo {
+  std::uint64_t records = 0;
+  double t_min_s = 0.0;        ///< min timestamp in the chunk
+  double t_max_s = 0.0;        ///< max timestamp in the chunk
+  std::uint64_t key_min = 0;   ///< min (node_id << 16 | gcd_index)
+  std::uint64_t key_max = 0;   ///< max (node_id << 16 | gcd_index)
+  std::uint64_t offset = 0;    ///< payload offset from the file start
+  std::uint64_t bytes = 0;     ///< payload byte length
+  std::uint32_t checksum = 0;  ///< CRC-32 (IEEE) of the payload
+};
+
+/// Archive summary (readable from the index without decoding payloads).
 struct ArchiveInfo {
   std::uint64_t records = 0;
   double t_min_s = 0.0;
   double t_max_s = 0.0;
-  std::uint64_t payload_bytes = 0;
-  std::uint32_t checksum = 0;
+  std::uint64_t payload_bytes = 0;  ///< sum of chunk payload bytes
+  std::uint32_t checksum = 0;       ///< CRC-32 of the index block
+  std::uint64_t chunks = 0;
 };
 
-/// Writes an archive of `samples` to `os`.  Returns the summary.
+/// Default chunking for whole-stream writes: large enough to amortize
+/// per-chunk headers, small enough that a point query decodes little.
+inline constexpr std::size_t kDefaultChunkRecords = 65536;
+
+/// Incremental archive writer: frame chunks one at a time, then seal the
+/// index.  This is what the spill store uses — each closed spill window
+/// becomes one or more chunks without the whole stream ever being
+/// resident.
+class ChunkedArchiveWriter {
+ public:
+  /// Starts an archive on `os` (writes the header magic).
+  explicit ChunkedArchiveWriter(std::ostream& os, CodecOptions options = {});
+
+  /// Encodes `samples` as one chunk and appends it.  Empty spans are
+  /// ignored.  Chunks should be appended in channel-major/time order if
+  /// readers are to binary-search the index.
+  void add_chunk(std::span<const GcdSample> samples);
+
+  /// Writes the index + footer and returns the summary.  Must be called
+  /// exactly once; no chunks may be added afterwards.
+  ArchiveInfo finish();
+
+  [[nodiscard]] std::size_t chunks_added() const { return chunks_.size(); }
+
+ private:
+  std::ostream& os_;
+  CodecOptions options_;
+  std::vector<ChunkInfo> chunks_;
+  std::uint64_t offset_ = 0;
+  bool finished_ = false;
+};
+
+/// Writes an archive of `samples` to `os`, split into chunks of
+/// `chunk_records`.  Returns the summary.
 ArchiveInfo write_archive(std::ostream& os,
                           std::span<const GcdSample> samples,
-                          const CodecOptions& options = {});
+                          const CodecOptions& options = {},
+                          std::size_t chunk_records = kDefaultChunkRecords);
 
-/// Reads an archive; verifies the checksum and returns the samples.
-/// Throws ParseError on corruption.
+/// Reads a whole archive; verifies the index and every chunk CRC and
+/// returns the samples in chunk order.  Throws ParseError on corruption.
+/// The archive must span the rest of the stream.
 [[nodiscard]] std::vector<GcdSample> read_archive(std::istream& is);
 
-/// Reads an archive and streams the decoded records into `sink` as one
-/// span batch (per-record for sinks that don't override the batch
-/// call).  Returns the archive summary.  Throws ParseError on
+/// Reads a whole archive and streams the decoded records into `sink`,
+/// one span batch per chunk (per-record for sinks that don't override
+/// the batch call).  Returns the archive summary.  Throws ParseError on
 /// corruption; nothing is delivered in that case.
 ArchiveInfo read_archive(std::istream& is, TelemetrySink& sink);
 
-/// Reads just the summary (fast; payload is skipped, checksum is still
-/// verified).
+/// Reads just the summary.  The payload is not decoded but every chunk
+/// CRC is still verified.
 [[nodiscard]] ArchiveInfo read_archive_info(std::istream& is);
 
 /// CRC-32 (IEEE 802.3) of a byte span — exposed for tests.
 [[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Query-driven archive readback over a file.  The file is mapped
+/// read-only with `mmap` so decoding touches only the pages of the
+/// chunks a query needs; when mapping is unavailable (or the
+/// `EXAEFF_NO_MMAP` environment variable is set) the reader falls back
+/// to reading the file into memory through a stream.  The index is
+/// validated eagerly; chunk payloads are CRC-checked lazily, on first
+/// decode, with the chunk named in the error.
+class ArchiveReader {
+ public:
+  explicit ArchiveReader(const std::string& path);
+  ~ArchiveReader();
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  [[nodiscard]] const ArchiveInfo& info() const { return info_; }
+  [[nodiscard]] std::span<const ChunkInfo> chunks() const { return chunks_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// True when the file is mmap-backed (false on the stream fallback).
+  [[nodiscard]] bool mmap_active() const { return mapped_ != nullptr; }
+
+  /// Decodes one chunk (CRC-verified).  Throws ParseError with the
+  /// chunk named on corruption.
+  [[nodiscard]] std::vector<GcdSample> decode_chunk(std::size_t index) const;
+
+  /// Delivers every record with t in [t0, t1) to `sink` as span batches
+  /// (maximal contiguous in-range runs), decoding only chunks whose
+  /// time extent intersects the range.  Returns the record count
+  /// delivered.
+  std::uint64_t visit_time_range(double t0_s, double t1_s,
+                                 TelemetrySink& sink) const;
+
+  /// Appends the (node, gcd) series restricted to t in [t0, t1) to
+  /// `out`, in chunk order.  Binary-searches the index when chunks are
+  /// key-ordered (which spill files guarantee); otherwise scans it.
+  void append_series(std::uint32_t node_id, std::uint16_t gcd_index,
+                     double t0_s, double t1_s,
+                     std::vector<GcdSample>& out) const;
+
+ private:
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const;
+
+  std::string path_;
+  ArchiveInfo info_;
+  std::vector<ChunkInfo> chunks_;
+  bool key_ordered_ = false;
+  void* mapped_ = nullptr;  ///< mmap base or nullptr on fallback
+  std::size_t size_ = 0;
+  std::vector<std::uint8_t> fallback_;
+};
 
 }  // namespace exaeff::telemetry

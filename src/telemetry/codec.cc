@@ -1,6 +1,7 @@
 #include "telemetry/codec.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.h"
@@ -35,18 +36,29 @@ std::uint64_t get_varint(std::span<const std::uint8_t> buf,
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x45544331;  // "ETC1"
+constexpr std::uint32_t kMagic = 0x45544331;          // "ETC1" (quantized)
+constexpr std::uint32_t kMagicLossless = 0x45544332;  // "ETC2" (exact bits)
 
 std::uint64_t channel_key(const GcdSample& s) {
   return (static_cast<std::uint64_t>(s.node_id) << 16) | s.gcd_index;
+}
+
+// Campaign timestamps sit on the window grid, so consecutive doubles in
+// a channel share sign/exponent and differ only in the integer-valued
+// high-mantissa bits — their XOR has long runs of trailing zero bytes.
+// Varints drop leading zeros, not trailing, so byte-swap before
+// encoding.  Non-zero in, non-zero out, which keeps the head byte
+// distinct from the channel-switch marker (varint 0).
+std::uint64_t fold_time_bits(std::uint64_t bits) {
+  return __builtin_bswap64(bits);
 }
 
 }  // namespace
 
 std::vector<std::uint8_t> encode_samples(std::span<const GcdSample> samples,
                                          const CodecOptions& options) {
-  EXAEFF_REQUIRE(options.power_quantum_w > 0.0 &&
-                     options.time_quantum_s > 0.0,
+  EXAEFF_REQUIRE(options.lossless || (options.power_quantum_w > 0.0 &&
+                                      options.time_quantum_s > 0.0),
                  "codec quanta must be positive");
 
   // Channel-major, time-ascending ordering maximizes delta locality.
@@ -69,6 +81,42 @@ std::vector<std::uint8_t> encode_samples(std::span<const GcdSample> samples,
 
   std::vector<std::uint8_t> out;
   out.reserve(sorted.size() * 3 + 64);
+
+  if (options.lossless) {
+    // Header: magic, record count.  No quanta — records round-trip
+    // bit for bit.
+    put_varint(out, kMagicLossless);
+    put_varint(out, sorted.size());
+    std::uint64_t prev_key = ~std::uint64_t{0};
+    std::uint64_t prev_t_bits = 0;
+    std::uint32_t prev_p_bits = 0;
+    for (const auto& s : sorted) {
+      const std::uint64_t key = channel_key(s);
+      const auto t_bits = std::bit_cast<std::uint64_t>(s.t_s);
+      const auto p_bits = std::bit_cast<std::uint32_t>(s.power_w);
+      if (key != prev_key) {
+        // Channel switch marker: varint 0 then the absolute channel
+        // key, absolute (folded) time bits and power bits.
+        put_varint(out, 0);
+        put_varint(out, key);
+        put_varint(out, fold_time_bits(t_bits));
+        put_varint(out, p_bits);
+        prev_key = key;
+      } else {
+        // Equal timestamps XOR to zero, which would collide with the
+        // channel-switch marker — and the channel order contract
+        // forbids them anyway.
+        EXAEFF_REQUIRE(t_bits != prev_t_bits,
+                       "codec requires strictly increasing timestamps per "
+                       "channel");
+        put_varint(out, fold_time_bits(t_bits ^ prev_t_bits));
+        put_varint(out, p_bits ^ prev_p_bits);
+      }
+      prev_t_bits = t_bits;
+      prev_p_bits = p_bits;
+    }
+    return out;
+  }
 
   // Header: magic, record count, quanta (as micro-units).
   put_varint(out, kMagic);
@@ -110,9 +158,55 @@ std::vector<std::uint8_t> encode_samples(std::span<const GcdSample> samples,
   return out;
 }
 
+namespace {
+
+std::vector<GcdSample> decode_lossless(std::span<const std::uint8_t> buffer,
+                                       std::size_t pos) {
+  const std::uint64_t count = get_varint(buffer, pos);
+  // Every record consumes at least two payload bytes (head + power).
+  if (count > (buffer.size() - pos)) {
+    throw ParseError("telemetry codec: record count exceeds buffer size");
+  }
+  std::vector<GcdSample> out;
+  out.reserve(count);
+  std::uint64_t key = 0;
+  std::uint64_t t_bits = 0;
+  std::uint32_t p_bits = 0;
+  bool have_channel = false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t head = get_varint(buffer, pos);
+    if (head == 0) {
+      key = get_varint(buffer, pos);
+      t_bits = fold_time_bits(get_varint(buffer, pos));
+      p_bits = static_cast<std::uint32_t>(get_varint(buffer, pos));
+      have_channel = true;
+    } else {
+      if (!have_channel) {
+        throw ParseError("telemetry codec: delta before channel marker");
+      }
+      t_bits ^= fold_time_bits(head);
+      p_bits ^= static_cast<std::uint32_t>(get_varint(buffer, pos));
+    }
+    GcdSample s;
+    s.node_id = static_cast<std::uint32_t>(key >> 16);
+    s.gcd_index = static_cast<std::uint16_t>(key & 0xFFFF);
+    s.t_s = std::bit_cast<double>(t_bits);
+    s.power_w = std::bit_cast<float>(p_bits);
+    out.push_back(s);
+  }
+  if (pos != buffer.size()) {
+    throw ParseError("telemetry codec: trailing bytes after last record");
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<GcdSample> decode_samples(std::span<const std::uint8_t> buffer) {
   std::size_t pos = 0;
-  if (get_varint(buffer, pos) != kMagic) {
+  const std::uint64_t magic = get_varint(buffer, pos);
+  if (magic == kMagicLossless) return decode_lossless(buffer, pos);
+  if (magic != kMagic) {
     throw ParseError("telemetry codec: bad magic");
   }
   const std::uint64_t count = get_varint(buffer, pos);

@@ -26,9 +26,18 @@
 namespace exaeff::telemetry {
 
 /// Codec parameters.
+///
+/// The default mode quantizes (0.25 W / 1 s) and delta-encodes — the
+/// archival trade.  `lossless = true` switches to an XOR-previous bit
+/// encoding of the raw float/double channels: timestamps XOR their
+/// predecessor's bit pattern (byte-swapped so the grid-induced trailing
+/// zero bytes become leading zeros the varint drops), power XORs the
+/// previous float's bits.  Lossless decode returns bit-identical
+/// records, which is what spill files need to answer queries exactly.
 struct CodecOptions {
   double power_quantum_w = 0.25;  ///< power quantization step
   double time_quantum_s = 1.0;    ///< timestamp quantization step
+  bool lossless = false;          ///< exact bit round-trip, no quantization
 };
 
 /// Encodes records into a compact byte buffer.  Records are re-grouped

@@ -29,6 +29,8 @@ struct GcdSample {
   std::uint32_t node_id = 0;   ///< compute node index
   std::uint16_t gcd_index = 0; ///< GCD within the node (0..7 on Frontier)
   float power_w = 0.0F;        ///< GPU power, watts
+
+  bool operator==(const GcdSample&) const = default;
 };
 
 /// Node-level channels captured alongside the per-GCD sensors.
@@ -37,6 +39,8 @@ struct NodeSample {
   std::uint32_t node_id = 0;
   float cpu_power_w = 0.0F;    ///< CPU socket power
   float node_input_w = 0.0F;   ///< node power input (everything)
+
+  bool operator==(const NodeSample&) const = default;
 };
 
 /// Consumer of telemetry records.  Implementations must tolerate samples

@@ -1,0 +1,262 @@
+#include "telemetry/spill_store.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/atomic_file.h"
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace exaeff::telemetry {
+
+namespace {
+
+/// The (node, gcd, time) order TelemetryStore::sort() uses.
+bool channel_time_less(const GcdSample& a, const GcdSample& b) {
+  if (a.node_id != b.node_id) return a.node_id < b.node_id;
+  if (a.gcd_index != b.gcd_index) return a.gcd_index < b.gcd_index;
+  return a.t_s < b.t_s;
+}
+
+bool same_key(const GcdSample& a, const GcdSample& b) {
+  return a.node_id == b.node_id && a.gcd_index == b.gcd_index &&
+         a.t_s == b.t_s;
+}
+
+}  // namespace
+
+SpillStore::SpillStore(SpillConfig config) : config_(std::move(config)) {
+  EXAEFF_REQUIRE(!config_.dir.empty(), "spill store: empty spill dir");
+  EXAEFF_REQUIRE(config_.window_s > 0.0,
+                 "spill store: window_s must be positive");
+}
+
+void SpillStore::on_gcd_sample(const GcdSample& sample) {
+  if (!any_gcd_) {
+    t_lo_ = t_hi_ = sample.t_s;
+    any_gcd_ = true;
+  } else {
+    t_lo_ = std::min(t_lo_, sample.t_s);
+    t_hi_ = std::max(t_hi_, sample.t_s);
+  }
+  energy_j_ += sample.power_w * config_.window_s;
+  ++ingested_records_;
+  resident_.push_back(sample);
+  maybe_spill();
+}
+
+// Node records fold to CPU energy on ingest and are not retained:
+// SpillStore exposes no node-series query, and at paper scale the raw
+// node stream (nodes × windows) is itself gigabytes — keeping it would
+// defeat the memory budget.
+void SpillStore::on_node_sample(const NodeSample& sample) {
+  cpu_energy_j_ += sample.cpu_power_w * config_.window_s;
+}
+
+void SpillStore::on_gcd_batch(std::span<const GcdSample> samples) {
+  if (samples.empty()) return;
+  if (!any_gcd_) {
+    t_lo_ = t_hi_ = samples.front().t_s;
+    any_gcd_ = true;
+  }
+  // The energy sum runs in ingest order so it is the same operation
+  // sequence TelemetryStore::total_gpu_energy_j() performs over its
+  // (unsorted) buffer.
+  for (const auto& s : samples) {
+    t_lo_ = std::min(t_lo_, s.t_s);
+    t_hi_ = std::max(t_hi_, s.t_s);
+    energy_j_ += s.power_w * config_.window_s;
+  }
+  ingested_records_ += samples.size();
+  // Exact growth: doubling reallocation would transiently hold ~1.5×
+  // the window's bytes, which matters when the window is the budget.
+  resident_.reserve(resident_.size() + samples.size());
+  resident_.insert(resident_.end(), samples.begin(), samples.end());
+  // Batches append whole, then the backstop fires once — a batch can
+  // overshoot the budget by its own size, never more.
+  maybe_spill();
+}
+
+void SpillStore::ingest_gcd_owned(std::vector<GcdSample>&& samples) {
+  if (samples.empty()) return;
+  if (!any_gcd_) {
+    t_lo_ = t_hi_ = samples.front().t_s;
+    any_gcd_ = true;
+  }
+  for (const auto& s : samples) {
+    t_lo_ = std::min(t_lo_, s.t_s);
+    t_hi_ = std::max(t_hi_, s.t_s);
+    energy_j_ += s.power_w * config_.window_s;
+  }
+  ingested_records_ += samples.size();
+  if (resident_.empty()) {
+    resident_ = std::move(samples);
+  } else {
+    resident_.reserve(resident_.size() + samples.size());
+    resident_.insert(resident_.end(), samples.begin(), samples.end());
+  }
+  maybe_spill();
+}
+
+void SpillStore::on_node_batch(std::span<const NodeSample> samples) {
+  for (const auto& s : samples) {
+    cpu_energy_j_ += s.cpu_power_w * config_.window_s;
+  }
+}
+
+void SpillStore::maybe_spill() {
+  if (config_.memory_budget_bytes > 0 &&
+      retained_bytes() >= config_.memory_budget_bytes) {
+    close_window();
+  }
+}
+
+void SpillStore::close_window() {
+  if (resident_.empty()) return;
+
+  // TelemetryStore::sort() semantics for the window: stable sort by
+  // (node, gcd, t), exact duplicate keys resolved last-writer-wins.
+  // Small windows take std::stable_sort (fastest; record-sized
+  // temporary).  Windows past the scratch limit sort via an index
+  // permutation applied in place — 4 bytes/record of scratch instead
+  // of 16 — because there the window IS the memory budget.  Both
+  // produce the identical order (pinned in spill_store_test).
+  if (resident_.size() <= config_.sort_scratch_limit_records) {
+    std::stable_sort(resident_.begin(), resident_.end(),
+                     channel_time_less);
+  } else {
+    EXAEFF_REQUIRE(resident_.size() <= UINT32_MAX,
+                   "spill window exceeds 4G records");
+    const auto n = static_cast<std::uint32_t>(resident_.size());
+    std::vector<std::uint32_t> ord(n);
+    for (std::uint32_t i = 0; i < n; ++i) ord[i] = i;
+    std::sort(ord.begin(), ord.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                if (channel_time_less(resident_[a], resident_[b])) {
+                  return true;
+                }
+                if (channel_time_less(resident_[b], resident_[a])) {
+                  return false;
+                }
+                return a < b;  // insertion order among equals: stable
+              });
+    for (std::uint32_t start = 0; start < n; ++start) {
+      if (ord[start] == start) continue;
+      GcdSample tmp = resident_[start];
+      std::uint32_t cur = start;
+      while (ord[cur] != start) {
+        const std::uint32_t next = ord[cur];
+        resident_[cur] = resident_[next];
+        ord[cur] = cur;
+        cur = next;
+      }
+      resident_[cur] = tmp;
+      ord[cur] = cur;
+    }
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 1; i < resident_.size(); ++i) {
+    if (same_key(resident_[i], resident_[kept])) {
+      resident_[kept] = resident_[i];  // later insertion wins
+    } else {
+      resident_[++kept] = resident_[i];
+    }
+  }
+  resident_.resize(kept + 1);
+
+  char name[32];
+  std::snprintf(name, sizeof name, "win-%06zu.tel",
+                config_.window_index_base + windows_.size());
+  const std::string path = config_.dir + "/" + name;
+
+  AtomicFile file(path);
+  const auto info = write_archive(file.stream(), resident_, config_.codec);
+  EXAEFF_REQUIRE(file.commit(),
+                 "spill store: cannot write spill file '" + path + "'");
+  // header + payload + index + footer, as written.
+  spilled_bytes_ += 8 + info.payload_bytes + info.chunks * 64 + 32;
+
+  Window w;
+  w.path = path;
+  w.reader = std::make_unique<ArchiveReader>(path);
+  windows_.push_back(std::move(w));
+  resident_.clear();  // keeps capacity for the next window
+  publish_metrics();
+}
+
+std::vector<GcdSample> SpillStore::series(std::uint32_t node_id,
+                                          std::uint16_t gcd_index,
+                                          double t0, double t1) const {
+  std::vector<GcdSample> out;
+  // Gather in global insertion order: windows spill in ingest order and
+  // the resident tail is newest.  A stable sort by time then keeps that
+  // order among exact duplicates, so keeping the last occurrence per
+  // timestamp reproduces TelemetryStore's last-writer-wins answer.
+  for (const auto& w : windows_) {
+    w.reader->append_series(node_id, gcd_index, t0, t1, out);
+  }
+  for (const auto& s : resident_) {
+    if (s.node_id == node_id && s.gcd_index == gcd_index && s.t_s >= t0 &&
+        s.t_s < t1) {
+      out.push_back(s);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const GcdSample& a, const GcdSample& b) {
+                     return a.t_s < b.t_s;
+                   });
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (kept > 0 && out[i].t_s == out[kept - 1].t_s) {
+      out[kept - 1] = out[i];  // later insertion wins
+    } else {
+      out[kept++] = out[i];
+    }
+  }
+  out.resize(kept);
+  return out;
+}
+
+std::span<const GcdSample> SpillStore::series_view(std::uint32_t node_id,
+                                                   std::uint16_t gcd_index,
+                                                   double t0,
+                                                   double t1) const {
+  scratch_ = series(node_id, gcd_index, t0, t1);
+  return scratch_;
+}
+
+std::vector<GcdSample> SpillStore::clean_series(
+    std::uint32_t node_id, std::uint16_t gcd_index, double t0, double t1,
+    const CleanPolicy& policy, SeriesQuality* quality) const {
+  return clean_series_records(series(node_id, gcd_index, t0, t1), node_id,
+                              gcd_index, t0, t1, config_.window_s, policy,
+                              quality);
+}
+
+std::pair<double, double> SpillStore::time_extent() const {
+  if (!any_gcd_) return {0.0, 0.0};
+  return {t_lo_, t_hi_ + config_.window_s};
+}
+
+std::vector<std::string> SpillStore::spill_files() const {
+  std::vector<std::string> paths;
+  paths.reserve(windows_.size());
+  for (const auto& w : windows_) paths.push_back(w.path);
+  return paths;
+}
+
+void SpillStore::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("exaeff_spill_bytes",
+            "Encoded bytes written to telemetry spill files")
+      .set(static_cast<double>(spilled_bytes_));
+  reg.gauge("exaeff_spill_windows", "Telemetry spill windows closed")
+      .set(static_cast<double>(windows_.size()));
+  reg.gauge("exaeff_spill_resident_bytes",
+            "Resident sample bytes in the open spill window")
+      .set(static_cast<double>(retained_bytes()));
+}
+
+}  // namespace exaeff::telemetry

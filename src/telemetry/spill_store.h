@@ -1,0 +1,162 @@
+// exaeff/telemetry/spill_store.h
+//
+// Bounded-memory telemetry retention: a TelemetrySink that buffers the
+// open time window in RAM and spills closed windows through the
+// lossless archive codec to chunk files under a spill directory.  This
+// is what lets a paper-scale campaign (9408 nodes × 90 days ≈ 600 GB of
+// raw records) retain its telemetry on a fixed memory budget.
+//
+// Two ways a window closes:
+//   * the owning driver calls close_window() at a planned boundary
+//     (the deterministic path — spill files are then a function of the
+//     schedule and the budget, never of thread or shard count), or
+//   * retained_bytes() crosses `memory_budget_bytes` after an append
+//     (the backstop for free-form ingest; 0 disables it).
+//
+// Each spilled window is one chunked archive (`win-NNNNNN.tel`),
+// committed through the atomic write-temp → fsync → rename path and
+// re-opened through the mmap-backed ArchiveReader.  Spill files use the
+// lossless codec, so the query surface — series_view(), clean_series(),
+// total_gpu_energy_j(), time_extent() — answers exactly what an
+// all-in-RAM TelemetryStore over the same ingest would (see
+// tests/telemetry/spill_store_test.cc for the pinned equivalence).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/archive.h"
+#include "telemetry/codec.h"
+#include "telemetry/sample.h"
+#include "telemetry/store.h"
+
+namespace exaeff::telemetry {
+
+/// Spill-store parameters.
+struct SpillConfig {
+  std::string dir;  ///< directory for spill files (must exist)
+  /// Backstop: close the window when resident bytes reach this after an
+  /// append.  0 disables the backstop (driver-directed windows only).
+  std::size_t memory_budget_bytes = 0;
+  double window_s = 15.0;  ///< record resolution (energy weight)
+  /// Codec for spill files.  Lossless by default — queries must be
+  /// exact; the quantized mode is for archival exports.
+  CodecOptions codec{.lossless = true};
+  /// Global index of the first window this store writes.  Shard workers
+  /// set this so every worker names its files by the campaign-global
+  /// window index and the merged directory is identical to a
+  /// single-process run.
+  std::size_t window_index_base = 0;
+  /// Windows up to this many records sort with std::stable_sort (a
+  /// record-sized temporary, fastest); larger windows sort through a
+  /// 4-byte-per-record index permutation so the scratch never rivals
+  /// the memory budget.  Both orders are identical.
+  std::size_t sort_scratch_limit_records = std::size_t{1} << 25;
+};
+
+/// Bounded-memory TelemetrySink with spill-to-archive retention and an
+/// exact query surface over spilled + resident records.
+class SpillStore final : public TelemetrySink {
+ public:
+  explicit SpillStore(SpillConfig config);
+
+  void on_gcd_sample(const GcdSample& sample) override;
+  void on_node_sample(const NodeSample& sample) override;
+  void on_gcd_batch(std::span<const GcdSample> samples) override;
+  void on_node_batch(std::span<const NodeSample> samples) override;
+
+  /// on_gcd_batch for a caller that is done with its buffer: identical
+  /// accounting (same floating-point order), but when the resident
+  /// window is empty the vector is adopted wholesale instead of copied
+  /// — the spill campaign driver hands over each generated chunk this
+  /// way, so a one-chunk window never holds two copies of its records.
+  void ingest_gcd_owned(std::vector<GcdSample>&& samples);
+
+  /// Sorts and LWW-dedupes the resident window (TelemetryStore::sort()
+  /// semantics), writes it as one lossless chunked archive under the
+  /// spill dir, and drops it from RAM.  No-op when nothing is resident.
+  void close_window();
+
+  /// Records of one GCD channel within [t0, t1), merged across every
+  /// spilled window and the resident tail with last-writer-wins on
+  /// exact duplicate timestamps — the same answer TelemetryStore's
+  /// sorted buffer gives.  The view is backed by an internal scratch
+  /// buffer and invalidated by the next series_view()/clean_series()
+  /// call or any mutation.
+  [[nodiscard]] std::span<const GcdSample> series_view(
+      std::uint32_t node_id, std::uint16_t gcd_index, double t0,
+      double t1) const;
+
+  /// Copying form of series_view().
+  [[nodiscard]] std::vector<GcdSample> series(std::uint32_t node_id,
+                                              std::uint16_t gcd_index,
+                                              double t0, double t1) const;
+
+  /// series() plus the shared range/MAD/imputation cleaning pass.
+  [[nodiscard]] std::vector<GcdSample> clean_series(
+      std::uint32_t node_id, std::uint16_t gcd_index, double t0, double t1,
+      const CleanPolicy& policy, SeriesQuality* quality = nullptr) const;
+
+  /// Total GPU energy over every ingested record (power × window),
+  /// accumulated in ingest order — the identical floating-point op
+  /// sequence to TelemetryStore::total_gpu_energy_j() on the same
+  /// (unsorted) ingest.
+  [[nodiscard]] double total_gpu_energy_j() const { return energy_j_; }
+
+  /// Total CPU energy across node records, joules.
+  [[nodiscard]] double total_cpu_energy_j() const { return cpu_energy_j_; }
+
+  /// Time extent [min_t, max_t + window] over GCD records; {0,0} if
+  /// nothing was ingested.
+  [[nodiscard]] std::pair<double, double> time_extent() const;
+
+  [[nodiscard]] double window_s() const { return config_.window_s; }
+
+  /// Bytes of sample payload currently resident in RAM.
+  [[nodiscard]] std::size_t retained_bytes() const {
+    return resident_.size() * sizeof(GcdSample);
+  }
+
+  /// Encoded bytes written to spill files so far.
+  [[nodiscard]] std::uint64_t spilled_bytes() const {
+    return spilled_bytes_;
+  }
+  [[nodiscard]] std::size_t spilled_windows() const {
+    return windows_.size();
+  }
+  /// GCD records ingested (before any deduplication).
+  [[nodiscard]] std::uint64_t ingested_records() const {
+    return ingested_records_;
+  }
+  /// Paths of the spill files written so far, in window order.
+  [[nodiscard]] std::vector<std::string> spill_files() const;
+
+  /// Publishes the `exaeff_spill_bytes` gauge (and friends) when
+  /// metrics are enabled.
+  void publish_metrics() const;
+
+ private:
+  void maybe_spill();
+
+  struct Window {
+    std::string path;
+    std::unique_ptr<ArchiveReader> reader;
+  };
+
+  SpillConfig config_;
+  std::vector<GcdSample> resident_;
+  std::vector<Window> windows_;
+  double energy_j_ = 0.0;
+  double cpu_energy_j_ = 0.0;
+  double t_lo_ = 0.0;
+  double t_hi_ = 0.0;
+  bool any_gcd_ = false;
+  std::uint64_t spilled_bytes_ = 0;
+  std::uint64_t ingested_records_ = 0;
+  mutable std::vector<GcdSample> scratch_;  ///< backs series_view()
+};
+
+}  // namespace exaeff::telemetry

@@ -131,11 +131,17 @@ std::vector<GcdSample> TelemetryStore::series(std::uint32_t node_id,
 std::vector<GcdSample> TelemetryStore::clean_series(
     std::uint32_t node_id, std::uint16_t gcd_index, double t0, double t1,
     const CleanPolicy& policy, SeriesQuality* quality) const {
+  return clean_series_records(series(node_id, gcd_index, t0, t1), node_id,
+                              gcd_index, t0, t1, window_s_, policy, quality);
+}
+
+std::vector<GcdSample> clean_series_records(
+    std::vector<GcdSample> s, std::uint32_t node_id,
+    std::uint16_t gcd_index, double t0, double t1, double window_s,
+    const CleanPolicy& policy, SeriesQuality* quality) {
   EXAEFF_REQUIRE(policy.max_power_w >= policy.min_power_w,
                  "clean policy power range is inverted");
   EXAEFF_REQUIRE(policy.mad_k >= 0.0, "clean policy mad_k must be >= 0");
-  std::vector<GcdSample> s = series(node_id, gcd_index, t0, t1);
-
   SeriesQuality q;
   q.observed = s.size();
 
@@ -171,13 +177,13 @@ std::vector<GcdSample> TelemetryStore::clean_series(
 
   // Grid accounting and optional imputation.  The grid is the window-
   // aligned sample times the clean stream would have contained.
-  const double first = std::ceil(t0 / window_s_) * window_s_;
-  for (double t = first; t < t1; t += window_s_) ++q.expected;
+  const double first = std::ceil(t0 / window_s) * window_s;
+  for (double t = first; t < t1; t += window_s) ++q.expected;
   if (policy.impute && !s.empty()) {
     std::vector<GcdSample> filled;
     filled.reserve(q.expected);
     std::size_t next = 0;  // first surviving record with t >= grid point
-    for (double t = first; t < t1; t += window_s_) {
+    for (double t = first; t < t1; t += window_s) {
       while (next < s.size() && s[next].t_s < t - 1e-9) ++next;
       if (next < s.size() && std::abs(s[next].t_s - t) < 1e-9) {
         filled.push_back(s[next]);

@@ -55,6 +55,16 @@ struct SeriesQuality {
   }
 };
 
+/// Shared cleaning pass behind TelemetryStore::clean_series() and
+/// SpillStore::clean_series(): applies the range and MAD gates and the
+/// optional grid imputation of `policy` to an already-gathered
+/// (node, gcd) series restricted to [t0, t1).  `quality` (optional)
+/// receives coverage/imputation stats.
+[[nodiscard]] std::vector<GcdSample> clean_series_records(
+    std::vector<GcdSample> s, std::uint32_t node_id,
+    std::uint16_t gcd_index, double t0, double t1, double window_s,
+    const CleanPolicy& policy, SeriesQuality* quality = nullptr);
+
 /// Append-only store of aggregated telemetry records.
 class TelemetryStore final : public TelemetrySink {
  public:

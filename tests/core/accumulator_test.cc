@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <iterator>
+#include <vector>
+
 namespace exaeff::core {
 namespace {
 
@@ -109,6 +113,46 @@ TEST(CampaignAccumulator, MergeEqualsSequential) {
   }
   EXPECT_NEAR(left.system_histogram().total_weight(),
               all.system_histogram().total_weight(), 1e-9);
+}
+
+TEST(CampaignAccumulator, BatchedIngestBitIdenticalAtEdgeValues) {
+  // The batched path precomputes bin/region/energy in SIMD lanes; it
+  // must agree with per-sample ingest bit for bit, including at every
+  // clamping edge: the histogram bounds (80/640 W), exact bin edges
+  // (width 2 W), the region boundaries (200/420/560 W) and one ulp to
+  // either side, plus out-of-range values.
+  const RegionBoundaries b;
+  CampaignAccumulator batched(15.0, b);
+  CampaignAccumulator scalar(15.0, b);
+  const auto job =
+      make_job(sched::ScienceDomain::kFusion, sched::SizeBin::kC);
+
+  const float edges[] = {
+      80.0F,  std::nextafterf(80.0F, 0.0F),   std::nextafterf(80.0F, 1e9F),
+      640.0F, std::nextafterf(640.0F, 0.0F),  std::nextafterf(640.0F, 1e9F),
+      200.0F, std::nextafterf(200.0F, 0.0F),  std::nextafterf(200.0F, 1e9F),
+      420.0F, std::nextafterf(420.0F, 0.0F),  std::nextafterf(420.0F, 1e9F),
+      560.0F, std::nextafterf(560.0F, 0.0F),  std::nextafterf(560.0F, 1e9F),
+      82.0F,  81.999F, 82.001F, 0.0F, -25.0F, 1.0e8F, 300.25F};
+  std::vector<telemetry::GcdSample> samples;
+  // 8*16 + 5: exercises full SIMD blocks and the scalar tail.
+  for (int i = 0; i < 133; ++i) {
+    samples.push_back(sample(
+        15.0 * i, edges[static_cast<std::size_t>(i) % std::size(edges)]));
+  }
+  batched.on_job_batch(samples, job);
+  for (const auto& s : samples) scalar.on_job_sample(s, job);
+
+  const auto sb = batched.snapshot();
+  const auto ss = scalar.snapshot();
+  EXPECT_EQ(sb.hist_weights, ss.hist_weights);
+  EXPECT_EQ(sb.hist_total, ss.hist_total);
+  for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+    EXPECT_EQ(sb.domain_weights[d], ss.domain_weights[d]) << "domain " << d;
+    EXPECT_EQ(sb.domain_totals[d], ss.domain_totals[d]) << "domain " << d;
+  }
+  EXPECT_EQ(sb.cells, ss.cells);
+  EXPECT_EQ(sb.gcd_samples, ss.gcd_samples);
 }
 
 TEST(CampaignAccumulator, MergeRequiresSameWindow) {

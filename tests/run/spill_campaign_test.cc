@@ -1,0 +1,203 @@
+// The out-of-core campaign driver: spill windows must be a
+// deterministic, chunk-aligned function of (schedule, budget); the
+// driven accumulator must match the checkpointed in-RAM path exactly;
+// and the spill file set must be byte-identical for any thread-pool
+// width.
+#include "run/spill_campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/system_config.h"
+#include "common/error.h"
+#include "common/units.h"
+#include "core/accumulator.h"
+#include "core/modal.h"
+#include "exec/thread_pool.h"
+#include "faults/fault_plan.h"
+#include "run/checkpoint.h"
+#include "sched/fleetgen.h"
+#include "sched/join.h"
+#include "telemetry/spill_store.h"
+#include "workloads/app_profile.h"
+
+namespace exaeff::run {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("exaeff_spillrun_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+struct Campaign {
+  explicit Campaign(std::size_t nodes = 12, double days = 1.5) {
+    cfg.system = cluster::frontier_scaled(nodes);
+    cfg.duration_s = days * units::kDay;
+    library = workloads::make_profile_library(cfg.system.node.gcd);
+    boundaries = core::derive_boundaries(cfg.system.node.gcd);
+  }
+  [[nodiscard]] core::CampaignAccumulator make_accumulator() const {
+    return core::CampaignAccumulator(cfg.telemetry_window_s, boundaries);
+  }
+  sched::CampaignConfig cfg;
+  workloads::ProfileLibrary library;
+  core::RegionBoundaries boundaries;
+};
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(is), {});
+}
+
+/// Runs the spilled driver over the whole log with `threads` pool
+/// threads; returns the accumulator digest and leaves the spill files
+/// in `dir`.
+std::string spilled_digest(const Campaign& c, const std::string& dir,
+                           std::size_t budget_bytes, std::size_t threads) {
+  exec::ThreadPool pool(threads);
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  const auto windows = plan_spill_windows(
+      log, c.cfg.telemetry_window_s, c.cfg.system.node.gcds_per_node(),
+      budget_bytes);
+  auto acc = c.make_accumulator();
+  telemetry::SpillConfig scfg;
+  scfg.dir = dir;
+  scfg.window_s = c.cfg.telemetry_window_s;
+  telemetry::SpillStore store(std::move(scfg));
+  generate_telemetry_spilled(gen, log, acc, store, pool, nullptr, windows);
+  return encode_campaign_chunk(acc, faults::FaultCounters{});
+}
+
+TEST(PlanSpillWindows, CoversAllJobsOnChunkBoundaries) {
+  const Campaign c;
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  const std::size_t n = log.jobs().size();
+  const std::size_t grain = exec::ThreadPool::chunk_grain(n);
+  const auto windows = plan_spill_windows(
+      log, c.cfg.telemetry_window_s, c.cfg.system.node.gcds_per_node(),
+      /*memory_budget_bytes=*/4u << 20);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_EQ(windows.front().begin, 0u);
+  EXPECT_EQ(windows.back().end, n);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_LT(windows[i].begin, windows[i].end);
+    if (i > 0) EXPECT_EQ(windows[i].begin, windows[i - 1].end);
+    EXPECT_EQ(windows[i].begin % grain, 0u);
+  }
+  // Deterministic: same inputs, same plan.
+  EXPECT_EQ(plan_spill_windows(log, c.cfg.telemetry_window_s,
+                               c.cfg.system.node.gcds_per_node(), 4u << 20),
+            windows);
+  // A tighter budget can only split further.
+  const auto tighter = plan_spill_windows(
+      log, c.cfg.telemetry_window_s, c.cfg.system.node.gcds_per_node(),
+      1u << 20);
+  EXPECT_GE(tighter.size(), windows.size());
+}
+
+TEST(PlanSpillWindows, WindowsInRangeSelectsTheSlice) {
+  const Campaign c;
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  const auto windows = plan_spill_windows(
+      log, c.cfg.telemetry_window_s, c.cfg.system.node.gcds_per_node(),
+      1u << 20);
+  ASSERT_GT(windows.size(), 2u);
+  std::size_t first = 0;
+  const auto slice = windows_in_range(windows, windows[1].begin,
+                                      windows[2].end, &first);
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(slice.front(), windows[1]);
+  EXPECT_EQ(slice.back(), windows[2]);
+  // A range that does not sit on window boundaries is a caller bug.
+  EXPECT_THROW((void)windows_in_range(windows, windows[1].begin + 1,
+                                      windows[2].end, &first),
+               Error);
+}
+
+TEST(SpillCampaign, AccumulatorMatchesInRamPath) {
+  const Campaign c;
+  TempDir tmp;
+  // In-RAM baseline: the checkpointed driver with no faults.
+  exec::ThreadPool pool(2);
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  auto acc = c.make_accumulator();
+  generate_telemetry_checkpointed(gen, log, 0, log.jobs().size(), acc,
+                                  faults::FaultPlan{}, pool,
+                                  /*journal=*/nullptr, nullptr);
+  const auto baseline = encode_campaign_chunk(acc, faults::FaultCounters{});
+  EXPECT_EQ(spilled_digest(c, tmp.path(), 2u << 20, 2), baseline);
+}
+
+TEST(SpillCampaign, ArtifactsIdenticalAcrossPoolWidths) {
+  const Campaign c;
+  TempDir one;
+  TempDir four;
+  const auto d1 = spilled_digest(c, one.path(), 1u << 20, 1);
+  const auto d4 = spilled_digest(c, four.path(), 1u << 20, 4);
+  EXPECT_EQ(d1, d4);
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(one.path())) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  ASSERT_GT(names.size(), 1u);
+  for (const auto& name : names) {
+    EXPECT_EQ(file_bytes(one.path() + "/" + name),
+              file_bytes(four.path() + "/" + name))
+        << name;
+  }
+}
+
+TEST(SpillCampaign, StoreAnswersMatchExpectedRecordCount) {
+  const Campaign c;
+  TempDir tmp;
+  exec::ThreadPool pool(2);
+  const sched::FleetGenerator gen(c.cfg, c.library);
+  const auto log = gen.generate_schedule();
+  const auto windows = plan_spill_windows(
+      log, c.cfg.telemetry_window_s, c.cfg.system.node.gcds_per_node(),
+      1u << 20);
+  auto acc = c.make_accumulator();
+  telemetry::SpillConfig scfg;
+  scfg.dir = tmp.path();
+  scfg.window_s = c.cfg.telemetry_window_s;
+  telemetry::SpillStore store(std::move(scfg));
+  generate_telemetry_spilled(gen, log, acc, store, pool, nullptr, windows);
+  EXPECT_EQ(store.spilled_windows(), windows.size());
+  EXPECT_EQ(store.ingested_records(),
+            sched::expected_gcd_samples(log, c.cfg.telemetry_window_s,
+                                        c.cfg.system.node.gcds_per_node()));
+  // Everything was driven through planned closes; nothing lingers.
+  EXPECT_EQ(store.retained_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace exaeff::run

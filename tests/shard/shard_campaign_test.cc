@@ -15,6 +15,8 @@
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,8 +32,10 @@
 #include "faults/injector.h"
 #include "obs/metrics.h"
 #include "run/checkpoint.h"
+#include "run/spill_campaign.h"
 #include "sched/fleetgen.h"
 #include "shard/worker.h"
+#include "telemetry/spill_store.h"
 #include "workloads/app_profile.h"
 
 namespace exaeff::shard {
@@ -213,6 +217,108 @@ TEST(ShardedCampaign, ByteIdenticalUnderTelemetryFaults) {
       sharded_digest(c, plan, fast_retry_options(tmp.path(), 3));
   EXPECT_EQ(dig, baseline);
   EXPECT_FALSE(report.degraded());
+}
+
+TEST(ShardedCampaign, SpillArtifactsByteIdenticalAcrossShardCounts) {
+  const Campaign c;
+  auto file_bytes = [](const fs::path& p) {
+    std::ifstream is(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  auto spill_files = [](const std::string& dir) {
+    std::vector<fs::path> out;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      // A SIGKILLed writer can leave a *.tmp.<pid> behind; only the
+      // committed archives are the artifact.
+      if (entry.path().extension() == ".tel") out.push_back(entry.path());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // Single-process spill baseline over the same global window plan.
+  TempDir serial_spill;
+  std::string baseline;
+  {
+    exec::ThreadPool pool(2);
+    const sched::FleetGenerator gen(c.cfg, c.library);
+    const auto log = gen.generate_schedule();
+    const auto windows = run::plan_spill_windows(
+        log, c.cfg.telemetry_window_s, c.cfg.system.node.gcds_per_node(),
+        /*memory_budget_bytes=*/1u << 20);
+    auto acc = c.make_accumulator();
+    telemetry::SpillConfig scfg;
+    scfg.dir = serial_spill.path();
+    scfg.window_s = c.cfg.telemetry_window_s;
+    telemetry::SpillStore store(std::move(scfg));
+    run::generate_telemetry_spilled(gen, log, acc, store, pool, nullptr,
+                                    windows);
+    baseline = digest(acc, faults::FaultCounters{});
+  }
+  const auto serial_files = spill_files(serial_spill.path());
+  ASSERT_GT(serial_files.size(), 1u);
+
+  for (const std::size_t shards : {2ul, 5ul}) {
+    TempDir tmp;
+    TempDir spill;
+    ShardOptions opts = fast_retry_options(tmp.path(), shards);
+    opts.spill_dir = spill.path();
+    opts.memory_budget_bytes = 1u << 20;
+    auto [dig, report] = sharded_digest(c, {}, opts);
+    EXPECT_EQ(dig, baseline) << "shards=" << shards;
+    EXPECT_FALSE(report.degraded());
+    const auto got = spill_files(spill.path());
+    ASSERT_EQ(got.size(), serial_files.size()) << "shards=" << shards;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].filename(), serial_files[i].filename());
+      EXPECT_EQ(file_bytes(got[i]), file_bytes(serial_files[i]))
+          << got[i] << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedCampaign, SpillSurvivesWorkerCrashAndRestart) {
+  // A SIGKILLed spill worker must be restarted and the rewritten spill
+  // files (AtomicFile) must still match the serial artifact set.
+  const Campaign c;
+  TempDir serial_spill;
+  std::string baseline;
+  {
+    exec::ThreadPool pool(2);
+    const sched::FleetGenerator gen(c.cfg, c.library);
+    const auto log = gen.generate_schedule();
+    const auto windows = run::plan_spill_windows(
+        log, c.cfg.telemetry_window_s, c.cfg.system.node.gcds_per_node(),
+        1u << 20);
+    auto acc = c.make_accumulator();
+    telemetry::SpillConfig scfg;
+    scfg.dir = serial_spill.path();
+    scfg.window_s = c.cfg.telemetry_window_s;
+    telemetry::SpillStore store(std::move(scfg));
+    run::generate_telemetry_spilled(gen, log, acc, store, pool, nullptr,
+                                    windows);
+    baseline = digest(acc, faults::FaultCounters{});
+  }
+  TempDir tmp;
+  TempDir spill;
+  ShardOptions opts = fast_retry_options(tmp.path(), 3);
+  opts.spill_dir = spill.path();
+  opts.memory_budget_bytes = 1u << 20;
+  opts.on_spawn = [](std::size_t shard, std::size_t attempt, int pid) {
+    if (shard == 0 && attempt == 1) ::kill(pid, SIGKILL);
+  };
+  auto [dig, report] = sharded_digest(c, {}, opts);
+  EXPECT_EQ(dig, baseline);
+  EXPECT_FALSE(report.degraded());
+  EXPECT_GE(report.restarts, 1u);
+  auto committed = [](const std::string& dir) {
+    std::size_t n = 0;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      n += entry.path().extension() == ".tel" ? 1u : 0u;
+    }
+    return n;
+  };
+  EXPECT_EQ(committed(spill.path()), committed(serial_spill.path()));
 }
 
 // --- crash / hang supervision -----------------------------------------

@@ -1,15 +1,69 @@
-// Tests for the file-backed telemetry archive.
+// Tests for the file-backed telemetry archive: round trips (quantized
+// and lossless), the chunked EXATEL02 frame (corruption localized to a
+// named chunk, truncation, footer/index inconsistencies), and the
+// mmap-backed ArchiveReader with its stream fallback.
 #include "telemetry/archive.h"
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "common/error.h"
 #include "common/rng.h"
 
 namespace exaeff::telemetry {
 namespace {
+
+namespace fs = std::filesystem;
+
+/// Self-deleting archive file seeded from a byte blob.
+class TempArchive {
+ public:
+  explicit TempArchive(const std::string& blob) {
+    path_ = (fs::temp_directory_path() /
+             ("exaeff_archive_test_" + std::to_string(::getpid()) + "_" +
+              std::to_string(counter_++) + ".tel"))
+                .string();
+    write(blob);
+  }
+  ~TempArchive() {
+    std::error_code ec;
+    fs::remove(path_, ec);
+  }
+  void write(const std::string& blob) const {
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  std::string path_;
+};
+
+void patch_u64_le(std::string& blob, std::size_t pos, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    blob[pos + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::string error_of(const std::string& blob) {
+  std::stringstream ss(blob);
+  try {
+    (void)read_archive(ss);
+  } catch (const ParseError& e) {
+    return e.what();
+  }
+  return "";
+}
 
 std::vector<GcdSample> make_samples(std::size_t per_channel) {
   std::vector<GcdSample> samples;
@@ -92,6 +146,165 @@ TEST(Archive, CorruptionDetected) {
   // Garbage header.
   std::stringstream junk("not an archive at all");
   EXPECT_THROW((void)read_archive(junk), ParseError);
+}
+
+TEST(Archive, LosslessRoundTripBitExact) {
+  // make_samples emits channel-major, time-ascending records — the
+  // codec's output order — so a lossless archive must reproduce the
+  // input bit for bit even when split across several chunks.
+  const auto samples = make_samples(150);
+  CodecOptions opts;
+  opts.lossless = true;
+  std::stringstream ss;
+  const auto info = write_archive(ss, samples, opts, /*chunk_records=*/256);
+  EXPECT_GT(info.chunks, 1u);
+  const auto decoded = read_archive(ss);
+  ASSERT_EQ(decoded.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(decoded[i].t_s, samples[i].t_s);
+    EXPECT_EQ(decoded[i].node_id, samples[i].node_id);
+    EXPECT_EQ(decoded[i].gcd_index, samples[i].gcd_index);
+    EXPECT_EQ(decoded[i].power_w, samples[i].power_w);
+  }
+}
+
+TEST(Archive, ChunkingIsInvisibleToReaders) {
+  const auto samples = make_samples(100);
+  std::stringstream one;
+  std::stringstream many;
+  (void)write_archive(one, samples, {}, /*chunk_records=*/1 << 20);
+  const auto info = write_archive(many, samples, {}, /*chunk_records=*/128);
+  EXPECT_GT(info.chunks, 1u);
+  EXPECT_EQ(read_archive(one), read_archive(many));
+}
+
+TEST(Archive, BadChunkCrcMidFileNamesTheChunk) {
+  const auto samples = make_samples(100);  // 12 channels x 100
+  std::stringstream ss;
+  const auto info = write_archive(ss, samples, {}, /*chunk_records=*/256);
+  ASSERT_GT(info.chunks, 2u);
+  std::string blob = ss.str();
+
+  // Locate chunk 3's payload through a reader, then flip one byte in it.
+  TempArchive file(blob);
+  std::size_t at = 0;
+  {
+    const ArchiveReader reader(file.path());
+    at = static_cast<std::size_t>(reader.chunks()[2].offset) +
+         static_cast<std::size_t>(reader.chunks()[2].bytes) / 2;
+  }
+  blob[at] = static_cast<char>(blob[at] ^ 0x01);
+  const std::string what = error_of(blob);
+  EXPECT_NE(what.find("chunk 3 of " + std::to_string(info.chunks)),
+            std::string::npos)
+      << what;
+  EXPECT_NE(what.find("checksum mismatch"), std::string::npos) << what;
+
+  // The mmap reader localizes the same corruption lazily: intact chunks
+  // still decode, the corrupt one throws with its name.
+  file.write(blob);
+  const ArchiveReader reader(file.path());
+  EXPECT_EQ(reader.decode_chunk(0).size(), reader.chunks()[0].records);
+  EXPECT_THROW((void)reader.decode_chunk(2), ParseError);
+}
+
+TEST(Archive, TruncatedChunkTailDetected) {
+  const auto samples = make_samples(100);
+  std::stringstream ss;
+  (void)write_archive(ss, samples, {}, /*chunk_records=*/256);
+  const std::string blob = ss.str();
+  // Cut the file anywhere — mid-payload, mid-index, mid-footer — and
+  // the reader must refuse rather than return partial data.
+  for (const double frac : {0.3, 0.8, 0.99}) {
+    const auto cut =
+        static_cast<std::size_t>(static_cast<double>(blob.size()) * frac);
+    std::stringstream cut_stream(blob.substr(0, cut));
+    EXPECT_THROW((void)read_archive(cut_stream), ParseError)
+        << "cut at " << cut;
+  }
+  std::stringstream cutpoint(blob.substr(0, blob.size() - 4));
+  EXPECT_THROW((void)read_archive(cutpoint), ParseError);
+}
+
+TEST(Archive, EmptyIndexWithPayloadRejected) {
+  const auto samples = make_samples(20);
+  std::stringstream ss;
+  (void)write_archive(ss, samples, {}, /*chunk_records=*/4096);
+  std::string blob = ss.str();
+  // Rewrite the footer to claim an empty index sitting right where the
+  // real footer starts: sizes are self-consistent, but the payload bytes
+  // before it are unaccounted for.
+  const std::size_t footer_at = blob.size() - 32;
+  patch_u64_le(blob, footer_at, footer_at);  // index_offset
+  patch_u64_le(blob, footer_at + 8, 0);      // chunk_count
+  const std::string what = error_of(blob);
+  EXPECT_NE(what.find("empty index"), std::string::npos) << what;
+}
+
+TEST(ArchiveReader, MmapAndStreamFallbackAgree) {
+  const auto samples = make_samples(80);
+  std::stringstream ss;
+  (void)write_archive(ss, samples, {}, /*chunk_records=*/200);
+  TempArchive file(ss.str());
+
+  const ArchiveReader mapped(file.path());
+  EXPECT_TRUE(mapped.mmap_active());
+
+  ::setenv("EXAEFF_NO_MMAP", "1", 1);
+  const ArchiveReader streamed(file.path());
+  ::unsetenv("EXAEFF_NO_MMAP");
+  EXPECT_FALSE(streamed.mmap_active());
+
+  ASSERT_EQ(mapped.info().chunks, streamed.info().chunks);
+  EXPECT_EQ(mapped.info().checksum, streamed.info().checksum);
+  for (std::size_t i = 0; i < mapped.info().chunks; ++i) {
+    EXPECT_EQ(mapped.decode_chunk(i), streamed.decode_chunk(i));
+  }
+}
+
+/// Sink that copies every delivered record.
+class CollectSink final : public TelemetrySink {
+ public:
+  void on_gcd_sample(const GcdSample& s) override { got.push_back(s); }
+  std::vector<GcdSample> got;
+};
+
+TEST(ArchiveReader, TimeRangeAndSeriesQueries) {
+  const auto samples = make_samples(120);
+  std::stringstream ss;
+  (void)write_archive(ss, samples, {}, /*chunk_records=*/300);
+  TempArchive file(ss.str());
+  const ArchiveReader reader(file.path());
+
+  // Whole-file visit delivers everything once.
+  CollectSink all;
+  EXPECT_EQ(reader.visit_time_range(
+                0.0, std::numeric_limits<double>::infinity(), all),
+            samples.size());
+  EXPECT_EQ(all.got.size(), samples.size());
+
+  // A half-open window matches a manual filter over the decoded stream.
+  const double t0 = 15.0 * 30;
+  const double t1 = 15.0 * 70;
+  CollectSink window;
+  const auto delivered = reader.visit_time_range(t0, t1, window);
+  std::size_t expected = 0;
+  for (const auto& s : all.got) {
+    expected += (s.t_s >= t0 && s.t_s < t1) ? 1u : 0u;
+  }
+  EXPECT_EQ(delivered, expected);
+  EXPECT_EQ(window.got.size(), expected);
+
+  // Series readback restricted to the same window, against the filter.
+  std::vector<GcdSample> series;
+  reader.append_series(2, 3, t0, t1, series);
+  std::vector<GcdSample> manual;
+  for (const auto& s : all.got) {
+    if (s.node_id == 2 && s.gcd_index == 3 && s.t_s >= t0 && s.t_s < t1) {
+      manual.push_back(s);
+    }
+  }
+  EXPECT_EQ(series, manual);
 }
 
 TEST(Archive, Crc32KnownVector) {

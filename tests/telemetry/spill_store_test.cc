@@ -1,0 +1,290 @@
+// Pinned equivalence between the bounded-memory SpillStore and the
+// all-in-RAM TelemetryStore: every query — series (with duplicates and
+// out-of-order ingest), cleaned series, ingest-order energy, time
+// extent — must answer identically whether the records sit in RAM or in
+// lossless spill archives, and the spill file set must be a pure
+// function of the ingest split, not of when queries ran.
+#include "telemetry/spill_store.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "telemetry/store.h"
+
+namespace exaeff::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("exaeff_spill_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  [[nodiscard]] std::string path() const { return dir_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+/// A messy fleet stream: several channels, per-channel time order but
+/// cross-channel interleaving, plus exact-duplicate timestamps whose
+/// later insertion must win.
+std::vector<GcdSample> make_stream(std::size_t per_channel,
+                                   std::uint64_t seed = 21) {
+  std::vector<GcdSample> out;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < per_channel; ++i) {
+    for (std::uint32_t node = 0; node < 4; ++node) {
+      for (std::uint16_t gcd = 0; gcd < 2; ++gcd) {
+        GcdSample s;
+        s.t_s = 15.0 * static_cast<double>(i);
+        s.node_id = node;
+        s.gcd_index = gcd;
+        s.power_w = static_cast<float>(rng.uniform(90.0, 620.0));
+        out.push_back(s);
+        if (i % 17 == 3 && node == 1) {
+          // Duplicate timestamp, different value: LWW must keep this.
+          s.power_w = static_cast<float>(rng.uniform(90.0, 620.0));
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Feeds `stream` into a SpillStore, closing a window every
+/// `window_every` records (0 = never), and into a TelemetryStore.
+struct Pair {
+  Pair(const std::string& dir, const std::vector<GcdSample>& stream,
+       std::size_t window_every, std::size_t backstop_bytes = 0)
+      : spill([&] {
+          SpillConfig cfg;
+          cfg.dir = dir;
+          cfg.memory_budget_bytes = backstop_bytes;
+          return SpillStore(cfg);
+        }()) {
+    std::size_t since = 0;
+    for (const GcdSample& s : stream) {
+      spill.on_gcd_sample(s);
+      ram.on_gcd_sample(s);
+      if (window_every > 0 && ++since == window_every) {
+        spill.close_window();
+        since = 0;
+      }
+    }
+    ram.sort();
+  }
+  SpillStore spill;
+  TelemetryStore ram;
+};
+
+TEST(SpillStore, SeriesEquivalentToTelemetryStore) {
+  TempDir tmp;
+  const auto stream = make_stream(120);
+  Pair p(tmp.path(), stream, /*window_every=*/300);
+  ASSERT_GT(p.spill.spilled_windows(), 1u);
+  ASSERT_GT(p.spill.retained_bytes(), 0u);  // resident tail exercised too
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    for (std::uint16_t gcd = 0; gcd < 2; ++gcd) {
+      const auto got = p.spill.series(node, gcd, 0.0, 1e9);
+      const auto want = p.ram.series(node, gcd, 0.0, 1e9);
+      EXPECT_EQ(got, want) << "node " << node << " gcd " << gcd;
+    }
+  }
+  // Sub-range queries prune whole windows; answers must not change.
+  const auto got = p.spill.series(2, 1, 15.0 * 40, 15.0 * 80);
+  const auto want = p.ram.series(2, 1, 15.0 * 40, 15.0 * 80);
+  EXPECT_EQ(got, want);
+}
+
+TEST(SpillStore, CleanSeriesAndQualityMatch) {
+  TempDir tmp;
+  const auto stream = make_stream(90);
+  Pair p(tmp.path(), stream, /*window_every=*/500);
+  CleanPolicy policy;
+  policy.mad_k = 3.0;
+  policy.impute = true;
+  SeriesQuality q_spill;
+  SeriesQuality q_ram;
+  const auto got = p.spill.clean_series(1, 0, 0.0, 1e9, policy, &q_spill);
+  const auto want = p.ram.clean_series(1, 0, 0.0, 1e9, policy, &q_ram);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(q_spill.expected, q_ram.expected);
+  EXPECT_EQ(q_spill.observed, q_ram.observed);
+  EXPECT_EQ(q_spill.rejected, q_ram.rejected);
+  EXPECT_EQ(q_spill.imputed, q_ram.imputed);
+}
+
+TEST(SpillStore, EnergyAndExtentBitIdentical) {
+  TempDir tmp;
+  const auto stream = make_stream(80);
+  Pair p(tmp.path(), stream, /*window_every=*/333);
+  // Energy is defined over every ingested record in ingest order —
+  // duplicates included — so the comparator is an unsorted
+  // TelemetryStore (sort() would dedupe and drop the extra records).
+  TelemetryStore raw(15.0);
+  for (const GcdSample& s : stream) raw.on_gcd_sample(s);
+  EXPECT_EQ(p.spill.total_gpu_energy_j(), raw.total_gpu_energy_j());
+  EXPECT_EQ(p.spill.time_extent(), raw.time_extent());
+  EXPECT_EQ(p.spill.ingested_records(), stream.size());
+}
+
+TEST(SpillStore, BudgetBackstopBoundsResidency) {
+  TempDir tmp;
+  const auto stream = make_stream(100);
+  const std::size_t budget = 64 * sizeof(GcdSample);
+  Pair p(tmp.path(), stream, /*window_every=*/0, budget);
+  // The backstop alone must have spilled (no driver-directed closes) and
+  // kept the resident tail under the budget.
+  EXPECT_GT(p.spill.spilled_windows(), 1u);
+  EXPECT_LT(p.spill.retained_bytes(), budget);
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    EXPECT_EQ(p.spill.series(node, 1, 0.0, 1e9),
+              p.ram.series(node, 1, 0.0, 1e9));
+  }
+}
+
+TEST(SpillStore, SpillFilesAreAFunctionOfTheIngestSplit) {
+  const auto stream = make_stream(60);
+  auto file_bytes = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  TempDir a;
+  TempDir b;
+  Pair pa(a.path(), stream, /*window_every=*/400);
+  // Interleave queries with ingest on the second store: they must not
+  // perturb the spilled bytes.
+  SpillConfig cfg;
+  cfg.dir = b.path();
+  SpillStore sb(cfg);
+  std::size_t since = 0;
+  for (const GcdSample& s : stream) {
+    sb.on_gcd_sample(s);
+    if (++since == 400) {
+      (void)sb.series(0, 0, 0.0, 1e9);
+      sb.close_window();
+      (void)sb.series(1, 1, 0.0, 1e9);
+      since = 0;
+    }
+  }
+  const auto fa = pa.spill.spill_files();
+  const auto fb = sb.spill_files();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fs::path(fa[i]).filename(), fs::path(fb[i]).filename());
+    EXPECT_EQ(file_bytes(fa[i]), file_bytes(fb[i])) << fa[i];
+  }
+}
+
+TEST(SpillStore, OwnedIngestMatchesCopyIngest) {
+  const auto stream = make_stream(50);
+  auto file_bytes = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  TempDir a;
+  TempDir b;
+  SpillConfig ca;
+  ca.dir = a.path();
+  SpillConfig cb;
+  cb.dir = b.path();
+  SpillStore copy_store(ca);
+  SpillStore owned_store(cb);
+  // Same records, same split: spans copied vs vectors handed over.
+  const std::size_t step = 150;
+  for (std::size_t i = 0; i < stream.size(); i += step) {
+    const std::size_t end = std::min(i + step, stream.size());
+    copy_store.on_gcd_batch(
+        std::span<const GcdSample>(stream.data() + i, end - i));
+    owned_store.ingest_gcd_owned(
+        std::vector<GcdSample>(stream.begin() + i, stream.begin() + end));
+    copy_store.close_window();
+    owned_store.close_window();
+  }
+  EXPECT_EQ(copy_store.total_gpu_energy_j(), owned_store.total_gpu_energy_j());
+  EXPECT_EQ(copy_store.time_extent(), owned_store.time_extent());
+  const auto fa = copy_store.spill_files();
+  const auto fb = owned_store.spill_files();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(file_bytes(fa[i]), file_bytes(fb[i]));
+  }
+}
+
+TEST(SpillStore, SortPathsProduceIdenticalFiles) {
+  // Duplicates included: the index-permutation sort (scratch limit 0)
+  // must reproduce std::stable_sort's order exactly, LWW and all.
+  const auto stream = make_stream(70);
+  auto file_bytes = [](const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(is), {});
+  };
+  TempDir a;
+  TempDir b;
+  SpillConfig ca;
+  ca.dir = a.path();
+  SpillConfig cb;
+  cb.dir = b.path();
+  cb.sort_scratch_limit_records = 0;  // force the index permutation
+  SpillStore fast(ca);
+  SpillStore lean(cb);
+  std::size_t since = 0;
+  for (const GcdSample& s : stream) {
+    fast.on_gcd_sample(s);
+    lean.on_gcd_sample(s);
+    if (++since == 250) {
+      fast.close_window();
+      lean.close_window();
+      since = 0;
+    }
+  }
+  fast.close_window();
+  lean.close_window();
+  const auto fa = fast.spill_files();
+  const auto fb = lean.spill_files();
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(file_bytes(fa[i]), file_bytes(fb[i])) << fa[i];
+  }
+  EXPECT_EQ(fast.series(1, 0, 0.0, 1e9), lean.series(1, 0, 0.0, 1e9));
+}
+
+TEST(SpillStore, WindowIndexBaseNamesFiles) {
+  TempDir tmp;
+  SpillConfig cfg;
+  cfg.dir = tmp.path();
+  cfg.window_index_base = 42;
+  SpillStore store(cfg);
+  GcdSample s;
+  s.power_w = 300.0F;
+  store.on_gcd_sample(s);
+  store.close_window();
+  const auto files = store.spill_files();
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(fs::path(files[0]).filename().string(), "win-000042.tel");
+}
+
+}  // namespace
+}  // namespace exaeff::telemetry

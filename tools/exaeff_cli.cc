@@ -35,6 +35,12 @@
 //   --checkpoint=<dir>     journal completed work units to <dir>/journal.ckpt
 //   --resume               replay journaled work units instead of recomputing
 //   --deadline=<sec>       cancel the run after this wall-clock budget
+//   --memory-budget=<MB>   out-of-core telemetry: bound resident telemetry
+//                          to this budget, spilling closed windows as
+//                          chunked archives (campaign/project; requires
+//                          --spill-dir=)
+//   --spill-dir=<dir>      directory for spill archives (win-NNNNNN.tel);
+//                          created if missing
 //
 // Commands that project savings exit with code 3 (and a clear stderr
 // message) when the surviving telemetry is below --min-coverage: a number
@@ -73,6 +79,7 @@
 #include "run/atomic_file.h"
 #include "run/checkpoint.h"
 #include "run/journal.h"
+#include "run/spill_campaign.h"
 #include "run/supervisor.h"
 #include "sched/fleetgen.h"
 #include "sched/join.h"
@@ -129,6 +136,14 @@ int usage() {
       "  --deadline=<sec>          cancel after this wall-clock budget "
       "(exit 130,\n"
       "                            checkpoint preserved)\n"
+      "  --memory-budget=<MB>      bound resident telemetry to this budget, "
+      "spilling closed\n"
+      "                            windows to --spill-dir as chunked "
+      "archives\n"
+      "                            (campaign, project; byte-identical "
+      "results)\n"
+      "  --spill-dir=<dir>         directory for telemetry spill archives "
+      "(created if missing)\n"
       "  --help                    show this message\n");
   return 2;
 }
@@ -141,6 +156,8 @@ struct GlobalOptions {
   std::string log_level = "info";
   std::string faults_spec;
   std::string checkpoint_dir;
+  std::string spill_dir;
+  double memory_budget_mb = 0.0;  ///< 0 = in-RAM telemetry (no spilling)
   double min_coverage = 0.5;
   double deadline_s = 0.0;  ///< 0 = no deadline
   std::size_t jobs = 0;  ///< 0 = EXAEFF_JOBS env or hardware concurrency
@@ -257,6 +274,18 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
       opts.shards = static_cast<std::size_t>(v);
     } else if (key == "--checkpoint") {
       opts.checkpoint_dir = value;
+    } else if (key == "--spill-dir") {
+      opts.spill_dir = value;
+    } else if (key == "--memory-budget") {
+      double v = 0.0;
+      if (!try_parse_positive(value, v)) {
+        std::fprintf(stderr,
+                     "exaeff: --memory-budget must be a positive number of "
+                     "MB, got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      opts.memory_budget_mb = v;
     } else if (key == "--deadline") {
       double v = 0.0;
       if (!try_parse_positive(value, v)) {
@@ -314,6 +343,11 @@ struct ScratchShardDir {
   }
 };
 
+/// --memory-budget in bytes (the flag is MB).
+std::size_t spill_budget_bytes(const GlobalOptions& opts) {
+  return static_cast<std::size_t>(opts.memory_budget_mb * 1024.0 * 1024.0);
+}
+
 /// The multi-process telemetry stage: forks opts.shards supervised
 /// workers and refolds their journaled chunk partials into `acc` in
 /// global chunk order (byte-identical to the in-process path).  On
@@ -329,6 +363,8 @@ void run_campaign_sharded(const sched::FleetGenerator& gen,
   shard::ShardOptions sopts;
   sopts.shards = opts.shards;
   sopts.resume = opts.resume;
+  sopts.spill_dir = opts.spill_dir;
+  sopts.memory_budget_bytes = spill_budget_bytes(opts);
   sopts.cancel = exec::ThreadPool::global().cancellation_token();
   std::unique_ptr<ScratchShardDir> scratch;
   if (!opts.checkpoint_dir.empty()) {
@@ -401,6 +437,27 @@ CampaignBundle run_campaign(std::size_t nodes, double days,
     auto& pool = exec::ThreadPool::global();
     if (opts.shards > 0) {
       run_campaign_sharded(gen, log, *b.acc, plan, opts, expected);
+    } else if (!opts.spill_dir.empty()) {
+      // Out-of-core path: telemetry streams through a bounded SpillStore
+      // whose windows close at planned, deterministic job boundaries.
+      // The accumulator sees the identical sample sequence, so stdout is
+      // byte-identical to the in-RAM path; the spill summary goes to
+      // stderr via the logger.
+      const auto windows = run::plan_spill_windows(
+          log, b.cfg.telemetry_window_s, b.cfg.system.node.gcds_per_node(),
+          spill_budget_bytes(opts));
+      telemetry::SpillConfig scfg;
+      scfg.dir = opts.spill_dir;
+      scfg.window_s = b.cfg.telemetry_window_s;
+      telemetry::SpillStore store(std::move(scfg));
+      run::generate_telemetry_spilled(gen, log, *b.acc, store, pool,
+                                      nullptr, windows);
+      store.publish_metrics();
+      obs::Logger::global().info(
+          "campaign.spilled",
+          {{"windows", store.spilled_windows()},
+           {"spilled_bytes", store.spilled_bytes()},
+           {"records", store.ingested_records()}});
     } else if (journal != nullptr) {
       // Checkpointed path: chunk partials are journaled as they finish
       // and replayed on --resume; byte-identical to the sharded path.
@@ -804,6 +861,43 @@ int main(int argc, char** argv) {
                  "exaeff: --shards is only supported by campaign and "
                  "project\n");
     return 2;
+  }
+  // Out-of-core mode is strict: both flags together, campaign/project
+  // only, and never combined with paths whose semantics it would change
+  // (faults make spill queries inexact; checkpoint/resume journals do
+  // not carry raw telemetry).
+  if (!opts.spill_dir.empty() || opts.memory_budget_mb > 0.0) {
+    if (opts.spill_dir.empty() || opts.memory_budget_mb <= 0.0) {
+      std::fprintf(stderr,
+                   "exaeff: --memory-budget and --spill-dir must be used "
+                   "together\n");
+      return 2;
+    }
+    if (cmd != "campaign" && cmd != "project") {
+      std::fprintf(stderr,
+                   "exaeff: --memory-budget/--spill-dir are only supported "
+                   "by campaign and project\n");
+      return 2;
+    }
+    if (!opts.faults_spec.empty()) {
+      std::fprintf(stderr,
+                   "exaeff: --memory-budget is incompatible with --faults "
+                   "(spilled telemetry must be exact)\n");
+      return 2;
+    }
+    if (!opts.checkpoint_dir.empty() || opts.resume) {
+      std::fprintf(stderr,
+                   "exaeff: --memory-budget is incompatible with "
+                   "--checkpoint/--resume\n");
+      return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(opts.spill_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "exaeff: cannot create --spill-dir '%s': %s\n",
+                   opts.spill_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
   }
 
   // Live self-observability: the /proc resource sampler runs whenever a
