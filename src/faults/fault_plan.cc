@@ -21,30 +21,6 @@ double parse_num(std::string_view item, std::string_view text) {
   return v;
 }
 
-std::uint64_t parse_u64(std::string_view item, std::string_view text) {
-  std::uint64_t v = 0;
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), v);
-  if (ec != std::errc{} || ptr != text.data() + text.size()) {
-    throw ConfigError("fault spec: bad integer in '" + std::string(item) +
-                      "'");
-  }
-  return v;
-}
-
-/// Splits "p:param" items; throws when the colon is missing.
-FaultRate parse_rate(std::string_view item, std::string_view value) {
-  const auto colon = value.find(':');
-  if (colon == std::string_view::npos) {
-    throw ConfigError("fault spec: '" + std::string(item) +
-                      "' needs the form p:param");
-  }
-  FaultRate r;
-  r.probability = parse_num(item, value.substr(0, colon));
-  r.param = parse_num(item, value.substr(colon + 1));
-  return r;
-}
-
 void require_probability(double p, const char* what) {
   if (!(p >= 0.0 && p <= 1.0)) {
     throw ConfigError(std::string("fault spec: ") + what +
@@ -71,6 +47,53 @@ void append_rate(std::string& out, const char* key, const FaultRate& r,
 }
 
 }  // namespace
+
+std::vector<SpecItem> parse_spec_items(std::string_view spec) {
+  std::vector<SpecItem> items;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw ConfigError("fault spec: item '" + std::string(item) +
+                        "' needs key=value");
+    }
+    items.push_back(
+        SpecItem{item, item.substr(0, eq), item.substr(eq + 1)});
+  }
+  return items;
+}
+
+double spec_number(const SpecItem& it) {
+  return parse_num(it.item, it.value);
+}
+
+std::uint64_t spec_u64(const SpecItem& it) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(it.value.data(), it.value.data() + it.value.size(), v);
+  if (ec != std::errc{} || ptr != it.value.data() + it.value.size()) {
+    throw ConfigError("fault spec: bad integer in '" + std::string(it.item) +
+                      "'");
+  }
+  return v;
+}
+
+FaultRate spec_rate(const SpecItem& it) {
+  const auto colon = it.value.find(':');
+  if (colon == std::string_view::npos) {
+    throw ConfigError("fault spec: '" + std::string(it.item) +
+                      "' needs the form p:param");
+  }
+  FaultRate r;
+  r.probability = parse_num(it.item, it.value.substr(0, colon));
+  r.param = parse_num(it.item, it.value.substr(colon + 1));
+  return r;
+}
 
 bool FaultPlan::any_enabled() const {
   return drop_probability > 0.0 || burst.enabled() || stuck.enabled() ||
@@ -99,42 +122,29 @@ void FaultPlan::validate() const {
 
 FaultPlan FaultPlan::parse(std::string_view spec) {
   FaultPlan plan;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    auto comma = spec.find(',', pos);
-    if (comma == std::string_view::npos) comma = spec.size();
-    const std::string_view item = spec.substr(pos, comma - pos);
-    pos = comma + 1;
-    if (item.empty()) continue;
-    const auto eq = item.find('=');
-    if (eq == std::string_view::npos) {
-      throw ConfigError("fault spec: item '" + std::string(item) +
-                        "' needs key=value");
-    }
-    const std::string_view key = item.substr(0, eq);
-    const std::string_view value = item.substr(eq + 1);
-    if (key == "seed") {
-      plan.seed = parse_u64(item, value);
-    } else if (key == "drop") {
-      plan.drop_probability = parse_num(item, value);
-    } else if (key == "burst") {
-      plan.burst = parse_rate(item, value);
-    } else if (key == "stuck") {
-      plan.stuck = parse_rate(item, value);
-    } else if (key == "spike") {
-      plan.spike = parse_rate(item, value);
-    } else if (key == "outage") {
-      plan.outage = parse_rate(item, value);
-    } else if (key == "skew") {
-      plan.skew_max_s = parse_num(item, value);
-    } else if (key == "reorder") {
-      plan.reorder = parse_rate(item, value);
-    } else if (key == "truncate") {
-      plan.truncate_fraction = parse_num(item, value);
-    } else if (key == "crash") {
-      plan.crash_probability = parse_num(item, value);
+  for (const SpecItem& it : parse_spec_items(spec)) {
+    if (it.key == "seed") {
+      plan.seed = spec_u64(it);
+    } else if (it.key == "drop") {
+      plan.drop_probability = spec_number(it);
+    } else if (it.key == "burst") {
+      plan.burst = spec_rate(it);
+    } else if (it.key == "stuck") {
+      plan.stuck = spec_rate(it);
+    } else if (it.key == "spike") {
+      plan.spike = spec_rate(it);
+    } else if (it.key == "outage") {
+      plan.outage = spec_rate(it);
+    } else if (it.key == "skew") {
+      plan.skew_max_s = spec_number(it);
+    } else if (it.key == "reorder") {
+      plan.reorder = spec_rate(it);
+    } else if (it.key == "truncate") {
+      plan.truncate_fraction = spec_number(it);
+    } else if (it.key == "crash") {
+      plan.crash_probability = spec_number(it);
     } else {
-      throw ConfigError("fault spec: unknown key '" + std::string(key) +
+      throw ConfigError("fault spec: unknown key '" + std::string(it.key) +
                         "'");
     }
   }

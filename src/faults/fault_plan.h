@@ -40,8 +40,27 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace exaeff::faults {
+
+/// One "key=value" item of the comma-separated spec grammar, with the
+/// full item text retained for error messages.  The views alias the
+/// spec string passed to parse_spec_items — keep it alive.
+struct SpecItem {
+  std::string_view item;   ///< "drop=0.1"
+  std::string_view key;    ///< "drop"
+  std::string_view value;  ///< "0.1"
+};
+
+/// Splits the comma-separated key=value grammar shared by --faults= and
+/// the serving tools' client-side fault plans (tools/loadgen).  Empty
+/// items are skipped; an item without '=' throws ConfigError.
+[[nodiscard]] std::vector<SpecItem> parse_spec_items(std::string_view spec);
+
+/// Strict whole-token value parsers (ConfigError names the item).
+[[nodiscard]] double spec_number(const SpecItem& it);
+[[nodiscard]] std::uint64_t spec_u64(const SpecItem& it);
 
 /// One fault class with a probability and a per-class parameter.
 struct FaultRate {
@@ -50,6 +69,10 @@ struct FaultRate {
 
   [[nodiscard]] bool enabled() const { return probability > 0.0; }
 };
+
+/// Parses the "p:param" pair form of a spec item's value; throws
+/// ConfigError when the colon is missing or a number is bad.
+[[nodiscard]] FaultRate spec_rate(const SpecItem& it);
 
 /// The full plan.  Default-constructed plans inject nothing.
 struct FaultPlan {

@@ -1,0 +1,306 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace exaeff::net {
+
+namespace {
+
+bool is_token_char(char c) {
+  // RFC 7230 tchar.
+  if (std::isalnum(static_cast<unsigned char>(c))) return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_visible(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return u >= 0x21 && u <= 0x7E;
+}
+
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Strips one trailing '\r' (lines may end \r\n or bare \n).
+std::string_view chomp_cr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+HttpParser::HttpParser(Limits limits) : limits_(limits) {}
+
+bool HttpParser::feed(std::string_view bytes) {
+  if (complete_) return true;
+  // Bound the buffer before copying: admission of hostile bytes is
+  // capped at the header limit plus one read's worth.
+  if (bytes.find('\0') != std::string_view::npos ||
+      buf_.find('\0') != std::string::npos) {
+    throw HttpError(400, "NUL byte in request head");
+  }
+  buf_.append(bytes.data(), bytes.size());
+  // End of head: blank line, tolerant of \r\n\r\n and \n\n.
+  std::size_t head_end = std::string::npos;
+  std::size_t body_skip = 0;
+  if (const auto p = buf_.find("\r\n\r\n"); p != std::string::npos) {
+    head_end = p;
+    body_skip = 4;
+  }
+  if (const auto p = buf_.find("\n\n");
+      p != std::string::npos && p < head_end) {
+    head_end = p;
+    body_skip = 2;
+  }
+  (void)body_skip;
+  if (head_end == std::string::npos) {
+    const auto first_eol = buf_.find('\n');
+    if (first_eol == std::string::npos &&
+        buf_.size() > limits_.max_request_line) {
+      throw HttpError(414, "request line too long");
+    }
+    if (buf_.size() > limits_.max_header_bytes) {
+      throw HttpError(431, "request header block too large");
+    }
+    return false;
+  }
+  if (head_end > limits_.max_header_bytes) {
+    throw HttpError(431, "request header block too large");
+  }
+  parse_head(std::string_view(buf_).substr(0, head_end));
+  complete_ = true;
+  return true;
+}
+
+void HttpParser::parse_head(std::string_view head) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= head.size()) {
+    auto eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = chomp_cr(head.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line_no == 0) {
+      parse_request_line(line);
+    } else if (!line.empty()) {
+      if (req_.headers.size() >= limits_.max_headers) {
+        throw HttpError(431, "too many request headers");
+      }
+      parse_header_line(line);
+    }
+    ++line_no;
+    if (eol == head.size()) break;
+  }
+  // No-body surface: anything that declares one is refused outright
+  // rather than half-read.
+  if (const std::string* cl = req_.header("content-length")) {
+    std::uint64_t n = 0;
+    const auto [ptr, ec] =
+        std::from_chars(cl->data(), cl->data() + cl->size(), n);
+    if (ec != std::errc{} || ptr != cl->data() + cl->size()) {
+      throw HttpError(400, "bad Content-Length '" + *cl + "'");
+    }
+    if (n > 0) throw HttpError(413, "request bodies are not supported");
+  }
+  if (req_.header("transfer-encoding") != nullptr) {
+    throw HttpError(413, "request bodies are not supported");
+  }
+}
+
+void HttpParser::parse_request_line(std::string_view line) {
+  if (line.size() > limits_.max_request_line) {
+    throw HttpError(414, "request line too long");
+  }
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string_view::npos
+                       ? std::string_view::npos
+                       : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    throw HttpError(400, "malformed request line");
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() || method.size() > 16 ||
+      !std::all_of(method.begin(), method.end(), [](char c) {
+        return c >= 'A' && c <= 'Z';
+      })) {
+    throw HttpError(400, "bad request method");
+  }
+  if (target.empty() || target.front() != '/' ||
+      !std::all_of(target.begin(), target.end(), is_visible)) {
+    throw HttpError(400, "bad request target");
+  }
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    throw HttpError(505, "unsupported HTTP version");
+  }
+  req_.method = std::string(method);
+  req_.target = std::string(target);
+  req_.version = std::string(version);
+  const auto q = target.find('?');
+  const std::string_view raw_path =
+      q == std::string_view::npos ? target : target.substr(0, q);
+  req_.query =
+      q == std::string_view::npos ? std::string() : std::string(target.substr(q + 1));
+  req_.path = percent_decode(raw_path);
+}
+
+void HttpParser::parse_header_line(std::string_view line) {
+  const auto colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    throw HttpError(400, "malformed header line");
+  }
+  const std::string_view name = line.substr(0, colon);
+  if (!std::all_of(name.begin(), name.end(), is_token_char)) {
+    throw HttpError(400, "bad header name");
+  }
+  const std::string_view value = trim_ows(line.substr(colon + 1));
+  for (char c : value) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u < 0x20 && c != '\t') {
+      throw HttpError(400, "control character in header value");
+    }
+  }
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  req_.headers.emplace_back(std::move(lower), std::string(value));
+}
+
+ReadOutcome read_request(int fd, HttpParser& parser, Deadline deadline) {
+  while (!parser.complete()) {
+    const int rc = wait_readable(fd, deadline.remaining_ms());
+    if (rc == 0) return ReadOutcome::kTimeout;
+    if (rc < 0) {
+      return parser.buffered_bytes() > 0 ? ReadOutcome::kClosedPartial
+                                         : ReadOutcome::kClosedEmpty;
+    }
+    char buf[2048];
+    const ssize_t n = recv_some(fd, buf, sizeof buf);
+    if (n == 0) {
+      return parser.buffered_bytes() > 0 ? ReadOutcome::kClosedPartial
+                                         : ReadOutcome::kClosedEmpty;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return parser.buffered_bytes() > 0 ? ReadOutcome::kClosedPartial
+                                         : ReadOutcome::kClosedEmpty;
+    }
+    if (parser.feed(std::string_view(buf, static_cast<std::size_t>(n)))) {
+      return ReadOutcome::kComplete;
+    }
+    if (deadline.expired()) return ReadOutcome::kTimeout;
+  }
+  return ReadOutcome::kComplete;
+}
+
+std::string percent_decode(std::string_view text, bool plus_is_space) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '%') {
+      const int hi = i + 1 < text.size() ? hex_digit(text[i + 1]) : -1;
+      const int lo = i + 2 < text.size() ? hex_digit(text[i + 2]) : -1;
+      if (hi < 0 || lo < 0) {
+        throw HttpError(400, "bad percent-encoding in '" +
+                                 std::string(text) + "'");
+      }
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else if (c == '+' && plus_is_space) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    auto amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view item = query.substr(pos, amp - pos);
+    pos = amp + 1;
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    const std::string_view k =
+        eq == std::string_view::npos ? item : item.substr(0, eq);
+    const std::string_view v =
+        eq == std::string_view::npos ? std::string_view() : item.substr(eq + 1);
+    out.emplace_back(percent_decode(k, /*plus_is_space=*/true),
+                     percent_decode(v, /*plus_is_space=*/true));
+  }
+  return out;
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 414: return "URI Too Long";
+    case 422: return "Unprocessable Entity";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Error";
+  }
+}
+
+std::string render_response(const HttpResponse& r, bool head_only) {
+  std::ostringstream os;
+  os << r.version << " " << r.status << " " << status_text(r.status)
+     << "\r\n"
+     << "Content-Type: " << r.content_type << "\r\n"
+     << "Content-Length: " << r.body.size() << "\r\n";
+  for (const auto& [k, v] : r.extra_headers) {
+    os << k << ": " << v << "\r\n";
+  }
+  os << "Connection: close\r\n\r\n";
+  if (!head_only) os << r.body;
+  return os.str();
+}
+
+}  // namespace exaeff::net

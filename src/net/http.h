@@ -1,0 +1,143 @@
+// exaeff/net/http.h
+//
+// A hardened, incremental HTTP/1.x request parser plus response
+// rendering, sized for the project's two serving surfaces (the obs
+// scrape endpoint and the `exaeff serve` projection service).  Scope is
+// deliberately narrow — GET/HEAD, no request bodies, Connection: close
+// — and every limit is explicit:
+//
+//   * requests may arrive split across any number of packets (feed()
+//     is incremental); bytes are buffered up to Limits::max_header_bytes
+//     and never beyond, so a malicious client cannot grow memory;
+//   * a request line longer than Limits::max_request_line → 414;
+//   * a header block larger than max_header_bytes, or more than
+//     max_headers header lines → 431;
+//   * NUL bytes, malformed request lines, bad header names, control
+//     characters in values, or invalid percent-encoding → 400;
+//   * a request that declares a body (Content-Length > 0 or any
+//     Transfer-Encoding) → 413;
+//   * an HTTP version other than 1.0/1.1 → 505.
+//
+// Violations throw HttpError carrying the HTTP status; the caller turns
+// it into a structured error response.  This mirrors the CLI's error
+// taxonomy: usage-class problems are the client's fault and get 4xx,
+// the process never crashes or hangs on hostile input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "net/socket_io.h"
+
+namespace exaeff::net {
+
+/// A protocol violation by the client, carrying the HTTP status code
+/// the response must use.  Derived from exaeff::Error so surfaces that
+/// only know the taxonomy still classify it correctly.
+class HttpError : public Error {
+ public:
+  HttpError(int status, const std::string& what)
+      : Error(what), status_(status) {}
+  [[nodiscard]] int status() const { return status_; }
+
+ private:
+  int status_;
+};
+
+/// A parsed request head.  Header names are lower-cased; values are
+/// trimmed of surrounding whitespace.  `target` is the raw request
+/// target; `path` is its percent-decoded path part and `query` the raw
+/// query string (decode via parse_query when needed).
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string path;
+  std::string query;
+  std::string version;
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First header with the given lower-case name, or nullptr.
+  [[nodiscard]] const std::string* header(std::string_view name) const;
+};
+
+/// Incremental request parser: feed() bytes as they arrive until it
+/// returns true, then read request().  One parser parses one request;
+/// bytes after the header block (pipelined garbage) are ignored, which
+/// is correct for Connection: close servers.
+class HttpParser {
+ public:
+  struct Limits {
+    std::size_t max_request_line = 4096;  ///< method + target + version
+    std::size_t max_header_bytes = 8192;  ///< whole head incl request line
+    std::size_t max_headers = 64;
+  };
+
+  HttpParser() : HttpParser(Limits{}) {}
+  explicit HttpParser(Limits limits);
+
+  /// Appends bytes; returns true once the request head is complete.
+  /// Throws HttpError on any violation (see file header for the map).
+  bool feed(std::string_view bytes);
+
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] const HttpRequest& request() const { return req_; }
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  void parse_head(std::string_view head);
+  void parse_request_line(std::string_view line);
+  void parse_header_line(std::string_view line);
+
+  Limits limits_;
+  std::string buf_;
+  HttpRequest req_;
+  bool complete_ = false;
+};
+
+/// How a deadline-bounded request read ended.
+enum class ReadOutcome {
+  kComplete,       ///< parser.request() is valid
+  kTimeout,        ///< deadline expired before the head completed
+  kClosedEmpty,    ///< peer closed without sending anything (churn)
+  kClosedPartial,  ///< peer closed mid-request
+};
+
+/// Reads from `fd` until the parser completes, the deadline expires, or
+/// the peer closes.  Propagates HttpError from the parser.  This is the
+/// slow-loris defense: a silent or dribbling client costs at most the
+/// deadline, and at most Limits::max_header_bytes of memory.
+[[nodiscard]] ReadOutcome read_request(int fd, HttpParser& parser,
+                                       Deadline deadline);
+
+/// Percent-decodes `text`; '+' becomes a space when `plus_is_space`.
+/// Throws HttpError(400) on truncated or non-hex escapes.
+[[nodiscard]] std::string percent_decode(std::string_view text,
+                                         bool plus_is_space = false);
+
+/// Splits a raw query string into decoded key/value pairs, preserving
+/// order.  Throws HttpError(400) on bad percent-encoding.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> parse_query(
+    std::string_view query);
+
+/// A response to render.  `version` lets the HTTP/1.0 scrape endpoint
+/// and the HTTP/1.1 projection service share one renderer.
+struct HttpResponse {
+  int status = 200;
+  const char* version = "HTTP/1.1";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+[[nodiscard]] const char* status_text(int status);
+
+/// Serializes a complete response with Content-Length and
+/// Connection: close.  `head_only` omits the body (HEAD requests).
+[[nodiscard]] std::string render_response(const HttpResponse& r,
+                                          bool head_only);
+
+}  // namespace exaeff::net

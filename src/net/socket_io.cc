@@ -1,0 +1,172 @@
+#include "net/socket_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace exaeff::net {
+
+namespace {
+
+// Poll timeouts are capped so remaining_ms() of an unbounded deadline
+// still returns something poll(2) accepts.
+constexpr int kMaxPollMs = 3600 * 1000;
+
+}  // namespace
+
+Deadline Deadline::after_ms(long ms) {
+  Deadline d;
+  d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  return d;
+}
+
+Deadline Deadline::never() {
+  Deadline d;
+  d.unbounded_ = true;
+  return d;
+}
+
+bool Deadline::expired() const {
+  if (unbounded_) return false;
+  return std::chrono::steady_clock::now() >= at_;
+}
+
+int Deadline::remaining_ms() const {
+  if (unbounded_) return kMaxPollMs;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        at_ - std::chrono::steady_clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  if (left > kMaxPollMs) return kMaxPollMs;
+  return static_cast<int>(left);
+}
+
+int listen_tcp(const std::string& bind_address, std::uint16_t port,
+               int backlog, std::string& error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    error = "bad bind address '" + bind_address + "'";
+    close_fd(fd);
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    error = std::string("bind: ") + std::strerror(errno);
+    close_fd(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) < 0) {
+    error = std::string("listen: ") + std::strerror(errno);
+    close_fd(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t bound_port(int listen_fd) {
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return 0;
+  }
+  return ntohs(bound.sin_port);
+}
+
+int accept_connection(int listen_fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  if (rc <= 0) return -1;  // timeout or EINTR: caller re-checks stop flags
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close_fd(fd);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    close_fd(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  return rc;
+}
+
+ssize_t recv_some(int fd, char* buf, std::size_t n) {
+  ssize_t r;
+  do {
+    r = ::recv(fd, buf, n, 0);
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+bool send_all(int fd, std::string_view data, Deadline deadline) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int rc;
+    do {
+      rc = ::poll(&pfd, 1, deadline.remaining_ms());
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) return false;  // write deadline: drop, never half-retry
+    const ssize_t w = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (deadline.expired()) return false;
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+    if (off < data.size() && deadline.expired()) return false;
+  }
+  return true;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace exaeff::net

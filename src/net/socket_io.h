@@ -1,0 +1,76 @@
+// exaeff/net/socket_io.h
+//
+// Deadline-bounded blocking socket I/O, shared by every networked
+// surface in the tree: the obs exposition server, the `exaeff serve`
+// projection service, and the loadgen client.  The design rule is that
+// no read or write ever blocks without a bound — a peer that connects
+// and goes silent (slow-loris) costs at most the caller's deadline,
+// never a pinned thread.
+//
+// All helpers are EINTR-safe and use poll(2) rather than per-socket
+// timeouts, so a single fd can be driven against several different
+// deadlines over its lifetime (read deadline, then write deadline).
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace exaeff::net {
+
+/// An absolute point on the monotonic clock that I/O must finish by.
+/// Value type: copy freely, derive poll timeouts from remaining_ms().
+class Deadline {
+ public:
+  /// Expires `ms` milliseconds from now (ms <= 0 expires immediately).
+  [[nodiscard]] static Deadline after_ms(long ms);
+  /// Never expires (remaining_ms() saturates at a large poll timeout).
+  [[nodiscard]] static Deadline never();
+
+  [[nodiscard]] bool expired() const;
+  /// Remaining budget clamped to [0, 1h] in milliseconds — the form
+  /// poll(2) wants.
+  [[nodiscard]] int remaining_ms() const;
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool unbounded_ = false;
+};
+
+/// Binds and listens on `bind_address:port` (port 0 = ephemeral).
+/// Returns the listening fd, or -1 with the reason in `error`.
+[[nodiscard]] int listen_tcp(const std::string& bind_address,
+                             std::uint16_t port, int backlog,
+                             std::string& error);
+
+/// The actually-bound port of a listening fd (resolves port 0).
+[[nodiscard]] std::uint16_t bound_port(int listen_fd);
+
+/// Waits up to `timeout_ms` for the listening fd to become readable and
+/// accepts one connection.  Returns the connection fd, or -1 on
+/// timeout/EINTR/transient accept failure (callers loop).
+[[nodiscard]] int accept_connection(int listen_fd, int timeout_ms);
+
+/// Blocking client connect to an IPv4 address.  Returns fd or -1.
+[[nodiscard]] int connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Waits for readability.  Returns >0 readable, 0 timeout, <0 error.
+[[nodiscard]] int wait_readable(int fd, int timeout_ms);
+
+/// One recv(2) after the fd is readable.  Returns bytes read, 0 on
+/// orderly peer close, -1 on error (EINTR/EAGAIN already retried away
+/// by the caller's poll loop; a residual -1 is a real error).
+[[nodiscard]] ssize_t recv_some(int fd, char* buf, std::size_t n);
+
+/// Writes all of `data` before `deadline`, polling for writability
+/// between partial sends.  Returns false on timeout or socket error —
+/// the caller's response is considered dropped, never half-retried.
+[[nodiscard]] bool send_all(int fd, std::string_view data, Deadline deadline);
+
+/// close(2) + reset to -1; no-op on fd < 0.
+void close_fd(int& fd);
+
+}  // namespace exaeff::net

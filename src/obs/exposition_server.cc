@@ -1,16 +1,13 @@
 #include "obs/exposition_server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
 #include <mutex>
 #include <sstream>
 
+#include "net/http.h"
+#include "net/socket_io.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -43,38 +40,10 @@ std::string json_string(const std::string& s) {
   return out;
 }
 
-struct Response {
-  int status = 200;
-  const char* content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
-
-const char* status_text(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    default: return "Bad Request";
-  }
-}
-
-/// Serializes `r` as a complete HTTP/1.0 response.
-std::string render_response(const Response& r, bool head_only) {
-  std::ostringstream os;
-  os << "HTTP/1.0 " << r.status << " " << status_text(r.status) << "\r\n"
-     << "Content-Type: " << r.content_type << "\r\n"
-     << "Content-Length: " << r.body.size() << "\r\n"
-     << "Connection: close\r\n\r\n";
-  if (!head_only) os << r.body;
-  return os.str();
-}
-
-void close_fd(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
-  }
-}
+// Scrape requests are tiny; a dribbling or silent client gets at most
+// this long before the read is abandoned (the scrape thread is shared,
+// so an unbounded read would stall every other scraper).
+constexpr int kRequestTimeoutMs = 2000;
 
 }  // namespace
 
@@ -115,39 +84,10 @@ void ExpositionServer::set_refresh_hook(std::function<void()> hook) {
 
 bool ExpositionServer::start() {
   if (running_.load()) return true;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    error_ = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    error_ = "bad bind address '" + options_.bind_address + "'";
-    close_fd(listen_fd_);
-    return false;
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
-    error_ = std::string("bind: ") + std::strerror(errno);
-    close_fd(listen_fd_);
-    return false;
-  }
-  if (::listen(listen_fd_, 16) < 0) {
-    error_ = std::string("listen: ") + std::strerror(errno);
-    close_fd(listen_fd_);
-    return false;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof bound;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
-    port_ = ntohs(bound.sin_port);
-  }
+  listen_fd_ = net::listen_tcp(options_.bind_address, options_.port,
+                               /*backlog=*/16, error_);
+  if (listen_fd_ < 0) return false;
+  port_ = net::bound_port(listen_fd_);
   stop_.store(false);
   running_.store(true);
   thread_ = std::thread([this] { serve_main(); });
@@ -158,7 +98,7 @@ void ExpositionServer::stop() {
   if (!running_.load() && !thread_.joinable()) return;
   stop_.store(true);
   if (thread_.joinable()) thread_.join();
-  close_fd(listen_fd_);
+  net::close_fd(listen_fd_);
   running_.store(false);
 }
 
@@ -167,32 +107,46 @@ void ExpositionServer::serve_main() {
   // no scraper ever connects — the property that makes Supervisor
   // teardown (SIGTERM, --deadline) safe with a live server attached.
   while (!stop_.load()) {
-    pollfd pfd{};
-    pfd.fd = listen_fd_;
-    pfd.events = POLLIN;
-    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (rc <= 0) continue;  // timeout or EINTR: re-check stop_
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
+    const int conn = net::accept_connection(listen_fd_, /*timeout_ms=*/100);
+    if (conn < 0) continue;  // timeout or EINTR: re-check stop_
     handle_connection(conn);
   }
 }
 
 void ExpositionServer::handle_connection(int fd) {
-  // One short read is enough for a scrape request line; HTTP/1.0, no
-  // keep-alive, no body.
-  char buf[2048];
-  const ssize_t n = ::recv(fd, buf, sizeof buf - 1, 0);
-  if (n <= 0) {
-    ::close(fd);
-    return;
+  // Deadline-bounded incremental read: a request split across packets
+  // parses correctly, and a client that connects and sends nothing (or
+  // dribbles) is cut off at the deadline instead of stalling the
+  // scrape thread on a bare recv().
+  net::HttpParser parser(net::HttpParser::Limits{
+      .max_request_line = 2048, .max_header_bytes = 4096, .max_headers = 32});
+  net::HttpResponse r;
+  r.version = "HTTP/1.0";
+  bool have_request = false;
+  bool head_only = false;
+  try {
+    switch (net::read_request(fd, parser,
+                              net::Deadline::after_ms(kRequestTimeoutMs))) {
+      case net::ReadOutcome::kComplete:
+        have_request = true;
+        break;
+      case net::ReadOutcome::kClosedEmpty:
+        net::close_fd(fd);
+        return;  // connection churn: nothing to answer
+      case net::ReadOutcome::kTimeout:
+        r.status = 408;
+        r.body = "timed out waiting for request\n";
+        break;
+      case net::ReadOutcome::kClosedPartial:
+        r.status = 400;
+        r.body = "connection closed mid-request\n";
+        break;
+    }
+  } catch (const net::HttpError& e) {
+    r.status = e.status();
+    r.body = std::string(e.what()) + "\n";
   }
-  buf[n] = '\0';
-  std::string method, target;
-  {
-    std::istringstream line(std::string(buf, static_cast<std::size_t>(n)));
-    line >> method >> target;
-  }
+
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_enabled()) {
     MetricsRegistry::global()
@@ -201,38 +155,35 @@ void ExpositionServer::handle_connection(int fd) {
         .inc();
   }
 
-  Response r;
-  if (method != "GET" && method != "HEAD") {
-    r.status = 405;
-    r.body = "method not allowed\n";
-  } else if (target == "/metrics") {
-    if (refresh_hook_) refresh_hook_();
-    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    r.body = MetricsRegistry::global().expose_prometheus();
-  } else if (target == "/metrics.json") {
-    if (refresh_hook_) refresh_hook_();
-    r.content_type = "application/json";
-    r.body = MetricsRegistry::global().expose_json();
-  } else if (target == "/healthz") {
-    r.body = "ok\n";
-  } else if (target == "/runinfo") {
-    r.content_type = "application/json";
-    r.body = run_info_json();
-  } else {
-    r.status = 404;
-    r.body = "not found\n";
+  if (have_request) {
+    const net::HttpRequest& req = parser.request();
+    head_only = req.method == "HEAD";
+    if (req.method != "GET" && req.method != "HEAD") {
+      r.status = 405;
+      r.body = "method not allowed\n";
+    } else if (req.path == "/metrics") {
+      if (refresh_hook_) refresh_hook_();
+      r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      r.body = MetricsRegistry::global().expose_prometheus();
+    } else if (req.path == "/metrics.json") {
+      if (refresh_hook_) refresh_hook_();
+      r.content_type = "application/json";
+      r.body = MetricsRegistry::global().expose_json();
+    } else if (req.path == "/healthz") {
+      r.body = "ok\n";
+    } else if (req.path == "/runinfo") {
+      r.content_type = "application/json";
+      r.body = run_info_json();
+    } else {
+      r.status = 404;
+      r.body = "not found\n";
+    }
   }
 
-  const std::string out = render_response(r, method == "HEAD");
-  std::size_t off = 0;
-  while (off < out.size()) {
-    const ssize_t w = ::send(fd, out.data() + off, out.size() - off,
-                             MSG_NOSIGNAL);
-    if (w <= 0) break;
-    off += static_cast<std::size_t>(w);
-  }
+  const std::string out = net::render_response(r, head_only);
+  (void)net::send_all(fd, out, net::Deadline::after_ms(kRequestTimeoutMs));
   ::shutdown(fd, SHUT_RDWR);
-  ::close(fd);
+  net::close_fd(fd);
 }
 
 }  // namespace exaeff::obs

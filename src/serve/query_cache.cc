@@ -1,0 +1,68 @@
+#include "serve/query_cache.h"
+
+#include "obs/metrics.h"
+
+namespace exaeff::serve {
+
+QueryCache::QueryCache(std::size_t shards, std::size_t capacity_per_shard)
+    : capacity_per_shard_(capacity_per_shard == 0 ? 1 : capacity_per_shard) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::shared_ptr<const std::string> QueryCache::find(std::uint64_t key) {
+  Shard& s = shard_for(key);
+  std::shared_ptr<const std::string> body;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.entries.find(key);
+    if (it != s.entries.end()) body = it->second;
+  }
+  if (body != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry::global()
+          .counter("exaeff_serve_cache_hits_total",
+                   "projection query cache hits")
+          .inc();
+    }
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metrics_enabled()) {
+      obs::MetricsRegistry::global()
+          .counter("exaeff_serve_cache_misses_total",
+                   "projection query cache misses")
+          .inc();
+    }
+  }
+  return body;
+}
+
+void QueryCache::insert(std::uint64_t key,
+                        std::shared_ptr<const std::string> body) {
+  if (body == nullptr) return;
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto [it, inserted] = s.entries.emplace(key, std::move(body));
+  (void)it;
+  if (!inserted) return;  // first render wins
+  s.order.push_back(key);
+  while (s.order.size() > capacity_per_shard_) {
+    s.entries.erase(s.order.front());
+    s.order.pop_front();
+  }
+}
+
+std::size_t QueryCache::size() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->entries.size();
+  }
+  return n;
+}
+
+}  // namespace exaeff::serve

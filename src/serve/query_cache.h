@@ -1,0 +1,62 @@
+// exaeff/serve/query_cache.h
+//
+// Sharded response cache for the projection service.  Keys are the same
+// FNV-1a content hashes the checkpoint journal uses (run::fnv1a64 over
+// the canonicalized query), values are immutable rendered bodies shared
+// by reference — a hit hands out the exact bytes the cold computation
+// produced, which is what makes warm answers byte-identical to cold
+// ones.  Sharding keeps concurrent workers off one mutex; each shard
+// evicts FIFO at a fixed capacity so the cache, like every other buffer
+// in the serving path, is bounded.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace exaeff::serve {
+
+class QueryCache {
+ public:
+  explicit QueryCache(std::size_t shards = 16,
+                      std::size_t capacity_per_shard = 1024);
+
+  /// The cached body for `key`, or nullptr.  Counts a hit or a miss.
+  [[nodiscard]] std::shared_ptr<const std::string> find(std::uint64_t key);
+
+  /// Inserts (idempotent: an existing entry for `key` is kept — the
+  /// first render wins, so concurrent fills cannot flap bytes).
+  void insert(std::uint64_t key, std::shared_ptr<const std::string> body);
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::shared_ptr<const std::string>>
+        entries;
+    std::deque<std::uint64_t> order;  ///< FIFO eviction order
+  };
+
+  Shard& shard_for(std::uint64_t key) {
+    return *shards_[key % shards_.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t capacity_per_shard_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace exaeff::serve

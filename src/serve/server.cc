@@ -1,0 +1,269 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/thread_pool.h"
+#include "net/http.h"
+#include "net/socket_io.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace exaeff::serve {
+
+namespace {
+
+void inc_counter(const char* name, const char* help) {
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry::global().counter(name, help).inc();
+}
+
+void set_inflight_gauge(std::uint64_t value) {
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry::global()
+      .gauge("exaeff_serve_inflight",
+             "admitted connections not yet fully answered")
+      .set(static_cast<double>(value));
+}
+
+std::string json_error_body(int status, const std::string& message) {
+  std::string out = "{\"error\":\"";
+  out += message;  // callers pass fixed ASCII text, no escaping needed
+  out += "\",\"status\":";
+  out += std::to_string(status);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace
+
+ProjectionServer::ProjectionServer(
+    std::shared_ptr<ProjectionService> service, ServerOptions options)
+    : service_(std::move(service)), options_(std::move(options)) {
+  options_.shed_backoff.validate();
+  if (options_.workers == 0) {
+    options_.workers = std::min<std::size_t>(exec::job_count(), 8);
+  }
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+}
+
+ProjectionServer::~ProjectionServer() { drain(); }
+
+bool ProjectionServer::start() {
+  if (running_.load()) return true;
+  listen_fd_ = net::listen_tcp(options_.bind_address, options_.port,
+                               /*backlog=*/64, error_);
+  if (listen_fd_ < 0) return false;
+  port_ = net::bound_port(listen_fd_);
+  stop_accept_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = false;
+  }
+  running_.store(true);
+  worker_threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    worker_threads_.emplace_back([this] { worker_main(); });
+  }
+  accept_thread_ = std::thread([this] { accept_main(); });
+  return true;
+}
+
+void ProjectionServer::drain() {
+  if (!running_.load()) return;
+  // Stop admitting first: close the listening socket so new connects
+  // are refused, then let the workers finish everything already
+  // admitted.  Each queued connection is bounded by the read, compute
+  // and write deadlines, so the drain itself is bounded.
+  stop_accept_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  net::close_fd(listen_fd_);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : worker_threads_) {
+    if (w.joinable()) w.join();
+  }
+  worker_threads_.clear();
+  running_.store(false);
+  set_inflight_gauge(0);
+}
+
+ProjectionServer::Stats ProjectionServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.responded = responded_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.closed_early = closed_early_.load(std::memory_order_relaxed);
+  s.write_failures = write_failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ProjectionServer::accept_main() {
+  while (!stop_accept_.load()) {
+    int fd = net::accept_connection(listen_fd_, /*timeout_ms=*/100);
+    if (fd < 0) continue;  // timeout or EINTR: re-check stop flag
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    bool admit = false;
+    std::uint64_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (queue_.size() < options_.queue_depth) {
+        queue_.push_back(fd);
+        consecutive_sheds_ = 0;
+        admit = true;
+        depth = queue_.size() + inflight_.load(std::memory_order_relaxed);
+      } else {
+        ++consecutive_sheds_;
+      }
+    }
+    if (admit) {
+      set_inflight_gauge(depth);
+      queue_cv_.notify_one();
+    } else {
+      respond_shed(fd);
+    }
+  }
+}
+
+void ProjectionServer::respond_shed(int fd) {
+  // Deterministic load-shedding: the queue is full, so this connection
+  // is answered *now* with 503 and a Retry-After computed from the
+  // shared backoff policy — sustained overload pushes clients further
+  // out instead of queueing unboundedly.
+  const std::size_t attempt = std::min<std::size_t>(
+      std::max<std::uint32_t>(consecutive_sheds_, 1),
+      options_.shed_backoff.max_attempts);
+  const double delay_s = options_.shed_backoff.backoff_before_retry(attempt);
+  const auto retry_after =
+      static_cast<long>(std::max(1.0, std::ceil(delay_s)));
+
+  net::HttpResponse r;
+  r.status = 503;
+  r.content_type = "application/json";
+  r.body = "{\"error\":\"overloaded: admission queue full\",\"status\":503,"
+           "\"retry_after_s\":" +
+           std::to_string(retry_after) + "}\n";
+  r.extra_headers.emplace_back("Retry-After", std::to_string(retry_after));
+  const std::string out = net::render_response(r, /*head_only=*/false);
+  // Short write budget: shedding happens on the accept thread and must
+  // never stall admission behind a slow victim.
+  if (net::send_all(fd, out, net::Deadline::after_ms(250))) {
+    responded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  count_response(503);
+  inc_counter("exaeff_serve_shed_total",
+              "connections rejected 503 by admission control");
+  ::shutdown(fd, SHUT_RDWR);
+  net::close_fd(fd);
+}
+
+void ProjectionServer::worker_main() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) return;  // draining and nothing left
+      fd = queue_.front();
+      queue_.pop_front();
+      inflight_.fetch_add(1, std::memory_order_relaxed);
+    }
+    serve_connection(fd);
+    const auto now_inflight =
+        inflight_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    std::size_t queued;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queued = queue_.size();
+    }
+    set_inflight_gauge(now_inflight + queued);
+  }
+}
+
+void ProjectionServer::serve_connection(int fd) {
+  net::HttpParser parser;
+  net::HttpResponse resp;
+  bool have_request = false;
+  bool head_only = false;
+  try {
+    switch (net::read_request(
+        fd, parser, net::Deadline::after_ms(options_.read_timeout_ms))) {
+      case net::ReadOutcome::kComplete:
+        have_request = true;
+        break;
+      case net::ReadOutcome::kClosedEmpty:
+        // Connection churn: the peer never sent a request, so no
+        // response is owed.
+        closed_early_.fetch_add(1, std::memory_order_relaxed);
+        net::close_fd(fd);
+        return;
+      case net::ReadOutcome::kTimeout:
+        resp.status = 408;
+        resp.content_type = "application/json";
+        resp.body = json_error_body(408, "timed out waiting for request");
+        break;
+      case net::ReadOutcome::kClosedPartial:
+        resp.status = 400;
+        resp.content_type = "application/json";
+        resp.body = json_error_body(400, "connection closed mid-request");
+        break;
+    }
+  } catch (const net::HttpError& e) {
+    resp.status = e.status();
+    resp.content_type = "application/json";
+    resp.body = json_error_body(e.status(), e.what());
+  }
+
+  if (have_request) {
+    const net::HttpRequest& req = parser.request();
+    head_only = req.method == "HEAD";
+    exec::CancellationToken token;
+    RequestContext ctx;
+    ctx.token = &token;
+    ctx.default_deadline_ms = options_.default_deadline_ms;
+    ctx.max_deadline_ms = options_.max_deadline_ms;
+    ctx.deadline = net::Deadline::after_ms(options_.default_deadline_ms);
+    resp = service_->handle(req, ctx);
+  }
+
+  if (resp.status == 408 || resp.status == 504) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    inc_counter("exaeff_serve_timeouts_total",
+                "read timeouts (408) and request deadline expiries (504)");
+  }
+  const std::string out = net::render_response(resp, head_only);
+  if (net::send_all(fd, out,
+                    net::Deadline::after_ms(options_.write_timeout_ms))) {
+    responded_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    write_failures_.fetch_add(1, std::memory_order_relaxed);
+    obs::Logger::global().debug("serve.write_dropped",
+                                {{"status", resp.status}});
+  }
+  count_response(resp.status);
+  ::shutdown(fd, SHUT_RDWR);
+  net::close_fd(fd);
+}
+
+void ProjectionServer::count_response(int status) {
+  inc_counter("exaeff_serve_requests_total",
+              "responses sent by the projection server (any status)");
+  if (!obs::metrics_enabled()) return;
+  obs::MetricsRegistry::global()
+      .counter("exaeff_serve_responses_total",
+               "responses by status class",
+               {{"class", std::to_string(status / 100) + "xx"}})
+      .inc();
+}
+
+}  // namespace exaeff::serve

@@ -1,0 +1,131 @@
+// exaeff/serve/server.h
+//
+// The connection layer of `exaeff serve`: accept loop, bounded
+// admission queue, worker threads, and graceful drain.  Robustness
+// contract:
+//
+//   * Admission is a bounded queue.  When it is full the connection is
+//     answered immediately with 503 + Retry-After (computed from the
+//     shared common::BackoffPolicy, growing with consecutive sheds) and
+//     closed — deterministic load-shedding, never unbounded memory.
+//   * Reads and writes are deadline-bounded (net::Deadline), so a
+//     slow-loris client costs one worker at most read_timeout_ms; the
+//     connection cap is queue_depth + workers by construction.
+//   * Each admitted request gets its own exec::CancellationToken and
+//     deadline; expiry surfaces as 504 with the in-flight computation
+//     abandoned at its next work boundary.
+//   * drain() stops accepting, serves everything already admitted to
+//     completion, and joins — every accepted connection gets either a
+//     full response or a deliberate close-after-silence (churn), which
+//     is what lets the CLI exit 0 on SIGTERM mid-load.
+//
+// Served metrics (asserted live in tests):
+//   exaeff_serve_requests_total   responses sent (any status, sheds incl)
+//   exaeff_serve_shed_total       503s from admission-queue overflow
+//   exaeff_serve_timeouts_total   408 read timeouts + 504 deadline expiries
+//   exaeff_serve_cache_{hits,misses}_total   (from QueryCache)
+//   exaeff_serve_inflight         admitted-but-unfinished connections
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "serve/service.h"
+
+namespace exaeff::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;          ///< 0 binds an ephemeral port
+  std::size_t workers = 0;         ///< 0 = min(exec::job_count(), 8)
+  std::size_t queue_depth = 64;    ///< admitted-but-unclaimed connections
+  int read_timeout_ms = 5000;      ///< slow-loris bound per request read
+  int write_timeout_ms = 5000;     ///< response write bound
+  int default_deadline_ms = 2000;  ///< per-request compute deadline
+  int max_deadline_ms = 30000;     ///< cap on client deadline_ms=
+  /// Retry-After schedule for shed responses: attempt k (consecutive
+  /// sheds, clamped to max_attempts) waits backoff_before_retry(k),
+  /// rounded up to whole seconds.  One shared policy — the same type
+  /// loadgen uses client-side.
+  common::BackoffPolicy shed_backoff{
+      .max_attempts = 8,
+      .base_backoff_s = 1.0,
+      .backoff_multiplier = 2.0,
+      .max_backoff_s = 8.0,
+  };
+};
+
+class ProjectionServer {
+ public:
+  ProjectionServer(std::shared_ptr<ProjectionService> service,
+                   ServerOptions options);
+  /// Drains if still running.
+  ~ProjectionServer();
+  ProjectionServer(const ProjectionServer&) = delete;
+  ProjectionServer& operator=(const ProjectionServer&) = delete;
+
+  /// Binds and spawns the accept loop + workers.  False (reason in
+  /// last_error()) when the port cannot be bound.
+  [[nodiscard]] bool start();
+
+  /// Graceful drain: stop accepting, finish every admitted connection,
+  /// join all threads.  Idempotent.
+  void drain();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& last_error() const { return error_; }
+
+  struct Stats {
+    std::uint64_t accepted = 0;   ///< connections accepted
+    std::uint64_t responded = 0;  ///< full responses written (incl sheds)
+    std::uint64_t shed = 0;       ///< 503 admission rejections
+    std::uint64_t timeouts = 0;   ///< 408 read timeouts + 504 deadlines
+    std::uint64_t closed_early = 0;  ///< peer closed before sending a request
+    std::uint64_t write_failures = 0;  ///< responses dropped mid-write
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  void accept_main();
+  void worker_main();
+  void serve_connection(int fd);
+  void respond_shed(int fd);
+  void count_response(int status);
+
+  std::shared_ptr<ProjectionService> service_;
+  ServerOptions options_;
+  std::string error_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queue_;  ///< admitted connection fds
+  bool draining_ = false;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_accept_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> responded_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> timeouts_{0};
+  std::atomic<std::uint64_t> closed_early_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+  std::atomic<std::uint64_t> inflight_{0};
+  std::uint32_t consecutive_sheds_ = 0;  ///< accept thread only
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+};
+
+}  // namespace exaeff::serve

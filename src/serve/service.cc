@@ -1,0 +1,456 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/system_config.h"
+#include "common/units.h"
+#include "exec/thread_pool.h"
+#include "obs/exposition_server.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "run/journal.h"
+#include "sched/fleetgen.h"
+#include "workloads/app_profile.h"
+
+namespace exaeff::serve {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Fixed-format double: the one rendering every body uses, so warm
+/// (cached) and cold answers cannot differ in formatting.
+std::string num(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+net::HttpResponse error_response(int status, const std::string& message) {
+  net::HttpResponse r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = "{\"error\":" + json_escape(message) +
+           ",\"status\":" + std::to_string(status) + "}\n";
+  return r;
+}
+
+net::HttpResponse not_ready_response() {
+  net::HttpResponse r = error_response(503, "fleet model still loading");
+  r.extra_headers.emplace_back("Retry-After", "1");
+  return r;
+}
+
+net::HttpResponse text_response(int status, std::string body) {
+  net::HttpResponse r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+double parse_double_param(const std::string& key, const std::string& value) {
+  double v = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), v);
+  if (ec != std::errc{} || ptr != value.data() + value.size() ||
+      !std::isfinite(v)) {
+    throw ConfigError("bad number for '" + key + "': '" + value + "'");
+  }
+  return v;
+}
+
+core::CapType parse_type(const std::string& value) {
+  if (value == "frequency") return core::CapType::kFrequency;
+  if (value == "power") return core::CapType::kPower;
+  throw ConfigError("bad type '" + value +
+                    "' (expected 'frequency' or 'power')");
+}
+
+sched::ScienceDomain parse_domain(const std::string& value) {
+  for (const auto d : sched::all_domains()) {
+    if (sched::domain_code(d) == value) return d;
+  }
+  std::string codes;
+  for (const auto d : sched::all_domains()) {
+    if (!codes.empty()) codes += ' ';
+    codes += sched::domain_code(d);
+  }
+  throw ConfigError("unknown domain '" + value + "' (one of: " + codes +
+                    ")");
+}
+
+sched::SizeBin parse_bin(const std::string& value) {
+  for (const auto b : sched::all_size_bins()) {
+    if (sched::bin_name(b) == value) return b;
+  }
+  throw ConfigError("unknown bin '" + value + "' (one of: A B C D E)");
+}
+
+/// The settings this model characterized for `type`, for validation and
+/// actionable error messages.
+std::vector<double> characterized_settings(const core::CapResponseTable& t,
+                                           core::CapType type) {
+  std::vector<double> out;
+  for (const auto& r : t.rows(core::BenchClass::kComputeIntensive, type)) {
+    out.push_back(r.setting);
+  }
+  return out;
+}
+
+void require_characterized(const core::CapResponseTable& t,
+                           core::CapType type, double setting) {
+  const auto settings = characterized_settings(t, type);
+  for (double s : settings) {
+    if (std::fabs(s - setting) <= core::CapResponseTable::kSettingTolerance) {
+      return;
+    }
+  }
+  std::string list;
+  for (double s : settings) {
+    if (!list.empty()) list += ' ';
+    list += num(s);
+  }
+  throw ConfigError("cap " + num(setting) + " is not characterized for " +
+                    std::string(core::cap_type_name(type)) +
+                    " (characterized settings: " + list + ")");
+}
+
+void append_row_json(std::string& out, const core::ProjectionRow& row) {
+  out += "{\"cap\":" + num(row.setting);
+  out += ",\"ci_saved_mwh\":" + num(row.ci_saved_mwh);
+  out += ",\"mi_saved_mwh\":" + num(row.mi_saved_mwh);
+  out += ",\"total_saved_mwh\":" + num(row.total_saved_mwh);
+  out += ",\"savings_pct\":" + num(row.savings_pct);
+  out += ",\"delta_t_pct\":" + num(row.delta_t_pct);
+  out += ",\"savings_pct_no_slowdown\":" + num(row.savings_pct_no_slowdown);
+  out += "}";
+}
+
+}  // namespace
+
+// --- FleetModel -------------------------------------------------------
+
+std::shared_ptr<const FleetModel> FleetModel::build(
+    const FleetModelConfig& config, exec::ThreadPool& pool) {
+  EXAEFF_TRACE_SPAN("serve.load_model");
+  std::shared_ptr<FleetModel> m(new FleetModel());
+  m->config_ = config;
+  sched::CampaignConfig cfg;
+  cfg.system = cluster::frontier_scaled(config.nodes);
+  cfg.duration_s = config.days * units::kDay;
+  const auto& gcd = cfg.system.node.gcd;
+  const auto library = workloads::make_profile_library(gcd);
+  const auto boundaries = core::derive_boundaries(gcd);
+  const sched::FleetGenerator gen(cfg, library);
+  const auto log = gen.generate_schedule();
+  m->jobs_ = log.size();
+  m->acc_ = std::make_unique<core::CampaignAccumulator>(
+      cfg.telemetry_window_s, boundaries);
+  core::AccumulatorShards shards(*m->acc_);
+  gen.generate_telemetry(log, shards, pool);
+  core::CharacterizationOptions copts;
+  copts.pool = &pool;
+  m->table_ = core::characterize(gcd, copts);
+  m->fleet_ = m->acc_->decomposition();
+  obs::Logger::global().info(
+      "serve.model_loaded",
+      {{"nodes", config.nodes},
+       {"days", config.days},
+       {"jobs", m->jobs_},
+       {"gcd_samples", m->acc_->gcd_sample_count()}});
+  return m;
+}
+
+// --- RequestContext ---------------------------------------------------
+
+void RequestContext::check() const {
+  if (token != nullptr && token->cancelled()) {
+    throw CancelledError("request cancelled");
+  }
+  if (deadline.expired()) {
+    // Trip the token so any pool chunk this request scheduled is
+    // abandoned at its next boundary, then surface 504.
+    if (token != nullptr) token->cancel(exec::CancellationToken::kDeadline);
+    throw CancelledError("request deadline exceeded");
+  }
+}
+
+// --- ProjectionService ------------------------------------------------
+
+struct ProjectionService::Query {
+  double cap = 0.0;  ///< /project only
+  double lo = 0.0, hi = 0.0, step = 0.0;  ///< /sweep only
+  core::CapType type = core::CapType::kFrequency;
+  bool has_domain = false;
+  sched::ScienceDomain domain = sched::ScienceDomain::kChemistry;
+  bool has_bin = false;
+  sched::SizeBin bin = sched::SizeBin::kA;
+  std::string canonical;  ///< canonical text the cache key hashes
+};
+
+ProjectionService::ProjectionService(ServiceLimits limits)
+    : limits_(std::move(limits)) {}
+
+void ProjectionService::set_model(std::shared_ptr<const FleetModel> model) {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  model_ = std::move(model);
+}
+
+bool ProjectionService::ready() const { return model() != nullptr; }
+
+void ProjectionService::set_refresh_hook(std::function<void()> hook) {
+  refresh_hook_ = std::move(hook);
+}
+
+std::shared_ptr<const FleetModel> ProjectionService::model() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return model_;
+}
+
+net::HttpResponse ProjectionService::handle(const net::HttpRequest& req,
+                                            RequestContext& ctx) {
+  try {
+    return route(req, ctx);
+  } catch (const net::HttpError& e) {
+    return error_response(e.status(), e.what());
+  } catch (const CancelledError&) {
+    return error_response(504, "request deadline exceeded");
+  } catch (const DataQualityError& e) {
+    return error_response(422, e.what());
+  } catch (const ConfigError& e) {
+    return error_response(400, e.what());
+  } catch (const ParseError& e) {
+    return error_response(400, e.what());
+  } catch (const std::exception& e) {
+    return error_response(500, e.what());
+  }
+}
+
+net::HttpResponse ProjectionService::route(const net::HttpRequest& req,
+                                           RequestContext& ctx) {
+  if (req.method != "GET" && req.method != "HEAD") {
+    return error_response(405, "method not allowed (GET/HEAD only)");
+  }
+  if (req.path == "/healthz") return text_response(200, "ok\n");
+  if (req.path == "/readyz") {
+    if (ready()) return text_response(200, "ready\n");
+    net::HttpResponse r = text_response(503, "loading\n");
+    r.extra_headers.emplace_back("Retry-After", "1");
+    return r;
+  }
+  if (req.path == "/metrics") {
+    if (refresh_hook_) refresh_hook_();
+    net::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = obs::MetricsRegistry::global().expose_prometheus();
+    return r;
+  }
+  if (req.path == "/metrics.json") {
+    if (refresh_hook_) refresh_hook_();
+    net::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = obs::MetricsRegistry::global().expose_json();
+    return r;
+  }
+  if (req.path == "/runinfo") {
+    net::HttpResponse r;
+    r.content_type = "application/json";
+    r.body = obs::run_info_json();
+    return r;
+  }
+  if (req.path == "/project" || req.path == "/sweep") {
+    return projection_response(req, ctx, req.path == "/sweep");
+  }
+  return error_response(404, "unknown path '" + req.path + "'");
+}
+
+net::HttpResponse ProjectionService::projection_response(
+    const net::HttpRequest& req, RequestContext& ctx, bool sweep) {
+  Query q;
+  bool has_cap = false, has_caps = false;
+  bool seen_type = false, seen_deadline = false;
+  std::string cap_text, caps_text, domain_text, bin_text, type_text;
+  for (const auto& [key, value] : net::parse_query(req.query)) {
+    if ((key == "cap" && !sweep && !has_cap) ||
+        (key == "caps" && sweep && !has_caps) ||
+        (key == "type" && !seen_type) ||
+        (key == "domain" && domain_text.empty() && !q.has_domain) ||
+        (key == "bin" && bin_text.empty() && !q.has_bin) ||
+        (key == "deadline_ms" && !seen_deadline)) {
+      // accepted below
+    } else {
+      throw ConfigError("unknown or duplicate query parameter '" + key +
+                        "'");
+    }
+    if (key == "cap") {
+      has_cap = true;
+      cap_text = value;
+    } else if (key == "caps") {
+      has_caps = true;
+      caps_text = value;
+    } else if (key == "type") {
+      seen_type = true;
+      type_text = value;
+    } else if (key == "domain") {
+      q.has_domain = true;
+      domain_text = value;
+    } else if (key == "bin") {
+      q.has_bin = true;
+      bin_text = value;
+    } else if (key == "deadline_ms") {
+      seen_deadline = true;
+      const double v = parse_double_param("deadline_ms", value);
+      if (v < 1.0 || v > static_cast<double>(ctx.max_deadline_ms) ||
+          v != std::floor(v)) {
+        throw ConfigError("deadline_ms must be an integer in [1, " +
+                          std::to_string(ctx.max_deadline_ms) + "]");
+      }
+      ctx.deadline = net::Deadline::after_ms(static_cast<long>(v));
+    }
+  }
+  if (!sweep && !has_cap) throw ConfigError("/project requires cap=");
+  if (sweep && !has_caps) {
+    throw ConfigError("/sweep requires caps=lo:hi:step");
+  }
+  if (seen_type) q.type = parse_type(type_text);
+  if (q.has_domain) q.domain = parse_domain(domain_text);
+  if (q.has_bin) q.bin = parse_bin(bin_text);
+
+  const auto m = model();
+  if (m == nullptr) return not_ready_response();
+
+  if (sweep) {
+    const auto c1 = caps_text.find(':');
+    const auto c2 =
+        c1 == std::string::npos ? std::string::npos : caps_text.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      throw ConfigError("caps must be lo:hi:step, got '" + caps_text + "'");
+    }
+    q.lo = parse_double_param("caps", caps_text.substr(0, c1));
+    q.hi = parse_double_param("caps", caps_text.substr(c1 + 1, c2 - c1 - 1));
+    q.step = parse_double_param("caps", caps_text.substr(c2 + 1));
+    if (!(q.step > 0.0) || q.hi < q.lo) {
+      throw ConfigError("caps must satisfy lo <= hi and step > 0");
+    }
+    const double points = std::floor((q.hi - q.lo) / q.step + 1e-9) + 1.0;
+    if (points > static_cast<double>(limits_.max_sweep_points)) {
+      throw ConfigError("sweep of " + num(points) +
+                        " points exceeds the limit of " +
+                        std::to_string(limits_.max_sweep_points));
+    }
+  } else {
+    q.cap = parse_double_param("cap", cap_text);
+    require_characterized(m->table(), q.type, q.cap);
+  }
+
+  // Canonical query text (fixed key order, fixed number format): the
+  // cache key, shared with the journal's FNV-1a content hashing.
+  q.canonical = req.path;
+  q.canonical += sweep ? "?caps=" + num(q.lo) + ":" + num(q.hi) + ":" +
+                             num(q.step)
+                       : "?cap=" + num(q.cap);
+  q.canonical += "&type=";
+  q.canonical += core::cap_type_name(q.type);
+  q.canonical += "&domain=";
+  q.canonical += q.has_domain ? sched::domain_code(q.domain) : "all";
+  q.canonical += "&bin=";
+  q.canonical += q.has_bin ? sched::bin_name(q.bin) : "all";
+
+  const std::uint64_t key = run::fnv1a64(q.canonical);
+  net::HttpResponse r;
+  r.content_type = "application/json";
+  if (auto cached = cache_.find(key)) {
+    r.body = *cached;
+    return r;
+  }
+  auto body = std::make_shared<const std::string>(
+      compute_body(*m, q, ctx, sweep));
+  cache_.insert(key, body);
+  r.body = *body;
+  return r;
+}
+
+std::string ProjectionService::compute_body(const FleetModel& m,
+                                            const Query& q,
+                                            RequestContext& ctx,
+                                            bool sweep) const {
+  // Restricted decompositions are recomputed from the accumulator's
+  // (domain, bin) cells; the whole-fleet one is precomputed at load.
+  core::ModalDecomposition decomp;
+  if (q.has_domain || q.has_bin) {
+    std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+        mask{};
+    for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
+      for (std::size_t b = 0; b < sched::kSizeBinCount; ++b) {
+        const bool domain_ok =
+            !q.has_domain || d == static_cast<std::size_t>(q.domain);
+        const bool bin_ok =
+            !q.has_bin || b == static_cast<std::size_t>(q.bin);
+        mask[d][b] = domain_ok && bin_ok;
+      }
+    }
+    decomp = m.accumulator().decomposition_for(mask);
+  } else {
+    decomp = m.fleet_decomposition();
+  }
+
+  const core::ProjectionEngine engine(m.table());
+  std::string out = "{\"type\":\"";
+  out += core::cap_type_name(q.type);
+  out += "\",\"domain\":\"";
+  out += q.has_domain ? sched::domain_code(q.domain) : "all";
+  out += "\",\"bin\":\"";
+  out += q.has_bin ? sched::bin_name(q.bin) : "all";
+  out += "\"";
+  if (!sweep) {
+    ctx.check();
+    out += ",\"row\":";
+    append_row_json(out, engine.project(decomp, q.type, q.cap));
+  } else {
+    const auto points = static_cast<std::size_t>(
+        std::floor((q.hi - q.lo) / q.step + 1e-9) + 1.0);
+    // Every enumerated point must be characterized before any work
+    // happens, so a half-bad sweep is rejected whole (400), never half
+    // answered.
+    for (std::size_t i = 0; i < points; ++i) {
+      require_characterized(m.table(), q.type,
+                            q.lo + static_cast<double>(i) * q.step);
+    }
+    out += ",\"count\":" + std::to_string(points) + ",\"rows\":[";
+    for (std::size_t i = 0; i < points; ++i) {
+      // The per-point boundary: the deadline is observed here, so an
+      // expired request abandons the remaining points (504), exactly
+      // like a pool chunk boundary under cancellation.
+      ctx.check();
+      if (limits_.sweep_point_hook) limits_.sweep_point_hook();
+      if (i > 0) out += ",";
+      append_row_json(
+          out, engine.project(decomp, q.type,
+                              q.lo + static_cast<double>(i) * q.step));
+    }
+    out += "]";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace exaeff::serve

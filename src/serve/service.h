@@ -1,0 +1,149 @@
+// exaeff/serve/service.h
+//
+// The projection query service: the analysis layer of `exaeff serve`.
+// A FleetModel is the characterized fleet loaded once at startup
+// (CapResponseTable + campaign accumulator + modal decomposition); the
+// ProjectionService answers HTTP queries against it:
+//
+//   GET /project?cap=1100[&type=frequency|power][&domain=CHM][&bin=A]
+//   GET /sweep?caps=700:1700:200[&type=...][&domain=...][&bin=...]
+//   GET /healthz /readyz /metrics /metrics.json /runinfo
+//
+// Optional `deadline_ms=` on /project and /sweep overrides the server's
+// default per-request deadline (capped at the server maximum).
+//
+// Error taxonomy → HTTP status, mirroring the CLI's exit-code table:
+//
+//   exit 0   (success)         → 200
+//   exit 2   (usage)           → 400  bad query: unknown/duplicate
+//                                     parameter, uncharacterized cap,
+//                                     malformed sweep spec
+//   exit 3   (data quality)    → 422  DataQualityError
+//   exit 130 (cancelled)       → 504  per-request deadline expired
+//            (overload)        → 503  admission queue full / model
+//                                     still loading (+ Retry-After)
+//   exit 1   (other)           → 500
+//
+// Handlers never throw: every outcome is a rendered response.  Bodies
+// are rendered with fixed formatting so identical queries produce
+// byte-identical bytes, cold or cached.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/accumulator.h"
+#include "core/characterization.h"
+#include "core/projection.h"
+#include "exec/cancellation.h"
+#include "net/http.h"
+#include "net/socket_io.h"
+#include "serve/query_cache.h"
+
+namespace exaeff::exec {
+class ThreadPool;
+}
+
+namespace exaeff::serve {
+
+/// Shape of the fleet to load at startup.
+struct FleetModelConfig {
+  std::size_t nodes = 32;
+  double days = 7.0;
+};
+
+/// The characterized fleet, immutable once built.  Building runs the
+/// full campaign + characterization pipeline on the exec pool (so
+/// --jobs applies and Supervisor cancellation aborts the load at chunk
+/// boundaries); after that, queries only read.
+class FleetModel {
+ public:
+  /// Throws CancelledError when the pool's token trips mid-load.
+  [[nodiscard]] static std::shared_ptr<const FleetModel> build(
+      const FleetModelConfig& config, exec::ThreadPool& pool);
+
+  [[nodiscard]] const FleetModelConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+  [[nodiscard]] const core::CapResponseTable& table() const { return table_; }
+  [[nodiscard]] const core::CampaignAccumulator& accumulator() const {
+    return *acc_;
+  }
+  /// The whole-fleet decomposition, precomputed at load.
+  [[nodiscard]] const core::ModalDecomposition& fleet_decomposition() const {
+    return fleet_;
+  }
+
+ private:
+  FleetModel() = default;
+
+  FleetModelConfig config_;
+  std::size_t jobs_ = 0;
+  std::unique_ptr<core::CampaignAccumulator> acc_;
+  core::CapResponseTable table_;
+  core::ModalDecomposition fleet_;
+};
+
+/// Per-request execution context: the deadline and the cancellation
+/// token the computation must observe.  check() is called at work
+/// boundaries (each sweep point); once the deadline passes it trips the
+/// token — so a pool chunk in flight is abandoned at its next boundary
+/// — and throws CancelledError, which the service maps to 504.
+struct RequestContext {
+  exec::CancellationToken* token = nullptr;
+  net::Deadline deadline = net::Deadline::never();
+  int default_deadline_ms = 2000;
+  int max_deadline_ms = 30000;
+
+  void check() const;
+};
+
+/// Service-level limits and test instrumentation.
+struct ServiceLimits {
+  std::size_t max_sweep_points = 4096;
+  /// Invoked once per sweep point before it is computed; tests inject a
+  /// stall here to exercise the 504 path deterministically.
+  std::function<void()> sweep_point_hook;
+};
+
+class ProjectionService {
+ public:
+  explicit ProjectionService(ServiceLimits limits = {});
+
+  /// Publishes the loaded model; before this every query answers 503
+  /// (so /readyz gates traffic while the fleet characterizes).
+  void set_model(std::shared_ptr<const FleetModel> model);
+  [[nodiscard]] bool ready() const;
+
+  /// Invoked before /metrics rendering (republish lazy series).
+  void set_refresh_hook(std::function<void()> hook);
+
+  /// Routes one parsed request.  Never throws.
+  [[nodiscard]] net::HttpResponse handle(const net::HttpRequest& req,
+                                         RequestContext& ctx);
+
+  [[nodiscard]] QueryCache& cache() { return cache_; }
+
+ private:
+  struct Query;  // parsed+validated /project//sweep parameters
+
+  [[nodiscard]] std::shared_ptr<const FleetModel> model() const;
+  [[nodiscard]] net::HttpResponse route(const net::HttpRequest& req,
+                                        RequestContext& ctx);
+  [[nodiscard]] net::HttpResponse projection_response(
+      const net::HttpRequest& req, RequestContext& ctx, bool sweep);
+  [[nodiscard]] std::string compute_body(const FleetModel& m,
+                                         const Query& q, RequestContext& ctx,
+                                         bool sweep) const;
+
+  ServiceLimits limits_;
+  QueryCache cache_;
+  std::function<void()> refresh_hook_;
+  mutable std::mutex model_mu_;
+  std::shared_ptr<const FleetModel> model_;
+};
+
+}  // namespace exaeff::serve

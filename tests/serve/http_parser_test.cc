@@ -1,0 +1,233 @@
+// Hardened-parser tests: the malformed-request corpus from the serving
+// PR.  Every rejection must be a thrown HttpError with the documented
+// status — never a crash, hang, or silent acceptance — and the parser
+// must behave identically however the bytes are chunked.
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace exaeff::net {
+namespace {
+
+HttpRequest parse_all(const std::string& text) {
+  HttpParser p;
+  EXPECT_TRUE(p.feed(text));
+  return p.request();
+}
+
+int thrown_status(const std::string& text) {
+  HttpParser p;
+  try {
+    (void)p.feed(text);
+  } catch (const HttpError& e) {
+    return e.status();
+  }
+  return 0;
+}
+
+TEST(HttpParser, ParsesSimpleGet) {
+  const auto req = parse_all(
+      "GET /project?cap=1100&bin=A HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "User-Agent: test\r\n\r\n");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/project");
+  EXPECT_EQ(req.query, "cap=1100&bin=A");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  ASSERT_NE(req.header("host"), nullptr);
+  EXPECT_EQ(*req.header("host"), "localhost");
+  EXPECT_EQ(req.header("absent"), nullptr);
+}
+
+TEST(HttpParser, ByteAtATimeMatchesSingleFeed) {
+  const std::string text =
+      "GET /sweep?caps=700:1700:200 HTTP/1.0\r\nHost: h\r\n\r\n";
+  HttpParser p;
+  bool complete = false;
+  for (char c : text) {
+    ASSERT_FALSE(complete);  // must not complete before the last byte
+    complete = p.feed(std::string_view(&c, 1));
+  }
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(p.request().path, "/sweep");
+  EXPECT_EQ(p.request().version, "HTTP/1.0");
+}
+
+TEST(HttpParser, TruncatedRequestLineNeverCompletes) {
+  HttpParser p;
+  EXPECT_FALSE(p.feed("GET /proj"));
+  EXPECT_FALSE(p.complete());
+  EXPECT_EQ(p.buffered_bytes(), 9u);
+}
+
+TEST(HttpParser, NulByteRejected400) {
+  EXPECT_EQ(thrown_status(std::string("GET /\0 HTTP/1.1\r\n\r\n", 19)), 400);
+}
+
+TEST(HttpParser, OversizedRequestLine414) {
+  const std::string text =
+      "GET /" + std::string(8000, 'a') + " HTTP/1.1\r\n\r\n";
+  EXPECT_EQ(thrown_status(text), 414);
+}
+
+TEST(HttpParser, OversizedHeaderBlock431) {
+  std::string text = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 10; ++i) {
+    text += "X-Pad-" + std::to_string(i) + ": " + std::string(1000, 'v') +
+            "\r\n";
+  }
+  text += "\r\n";
+  EXPECT_EQ(thrown_status(text), 431);
+}
+
+TEST(HttpParser, TooManyHeaders431) {
+  std::string text = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 80; ++i) {
+    text += "h" + std::to_string(i) + ": v\r\n";
+  }
+  text += "\r\n";
+  EXPECT_EQ(thrown_status(text), 431);
+}
+
+TEST(HttpParser, MalformedRequestLines400) {
+  EXPECT_EQ(thrown_status("GET/ HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(thrown_status("GET  / HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(thrown_status("GET / HTTP/1.1 extra\r\n\r\n"), 400);
+  EXPECT_EQ(thrown_status("g3t / HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(thrown_status("GET nopath HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(thrown_status("\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, UnsupportedVersion505) {
+  EXPECT_EQ(thrown_status("GET / HTTP/2.0\r\n\r\n"), 505);
+  EXPECT_EQ(thrown_status("GET / SPDY/3\r\n\r\n"), 505);
+}
+
+TEST(HttpParser, BodiesRejected413) {
+  EXPECT_EQ(thrown_status("GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\n"),
+            413);
+  EXPECT_EQ(
+      thrown_status("GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      413);
+}
+
+TEST(HttpParser, BadHeaderLines400) {
+  EXPECT_EQ(thrown_status("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"), 400);
+  EXPECT_EQ(thrown_status("GET / HTTP/1.1\r\nbad name: v\r\n\r\n"), 400);
+  EXPECT_EQ(thrown_status("GET / HTTP/1.1\r\nh: a\x01t\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, BadPercentEncoding400) {
+  EXPECT_EQ(thrown_status("GET /p%zzq HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(thrown_status("GET /p%2 HTTP/1.1\r\n\r\n"), 400);
+}
+
+TEST(HttpParser, PercentDecodedPathRawQuery) {
+  const auto req = parse_all("GET /a%20b?x=1%202 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(req.path, "/a b");
+  EXPECT_EQ(req.query, "x=1%202");  // decoded later, by parse_query
+}
+
+TEST(HttpParser, PipelinedGarbageAfterHeadIgnored) {
+  HttpParser p;
+  EXPECT_TRUE(p.feed("GET /healthz HTTP/1.1\r\n\r\nGARBAGE \x02\x03 MORE"));
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.request().path, "/healthz");
+}
+
+TEST(HttpParser, BareLfTerminatorAccepted) {
+  HttpParser p;
+  EXPECT_TRUE(p.feed("GET / HTTP/1.1\nHost: h\n\n"));
+  ASSERT_NE(p.request().header("host"), nullptr);
+}
+
+TEST(PercentDecode, PlusHandling) {
+  EXPECT_EQ(percent_decode("a+b"), "a+b");
+  EXPECT_EQ(percent_decode("a+b", /*plus_is_space=*/true), "a b");
+  EXPECT_EQ(percent_decode("%41%42"), "AB");
+  EXPECT_THROW((void)percent_decode("%4"), HttpError);
+}
+
+TEST(ParseQuery, SplitsAndDecodes) {
+  const auto kv = parse_query("cap=1100&domain=CHM&note=a%20b&flag");
+  ASSERT_EQ(kv.size(), 4u);
+  EXPECT_EQ(kv[0].first, "cap");
+  EXPECT_EQ(kv[0].second, "1100");
+  EXPECT_EQ(kv[2].second, "a b");
+  EXPECT_EQ(kv[3].first, "flag");
+  EXPECT_EQ(kv[3].second, "");
+}
+
+TEST(RenderResponse, ContentLengthAndConnectionClose) {
+  HttpResponse r;
+  r.status = 200;
+  r.body = "hello\n";
+  const auto text = render_response(r, /*head_only=*/false);
+  EXPECT_NE(text.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Content-Length: 6\r\n"), std::string::npos);
+  EXPECT_NE(text.find("Connection: close\r\n\r\n"), std::string::npos);
+  EXPECT_EQ(text.substr(text.size() - 6), "hello\n");
+
+  const auto head = render_response(r, /*head_only=*/true);
+  EXPECT_EQ(head.find("hello"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 6\r\n"), std::string::npos);
+}
+
+// Fuzz-style sweep: mutate a valid request and feed it in random-sized
+// chunks.  The only acceptable outcomes are clean completion, waiting
+// for more bytes, or a thrown HttpError — anything else (crash, UB
+// under the sanitizer jobs) fails the suite.
+TEST(HttpParser, SeededMutationFuzz) {
+  const std::string base =
+      "GET /project?cap=1100&domain=CHM&bin=A&deadline_ms=250 HTTP/1.1\r\n"
+      "Host: fuzz.local\r\n"
+      "User-Agent: exaeff-fuzz\r\n"
+      "Accept: */*\r\n\r\n";
+  Rng rng(0xF5EED);
+  int completed = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string text = base;
+    const std::size_t mutations = 1 + rng.uniform_index(8);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      const auto at = rng.uniform_index(text.size());
+      switch (rng.uniform_index(3)) {
+        case 0:  // flip a byte to anything
+          text[at] = static_cast<char>(rng.uniform_index(256));
+          break;
+        case 1:  // truncate
+          text.resize(at + 1);
+          break;
+        default:  // duplicate a slice (can exceed limits — also valid)
+          text.insert(at, text.substr(0, rng.uniform_index(at + 1)));
+          break;
+      }
+    }
+    HttpParser p;
+    std::size_t pos = 0;
+    try {
+      bool complete = false;
+      while (pos < text.size() && !complete) {
+        const auto n =
+            std::min(text.size() - pos, 1 + rng.uniform_index(37));
+        complete = p.feed(std::string_view(text).substr(pos, n));
+        pos += n;
+      }
+      if (complete) ++completed;
+    } catch (const HttpError& e) {
+      EXPECT_GE(e.status(), 400);
+      EXPECT_LT(e.status(), 600);
+      ++rejected;
+    }
+  }
+  // The mix must exercise both outcomes, or the corpus is too tame.
+  EXPECT_GT(completed + rejected, 0);
+  EXPECT_GT(rejected, 50);
+}
+
+}  // namespace
+}  // namespace exaeff::net

@@ -1,0 +1,385 @@
+// Robustness tests for the `exaeff serve` stack: cache byte-identity,
+// the error taxonomy over real sockets, deterministic load-shedding,
+// per-request deadlines, live metrics under load, and the graceful-
+// drain invariant (every accepted connection is accounted for) — both
+// in-process and across a fork + SIGTERM.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "exec/thread_pool.h"
+#include "net/http.h"
+#include "net/socket_io.h"
+#include "obs/metrics.h"
+#include "run/supervisor.h"
+#include "serve/service.h"
+
+namespace exaeff::serve {
+namespace {
+
+std::string read_to_close(int fd, int timeout_ms = 10000) {
+  std::string data;
+  const auto deadline = net::Deadline::after_ms(timeout_ms);
+  char buf[4096];
+  while (!deadline.expired()) {
+    if (net::wait_readable(fd, deadline.remaining_ms()) <= 0) break;
+    const ssize_t n = net::recv_some(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  return data;
+}
+
+std::string fetch(std::uint16_t port, const std::string& target) {
+  int fd = net::connect_tcp("127.0.0.1", port);
+  EXPECT_GE(fd, 0);
+  if (fd < 0) return {};
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+  EXPECT_TRUE(net::send_all(fd, req, net::Deadline::after_ms(2000)));
+  std::string response = read_to_close(fd);
+  net::close_fd(fd);
+  return response;
+}
+
+std::string body_of(const std::string& response) {
+  const auto at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string() : response.substr(at + 4);
+}
+
+// The SIGTERM drain contract, proven across a real process boundary.
+// The child runs a not-ready server (503s are still full responses);
+// the parent loads it — including an in-flight slow request at the
+// moment of SIGTERM — and asserts exit 0.  Registered first so the
+// child forks before the suite spins up the thread pool.
+TEST(ServeForkDrain, SigtermMidLoadExitsZero) {
+  int port_pipe[2];
+  ASSERT_EQ(pipe(port_pipe), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    close(port_pipe[0]);
+    run::Supervisor supervisor;  // installs SIGTERM -> token
+    auto service = std::make_shared<ProjectionService>();
+    ServerOptions sopts;
+    sopts.read_timeout_ms = 300;  // keeps the drain under a second
+    sopts.write_timeout_ms = 500;
+    ProjectionServer server(service, sopts);
+    if (!server.start()) _exit(3);
+    const std::uint16_t port = server.port();
+    if (write(port_pipe[1], &port, sizeof port) != sizeof port) _exit(4);
+    close(port_pipe[1]);
+    while (!supervisor.token().cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    server.drain();
+    const auto st = server.stats();
+    if (st.accepted !=
+        st.responded + st.closed_early + st.write_failures) {
+      _exit(5);
+    }
+    if (st.accepted < 4) _exit(6);
+    _exit(0);
+  }
+  close(port_pipe[1]);
+  std::uint16_t port = 0;
+  ASSERT_EQ(read(port_pipe[0], &port, sizeof port),
+            static_cast<ssize_t>(sizeof port));
+  close(port_pipe[0]);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto response = fetch(port, "/project?cap=1100");
+    EXPECT_NE(response.find(" 503 "), std::string::npos);
+    EXPECT_NE(response.find("Retry-After:"), std::string::npos);
+  }
+  // Leave a slow-loris in flight across the SIGTERM: the drain must
+  // still account for it (408 after the read timeout).
+  int slow = net::connect_tcp("127.0.0.1", port);
+  ASSERT_GE(slow, 0);
+  ASSERT_TRUE(
+      net::send_all(slow, "GET /health", net::Deadline::after_ms(1000)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  const std::string tail = read_to_close(slow, 5000);
+  net::close_fd(slow);
+  EXPECT_NE(tail.find(" 408 "), std::string::npos);
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    obs::set_metrics_enabled(true);
+    model_ = FleetModel::build(FleetModelConfig{8, 0.02},
+                               exec::ThreadPool::global());
+  }
+
+  static std::shared_ptr<const ProjectionService> make_ready_service() {
+    auto service = std::make_shared<ProjectionService>();
+    service->set_model(model_);
+    return service;
+  }
+
+  static net::HttpRequest make_request(const std::string& path,
+                                       const std::string& query) {
+    net::HttpRequest req;
+    req.method = "GET";
+    req.path = path;
+    req.query = query;
+    req.version = "HTTP/1.1";
+    return req;
+  }
+
+  static net::HttpResponse handle(ProjectionService& service,
+                                  const std::string& path,
+                                  const std::string& query,
+                                  int deadline_ms = 5000) {
+    exec::CancellationToken token;
+    RequestContext ctx;
+    ctx.token = &token;
+    ctx.deadline = net::Deadline::after_ms(deadline_ms);
+    ctx.default_deadline_ms = deadline_ms;
+    const auto req = make_request(path, query);
+    return service.handle(req, ctx);
+  }
+
+  static std::shared_ptr<const FleetModel> model_;
+};
+
+std::shared_ptr<const FleetModel> ServeTest::model_;
+
+TEST_F(ServeTest, WarmCacheBytesMatchColdAnswer) {
+  ProjectionService a;
+  a.set_model(model_);
+  const auto cold = handle(a, "/project", "cap=1100&domain=CHM&bin=A");
+  ASSERT_EQ(cold.status, 200);
+  EXPECT_EQ(a.cache().hits(), 0u);
+  const auto warm = handle(a, "/project", "cap=1100&domain=CHM&bin=A");
+  ASSERT_EQ(warm.status, 200);
+  EXPECT_EQ(warm.body, cold.body);
+  EXPECT_EQ(a.cache().hits(), 1u);
+
+  // A fresh service recomputes from scratch; bytes must still match.
+  ProjectionService b;
+  b.set_model(model_);
+  const auto recomputed = handle(b, "/project", "cap=1100&domain=CHM&bin=A");
+  EXPECT_EQ(recomputed.body, cold.body);
+
+  // deadline_ms is execution policy, not part of the answer: it must
+  // hit the same cache entry.
+  const auto hits_before = a.cache().hits();
+  const auto with_deadline =
+      handle(a, "/project", "cap=1100&domain=CHM&bin=A&deadline_ms=9000");
+  EXPECT_EQ(with_deadline.body, cold.body);
+  EXPECT_EQ(a.cache().hits(), hits_before + 1);
+}
+
+TEST_F(ServeTest, SweepAnswersAreCachedAndScoped) {
+  ProjectionService service;
+  service.set_model(model_);
+  const auto fleet = handle(service, "/sweep", "caps=700:1700:200");
+  ASSERT_EQ(fleet.status, 200);
+  EXPECT_NE(fleet.body.find("\"count\":6"), std::string::npos);
+  const auto scoped =
+      handle(service, "/sweep", "caps=700:1700:200&domain=CHM");
+  ASSERT_EQ(scoped.status, 200);
+  EXPECT_NE(scoped.body, fleet.body);  // different decomposition mask
+  const auto again = handle(service, "/sweep", "caps=700:1700:200");
+  EXPECT_EQ(again.body, fleet.body);
+  EXPECT_GE(service.cache().hits(), 1u);
+}
+
+TEST_F(ServeTest, ErrorTaxonomyMapsToHttpStatuses) {
+  ProjectionService service;
+  service.set_model(model_);
+  // Uncharacterized cap, unknown parameter, duplicate parameter, bad
+  // domain, malformed sweep spec: all usage-class -> 400.
+  EXPECT_EQ(handle(service, "/project", "cap=1234").status, 400);
+  EXPECT_EQ(handle(service, "/project", "cap=1100&bogus=1").status, 400);
+  EXPECT_EQ(handle(service, "/project", "cap=1100&cap=900").status, 400);
+  EXPECT_EQ(handle(service, "/project", "cap=1100&domain=XXX").status, 400);
+  EXPECT_EQ(handle(service, "/sweep", "caps=1700:700:200").status, 400);
+  EXPECT_EQ(handle(service, "/sweep", "caps=700:1700:0").status, 400);
+  EXPECT_EQ(handle(service, "/project", "").status, 400);
+  // Wrong-surface and wrong-method requests.
+  EXPECT_EQ(handle(service, "/nope", "").status, 404);
+  {
+    exec::CancellationToken token;
+    RequestContext ctx;
+    ctx.token = &token;
+    ctx.deadline = net::Deadline::after_ms(1000);
+    auto req = make_request("/project", "cap=1100");
+    req.method = "POST";
+    EXPECT_EQ(service.handle(req, ctx).status, 405);
+  }
+  // Errors carry a structured JSON body naming the problem.
+  const auto bad = handle(service, "/project", "cap=1234");
+  EXPECT_NE(bad.body.find("\"error\""), std::string::npos);
+  EXPECT_NE(bad.body.find("\"status\":400"), std::string::npos);
+}
+
+TEST_F(ServeTest, NotReadyAnswers503WithRetryAfter) {
+  ProjectionService service;  // no model
+  const auto r = handle(service, "/project", "cap=1100");
+  EXPECT_EQ(r.status, 503);
+  bool has_retry_after = false;
+  for (const auto& [name, value] : r.extra_headers) {
+    if (name == "Retry-After") has_retry_after = true;
+  }
+  EXPECT_TRUE(has_retry_after);
+  EXPECT_EQ(handle(service, "/readyz", "").status, 503);
+  EXPECT_EQ(handle(service, "/healthz", "").status, 200);
+}
+
+TEST_F(ServeTest, DeadlineExpiryAnswers504AndTripsToken) {
+  ServiceLimits limits;
+  limits.sweep_point_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  ProjectionService service(limits);
+  service.set_model(model_);
+  exec::CancellationToken token;
+  RequestContext ctx;
+  ctx.token = &token;
+  ctx.deadline = net::Deadline::after_ms(60);
+  const auto req = make_request("/sweep", "caps=700:1700:200");
+  const auto r = service.handle(req, ctx);
+  EXPECT_EQ(r.status, 504);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), exec::CancellationToken::kDeadline);
+}
+
+TEST_F(ServeTest, SlowLorisGets408OverSocket) {
+  auto service = std::make_shared<ProjectionService>();
+  service->set_model(model_);
+  ServerOptions sopts;
+  sopts.read_timeout_ms = 250;
+  ProjectionServer server(service, sopts);
+  ASSERT_TRUE(server.start());
+  int fd = net::connect_tcp("127.0.0.1", server.port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(net::send_all(fd, "GET /heal", net::Deadline::after_ms(1000)));
+  const auto response = read_to_close(fd, 5000);
+  net::close_fd(fd);
+  EXPECT_NE(response.find(" 408 "), std::string::npos);
+  server.drain();
+  const auto st = server.stats();
+  EXPECT_EQ(st.timeouts, 1u);
+  EXPECT_EQ(st.accepted, st.responded + st.closed_early + st.write_failures);
+}
+
+TEST_F(ServeTest, FullQueueShedsDeterministically) {
+  auto service = std::make_shared<ProjectionService>();
+  service->set_model(model_);
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.queue_depth = 1;
+  sopts.read_timeout_ms = 1500;
+  ProjectionServer server(service, sopts);
+  ASSERT_TRUE(server.start());
+
+  // Occupy the lone worker and the single queue slot with silent
+  // connections, then a real request must be shed with 503.
+  int busy1 = net::connect_tcp("127.0.0.1", server.port());
+  ASSERT_GE(busy1, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  int busy2 = net::connect_tcp("127.0.0.1", server.port());
+  ASSERT_GE(busy2, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  const auto shed = fetch(server.port(), "/project?cap=1100");
+  EXPECT_NE(shed.find(" 503 "), std::string::npos);
+  EXPECT_NE(shed.find("Retry-After:"), std::string::npos);
+  EXPECT_NE(shed.find("admission queue full"), std::string::npos);
+
+  net::close_fd(busy1);
+  net::close_fd(busy2);
+  server.drain();
+  const auto st = server.stats();
+  EXPECT_GE(st.shed, 1u);
+  EXPECT_EQ(st.accepted, st.responded + st.closed_early + st.write_failures);
+}
+
+TEST_F(ServeTest, LiveMetricsUnderLoad) {
+  auto service = std::make_shared<ProjectionService>();
+  service->set_model(model_);
+  ServerOptions sopts;
+  sopts.workers = 1;
+  sopts.queue_depth = 1;
+  sopts.read_timeout_ms = 400;
+  ProjectionServer server(service, sopts);
+  ASSERT_TRUE(server.start());
+  const auto port = server.port();
+
+  // Generate one of everything: a miss, a hit, a read timeout, a shed.
+  EXPECT_NE(fetch(port, "/project?cap=900").find(" 200 "),
+            std::string::npos);
+  EXPECT_NE(fetch(port, "/project?cap=900").find(" 200 "),
+            std::string::npos);
+  {
+    int slow = net::connect_tcp("127.0.0.1", port);
+    ASSERT_GE(slow, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    int queued = net::connect_tcp("127.0.0.1", port);
+    ASSERT_GE(queued, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto shed = fetch(port, "/healthz");
+    EXPECT_NE(shed.find(" 503 "), std::string::npos);
+    (void)read_to_close(slow, 2000);  // 408 after read_timeout
+    net::close_fd(slow);
+    (void)read_to_close(queued, 2000);
+    net::close_fd(queued);
+  }
+
+  // All six serve series must be visible through the live endpoint.
+  const auto metrics = body_of(fetch(port, "/metrics"));
+  EXPECT_NE(metrics.find("exaeff_serve_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.find("exaeff_serve_shed_total"), std::string::npos);
+  EXPECT_NE(metrics.find("exaeff_serve_timeouts_total"), std::string::npos);
+  EXPECT_NE(metrics.find("exaeff_serve_cache_hits_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("exaeff_serve_cache_misses_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("exaeff_serve_inflight"), std::string::npos);
+
+  server.drain();
+  const auto st = server.stats();
+  EXPECT_EQ(st.accepted, st.responded + st.closed_early + st.write_failures);
+}
+
+TEST_F(ServeTest, DrainIsIdempotentAndStopsAccepting) {
+  auto service = std::make_shared<ProjectionService>();
+  service->set_model(model_);
+  ProjectionServer server(service, ServerOptions{});
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(fetch(server.port(), "/healthz").find(" 200 "),
+            std::string::npos);
+  const auto port = server.port();
+  server.drain();
+  server.drain();
+  EXPECT_FALSE(server.running());
+  // Post-drain connections must be refused, not silently hung.
+  int fd = net::connect_tcp("127.0.0.1", port);
+  if (fd >= 0) {
+    const auto leftovers = read_to_close(fd, 500);
+    EXPECT_TRUE(leftovers.empty());
+    net::close_fd(fd);
+  }
+}
+
+}  // namespace
+}  // namespace exaeff::serve

@@ -12,6 +12,11 @@
 //   exaeff queue [nodes] [days]      FCFS vs EASY scheduling comparison
 //   exaeff faults-sweep [nodes] [days]
 //                                    projection drift vs telemetry dropout
+//   exaeff serve [nodes] [days]      resident projection service: load the
+//                                    characterized fleet once, then answer
+//                                    GET /project and /sweep queries over
+//                                    HTTP until SIGTERM drains (exit 0);
+//                                    requires --listen=<port>
 //
 // Global options (any position, `--flag=value` form):
 //   --trace=<file.json>    write a Chrome trace_event file of the run
@@ -41,6 +46,15 @@
 //                          --spill-dir=)
 //   --spill-dir=<dir>      directory for spill archives (win-NNNNNN.tel);
 //                          created if missing
+//   --serve-workers=<N>    serve: worker threads (default min(jobs, 8))
+//   --serve-queue=<N>      serve: admission queue depth; a full queue
+//                          sheds with 503 + Retry-After (default 64)
+//   --serve-deadline-ms=<ms>
+//                          serve: per-request compute deadline (504 on
+//                          expiry; default 2000)
+//   --serve-io-timeout-ms=<ms>
+//                          serve: socket read/write deadline — the
+//                          slow-loris bound (default 5000)
 //
 // Commands that project savings exit with code 3 (and a clear stderr
 // message) when the surviving telemetry is below --min-coverage: a number
@@ -53,6 +67,7 @@
 // Results go to stdout; diagnostics, logs and the end-of-run stage
 // summary go to stderr, so piping stdout stays clean and deterministic.
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +75,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -84,6 +100,8 @@
 #include "sched/fleetgen.h"
 #include "sched/join.h"
 #include "sched/queue_sim.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "shard/coordinator.h"
 #include "workloads/ert.h"
 
@@ -105,6 +123,12 @@ int usage() {
       "  queue [nodes] [days]      FCFS vs EASY backfill comparison\n"
       "  faults-sweep [nodes] [days]\n"
       "                            projection drift vs telemetry dropout\n"
+      "  serve [nodes] [days]      resident projection service over HTTP "
+      "(requires --listen=);\n"
+      "                            GET /project?cap=&domain=&bin=, "
+      "/sweep?caps=lo:hi:step,\n"
+      "                            /healthz /readyz /metrics /runinfo; "
+      "SIGTERM drains, exit 0\n"
       "options (any position):\n"
       "  --trace=<file.json>       write Chrome trace_event spans "
       "(chrome://tracing, Perfetto)\n"
@@ -144,6 +168,15 @@ int usage() {
       "results)\n"
       "  --spill-dir=<dir>         directory for telemetry spill archives "
       "(created if missing)\n"
+      "  --serve-workers=<N>       serve: worker threads (default "
+      "min(jobs, 8))\n"
+      "  --serve-queue=<N>         serve: admission queue depth before "
+      "503 shedding (default 64)\n"
+      "  --serve-deadline-ms=<ms>  serve: per-request deadline, 504 on "
+      "expiry (default 2000)\n"
+      "  --serve-io-timeout-ms=<ms>\n"
+      "                            serve: socket read/write deadline "
+      "(default 5000)\n"
       "  --help                    show this message\n");
   return 2;
 }
@@ -162,6 +195,10 @@ struct GlobalOptions {
   double deadline_s = 0.0;  ///< 0 = no deadline
   std::size_t jobs = 0;  ///< 0 = EXAEFF_JOBS env or hardware concurrency
   std::size_t shards = 0;  ///< 0 = in-process; N = worker processes
+  std::size_t serve_workers = 0;   ///< 0 = server default
+  std::size_t serve_queue = 0;     ///< 0 = server default
+  int serve_deadline_ms = 0;       ///< 0 = server default
+  int serve_io_timeout_ms = 0;     ///< 0 = server default
   int listen_port = -1;  ///< -1 = no exposition server; 0 = ephemeral
   bool resume = false;
   bool help = false;
@@ -286,6 +323,50 @@ bool parse_args(int argc, char** argv, GlobalOptions& opts,
         return false;
       }
       opts.memory_budget_mb = v;
+    } else if (key == "--serve-workers") {
+      double v = 0.0;
+      if (!try_parse_positive(value, v) || v != std::floor(v) ||
+          v > 256.0) {
+        std::fprintf(stderr,
+                     "exaeff: --serve-workers must be an integer in "
+                     "[1, 256], got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      opts.serve_workers = static_cast<std::size_t>(v);
+    } else if (key == "--serve-queue") {
+      double v = 0.0;
+      if (!try_parse_positive(value, v) || v != std::floor(v) ||
+          v > 65536.0) {
+        std::fprintf(stderr,
+                     "exaeff: --serve-queue must be an integer in "
+                     "[1, 65536], got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      opts.serve_queue = static_cast<std::size_t>(v);
+    } else if (key == "--serve-deadline-ms") {
+      double v = 0.0;
+      if (!try_parse_positive(value, v) || v != std::floor(v) ||
+          v > 3600000.0) {
+        std::fprintf(stderr,
+                     "exaeff: --serve-deadline-ms must be an integer in "
+                     "[1, 3600000], got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      opts.serve_deadline_ms = static_cast<int>(v);
+    } else if (key == "--serve-io-timeout-ms") {
+      double v = 0.0;
+      if (!try_parse_positive(value, v) || v != std::floor(v) ||
+          v > 3600000.0) {
+        std::fprintf(stderr,
+                     "exaeff: --serve-io-timeout-ms must be an integer in "
+                     "[1, 3600000], got '%s'\n",
+                     value.c_str());
+        return false;
+      }
+      opts.serve_io_timeout_ms = static_cast<int>(v);
     } else if (key == "--deadline") {
       double v = 0.0;
       if (!try_parse_positive(value, v)) {
@@ -803,8 +884,91 @@ void print_summary_footer() {
   }
 }
 
+/// `exaeff serve`: resident projection service.  Binds and starts the
+/// request loop first (answering 503 not-ready with Retry-After), then
+/// loads the characterized fleet once, flips ready, and parks until the
+/// supervisor token trips (SIGTERM/SIGINT/--deadline).  The drain stops
+/// accepting, finishes every admitted request, and returns 0 — the
+/// service contract the fork-harness test and the CI hammer both assert.
+int cmd_serve(const std::vector<std::string>& args, const GlobalOptions& opts,
+              run::Supervisor& supervisor) {
+  EXAEFF_TRACE_SPAN("cli.serve");
+  if (opts.listen_port < 0) {
+    std::fprintf(stderr, "exaeff: serve requires --listen=<port>\n");
+    return 2;
+  }
+  const auto nodes = static_cast<std::size_t>(arg_num(args, 0, 32, "nodes"));
+  const double days = arg_num(args, 1, 7.0, "days");
+
+  auto service = std::make_shared<serve::ProjectionService>();
+  // Scrape-freshness for the service's own /metrics route, same hook the
+  // obs scrape endpoint uses for the batch commands.
+  service->set_refresh_hook([] {
+    exec::ThreadPool::global().publish_metrics();
+    obs::SpanStats::global().publish(obs::MetricsRegistry::global());
+  });
+
+  serve::ServerOptions sopts;
+  sopts.port = static_cast<std::uint16_t>(opts.listen_port);
+  if (opts.serve_workers > 0) sopts.workers = opts.serve_workers;
+  if (opts.serve_queue > 0) sopts.queue_depth = opts.serve_queue;
+  if (opts.serve_deadline_ms > 0) {
+    sopts.default_deadline_ms = opts.serve_deadline_ms;
+  }
+  if (opts.serve_io_timeout_ms > 0) {
+    sopts.read_timeout_ms = opts.serve_io_timeout_ms;
+    sopts.write_timeout_ms = opts.serve_io_timeout_ms;
+  }
+  serve::ProjectionServer server(service, sopts);
+  if (!server.start()) {
+    std::fprintf(stderr, "exaeff: --listen=%d failed: %s\n",
+                 opts.listen_port, server.last_error().c_str());
+    return 2;
+  }
+  obs::Logger::global().info(
+      "serve.listening",
+      {{"port", static_cast<unsigned>(server.port())},
+       {"endpoints",
+        "/project /sweep /healthz /readyz /metrics /metrics.json /runinfo"}});
+
+  // The model load is the expensive part; until it lands every query
+  // answers 503 + Retry-After.  SIGTERM mid-load cancels at a pool chunk
+  // boundary and exits 130 through the shared CancelledError path.
+  const auto model = serve::FleetModel::build(
+      serve::FleetModelConfig{nodes, days}, exec::ThreadPool::global());
+  service->set_model(model);
+  obs::Logger::global().info("serve.ready",
+                             {{"port", static_cast<unsigned>(server.port())},
+                              {"nodes", nodes},
+                              {"days", days},
+                              {"jobs", model->jobs()}});
+  std::printf("serving projections on port %u (%zu nodes, %zu jobs); "
+              "SIGTERM drains\n",
+              static_cast<unsigned>(server.port()), nodes, model->jobs());
+  std::fflush(stdout);
+
+  while (!supervisor.token().cancelled()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const std::string why =
+      run::Supervisor::reason_name(supervisor.token().reason());
+  obs::Logger::global().info("serve.draining", {{"reason", why}});
+  server.drain();
+  const auto st = server.stats();
+  obs::Logger::global().info("serve.drained",
+                             {{"accepted", st.accepted},
+                              {"responded", st.responded},
+                              {"shed", st.shed},
+                              {"timeouts", st.timeouts},
+                              {"closed_early", st.closed_early},
+                              {"write_failures", st.write_failures}});
+  return 0;
+}
+
 int dispatch(const std::string& cmd, const std::vector<std::string>& args,
-             const GlobalOptions& opts, run::Journal* journal) {
+             const GlobalOptions& opts, run::Journal* journal,
+             run::Supervisor& supervisor) {
+  if (cmd == "serve") return cmd_serve(args, opts, supervisor);
   if (cmd == "ert") return cmd_ert(args);
   if (cmd == "characterize") return cmd_characterize();
   if (cmd == "campaign") return cmd_campaign(args, opts, journal);
@@ -860,6 +1024,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "exaeff: --shards is only supported by campaign and "
                  "project\n");
+    return 2;
+  }
+  const bool serve_mode = cmd == "serve";
+  if (!serve_mode && (opts.serve_workers > 0 || opts.serve_queue > 0 ||
+                      opts.serve_deadline_ms > 0 ||
+                      opts.serve_io_timeout_ms > 0)) {
+    std::fprintf(stderr,
+                 "exaeff: --serve-* options are only supported by serve\n");
+    return 2;
+  }
+  if (serve_mode &&
+      (!opts.checkpoint_dir.empty() || opts.resume ||
+       !opts.faults_spec.empty())) {
+    std::fprintf(stderr,
+                 "exaeff: serve is incompatible with "
+                 "--checkpoint/--resume/--faults\n");
     return 2;
   }
   // Out-of-core mode is strict: both flags together, campaign/project
@@ -930,7 +1110,11 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(run::fnv1a64(full_line)));
       info.config_hash = hash_hex;
       obs::set_run_info(info);
-
+    }
+    // In serve mode the ProjectionServer owns the port and serves
+    // /metrics itself; the standalone scrape endpoint would fight it
+    // for the bind.
+    if (opts.listen_port >= 0 && !serve_mode) {
       obs::ExpositionServerOptions sopts;
       sopts.port = static_cast<std::uint16_t>(opts.listen_port);
       server = std::make_unique<obs::ExpositionServer>(sopts);
@@ -966,7 +1150,7 @@ int main(int argc, char** argv) {
                              {"entries", journal->entries_loaded()}});
       }
     }
-    rc = dispatch(cmd, args, opts, journal.get());
+    rc = dispatch(cmd, args, opts, journal.get(), supervisor);
   } catch (const UsageError& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 2;

@@ -1,0 +1,587 @@
+// exaeff/tools/loadgen.cc
+//
+// Closed-loop HTTP load generator for the `exaeff serve` projection
+// service.  N workers each issue a deterministic request mix (70%
+// /project over characterized caps, 25% /sweep, 5% /healthz) and record
+// latency into one shared histogram; the summary reports p50/p90/p99 and
+// a per-status census.  503 (load-shed) responses are retried with the
+// shared common::BackoffPolicy schedule: the wait before each retry is
+// max(server Retry-After, policy wait) scaled by a seeded jitter in
+// [0.75, 1.25), so the client honors the server's hint but never beats
+// the policy's floor.
+//
+// Client-side fault modes reuse the faults spec-item grammar
+// (--faults=, comma-separated key=value items):
+//
+//   slowloris=p:stall_s   send half a request, stall stall_s seconds,
+//                         then finish (expects the server's read
+//                         deadline to answer 408 when stall is long)
+//   garbage=p             send seeded random bytes (expects 400)
+//   churn=p               connect and close without sending anything
+//   burst=p:n             open n concurrent connections, then read all
+//                         (drives admission-queue shedding; 503 here is
+//                         expected and not retried)
+//   seed=u64              overrides --seed inside the spec
+//
+// Every per-request decision derives from splitmix64(seed, iteration),
+// independent of worker count and interleaving, so the request sequence
+// is bit-reproducible for a fixed seed.
+//
+// Exit status: 1 when any response was an unexpected 5xx (anything
+// other than 503) or arrived truncated (body shorter than its declared
+// Content-Length); 0 otherwise.  Connection refusals are counted, not
+// fatal — a draining server is allowed to stop accepting.
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "faults/fault_plan.h"
+#include "net/socket_io.h"
+#include "obs/metrics.h"
+#include "run/atomic_file.h"
+
+namespace {
+
+using namespace exaeff;
+
+constexpr int kResponseTimeoutMs = 15000;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::size_t workers = 4;
+  std::size_t requests = 200;
+  std::uint64_t seed = 0xF50;
+  std::string faults_spec;
+  std::string json_path;
+};
+
+/// Client-side fault plan, parsed from the shared spec grammar.
+struct ClientFaultPlan {
+  faults::FaultRate slowloris;  ///< param = stall seconds
+  double garbage_probability = 0.0;
+  double churn_probability = 0.0;
+  faults::FaultRate burst;  ///< param = concurrent connections
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+
+  static ClientFaultPlan parse(std::string_view spec) {
+    ClientFaultPlan plan;
+    for (const faults::SpecItem& it : faults::parse_spec_items(spec)) {
+      if (it.key == "slowloris") {
+        plan.slowloris = faults::spec_rate(it);
+      } else if (it.key == "garbage") {
+        plan.garbage_probability = faults::spec_number(it);
+      } else if (it.key == "churn") {
+        plan.churn_probability = faults::spec_number(it);
+      } else if (it.key == "burst") {
+        plan.burst = faults::spec_rate(it);
+      } else if (it.key == "seed") {
+        plan.seed = faults::spec_u64(it);
+        plan.seed_set = true;
+      } else {
+        throw ConfigError("fault spec: unknown key '" + std::string(it.key) +
+                          "'");
+      }
+    }
+    plan.validate();
+    return plan;
+  }
+
+  void validate() const {
+    auto check_p = [](double p, const char* what) {
+      if (!(p >= 0.0 && p <= 1.0)) {
+        throw ConfigError(std::string("fault spec: ") + what +
+                          " probability must be in [0, 1]");
+      }
+    };
+    check_p(slowloris.probability, "slowloris");
+    check_p(garbage_probability, "garbage");
+    check_p(churn_probability, "churn");
+    check_p(burst.probability, "burst");
+    if (slowloris.enabled() && !(slowloris.param > 0.0)) {
+      throw ConfigError("fault spec: slowloris stall must be > 0");
+    }
+    if (burst.enabled() &&
+        (burst.param < 1.0 || burst.param != std::floor(burst.param) ||
+         burst.param > 256.0)) {
+      throw ConfigError(
+          "fault spec: burst size must be an integer in [1, 256]");
+    }
+    const double total = slowloris.probability + garbage_probability +
+                         churn_probability + burst.probability;
+    if (total > 1.0) {
+      throw ConfigError("fault spec: fault probabilities sum above 1");
+    }
+  }
+};
+
+/// A parsed (enough) HTTP response: status, Retry-After, completeness.
+struct Response {
+  bool got_status = false;
+  int status = 0;
+  double retry_after_s = 0.0;
+  bool complete = false;  ///< body length matches Content-Length
+};
+
+/// Reads until peer close (Connection: close protocol) and parses the
+/// status line, Retry-After and Content-Length.
+Response read_response(int fd) {
+  Response r;
+  std::string data;
+  const auto deadline = net::Deadline::after_ms(kResponseTimeoutMs);
+  char buf[4096];
+  while (!deadline.expired() && data.size() < (1u << 20)) {
+    const int rdy = net::wait_readable(fd, deadline.remaining_ms());
+    if (rdy <= 0) break;
+    const ssize_t n = net::recv_some(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  if (data.size() < 12 || data.compare(0, 5, "HTTP/") != 0) return r;
+  const auto sp = data.find(' ');
+  if (sp == std::string::npos || sp + 4 > data.size()) return r;
+  r.status = std::atoi(data.c_str() + sp + 1);
+  r.got_status = r.status >= 100 && r.status <= 599;
+
+  auto head_end = data.find("\r\n\r\n");
+  std::size_t body_at = head_end == std::string::npos ? 0 : head_end + 4;
+  if (head_end == std::string::npos) {
+    head_end = data.find("\n\n");
+    body_at = head_end == std::string::npos ? data.size() : head_end + 2;
+  }
+  const std::string_view head =
+      std::string_view(data).substr(0, head_end == std::string::npos
+                                           ? data.size()
+                                           : head_end);
+  long content_length = -1;
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    auto eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string line(head.substr(pos, eol - pos));
+    pos = eol + 1;
+    for (auto& c : line) c = static_cast<char>(std::tolower(c));
+    if (line.rfind("content-length:", 0) == 0) {
+      content_length = std::atol(line.c_str() + 15);
+    } else if (line.rfind("retry-after:", 0) == 0) {
+      r.retry_after_s = std::atof(line.c_str() + 12);
+    }
+  }
+  const auto body_len =
+      body_at <= data.size() ? data.size() - body_at : std::size_t{0};
+  r.complete = content_length >= 0 &&
+               body_len == static_cast<std::size_t>(content_length);
+  return r;
+}
+
+struct Stats {
+  std::mutex mu;
+  std::map<int, std::uint64_t> by_status;
+  std::uint64_t requests_sent = 0;  ///< HTTP transactions incl retries
+  std::uint64_t responses = 0;
+  std::uint64_t retries = 0;
+  double backoff_wait_s = 0.0;  ///< total slept honoring 503 Retry-After
+  std::uint64_t refused = 0;
+  std::uint64_t incomplete = 0;
+  std::uint64_t unexpected_5xx = 0;
+  std::uint64_t faults_slowloris = 0;
+  std::uint64_t faults_garbage = 0;
+  std::uint64_t faults_churn = 0;
+  std::uint64_t faults_burst_conns = 0;
+
+  void record(const Response& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++responses;
+    ++by_status[r.status];
+    if (r.status >= 500 && r.status != 503) ++unexpected_5xx;
+    if (!r.complete) ++incomplete;
+  }
+};
+
+/// The deterministic request mix over characterized cap settings.
+std::string pick_target(Rng& rng) {
+  static constexpr double kCaps[] = {1500.0, 1300.0, 1100.0, 900.0, 700.0};
+  const double which = rng.uniform();
+  if (which < 0.70) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "/project?cap=%.0f",
+                  kCaps[rng.uniform_index(5)]);
+    return buf;
+  }
+  if (which < 0.95) return "/sweep?caps=700:1700:200";
+  return "/healthz";
+}
+
+std::string request_text(const std::string& target, const Options& opts) {
+  return "GET " + target + " HTTP/1.1\r\nHost: " + opts.host +
+         "\r\nUser-Agent: exaeff-loadgen\r\n\r\n";
+}
+
+/// One transaction: connect, send, read.  Returns false on refusal.
+bool transact(const Options& opts, const std::string& text, Response& out) {
+  int fd = net::connect_tcp(opts.host, static_cast<std::uint16_t>(opts.port));
+  if (fd < 0) return false;
+  if (!net::send_all(fd, text, net::Deadline::after_ms(kResponseTimeoutMs))) {
+    net::close_fd(fd);
+    return false;
+  }
+  out = read_response(fd);
+  net::close_fd(fd);
+  return true;
+}
+
+void run_normal(const Options& opts, const common::BackoffPolicy& policy,
+                Rng& rng, Stats& stats, obs::Histogram& lat) {
+  const std::string text = request_text(pick_target(rng), opts);
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    Response r;
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(stats.mu);
+      ++stats.requests_sent;
+    }
+    if (!transact(opts, text, r)) {
+      std::lock_guard<std::mutex> lock(stats.mu);
+      ++stats.refused;
+      return;
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    lat.observe(elapsed);
+    if (r.status == 503 && policy.retries_after(attempt)) {
+      // Honor the server's Retry-After but never undercut the policy's
+      // own schedule; jitter decorrelates the retry herd.
+      const double wait =
+          std::max(r.retry_after_s, policy.backoff_before_retry(attempt)) *
+          rng.uniform(0.75, 1.25);
+      {
+        std::lock_guard<std::mutex> lock(stats.mu);
+        ++stats.retries;
+        stats.backoff_wait_s += wait;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+      continue;
+    }
+    if (r.got_status) {
+      stats.record(r);
+    } else {
+      std::lock_guard<std::mutex> lock(stats.mu);
+      ++stats.refused;
+    }
+    return;
+  }
+}
+
+void run_slowloris(const Options& opts, double stall_s, Stats& stats) {
+  {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    ++stats.faults_slowloris;
+    ++stats.requests_sent;
+  }
+  int fd = net::connect_tcp(opts.host, static_cast<std::uint16_t>(opts.port));
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    ++stats.refused;
+    return;
+  }
+  const std::string text = request_text("/healthz", opts);
+  const auto half = text.size() / 2;
+  const auto deadline = net::Deadline::after_ms(kResponseTimeoutMs);
+  bool sent = net::send_all(fd, std::string_view(text).substr(0, half),
+                            deadline);
+  std::this_thread::sleep_for(std::chrono::duration<double>(stall_s));
+  // The server may have 408'd and closed already; the tail send then
+  // fails, which is exactly the slow-loris outcome we want to observe.
+  if (sent) {
+    (void)net::send_all(fd, std::string_view(text).substr(half), deadline);
+  }
+  const Response r = read_response(fd);
+  net::close_fd(fd);
+  if (r.got_status) {
+    stats.record(r);
+  } else {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    ++stats.refused;
+  }
+}
+
+void run_garbage(const Options& opts, Rng& rng, Stats& stats) {
+  {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    ++stats.faults_garbage;
+    ++stats.requests_sent;
+  }
+  std::string junk(16 + rng.uniform_index(64), '\0');
+  for (auto& c : junk) {
+    // Avoid NUL so the parser exercises its line-level rejections too,
+    // not just the byte filter.
+    c = static_cast<char>(1 + rng.uniform_index(255));
+  }
+  Response r;
+  if (!transact(opts, junk, r)) {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    ++stats.refused;
+    return;
+  }
+  if (r.got_status) {
+    stats.record(r);
+  } else {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    ++stats.refused;
+  }
+}
+
+void run_churn(const Options& opts, Stats& stats) {
+  {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    ++stats.faults_churn;
+  }
+  int fd = net::connect_tcp(opts.host, static_cast<std::uint16_t>(opts.port));
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lock(stats.mu);
+    ++stats.refused;
+    return;
+  }
+  net::close_fd(fd);
+}
+
+void run_burst(const Options& opts, std::size_t conns, Rng& rng,
+               Stats& stats) {
+  const std::string text = request_text(pick_target(rng), opts);
+  std::vector<int> fds;
+  fds.reserve(conns);
+  for (std::size_t i = 0; i < conns; ++i) {
+    const int fd =
+        net::connect_tcp(opts.host, static_cast<std::uint16_t>(opts.port));
+    if (fd < 0) {
+      std::lock_guard<std::mutex> lock(stats.mu);
+      ++stats.refused;
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats.mu);
+      ++stats.faults_burst_conns;
+      ++stats.requests_sent;
+    }
+    if (!net::send_all(fd, text, net::Deadline::after_ms(kResponseTimeoutMs))) {
+      int doomed = fd;
+      net::close_fd(doomed);
+      std::lock_guard<std::mutex> lock(stats.mu);
+      ++stats.refused;
+      continue;
+    }
+    fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    const Response r = read_response(fd);
+    net::close_fd(fd);
+    if (r.got_status) {
+      stats.record(r);
+    } else {
+      std::lock_guard<std::mutex> lock(stats.mu);
+      ++stats.refused;
+    }
+  }
+}
+
+void worker_main(const Options& opts, const ClientFaultPlan& plan,
+                 const common::BackoffPolicy& policy, std::size_t worker,
+                 Stats& stats, obs::Histogram& lat) {
+  for (std::size_t i = worker; i < opts.requests; i += opts.workers) {
+    // Iteration-keyed stream: the draw sequence for request i is the
+    // same for any worker count, so the mix is seed-reproducible.
+    std::uint64_t sm = opts.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
+    Rng rng(splitmix64(sm));
+    const double u = rng.uniform();
+    double edge = plan.slowloris.probability;
+    if (plan.slowloris.enabled() && u < edge) {
+      run_slowloris(opts, plan.slowloris.param, stats);
+      continue;
+    }
+    edge += plan.garbage_probability;
+    if (plan.garbage_probability > 0.0 && u < edge) {
+      run_garbage(opts, rng, stats);
+      continue;
+    }
+    edge += plan.churn_probability;
+    if (plan.churn_probability > 0.0 && u < edge) {
+      run_churn(opts, stats);
+      continue;
+    }
+    edge += plan.burst.probability;
+    if (plan.burst.enabled() && u < edge) {
+      run_burst(opts, static_cast<std::size_t>(plan.burst.param), rng, stats);
+      continue;
+    }
+    run_normal(opts, policy, rng, stats, lat);
+  }
+}
+
+std::string summary_json(const Stats& stats, const obs::Histogram& lat) {
+  std::ostringstream out;
+  char buf[64];
+  auto ms = [&buf, &lat](double q) {
+    std::snprintf(buf, sizeof buf, "%.3f", lat.quantile(q) * 1e3);
+    return std::string(buf);
+  };
+  out << "{\n";
+  out << "  \"requests_sent\": " << stats.requests_sent << ",\n";
+  out << "  \"responses\": " << stats.responses << ",\n";
+  out << "  \"by_status\": {";
+  bool first = true;
+  for (const auto& [status, count] : stats.by_status) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << status << "\": " << count;
+  }
+  out << "},\n";
+  out << "  \"retries\": " << stats.retries << ",\n";
+  std::snprintf(buf, sizeof buf, "%.3f", stats.backoff_wait_s);
+  out << "  \"backoff_wait_s\": " << buf << ",\n";
+  out << "  \"latency_count\": " << lat.count() << ",\n";
+  out << "  \"p50_ms\": " << ms(0.50) << ",\n";
+  out << "  \"p90_ms\": " << ms(0.90) << ",\n";
+  out << "  \"p99_ms\": " << ms(0.99) << ",\n";
+  out << "  \"faults\": {\"slowloris\": " << stats.faults_slowloris
+      << ", \"garbage\": " << stats.faults_garbage
+      << ", \"churn\": " << stats.faults_churn
+      << ", \"burst_conns\": " << stats.faults_burst_conns << "},\n";
+  out << "  \"refused\": " << stats.refused << ",\n";
+  out << "  \"incomplete\": " << stats.incomplete << ",\n";
+  out << "  \"unexpected_5xx\": " << stats.unexpected_5xx << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: loadgen --port=<port> [options]\n"
+      "  --host=<addr>        server address (default 127.0.0.1)\n"
+      "  --workers=<N>        concurrent closed-loop workers (default 4)\n"
+      "  --requests=<N>       total iterations across workers (default "
+      "200)\n"
+      "  --seed=<u64>         fault/mix seed (default 0xF50)\n"
+      "  --faults=<spec>      client fault plan: slowloris=p:stall_s,\n"
+      "                       garbage=p, churn=p, burst=p:n, seed=u64\n"
+      "  --json=<path>        write the summary JSON to a file "
+      "(atomic);\n"
+      "                       default prints to stdout\n");
+  return 2;
+}
+
+bool parse_u64_flag(const std::string& value, std::uint64_t& out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(value.c_str(), &end, 0);
+  return errno == 0 && end == value.c_str() + value.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.seed = 0xF50;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    std::uint64_t v = 0;
+    if (key == "--help") return usage();
+    if (key == "--host") {
+      opts.host = value;
+    } else if (key == "--port") {
+      if (!parse_u64_flag(value, v) || v > 65535) return usage();
+      opts.port = static_cast<int>(v);
+    } else if (key == "--workers") {
+      if (!parse_u64_flag(value, v) || v < 1 || v > 256) return usage();
+      opts.workers = static_cast<std::size_t>(v);
+    } else if (key == "--requests") {
+      if (!parse_u64_flag(value, v) || v < 1 || v > 1000000) return usage();
+      opts.requests = static_cast<std::size_t>(v);
+    } else if (key == "--seed") {
+      if (!parse_u64_flag(value, v)) return usage();
+      opts.seed = v;
+    } else if (key == "--faults") {
+      opts.faults_spec = value;
+    } else if (key == "--json") {
+      opts.json_path = value;
+    } else {
+      std::fprintf(stderr, "loadgen: unknown option '%s'\n", key.c_str());
+      return usage();
+    }
+  }
+  if (opts.port < 0) return usage();
+
+  ClientFaultPlan plan;
+  try {
+    plan = ClientFaultPlan::parse(opts.faults_spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: %s\n", e.what());
+    return 2;
+  }
+  if (plan.seed_set) opts.seed = plan.seed;
+
+  // The shared retry schedule (satellite of the serve PR): the same
+  // BackoffPolicy the cap-applier and shard supervisor use, with a base
+  // short enough for an interactive tool.
+  common::BackoffPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff_s = 0.05;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 2.0;
+  policy.validate();
+
+  Stats stats;
+  obs::Histogram latency(1e-5, 60.0, 48);
+  std::vector<std::thread> workers;
+  workers.reserve(opts.workers);
+  for (std::size_t w = 0; w < opts.workers; ++w) {
+    workers.emplace_back([&opts, &plan, &policy, w, &stats, &latency] {
+      worker_main(opts, plan, policy, w, stats, latency);
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  const std::string summary = summary_json(stats, latency);
+  if (opts.json_path.empty()) {
+    std::fputs(summary.c_str(), stdout);
+  } else {
+    run::AtomicFile out(opts.json_path);
+    out.write(summary);
+    if (!out.commit()) {
+      std::fprintf(stderr, "loadgen: cannot write '%s'\n",
+                   opts.json_path.c_str());
+      return 1;
+    }
+  }
+  const bool failed = stats.unexpected_5xx > 0 || stats.incomplete > 0;
+  if (failed) {
+    std::fprintf(stderr,
+                 "loadgen: FAILED (unexpected_5xx=%" PRIu64
+                 ", incomplete=%" PRIu64 ")\n",
+                 stats.unexpected_5xx, stats.incomplete);
+  }
+  return failed ? 1 : 0;
+}
