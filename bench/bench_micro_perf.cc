@@ -21,6 +21,7 @@
 #include "graph/louvain.h"
 #include "run/spill_campaign.h"
 #include "sched/fleetgen.h"
+#include "serve/service.h"
 #include "shard/coordinator.h"
 #include "telemetry/aggregator.h"
 #include "telemetry/archive.h"
@@ -391,6 +392,81 @@ void BM_ProjectionSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProjectionSweep);
+
+void BM_ProjectionSweepBatch(benchmark::State& state) {
+  // The allocation-free batch kernel under the same sweep as
+  // BM_ProjectionSweep: one preallocated row buffer, reused.
+  const auto spec = gpusim::mi250x_gcd();
+  const auto table = core::characterize(spec);
+  const core::ProjectionEngine engine(table);
+  core::ModalDecomposition d;
+  d.regions[1] = {1000.0, 1e12};
+  d.regions[2] = {500.0, 5e11};
+  d.total_energy_j = 1.5e12;
+  d.total_gpu_hours = 1500.0;
+  std::vector<core::ProjectionRow> rows(
+      engine.sweep_size(core::CapType::kFrequency));
+  for (auto _ : state) {
+    engine.project_sweep_into(d, core::CapType::kFrequency, rows);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_ProjectionSweepBatch);
+
+void BM_DecompositionFor(benchmark::State& state) {
+  core::CampaignAccumulator acc(15.0, core::RegionBoundaries{});
+  Rng rng(7);
+  sched::Job job;
+  job.job_id = 1;
+  job.num_nodes = 1;
+  job.begin_s = 0.0;
+  job.end_s = 1e9;
+  job.nodes = {0};
+  for (auto dom : sched::all_domains()) {
+    for (auto bin : sched::all_size_bins()) {
+      job.domain = dom;
+      job.bin = bin;
+      for (int i = 0; i < 8; ++i) {
+        telemetry::GcdSample s;
+        s.t_s = 15.0 * i;
+        s.power_w = static_cast<float>(rng.uniform(80.0, 620.0));
+        acc.on_job_sample(s, job);
+      }
+    }
+  }
+  std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+      mask{};
+  for (auto& row : mask) row.fill(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.decomposition_for(mask));
+  }
+}
+BENCHMARK(BM_DecompositionFor);
+
+void BM_ServeSweep(benchmark::State& state) {
+  // End-to-end /sweep compute + formatting through the service layer.
+  // A fresh service per iteration defeats the response cache so the
+  // batch path runs every time (the handler itself is the cost; the
+  // service object is a few empty containers).
+  static const std::shared_ptr<const serve::FleetModel> model =
+      serve::FleetModel::build(serve::FleetModelConfig{8, 0.02},
+                               exec::ThreadPool::global());
+  for (auto _ : state) {
+    serve::ProjectionService service;
+    service.set_model(model);
+    exec::CancellationToken token;
+    serve::RequestContext ctx;
+    ctx.token = &token;
+    ctx.deadline = net::Deadline::after_ms(5000);
+    net::HttpRequest req;
+    req.method = "GET";
+    req.path = "/sweep";
+    req.query = "caps=700:1700:200";
+    req.version = "HTTP/1.1";
+    benchmark::DoNotOptimize(service.handle(req, ctx));
+  }
+}
+BENCHMARK(BM_ServeSweep);
 
 }  // namespace
 

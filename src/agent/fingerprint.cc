@@ -1,6 +1,7 @@
 #include "agent/fingerprint.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "agent/response_model.h"
@@ -45,6 +46,13 @@ std::vector<JobSensitivity> predict_sensitivities(
     const core::CapResponseTable& table, const gpusim::DeviceSpec& spec,
     double cap_mhz) {
   const RegionResponseModel model(table, spec);
+  // The response depends only on (region, cap), and the cap is fixed
+  // across the call: resolve the four per-region rows once instead of
+  // re-searching the table for every job in the fleet.
+  std::array<WindowResponse, core::kRegionCount> responses;
+  for (std::size_t r = 0; r < core::kRegionCount; ++r) {
+    responses[r] = model.response(static_cast<core::Region>(r), cap_mhz);
+  }
   std::vector<JobSensitivity> out;
   out.reserve(acc.fingerprints().size());
   for (const auto& [id, fp] : acc.fingerprints()) {
@@ -55,8 +63,7 @@ std::vector<JobSensitivity> predict_sensitivities(
     for (std::size_t r = 0; r < core::kRegionCount; ++r) {
       const double e = fp.region_energy_j[r];
       if (e <= 0.0) continue;
-      const auto resp =
-          model.response(static_cast<core::Region>(r), cap_mhz);
+      const WindowResponse& resp = responses[r];
       s.saved_j += e * (1.0 - resp.energy_scale);
       // The job's wall time is the sum of its phases' times; weight each
       // region's slowdown by its share of the job's energy (a proxy for

@@ -1,0 +1,32 @@
+#include "common/simd_env.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace exaeff {
+
+namespace {
+// -1 = not yet resolved from the environment; 0/1 once decided.
+std::atomic<int> g_simd{-1};
+}  // namespace
+
+bool simd_enabled() {
+  int v = g_simd.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("EXAEFF_SIMD");
+    const bool off =
+        env != nullptr && (std::string_view(env) == "0" ||
+                           std::string_view(env) == "off" ||
+                           std::string_view(env) == "false");
+    v = off ? 0 : 1;
+    g_simd.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_simd_enabled(bool enabled) {
+  g_simd.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace exaeff

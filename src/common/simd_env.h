@@ -1,0 +1,20 @@
+// exaeff/common/simd_env.h
+//
+// One switch for every runtime-dispatched SIMD kernel (RNG lanes,
+// histogram binning, projection sweeps): `EXAEFF_SIMD=0|off|false`
+// forces the portable kernels, mirroring the `EXAEFF_BATCH` idiom.
+// Every kernel pair is bit-identical by contract, so the switch exists
+// for cross-checking (CI runs a forced-portable leg) and for debugging
+// on hardware where a vector unit misbehaves — never for correctness.
+#pragma once
+
+namespace exaeff {
+
+/// False when the environment disables SIMD dispatch (EXAEFF_SIMD=0).
+/// Resolved from the environment once, on first call.
+[[nodiscard]] bool simd_enabled();
+
+/// Test override; wins over the environment for subsequent calls.
+void set_simd_enabled(bool enabled);
+
+}  // namespace exaeff

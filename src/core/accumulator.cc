@@ -1,10 +1,13 @@
 #include "core/accumulator.h"
 
+#include <atomic>
 #include <cstdint>
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #include <immintrin.h>
 #endif
+
+#include "common/simd_env.h"
 
 namespace exaeff::core {
 
@@ -165,16 +168,28 @@ __attribute__((target("avx512f,avx512dq"))) void bin_lanes_avx512(
 
 BinLanesFn resolve_bin_lanes() {
 #if defined(__x86_64__) && defined(__GNUC__)
-  if (__builtin_cpu_supports("avx512f") &&
-      __builtin_cpu_supports("avx512dq")) {
-    return bin_lanes_avx512;
+  if (simd_enabled()) {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq")) {
+      return bin_lanes_avx512;
+    }
+    if (__builtin_cpu_supports("avx2")) return bin_lanes_avx2;
   }
-  if (__builtin_cpu_supports("avx2")) return bin_lanes_avx2;
 #endif
   return bin_lanes_portable;
 }
 
-const BinLanesFn g_bin_lanes = resolve_bin_lanes();
+/// Resolved on first use (not static init) so EXAEFF_SIMD=0 set by the
+/// test harness before the first batch is honored.
+BinLanesFn bin_lanes() {
+  static std::atomic<BinLanesFn> fn{nullptr};
+  BinLanesFn f = fn.load(std::memory_order_relaxed);
+  if (f == nullptr) {
+    f = resolve_bin_lanes();
+    fn.store(f, std::memory_order_relaxed);
+  }
+  return f;
+}
 }  // namespace
 
 CampaignAccumulator::CampaignAccumulator(double window_s,
@@ -252,12 +267,13 @@ void CampaignAccumulator::on_job_batch(
   alignas(64) std::int64_t bin_lane[kBlock];
   alignas(64) std::int64_t region_lane[kBlock];
   alignas(64) double energy_lane[kBlock];
+  const BinLanesFn lanes = bin_lanes();
   std::size_t i = 0;
   for (; i + kBlock <= samples.size(); i += kBlock) {
     for (std::size_t j = 0; j < kBlock; ++j) {
       p_lane[j] = samples[i + j].power_w;
     }
-    g_bin_lanes(p_lane, kBlock, bp, bin_lane, region_lane, energy_lane);
+    lanes(p_lane, kBlock, bp, bin_lane, region_lane, energy_lane);
     for (std::size_t j = 0; j < kBlock; ++j) {
       const auto bin = static_cast<std::size_t>(bin_lane[j]);
       hist_.count_at(bin);
@@ -369,16 +385,45 @@ ModalDecomposition CampaignAccumulator::decomposition() const {
 ModalDecomposition CampaignAccumulator::decomposition_for(
     const std::array<std::array<bool, sched::kSizeBinCount>,
                      sched::kDomainCount>& mask) const {
-  ModalDecomposition d;
+  // Eight independent accumulators — (4 regions) x (hours, energy) —
+  // instead of read-modify-write through the result struct: each one
+  // still adds its cell values in the same (domain, bin) order as the
+  // nested scalar loop did, so every sum is bit-identical, while the
+  // independence lets the fold run in SIMD lanes (a CellAccum is eight
+  // contiguous doubles).
+  double h0 = 0.0, h1 = 0.0, h2 = 0.0, h3 = 0.0;
+  double e0 = 0.0, e1 = 0.0, e2 = 0.0, e3 = 0.0;
   for (std::size_t dom = 0; dom < sched::kDomainCount; ++dom) {
     for (std::size_t b = 0; b < sched::kSizeBinCount; ++b) {
       if (!mask[dom][b]) continue;
-      for (std::size_t r = 0; r < kRegionCount; ++r) {
-        d.regions[r].gpu_hours += cells_[dom][b].regions[r].gpu_hours;
-        d.regions[r].energy_j += cells_[dom][b].regions[r].energy_j;
-      }
+      const auto& rg = cells_[dom][b].regions;
+      h0 += rg[0].gpu_hours;
+      e0 += rg[0].energy_j;
+      h1 += rg[1].gpu_hours;
+      e1 += rg[1].energy_j;
+      h2 += rg[2].gpu_hours;
+      e2 += rg[2].energy_j;
+      h3 += rg[3].gpu_hours;
+      e3 += rg[3].energy_j;
     }
   }
+  static_assert(kRegionCount == 4, "region fold is unrolled over 4 regions");
+  ModalDecomposition d;
+  d.regions[0] = RegionShare{h0, e0};
+  d.regions[1] = RegionShare{h1, e1};
+  d.regions[2] = RegionShare{h2, e2};
+  d.regions[3] = RegionShare{h3, e3};
+  for (const auto& r : d.regions) {
+    d.total_gpu_hours += r.gpu_hours;
+    d.total_energy_j += r.energy_j;
+  }
+  return d;
+}
+
+ModalDecomposition CampaignAccumulator::cell_decomposition(
+    sched::ScienceDomain dom, sched::SizeBin b) const {
+  ModalDecomposition d;
+  d.regions = cell(dom, b).regions;
   for (const auto& r : d.regions) {
     d.total_gpu_hours += r.gpu_hours;
     d.total_energy_j += r.energy_j;

@@ -115,6 +115,12 @@ class CampaignAccumulator final : public sched::JobSampleSink {
     return cells_[static_cast<std::size_t>(d)][static_cast<std::size_t>(b)];
   }
 
+  /// One (domain, bin) cell as its own mini-campaign decomposition —
+  /// identical, bit for bit, to decomposition_for() with only that cell
+  /// selected (a one-cell fold adds nothing to reorder).
+  [[nodiscard]] ModalDecomposition cell_decomposition(
+      sched::ScienceDomain d, sched::SizeBin b) const;
+
   [[nodiscard]] std::size_t gcd_sample_count() const { return samples_; }
   [[nodiscard]] std::size_t node_sample_count() const {
     return node_samples_;

@@ -23,6 +23,62 @@ void CapResponseTable::add(BenchClass cls, CapType type, CapResponse row) {
         return sweep.rows[i].setting < s;
       });
   sweep.by_setting.insert(pos, idx);
+  // Column (structure-of-arrays) mirror, index-aligned with rows.
+  auto& view = view_[static_cast<int>(cls)][static_cast<int>(type)];
+  view.settings.push_back(row.setting);
+  view.avg_power_pct.push_back(row.avg_power_pct);
+  view.runtime_pct.push_back(row.runtime_pct);
+  view.energy_pct.push_back(row.energy_pct);
+  view.one_minus_energy.push_back(1.0 - row.energy_pct / 100.0);
+  view.runtime_minus_100.push_back(row.runtime_pct - 100.0);
+  rebuild_plan(type);
+}
+
+void CapResponseTable::rebuild_plan(CapType type) {
+  SweepPlan& plan = plan_[static_cast<int>(type)];
+  plan.settings.clear();
+  plan.ci_row.clear();
+  plan.mi_row.clear();
+  plan.paired = true;
+  for (const CapResponse& r :
+       rows(BenchClass::kComputeIntensive, type)) {
+    // Skip the uncapped baseline rows (100% everything) — the same
+    // predicate project_sweep() applies.
+    if (r.runtime_pct == 100.0 && r.energy_pct == 100.0 &&
+        r.avg_power_pct == 100.0) {
+      continue;
+    }
+    const std::uint32_t ci =
+        index_of(BenchClass::kComputeIntensive, type, r.setting);
+    const std::uint32_t mi =
+        index_of(BenchClass::kMemoryIntensive, type, r.setting);
+    plan.settings.push_back(r.setting);
+    plan.ci_row.push_back(ci);
+    plan.mi_row.push_back(mi);
+    if (ci == kNoRow || mi == kNoRow) plan.paired = false;
+  }
+  // Pre-gathered, pre-padded kernel inputs for the paired fast path.
+  plan.ci_one_minus_e.clear();
+  plan.mi_one_minus_e.clear();
+  plan.ci_rt_minus_100.clear();
+  plan.mi_rt_minus_100.clear();
+  if (plan.paired) {
+    const SweepView& ci_view =
+        sweep_view(BenchClass::kComputeIntensive, type);
+    const SweepView& mi_view =
+        sweep_view(BenchClass::kMemoryIntensive, type);
+    const std::size_t padded = (plan.size() + 7) / 8 * 8;
+    plan.ci_one_minus_e.assign(padded, 0.0);
+    plan.mi_one_minus_e.assign(padded, 0.0);
+    plan.ci_rt_minus_100.assign(padded, 0.0);
+    plan.mi_rt_minus_100.assign(padded, 0.0);
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      plan.ci_one_minus_e[i] = ci_view.one_minus_energy[plan.ci_row[i]];
+      plan.mi_one_minus_e[i] = mi_view.one_minus_energy[plan.mi_row[i]];
+      plan.ci_rt_minus_100[i] = ci_view.runtime_minus_100[plan.ci_row[i]];
+      plan.mi_rt_minus_100[i] = mi_view.runtime_minus_100[plan.mi_row[i]];
+    }
+  }
 }
 
 std::span<const CapResponse> CapResponseTable::rows(BenchClass cls,
@@ -44,6 +100,23 @@ const CapResponse& CapResponseTable::at(BenchClass cls, CapType type,
     if (std::abs(r.setting - setting) < kSettingTolerance) return r;
   }
   throw Error("cap setting was not part of the characterization sweep");
+}
+
+std::uint32_t CapResponseTable::index_of(BenchClass cls, CapType type,
+                                         double setting) const {
+  const auto& sweep = table_[static_cast<int>(cls)][static_cast<int>(type)];
+  auto it = std::lower_bound(
+      sweep.by_setting.begin(), sweep.by_setting.end(),
+      setting - kSettingTolerance,
+      [&sweep](std::uint32_t i, double s) {
+        return sweep.rows[i].setting < s;
+      });
+  if (it != sweep.by_setting.end()) {
+    if (std::abs(sweep.rows[*it].setting - setting) < kSettingTolerance) {
+      return *it;
+    }
+  }
+  return kNoRow;
 }
 
 namespace {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -46,6 +47,48 @@ struct CapResponse {
   double energy_pct = 100;     ///< energy to solution, % of uncapped
 };
 
+/// Structure-of-arrays mirror of one (bench class, cap type) sweep,
+/// maintained by add(): entry i of every column describes
+/// rows(cls, type)[i], so batch consumers (the vectorized projection
+/// kernel) scan contiguous columns instead of chasing row structs.
+struct SweepView {
+  std::vector<double> settings;       ///< = rows[i].setting
+  std::vector<double> avg_power_pct;  ///< = rows[i].avg_power_pct
+  std::vector<double> runtime_pct;    ///< = rows[i].runtime_pct
+  std::vector<double> energy_pct;     ///< = rows[i].energy_pct
+  // Derived columns the projection evaluates per point, hoisted to
+  // add() time (they depend only on the table).  Each is the exact
+  // IEEE subexpression the scalar path computes, so consuming the
+  // cached value is bit-identical to recomputing it.
+  std::vector<double> one_minus_energy;   ///< = 1.0 - energy_pct/100.0
+  std::vector<double> runtime_minus_100;  ///< = runtime_pct - 100.0
+
+  [[nodiscard]] std::size_t size() const { return settings.size(); }
+};
+
+/// Precomputed batch-sweep plan for one cap type: the capped
+/// (non-baseline) compute-intensive rows in insertion order, each
+/// resolved — under at()'s tolerance — to the CI and MI row the scalar
+/// sweep would have looked up.  Rebuilt by add(), which is cold, so
+/// queries never binary-search.
+struct SweepPlan {
+  std::vector<double> settings;        ///< swept settings, insertion order
+  std::vector<std::uint32_t> ci_row;   ///< at()-resolved CI row per setting
+  std::vector<std::uint32_t> mi_row;   ///< at()-resolved MI row (or kNoRow)
+  bool paired = true;  ///< every setting resolved in both classes
+  // Pre-gathered derived columns for the paired fast path, already
+  // padded to a multiple of the widest SIMD group (8 doubles) so the
+  // batch kernel consumes them directly — no per-call gather, no tail.
+  // Populated only when `paired`; pad lanes hold 0.0 and their results
+  // are never read.
+  std::vector<double> ci_one_minus_e;   ///< CI 1 - energy/100, plan order
+  std::vector<double> mi_one_minus_e;   ///< MI 1 - energy/100, plan order
+  std::vector<double> ci_rt_minus_100;  ///< CI runtime - 100, plan order
+  std::vector<double> mi_rt_minus_100;  ///< MI runtime - 100, plan order
+
+  [[nodiscard]] std::size_t size() const { return settings.size(); }
+};
+
 /// Lookup table of cap responses per (bench class, cap type).
 class CapResponseTable {
  public:
@@ -62,15 +105,37 @@ class CapResponseTable {
   [[nodiscard]] const CapResponse& at(BenchClass cls, CapType type,
                                       double setting) const;
 
+  /// Index (into rows()) of the row at() would return for `setting`, or
+  /// kNoRow when the setting was not swept.  Same predicate as at().
+  [[nodiscard]] std::uint32_t index_of(BenchClass cls, CapType type,
+                                       double setting) const;
+
+  /// Column view of one sweep, index-aligned with rows(cls, type).
+  [[nodiscard]] const SweepView& sweep_view(BenchClass cls,
+                                            CapType type) const {
+    return view_[static_cast<int>(cls)][static_cast<int>(type)];
+  }
+
+  /// Batch plan for the capped settings of `type` (see SweepPlan).
+  [[nodiscard]] const SweepPlan& sweep_plan(CapType type) const {
+    return plan_[static_cast<int>(type)];
+  }
+
   static constexpr double kSettingTolerance = 1e-6;
+  static constexpr std::uint32_t kNoRow =
+      std::numeric_limits<std::uint32_t>::max();
 
  private:
+  void rebuild_plan(CapType type);
+
   struct Sweep {
     std::vector<CapResponse> rows;  ///< insertion order, as presented
     /// Row indices ordered by ascending setting (at() lookups).
     std::vector<std::uint32_t> by_setting;
   };
   Sweep table_[2][2];
+  SweepView view_[2][2];
+  SweepPlan plan_[2];
 };
 
 /// Characterization options.

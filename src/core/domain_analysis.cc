@@ -44,14 +44,8 @@ HeatmapData DomainAnalyzer::savings_heatmap(CapType type,
   for (auto d : sched::all_domains()) {
     for (auto b : sched::all_size_bins()) {
       // Per-cell projection: treat the cell as its own mini-campaign.
-      ModalDecomposition decomp;
-      const auto& cell = acc_.cell(d, b);
-      decomp.regions = cell.regions;
-      for (const auto& r : decomp.regions) {
-        decomp.total_gpu_hours += r.gpu_hours;
-        decomp.total_energy_j += r.energy_j;
-      }
-      const ProjectionRow row = engine_.project(decomp, type, setting);
+      const ProjectionRow row =
+          engine_.project(acc_.cell_decomposition(d, b), type, setting);
       h.values[i++] = row.total_saved_mwh;
     }
   }

@@ -1,8 +1,15 @@
 #include "core/projection.h"
 
+#include <algorithm>
+#include <atomic>
 #include <string>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include "common/error.h"
+#include "common/simd_env.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,6 +31,267 @@ void require_quality(const DataQuality& q, const QualityPolicy& policy) {
         std::to_string(policy.max_imputed_share) +
         "; refusing to project from this data");
   }
+}
+
+namespace {
+
+// --- SIMD sweep lanes -------------------------------------------------
+//
+// A sweep point is pure per-lane arithmetic over the CI/MI response
+// percentages once the per-decomposition invariants (region energies,
+// total MWh, region weights) are hoisted: no loop-carried state, so all
+// points of a sweep evaluate in SIMD lanes.
+//
+// The kernels consume the table-derived subexpressions 1 - energy/100
+// and runtime - 100 precomputed at add() time (SweepView's derived
+// columns), so per point only the decomposition-dependent arithmetic
+// remains: multiply by the region energy, divide by 3.6e9
+// (units::joules_to_mwh is a division, deliberately not a reciprocal
+// multiply), add, multiply by 100, divide by the hoisted total.
+//
+// Bit-identity with the scalar project() path: each lane applies the
+// exact scalar expression tree — the precomputed columns are the same
+// IEEE subexpressions the scalar path evaluates inline — and
+// vdivpd/vmulpd/vaddpd round exactly like their scalar counterparts.
+// The kernels never fuse multiply-add (this file builds with
+// -ffp-contract=off, so neither intrinsics nor the portable loop can
+// contract), matching the baseline-x86-64 scalar code.  Hoisting itself
+// is value-preserving: every hoisted subexpression has identical
+// operands at every point.
+//
+// Dispatch follows common/rng_lanes: AVX-512F/DQ, then AVX2, then a
+// portable kernel that is the scalar loop verbatim.  EXAEFF_SIMD=0
+// forces the portable kernel; tests pin tiers via force_projection_tier
+// to cross-check all of them on one host.
+
+/// Loop-invariant parameters of one batch projection call.
+struct SweepParams {
+  double e_ci = 0.0;       ///< CI-region energy, joules
+  double e_mi = 0.0;       ///< MI-region energy, joules
+  double total_mwh = 0.0;  ///< joules_to_mwh(total energy), if positive
+  double w_ci = 0.0;       ///< e_ci / e_total, if positive
+  double w_mi = 0.0;       ///< e_mi / e_total, if positive
+  bool positive = false;   ///< total energy > 0 (else pct outputs are 0)
+};
+
+// Kernel inputs (all in plan/batch order):
+//   ca = CI 1 - energy_pct/100      ma = MI 1 - energy_pct/100
+//   cb = CI runtime_pct - 100       mb = MI runtime_pct - 100
+using SweepLanesFn = void (*)(const double* ca, const double* ma,
+                              const double* cb, const double* mb,
+                              std::size_t n, const SweepParams& p,
+                              double* ci_saved, double* mi_saved,
+                              double* total_saved, double* savings,
+                              double* noslow, double* dt);
+
+void sweep_lanes_portable(const double* ca, const double* ma,
+                          const double* cb, const double* mb, std::size_t n,
+                          const SweepParams& p, double* ci_saved,
+                          double* mi_saved, double* total_saved,
+                          double* savings, double* noslow, double* dt) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // ProjectionEngine::project(), verbatim (ca/ma/cb/mb are its
+    // table-only subexpressions, precomputed at add() time).
+    const double cs = units::joules_to_mwh(p.e_ci * ca[i]);
+    const double ms = units::joules_to_mwh(p.e_mi * ma[i]);
+    const double ts = cs + ms;
+    ci_saved[i] = cs;
+    mi_saved[i] = ms;
+    total_saved[i] = ts;
+    if (p.positive) {
+      savings[i] = 100.0 * ts / p.total_mwh;
+      noslow[i] = 100.0 * ms / p.total_mwh;
+      dt[i] = p.w_ci * cb[i] + p.w_mi * mb[i];
+    } else {
+      savings[i] = 0.0;
+      noslow[i] = 0.0;
+      dt[i] = 0.0;
+    }
+  }
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+
+__attribute__((target("avx2"))) void sweep_lanes_avx2(
+    const double* ca, const double* ma, const double* cb, const double* mb,
+    std::size_t n, const SweepParams& p, double* ci_saved, double* mi_saved,
+    double* total_saved, double* savings, double* noslow, double* dt) {
+  const __m256d v100 = _mm256_set1_pd(100.0);
+  const __m256d vjpm = _mm256_set1_pd(3.6e9);  // units::joules_to_mwh divisor
+  const __m256d veci = _mm256_set1_pd(p.e_ci);
+  const __m256d vemi = _mm256_set1_pd(p.e_mi);
+  const __m256d vtot = _mm256_set1_pd(p.total_mwh);
+  const __m256d vwci = _mm256_set1_pd(p.w_ci);
+  const __m256d vwmi = _mm256_set1_pd(p.w_mi);
+  const __m256d vzero = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; i += 4) {
+    const __m256d cs =
+        _mm256_div_pd(_mm256_mul_pd(veci, _mm256_loadu_pd(ca + i)), vjpm);
+    const __m256d ms =
+        _mm256_div_pd(_mm256_mul_pd(vemi, _mm256_loadu_pd(ma + i)), vjpm);
+    const __m256d ts = _mm256_add_pd(cs, ms);
+    _mm256_storeu_pd(ci_saved + i, cs);
+    _mm256_storeu_pd(mi_saved + i, ms);
+    _mm256_storeu_pd(total_saved + i, ts);
+    if (p.positive) {
+      _mm256_storeu_pd(savings + i,
+                       _mm256_div_pd(_mm256_mul_pd(v100, ts), vtot));
+      _mm256_storeu_pd(noslow + i,
+                       _mm256_div_pd(_mm256_mul_pd(v100, ms), vtot));
+      const __m256d dci = _mm256_mul_pd(vwci, _mm256_loadu_pd(cb + i));
+      const __m256d dmi = _mm256_mul_pd(vwmi, _mm256_loadu_pd(mb + i));
+      _mm256_storeu_pd(dt + i, _mm256_add_pd(dci, dmi));
+    } else {
+      _mm256_storeu_pd(savings + i, vzero);
+      _mm256_storeu_pd(noslow + i, vzero);
+      _mm256_storeu_pd(dt + i, vzero);
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512dq"))) void sweep_lanes_avx512(
+    const double* ca, const double* ma, const double* cb, const double* mb,
+    std::size_t n, const SweepParams& p, double* ci_saved, double* mi_saved,
+    double* total_saved, double* savings, double* noslow, double* dt) {
+  const __m512d v100 = _mm512_set1_pd(100.0);
+  const __m512d vjpm = _mm512_set1_pd(3.6e9);
+  const __m512d veci = _mm512_set1_pd(p.e_ci);
+  const __m512d vemi = _mm512_set1_pd(p.e_mi);
+  const __m512d vtot = _mm512_set1_pd(p.total_mwh);
+  const __m512d vwci = _mm512_set1_pd(p.w_ci);
+  const __m512d vwmi = _mm512_set1_pd(p.w_mi);
+  const __m512d vzero = _mm512_setzero_pd();
+  for (std::size_t i = 0; i < n; i += 8) {
+    const __m512d cs =
+        _mm512_div_pd(_mm512_mul_pd(veci, _mm512_loadu_pd(ca + i)), vjpm);
+    const __m512d ms =
+        _mm512_div_pd(_mm512_mul_pd(vemi, _mm512_loadu_pd(ma + i)), vjpm);
+    const __m512d ts = _mm512_add_pd(cs, ms);
+    _mm512_storeu_pd(ci_saved + i, cs);
+    _mm512_storeu_pd(mi_saved + i, ms);
+    _mm512_storeu_pd(total_saved + i, ts);
+    if (p.positive) {
+      _mm512_storeu_pd(savings + i,
+                       _mm512_div_pd(_mm512_mul_pd(v100, ts), vtot));
+      _mm512_storeu_pd(noslow + i,
+                       _mm512_div_pd(_mm512_mul_pd(v100, ms), vtot));
+      const __m512d dci = _mm512_mul_pd(vwci, _mm512_loadu_pd(cb + i));
+      const __m512d dmi = _mm512_mul_pd(vwmi, _mm512_loadu_pd(mb + i));
+      _mm512_storeu_pd(dt + i, _mm512_add_pd(dci, dmi));
+    } else {
+      _mm512_storeu_pd(savings + i, vzero);
+      _mm512_storeu_pd(noslow + i, vzero);
+      _mm512_storeu_pd(dt + i, vzero);
+    }
+  }
+}
+
+#endif  // x86_64 && GNUC
+
+SweepLanesFn tier_fn(ProjectionSimdTier tier) {
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (tier == ProjectionSimdTier::kAvx512) return sweep_lanes_avx512;
+  if (tier == ProjectionSimdTier::kAvx2) return sweep_lanes_avx2;
+#else
+  (void)tier;
+#endif
+  return sweep_lanes_portable;
+}
+
+ProjectionSimdTier resolve_tier() {
+  if (!simd_enabled()) return ProjectionSimdTier::kPortable;
+  if (projection_tier_supported(ProjectionSimdTier::kAvx512)) {
+    return ProjectionSimdTier::kAvx512;
+  }
+  if (projection_tier_supported(ProjectionSimdTier::kAvx2)) {
+    return ProjectionSimdTier::kAvx2;
+  }
+  return ProjectionSimdTier::kPortable;
+}
+
+/// The dispatched kernel; null until first use or after a reset.
+std::atomic<SweepLanesFn> g_sweep_lanes{nullptr};
+
+SweepLanesFn sweep_lanes() {
+  SweepLanesFn f = g_sweep_lanes.load(std::memory_order_relaxed);
+  if (f == nullptr) {
+    f = tier_fn(resolve_tier());
+    g_sweep_lanes.store(f, std::memory_order_relaxed);
+  }
+  return f;
+}
+
+/// Hoists the per-decomposition invariants once for a whole batch; the
+/// scalar path recomputes them per point with identical operands, so
+/// hoisting cannot change a single bit.
+SweepParams make_params(const ModalDecomposition& decomp) {
+  SweepParams p;
+  p.e_ci =
+      decomp.regions[static_cast<std::size_t>(Region::kComputeIntensive)]
+          .energy_j;
+  p.e_mi =
+      decomp.regions[static_cast<std::size_t>(Region::kMemoryIntensive)]
+          .energy_j;
+  const double e_total = decomp.total_energy_j;
+  p.positive = e_total > 0.0;
+  if (p.positive) {
+    p.total_mwh = units::joules_to_mwh(e_total);
+    p.w_ci = p.e_ci / e_total;
+    p.w_mi = p.e_mi / e_total;
+  }
+  return p;
+}
+
+void count_projection_rows(std::size_t n) {
+  if (obs::metrics_enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("exaeff_projection_rows_total",
+                 "Cap settings evaluated by projection sweeps")
+        .inc(static_cast<double>(n));
+  }
+}
+
+}  // namespace
+
+bool projection_tier_supported(ProjectionSimdTier tier) {
+  switch (tier) {
+    case ProjectionSimdTier::kPortable:
+      return true;
+    case ProjectionSimdTier::kAvx2:
+#if defined(__x86_64__) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case ProjectionSimdTier::kAvx512:
+#if defined(__x86_64__) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+ProjectionSimdTier active_projection_tier() {
+  const SweepLanesFn f = sweep_lanes();
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (f == sweep_lanes_avx512) return ProjectionSimdTier::kAvx512;
+  if (f == sweep_lanes_avx2) return ProjectionSimdTier::kAvx2;
+#endif
+  (void)f;
+  return ProjectionSimdTier::kPortable;
+}
+
+void force_projection_tier(ProjectionSimdTier tier) {
+  EXAEFF_REQUIRE(projection_tier_supported(tier),
+                 "projection SIMD tier is not supported on this host");
+  g_sweep_lanes.store(tier_fn(tier), std::memory_order_relaxed);
+}
+
+void reset_projection_tier() {
+  g_sweep_lanes.store(nullptr, std::memory_order_relaxed);
 }
 
 ProjectionRow ProjectionEngine::project(const ModalDecomposition& decomp,
@@ -59,38 +327,148 @@ ProjectionRow ProjectionEngine::project(const ModalDecomposition& decomp,
   return row;
 }
 
+void ProjectionEngine::project_rows_into(
+    const ModalDecomposition& decomp, CapType type,
+    std::span<const double> settings, std::span<const std::uint32_t> ci_rows,
+    std::span<const std::uint32_t> mi_rows,
+    std::span<ProjectionRow> out) const {
+  EXAEFF_REQUIRE(settings.size() == out.size() &&
+                     ci_rows.size() == out.size() &&
+                     mi_rows.size() == out.size(),
+                 "batch projection spans must share one size");
+  const SweepView& ci_view =
+      table_.sweep_view(BenchClass::kComputeIntensive, type);
+  const SweepView& mi_view =
+      table_.sweep_view(BenchClass::kMemoryIntensive, type);
+
+  const SweepParams p = make_params(decomp);
+  const SweepLanesFn lanes = sweep_lanes();
+  // Block size bounds the stack scratch (10 lanes x 2 KB) while leaving
+  // plenty of iterations to amortize the indirect kernel call.
+  constexpr std::size_t kBlock = 256;
+  alignas(64) double ca[kBlock], ma[kBlock], cb[kBlock], mb[kBlock];
+  alignas(64) double cs[kBlock], ms[kBlock], ts[kBlock];
+  alignas(64) double sp[kBlock], ns[kBlock], dt[kBlock];
+  for (std::size_t base = 0; base < out.size(); base += kBlock) {
+    const std::size_t m = std::min(kBlock, out.size() - base);
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint32_t ci = ci_rows[base + j];
+      const std::uint32_t mi = mi_rows[base + j];
+      if (ci >= ci_view.size() || mi >= mi_view.size()) {
+        // An unresolved (kNoRow) or stale index: surface exactly the
+        // error the scalar path's at() lookup would have thrown.
+        throw Error("cap setting was not part of the characterization sweep");
+      }
+      ca[j] = ci_view.one_minus_energy[ci];
+      cb[j] = ci_view.runtime_minus_100[ci];
+      ma[j] = mi_view.one_minus_energy[mi];
+      mb[j] = mi_view.runtime_minus_100[mi];
+    }
+    // Pad the tail to a full lane group: the padded lanes compute
+    // finite values the scatter never reads.
+    const std::size_t padded = (m + 7) & ~std::size_t{7};
+    for (std::size_t j = m; j < padded; ++j) {
+      ca[j] = ma[j] = cb[j] = mb[j] = 0.0;
+    }
+    lanes(ca, ma, cb, mb, padded, p, cs, ms, ts, sp, ns, dt);
+    for (std::size_t j = 0; j < m; ++j) {
+      ProjectionRow& row = out[base + j];
+      row.cap_type = type;
+      row.setting = settings[base + j];
+      row.ci_saved_mwh = cs[j];
+      row.mi_saved_mwh = ms[j];
+      row.total_saved_mwh = ts[j];
+      row.savings_pct = sp[j];
+      row.delta_t_pct = dt[j];
+      row.savings_pct_no_slowdown = ns[j];
+    }
+  }
+}
+
+void ProjectionEngine::project_sweep_into(const ModalDecomposition& decomp,
+                                          CapType type,
+                                          std::span<ProjectionRow> out) const {
+  EXAEFF_TRACE_SPAN("projection.sweep");
+  const SweepPlan& plan = table_.sweep_plan(type);
+  EXAEFF_REQUIRE(out.size() == plan.size(),
+                 "sweep output span must have sweep_size() rows");
+  if (!plan.paired) {
+    // Some CI setting never resolved in the MI class: the gather path
+    // below surfaces at()'s exact error for it.
+    project_rows_into(decomp, type, plan.settings, plan.ci_row, plan.mi_row,
+                      out);
+    count_projection_rows(out.size());
+    return;
+  }
+  // Paired fast path: the plan's pre-gathered, pre-padded columns feed
+  // the kernel directly — no per-call gather, no tail handling.
+  const SweepParams p = make_params(decomp);
+  const SweepLanesFn lanes = sweep_lanes();
+  constexpr std::size_t kBlock = 256;
+  alignas(64) double cs[kBlock], ms[kBlock], ts[kBlock];
+  alignas(64) double sp[kBlock], ns[kBlock], dt[kBlock];
+  for (std::size_t base = 0; base < out.size(); base += kBlock) {
+    const std::size_t m = std::min(kBlock, out.size() - base);
+    // base is a multiple of 8, so the padded block length stays inside
+    // the plan's padded columns.
+    const std::size_t padded = (m + 7) & ~std::size_t{7};
+    lanes(plan.ci_one_minus_e.data() + base,
+          plan.mi_one_minus_e.data() + base,
+          plan.ci_rt_minus_100.data() + base,
+          plan.mi_rt_minus_100.data() + base, padded, p, cs, ms, ts, sp, ns,
+          dt);
+    for (std::size_t j = 0; j < m; ++j) {
+      ProjectionRow& row = out[base + j];
+      row.cap_type = type;
+      row.setting = plan.settings[base + j];
+      row.ci_saved_mwh = cs[j];
+      row.mi_saved_mwh = ms[j];
+      row.total_saved_mwh = ts[j];
+      row.savings_pct = sp[j];
+      row.delta_t_pct = dt[j];
+      row.savings_pct_no_slowdown = ns[j];
+    }
+  }
+  count_projection_rows(out.size());
+}
+
 std::vector<ProjectionRow> ProjectionEngine::project_sweep(
     const ModalDecomposition& decomp, CapType type) const {
-  EXAEFF_TRACE_SPAN("projection.sweep");
-  std::vector<ProjectionRow> rows;
-  for (const auto& r : table_.rows(BenchClass::kComputeIntensive, type)) {
-    // Skip the uncapped baseline rows (100% everything).
-    if (r.runtime_pct == 100.0 && r.energy_pct == 100.0 &&
-        r.avg_power_pct == 100.0) {
-      continue;
-    }
-    rows.push_back(project(decomp, type, r.setting));
-  }
-  if (obs::metrics_enabled()) {
-    obs::MetricsRegistry::global()
-        .counter("exaeff_projection_rows_total",
-                 "Cap settings evaluated by projection sweeps")
-        .inc(rows.size());
-  }
+  std::vector<ProjectionRow> rows(sweep_size(type));
+  project_sweep_into(decomp, type, rows);
   return rows;
 }
 
 ProjectionRow ProjectionEngine::best_no_slowdown(
     const ModalDecomposition& decomp, CapType type) const {
-  const auto rows = project_sweep(decomp, type);
-  EXAEFF_REQUIRE(!rows.empty(), "no capped settings in the sweep");
-  const ProjectionRow* best = &rows.front();
-  for (const auto& r : rows) {
-    if (r.savings_pct_no_slowdown > best->savings_pct_no_slowdown) {
-      best = &r;
+  EXAEFF_TRACE_SPAN("projection.sweep");
+  const SweepPlan& plan = table_.sweep_plan(type);
+  if (plan.size() == 0) count_projection_rows(0);
+  EXAEFF_REQUIRE(plan.size() > 0, "no capped settings in the sweep");
+  // Blockwise batch compute with an in-place argmax fold: first row
+  // wins ties (strict >), exactly like the row-vector scan it replaces.
+  constexpr std::size_t kArgmaxBlock = 64;
+  ProjectionRow block[kArgmaxBlock];
+  ProjectionRow best;
+  bool first = true;
+  const std::span<const double> settings(plan.settings);
+  const std::span<const std::uint32_t> ci_rows(plan.ci_row);
+  const std::span<const std::uint32_t> mi_rows(plan.mi_row);
+  for (std::size_t base = 0; base < plan.size(); base += kArgmaxBlock) {
+    const std::size_t m = std::min(kArgmaxBlock, plan.size() - base);
+    project_rows_into(decomp, type, settings.subspan(base, m),
+                      ci_rows.subspan(base, m), mi_rows.subspan(base, m),
+                      std::span<ProjectionRow>(block, m));
+    for (std::size_t j = 0; j < m; ++j) {
+      if (first ||
+          block[j].savings_pct_no_slowdown > best.savings_pct_no_slowdown) {
+        best = block[j];
+        first = false;
+      }
     }
   }
-  return *best;
+  count_projection_rows(plan.size());
+  return best;
 }
 
 }  // namespace exaeff::core

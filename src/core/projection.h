@@ -18,6 +18,7 @@
 // responds like the benchmark that defines the region.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -25,6 +26,25 @@
 #include "core/modal.h"
 
 namespace exaeff::core {
+
+/// Dispatch tiers of the batch projection kernel.  Resolution follows
+/// common/rng_lanes: the widest supported tier wins, `EXAEFF_SIMD=0`
+/// (or common::set_simd_enabled(false)) forces kPortable, and tests pin
+/// a tier explicitly to cross-check bit-identity between them.
+enum class ProjectionSimdTier { kPortable = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// True when this host can run `tier` (kPortable always can).
+[[nodiscard]] bool projection_tier_supported(ProjectionSimdTier tier);
+
+/// The tier the batch kernel currently dispatches to.
+[[nodiscard]] ProjectionSimdTier active_projection_tier();
+
+/// Test hook: pin the batch kernel to one tier; throws when the host
+/// does not support it.
+void force_projection_tier(ProjectionSimdTier tier);
+
+/// Test hook: return to automatic resolution (environment honored).
+void reset_projection_tier();
 
 /// Data-quality summary attached to a projection's input telemetry.
 /// Defaults describe a perfect (clean, complete) stream so existing
@@ -76,8 +96,33 @@ class ProjectionEngine {
   [[nodiscard]] std::vector<ProjectionRow> project_sweep(
       const ModalDecomposition& decomp, CapType type) const;
 
+  /// Number of rows project_sweep(·, type) produces.
+  [[nodiscard]] std::size_t sweep_size(CapType type) const {
+    return table_.sweep_plan(type).size();
+  }
+
+  /// The whole sweep into caller storage (out.size() must equal
+  /// sweep_size(type)): per-decomposition invariants are hoisted once
+  /// and all points run through the batch lanes.  Rows are bit-identical
+  /// to project_sweep()'s, with no intermediate allocation.
+  void project_sweep_into(const ModalDecomposition& decomp, CapType type,
+                          std::span<ProjectionRow> out) const;
+
+  /// Batch projection of arbitrary pre-resolved sweep points: row k
+  /// reports settings[k] and reads the CI/MI responses at table row
+  /// ci_rows[k] / mi_rows[k] (see CapResponseTable::index_of).  All four
+  /// spans must share one size; indices must not be kNoRow.  Each row is
+  /// bit-identical to project(decomp, type, settings[k]) resolved to the
+  /// same table rows.
+  void project_rows_into(const ModalDecomposition& decomp, CapType type,
+                         std::span<const double> settings,
+                         std::span<const std::uint32_t> ci_rows,
+                         std::span<const std::uint32_t> mi_rows,
+                         std::span<ProjectionRow> out) const;
+
   /// The setting (among the swept ones) with the highest savings at zero
-  /// slowdown — the paper's "best case" operating point.
+  /// slowdown — the paper's "best case" operating point.  Runs the batch
+  /// kernel blockwise and folds the argmax in place (no row vector).
   [[nodiscard]] ProjectionRow best_no_slowdown(
       const ModalDecomposition& decomp, CapType type) const;
 

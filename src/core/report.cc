@@ -66,6 +66,7 @@ std::string render_campaign_report(const ReportInputs& inputs) {
   }
 
   // --- projections --------------------------------------------------------
+  std::vector<ProjectionRow> sweep_rows;  // reused across both blocks
   auto projection_block = [&](CapType type, const char* title) {
     os << "## " << title << "\n\n";
     TextTable t;
@@ -78,7 +79,9 @@ std::string render_campaign_report(const ReportInputs& inputs) {
       header.push_back("imputed %");
     }
     t.set_header(header);
-    for (const auto& row : engine.project_sweep(decomp, type)) {
+    sweep_rows.resize(engine.sweep_size(type));
+    engine.project_sweep_into(decomp, type, sweep_rows);
+    for (const auto& row : sweep_rows) {
       std::vector<std::string> cells = {
           TextTable::num(row.setting, 0),
           TextTable::num(row.ci_saved_mwh, 3),

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <span>
+#include <vector>
 
 #include "cluster/system_config.h"
 #include "common/units.h"
@@ -170,7 +173,25 @@ std::shared_ptr<const FleetModel> FleetModel::build(
   core::CharacterizationOptions copts;
   copts.pool = &pool;
   m->table_ = core::characterize(gcd, copts);
+  m->engine_ = std::make_unique<core::ProjectionEngine>(m->table_);
   m->fleet_ = m->acc_->decomposition();
+  // Memoize every restricted decomposition a query can ask for (domain,
+  // bin, domain x bin, plus the unrestricted fleet): 66 pure folds over
+  // the 50 cells, so /sweep and /project never re-walk the accumulator.
+  for (std::size_t d = 0; d <= sched::kDomainCount; ++d) {
+    for (std::size_t b = 0; b <= sched::kSizeBinCount; ++b) {
+      std::array<std::array<bool, sched::kSizeBinCount>,
+                 sched::kDomainCount>
+          mask{};
+      for (std::size_t md = 0; md < sched::kDomainCount; ++md) {
+        for (std::size_t mb = 0; mb < sched::kSizeBinCount; ++mb) {
+          mask[md][mb] = (d == kAllDomains || md == d) &&
+                         (b == kAllBins || mb == b);
+        }
+      }
+      m->restricted_[d][b] = m->acc_->decomposition_for(mask);
+    }
+  }
   obs::Logger::global().info(
       "serve.model_loaded",
       {{"nodes", config.nodes},
@@ -393,27 +414,14 @@ std::string ProjectionService::compute_body(const FleetModel& m,
                                             const Query& q,
                                             RequestContext& ctx,
                                             bool sweep) const {
-  // Restricted decompositions are recomputed from the accumulator's
-  // (domain, bin) cells; the whole-fleet one is precomputed at load.
-  core::ModalDecomposition decomp;
-  if (q.has_domain || q.has_bin) {
-    std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
-        mask{};
-    for (std::size_t d = 0; d < sched::kDomainCount; ++d) {
-      for (std::size_t b = 0; b < sched::kSizeBinCount; ++b) {
-        const bool domain_ok =
-            !q.has_domain || d == static_cast<std::size_t>(q.domain);
-        const bool bin_ok =
-            !q.has_bin || b == static_cast<std::size_t>(q.bin);
-        mask[d][b] = domain_ok && bin_ok;
-      }
-    }
-    decomp = m.accumulator().decomposition_for(mask);
-  } else {
-    decomp = m.fleet_decomposition();
-  }
+  // Every decomposition a query can select is memoized at load (the
+  // values match an on-demand mask fold bit for bit).
+  const core::ModalDecomposition& decomp = m.restricted_decomposition(
+      q.has_domain ? static_cast<std::size_t>(q.domain)
+                   : FleetModel::kAllDomains,
+      q.has_bin ? static_cast<std::size_t>(q.bin) : FleetModel::kAllBins);
 
-  const core::ProjectionEngine engine(m.table());
+  const core::ProjectionEngine& engine = m.engine();
   std::string out = "{\"type\":\"";
   out += core::cap_type_name(q.type);
   out += "\",\"domain\":\"";
@@ -428,24 +436,68 @@ std::string ProjectionService::compute_body(const FleetModel& m,
   } else {
     const auto points = static_cast<std::size_t>(
         std::floor((q.hi - q.lo) / q.step + 1e-9) + 1.0);
-    // Every enumerated point must be characterized before any work
-    // happens, so a half-bad sweep is rejected whole (400), never half
-    // answered.
+    // One resolution/validation pass: every enumerated point must be
+    // characterized before any work happens, so a half-bad sweep is
+    // rejected whole (400), never half answered.  The resolved row
+    // indices feed the batch kernel below.
+    std::vector<double> settings(points);
+    std::vector<std::uint32_t> ci_rows(points), mi_rows(points);
+    bool resolved = true;
     for (std::size_t i = 0; i < points; ++i) {
-      require_characterized(m.table(), q.type,
-                            q.lo + static_cast<double>(i) * q.step);
+      const double s = q.lo + static_cast<double>(i) * q.step;
+      settings[i] = s;
+      ci_rows[i] = m.table().index_of(core::BenchClass::kComputeIntensive,
+                                      q.type, s);
+      mi_rows[i] = m.table().index_of(core::BenchClass::kMemoryIntensive,
+                                      q.type, s);
+      if (ci_rows[i] == core::CapResponseTable::kNoRow) {
+        require_characterized(m.table(), q.type, s);
+      }
+      // A point require_characterized accepts but index_of cannot
+      // resolve (or one missing only from the MI class) falls back to
+      // the scalar loop below, which surfaces the same error, at the
+      // same point, as it always has.
+      if (ci_rows[i] == core::CapResponseTable::kNoRow ||
+          mi_rows[i] == core::CapResponseTable::kNoRow) {
+        resolved = false;
+      }
     }
     out += ",\"count\":" + std::to_string(points) + ",\"rows\":[";
-    for (std::size_t i = 0; i < points; ++i) {
-      // The per-point boundary: the deadline is observed here, so an
-      // expired request abandons the remaining points (504), exactly
-      // like a pool chunk boundary under cancellation.
-      ctx.check();
-      if (limits_.sweep_point_hook) limits_.sweep_point_hook();
-      if (i > 0) out += ",";
-      append_row_json(
-          out, engine.project(decomp, q.type,
-                              q.lo + static_cast<double>(i) * q.step));
+    if (resolved) {
+      // Batch-compute all rows through the SIMD kernel, observing the
+      // deadline at block boundaries, then format from the row buffer.
+      // The formatting loop keeps the original per-point check()/hook
+      // cadence, so deadline expiry (504) and test instrumentation see
+      // exactly the sequence the per-point compute loop produced.
+      std::vector<core::ProjectionRow> rows(points);
+      constexpr std::size_t kComputeBlock = 512;
+      for (std::size_t base = 0; base < points; base += kComputeBlock) {
+        ctx.check();
+        const std::size_t n = std::min(kComputeBlock, points - base);
+        engine.project_rows_into(
+            decomp, q.type,
+            std::span<const double>(settings).subspan(base, n),
+            std::span<const std::uint32_t>(ci_rows).subspan(base, n),
+            std::span<const std::uint32_t>(mi_rows).subspan(base, n),
+            std::span<core::ProjectionRow>(rows).subspan(base, n));
+      }
+      out.reserve(out.size() + points * 192 + 8);
+      for (std::size_t i = 0; i < points; ++i) {
+        ctx.check();
+        if (limits_.sweep_point_hook) limits_.sweep_point_hook();
+        if (i > 0) out += ",";
+        append_row_json(out, rows[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < points; ++i) {
+        // The per-point boundary: the deadline is observed here, so an
+        // expired request abandons the remaining points (504), exactly
+        // like a pool chunk boundary under cancellation.
+        ctx.check();
+        if (limits_.sweep_point_hook) limits_.sweep_point_hook();
+        if (i > 0) out += ",";
+        append_row_json(out, engine.project(decomp, q.type, settings[i]));
+      }
     }
     out += "]";
   }

@@ -72,9 +72,26 @@ class FleetModel {
   [[nodiscard]] const core::CampaignAccumulator& accumulator() const {
     return *acc_;
   }
+  /// The projection engine over table(), built once at load (queries
+  /// used to construct one per request).
+  [[nodiscard]] const core::ProjectionEngine& engine() const {
+    return *engine_;
+  }
   /// The whole-fleet decomposition, precomputed at load.
   [[nodiscard]] const core::ModalDecomposition& fleet_decomposition() const {
     return fleet_;
+  }
+  /// Sentinel for restricted_decomposition(): no restriction on that
+  /// axis.
+  static constexpr std::size_t kAllDomains = sched::kDomainCount;
+  static constexpr std::size_t kAllBins = sched::kSizeBinCount;
+  /// The decomposition restricted to one domain and/or one size bin
+  /// (kAllDomains/kAllBins leaves that axis unrestricted), memoized at
+  /// load — identical values to an on-demand decomposition_for() over
+  /// the matching mask, without re-walking the cells per request.
+  [[nodiscard]] const core::ModalDecomposition& restricted_decomposition(
+      std::size_t domain, std::size_t bin) const {
+    return restricted_[domain][bin];
   }
 
  private:
@@ -84,7 +101,11 @@ class FleetModel {
   std::size_t jobs_ = 0;
   std::unique_ptr<core::CampaignAccumulator> acc_;
   core::CapResponseTable table_;
+  std::unique_ptr<core::ProjectionEngine> engine_;
   core::ModalDecomposition fleet_;
+  std::array<std::array<core::ModalDecomposition, sched::kSizeBinCount + 1>,
+             sched::kDomainCount + 1>
+      restricted_{};
 };
 
 /// Per-request execution context: the deadline and the cancellation

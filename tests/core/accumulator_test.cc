@@ -180,6 +180,46 @@ TEST(CampaignAccumulator, MaskedDecompositionSelectsCells) {
   EXPECT_NEAR(full.total_energy_j, 2 * 300.0 * 15.0, 1e-6);
 }
 
+TEST(CampaignAccumulator, CellDecompositionEqualsSingleCellMaskExactly) {
+  // cell_decomposition(d, b) is the memoized fast path for the
+  // single-cell mask fold — the two must agree bit for bit, since the
+  // serve layer swaps one for the other under a byte-identity contract.
+  CampaignAccumulator acc(15.0, RegionBoundaries{});
+  const float powers[] = {120.0F, 310.0F, 470.0F, 600.0F, 333.25F};
+  int i = 0;
+  for (auto d : sched::all_domains()) {
+    for (auto b : sched::all_size_bins()) {
+      acc.on_job_sample(sample(0.0, powers[i++ % 5]), make_job(d, b));
+      acc.on_job_sample(sample(15.0, powers[i++ % 5]), make_job(d, b));
+    }
+  }
+  for (auto d : sched::all_domains()) {
+    for (auto b : sched::all_size_bins()) {
+      std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+          mask{};
+      mask[static_cast<std::size_t>(d)][static_cast<std::size_t>(b)] = true;
+      const auto from_mask = acc.decomposition_for(mask);
+      const auto from_cell = acc.cell_decomposition(d, b);
+      for (std::size_t r = 0; r < kRegionCount; ++r) {
+        EXPECT_EQ(from_cell.regions[r].gpu_hours,
+                  from_mask.regions[r].gpu_hours);
+        EXPECT_EQ(from_cell.regions[r].energy_j,
+                  from_mask.regions[r].energy_j);
+      }
+      EXPECT_EQ(from_cell.total_gpu_hours, from_mask.total_gpu_hours);
+      EXPECT_EQ(from_cell.total_energy_j, from_mask.total_energy_j);
+    }
+  }
+  // And the full fold is the whole-fleet mask, still exact.
+  std::array<std::array<bool, sched::kSizeBinCount>, sched::kDomainCount>
+      all{};
+  for (auto& row : all) row.fill(true);
+  const auto folded = acc.decomposition_for(all);
+  const auto full = acc.decomposition();
+  EXPECT_EQ(folded.total_energy_j, full.total_energy_j);
+  EXPECT_EQ(folded.total_gpu_hours, full.total_gpu_hours);
+}
+
 TEST(CampaignAccumulator, WindowValidation) {
   EXPECT_THROW(CampaignAccumulator(0.0, RegionBoundaries{}), Error);
 }

@@ -1,0 +1,297 @@
+// The batch sweep kernel's contract: project_sweep_into / the rewritten
+// project_sweep and best_no_slowdown produce bit-identical rows to the
+// scalar per-point project() path, on every SIMD dispatch tier this
+// host supports, for randomized tables and decompositions — plus the
+// SweepView/SweepPlan bookkeeping and the unpaired-table error paths.
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/simd_env.h"
+#include "core/projection.h"
+
+namespace exaeff::core {
+namespace {
+
+/// Exact (bit-level) row comparison: the determinism contract is ==,
+/// not within-epsilon.
+void expect_rows_identical(const ProjectionRow& a, const ProjectionRow& b) {
+  EXPECT_EQ(a.cap_type, b.cap_type);
+  EXPECT_EQ(a.setting, b.setting);
+  EXPECT_EQ(a.ci_saved_mwh, b.ci_saved_mwh);
+  EXPECT_EQ(a.mi_saved_mwh, b.mi_saved_mwh);
+  EXPECT_EQ(a.total_saved_mwh, b.total_saved_mwh);
+  EXPECT_EQ(a.savings_pct, b.savings_pct);
+  EXPECT_EQ(a.delta_t_pct, b.delta_t_pct);
+  EXPECT_EQ(a.savings_pct_no_slowdown, b.savings_pct_no_slowdown);
+}
+
+/// The scalar reference: the loop project_sweep() ran before the batch
+/// kernel existed — iterate CI rows in insertion order, skip baselines,
+/// project each point through the per-point at() path.
+std::vector<ProjectionRow> scalar_sweep(const ProjectionEngine& engine,
+                                        const CapResponseTable& table,
+                                        const ModalDecomposition& decomp,
+                                        CapType type) {
+  std::vector<ProjectionRow> rows;
+  for (const auto& r : table.rows(BenchClass::kComputeIntensive, type)) {
+    if (r.runtime_pct == 100.0 && r.energy_pct == 100.0 &&
+        r.avg_power_pct == 100.0) {
+      continue;
+    }
+    rows.push_back(engine.project(decomp, type, r.setting));
+  }
+  return rows;
+}
+
+/// A randomized paired table: `n` distinct settings added to both
+/// classes (in the same, shuffled order), a few of them exact baseline
+/// rows.
+CapResponseTable random_table(Rng& rng, std::size_t n, CapType type) {
+  std::vector<double> settings;
+  for (std::size_t i = 0; i < n; ++i) {
+    settings.push_back(200.0 + static_cast<double>(i) * 10.0 +
+                       rng.uniform() * 5.0);
+  }
+  // Shuffled insertion order: the sweep plan must preserve it.
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform() *
+                                            static_cast<double>(i));
+    std::swap(settings[i - 1], settings[j]);
+  }
+  CapResponseTable t;
+  for (double s : settings) {
+    const bool baseline = rng.uniform() < 0.2;
+    auto row = [&](double lo, double hi) {
+      return baseline ? 100.0 : lo + rng.uniform() * (hi - lo);
+    };
+    t.add(BenchClass::kComputeIntensive, type,
+          {s, row(40.0, 120.0), row(95.0, 180.0), row(50.0, 130.0)});
+    t.add(BenchClass::kMemoryIntensive, type,
+          {s, row(40.0, 120.0), row(95.0, 180.0), row(50.0, 130.0)});
+  }
+  return t;
+}
+
+ModalDecomposition random_decomposition(Rng& rng, bool zero_energy = false) {
+  ModalDecomposition d;
+  for (auto& r : d.regions) {
+    r.gpu_hours = rng.uniform() * 1e4;
+    r.energy_j = zero_energy ? 0.0 : rng.uniform() * 1e12;
+  }
+  for (const auto& r : d.regions) {
+    d.total_gpu_hours += r.gpu_hours;
+    d.total_energy_j += r.energy_j;
+  }
+  return d;
+}
+
+class ProjectionBatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { reset_projection_tier(); }
+};
+
+TEST_F(ProjectionBatchTest, SweepViewMirrorsRowsAndPlanSkipsBaselines) {
+  Rng rng(7);
+  const auto table = random_table(rng, 12, CapType::kFrequency);
+  const auto rows = table.rows(BenchClass::kComputeIntensive,
+                               CapType::kFrequency);
+  const SweepView& view =
+      table.sweep_view(BenchClass::kComputeIntensive, CapType::kFrequency);
+  ASSERT_EQ(view.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(view.settings[i], rows[i].setting);
+    EXPECT_EQ(view.avg_power_pct[i], rows[i].avg_power_pct);
+    EXPECT_EQ(view.runtime_pct[i], rows[i].runtime_pct);
+    EXPECT_EQ(view.energy_pct[i], rows[i].energy_pct);
+    // index_of agrees with at() on every swept setting.
+    const auto idx = table.index_of(BenchClass::kComputeIntensive,
+                                    CapType::kFrequency, rows[i].setting);
+    ASSERT_NE(idx, CapResponseTable::kNoRow);
+    EXPECT_EQ(&table.at(BenchClass::kComputeIntensive, CapType::kFrequency,
+                        rows[i].setting),
+              &rows[idx]);
+  }
+  EXPECT_EQ(table.index_of(BenchClass::kComputeIntensive,
+                           CapType::kFrequency, 99999.0),
+            CapResponseTable::kNoRow);
+
+  // The plan lists exactly the non-baseline settings, insertion order.
+  const SweepPlan& plan = table.sweep_plan(CapType::kFrequency);
+  EXPECT_TRUE(plan.paired);
+  std::vector<double> expected;
+  for (const auto& r : rows) {
+    if (r.runtime_pct == 100.0 && r.energy_pct == 100.0 &&
+        r.avg_power_pct == 100.0) {
+      continue;
+    }
+    expected.push_back(r.setting);
+  }
+  EXPECT_EQ(plan.settings, expected);
+  EXPECT_EQ(ProjectionEngine(table).sweep_size(CapType::kFrequency),
+            expected.size());
+}
+
+TEST_F(ProjectionBatchTest, RandomizedSweepsMatchScalarBitForBit) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    // Sizes straddle the 256-point gather block and the 8-lane groups.
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform() * 300.0);
+    const auto type = seed % 2 == 0 ? CapType::kFrequency : CapType::kPower;
+    const auto table = random_table(rng, n, type);
+    const ProjectionEngine engine(table);
+    const auto decomp = random_decomposition(rng, /*zero_energy=*/seed == 5);
+
+    const auto expected = scalar_sweep(engine, table, decomp, type);
+    const auto batched = engine.project_sweep(decomp, type);
+    ASSERT_EQ(batched.size(), expected.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      expect_rows_identical(batched[i], expected[i]);
+    }
+
+    std::vector<ProjectionRow> into(engine.sweep_size(type));
+    engine.project_sweep_into(decomp, type, into);
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      expect_rows_identical(into[i], expected[i]);
+    }
+  }
+}
+
+TEST_F(ProjectionBatchTest, EveryDispatchTierIsBitIdentical) {
+  Rng rng(42);
+  const auto table = random_table(rng, 70, CapType::kFrequency);
+  const ProjectionEngine engine(table);
+  const auto decomp = random_decomposition(rng);
+
+  force_projection_tier(ProjectionSimdTier::kPortable);
+  ASSERT_EQ(active_projection_tier(), ProjectionSimdTier::kPortable);
+  const auto portable = engine.project_sweep(decomp, CapType::kFrequency);
+  ASSERT_FALSE(portable.empty());
+
+  for (const auto tier :
+       {ProjectionSimdTier::kAvx2, ProjectionSimdTier::kAvx512}) {
+    if (!projection_tier_supported(tier)) continue;
+    force_projection_tier(tier);
+    ASSERT_EQ(active_projection_tier(), tier);
+    const auto rows = engine.project_sweep(decomp, CapType::kFrequency);
+    ASSERT_EQ(rows.size(), portable.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      expect_rows_identical(rows[i], portable[i]);
+    }
+  }
+}
+
+TEST_F(ProjectionBatchTest, SimdEnvSwitchForcesPortable) {
+  set_simd_enabled(false);
+  reset_projection_tier();
+  EXPECT_EQ(active_projection_tier(), ProjectionSimdTier::kPortable);
+  set_simd_enabled(true);
+  reset_projection_tier();
+  // Back to automatic: the widest supported tier.
+  const auto tier = active_projection_tier();
+  EXPECT_TRUE(projection_tier_supported(tier));
+}
+
+TEST_F(ProjectionBatchTest, ForcingUnsupportedTierThrows) {
+  if (projection_tier_supported(ProjectionSimdTier::kAvx512)) {
+    GTEST_SKIP() << "host supports every tier";
+  }
+  EXPECT_THROW(force_projection_tier(ProjectionSimdTier::kAvx512), Error);
+}
+
+TEST_F(ProjectionBatchTest, ProjectRowsIntoMatchesPerPointProject) {
+  Rng rng(11);
+  const auto table = random_table(rng, 40, CapType::kPower);
+  const ProjectionEngine engine(table);
+  const auto decomp = random_decomposition(rng);
+  // An arbitrary subset, out of insertion order, with repeats.
+  const SweepView& view =
+      table.sweep_view(BenchClass::kComputeIntensive, CapType::kPower);
+  std::vector<double> settings;
+  std::vector<std::uint32_t> ci_rows, mi_rows;
+  for (std::size_t k = 0; k < 100; ++k) {
+    const auto i = static_cast<std::size_t>(
+        rng.uniform() * static_cast<double>(view.size()));
+    settings.push_back(view.settings[i]);
+    ci_rows.push_back(table.index_of(BenchClass::kComputeIntensive,
+                                     CapType::kPower, view.settings[i]));
+    mi_rows.push_back(table.index_of(BenchClass::kMemoryIntensive,
+                                     CapType::kPower, view.settings[i]));
+  }
+  std::vector<ProjectionRow> rows(settings.size());
+  engine.project_rows_into(decomp, CapType::kPower, settings, ci_rows,
+                           mi_rows, rows);
+  for (std::size_t k = 0; k < settings.size(); ++k) {
+    expect_rows_identical(rows[k],
+                          engine.project(decomp, CapType::kPower,
+                                         settings[k]));
+  }
+}
+
+TEST_F(ProjectionBatchTest, BestNoSlowdownMatchesLegacyVectorScan) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    Rng rng(seed);
+    const auto table = random_table(rng, 50, CapType::kFrequency);
+    const ProjectionEngine engine(table);
+    const auto decomp = random_decomposition(rng);
+
+    // The legacy algorithm: materialize the sweep, scan with strict >.
+    const auto rows = engine.project_sweep(decomp, CapType::kFrequency);
+    ASSERT_FALSE(rows.empty());
+    const ProjectionRow* legacy = &rows.front();
+    for (const auto& r : rows) {
+      if (r.savings_pct_no_slowdown > legacy->savings_pct_no_slowdown) {
+        legacy = &r;
+      }
+    }
+    expect_rows_identical(
+        engine.best_no_slowdown(decomp, CapType::kFrequency), *legacy);
+  }
+}
+
+TEST_F(ProjectionBatchTest, BestNoSlowdownFirstRowWinsTies) {
+  // Zero-energy decomposition: every row's savings tie at 0, so the
+  // argmax must report the first swept setting (insertion order).
+  Rng rng(3);
+  const auto table = random_table(rng, 10, CapType::kFrequency);
+  const ProjectionEngine engine(table);
+  const auto decomp = random_decomposition(rng, /*zero_energy=*/true);
+  const auto best = engine.best_no_slowdown(decomp, CapType::kFrequency);
+  EXPECT_EQ(best.setting, table.sweep_plan(CapType::kFrequency).settings[0]);
+}
+
+TEST_F(ProjectionBatchTest, EmptySweepStillThrows) {
+  CapResponseTable table;  // nothing characterized
+  const ProjectionEngine engine(table);
+  Rng rng(1);
+  const auto decomp = random_decomposition(rng);
+  EXPECT_EQ(engine.sweep_size(CapType::kFrequency), 0u);
+  EXPECT_TRUE(engine.project_sweep(decomp, CapType::kFrequency).empty());
+  EXPECT_THROW(engine.best_no_slowdown(decomp, CapType::kFrequency), Error);
+}
+
+TEST_F(ProjectionBatchTest, UnpairedTableThrowsTheAtError) {
+  // CI characterized a setting the MI class never swept: the batch path
+  // must surface exactly the per-point at() error.
+  CapResponseTable table;
+  table.add(BenchClass::kComputeIntensive, CapType::kFrequency,
+            {900.0, 60.0, 130.0, 90.0});
+  EXPECT_FALSE(table.sweep_plan(CapType::kFrequency).paired);
+  const ProjectionEngine engine(table);
+  Rng rng(2);
+  const auto decomp = random_decomposition(rng);
+  try {
+    (void)engine.project_sweep(decomp, CapType::kFrequency);
+    FAIL() << "expected the characterization-sweep error";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(),
+                 "cap setting was not part of the characterization sweep");
+  }
+  EXPECT_THROW(engine.best_no_slowdown(decomp, CapType::kFrequency), Error);
+}
+
+}  // namespace
+}  // namespace exaeff::core

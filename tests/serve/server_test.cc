@@ -16,6 +16,8 @@
 #include <string>
 #include <thread>
 
+#include "common/simd_env.h"
+#include "core/projection.h"
 #include "exec/thread_pool.h"
 #include "net/http.h"
 #include "net/socket_io.h"
@@ -200,6 +202,82 @@ TEST_F(ServeTest, SweepAnswersAreCachedAndScoped) {
   const auto again = handle(service, "/sweep", "caps=700:1700:200");
   EXPECT_EQ(again.body, fleet.body);
   EXPECT_GE(service.cache().hits(), 1u);
+}
+
+TEST_F(ServeTest, SweepBytesPinnedAcrossColdWarmAndRestrictedPaths) {
+  // The batch sweep path must answer byte-for-byte what a fresh
+  // recompute answers, for the fleet-wide and the restricted
+  // decompositions alike.
+  const char* queries[] = {"caps=700:1700:200", "caps=700:1700:200&domain=CHM",
+                           "caps=700:1700:200&bin=C",
+                           "caps=700:1700:200&domain=MAT&bin=A",
+                           "caps=300:500:100&type=power"};
+  for (const char* q : queries) {
+    ProjectionService a;
+    a.set_model(model_);
+    const auto cold = handle(a, "/sweep", q);
+    ASSERT_EQ(cold.status, 200) << q;
+    const auto warm = handle(a, "/sweep", q);
+    EXPECT_EQ(warm.body, cold.body) << q;
+    ProjectionService b;
+    b.set_model(model_);
+    EXPECT_EQ(handle(b, "/sweep", q).body, cold.body) << q;
+  }
+}
+
+TEST_F(ServeTest, SweepRowsSpliceFromPerPointProjectAnswers) {
+  // Each element of a sweep's "rows" array must be the exact bytes of
+  // the corresponding per-point /project "row" object — the batch
+  // kernel may not perturb a single formatted character.
+  ProjectionService service;
+  service.set_model(model_);
+  const auto sweep = handle(service, "/sweep", "caps=700:1700:200&domain=CHM");
+  ASSERT_EQ(sweep.status, 200);
+  std::string expected = "\"rows\":[";
+  for (int cap = 700; cap <= 1700; cap += 200) {
+    const auto point =
+        handle(service, "/project",
+               "cap=" + std::to_string(cap) + "&domain=CHM");
+    ASSERT_EQ(point.status, 200);
+    const auto start = point.body.find("\"row\":{");
+    ASSERT_NE(start, std::string::npos);
+    const auto end = point.body.find('}', start);
+    ASSERT_NE(end, std::string::npos);
+    if (cap > 700) expected += ",";
+    expected += point.body.substr(start + 6, end - start - 5);
+  }
+  expected += "]";
+  EXPECT_NE(sweep.body.find(expected), std::string::npos)
+      << "sweep body: " << sweep.body;
+}
+
+TEST_F(ServeTest, ForcedPortableTierAnswersIdenticalSweepBytes) {
+  // The portable kernel (EXAEFF_SIMD=0 / forced tier) must produce the
+  // same response bytes as whatever vector tier the host dispatches.
+  ProjectionService vec;
+  vec.set_model(model_);
+  const auto native = handle(vec, "/sweep", "caps=700:1700:200&domain=PHY");
+  ASSERT_EQ(native.status, 200);
+
+  core::force_projection_tier(core::ProjectionSimdTier::kPortable);
+  ProjectionService portable;
+  portable.set_model(model_);
+  const auto forced =
+      handle(portable, "/sweep", "caps=700:1700:200&domain=PHY");
+  core::reset_projection_tier();
+  ASSERT_EQ(forced.status, 200);
+  EXPECT_EQ(forced.body, native.body);
+
+  // The env-style switch drives the same dispatch point.
+  set_simd_enabled(false);
+  core::reset_projection_tier();
+  ProjectionService env;
+  env.set_model(model_);
+  const auto enved = handle(env, "/sweep", "caps=700:1700:200&domain=PHY");
+  set_simd_enabled(true);
+  core::reset_projection_tier();
+  ASSERT_EQ(enved.status, 200);
+  EXPECT_EQ(enved.body, native.body);
 }
 
 TEST_F(ServeTest, ErrorTaxonomyMapsToHttpStatuses) {

@@ -1,10 +1,13 @@
 // exaeff/tools/loadgen.cc
 //
 // Closed-loop HTTP load generator for the `exaeff serve` projection
-// service.  N workers each issue a deterministic request mix (70%
-// /project over characterized caps, 25% /sweep, 5% /healthz) and record
-// latency into one shared histogram; the summary reports p50/p90/p99 and
-// a per-status census.  503 (load-shed) responses are retried with the
+// service.  N workers each issue a deterministic request mix (/project
+// over characterized caps, /sweep over the full and bin-restricted
+// decompositions, 5% /healthz; --sweep-share sets the /sweep fraction,
+// default 25%) and record latency into one shared histogram — plus a
+// dedicated /sweep histogram, so sweep-path regressions show up as
+// their own p50/p99 in the summary next to the overall quantiles and
+// per-status census.  503 (load-shed) responses are retried with the
 // shared common::BackoffPolicy schedule: the wait before each retry is
 // max(server Retry-After, policy wait) scaled by a seeded jitter in
 // [0.75, 1.25), so the client honors the server's hint but never beats
@@ -68,6 +71,7 @@ struct Options {
   std::size_t workers = 4;
   std::size_t requests = 200;
   std::uint64_t seed = 0xF50;
+  double sweep_share = 0.25;  ///< fraction of the mix that is /sweep
   std::string faults_spec;
   std::string json_path;
 };
@@ -216,17 +220,32 @@ struct Stats {
 };
 
 /// The deterministic request mix over characterized cap settings.
-std::string pick_target(Rng& rng) {
+/// /healthz keeps a fixed 5% slice; --sweep-share carves the /sweep
+/// fraction out of the remaining 95% (the default 0.25 reproduces the
+/// historical 70/25/5 mix draw for draw).  Sweep requests rotate through
+/// the fleet-wide decomposition and the five bin-restricted ones, so a
+/// sweep-heavy run exercises the memoized restricted-decomposition path,
+/// not just the cached full answer.
+std::string pick_target(Rng& rng, double sweep_share) {
   static constexpr double kCaps[] = {1500.0, 1300.0, 1100.0, 900.0, 700.0};
+  static constexpr const char* kSweeps[] = {
+      "/sweep?caps=700:1700:200",       "/sweep?caps=700:1700:200&bin=A",
+      "/sweep?caps=700:1700:200&bin=B", "/sweep?caps=700:1700:200&bin=C",
+      "/sweep?caps=700:1700:200&bin=D", "/sweep?caps=700:1700:200&bin=E",
+  };
   const double which = rng.uniform();
-  if (which < 0.70) {
+  if (which < 0.95 - sweep_share) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "/project?cap=%.0f",
                   kCaps[rng.uniform_index(5)]);
     return buf;
   }
-  if (which < 0.95) return "/sweep?caps=700:1700:200";
+  if (which < 0.95) return kSweeps[rng.uniform_index(6)];
   return "/healthz";
+}
+
+bool is_sweep_target(const std::string& target) {
+  return target.rfind("/sweep", 0) == 0;
 }
 
 std::string request_text(const std::string& target, const Options& opts) {
@@ -248,8 +267,11 @@ bool transact(const Options& opts, const std::string& text, Response& out) {
 }
 
 void run_normal(const Options& opts, const common::BackoffPolicy& policy,
-                Rng& rng, Stats& stats, obs::Histogram& lat) {
-  const std::string text = request_text(pick_target(rng), opts);
+                Rng& rng, Stats& stats, obs::Histogram& lat,
+                obs::Histogram& sweep_lat) {
+  const std::string target = pick_target(rng, opts.sweep_share);
+  const bool sweep = is_sweep_target(target);
+  const std::string text = request_text(target, opts);
   for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
     Response r;
     const auto t0 = std::chrono::steady_clock::now();
@@ -266,6 +288,7 @@ void run_normal(const Options& opts, const common::BackoffPolicy& policy,
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     lat.observe(elapsed);
+    if (sweep) sweep_lat.observe(elapsed);
     if (r.status == 503 && policy.retries_after(attempt)) {
       // Honor the server's Retry-After but never undercut the policy's
       // own schedule; jitter decorrelates the retry herd.
@@ -365,7 +388,8 @@ void run_churn(const Options& opts, Stats& stats) {
 
 void run_burst(const Options& opts, std::size_t conns, Rng& rng,
                Stats& stats) {
-  const std::string text = request_text(pick_target(rng), opts);
+  const std::string text =
+      request_text(pick_target(rng, opts.sweep_share), opts);
   std::vector<int> fds;
   fds.reserve(conns);
   for (std::size_t i = 0; i < conns; ++i) {
@@ -404,7 +428,8 @@ void run_burst(const Options& opts, std::size_t conns, Rng& rng,
 
 void worker_main(const Options& opts, const ClientFaultPlan& plan,
                  const common::BackoffPolicy& policy, std::size_t worker,
-                 Stats& stats, obs::Histogram& lat) {
+                 Stats& stats, obs::Histogram& lat,
+                 obs::Histogram& sweep_lat) {
   for (std::size_t i = worker; i < opts.requests; i += opts.workers) {
     // Iteration-keyed stream: the draw sequence for request i is the
     // same for any worker count, so the mix is seed-reproducible.
@@ -431,15 +456,16 @@ void worker_main(const Options& opts, const ClientFaultPlan& plan,
       run_burst(opts, static_cast<std::size_t>(plan.burst.param), rng, stats);
       continue;
     }
-    run_normal(opts, policy, rng, stats, lat);
+    run_normal(opts, policy, rng, stats, lat, sweep_lat);
   }
 }
 
-std::string summary_json(const Stats& stats, const obs::Histogram& lat) {
+std::string summary_json(const Stats& stats, const obs::Histogram& lat,
+                         const obs::Histogram& sweep_lat) {
   std::ostringstream out;
   char buf[64];
-  auto ms = [&buf, &lat](double q) {
-    std::snprintf(buf, sizeof buf, "%.3f", lat.quantile(q) * 1e3);
+  auto ms = [&buf](const obs::Histogram& h, double q) {
+    std::snprintf(buf, sizeof buf, "%.3f", h.quantile(q) * 1e3);
     return std::string(buf);
   };
   out << "{\n";
@@ -457,9 +483,13 @@ std::string summary_json(const Stats& stats, const obs::Histogram& lat) {
   std::snprintf(buf, sizeof buf, "%.3f", stats.backoff_wait_s);
   out << "  \"backoff_wait_s\": " << buf << ",\n";
   out << "  \"latency_count\": " << lat.count() << ",\n";
-  out << "  \"p50_ms\": " << ms(0.50) << ",\n";
-  out << "  \"p90_ms\": " << ms(0.90) << ",\n";
-  out << "  \"p99_ms\": " << ms(0.99) << ",\n";
+  out << "  \"p50_ms\": " << ms(lat, 0.50) << ",\n";
+  out << "  \"p90_ms\": " << ms(lat, 0.90) << ",\n";
+  out << "  \"p99_ms\": " << ms(lat, 0.99) << ",\n";
+  out << "  \"sweep_latency_count\": " << sweep_lat.count() << ",\n";
+  out << "  \"sweep_p50_ms\": " << ms(sweep_lat, 0.50) << ",\n";
+  out << "  \"sweep_p90_ms\": " << ms(sweep_lat, 0.90) << ",\n";
+  out << "  \"sweep_p99_ms\": " << ms(sweep_lat, 0.99) << ",\n";
   out << "  \"faults\": {\"slowloris\": " << stats.faults_slowloris
       << ", \"garbage\": " << stats.faults_garbage
       << ", \"churn\": " << stats.faults_churn
@@ -480,6 +510,8 @@ int usage() {
       "  --requests=<N>       total iterations across workers (default "
       "200)\n"
       "  --seed=<u64>         fault/mix seed (default 0xF50)\n"
+      "  --sweep-share=<p>    /sweep fraction of the mix, in [0, 0.95]\n"
+      "                       (default 0.25; /healthz keeps a fixed 5%%)\n"
       "  --faults=<spec>      client fault plan: slowloris=p:stall_s,\n"
       "                       garbage=p, churn=p, burst=p:n, seed=u64\n"
       "  --json=<path>        write the summary JSON to a file "
@@ -494,6 +526,15 @@ bool parse_u64_flag(const std::string& value, std::uint64_t& out) {
   errno = 0;
   out = std::strtoull(value.c_str(), &end, 0);
   return errno == 0 && end == value.c_str() + value.size();
+}
+
+bool parse_double_flag(const std::string& value, double& out) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(value.c_str(), &end);
+  return errno == 0 && end == value.c_str() + value.size() &&
+         std::isfinite(out);
 }
 
 }  // namespace
@@ -523,6 +564,12 @@ int main(int argc, char** argv) {
     } else if (key == "--seed") {
       if (!parse_u64_flag(value, v)) return usage();
       opts.seed = v;
+    } else if (key == "--sweep-share") {
+      double p = 0.0;
+      if (!parse_double_flag(value, p) || p < 0.0 || p > 0.95) {
+        return usage();
+      }
+      opts.sweep_share = p;
     } else if (key == "--faults") {
       opts.faults_spec = value;
     } else if (key == "--json") {
@@ -555,16 +602,18 @@ int main(int argc, char** argv) {
 
   Stats stats;
   obs::Histogram latency(1e-5, 60.0, 48);
+  obs::Histogram sweep_latency(1e-5, 60.0, 48);
   std::vector<std::thread> workers;
   workers.reserve(opts.workers);
   for (std::size_t w = 0; w < opts.workers; ++w) {
-    workers.emplace_back([&opts, &plan, &policy, w, &stats, &latency] {
-      worker_main(opts, plan, policy, w, stats, latency);
-    });
+    workers.emplace_back(
+        [&opts, &plan, &policy, w, &stats, &latency, &sweep_latency] {
+          worker_main(opts, plan, policy, w, stats, latency, sweep_latency);
+        });
   }
   for (auto& t : workers) t.join();
 
-  const std::string summary = summary_json(stats, latency);
+  const std::string summary = summary_json(stats, latency, sweep_latency);
   if (opts.json_path.empty()) {
     std::fputs(summary.c_str(), stdout);
   } else {
